@@ -1,0 +1,49 @@
+// Command zinf-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	zinf-bench            # list experiments
+//	zinf-bench -run all   # run everything
+//	zinf-bench -run fig5a # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment id to run, or 'all'")
+	flag.Parse()
+
+	if *run == "" {
+		fmt.Println("Available experiments (use -run <id> or -run all):")
+		for _, e := range harness.All() {
+			fmt.Printf("  %-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	var failed bool
+	for _, e := range harness.All() {
+		if *run != "all" && e.ID != *run {
+			continue
+		}
+		if err := harness.Run(os.Stdout, e); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: FAILED: %v\n", e.ID, err)
+			failed = true
+		}
+		fmt.Println()
+	}
+	if *run != "all" {
+		if _, ok := harness.ByID(*run); !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+			os.Exit(2)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+// Command zinf-memcalc evaluates the paper's Sec. 3 memory model (Eqs. 1-5)
+// for a given Transformer geometry and reports which DGX-2 tier each state
+// fits in — a practical "will it fit?" calculator.
+//
+// Example:
+//
+//	zinf-memcalc -hidden 25600 -layers 128 -batch 32 -nodes 1
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/perf"
+)
+
+func main() {
+	var (
+		hidden = flag.Int64("hidden", 8192, "hidden dimension")
+		layers = flag.Int64("layers", 125, "transformer layers")
+		heads  = flag.Int64("heads", 16, "attention heads")
+		seq    = flag.Int64("seq", 1024, "sequence length")
+		batch  = flag.Int64("batch", 32, "total batch size per node")
+		ci     = flag.Int64("ci", 1, "blocks between activation checkpoints")
+		nodes  = flag.Int("nodes", 1, "DGX-2 nodes")
+	)
+	flag.Parse()
+
+	m := perf.ModelShape{Hidden: *hidden, Layers: *layers, Heads: *heads, Seq: *seq, CkptEvery: *ci}
+	c := perf.DGX2(*nodes)
+
+	fmt.Printf("model: hidden=%d layers=%d  →  %.1fB parameters (Eq. 1)\n",
+		m.Hidden, m.Layers, float64(m.Params())/1e9)
+	fmt.Printf("\nmemory requirements (batch %d, seq %d, ci %d):\n", *batch, *seq, *ci)
+	fmt.Printf("  model states (Eq. 2):          %s\n", mem.FormatBytes(m.ModelStatesBytes()))
+	fmt.Printf("  activations w/o checkpointing: %s\n", mem.FormatBytes(m.FullActivationBytes(*batch)))
+	fmt.Printf("  activation checkpoints (Eq.3): %s\n", mem.FormatBytes(m.ActivationCheckpointBytes(*batch)))
+	fmt.Printf("  MSWM, largest operator (Eq.4): %s\n", mem.FormatBytes(m.MSWMBytes()))
+	fmt.Printf("  AWM between checkpoints (Eq.5):%s\n", mem.FormatBytes(m.AWMBytes(*batch)))
+
+	fmt.Printf("\ncluster (%d × DGX-2): GPU %s | CPU %s | NVMe %s\n",
+		*nodes, mem.FormatBytes(c.AggGPUMemory()), mem.FormatBytes(c.AggCPUMemory()),
+		mem.FormatBytes(c.AggNVMeMemory()))
+
+	fmt.Println("\nfeasibility by strategy (batch 1/GPU):")
+	for _, k := range []perf.StrategyKind{
+		perf.KindDP, perf.KindZeRO2, perf.KindZeROOffload, perf.Kind3D,
+		perf.KindZeRO3, perf.KindInfCPU, perf.KindInfNVMe,
+	} {
+		ok, b := perf.Feasible(k, c, m, 1)
+		verdict := "OOM"
+		if ok {
+			verdict = "fits"
+		}
+		fmt.Printf("  %-15s %-5s (gpu/GPU %s, cpu/node %s, nvme/node %s)\n",
+			k, verdict, mem.FormatBytes(b.GPUPerGPU), mem.FormatBytes(b.CPUPerNode),
+			mem.FormatBytes(b.NVMePeNode))
+	}
+}

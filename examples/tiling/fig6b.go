@@ -1,0 +1,7 @@
+package main
+
+import "repro/internal/perf"
+
+func fig6b(tiles int64) int64 {
+	return perf.Fig6bMaxHidden(tiles, 2*perf.GB)
+}

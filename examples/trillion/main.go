@@ -1,0 +1,60 @@
+// Trillion-scale what-if: drive the performance stack directly to answer
+// "what happens if I train a 1T-20T model on a DGX-2 SuperPOD?" — the
+// paper's Figure 5 study. No training happens here; the discrete-event
+// simulator and the analytic feasibility model do the work in milliseconds.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/zero"
+)
+
+func main() {
+	fmt.Println("ZeRO-Infinity at paper scale (simulated DGX-2 SuperPOD)")
+	fmt.Println()
+
+	fmt.Println("Throughput, 512 GPUs (Figure 5a):")
+	for _, r := range sim.Fig5a() {
+		td := "OOM"
+		if r.ThreeD.TFlopsPerGPU > 0 {
+			td = fmt.Sprintf("%5.1f TF/GPU", r.ThreeD.TFlopsPerGPU)
+		}
+		fmt.Printf("  %-5s  ZeRO-Infinity %5.1f TF/GPU   3D parallelism %s\n",
+			r.Label, r.ZeROInfinity.TFlopsPerGPU, td)
+	}
+
+	fmt.Println("\nWeak scaling of the 1T model (Figure 5b):")
+	for _, p := range sim.Fig5b() {
+		marker := ""
+		if p.TotalPetaflops > p.LinearPetaflops*1.01 {
+			marker = "  ← superlinear"
+		}
+		fmt.Printf("  %3d GPUs: %6.2f pflops (linear would be %6.2f)%s\n",
+			p.GPUs, p.TotalPetaflops, p.LinearPetaflops, marker)
+	}
+
+	fmt.Println("\nCustom what-if: a 2.5T model on 8 nodes, everything on NVMe:")
+	shape := perf.ModelShape{Hidden: 32768, Layers: 194, Heads: 16, Seq: 1024, CkptEvery: 1}
+	cluster := perf.DGX2(8)
+	if ok, b := perf.Feasible(perf.KindInfNVMe, cluster, shape, 2); ok {
+		res := sim.SimulateIteration(sim.IterConfig{
+			Cluster: cluster, Shape: shape, BszGPU: 2,
+			Params: zero.OnNVMe, Optimizer: zero.OnNVMe,
+			Overlap: true, OffloadActivations: true,
+		})
+		fmt.Printf("  fits (%.1f TB NVMe/node) and sustains %.1f TF/GPU (%.0f%% efficiency)\n",
+			float64(b.NVMePeNode)/1e12, res.TFlopsPerGPU, 100*res.Efficiency)
+		fmt.Printf("  iteration: fwd %.0fs + bwd %.0fs + optimizer %.0fs = %.0fs\n",
+			res.ForwardSec, res.BackwardSec, res.OptimizerSec, res.TotalSec)
+	} else {
+		fmt.Println("  does not fit")
+	}
+
+	fmt.Println("\nAnd the same model under 3D parallelism:")
+	if res := sim.Simulate3D(cluster, shape, 2, 8, 8); res.TFlopsPerGPU == 0 {
+		fmt.Println("  out of memory — 128 GPUs of HBM cannot hold 50 TB of model states")
+	}
+}

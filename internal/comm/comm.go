@@ -1,0 +1,355 @@
+// Package comm provides the collective-communication substrate for the
+// ZeRO-Infinity reproduction. A World of n ranks runs SPMD code on n
+// goroutines; collectives (broadcast, allgather, reduce-scatter, allreduce,
+// gather, barrier) have the same data semantics as NCCL's.
+//
+// Collective matching follows the SPMD contract: every rank must invoke the
+// same sequence of collectives on the same communicator. Each call is matched
+// by a per-rank sequence number, so the implementation is insensitive to
+// goroutine scheduling and safe under the race detector. Reductions
+// accumulate in rank order with float32 arithmetic, making results
+// deterministic and enabling bit-exact engine-equivalence tests.
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// World is the shared state behind a group of communicating ranks.
+type World struct {
+	size int
+
+	mu  sync.Mutex
+	ops map[uint64]*op // keyed by sequence number
+}
+
+// op is one in-flight collective. The last rank to arrive performs the data
+// movement; the last rank to leave removes the op from the world map.
+type op struct {
+	kind    string
+	arrived int
+	left    int
+	done    chan struct{}
+	contrib []any // per-rank argument, indexed by rank
+	result  any   // computed by the last arriver, read by all
+}
+
+// NewWorld creates the shared state for size ranks. It panics if size < 1.
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic("comm: world size must be >= 1")
+	}
+	return &World{size: size, ops: make(map[uint64]*op)}
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Comm returns the communicator handle for the given rank. Each rank
+// goroutine must use its own handle; handles are not safe for concurrent use
+// by multiple goroutines.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, w.size))
+	}
+	return &Comm{world: w, rank: rank}
+}
+
+// Run spawns fn on one goroutine per rank, passing each its communicator,
+// and waits for all of them to return. It is the standard SPMD entry point:
+//
+//	comm.Run(4, func(c *comm.Comm) { ... })
+func Run(size int, fn func(c *Comm)) {
+	w := NewWorld(size)
+	var wg sync.WaitGroup
+	wg.Add(size)
+	for r := 0; r < size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			fn(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	world *World
+	rank  int
+	seq   uint64
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.size }
+
+// rendezvous matches this rank's seq-th collective with the other ranks'.
+// contrib is this rank's argument; compute runs exactly once, on the last
+// arriving rank, with all contributions in rank order. The returned value is
+// compute's result, shared by all ranks (treat as read-only unless the
+// collective defines otherwise).
+func (c *Comm) rendezvous(kind string, contrib any, compute func(contribs []any) any) any {
+	w := c.world
+	if w.size == 1 {
+		return compute([]any{contrib})
+	}
+	seq := c.seq
+	c.seq++
+
+	w.mu.Lock()
+	o, ok := w.ops[seq]
+	if !ok {
+		o = &op{kind: kind, done: make(chan struct{}), contrib: make([]any, w.size)}
+		w.ops[seq] = o
+	}
+	if o.kind != kind {
+		w.mu.Unlock()
+		panic(fmt.Sprintf("comm: collective mismatch at seq %d: rank %d called %s, others called %s",
+			seq, c.rank, kind, o.kind))
+	}
+	o.contrib[c.rank] = contrib
+	o.arrived++
+	last := o.arrived == w.size
+	if last {
+		o.result = compute(o.contrib)
+		close(o.done)
+	}
+	w.mu.Unlock()
+
+	if !last {
+		<-o.done
+	}
+
+	w.mu.Lock()
+	o.left++
+	if o.left == w.size {
+		delete(w.ops, seq)
+	}
+	res := o.result
+	w.mu.Unlock()
+	return res
+}
+
+// Barrier blocks until every rank has entered the barrier.
+func (c *Comm) Barrier() {
+	c.rendezvous("barrier", nil, func([]any) any { return nil })
+}
+
+// Broadcast copies root's buf into every rank's buf. All bufs must have the
+// same length.
+func (c *Comm) Broadcast(buf []float32, root int) {
+	c.rendezvous(fmt.Sprintf("bcast:%d", root), buf, func(contribs []any) any {
+		src := contribs[root].([]float32)
+		for r, cb := range contribs {
+			if r == root {
+				continue
+			}
+			dst := cb.([]float32)
+			if len(dst) != len(src) {
+				panic(fmt.Sprintf("comm: broadcast length mismatch: root %d, rank %d", len(src), len(dst)))
+			}
+			copy(dst, src)
+		}
+		return nil
+	})
+}
+
+// AllGather concatenates every rank's src (all equal length) into dst in rank
+// order on every rank. len(dst) must be Size()*len(src).
+func (c *Comm) AllGather(dst, src []float32) {
+	if len(dst) != c.Size()*len(src) {
+		panic(fmt.Sprintf("comm: allgather dst len %d != size %d * src len %d", len(dst), c.Size(), len(src)))
+	}
+	type arg struct{ dst, src []float32 }
+	c.rendezvous("allgather", arg{dst, src}, func(contribs []any) any {
+		n := len(src)
+		for _, ca := range contribs {
+			a := ca.(arg)
+			for r, cb := range contribs {
+				copy(a.dst[r*n:(r+1)*n], cb.(arg).src)
+			}
+		}
+		return nil
+	})
+}
+
+// ReduceScatter sums the ranks' src buffers elementwise (in rank order) and
+// scatters the result: rank r receives elements [r*len(dst), (r+1)*len(dst))
+// of the sum. len(src) must be Size()*len(dst).
+func (c *Comm) ReduceScatter(dst, src []float32) {
+	if len(src) != c.Size()*len(dst) {
+		panic(fmt.Sprintf("comm: reducescatter src len %d != size %d * dst len %d", len(src), c.Size(), len(dst)))
+	}
+	type arg struct{ dst, src []float32 }
+	c.rendezvous("reducescatter", arg{dst, src}, func(contribs []any) any {
+		n := len(dst)
+		for r, ca := range contribs {
+			a := ca.(arg)
+			shard := a.dst
+			base := r * n
+			first := contribs[0].(arg).src
+			copy(shard, first[base:base+n])
+			for _, cb := range contribs[1:] {
+				tensor.Axpy(1, cb.(arg).src[base:base+n], shard)
+			}
+		}
+		return nil
+	})
+}
+
+// AllReduce sums every rank's buf elementwise (in rank order); each rank's
+// buf holds the total afterwards.
+func (c *Comm) AllReduce(buf []float32) {
+	c.rendezvous("allreduce", buf, func(contribs []any) any {
+		sum := make([]float32, len(buf))
+		copy(sum, contribs[0].([]float32))
+		for _, cb := range contribs[1:] {
+			b := cb.([]float32)
+			if len(b) != len(sum) {
+				panic("comm: allreduce length mismatch")
+			}
+			tensor.Axpy(1, b, sum)
+		}
+		for _, cb := range contribs {
+			copy(cb.([]float32), sum)
+		}
+		return nil
+	})
+}
+
+// Gather concatenates every rank's src into root's dst in rank order. dst is
+// ignored on non-root ranks (may be nil). On root, len(dst) must be
+// Size()*len(src).
+func (c *Comm) Gather(dst, src []float32, root int) {
+	type arg struct{ dst, src []float32 }
+	c.rendezvous(fmt.Sprintf("gather:%d", root), arg{dst, src}, func(contribs []any) any {
+		rd := contribs[root].(arg).dst
+		n := len(contribs[root].(arg).src)
+		if len(rd) != len(contribs)*n {
+			panic("comm: gather root dst length mismatch")
+		}
+		for r, cb := range contribs {
+			copy(rd[r*n:(r+1)*n], cb.(arg).src)
+		}
+		return nil
+	})
+}
+
+// AllGatherHalf is AllGather over binary16 payloads; data moves bit-exactly.
+func (c *Comm) AllGatherHalf(dst, src []tensor.Half) {
+	if len(dst) != c.Size()*len(src) {
+		panic("comm: allgatherhalf length mismatch")
+	}
+	type arg struct{ dst, src []tensor.Half }
+	c.rendezvous("allgatherhalf", arg{dst, src}, func(contribs []any) any {
+		n := len(src)
+		for _, ca := range contribs {
+			a := ca.(arg)
+			for r, cb := range contribs {
+				copy(a.dst[r*n:(r+1)*n], cb.(arg).src)
+			}
+		}
+		return nil
+	})
+}
+
+// BroadcastHalf copies root's binary16 buf into every rank's buf.
+func (c *Comm) BroadcastHalf(buf []tensor.Half, root int) {
+	c.rendezvous(fmt.Sprintf("bcasthalf:%d", root), buf, func(contribs []any) any {
+		src := contribs[root].([]tensor.Half)
+		for r, cb := range contribs {
+			if r == root {
+				continue
+			}
+			copy(cb.([]tensor.Half), src)
+		}
+		return nil
+	})
+}
+
+// ReduceScatterHalf reduce-scatters binary16 gradients: contributions are
+// decoded to float32, summed in rank order with float32 accumulation (the
+// fp32-accumulate behaviour of tensor-core reductions), and each rank's shard
+// is re-encoded to binary16 into dst.
+func (c *Comm) ReduceScatterHalf(dst, src []tensor.Half) {
+	if len(src) != c.Size()*len(dst) {
+		panic("comm: reducescatterhalf length mismatch")
+	}
+	type arg struct{ dst, src []tensor.Half }
+	c.rendezvous("reducescatterhalf", arg{dst, src}, func(contribs []any) any {
+		n := len(dst)
+		acc := make([]float32, n)
+		tmp := make([]float32, n)
+		for r := range contribs {
+			base := r * n
+			for i := range acc {
+				acc[i] = 0
+			}
+			for _, cb := range contribs {
+				tensor.DecodeHalf(tmp, cb.(arg).src[base:base+n])
+				tensor.Axpy(1, tmp, acc)
+			}
+			shard := contribs[r].(arg).dst
+			tensor.EncodeHalf(shard, acc)
+		}
+		return nil
+	})
+}
+
+// AllReduceHalf sums binary16 buffers elementwise across ranks with float32
+// accumulation (rank order) and re-encodes the total to binary16 into every
+// rank's buf. Numerically identical to ReduceScatterHalf followed by
+// AllGatherHalf, which is what makes DDP and ZeRO gradient paths bit-equal.
+func (c *Comm) AllReduceHalf(buf []tensor.Half) {
+	c.rendezvous("allreducehalf", buf, func(contribs []any) any {
+		n := len(buf)
+		acc := make([]float32, n)
+		tmp := make([]float32, n)
+		for _, cb := range contribs {
+			b := cb.([]tensor.Half)
+			if len(b) != n {
+				panic("comm: allreducehalf length mismatch")
+			}
+			tensor.DecodeHalf(tmp, b)
+			tensor.Axpy(1, tmp, acc)
+		}
+		enc := make([]tensor.Half, n)
+		tensor.EncodeHalf(enc, acc)
+		for _, cb := range contribs {
+			copy(cb.([]tensor.Half), enc)
+		}
+		return nil
+	})
+}
+
+// AllReduceScalar sums one float64 across ranks and returns the total on
+// every rank. Used for loss aggregation and overflow flags.
+func (c *Comm) AllReduceScalar(v float64) float64 {
+	res := c.rendezvous("allreducescalar", v, func(contribs []any) any {
+		var s float64
+		for _, cb := range contribs {
+			s += cb.(float64)
+		}
+		return s
+	})
+	return res.(float64)
+}
+
+// AllReduceMax returns the maximum of v across ranks on every rank.
+func (c *Comm) AllReduceMax(v float64) float64 {
+	res := c.rendezvous("allreducemax", v, func(contribs []any) any {
+		m := contribs[0].(float64)
+		for _, cb := range contribs[1:] {
+			if f := cb.(float64); f > m {
+				m = f
+			}
+		}
+		return m
+	})
+	return res.(float64)
+}

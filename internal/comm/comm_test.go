@@ -1,0 +1,314 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestBarrierAllRanksMeet(t *testing.T) {
+	const n = 8
+	var mu sync.Mutex
+	entered := 0
+	Run(n, func(c *Comm) {
+		mu.Lock()
+		entered++
+		mu.Unlock()
+		c.Barrier()
+		mu.Lock()
+		defer mu.Unlock()
+		if entered != n {
+			t.Errorf("rank %d passed barrier with only %d entered", c.Rank(), entered)
+		}
+	})
+}
+
+func TestBroadcast(t *testing.T) {
+	const n = 4
+	Run(n, func(c *Comm) {
+		buf := make([]float32, 3)
+		if c.Rank() == 2 {
+			buf[0], buf[1], buf[2] = 7, 8, 9
+		}
+		c.Broadcast(buf, 2)
+		if buf[0] != 7 || buf[1] != 8 || buf[2] != 9 {
+			t.Errorf("rank %d got %v after broadcast", c.Rank(), buf)
+		}
+	})
+}
+
+func TestAllGather(t *testing.T) {
+	const n = 5
+	Run(n, func(c *Comm) {
+		src := []float32{float32(c.Rank()), float32(c.Rank() * 10)}
+		dst := make([]float32, n*2)
+		c.AllGather(dst, src)
+		for r := 0; r < n; r++ {
+			if dst[2*r] != float32(r) || dst[2*r+1] != float32(r*10) {
+				t.Errorf("rank %d allgather slot %d = %v", c.Rank(), r, dst[2*r:2*r+2])
+			}
+		}
+	})
+}
+
+func TestReduceScatter(t *testing.T) {
+	const n = 4
+	Run(n, func(c *Comm) {
+		// Every rank contributes [1,2,...,n] per shard position scaled by rank+1.
+		src := make([]float32, n*2)
+		for i := range src {
+			src[i] = float32((c.Rank() + 1) * (i + 1))
+		}
+		dst := make([]float32, 2)
+		c.ReduceScatter(dst, src)
+		// Sum over ranks of (r+1)*(i+1) = (i+1) * n(n+1)/2.
+		scale := float32(n * (n + 1) / 2)
+		base := c.Rank() * 2
+		for i := 0; i < 2; i++ {
+			want := float32(base+i+1) * scale
+			if dst[i] != want {
+				t.Errorf("rank %d shard[%d] = %g, want %g", c.Rank(), i, dst[i], want)
+			}
+		}
+	})
+}
+
+func TestAllReduce(t *testing.T) {
+	const n = 6
+	Run(n, func(c *Comm) {
+		buf := []float32{float32(c.Rank()), 1}
+		c.AllReduce(buf)
+		wantSum := float32(n * (n - 1) / 2)
+		if buf[0] != wantSum || buf[1] != n {
+			t.Errorf("rank %d allreduce got %v, want [%g %d]", c.Rank(), buf, wantSum, n)
+		}
+	})
+}
+
+// The defining identity: reduce-scatter followed by allgather equals
+// allreduce. ZeRO-3 relies on this to be a drop-in for DDP's allreduce.
+func TestReduceScatterPlusAllGatherEqualsAllReduce(t *testing.T) {
+	const n = 4
+	const per = 3
+	total := n * per
+	inputs := make([][]float32, n)
+	rng := tensor.NewRNG(99)
+	for r := range inputs {
+		inputs[r] = make([]float32, total)
+		rng.FillNormal(inputs[r], 1)
+	}
+	want := make([][]float32, n)
+	got := make([][]float32, n)
+	Run(n, func(c *Comm) {
+		r := c.Rank()
+		a := append([]float32(nil), inputs[r]...)
+		c.AllReduce(a)
+		want[r] = a
+
+		b := append([]float32(nil), inputs[r]...)
+		shard := make([]float32, per)
+		c.ReduceScatter(shard, b)
+		full := make([]float32, total)
+		c.AllGather(full, shard)
+		got[r] = full
+	})
+	for r := 0; r < n; r++ {
+		for i := 0; i < total; i++ {
+			if want[r][i] != got[r][i] {
+				t.Fatalf("rank %d elem %d: allreduce %g, rs+ag %g", r, i, want[r][i], got[r][i])
+			}
+		}
+	}
+}
+
+func TestAllGatherHalfBitExact(t *testing.T) {
+	const n = 3
+	Run(n, func(c *Comm) {
+		src := []tensor.Half{tensor.Half(0x1234 + c.Rank()), tensor.Half(0x7bff)}
+		dst := make([]tensor.Half, n*2)
+		c.AllGatherHalf(dst, src)
+		for r := 0; r < n; r++ {
+			if dst[2*r] != tensor.Half(0x1234+r) || dst[2*r+1] != 0x7bff {
+				t.Errorf("rank %d slot %d corrupted: %#04x %#04x", c.Rank(), r, dst[2*r], dst[2*r+1])
+			}
+		}
+	})
+}
+
+func TestBroadcastHalf(t *testing.T) {
+	Run(3, func(c *Comm) {
+		buf := make([]tensor.Half, 2)
+		if c.Rank() == 0 {
+			buf[0], buf[1] = 0x3c00, 0x4000
+		}
+		c.BroadcastHalf(buf, 0)
+		if buf[0] != 0x3c00 || buf[1] != 0x4000 {
+			t.Errorf("rank %d got %v", c.Rank(), buf)
+		}
+	})
+}
+
+func TestReduceScatterHalfAccumulatesFP32(t *testing.T) {
+	const n = 4
+	Run(n, func(c *Comm) {
+		// Each rank contributes 1.0 in fp16 for every element; fp32
+		// accumulation makes the sum exactly n.
+		src := make([]tensor.Half, n*2)
+		one := tensor.HalfFromFloat32(1)
+		for i := range src {
+			src[i] = one
+		}
+		dst := make([]tensor.Half, 2)
+		c.ReduceScatterHalf(dst, src)
+		for i, h := range dst {
+			if h.Float32() != float32(n) {
+				t.Errorf("rank %d shard[%d] = %g, want %d", c.Rank(), i, h.Float32(), n)
+			}
+		}
+	})
+}
+
+func TestGatherToRoot(t *testing.T) {
+	const n = 4
+	Run(n, func(c *Comm) {
+		src := []float32{float32(c.Rank())}
+		var dst []float32
+		if c.Rank() == 1 {
+			dst = make([]float32, n)
+		}
+		c.Gather(dst, src, 1)
+		if c.Rank() == 1 {
+			for r := 0; r < n; r++ {
+				if dst[r] != float32(r) {
+					t.Errorf("gather slot %d = %g", r, dst[r])
+				}
+			}
+		}
+	})
+}
+
+func TestScalarCollectives(t *testing.T) {
+	const n = 5
+	Run(n, func(c *Comm) {
+		s := c.AllReduceScalar(float64(c.Rank() + 1))
+		if s != 15 {
+			t.Errorf("rank %d scalar sum = %g, want 15", c.Rank(), s)
+		}
+		m := c.AllReduceMax(float64(c.Rank()))
+		if m != n-1 {
+			t.Errorf("rank %d scalar max = %g, want %d", c.Rank(), m, n-1)
+		}
+	})
+}
+
+func TestWorldSizeOne(t *testing.T) {
+	Run(1, func(c *Comm) {
+		buf := []float32{3}
+		c.AllReduce(buf)
+		if buf[0] != 3 {
+			t.Errorf("size-1 allreduce changed value: %g", buf[0])
+		}
+		dst := make([]float32, 1)
+		c.ReduceScatter(dst, []float32{5})
+		if dst[0] != 5 {
+			t.Errorf("size-1 reducescatter = %g", dst[0])
+		}
+		full := make([]float32, 1)
+		c.AllGather(full, []float32{7})
+		if full[0] != 7 {
+			t.Errorf("size-1 allgather = %g", full[0])
+		}
+		c.Barrier()
+	})
+}
+
+func TestManySequentialCollectivesNoLeak(t *testing.T) {
+	w := NewWorld(3)
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := w.Comm(rank)
+			buf := []float32{1}
+			for i := 0; i < 200; i++ {
+				c.AllReduce(buf)
+				buf[0] = 1
+			}
+		}(r)
+	}
+	wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.ops) != 0 {
+		t.Errorf("op map leaked %d entries", len(w.ops))
+	}
+}
+
+func TestCommPanicsOnBadRank(t *testing.T) {
+	w := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Comm(5) did not panic")
+		}
+	}()
+	w.Comm(5)
+}
+
+func TestShardRoundTrip(t *testing.T) {
+	f := func(seed uint64, n8, size8 uint8) bool {
+		n := int(n8%50) + 1
+		size := int(size8%8) + 1
+		src := make([]float32, n)
+		tensor.NewRNG(seed).FillNormal(src, 1)
+		dst := make([]float32, n)
+		shard := make([]float32, ShardLen(n, size))
+		for r := 0; r < size; r++ {
+			Shard(shard, src, r, size)
+			Unshard(dst, shard, r, size)
+		}
+		for i := range src {
+			if dst[i] != src[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaddedLen(t *testing.T) {
+	cases := []struct{ n, size, want int }{
+		{0, 4, 0}, {1, 4, 4}, {4, 4, 4}, {5, 4, 8}, {10, 1, 10},
+	}
+	for _, c := range cases {
+		if got := PaddedLen(c.n, c.size); got != c.want {
+			t.Errorf("PaddedLen(%d,%d) = %d, want %d", c.n, c.size, got, c.want)
+		}
+	}
+}
+
+func BenchmarkAllReduce8Ranks(b *testing.B) {
+	const n = 8
+	const elems = 1 << 12
+	w := NewWorld(n)
+	var wg sync.WaitGroup
+	b.SetBytes(int64(n * elems * 4))
+	b.ResetTimer()
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := w.Comm(rank)
+			buf := make([]float32, elems)
+			for i := 0; i < b.N; i++ {
+				c.AllReduce(buf)
+			}
+		}(r)
+	}
+	wg.Wait()
+}

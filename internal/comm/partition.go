@@ -1,0 +1,53 @@
+package comm
+
+// Partitioning helpers shared by every ZeRO engine. ZeRO-Infinity's
+// bandwidth-centric partitioning (paper Sec. 6.1) slices each flat parameter
+// vector evenly across all data-parallel ranks, padding to a multiple of the
+// world size so allgather/reduce-scatter shards are equal length.
+
+// PaddedLen returns the smallest multiple of size that is >= n.
+func PaddedLen(n, size int) int {
+	if size <= 0 {
+		panic("comm: PaddedLen size <= 0")
+	}
+	return (n + size - 1) / size * size
+}
+
+// ShardLen returns the per-rank shard length for an n-element vector
+// partitioned across size ranks (with padding).
+func ShardLen(n, size int) int { return PaddedLen(n, size) / size }
+
+// ShardRange returns the half-open range [lo, hi) of the padded vector owned
+// by rank. Indices past n (padding) are valid shard positions but carry no
+// data.
+func ShardRange(n, rank, size int) (lo, hi int) {
+	s := ShardLen(n, size)
+	return rank * s, (rank + 1) * s
+}
+
+// Shard copies rank's shard of src (length n) into dst (length ShardLen),
+// zero-filling the padded tail. It panics if dst is shorter than the shard.
+func Shard(dst, src []float32, rank, size int) {
+	lo, hi := ShardRange(len(src), rank, size)
+	s := hi - lo
+	if len(dst) < s {
+		panic("comm: Shard dst too short")
+	}
+	for i := 0; i < s; i++ {
+		j := lo + i
+		if j < len(src) {
+			dst[i] = src[j]
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// Unshard copies the shard owned by rank back into the full vector dst,
+// ignoring padding.
+func Unshard(dst, shard []float32, rank, size int) {
+	lo, hi := ShardRange(len(dst), rank, size)
+	for i := lo; i < hi && i < len(dst); i++ {
+		dst[i] = shard[i-lo]
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"repro/internal/mem"
+	"repro/internal/tensor"
+)
+
+// cpuCheckpointStore offloads activation checkpoints to CPU memory (paper
+// Sec. 5.1.2): tensors are serialized to byte buffers accounted against the
+// CPU tier and deserialized exactly on retrieval, so offloading never
+// changes numerics.
+type cpuCheckpointStore struct {
+	tracker *mem.Tracker
+	next    int
+	blobs   map[int]ckptBlob
+
+	bytesOffloaded int64
+}
+
+type ckptBlob struct {
+	data  []byte
+	shape []int
+}
+
+func newCPUCheckpointStore(t *mem.Tracker) *cpuCheckpointStore {
+	return &cpuCheckpointStore{tracker: t, blobs: make(map[int]ckptBlob)}
+}
+
+// Put implements module.CheckpointStore.
+func (s *cpuCheckpointStore) Put(t *tensor.Tensor) int {
+	n := t.Len()
+	b := make([]byte, 4*n)
+	tmp := make([]float32, n)
+	t.Read(tmp)
+	tensor.F32ToBytes(b, tmp)
+	h := s.next
+	s.next++
+	s.blobs[h] = ckptBlob{data: b, shape: append([]int(nil), t.Shape()...)}
+	s.tracker.Add(mem.CatActCkpt, int64(len(b)))
+	s.bytesOffloaded += int64(len(b))
+	return h
+}
+
+// Get implements module.CheckpointStore.
+func (s *cpuCheckpointStore) Get(h int) *tensor.Tensor {
+	blob, ok := s.blobs[h]
+	if !ok {
+		panic("core: unknown checkpoint handle")
+	}
+	delete(s.blobs, h)
+	s.tracker.Add(mem.CatActCkpt, -int64(len(blob.data)))
+	out := tensor.New(tensor.FP32, blob.shape...)
+	tmp := make([]float32, out.Len())
+	tensor.F32FromBytes(tmp, blob.data)
+	out.Write(tmp)
+	return out
+}

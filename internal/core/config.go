@@ -1,0 +1,92 @@
+// Package core implements ZeRO-Infinity (paper Sec. 5-7): a ZeRO-3 engine
+// whose partitioned model states can live on GPU, CPU or NVMe through the
+// infinity offload engine, with bandwidth-centric partitioning, an
+// overlap-centric prefetcher driven by the traced operator sequence,
+// CPU offload of activation checkpoints, streamed NVMe optimizer steps
+// through reusable pinned buffers, and memory-centric tiling for operators
+// too large to materialize whole.
+//
+// Placement moves bytes, never values: every fp16/fp32 quantity round-trips
+// through staging buffers and storage exactly, so a ZeRO-Infinity run is
+// bit-identical to plain data-parallel training — the property the
+// equivalence tests assert.
+package core
+
+import (
+	"repro/internal/optim"
+	"repro/internal/zero"
+)
+
+// Config configures an InfinityEngine.
+type Config struct {
+	// Params places the fp16 parameter shards (OnGPU, OnCPU, OnNVMe).
+	Params zero.Placement
+	// Optimizer places the fp32 master/momentum/variance shards.
+	Optimizer zero.Placement
+	// OffloadActivations stores activation checkpoints in CPU memory.
+	// Requires the model to enable CheckpointActivations.
+	OffloadActivations bool
+	// PrefetchDepth is how many upcoming parameter shards the overlap
+	// engine reads ahead of the consuming operator (0 disables prefetch).
+	PrefetchDepth int
+
+	Adam             optim.AdamConfig
+	LossScale        float64
+	DynamicLossScale bool
+	Seed             uint64
+	// ClipNorm, when positive, clips the global gradient L2 norm.
+	ClipNorm float64
+
+	// NVMeDir, when non-empty, backs the per-rank NVMe store with a real
+	// temp file in that directory; otherwise an in-memory store is used.
+	NVMeDir string
+	// NVMeCapacity overrides the computed store size in bytes.
+	NVMeCapacity int64
+	// NVMeWorkers is the I/O parallelism of the DeepNVMe-style engine.
+	NVMeWorkers int
+
+	// PinnedBuffers / PinnedBufBytes size the reusable pinned staging pool
+	// (paper Sec. 6.3). Zero values are auto-sized from the model.
+	PinnedBuffers  int
+	PinnedBufBytes int
+
+	// GPUMemory, when positive, enforces a contiguous-allocator budget for
+	// gathered parameters (fp16 bytes). PreFragment additionally applies
+	// the paper's Fig. 6b protocol: allocations above the chunk size fail.
+	GPUMemory   int64
+	PreFragment int64
+}
+
+func (c *Config) setDefaults() {
+	if c.Adam == (optim.AdamConfig{}) {
+		c.Adam = optim.DefaultAdamConfig()
+	}
+	if c.LossScale == 0 {
+		c.LossScale = 1
+	}
+	if c.NVMeWorkers == 0 {
+		c.NVMeWorkers = 4
+	}
+	if c.PinnedBuffers == 0 {
+		c.PinnedBuffers = 4
+	}
+}
+
+// needsNVMe reports whether any state lives on NVMe.
+func (c *Config) needsNVMe() bool {
+	return c.Params == zero.OnNVMe || c.Optimizer == zero.OnNVMe
+}
+
+// Stats summarizes one engine's activity for the experiment harness.
+type Stats struct {
+	Gathers          int
+	OnDemandGathers  int
+	PrefetchHits     int
+	PrefetchIssued   int
+	NVMeBytesRead    int64
+	NVMeBytesWritten int64
+	PinnedBytes      int64
+	PinnedAcquires   int64
+	CkptBytesOffload int64
+	GPUPeakBytes     int64
+}

@@ -1,0 +1,628 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/module"
+	"repro/internal/nvme"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+	"repro/internal/zero"
+)
+
+// pstate is the per-parameter engine state: where the fp16 shard and
+// optimizer shard live, plus transient gather/prefetch bookkeeping.
+type pstate struct {
+	p        *module.Param
+	owner    module.Module
+	shardLen int
+
+	// fp16 parameter shard: resident slice for OnGPU/OnCPU, region for OnNVMe.
+	hostShard []tensor.Half
+	region    nvme.Region
+
+	// fp32 optimizer shard: resident for OnGPU/OnCPU, region ([master|m|v])
+	// for OnNVMe.
+	master, m, v []float32
+	optRegion    nvme.Region
+
+	gradShard []float32
+	gpuBlock  mem.Block
+	inflight  *inflightFetch
+}
+
+type inflightFetch struct {
+	ticket *nvme.Ticket
+	buf    []byte
+}
+
+// InfinityEngine is the ZeRO-Infinity training engine for one rank.
+type InfinityEngine struct {
+	cfg Config
+	c   *comm.Comm
+	g   *model.GPT
+	rt  *module.Runtime
+
+	params []*module.Param
+	states map[*module.Param]*pstate
+
+	scaler    *optim.LossScaler
+	stepCount int
+
+	// Infinity offload engine pieces.
+	store  nvme.Store
+	vol    *nvme.Volume
+	io     *nvme.Engine
+	pinned *mem.PinnedPool
+
+	gpuAlloc *mem.Allocator
+	gpuT     *mem.Tracker
+	cpuT     *mem.Tracker
+
+	ckpt *cpuCheckpointStore
+
+	// External-parameter registry and hook scope stack (as in zero.Z3Engine).
+	external map[module.Module][]*module.Param
+	active   []module.Module
+
+	prefetch *prefetcher
+
+	stats Stats
+}
+
+// errGPUOOM wraps allocator failures so Step can convert the panic that
+// aborts a forward pass into an error (the CUDA-OOM analogue).
+type errGPUOOM struct{ err error }
+
+func (e errGPUOOM) Error() string { return e.err.Error() }
+
+// NewInfinityEngine builds the engine for one rank, performing partitioned
+// initialization: each parameter's full init values exist only transiently
+// before being sharded to the configured tier.
+func NewInfinityEngine(cfg Config, c *comm.Comm, g *model.GPT) (*InfinityEngine, error) {
+	cfg.setDefaults()
+	e := &InfinityEngine{
+		cfg:      cfg,
+		c:        c,
+		g:        g,
+		params:   module.AllParams(g),
+		states:   make(map[*module.Param]*pstate),
+		gpuT:     mem.NewTracker(fmt.Sprintf("gpu%d", c.Rank())),
+		cpuT:     mem.NewTracker(fmt.Sprintf("cpu%d", c.Rank())),
+		external: make(map[module.Module][]*module.Param),
+	}
+	e.rt = module.NewRuntime(e)
+	if cfg.DynamicLossScale {
+		e.scaler = optim.NewLossScaler(cfg.LossScale)
+	} else {
+		e.scaler = optim.StaticLossScaler(cfg.LossScale)
+	}
+	if cfg.GPUMemory > 0 {
+		e.gpuAlloc = mem.NewAllocator(cfg.GPUMemory)
+		if cfg.PreFragment > 0 {
+			e.gpuAlloc.PreFragment(cfg.PreFragment)
+		}
+	}
+	if cfg.OffloadActivations {
+		e.ckpt = newCPUCheckpointStore(e.cpuT)
+		e.rt.SetCheckpointStore(e.ckpt)
+	}
+
+	dp := c.Size()
+	owners := make(map[*module.Param]module.Module)
+	module.Walk(g, func(m module.Module) {
+		for _, p := range m.Params() {
+			owners[p] = m
+		}
+	})
+
+	// Size and open the NVMe store + pinned pool.
+	if cfg.needsNVMe() {
+		var capacity int64
+		maxRegion := 0
+		for _, p := range e.params {
+			s := comm.ShardLen(p.Len(), dp)
+			if cfg.Params == zero.OnNVMe {
+				capacity += int64(s) * tensor.HalfBytes
+			}
+			if cfg.Optimizer == zero.OnNVMe {
+				capacity += int64(s) * 12
+			}
+			if b := s * 12; b > maxRegion {
+				maxRegion = b
+			}
+		}
+		if cfg.NVMeCapacity > 0 {
+			capacity = cfg.NVMeCapacity
+		}
+		var err error
+		if cfg.NVMeDir != "" {
+			e.store, err = nvme.NewTempFileStore(cfg.NVMeDir, capacity)
+		} else {
+			e.store = nvme.NewMemStore(capacity)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: open nvme store: %w", err)
+		}
+		e.vol = nvme.NewVolume(e.store)
+		e.io = nvme.NewEngine(e.store, nvme.Options{Workers: cfg.NVMeWorkers})
+		if cfg.PinnedBufBytes == 0 {
+			cfg.PinnedBufBytes = maxRegion
+			if cfg.PinnedBufBytes == 0 {
+				cfg.PinnedBufBytes = 1
+			}
+		}
+		e.cfg.PinnedBufBytes = cfg.PinnedBufBytes
+		e.pinned = mem.NewPinnedPool(cfg.PinnedBuffers, cfg.PinnedBufBytes)
+		e.cpuT.Add(mem.CatPinnedStage, int64(cfg.PinnedBuffers)*int64(cfg.PinnedBufBytes))
+	}
+
+	// Partitioned initialization (paper Sec. 7.2).
+	for _, p := range e.params {
+		full := model.InitValues(p, cfg.Seed) // transient
+		s := comm.ShardLen(p.Len(), dp)
+		lo := c.Rank() * s
+		fs := make([]float32, s)
+		for i := 0; i < s; i++ {
+			if lo+i < len(full) {
+				fs[i] = full[lo+i]
+			}
+		}
+		half := make([]tensor.Half, s)
+		tensor.EncodeHalf(half, fs)
+
+		ps := &pstate{p: p, owner: owners[p], shardLen: s}
+		switch cfg.Params {
+		case zero.OnNVMe:
+			r, err := e.vol.Alloc("param/"+p.Name, int64(s)*tensor.HalfBytes)
+			if err != nil {
+				return nil, err
+			}
+			buf := make([]byte, r.Size)
+			tensor.HalfToBytes(buf, half)
+			if err := e.io.WriteRegion(buf, r).Wait(); err != nil {
+				return nil, err
+			}
+			ps.region = r
+		case zero.OnCPU:
+			ps.hostShard = half
+			e.cpuT.Add(mem.CatParamsFP16, int64(s)*tensor.HalfBytes)
+		default:
+			ps.hostShard = half
+			e.gpuT.Add(mem.CatParamsFP16, int64(s)*tensor.HalfBytes)
+		}
+		switch cfg.Optimizer {
+		case zero.OnNVMe:
+			r, err := e.vol.Alloc("opt/"+p.Name, int64(s)*12)
+			if err != nil {
+				return nil, err
+			}
+			buf := make([]byte, r.Size)
+			tensor.F32ToBytes(buf[:4*s], fs) // master = fp16 init values
+			// momentum and variance start at zero (already zero in buf).
+			if err := e.io.WriteRegion(buf, r).Wait(); err != nil {
+				return nil, err
+			}
+			ps.optRegion = r
+		case zero.OnCPU:
+			ps.master = fs
+			ps.m = make([]float32, s)
+			ps.v = make([]float32, s)
+			e.cpuT.Add(mem.CatOptimState, int64(s)*12)
+		default:
+			ps.master = fs
+			ps.m = make([]float32, s)
+			ps.v = make([]float32, s)
+			e.gpuT.Add(mem.CatOptimState, int64(s)*12)
+		}
+		e.states[p] = ps
+		p.SetOnDemand(e.onDemand)
+	}
+	if cfg.Params == zero.OnNVMe && cfg.PrefetchDepth > 0 {
+		// The prefetcher's speculative reads must never hold the whole
+		// pinned pool, or a synchronous fetch would starve.
+		depth := cfg.PrefetchDepth
+		if depth > cfg.PinnedBuffers-1 {
+			depth = cfg.PinnedBuffers - 1
+		}
+		e.prefetch = newPrefetcher(e, depth)
+	}
+	return e, nil
+}
+
+// Close releases the NVMe engine and store.
+func (e *InfinityEngine) Close() {
+	if e.io != nil {
+		e.io.Close()
+	}
+	if e.store != nil {
+		e.store.Close()
+	}
+}
+
+// Model returns the wrapped model.
+func (e *InfinityEngine) Model() *model.GPT { return e.g }
+
+// Runtime returns the hook runtime.
+func (e *InfinityEngine) Runtime() *module.Runtime { return e.rt }
+
+// LossScale returns the current loss scale.
+func (e *InfinityEngine) LossScale() float64 { return e.scaler.Scale }
+
+// Stats returns cumulative engine statistics.
+func (e *InfinityEngine) Stats() Stats {
+	s := e.stats
+	if e.io != nil {
+		io := e.io.Stats()
+		s.NVMeBytesRead = io.BytesRead
+		s.NVMeBytesWritten = io.BytesWritten
+	}
+	if e.pinned != nil {
+		s.PinnedBytes = e.pinned.TotalBytes()
+		s.PinnedAcquires = e.pinned.Acquires()
+	}
+	if e.ckpt != nil {
+		s.CkptBytesOffload = e.ckpt.bytesOffloaded
+	}
+	if e.gpuAlloc != nil {
+		s.GPUPeakBytes = e.gpuAlloc.Peak()
+	}
+	return s
+}
+
+// GPUTracker and CPUTracker expose memory accounting.
+func (e *InfinityEngine) GPUTracker() *mem.Tracker { return e.gpuT }
+
+// CPUTracker exposes CPU-tier accounting.
+func (e *InfinityEngine) CPUTracker() *mem.Tracker { return e.cpuT }
+
+// shardHalf returns the rank's fp16 shard of ps, fetching from its tier.
+func (e *InfinityEngine) shardHalf(ps *pstate) []tensor.Half {
+	if e.cfg.Params != zero.OnNVMe {
+		return ps.hostShard
+	}
+	half := make([]tensor.Half, ps.shardLen)
+	if f := ps.inflight; f != nil {
+		// Prefetched: the nc-transfer already happened (or is completing).
+		if err := f.ticket.Wait(); err != nil {
+			panic(fmt.Errorf("core: prefetched read %s: %w", ps.p.Name, err))
+		}
+		tensor.HalfFromBytes(half, f.buf[:ps.region.Size])
+		e.pinned.Release(f.buf[:e.cfg.PinnedBufBytes])
+		ps.inflight = nil
+		if e.prefetch != nil {
+			e.prefetch.consumed()
+		}
+		e.stats.PrefetchHits++
+		return half
+	}
+	buf := e.pinned.Acquire()
+	if err := e.io.ReadRegion(buf[:ps.region.Size], ps.region).Wait(); err != nil {
+		panic(fmt.Errorf("core: read shard %s: %w", ps.p.Name, err))
+	}
+	tensor.HalfFromBytes(half, buf[:ps.region.Size])
+	e.pinned.Release(buf)
+	return half
+}
+
+// writeShard persists an updated fp16 shard back to its tier.
+func (e *InfinityEngine) writeShard(ps *pstate, half []tensor.Half) {
+	if e.cfg.Params != zero.OnNVMe {
+		copy(ps.hostShard, half)
+		return
+	}
+	buf := make([]byte, ps.region.Size)
+	tensor.HalfToBytes(buf, half)
+	if err := e.io.WriteRegion(buf, ps.region).Wait(); err != nil {
+		panic(fmt.Errorf("core: write shard %s: %w", ps.p.Name, err))
+	}
+}
+
+// gather materializes p from the ranks' shards (bandwidth-centric: every
+// rank fetches its own 1/dp slice over its own link, then allgather).
+func (e *InfinityEngine) gather(p *module.Param) {
+	if p.Materialized() {
+		return
+	}
+	ps := e.states[p]
+	if e.prefetch != nil {
+		e.prefetch.advanceTo(ps)
+	}
+	shard := e.shardHalf(ps)
+	dp := e.c.Size()
+	fullH := make([]tensor.Half, ps.shardLen*dp)
+	e.c.AllGatherHalf(fullH, shard)
+	if e.gpuAlloc != nil {
+		b, err := e.gpuAlloc.Alloc(p.FP16Bytes())
+		if err != nil {
+			panic(errGPUOOM{fmt.Errorf("gathering %s: %w", p.Name, err)})
+		}
+		ps.gpuBlock = b
+	}
+	e.gpuT.Add(mem.CatWorkingSet, p.FP16Bytes())
+	full := make([]float32, p.Len())
+	tensor.DecodeHalf(full, fullH[:p.Len()])
+	p.SetData(full)
+	e.stats.Gathers++
+	if e.prefetch != nil {
+		e.prefetch.record(ps)
+		e.prefetch.issue()
+	}
+}
+
+// release re-partitions p, freeing the gathered copy.
+func (e *InfinityEngine) release(p *module.Param) {
+	if !p.Materialized() {
+		return
+	}
+	ps := e.states[p]
+	if e.gpuAlloc != nil {
+		e.gpuAlloc.Release(ps.gpuBlock)
+		ps.gpuBlock = mem.Block{}
+	}
+	e.gpuT.Add(mem.CatWorkingSet, -p.FP16Bytes())
+	p.ReleaseData()
+}
+
+func (e *InfinityEngine) onDemand(p *module.Param) {
+	e.gather(p)
+	e.stats.OnDemandGathers++
+	if len(e.active) == 0 {
+		return
+	}
+	m := e.active[len(e.active)-1]
+	if e.states[p].owner == m {
+		return
+	}
+	for _, q := range e.external[m] {
+		if q == p {
+			return
+		}
+	}
+	e.external[m] = append(e.external[m], p)
+}
+
+// PreForward implements module.Hooks.
+func (e *InfinityEngine) PreForward(m module.Module) {
+	e.active = append(e.active, m)
+	for _, p := range m.Params() {
+		e.gather(p)
+	}
+	for _, p := range e.external[m] {
+		e.gather(p)
+	}
+}
+
+// PostForward implements module.Hooks.
+func (e *InfinityEngine) PostForward(m module.Module) {
+	e.active = e.active[:len(e.active)-1]
+	for _, p := range m.Params() {
+		e.release(p)
+	}
+	for _, p := range e.external[m] {
+		if !e.inScope(p) {
+			e.release(p)
+		}
+	}
+}
+
+// PreBackward implements module.Hooks.
+func (e *InfinityEngine) PreBackward(m module.Module) {
+	e.active = append(e.active, m)
+	for _, p := range m.Params() {
+		e.gather(p)
+	}
+	for _, p := range e.external[m] {
+		e.gather(p)
+	}
+}
+
+// PostBackward implements module.Hooks: reduce-scatter owned grads, then
+// re-partition.
+func (e *InfinityEngine) PostBackward(m module.Module) {
+	e.active = e.active[:len(e.active)-1]
+	dp := e.c.Size()
+	for _, p := range m.Params() {
+		if p.HasGrad() {
+			n := p.Len()
+			padded := comm.PaddedLen(n, dp)
+			gh := make([]tensor.Half, padded)
+			tensor.EncodeHalf(gh[:n], p.Grad())
+			shardH := make([]tensor.Half, padded/dp)
+			e.c.ReduceScatterHalf(shardH, gh)
+			gs := make([]float32, len(shardH))
+			tensor.DecodeHalf(gs, shardH)
+			if acc := e.states[p].gradShard; acc != nil {
+				tensor.Axpy(1, gs, acc) // micro-batch accumulation
+			} else {
+				e.states[p].gradShard = gs
+			}
+			p.ReleaseGrad()
+		}
+		e.release(p)
+	}
+	for _, p := range e.external[m] {
+		if !e.inScope(p) {
+			e.release(p)
+		}
+	}
+}
+
+func (e *InfinityEngine) inScope(p *module.Param) bool {
+	owner := e.states[p].owner
+	for _, m := range e.active {
+		if owner == m {
+			return true
+		}
+		for _, q := range e.external[m] {
+			if q == p {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Step runs one training step on this rank's batch. A GPU-memory budget
+// violation (working set exceeds Config.GPUMemory) is returned as an error
+// wrapping mem.ErrOutOfMemory or mem.ErrFragmented.
+func (e *InfinityEngine) Step(tokens, targets []int, batch int) (zero.StepResult, error) {
+	return e.StepAccum([][]int{tokens}, [][]int{targets}, batch)
+}
+
+// StepAccum runs one training step with gradient accumulation over
+// micro-batches (reduce per micro-batch, accumulate fp32 shards).
+func (e *InfinityEngine) StepAccum(microTokens, microTargets [][]int, batchPerMicro int) (res zero.StepResult, err error) {
+	if len(microTokens) == 0 || len(microTokens) != len(microTargets) {
+		panic("core: StepAccum needs matching non-empty micro-batches")
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if oom, ok := r.(errGPUOOM); ok {
+				err = oom.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	dp := e.c.Size()
+	micros := len(microTokens)
+	scaleUsed := e.scaler.Scale
+
+	var lossSum float64
+	for m := 0; m < micros; m++ {
+		if e.prefetch != nil {
+			e.prefetch.beginStep()
+		}
+		lossSum += e.g.ForwardLoss(e.rt, microTokens[m], microTargets[m], batchPerMicro)
+		e.g.BackwardLoss(e.rt, float32(scaleUsed))
+		if e.prefetch != nil {
+			e.prefetch.endStep()
+		}
+	}
+	globalLoss := e.c.AllReduceScalar(lossSum/float64(micros)) / float64(dp)
+
+	overflow := false
+	for _, p := range e.params {
+		if tensor.HasNaNOrInf(e.states[p].gradShard) {
+			overflow = true
+			break
+		}
+	}
+	if e.c.AllReduceMax(b2f(overflow)) > 0 {
+		e.scaler.Update(true)
+		for _, p := range e.params {
+			e.states[p].gradShard = nil
+		}
+		return zero.StepResult{Loss: globalLoss, Skipped: true, LossScale: e.scaler.Scale}, nil
+	}
+
+	// Unscale (and clip) before the optimizer phase so the NVMe-streamed
+	// update consumes finished gradients.
+	inv := float32(1 / (scaleUsed * float64(dp) * float64(micros)))
+	for _, p := range e.params {
+		tensor.Scale(inv, e.states[p].gradShard)
+	}
+	if e.cfg.ClipNorm > 0 {
+		var local float64
+		for _, p := range e.params {
+			local += zero.SumSq(e.states[p].gradShard)
+		}
+		if f := zero.ClipFactor(e.c.AllReduceScalar(local), e.cfg.ClipNorm); f != 1 {
+			for _, p := range e.params {
+				tensor.Scale(float32(f), e.states[p].gradShard)
+			}
+		}
+	}
+
+	e.stepCount++
+	if e.cfg.Optimizer == zero.OnNVMe {
+		if oerr := e.optimizerStepNVMe(); oerr != nil {
+			return zero.StepResult{}, oerr
+		}
+	} else {
+		for _, p := range e.params {
+			ps := e.states[p]
+			gs := ps.gradShard
+			optim.StepVec(e.cfg.Adam, e.stepCount, ps.master, gs, ps.m, ps.v)
+			half := make([]tensor.Half, ps.shardLen)
+			tensor.EncodeHalf(half, ps.master)
+			e.writeShard(ps, half)
+			ps.gradShard = nil
+		}
+	}
+	e.scaler.Update(false)
+	return zero.StepResult{Loss: globalLoss, LossScale: e.scaler.Scale}, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// LoadParams replaces the model weights — sharding each full vector and
+// writing it to the configured tier — and resets the optimizer state. Every
+// rank must call it with identical values.
+func (e *InfinityEngine) LoadParams(values map[string][]float32) error {
+	dp := e.c.Size()
+	for _, p := range e.params {
+		v, ok := values[p.Name]
+		if !ok {
+			return fmt.Errorf("core: checkpoint missing parameter %q", p.Name)
+		}
+		if len(v) != p.Len() {
+			return fmt.Errorf("core: checkpoint parameter %q has %d elems, want %d", p.Name, len(v), p.Len())
+		}
+		ps := e.states[p]
+		rounded := tensor.RoundTripHalf(append([]float32(nil), v...))
+		fs := make([]float32, ps.shardLen)
+		comm.Shard(fs, rounded, e.c.Rank(), dp)
+		half := make([]tensor.Half, ps.shardLen)
+		tensor.EncodeHalf(half, fs)
+		e.writeShard(ps, half)
+
+		if e.cfg.Optimizer == zero.OnNVMe {
+			buf := make([]byte, ps.optRegion.Size)
+			tensor.F32ToBytes(buf[:4*ps.shardLen], fs) // master; m, v zeroed
+			if werr := e.io.WriteRegion(buf, ps.optRegion).Wait(); werr != nil {
+				return fmt.Errorf("core: write optimizer state %q: %w", p.Name, werr)
+			}
+		} else {
+			copy(ps.master, fs)
+			for i := range ps.m {
+				ps.m[i] = 0
+				ps.v[i] = 0
+			}
+		}
+	}
+	e.stepCount = 0
+	return nil
+}
+
+// FullParams gathers every parameter's current fp16 values (collective).
+func (e *InfinityEngine) FullParams() map[string][]float32 {
+	dp := e.c.Size()
+	out := make(map[string][]float32, len(e.params))
+	for _, p := range e.params {
+		ps := e.states[p]
+		fullH := make([]tensor.Half, ps.shardLen*dp)
+		e.c.AllGatherHalf(fullH, e.shardHalf(ps))
+		v := make([]float32, p.Len())
+		tensor.DecodeHalf(v, fullH[:p.Len()])
+		out[p.Name] = v
+	}
+	return out
+}
+
+// ErrIsOOM reports whether err is a GPU memory-budget failure.
+func ErrIsOOM(err error) bool {
+	return errors.Is(err, mem.ErrOutOfMemory) || errors.Is(err, mem.ErrFragmented)
+}
+
+var _ module.Hooks = (*InfinityEngine)(nil)

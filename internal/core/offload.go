@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// optimizerStepNVMe streams every parameter's [master|m|v] region from NVMe
+// through pinned staging buffers, applies the Adam update on the CPU over
+// the already-unscaled gradient shards, and writes the state and the
+// refreshed fp16 shard back — the chunked, overlapped optimizer step of the
+// infinity offload engine (paper Sec. 5.2.2). Reads for parameter i+1 are
+// issued before parameter i is processed, and writes complete
+// asynchronously; the bounded pinned pool provides back-pressure.
+func (e *InfinityEngine) optimizerStepNVMe() error {
+	type slot struct {
+		ps     *pstate
+		buf    []byte
+		ticket interface{ Wait() error }
+	}
+	issueRead := func(ps *pstate) slot {
+		buf := e.pinned.Acquire()
+		t := e.io.ReadRegion(buf[:ps.optRegion.Size], ps.optRegion)
+		return slot{ps: ps, buf: buf, ticket: t}
+	}
+
+	var wg sync.WaitGroup
+	var firstErr atomic.Pointer[error]
+	setErr := func(err error) {
+		if err != nil {
+			firstErr.CompareAndSwap(nil, &err)
+		}
+	}
+
+	// Software pipeline: one read in flight ahead of the compute stage.
+	var next slot
+	havePrefetch := false
+	for i, p := range e.params {
+		cur := next
+		if !havePrefetch {
+			cur = issueRead(e.states[p])
+		}
+		if i+1 < len(e.params) {
+			next = issueRead(e.states[e.params[i+1]])
+			havePrefetch = true
+		} else {
+			havePrefetch = false
+		}
+		if err := cur.ticket.Wait(); err != nil {
+			e.pinned.Release(cur.buf)
+			return fmt.Errorf("core: optimizer read %s: %w", cur.ps.p.Name, err)
+		}
+		ps := cur.ps
+		s := ps.shardLen
+		master := make([]float32, s)
+		m := make([]float32, s)
+		v := make([]float32, s)
+		tensor.F32FromBytes(master, cur.buf[0:4*s])
+		tensor.F32FromBytes(m, cur.buf[4*s:8*s])
+		tensor.F32FromBytes(v, cur.buf[8*s:12*s])
+
+		optim.StepVec(e.cfg.Adam, e.stepCount, master, ps.gradShard, m, v)
+		ps.gradShard = nil
+
+		// Serialize the updated optimizer state back into the same pinned
+		// buffer and write asynchronously; a reaper returns the buffer to
+		// the pool when the write lands.
+		tensor.F32ToBytes(cur.buf[0:4*s], master)
+		tensor.F32ToBytes(cur.buf[4*s:8*s], m)
+		tensor.F32ToBytes(cur.buf[8*s:12*s], v)
+		wt := e.io.WriteRegion(cur.buf[:ps.optRegion.Size], ps.optRegion)
+
+		// Refresh the fp16 parameter shard on its own tier.
+		half := make([]tensor.Half, s)
+		tensor.EncodeHalf(half, master)
+		var pt interface{ Wait() error }
+		if e.cfg.Params == e.cfg.Optimizer { // both NVMe
+			pbuf := make([]byte, ps.region.Size)
+			tensor.HalfToBytes(pbuf, half)
+			pt = e.io.WriteRegion(pbuf, ps.region)
+		} else {
+			copy(ps.hostShard, half)
+		}
+
+		wg.Add(1)
+		go func(buf []byte, w, p interface{ Wait() error }) {
+			defer wg.Done()
+			setErr(w.Wait())
+			if p != nil {
+				setErr(p.Wait())
+			}
+			e.pinned.Release(buf)
+		}(cur.buf, wt, pt)
+	}
+	wg.Wait()
+	e.io.Flush()
+	if ep := firstErr.Load(); ep != nil {
+		return *ep
+	}
+	return nil
+}

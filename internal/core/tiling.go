@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/module"
+	"repro/internal/tensor"
+)
+
+// TiledLinear is memory-centric tiling (paper Sec. 5.1.3): a linear operator
+// represented as a mathematically-equivalent sequence of column tiles, each
+// a separate submodule with its own parameters. Combined with ZeRO-3's
+// fetch-and-release pattern, the working memory for the operator drops from
+// the full weight to one tile's weight, so operators of arbitrary size run
+// without model parallelism — and without needing a contiguous allocation
+// larger than a tile (the Fig. 6b scenario).
+type TiledLinear struct {
+	module.Base
+	In, Out, Tiles int
+	TileOut        int
+	tiles          []*model.Linear
+}
+
+// NewTiledLinear splits a [in, out] linear layer into tiles column tiles.
+// out must be divisible by tiles.
+func NewTiledLinear(name string, in, out, tiles int, bias bool, initStd float64) *TiledLinear {
+	if tiles <= 0 || out%tiles != 0 {
+		panic(fmt.Sprintf("core: tiles %d must divide out %d", tiles, out))
+	}
+	tl := &TiledLinear{In: in, Out: out, Tiles: tiles, TileOut: out / tiles}
+	tl.ModName = name
+	for t := 0; t < tiles; t++ {
+		l := model.NewLinear(fmt.Sprintf("%s.tile%d", name, t), in, tl.TileOut, bias, initStd)
+		tl.tiles = append(tl.tiles, l)
+		tl.Kids = append(tl.Kids, l)
+	}
+	return tl
+}
+
+// Tile returns the t-th column tile.
+func (tl *TiledLinear) Tile(t int) *model.Linear { return tl.tiles[t] }
+
+// Forward implements module.Layer: tiles execute sequentially, each fetched
+// and released through the engine hooks before the next begins.
+func (tl *TiledLinear) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
+	rows := x.Len() / tl.In
+	y := tensor.New(tensor.FP32, rows, tl.Out)
+	yd := y.Float32s()
+	for t, tile := range tl.tiles {
+		yt := rt.Forward(tile, x)
+		ytd := yt.Float32s()
+		off := t * tl.TileOut
+		for r := 0; r < rows; r++ {
+			copy(yd[r*tl.Out+off:r*tl.Out+off+tl.TileOut], ytd[r*tl.TileOut:(r+1)*tl.TileOut])
+		}
+	}
+	return y
+}
+
+// Backward implements module.Layer.
+func (tl *TiledLinear) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
+	rows := dy.Len() / tl.Out
+	dyd := dy.Float32s()
+	var dx *tensor.Tensor
+	// Reverse order mirrors autograd; addition is commutative so any order
+	// gives the same dx, but reverse matches the saved-activation LIFO.
+	for t := tl.Tiles - 1; t >= 0; t-- {
+		tile := tl.tiles[t]
+		off := t * tl.TileOut
+		dyt := tensor.New(tensor.FP32, rows, tl.TileOut)
+		dytd := dyt.Float32s()
+		for r := 0; r < rows; r++ {
+			copy(dytd[r*tl.TileOut:(r+1)*tl.TileOut], dyd[r*tl.Out+off:r*tl.Out+off+tl.TileOut])
+		}
+		dxt := rt.Backward(tile, dyt)
+		if dx == nil {
+			dx = dxt
+		} else {
+			tensor.Axpy(1, dxt.Float32s(), dx.Float32s())
+		}
+	}
+	return dx
+}
+
+// MaxParamBytes returns the largest single-parameter fp16 footprint — the
+// contiguous-allocation requirement tiling reduces by the tile factor.
+func (tl *TiledLinear) MaxParamBytes() int64 {
+	var m int64
+	for _, p := range module.AllParams(tl) {
+		if b := p.FP16Bytes(); b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// AssembleDense concatenates the tile weights into the equivalent dense
+// [in, out] weight matrix and [out] bias (for equivalence testing).
+func (tl *TiledLinear) AssembleDense() (w, b []float32) {
+	w = make([]float32, tl.In*tl.Out)
+	hasBias := tl.tiles[0].B != nil
+	if hasBias {
+		b = make([]float32, tl.Out)
+	}
+	for t, tile := range tl.tiles {
+		tw := tile.W.Data()
+		off := t * tl.TileOut
+		for i := 0; i < tl.In; i++ {
+			copy(w[i*tl.Out+off:i*tl.Out+off+tl.TileOut], tw[i*tl.TileOut:(i+1)*tl.TileOut])
+		}
+		if hasBias {
+			copy(b[off:off+tl.TileOut], tile.B.Data())
+		}
+	}
+	return w, b
+}
+
+var _ module.Layer = (*TiledLinear)(nil)

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/module"
+	"repro/internal/tensor"
+)
+
+// Tiled and dense linear must be mathematically equivalent (paper Sec.
+// 5.1.3: "a mathematically equivalent sequence of smaller linear
+// operators").
+func TestTiledLinearMatchesDense(t *testing.T) {
+	const in, out, tiles, rows = 12, 24, 4, 5
+	tl := NewTiledLinear("tl", in, out, tiles, true, 0.2)
+	for _, p := range module.AllParams(tl) {
+		p.SetData(model.InitValues(p, 3))
+	}
+	w, b := tl.AssembleDense()
+
+	rt := module.NewRuntime(nil)
+	x := tensor.New(tensor.FP32, rows, in)
+	tensor.NewRNG(4).FillNormal(x.Float32s(), 1)
+
+	yTiled := rt.Forward(tl, x)
+
+	yDense := tensor.New(tensor.FP32, rows, out)
+	tensor.MatMul(yDense.Float32s(), x.Float32s(), w, rows, in, out)
+	for r := 0; r < rows; r++ {
+		tensor.Axpy(1, b, yDense.Float32s()[r*out:(r+1)*out])
+	}
+	if d := tensor.MaxAbsDiff(yTiled, yDense); d != 0 {
+		t.Fatalf("tiled forward differs from dense by %g (should be exact)", d)
+	}
+
+	// Backward: dx matches dense dy·Wᵀ within float tolerance (summation
+	// order differs across tiles).
+	dy := tensor.New(tensor.FP32, rows, out)
+	tensor.NewRNG(5).FillNormal(dy.Float32s(), 1)
+	dxTiled := rt.Backward(tl, dy)
+	dxDense := tensor.New(tensor.FP32, rows, in)
+	tensor.MatMulTransB(dxDense.Float32s(), dy.Float32s(), w, rows, out, in)
+	if d := tensor.MaxAbsDiff(dxTiled, dxDense); d > 1e-4 {
+		t.Fatalf("tiled backward dx differs by %g", d)
+	}
+}
+
+func TestTiledLinearGradCheck(t *testing.T) {
+	const in, out, tiles, rows = 6, 8, 2, 3
+	tl := NewTiledLinear("tl", in, out, tiles, true, 0.3)
+	for _, p := range module.AllParams(tl) {
+		p.SetData(model.InitValues(p, 8))
+		p.Grad()
+		p.ZeroGrad()
+	}
+	rt := module.NewRuntime(nil)
+	x := tensor.New(tensor.FP32, rows, in)
+	tensor.NewRNG(9).FillNormal(x.Float32s(), 1)
+	r := make([]float32, rows*out)
+	tensor.NewRNG(10).FillNormal(r, 1)
+
+	rt.Forward(tl, x)
+	dx := rt.Backward(tl, tensor.FromSlice(append([]float32(nil), r...), rows, out))
+
+	const h = 1e-2
+	xd := x.Float32s()
+	for i := 0; i < len(xd); i += 4 {
+		orig := xd[i]
+		xd[i] = orig + h
+		yp := rt.Forward(tl, x)
+		rt.Backward(tl, tensor.FromSlice(append([]float32(nil), r...), rows, out))
+		xd[i] = orig - h
+		ym := rt.Forward(tl, x)
+		rt.Backward(tl, tensor.FromSlice(append([]float32(nil), r...), rows, out))
+		xd[i] = orig
+		num := (tensor.Dot(yp.Float32s(), r) - tensor.Dot(ym.Float32s(), r)) / (2 * h)
+		got := float64(dx.Float32s()[i])
+		if math.Abs(num-got) > 2e-2*(1+math.Abs(num)) {
+			t.Errorf("dx[%d]: analytic %g numeric %g", i, got, num)
+		}
+	}
+}
+
+// MaxParamBytes drops by the tile factor.
+func TestTilingReducesMaxAllocation(t *testing.T) {
+	dense := NewTiledLinear("d", 64, 256, 1, false, 0.1)
+	tiled := NewTiledLinear("t", 64, 256, 8, false, 0.1)
+	if dense.MaxParamBytes() != 64*256*2 {
+		t.Fatalf("dense max = %d", dense.MaxParamBytes())
+	}
+	if tiled.MaxParamBytes() != 64*256*2/8 {
+		t.Fatalf("tiled max = %d", tiled.MaxParamBytes())
+	}
+}
+
+// The Fig. 6b protocol, functionally: under a pre-fragmented allocator the
+// dense operator OOMs with ErrFragmented while the tiled one trains, and
+// both produce identical outputs.
+func TestFig6bFunctionalTilingUnderFragmentation(t *testing.T) {
+	const in, out, rows = 64, 256, 4
+	const chunk = 8 << 10 // 8 KiB contiguous chunks
+	denseBytes := int64(in * out * 2)
+	if denseBytes <= chunk {
+		t.Fatal("test sizing wrong: dense must exceed chunk")
+	}
+
+	x := tensor.New(tensor.FP32, rows, in)
+	tensor.NewRNG(11).FillNormal(x.Float32s(), 1)
+
+	// Dense fails.
+	alloc := mem.NewAllocator(1 << 20)
+	alloc.PreFragment(chunk)
+	hooks := NewAllocHooks(alloc, 77)
+	rt := module.NewRuntime(hooks)
+	dense := NewTiledLinear("op", in, out, 1, true, 0.2)
+	err := RunUnderBudget(func() { rt.Forward(dense, x) })
+	if err == nil {
+		t.Fatal("dense gather under fragmentation succeeded")
+	}
+	if !errors.Is(err, mem.ErrFragmented) {
+		t.Fatalf("want ErrFragmented, got %v", err)
+	}
+
+	// Tiled succeeds (per-tile fp16 footprint fits in one chunk).
+	alloc2 := mem.NewAllocator(1 << 20)
+	alloc2.PreFragment(chunk)
+	hooks2 := NewAllocHooks(alloc2, 77)
+	rt2 := module.NewRuntime(hooks2)
+	tiled := NewTiledLinear("op", in, out, 8, true, 0.2)
+	if tiled.MaxParamBytes() > chunk {
+		t.Fatal("test sizing wrong: tile must fit in chunk")
+	}
+	var yTiled *tensor.Tensor
+	err = RunUnderBudget(func() {
+		yTiled = rt2.Forward(tiled, x)
+		rt2.Backward(tiled, yTiled.Clone())
+	})
+	if err != nil {
+		t.Fatalf("tiled run failed: %v", err)
+	}
+
+	// Same values as an unbudgeted dense run with the same param names.
+	ref := NewTiledLinear("op", in, out, 8, true, 0.2)
+	for _, p := range module.AllParams(ref) {
+		p.SetData(model.InitValues(p, 77))
+	}
+	yRef := module.NewRuntime(nil).Forward(ref, x)
+	if d := tensor.MaxAbsDiff(yTiled, yRef); d != 0 {
+		t.Fatalf("budgeted tiled output differs by %g", d)
+	}
+	// Sequential fetch-and-release: peak live is at most a couple of tiles,
+	// far below the dense footprint.
+	if hooks2.PeakLive >= denseBytes {
+		t.Fatalf("peak live %d not below dense %d", hooks2.PeakLive, denseBytes)
+	}
+}
+
+func TestTiledLinearRejectsBadTileCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-dividing tile count did not panic")
+		}
+	}()
+	NewTiledLinear("x", 4, 10, 3, false, 0.1)
+}

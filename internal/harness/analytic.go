@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/mem"
+	"repro/internal/perf"
+	"repro/internal/zero"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Figure 1: max model size, 3D parallelism vs ZeRO-Infinity",
+		Claim: "ZeRO-Infinity trains 32T params on 32 DGX-2 nodes, ~50x 3D parallelism",
+		Run: func(w io.Writer) error {
+			t := newTable(w)
+			t.row("nodes", "gpus", "3D max", "ZeRO-Infinity max", "ratio")
+			for _, p := range perf.Fig1([]int{1, 4, 8, 16, 32}, 1) {
+				t.row(p.Nodes, p.Nodes*16, fmtParams(p.ThreeD), fmtParams(p.ZeROInf),
+					fmt.Sprintf("%.0fx", p.ScaleRatio))
+			}
+			t.flush()
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig2a",
+		Title: "Figure 2a: memory requirements for massive models",
+		Claim: "100B model states = 1.8TB; 10T act ckpt = 0.76TB; MSWM grows multi-GB past 100B",
+		Run: func(w io.Writer) error {
+			t := newTable(w)
+			t.row("model", "hidden", "layers", "params", "model states", "act (no ckpt)", "act ckpt", "MSWM", "AWM")
+			for _, r := range perf.Fig2a(32) {
+				t.row(r.Label, r.Shape.Hidden, r.Shape.Layers, fmtParams(r.Params),
+					mem.FormatBytes(r.ModelStates), mem.FormatBytes(r.ActFull),
+					mem.FormatBytes(r.ActCkpt), mem.FormatBytes(r.MSWM), mem.FormatBytes(r.AWM))
+			}
+			t.flush()
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig2b",
+		Title: "Figure 2b: DGX-2 memory and achievable bandwidth envelope",
+		Claim: "GPU 0.5TB/node, CPU 1.5TB, NVMe 28TB; PCIe 3.0 GB/s/GPU agg, NVMe 1.6 GB/s/GPU",
+		Run: func(w io.Writer) error {
+			c := perf.DGX2(1)
+			t := newTable(w)
+			t.row("resource", "value")
+			t.row("GPU memory / node", mem.FormatBytes(c.AggGPUMemory()))
+			t.row("CPU memory / node", mem.FormatBytes(c.CPUMemory))
+			t.row("NVMe / node", mem.FormatBytes(c.NVMeMemory))
+			t.row("GPU-GPU bw / GPU", fmt.Sprintf("%.0f GB/s", c.GPUToGPUBW/1e9))
+			t.row("PCIe single GPU", fmt.Sprintf("%.0f GB/s", c.PCIeSingleBW/1e9))
+			t.row("PCIe all-GPU share", fmt.Sprintf("%.1f GB/s/GPU", c.PerGPUPCIeBW()/1e9))
+			t.row("NVMe all-GPU share", fmt.Sprintf("%.2f GB/s/GPU", c.PerGPUNVMeBW()/1e9))
+			t.row("achievable peak", fmt.Sprintf("%.0f TFlops/GPU", c.PeakTFlopsPerGP))
+			t.flush()
+			return nil
+		},
+	})
+
+	fig3 := func(id, title, claim string, series func() []perf.Fig3Series) {
+		register(Experiment{
+			ID: id, Title: title, Claim: claim,
+			Run: func(w io.Writer) error {
+				t := newTable(w)
+				t.row("series", "bw for 50%", "bw for 90%", "eff @2GB/s", "eff @70GB/s", "eff @1.5TB/s")
+				for _, s := range series() {
+					t.row(s.Label,
+						fmt.Sprintf("%.2f GB/s", bwAt(s, 0.5)),
+						fmt.Sprintf("%.1f GB/s", bwAt(s, 0.9)),
+						fmt.Sprintf("%.0f%%", 100*effAt(s, 2)),
+						fmt.Sprintf("%.0f%%", 100*effAt(s, 70)),
+						fmt.Sprintf("%.0f%%", 100*effAt(s, 1500)))
+				}
+				t.flush()
+				return nil
+			},
+		})
+	}
+	fig3("fig3a", "Figure 3a: efficiency vs parameter/gradient bandwidth",
+		">70 GB/s gives >50% efficiency even at batch 1", perf.Fig3a)
+	fig3("fig3b", "Figure 3b: efficiency vs optimizer-state bandwidth",
+		"~4x the bandwidth of params/grads; 90% at batch 2 needs ~1.5 TB/s", perf.Fig3b)
+	fig3("fig3c", "Figure 3c: efficiency vs activation-checkpoint bandwidth",
+		"2 GB/s sustains >50% at hd 2K; <1 GB/s suffices at hd ≥ 8K", perf.Fig3c)
+
+	register(Experiment{
+		ID:    "fig6a",
+		Title: "Figure 6a: max model size per strategy on one DGX-2",
+		Claim: "1.4B (DP) → 13B (ZeRO-2/Offload) → ~20B (ZeRO-3/3D) → ~100B (Inf-CPU) → 1T (Inf-NVMe); 700x total",
+		Run: func(w io.Writer) error {
+			t := newTable(w)
+			t.row("strategy", "max params")
+			for _, r := range perf.Fig6a() {
+				t.row(r.Strategy.String(), fmtParams(r.MaxParams))
+			}
+			t.flush()
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig6b-analytic",
+		Title: "Figure 6b (analytic): max hidden size vs memory-centric tiling factor",
+		Claim: "64K hidden with tiling factor 16 under 2GB fragmentation (matches paper); untiled max 16K vs paper's 8K",
+		Run: func(w io.Writer) error {
+			t := newTable(w)
+			t.row("tiling factor", "max hidden")
+			for _, tiles := range []int64{1, 2, 4, 16, 64} {
+				t.row(tiles, perf.Fig6bMaxHidden(tiles, 2*perf.GB))
+			}
+			t.flush()
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "tab3",
+		Title: "Table 3: bandwidth needs for 10x/100x accelerators",
+		Claim: "3/30/300 GB/s slow-memory per device; 70/700/7000 GB/s device-device",
+		Run: func(w io.Writer) error {
+			t := newTable(w)
+			t.row("accelerator", "devices", "peak pflops/dev", "slow-mem GB/s/dev", "slow-mem agg TB/s", "dev-dev GB/s")
+			for _, r := range perf.Table3() {
+				t.row(r.Label, r.Devices, fmt.Sprintf("%.2f", r.PeakPFlopsPerDevice),
+					fmt.Sprintf("%.0f", r.SlowMemBWPerDevice),
+					fmt.Sprintf("%.1f", r.SlowMemAggregateTBps),
+					fmt.Sprintf("%.0f", r.GPUToGPUBW))
+			}
+			t.flush()
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "tab2",
+		Title: "Table 2: device placement and partitioning strategies",
+		Claim: "taxonomy of DP, ZeRO-2, ZeRO-Offload, 3D, ZeRO-3, Inf-CPU, Inf-NVMe",
+		Run: func(w io.Writer) error {
+			t := newTable(w)
+			t.row("name", "opt+grad devices", "opt+grad part.", "param devices", "param part.")
+			for _, s := range zero.Table2() {
+				t.row(s.Name, placements(s.OptGradDevices), s.OptGradPartition,
+					placements(s.ParamDevices), s.ParamPartition)
+			}
+			t.flush()
+			return nil
+		},
+	})
+}
+
+func placements(ps []zero.Placement) string {
+	out := ""
+	for i, p := range ps {
+		if i > 0 {
+			out += ","
+		}
+		out += p.String()
+	}
+	return "[" + out + "]"
+}
+
+func bwAt(s perf.Fig3Series, eff float64) float64 {
+	for _, p := range s.Points {
+		if p.Efficiency >= eff {
+			return p.BandwidthGBps
+		}
+	}
+	return -1
+}
+
+func effAt(s perf.Fig3Series, bwGBps float64) float64 {
+	best := 0.0
+	for _, p := range s.Points {
+		if p.BandwidthGBps <= bwGBps {
+			best = p.Efficiency
+		}
+	}
+	return best
+}

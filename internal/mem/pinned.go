@@ -1,0 +1,90 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PinnedPool models the infinity offload engine's pinned memory management
+// layer (paper Sec. 6.3): a small, fixed set of reusable pinned staging
+// buffers through which tens of terabytes of model states stream to CPU or
+// NVMe. Reuse prevents both pinned-memory oversubscription and CPU/GPU
+// fragmentation.
+//
+// Acquire blocks when all buffers are in flight, which naturally provides
+// the back-pressure that bounds in-flight I/O.
+type PinnedPool struct {
+	bufSize int
+	ch      chan []byte
+
+	mu       sync.Mutex
+	total    int // buffers ever created
+	acquires int64
+}
+
+// NewPinnedPool creates a pool of count pinned buffers of bufSize bytes each.
+func NewPinnedPool(count, bufSize int) *PinnedPool {
+	if count <= 0 || bufSize <= 0 {
+		panic("mem: pinned pool needs positive count and size")
+	}
+	p := &PinnedPool{bufSize: bufSize, ch: make(chan []byte, count)}
+	for i := 0; i < count; i++ {
+		p.ch <- make([]byte, bufSize)
+	}
+	p.total = count
+	return p
+}
+
+// BufSize returns the size of each pinned buffer.
+func (p *PinnedPool) BufSize() int { return p.bufSize }
+
+// TotalBytes returns the total pinned memory held by the pool — constant for
+// the pool's lifetime, which is the property the paper's design depends on.
+func (p *PinnedPool) TotalBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int64(p.total) * int64(p.bufSize)
+}
+
+// Acquires returns the number of Acquire calls served; with a small pool and
+// a large workload this far exceeds the buffer count, evidencing reuse.
+func (p *PinnedPool) Acquires() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.acquires
+}
+
+// Acquire returns a pinned buffer, blocking until one is free.
+func (p *PinnedPool) Acquire() []byte {
+	b := <-p.ch
+	p.mu.Lock()
+	p.acquires++
+	p.mu.Unlock()
+	return b
+}
+
+// TryAcquire returns a pinned buffer or false without blocking.
+func (p *PinnedPool) TryAcquire() ([]byte, bool) {
+	select {
+	case b := <-p.ch:
+		p.mu.Lock()
+		p.acquires++
+		p.mu.Unlock()
+		return b, true
+	default:
+		return nil, false
+	}
+}
+
+// Release returns a buffer to the pool. It panics if the buffer does not
+// have the pool's buffer size (catching use-after-resize bugs).
+func (p *PinnedPool) Release(b []byte) {
+	if len(b) != p.bufSize {
+		panic(fmt.Sprintf("mem: released buffer size %d != pool size %d", len(b), p.bufSize))
+	}
+	select {
+	case p.ch <- b:
+	default:
+		panic("mem: pinned pool overflow (double release?)")
+	}
+}

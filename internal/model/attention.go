@@ -1,0 +1,170 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/module"
+	"repro/internal/tensor"
+)
+
+// Attention is causal multi-head self-attention: QKV projection, per-head
+// scaled dot-product attention with a causal mask, and an output projection.
+// The two projections are child Linear layers so engine hooks fire at the
+// same granularity DeepSpeed's submodule hooks do.
+type Attention struct {
+	module.Base
+	Hidden, Heads, Seq int
+
+	QKV  *Linear // [H, 3H]
+	Proj *Linear // [H, H]
+
+	saved []attnSaved
+}
+
+type attnSaved struct {
+	qkv   *tensor.Tensor // [B*S, 3H]
+	probs []float32      // [B, heads, S, S] post-softmax attention weights
+	batch int
+}
+
+// NewAttention constructs the attention submodule.
+func NewAttention(name string, hidden, heads, seq int, initStd float64) *Attention {
+	a := &Attention{Hidden: hidden, Heads: heads, Seq: seq}
+	a.ModName = name
+	a.QKV = NewLinear(name+".qkv", hidden, 3*hidden, true, initStd)
+	a.Proj = NewLinear(name+".proj", hidden, hidden, true, initStd)
+	a.Kids = []module.Module{a.QKV, a.Proj}
+	return a
+}
+
+// Forward implements module.Layer. x is [B*S, H].
+func (a *Attention) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
+	rows := rowsOf(x, a.Hidden)
+	if rows%a.Seq != 0 {
+		panic("model: attention rows not divisible by seq")
+	}
+	b := rows / a.Seq
+	qkv := rt.Forward(a.QKV, x)
+
+	dh := a.Hidden / a.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	probs := make([]float32, b*a.Heads*a.Seq*a.Seq)
+	ctx := tensor.New(tensor.FP32, rows, a.Hidden)
+
+	qkvd, ctxd := qkv.Float32s(), ctx.Float32s()
+	scores := make([]float32, a.Seq*a.Seq)
+	for bi := 0; bi < b; bi++ {
+		for h := 0; h < a.Heads; h++ {
+			qOff, kOff, vOff := h*dh, a.Hidden+h*dh, 2*a.Hidden+h*dh
+			// scores[s,t] = scale * q_s · k_t for t <= s, -inf otherwise.
+			for s := 0; s < a.Seq; s++ {
+				qRow := qkvd[(bi*a.Seq+s)*3*a.Hidden+qOff:]
+				for t := 0; t < a.Seq; t++ {
+					if t > s {
+						scores[s*a.Seq+t] = float32(math.Inf(-1))
+						continue
+					}
+					kRow := qkvd[(bi*a.Seq+t)*3*a.Hidden+kOff:]
+					var acc float32
+					for d := 0; d < dh; d++ {
+						acc += qRow[d] * kRow[d]
+					}
+					scores[s*a.Seq+t] = acc * scale
+				}
+			}
+			tensor.SoftmaxRows(scores, a.Seq, a.Seq)
+			copy(probs[((bi*a.Heads+h)*a.Seq)*a.Seq:], scores)
+			// ctx_s = Σ_t probs[s,t] * v_t
+			for s := 0; s < a.Seq; s++ {
+				out := ctxd[(bi*a.Seq+s)*a.Hidden+h*dh:]
+				for d := 0; d < dh; d++ {
+					out[d] = 0
+				}
+				for t := 0; t <= s; t++ {
+					p := scores[s*a.Seq+t]
+					if p == 0 {
+						continue
+					}
+					vRow := qkvd[(bi*a.Seq+t)*3*a.Hidden+vOff:]
+					for d := 0; d < dh; d++ {
+						out[d] += p * vRow[d]
+					}
+				}
+			}
+		}
+	}
+	if rt.SaveActivations() {
+		a.saved = append(a.saved, attnSaved{qkv: qkv, probs: probs, batch: b})
+	}
+	return rt.Forward(a.Proj, ctx)
+}
+
+// Backward implements module.Layer.
+func (a *Attention) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
+	dctx := rt.Backward(a.Proj, dy)
+	if len(a.saved) == 0 {
+		panic("model: Attention.Backward without saved forward state")
+	}
+	s := a.saved[len(a.saved)-1]
+	a.saved = a.saved[:len(a.saved)-1]
+
+	b := s.batch
+	rows := b * a.Seq
+	dh := a.Hidden / a.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	dqkv := tensor.New(tensor.FP32, rows, 3*a.Hidden)
+	qkvd, dqkvd, dctxd := s.qkv.Float32s(), dqkv.Float32s(), dctx.Float32s()
+
+	dprobs := make([]float32, a.Seq*a.Seq)
+	dscores := make([]float32, a.Seq*a.Seq)
+	for bi := 0; bi < b; bi++ {
+		for h := 0; h < a.Heads; h++ {
+			qOff, kOff, vOff := h*dh, a.Hidden+h*dh, 2*a.Hidden+h*dh
+			probs := s.probs[((bi*a.Heads+h)*a.Seq)*a.Seq : ((bi*a.Heads+h)*a.Seq+a.Seq)*a.Seq]
+			// dprobs[s,t] = dctx_s · v_t ;  dv_t += Σ_s probs[s,t] * dctx_s
+			for si := 0; si < a.Seq; si++ {
+				dout := dctxd[(bi*a.Seq+si)*a.Hidden+h*dh:]
+				for t := 0; t < a.Seq; t++ {
+					if t > si {
+						dprobs[si*a.Seq+t] = 0
+						continue
+					}
+					vRow := qkvd[(bi*a.Seq+t)*3*a.Hidden+vOff:]
+					var acc float32
+					for d := 0; d < dh; d++ {
+						acc += dout[d] * vRow[d]
+					}
+					dprobs[si*a.Seq+t] = acc
+					p := probs[si*a.Seq+t]
+					if p != 0 {
+						dvRow := dqkvd[(bi*a.Seq+t)*3*a.Hidden+vOff:]
+						for d := 0; d < dh; d++ {
+							dvRow[d] += p * dout[d]
+						}
+					}
+				}
+			}
+			tensor.SoftmaxRowsBackward(dscores, dprobs, probs, a.Seq, a.Seq)
+			// dq_s += scale * Σ_t dscores[s,t] k_t ; dk_t += scale * Σ_s dscores[s,t] q_s
+			for si := 0; si < a.Seq; si++ {
+				dqRow := dqkvd[(bi*a.Seq+si)*3*a.Hidden+qOff:]
+				qRow := qkvd[(bi*a.Seq+si)*3*a.Hidden+qOff:]
+				for t := 0; t <= si; t++ {
+					ds := dscores[si*a.Seq+t] * scale
+					if ds == 0 {
+						continue
+					}
+					kRow := qkvd[(bi*a.Seq+t)*3*a.Hidden+kOff:]
+					dkRow := dqkvd[(bi*a.Seq+t)*3*a.Hidden+kOff:]
+					for d := 0; d < dh; d++ {
+						dqRow[d] += ds * kRow[d]
+						dkRow[d] += ds * qRow[d]
+					}
+				}
+			}
+		}
+	}
+	return rt.Backward(a.QKV, dqkv)
+}
+
+var _ module.Layer = (*Attention)(nil)

@@ -1,0 +1,161 @@
+package model
+
+import (
+	"repro/internal/module"
+	"repro/internal/tensor"
+)
+
+// Gelu is the parameter-free activation layer between the MLP projections.
+type Gelu struct {
+	module.Base
+	saved []*tensor.Tensor
+}
+
+// NewGelu constructs the activation layer.
+func NewGelu(name string) *Gelu {
+	g := &Gelu{}
+	g.ModName = name
+	return g
+}
+
+// Forward implements module.Layer.
+func (g *Gelu) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
+	y := tensor.New(tensor.FP32, x.Shape()...)
+	tensor.Gelu(y.Float32s(), x.Float32s())
+	if rt.SaveActivations() {
+		g.saved = append(g.saved, x)
+	}
+	return y
+}
+
+// Backward implements module.Layer.
+func (g *Gelu) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
+	if len(g.saved) == 0 {
+		panic("model: Gelu.Backward without saved input")
+	}
+	x := g.saved[len(g.saved)-1]
+	g.saved = g.saved[:len(g.saved)-1]
+	dx := tensor.New(tensor.FP32, x.Shape()...)
+	tensor.GeluBackward(dx.Float32s(), dy.Float32s(), x.Float32s())
+	return dx
+}
+
+// Block is one pre-LayerNorm Transformer block:
+//
+//	x = x + Attn(LN1(x));  x = x + FC2(gelu(FC1(LN2(x))))
+//
+// With checkpointing enabled, the main forward keeps only the block input;
+// Backward re-runs the forward (with activation saving on) before
+// backpropagating — the paper's activation-checkpointing recipe, including
+// the extra parameter gathers during recomputation.
+type Block struct {
+	module.Base
+	Checkpoint bool
+
+	LN1  *LayerNorm
+	Attn *Attention
+	LN2  *LayerNorm
+	FC1  *Linear
+	Act  *Gelu
+	FC2  *Linear
+
+	savedInputs []ckptRef // checkpoint: block inputs only
+}
+
+// ckptRef is either an in-memory tensor or a handle into the runtime's
+// checkpoint-offload store.
+type ckptRef struct {
+	t      *tensor.Tensor
+	handle int
+	stored bool
+}
+
+// NewBlock constructs block index i of a model with the given config.
+func NewBlock(name string, cfg Config, initStd float64) *Block {
+	b := &Block{Checkpoint: cfg.CheckpointActivations}
+	b.ModName = name
+	b.LN1 = NewLayerNorm(name+".ln1", cfg.Hidden)
+	b.Attn = NewAttention(name+".attn", cfg.Hidden, cfg.Heads, cfg.Seq, initStd)
+	b.LN2 = NewLayerNorm(name+".ln2", cfg.Hidden)
+	b.FC1 = NewLinear(name+".fc1", cfg.Hidden, 4*cfg.Hidden, true, initStd)
+	b.Act = NewGelu(name + ".gelu")
+	b.FC2 = NewLinear(name+".fc2", 4*cfg.Hidden, cfg.Hidden, true, initStd)
+	b.Kids = []module.Module{b.LN1, b.Attn, b.LN2, b.FC1, b.Act, b.FC2}
+	return b
+}
+
+func (b *Block) forwardInner(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
+	h := rt.Forward(b.LN1, x)
+	h = rt.Forward(b.Attn, h)
+	res1 := tensor.New(tensor.FP32, x.Shape()...)
+	tensor.Add(res1.Float32s(), x.Float32s(), h.Float32s())
+
+	h = rt.Forward(b.LN2, res1)
+	h = rt.Forward(b.FC1, h)
+	h = rt.Forward(b.Act, h)
+	h = rt.Forward(b.FC2, h)
+	out := tensor.New(tensor.FP32, res1.Shape()...)
+	tensor.Add(out.Float32s(), res1.Float32s(), h.Float32s())
+	return out
+}
+
+func (b *Block) backwardInner(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
+	// out = res1 + FC2(gelu(FC1(LN2(res1))))
+	d := rt.Backward(b.FC2, dy)
+	d = rt.Backward(b.Act, d)
+	d = rt.Backward(b.FC1, d)
+	d = rt.Backward(b.LN2, d)
+	dres1 := tensor.New(tensor.FP32, dy.Shape()...)
+	tensor.Add(dres1.Float32s(), dy.Float32s(), d.Float32s())
+
+	// res1 = x + Attn(LN1(x))
+	d = rt.Backward(b.Attn, dres1)
+	d = rt.Backward(b.LN1, d)
+	dx := tensor.New(tensor.FP32, dy.Shape()...)
+	tensor.Add(dx.Float32s(), dres1.Float32s(), d.Float32s())
+	return dx
+}
+
+// Forward implements module.Layer.
+func (b *Block) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
+	if !b.Checkpoint {
+		return b.forwardInner(rt, x)
+	}
+	// Checkpointed: run without saving activations, keep only the input.
+	prev := rt.SetSaveActivations(false)
+	y := b.forwardInner(rt, x)
+	rt.SetSaveActivations(prev)
+	if prev {
+		if h, off := rt.PutCheckpoint(x); off {
+			b.savedInputs = append(b.savedInputs, ckptRef{handle: h, stored: true})
+		} else {
+			b.savedInputs = append(b.savedInputs, ckptRef{t: x})
+		}
+	}
+	return y
+}
+
+// Backward implements module.Layer.
+func (b *Block) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
+	if !b.Checkpoint {
+		return b.backwardInner(rt, dy)
+	}
+	if len(b.savedInputs) == 0 {
+		panic("model: checkpointed Block.Backward without saved input")
+	}
+	ref := b.savedInputs[len(b.savedInputs)-1]
+	b.savedInputs = b.savedInputs[:len(b.savedInputs)-1]
+	x := ref.t
+	if ref.stored {
+		x = rt.GetCheckpoint(ref.handle)
+	}
+	// Recompute with saving enabled (extra parameter loads happen through
+	// the same hooks as a normal forward), then backpropagate.
+	b.forwardInner(rt, x)
+	return b.backwardInner(rt, dy)
+}
+
+var (
+	_ module.Layer = (*Gelu)(nil)
+	_ module.Layer = (*Block)(nil)
+)

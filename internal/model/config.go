@@ -1,0 +1,78 @@
+// Package model implements a GPT-like Transformer with real forward AND
+// backward passes (hand-written autograd), activation checkpointing, tied
+// input/output embeddings (the paper's canonical "external parameter"), and
+// the paper's Sec. 3 parameter-count formula. It is the workload every
+// training engine in this reproduction runs.
+//
+// Numerics follow mixed-precision training: parameters hold
+// fp16-representable values (engines store them as binary16), activations
+// and gradients are computed in float32 (the fp32-accumulate behaviour of
+// tensor cores).
+package model
+
+import "fmt"
+
+// Config describes a GPT-like Transformer.
+type Config struct {
+	Vocab  int // vocabulary size (0 disables the embedding/LM head: hidden-state in/out)
+	Hidden int // hidden dimension (hd)
+	Layers int // number of Transformer blocks (nl)
+	Heads  int // attention heads; must divide Hidden
+	Seq    int // sequence length
+
+	// CheckpointActivations enables per-block activation checkpointing
+	// (store only block inputs; recompute inside blocks during backward).
+	CheckpointActivations bool
+}
+
+// Validate checks structural constraints.
+func (c Config) Validate() error {
+	if c.Hidden <= 0 || c.Layers <= 0 || c.Seq <= 0 {
+		return fmt.Errorf("model: hidden, layers, seq must be positive, got %+v", c)
+	}
+	if c.Heads <= 0 || c.Hidden%c.Heads != 0 {
+		return fmt.Errorf("model: heads %d must divide hidden %d", c.Heads, c.Hidden)
+	}
+	if c.Vocab < 0 {
+		return fmt.Errorf("model: negative vocab %d", c.Vocab)
+	}
+	return nil
+}
+
+// HeadDim returns Hidden/Heads.
+func (c Config) HeadDim() int { return c.Hidden / c.Heads }
+
+// PaperParamCount evaluates the paper's Eq. (1): params ≈ 12 · nl · hd².
+// This is the closed form used by all paper-scale analyses.
+func (c Config) PaperParamCount() int64 {
+	return 12 * int64(c.Layers) * int64(c.Hidden) * int64(c.Hidden)
+}
+
+// ExactParamCount returns the true parameter count of the concrete model
+// this package builds (QKV + proj + MLP + LayerNorms + embeddings). For
+// large hd it converges to Eq. (1) since the 12·hd² terms dominate.
+func (c Config) ExactParamCount() int64 {
+	hd := int64(c.Hidden)
+	perBlock := (hd*3*hd + 3*hd) + // QKV
+		(hd*hd + hd) + // attention out projection
+		(hd*4*hd + 4*hd) + // MLP fc1
+		(4*hd*hd + hd) + // MLP fc2
+		4*hd // two LayerNorms (gain+bias each)
+	n := int64(c.Layers)*perBlock + 2*hd // final LayerNorm
+	if c.Vocab > 0 {
+		n += int64(c.Vocab)*hd + int64(c.Seq)*hd // tied token embedding + positions
+	}
+	return n
+}
+
+// GPT3Like returns a configuration matching the paper's experiment tables:
+// hidden dim and layer count chosen so that Eq. (1) yields roughly the
+// requested parameter count (see paper Table 1).
+func GPT3Like(hidden, layers int) Config {
+	return Config{Vocab: 0, Hidden: hidden, Layers: layers, Heads: 16, Seq: 1024}
+}
+
+// TinyTest returns a small config suitable for unit tests.
+func TinyTest() Config {
+	return Config{Vocab: 32, Hidden: 16, Layers: 2, Heads: 2, Seq: 6}
+}

@@ -1,0 +1,125 @@
+package model
+
+import (
+	"repro/internal/module"
+	"repro/internal/tensor"
+)
+
+// Embedding maps token ids to hidden vectors and adds learned positional
+// embeddings. Its token table is shared with the output head (weight tying),
+// making it the paper's canonical *external parameter*: a parameter defined
+// in one submodule and consumed by another (Sec. 7.1.1).
+type Embedding struct {
+	module.Base
+	Vocab, Hidden, Seq int
+	Tok                *module.Param // [Vocab, Hidden]
+	Pos                *module.Param // [Seq, Hidden]
+
+	saved [][]int // token batches for backward
+}
+
+// NewEmbedding constructs the embedding module.
+func NewEmbedding(name string, vocab, hidden, seq int, initStd float64) *Embedding {
+	e := &Embedding{Vocab: vocab, Hidden: hidden, Seq: seq}
+	e.ModName = name
+	e.Tok = module.NewParam(name+".tok", initStd, vocab, hidden)
+	e.Pos = module.NewParam(name+".pos", initStd, seq, hidden)
+	e.OwnParams = []*module.Param{e.Tok, e.Pos}
+	return e
+}
+
+// ForwardTokens embeds tokens (length batch*Seq) into a [batch*Seq, Hidden]
+// tensor. Hooks fire as for any module.
+func (e *Embedding) ForwardTokens(rt *module.Runtime, tokens []int, batch int) *tensor.Tensor {
+	if len(tokens) != batch*e.Seq {
+		panic("model: token count != batch*seq")
+	}
+	var out *tensor.Tensor
+	rt.WithForward(e, func() {
+		out = tensor.New(tensor.FP32, batch*e.Seq, e.Hidden)
+		tok, pos := e.Tok.Data(), e.Pos.Data()
+		od := out.Float32s()
+		for i, t := range tokens {
+			if t < 0 || t >= e.Vocab {
+				panic("model: token id out of range")
+			}
+			s := i % e.Seq
+			row := od[i*e.Hidden : (i+1)*e.Hidden]
+			copy(row, tok[t*e.Hidden:(t+1)*e.Hidden])
+			tensor.Axpy(1, pos[s*e.Hidden:(s+1)*e.Hidden], row)
+		}
+		if rt.SaveActivations() {
+			e.saved = append(e.saved, tokens)
+		}
+	})
+	return out
+}
+
+// BackwardTokens scatter-adds dH into the token and positional tables.
+func (e *Embedding) BackwardTokens(rt *module.Runtime, dh *tensor.Tensor) {
+	rt.WithBackward(e, func() {
+		if len(e.saved) == 0 {
+			panic("model: Embedding.BackwardTokens without saved tokens")
+		}
+		tokens := e.saved[len(e.saved)-1]
+		e.saved = e.saved[:len(e.saved)-1]
+		dtok, dpos := e.Tok.Grad(), e.Pos.Grad()
+		dhd := dh.Float32s()
+		for i, t := range tokens {
+			s := i % e.Seq
+			row := dhd[i*e.Hidden : (i+1)*e.Hidden]
+			tensor.Axpy(1, row, dtok[t*e.Hidden:(t+1)*e.Hidden])
+			tensor.Axpy(1, row, dpos[s*e.Hidden:(s+1)*e.Hidden])
+		}
+	})
+}
+
+// TiedHead projects hidden states onto the vocabulary with the *transpose*
+// of the embedding's token table: logits = H·Eᵀ. It owns no parameters —
+// the token table is an external parameter accessed through Param.Data(),
+// which triggers the engine's on-demand gather when partitioned.
+type TiedHead struct {
+	module.Base
+	Emb *Embedding
+
+	saved []*tensor.Tensor
+}
+
+// NewTiedHead constructs the head sharing emb's token table.
+func NewTiedHead(name string, emb *Embedding) *TiedHead {
+	h := &TiedHead{Emb: emb}
+	h.ModName = name
+	return h
+}
+
+// Forward implements module.Layer: x [rows, Hidden] -> logits [rows, Vocab].
+func (h *TiedHead) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
+	rows := rowsOf(x, h.Emb.Hidden)
+	logits := tensor.New(tensor.FP32, rows, h.Emb.Vocab)
+	// External-parameter access: h owns no params, so h.Emb.Tok may be
+	// partitioned away right now; Data() performs the blocking gather.
+	e := h.Emb.Tok.Data()
+	tensor.MatMulTransB(logits.Float32s(), x.Float32s(), e, rows, h.Emb.Hidden, h.Emb.Vocab)
+	if rt.SaveActivations() {
+		h.saved = append(h.saved, x)
+	}
+	return logits
+}
+
+// Backward implements module.Layer: accumulates dE += dlogitsᵀ·x and
+// returns dx = dlogits·E.
+func (h *TiedHead) Backward(rt *module.Runtime, dlogits *tensor.Tensor) *tensor.Tensor {
+	if len(h.saved) == 0 {
+		panic("model: TiedHead.Backward without saved input")
+	}
+	x := h.saved[len(h.saved)-1]
+	h.saved = h.saved[:len(h.saved)-1]
+	rows := rowsOf(x, h.Emb.Hidden)
+	// dE[v, :] += Σ_r dlogits[r, v] * x[r, :]
+	tensor.MatMulTransA(h.Emb.Tok.Grad(), dlogits.Float32s(), x.Float32s(), h.Emb.Vocab, rows, h.Emb.Hidden)
+	dx := tensor.New(tensor.FP32, rows, h.Emb.Hidden)
+	tensor.MatMul(dx.Float32s(), dlogits.Float32s(), h.Emb.Tok.Data(), rows, h.Emb.Vocab, h.Emb.Hidden)
+	return dx
+}
+
+var _ module.Layer = (*TiedHead)(nil)

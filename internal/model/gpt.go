@@ -1,0 +1,180 @@
+package model
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/module"
+	"repro/internal/tensor"
+)
+
+// GPT is the full model: embedding, nl Transformer blocks, a final
+// LayerNorm, and a tied LM head. With Vocab == 0 the embedding/head are
+// omitted and the model maps hidden states to hidden states (used by perf
+// experiments that only need the block stack).
+type GPT struct {
+	module.Base
+	Cfg Config
+
+	Embed  *Embedding
+	Blocks []*Block
+	LNF    *LayerNorm
+	Head   *TiedHead
+
+	dlogits *tensor.Tensor // loss gradient stash between ForwardLoss and BackwardLoss
+}
+
+// NewGPT builds the model tree (parameters are declared, not yet
+// initialized — engines own initialization and placement).
+func NewGPT(cfg Config) (*GPT, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GPT{Cfg: cfg}
+	g.ModName = "gpt"
+	initStd := 0.02
+	if cfg.Vocab > 0 {
+		g.Embed = NewEmbedding("embed", cfg.Vocab, cfg.Hidden, cfg.Seq, initStd)
+		g.Kids = append(g.Kids, g.Embed)
+	}
+	for i := 0; i < cfg.Layers; i++ {
+		b := NewBlock(fmt.Sprintf("block%d", i), cfg, initStd)
+		g.Blocks = append(g.Blocks, b)
+		g.Kids = append(g.Kids, b)
+	}
+	g.LNF = NewLayerNorm("lnf", cfg.Hidden)
+	g.Kids = append(g.Kids, g.LNF)
+	if cfg.Vocab > 0 {
+		g.Head = NewTiedHead("head", g.Embed)
+		g.Kids = append(g.Kids, g.Head)
+	}
+	return g, nil
+}
+
+// MustGPT is NewGPT that panics on config errors; for tests and examples.
+func MustGPT(cfg Config) *GPT {
+	g, err := NewGPT(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Forward runs the block stack (and final LayerNorm) on hidden states.
+// Valid in both token and hidden-state mode.
+func (g *GPT) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
+	h := x
+	for _, b := range g.Blocks {
+		h = rt.Forward(b, h)
+	}
+	return rt.Forward(g.LNF, h)
+}
+
+// Backward backpropagates through the final LayerNorm and block stack.
+func (g *GPT) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
+	d := rt.Backward(g.LNF, dy)
+	for i := len(g.Blocks) - 1; i >= 0; i-- {
+		d = rt.Backward(g.Blocks[i], d)
+	}
+	return d
+}
+
+// ForwardLoss embeds tokens, runs the stack and tied head, and returns the
+// mean cross-entropy loss against targets. tokens and targets have length
+// batch*Seq. The loss gradient is stashed for BackwardLoss.
+func (g *GPT) ForwardLoss(rt *module.Runtime, tokens, targets []int, batch int) float64 {
+	if g.Cfg.Vocab == 0 {
+		panic("model: ForwardLoss requires Vocab > 0")
+	}
+	h := g.Embed.ForwardTokens(rt, tokens, batch)
+	h = g.Forward(rt, h)
+	logits := rt.Forward(g.Head, h)
+	loss, dlogits := CrossEntropy(logits, targets)
+	g.dlogits = dlogits
+	return loss
+}
+
+// BackwardLoss backpropagates the stashed loss gradient scaled by scale
+// (loss-scaling hook for mixed precision), accumulating parameter grads.
+func (g *GPT) BackwardLoss(rt *module.Runtime, scale float32) {
+	if g.dlogits == nil {
+		panic("model: BackwardLoss before ForwardLoss")
+	}
+	d := g.dlogits
+	g.dlogits = nil
+	if scale != 1 {
+		tensor.Scale(scale, d.Float32s())
+	}
+	dh := rt.Backward(g.Head, d)
+	dh = g.Backward(rt, dh)
+	g.Embed.BackwardTokens(rt, dh)
+}
+
+// CrossEntropy returns the mean negative log-likelihood of targets under
+// row-wise softmax of logits, and dloss/dlogits (already divided by the row
+// count).
+func CrossEntropy(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor) {
+	shape := logits.Shape()
+	rows, vocab := shape[0], shape[1]
+	if len(targets) != rows {
+		panic("model: CrossEntropy target count mismatch")
+	}
+	probs := logits.Clone()
+	tensor.SoftmaxRows(probs.Float32s(), rows, vocab)
+	pd := probs.Float32s()
+	var loss float64
+	inv := float32(1) / float32(rows)
+	for r, tgt := range targets {
+		if tgt < 0 || tgt >= vocab {
+			panic("model: CrossEntropy target out of range")
+		}
+		p := pd[r*vocab+tgt]
+		loss += -math.Log(math.Max(float64(p), 1e-30))
+		// dlogits = (softmax - onehot)/rows, written in place over probs.
+		row := pd[r*vocab : (r+1)*vocab]
+		for j := range row {
+			row[j] *= inv
+		}
+		row[tgt] -= inv
+	}
+	return loss / float64(rows), probs
+}
+
+// InitValues deterministically generates the initial full value vector for
+// p: N(0, InitStd²) (or ones/zeros), rounded through fp16 so the generated
+// values are exactly representable in the parameters' storage precision.
+// The stream is keyed by (seed, p.Name), so it is identical on every rank
+// and in every engine regardless of initialization order — the property the
+// engine-equivalence tests depend on.
+func InitValues(p *module.Param, seed uint64) []float32 {
+	v := make([]float32, p.Len())
+	switch {
+	case p.InitOnes:
+		for i := range v {
+			v[i] = 1
+		}
+	case p.InitStd == 0:
+		// zeros
+	default:
+		h := fnv.New64a()
+		h.Write([]byte(p.Name))
+		rng := tensor.NewRNG(seed ^ h.Sum64())
+		rng.FillNormal(v, p.InitStd)
+	}
+	return tensor.RoundTripHalf(v)
+}
+
+// SyntheticBatch produces a deterministic toy language-modelling batch:
+// next-token prediction over a linear-congruential token stream.
+func SyntheticBatch(rng *tensor.RNG, cfg Config, batch int) (tokens, targets []int) {
+	n := batch * cfg.Seq
+	tokens = make([]int, n)
+	targets = make([]int, n)
+	for i := range tokens {
+		tokens[i] = rng.Intn(cfg.Vocab)
+		// Target: a deterministic function of the token, learnable quickly.
+		targets[i] = (tokens[i]*3 + 1) % cfg.Vocab
+	}
+	return tokens, targets
+}

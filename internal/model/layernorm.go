@@ -1,0 +1,106 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/module"
+	"repro/internal/tensor"
+)
+
+// LayerNorm normalizes each row of the trailing dimension D:
+// y = gain ⊙ (x-μ)/√(σ²+ε) + bias.
+type LayerNorm struct {
+	module.Base
+	D    int
+	Gain *module.Param // [D], init ones
+	Bias *module.Param // [D], init zeros
+	Eps  float64
+
+	saved []lnSaved
+}
+
+type lnSaved struct {
+	x      *tensor.Tensor
+	invStd []float32 // per row
+	mean   []float32 // per row
+}
+
+// NewLayerNorm constructs a LayerNorm over dimension d.
+func NewLayerNorm(name string, d int) *LayerNorm {
+	l := &LayerNorm{D: d, Eps: 1e-5}
+	l.ModName = name
+	l.Gain = module.NewParam(name+".g", 0, d)
+	l.Gain.InitOnes = true
+	l.Bias = module.NewParam(name+".b", 0, d)
+	l.OwnParams = []*module.Param{l.Gain, l.Bias}
+	return l
+}
+
+// Forward implements module.Layer.
+func (l *LayerNorm) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
+	rows := rowsOf(x, l.D)
+	y := tensor.New(tensor.FP32, rows, l.D)
+	g, b := l.Gain.Data(), l.Bias.Data()
+	xd, yd := x.Float32s(), y.Float32s()
+	invStd := make([]float32, rows)
+	mean := make([]float32, rows)
+	for r := 0; r < rows; r++ {
+		row := xd[r*l.D : (r+1)*l.D]
+		mu := float32(tensor.Sum(row) / float64(l.D))
+		var varAcc float64
+		for _, v := range row {
+			d := float64(v - mu)
+			varAcc += d * d
+		}
+		is := float32(1 / math.Sqrt(varAcc/float64(l.D)+l.Eps))
+		mean[r], invStd[r] = mu, is
+		out := yd[r*l.D : (r+1)*l.D]
+		for j, v := range row {
+			out[j] = g[j]*(v-mu)*is + b[j]
+		}
+	}
+	if rt.SaveActivations() {
+		l.saved = append(l.saved, lnSaved{x: x, invStd: invStd, mean: mean})
+	}
+	return y
+}
+
+// Backward implements module.Layer.
+func (l *LayerNorm) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
+	if len(l.saved) == 0 {
+		panic("model: LayerNorm.Backward without saved forward state")
+	}
+	s := l.saved[len(l.saved)-1]
+	l.saved = l.saved[:len(l.saved)-1]
+
+	rows := rowsOf(s.x, l.D)
+	dx := tensor.New(tensor.FP32, rows, l.D)
+	g := l.Gain.Data()
+	dg, db := l.Gain.Grad(), l.Bias.Grad()
+	xd, dyd, dxd := s.x.Float32s(), dy.Float32s(), dx.Float32s()
+	nf := float64(l.D)
+	for r := 0; r < rows; r++ {
+		xr := xd[r*l.D : (r+1)*l.D]
+		dyr := dyd[r*l.D : (r+1)*l.D]
+		dxr := dxd[r*l.D : (r+1)*l.D]
+		mu, is := s.mean[r], s.invStd[r]
+		// xhat_j = (x_j - mu) * is; dxhat_j = dy_j * g_j
+		var sumDxhat, sumDxhatXhat float64
+		for j := range dyr {
+			xhat := (xr[j] - mu) * is
+			dxhat := dyr[j] * g[j]
+			sumDxhat += float64(dxhat)
+			sumDxhatXhat += float64(dxhat) * float64(xhat)
+			dg[j] += dyr[j] * xhat
+			db[j] += dyr[j]
+		}
+		for j := range dxr {
+			xhat := float64((xr[j] - mu) * is)
+			dxhat := float64(dyr[j] * g[j])
+			dxr[j] = float32(float64(is) * (dxhat - sumDxhat/nf - xhat*sumDxhatXhat/nf))
+		}
+	}
+	return dx
+}
+
+var _ module.Layer = (*LayerNorm)(nil)

@@ -1,0 +1,89 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/module"
+	"repro/internal/tensor"
+)
+
+// Linear is a fully-connected layer y = x·W + b over the trailing dimension.
+// x is treated as a rows×In matrix regardless of leading shape.
+type Linear struct {
+	module.Base
+	In, Out int
+	W       *module.Param // [In, Out]
+	B       *module.Param // [Out]; nil when bias disabled
+
+	saved []*tensor.Tensor // stashed inputs (LIFO)
+}
+
+// NewLinear constructs a linear layer named name.
+func NewLinear(name string, in, out int, bias bool, initStd float64) *Linear {
+	l := &Linear{In: in, Out: out}
+	l.ModName = name
+	l.W = module.NewParam(name+".w", initStd, in, out)
+	l.OwnParams = []*module.Param{l.W}
+	if bias {
+		l.B = module.NewParam(name+".b", 0, out)
+		l.OwnParams = append(l.OwnParams, l.B)
+	}
+	return l
+}
+
+func rowsOf(x *tensor.Tensor, in int) int {
+	n := x.Len()
+	if n%in != 0 {
+		panic(fmt.Sprintf("model: input len %d not divisible by in=%d", n, in))
+	}
+	return n / in
+}
+
+// Forward implements module.Layer.
+func (l *Linear) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
+	rows := rowsOf(x, l.In)
+	y := tensor.New(tensor.FP32, rows, l.Out)
+	tensor.MatMul(y.Float32s(), x.Float32s(), l.W.Data(), rows, l.In, l.Out)
+	if l.B != nil {
+		b := l.B.Data()
+		yd := y.Float32s()
+		for r := 0; r < rows; r++ {
+			tensor.Axpy(1, b, yd[r*l.Out:(r+1)*l.Out])
+		}
+	}
+	if rt.SaveActivations() {
+		l.saved = append(l.saved, x)
+	}
+	return y
+}
+
+// Backward implements module.Layer: given dy it accumulates dW, dB and
+// returns dx.
+func (l *Linear) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
+	if len(l.saved) == 0 {
+		panic("model: Linear.Backward without saved forward input (checkpointing bug?)")
+	}
+	x := l.saved[len(l.saved)-1]
+	l.saved = l.saved[:len(l.saved)-1]
+
+	rows := rowsOf(x, l.In)
+	// dW += xᵀ · dy
+	tensor.MatMulTransA(l.W.Grad(), x.Float32s(), dy.Float32s(), l.In, rows, l.Out)
+	// dB += column sums of dy
+	if l.B != nil {
+		g := l.B.Grad()
+		dyd := dy.Float32s()
+		for r := 0; r < rows; r++ {
+			tensor.Axpy(1, dyd[r*l.Out:(r+1)*l.Out], g)
+		}
+	}
+	// dx = dy · Wᵀ
+	dx := tensor.New(tensor.FP32, rows, l.In)
+	tensor.MatMulTransB(dx.Float32s(), dy.Float32s(), l.W.Data(), rows, l.Out, l.In)
+	return dx
+}
+
+// FlopsPerRow returns the forward multiply-add flops per input row (2·In·Out).
+func (l *Linear) FlopsPerRow() int64 { return 2 * int64(l.In) * int64(l.Out) }
+
+var _ module.Layer = (*Linear)(nil)

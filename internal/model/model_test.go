@@ -1,0 +1,397 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/module"
+	"repro/internal/tensor"
+)
+
+// materialize installs deterministic initial values for every parameter of
+// m, acting as a trivial single-process "engine".
+func materialize(m module.Module, seed uint64) {
+	for _, p := range module.AllParams(m) {
+		p.SetData(InitValues(p, seed))
+	}
+}
+
+func zeroGrads(m module.Module) {
+	for _, p := range module.AllParams(m) {
+		p.Grad()
+		p.ZeroGrad()
+	}
+}
+
+// dotLoss computes L = Σ R ⊙ f(x) for a fixed random R, returning L.
+func dotLoss(y *tensor.Tensor, r []float32) float64 {
+	return tensor.Dot(y.Float32s(), r)
+}
+
+// checkLayerInputGrad verifies dL/dx of layer l against central differences.
+func checkLayerInputGrad(t *testing.T, l module.Layer, x *tensor.Tensor, tol float64) {
+	t.Helper()
+	rt := module.NewRuntime(nil)
+	r := make([]float32, 0)
+	y := rt.Forward(l, x)
+	r = make([]float32, y.Len())
+	tensor.NewRNG(555).FillNormal(r, 1)
+
+	dy := tensor.FromSlice(append([]float32(nil), r...), y.Shape()...)
+	dx := rt.Backward(l, dy)
+
+	const h = 1e-2
+	xd := x.Float32s()
+	step := len(xd)/12 + 1
+	for i := 0; i < len(xd); i += step {
+		orig := xd[i]
+		xd[i] = orig + h
+		lp := dotLoss(rt.Forward(l, x), r)
+		// Discard stashed activation from probe forward.
+		rt.Backward(l, dy)
+		xd[i] = orig - h
+		lm := dotLoss(rt.Forward(l, x), r)
+		rt.Backward(l, dy)
+		xd[i] = orig
+		num := (lp - lm) / (2 * h)
+		got := float64(dx.Float32s()[i])
+		if math.Abs(num-got) > tol*(1+math.Abs(num)) {
+			t.Errorf("input grad[%d]: analytic %g numeric %g", i, got, num)
+		}
+	}
+}
+
+func TestLinearGradCheck(t *testing.T) {
+	l := NewLinear("lin", 5, 7, true, 0.2)
+	materialize(l, 1)
+	zeroGrads(l)
+	x := tensor.New(tensor.FP32, 3, 5)
+	tensor.NewRNG(2).FillNormal(x.Float32s(), 1)
+	checkLayerInputGrad(t, l, x, 2e-2)
+}
+
+func TestLinearWeightGrad(t *testing.T) {
+	l := NewLinear("lin", 3, 2, true, 0.3)
+	materialize(l, 4)
+	zeroGrads(l)
+	rt := module.NewRuntime(nil)
+	x := tensor.New(tensor.FP32, 2, 3)
+	tensor.NewRNG(5).FillNormal(x.Float32s(), 1)
+	r := make([]float32, 4)
+	tensor.NewRNG(6).FillNormal(r, 1)
+
+	rt.Forward(l, x)
+	rt.Backward(l, tensor.FromSlice(append([]float32(nil), r...), 2, 2))
+	// Snapshot the analytic gradient before the probe backwards pollute it.
+	gw := append([]float32(nil), l.W.Grad()...)
+
+	const h = 1e-2
+	w := l.W.Data()
+	for i := range w {
+		orig := w[i]
+		w[i] = orig + h
+		lp := dotLoss(rt.Forward(l, x), r)
+		rt.Backward(l, tensor.FromSlice(append([]float32(nil), r...), 2, 2))
+		w[i] = orig - h
+		lm := dotLoss(rt.Forward(l, x), r)
+		rt.Backward(l, tensor.FromSlice(append([]float32(nil), r...), 2, 2))
+		w[i] = orig
+		num := (lp - lm) / (2 * h)
+		got := float64(gw[i])
+		if math.Abs(num-got) > 2e-2*(1+math.Abs(num)) {
+			t.Errorf("W grad[%d]: analytic %g numeric %g", i, got, num)
+		}
+	}
+}
+
+func TestLayerNormGradCheck(t *testing.T) {
+	l := NewLayerNorm("ln", 6)
+	materialize(l, 7)
+	zeroGrads(l)
+	x := tensor.New(tensor.FP32, 4, 6)
+	tensor.NewRNG(8).FillNormal(x.Float32s(), 2)
+	checkLayerInputGrad(t, l, x, 3e-2)
+}
+
+func TestLayerNormNormalizesRows(t *testing.T) {
+	l := NewLayerNorm("ln", 8)
+	materialize(l, 9)
+	rt := module.NewRuntime(nil)
+	x := tensor.New(tensor.FP32, 3, 8)
+	tensor.NewRNG(10).FillNormal(x.Float32s(), 5)
+	y := rt.Forward(l, x)
+	yd := y.Float32s()
+	for r := 0; r < 3; r++ {
+		row := yd[r*8 : (r+1)*8]
+		mu := tensor.Sum(row) / 8
+		if math.Abs(mu) > 1e-4 {
+			t.Errorf("row %d mean %g", r, mu)
+		}
+		var v float64
+		for _, e := range row {
+			v += (float64(e) - mu) * (float64(e) - mu)
+		}
+		if sd := math.Sqrt(v / 8); math.Abs(sd-1) > 1e-3 {
+			t.Errorf("row %d std %g", r, sd)
+		}
+	}
+}
+
+func TestGeluGradCheck(t *testing.T) {
+	g := NewGelu("gelu")
+	x := tensor.New(tensor.FP32, 2, 5)
+	tensor.NewRNG(11).FillNormal(x.Float32s(), 1)
+	checkLayerInputGrad(t, g, x, 1e-2)
+}
+
+func TestAttentionGradCheck(t *testing.T) {
+	cfg := Config{Hidden: 8, Heads: 2, Seq: 4, Layers: 1}
+	a := NewAttention("attn", cfg.Hidden, cfg.Heads, cfg.Seq, 0.3)
+	materialize(a, 12)
+	zeroGrads(a)
+	x := tensor.New(tensor.FP32, 2*cfg.Seq, cfg.Hidden) // batch 2
+	tensor.NewRNG(13).FillNormal(x.Float32s(), 1)
+	checkLayerInputGrad(t, a, x, 5e-2)
+}
+
+func TestAttentionCausality(t *testing.T) {
+	// Changing a later token's hidden state must not change earlier outputs.
+	cfg := Config{Hidden: 8, Heads: 2, Seq: 4, Layers: 1}
+	a := NewAttention("attn", cfg.Hidden, cfg.Heads, cfg.Seq, 0.3)
+	materialize(a, 14)
+	rt := module.NewRuntime(nil)
+	x := tensor.New(tensor.FP32, cfg.Seq, cfg.Hidden)
+	tensor.NewRNG(15).FillNormal(x.Float32s(), 1)
+	y1 := rt.Forward(a, x).Clone()
+	// Perturb last position.
+	for j := 0; j < cfg.Hidden; j++ {
+		x.Set((cfg.Seq-1)*cfg.Hidden+j, x.At((cfg.Seq-1)*cfg.Hidden+j)+1)
+	}
+	y2 := rt.Forward(a, x)
+	for s := 0; s < cfg.Seq-1; s++ {
+		for j := 0; j < cfg.Hidden; j++ {
+			if y1.At(s*cfg.Hidden+j) != y2.At(s*cfg.Hidden+j) {
+				t.Fatalf("causality violated at position %d", s)
+			}
+		}
+	}
+}
+
+func TestBlockGradCheck(t *testing.T) {
+	cfg := Config{Hidden: 8, Heads: 2, Seq: 4, Layers: 1}
+	b := NewBlock("blk", cfg, 0.2)
+	materialize(b, 16)
+	zeroGrads(b)
+	x := tensor.New(tensor.FP32, cfg.Seq, cfg.Hidden)
+	tensor.NewRNG(17).FillNormal(x.Float32s(), 1)
+	checkLayerInputGrad(t, b, x, 5e-2)
+}
+
+func TestGPTEndToEndGradCheck(t *testing.T) {
+	cfg := Config{Vocab: 10, Hidden: 8, Heads: 2, Seq: 4, Layers: 2}
+	g := MustGPT(cfg)
+	materialize(g, 20)
+	zeroGrads(g)
+	rt := module.NewRuntime(nil)
+	tokens, targets := SyntheticBatch(tensor.NewRNG(21), cfg, 2)
+
+	g.ForwardLoss(rt, tokens, targets, 2)
+	g.BackwardLoss(rt, 1)
+
+	// Spot-check gradients of several parameters with central differences.
+	const h = 1e-2
+	for _, p := range []*module.Param{
+		g.Blocks[0].FC1.W, g.Blocks[1].Attn.QKV.W, g.Embed.Tok, g.LNF.Gain,
+	} {
+		data := p.Data()
+		step := len(data)/8 + 1
+		for i := 0; i < len(data); i += step {
+			orig := data[i]
+			data[i] = orig + h
+			lp := g.ForwardLoss(rt, tokens, targets, 2)
+			g.BackwardLoss(rt, 0) // pop stashes without accumulating (scale 0 still accumulates... )
+			data[i] = orig - h
+			lm := g.ForwardLoss(rt, tokens, targets, 2)
+			g.BackwardLoss(rt, 0)
+			data[i] = orig
+			num := (lp - lm) / (2 * h)
+			got := float64(p.Grad()[i])
+			if math.Abs(num-got) > 5e-2*(1+math.Abs(num)) {
+				t.Errorf("%s grad[%d]: analytic %g numeric %g", p.Name, i, got, num)
+			}
+		}
+	}
+}
+
+func TestCheckpointingExactlyMatchesPlain(t *testing.T) {
+	run := func(ckpt bool) (float64, [][]float32) {
+		cfg := Config{Vocab: 12, Hidden: 8, Heads: 2, Seq: 4, Layers: 2, CheckpointActivations: ckpt}
+		g := MustGPT(cfg)
+		materialize(g, 30)
+		zeroGrads(g)
+		rt := module.NewRuntime(nil)
+		tokens, targets := SyntheticBatch(tensor.NewRNG(31), cfg, 2)
+		loss := g.ForwardLoss(rt, tokens, targets, 2)
+		g.BackwardLoss(rt, 1)
+		var grads [][]float32
+		for _, p := range module.AllParams(g) {
+			grads = append(grads, append([]float32(nil), p.Grad()...))
+		}
+		return loss, grads
+	}
+	l1, g1 := run(false)
+	l2, g2 := run(true)
+	if l1 != l2 {
+		t.Fatalf("checkpointing changed loss: %g vs %g", l1, l2)
+	}
+	for i := range g1 {
+		for j := range g1[i] {
+			if g1[i][j] != g2[i][j] {
+				t.Fatalf("checkpointing changed grad[%d][%d]: %g vs %g", i, j, g1[i][j], g2[i][j])
+			}
+		}
+	}
+}
+
+func TestTiedHeadTriggersOnDemandGather(t *testing.T) {
+	cfg := Config{Vocab: 10, Hidden: 8, Heads: 2, Seq: 4, Layers: 1}
+	g := MustGPT(cfg)
+	materialize(g, 40)
+	// Simulate a partitioning engine: release the token table and install a
+	// gather handler.
+	full := g.Embed.Tok.Data()
+	g.Embed.Tok.ReleaseData()
+	gathered := 0
+	g.Embed.Tok.SetOnDemand(func(p *module.Param) {
+		gathered++
+		p.SetData(full)
+	})
+	rt := module.NewRuntime(nil)
+	x := tensor.New(tensor.FP32, cfg.Seq, cfg.Hidden)
+	tensor.NewRNG(41).FillNormal(x.Float32s(), 1)
+	rt.Forward(g.Head, x)
+	if gathered != 1 {
+		t.Fatalf("on-demand gather fired %d times, want 1", gathered)
+	}
+	if g.Embed.Tok.OnDemandGathers() != 1 {
+		t.Fatalf("OnDemandGathers = %d", g.Embed.Tok.OnDemandGathers())
+	}
+}
+
+func TestAccessReleasedParamWithoutHandlerPanics(t *testing.T) {
+	p := module.NewParam("x", 0.1, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("released access did not panic")
+		}
+	}()
+	p.Data()
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	cfg := Config{Vocab: 16, Hidden: 16, Heads: 2, Seq: 8, Layers: 2}
+	g := MustGPT(cfg)
+	materialize(g, 50)
+	rt := module.NewRuntime(nil)
+	rng := tensor.NewRNG(51)
+	tokens, targets := SyntheticBatch(rng, cfg, 4)
+	first, last := 0.0, 0.0
+	const lr = 0.05
+	for it := 0; it < 30; it++ {
+		zeroGrads(g)
+		loss := g.ForwardLoss(rt, tokens, targets, 4)
+		if it == 0 {
+			first = loss
+		}
+		last = loss
+		g.BackwardLoss(rt, 1)
+		for _, p := range module.AllParams(g) {
+			tensor.Axpy(-lr, p.Grad(), p.Data())
+		}
+	}
+	if last > first*0.7 {
+		t.Fatalf("SGD did not reduce loss: first %g last %g", first, last)
+	}
+}
+
+func TestParamCountFormulas(t *testing.T) {
+	// Eq (1): 12*nl*hd^2.
+	cfg := GPT3Like(8192, 24)
+	want := int64(12 * 24 * 8192 * 8192)
+	if got := cfg.PaperParamCount(); got != want {
+		t.Fatalf("PaperParamCount = %d, want %d", got, want)
+	}
+	// Exact count of the tiny model matches a hand count.
+	tc := Config{Vocab: 10, Hidden: 4, Heads: 2, Seq: 3, Layers: 1}
+	g := MustGPT(tc)
+	if got, want := module.NumParams(g), tc.ExactParamCount(); got != want {
+		t.Fatalf("NumParams = %d, ExactParamCount = %d", got, want)
+	}
+	// Exact converges to Eq (1) within 10% for big hd.
+	big := GPT3Like(8192, 24)
+	ratio := float64(big.ExactParamCount()) / float64(big.PaperParamCount())
+	if ratio < 0.95 || ratio > 1.1 {
+		t.Fatalf("exact/paper ratio %g out of range", ratio)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Hidden: 0, Layers: 1, Heads: 1, Seq: 1},
+		{Hidden: 10, Layers: 1, Heads: 3, Seq: 1},
+		{Hidden: 8, Layers: 0, Heads: 2, Seq: 4},
+		{Hidden: 8, Layers: 1, Heads: 2, Seq: 4, Vocab: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d validated unexpectedly", i)
+		}
+	}
+	if err := TinyTest().Validate(); err != nil {
+		t.Errorf("TinyTest invalid: %v", err)
+	}
+}
+
+func TestCrossEntropyGradSumsToZero(t *testing.T) {
+	logits := tensor.New(tensor.FP32, 3, 5)
+	tensor.NewRNG(60).FillNormal(logits.Float32s(), 1)
+	_, d := CrossEntropy(logits, []int{0, 2, 4})
+	// Each row of dlogits sums to zero (softmax minus one-hot).
+	dd := d.Float32s()
+	for r := 0; r < 3; r++ {
+		if s := tensor.Sum(dd[r*5 : (r+1)*5]); math.Abs(s) > 1e-6 {
+			t.Errorf("row %d grad sum %g", r, s)
+		}
+	}
+}
+
+func TestInitValuesDeterministicAndFP16(t *testing.T) {
+	p := module.NewParam("w", 0.02, 64)
+	a := InitValues(p, 7)
+	b := InitValues(p, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("InitValues not deterministic")
+		}
+		if tensor.HalfFromFloat32(a[i]).Float32() != a[i] {
+			t.Fatal("InitValues not fp16-representable")
+		}
+	}
+	c := InitValues(p, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical init")
+	}
+	q := module.NewParam("g", 0, 4)
+	q.InitOnes = true
+	for _, v := range InitValues(q, 1) {
+		if v != 1 {
+			t.Fatal("InitOnes not ones")
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package module
+
+import "repro/internal/tensor"
+
+// Module is a node in the model tree. Composite modules return children;
+// leaves own parameters and compute.
+type Module interface {
+	Name() string
+	Params() []*Param
+	Children() []Module
+}
+
+// Layer is a leaf (or checkpointable composite) that transforms hidden
+// states. Forward must stash whatever it needs for Backward when
+// rt.SaveActivations() is true. Backward consumes the most recent stashed
+// activation (LIFO when a layer is re-entered, though the reproduction's
+// models call each layer once per step).
+type Layer interface {
+	Module
+	Forward(rt *Runtime, x *tensor.Tensor) *tensor.Tensor
+	Backward(rt *Runtime, dy *tensor.Tensor) *tensor.Tensor
+}
+
+// Hooks receive the runtime's pre/post notifications — the reproduction of
+// ZeRO-Infinity's injected PyTorch hooks. Engines implement Hooks to gather
+// parameters before use, and partition/offload them (and their gradients)
+// after use.
+type Hooks interface {
+	PreForward(m Module)
+	PostForward(m Module)
+	PreBackward(m Module)
+	PostBackward(m Module)
+}
+
+// NopHooks is the no-engine default.
+type NopHooks struct{}
+
+// PreForward implements Hooks.
+func (NopHooks) PreForward(Module) {}
+
+// PostForward implements Hooks.
+func (NopHooks) PostForward(Module) {}
+
+// PreBackward implements Hooks.
+func (NopHooks) PreBackward(Module) {}
+
+// PostBackward implements Hooks.
+func (NopHooks) PostBackward(Module) {}
+
+// CheckpointStore decides where checkpointed block inputs live between the
+// forward and backward passes. The default (nil) keeps them as in-memory
+// tensors on the "GPU"; ZeRO-Infinity installs a CPU-offloading store
+// (paper Sec. 5.1.2 / 5.2.3).
+type CheckpointStore interface {
+	// Put stores t and returns a handle.
+	Put(t *tensor.Tensor) int
+	// Get retrieves and removes the tensor for handle h.
+	Get(h int) *tensor.Tensor
+}
+
+// Runtime threads hook dispatch and activation-saving state through a
+// forward/backward pass. A Runtime is used by a single goroutine (one rank).
+type Runtime struct {
+	hooks Hooks
+	// save controls whether layers stash activations for backward: true in
+	// an ordinary forward and during checkpoint recomputation, false inside
+	// a checkpointed block's main forward (only the block input is kept).
+	save bool
+
+	ckptStore CheckpointStore
+}
+
+// NewRuntime returns a runtime dispatching to hooks (NopHooks if nil).
+func NewRuntime(hooks Hooks) *Runtime {
+	if hooks == nil {
+		hooks = NopHooks{}
+	}
+	return &Runtime{hooks: hooks, save: true}
+}
+
+// SetCheckpointStore installs an activation-checkpoint offload store.
+func (rt *Runtime) SetCheckpointStore(s CheckpointStore) { rt.ckptStore = s }
+
+// PutCheckpoint stores a checkpointed block input, offloading it if a store
+// is installed. The returned handle feeds GetCheckpoint.
+func (rt *Runtime) PutCheckpoint(t *tensor.Tensor) (handle int, offloaded bool) {
+	if rt.ckptStore == nil {
+		return 0, false
+	}
+	return rt.ckptStore.Put(t), true
+}
+
+// GetCheckpoint retrieves an offloaded checkpoint.
+func (rt *Runtime) GetCheckpoint(h int) *tensor.Tensor {
+	if rt.ckptStore == nil {
+		panic("module: GetCheckpoint without a store")
+	}
+	return rt.ckptStore.Get(h)
+}
+
+// Hooks returns the installed hook set.
+func (rt *Runtime) Hooks() Hooks { return rt.hooks }
+
+// SaveActivations reports whether layers should stash activations.
+func (rt *Runtime) SaveActivations() bool { return rt.save }
+
+// SetSaveActivations toggles activation stashing and returns the previous
+// value; used by checkpointed blocks.
+func (rt *Runtime) SetSaveActivations(v bool) bool {
+	old := rt.save
+	rt.save = v
+	return old
+}
+
+// Forward runs layer.Forward wrapped in Pre/PostForward hooks.
+func (rt *Runtime) Forward(l Layer, x *tensor.Tensor) *tensor.Tensor {
+	rt.hooks.PreForward(l)
+	y := l.Forward(rt, x)
+	rt.hooks.PostForward(l)
+	return y
+}
+
+// Backward runs layer.Backward wrapped in Pre/PostBackward hooks.
+func (rt *Runtime) Backward(l Layer, dy *tensor.Tensor) *tensor.Tensor {
+	rt.hooks.PreBackward(l)
+	dx := l.Backward(rt, dy)
+	rt.hooks.PostBackward(l)
+	return dx
+}
+
+// WithForward fires forward hooks around fn for modules whose compute does
+// not fit the Layer signature (e.g. embedding lookup, loss heads).
+func (rt *Runtime) WithForward(m Module, fn func()) {
+	rt.hooks.PreForward(m)
+	fn()
+	rt.hooks.PostForward(m)
+}
+
+// WithBackward fires backward hooks around fn.
+func (rt *Runtime) WithBackward(m Module, fn func()) {
+	rt.hooks.PreBackward(m)
+	fn()
+	rt.hooks.PostBackward(m)
+}
+
+// Walk visits m and every descendant in depth-first pre-order.
+func Walk(m Module, visit func(Module)) {
+	visit(m)
+	for _, c := range m.Children() {
+		Walk(c, visit)
+	}
+}
+
+// AllParams returns every parameter in the tree in deterministic
+// depth-first order.
+func AllParams(m Module) []*Param {
+	var ps []*Param
+	Walk(m, func(n Module) { ps = append(ps, n.Params()...) })
+	return ps
+}
+
+// NumParams returns the total element count of the tree's parameters.
+func NumParams(m Module) int64 {
+	var n int64
+	for _, p := range AllParams(m) {
+		n += int64(p.Len())
+	}
+	return n
+}
+
+// Base provides Name/Params/Children plumbing for concrete modules.
+type Base struct {
+	ModName   string
+	OwnParams []*Param
+	Kids      []Module
+}
+
+// Name implements Module.
+func (b *Base) Name() string { return b.ModName }
+
+// Params implements Module.
+func (b *Base) Params() []*Param { return b.OwnParams }
+
+// Children implements Module.
+func (b *Base) Children() []Module { return b.Kids }

@@ -1,0 +1,169 @@
+// Package optim implements mixed-precision Adam, the optimizer the paper's
+// Sec. 3 memory model assumes: fp16 parameters and gradients for
+// forward/backward, fp32 master parameters, momentum and variance for the
+// update (20 bytes of state per parameter), plus dynamic loss scaling.
+//
+// Adam is elementwise, so a partitioned update over shards is exactly equal
+// to a replicated update — the property ZeRO stages 1-3 exploit and the
+// engine-equivalence tests verify.
+package optim
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// AdamConfig holds hyperparameters.
+type AdamConfig struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+}
+
+// DefaultAdamConfig mirrors the common large-model recipe.
+func DefaultAdamConfig() AdamConfig {
+	return AdamConfig{LR: 1e-3, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// BytesPerParam is the paper's Sec. 3 accounting: fp16 param (2) + fp16 grad
+// (2) + fp32 master param, momentum, variance and fp32 gradient copy (16).
+const BytesPerParam = 20
+
+// OptimizerStateBytesPerParam is the fp32 Adam state alone (master copy,
+// momentum, variance, fp32 gradient) — what ZeRO offloads as "optimizer
+// states".
+const OptimizerStateBytesPerParam = 16
+
+// Adam updates one flat fp32 vector (typically one rank's shard of the
+// model). The zero value is unusable; use NewAdam.
+type Adam struct {
+	cfg  AdamConfig
+	step int
+	m, v []float32
+}
+
+// NewAdam creates optimizer state for n elements.
+func NewAdam(n int, cfg AdamConfig) *Adam {
+	return &Adam{cfg: cfg, m: make([]float32, n), v: make([]float32, n)}
+}
+
+// Len returns the number of elements managed.
+func (a *Adam) Len() int { return len(a.m) }
+
+// StepCount returns the number of applied steps.
+func (a *Adam) StepCount() int { return a.step }
+
+// Config returns the hyperparameters.
+func (a *Adam) Config() AdamConfig { return a.cfg }
+
+// Step applies one Adam update to params given grads. Slices must have
+// length Len().
+func (a *Adam) Step(params, grads []float32) {
+	if len(params) != len(a.m) || len(grads) != len(a.m) {
+		panic("optim: Adam.Step length mismatch")
+	}
+	a.step++
+	StepVec(a.cfg, a.step, params, grads, a.m, a.v)
+}
+
+// StepVec applies the Adam update as a pure function over externally-owned
+// state vectors — the form used when optimizer states are streamed through
+// CPU staging buffers from NVMe (infinity offload engine). step is the
+// 1-based update count. The arithmetic is float64 per element for bias
+// correction and float32 for state; it is deterministic, so sharded and
+// replicated updates agree exactly.
+func StepVec(cfg AdamConfig, step int, params, grads, m, v []float32) {
+	if len(params) != len(grads) || len(params) != len(m) || len(params) != len(v) {
+		panic("optim: StepVec length mismatch")
+	}
+	b1, b2 := cfg.Beta1, cfg.Beta2
+	bc1 := 1 - math.Pow(b1, float64(step))
+	bc2 := 1 - math.Pow(b2, float64(step))
+	lr, eps, wd := cfg.LR, cfg.Eps, cfg.WeightDecay
+	for i, g := range grads {
+		gf := float64(g)
+		if wd != 0 {
+			gf += wd * float64(params[i])
+		}
+		mf := b1*float64(m[i]) + (1-b1)*gf
+		vf := b2*float64(v[i]) + (1-b2)*gf*gf
+		m[i] = float32(mf)
+		v[i] = float32(vf)
+		update := (mf / bc1) / (math.Sqrt(vf/bc2) + eps)
+		params[i] = float32(float64(params[i]) - lr*update)
+	}
+}
+
+// State exposes the momentum and variance vectors for offload/serialization.
+func (a *Adam) State() (m, v []float32) { return a.m, a.v }
+
+// LoadState restores momentum/variance and the step counter (for round
+// trips through CPU/NVMe offload).
+func (a *Adam) LoadState(m, v []float32, step int) {
+	if len(m) != len(a.m) || len(v) != len(a.v) {
+		panic("optim: LoadState length mismatch")
+	}
+	copy(a.m, m)
+	copy(a.v, v)
+	a.step = step
+}
+
+// LossScaler implements dynamic loss scaling for fp16 training: the loss is
+// multiplied by Scale before backward; gradients are unscaled before the
+// optimizer step; steps that produce non-finite gradients are skipped and
+// the scale halved; after GrowthInterval clean steps the scale doubles.
+type LossScaler struct {
+	Scale          float64
+	GrowthInterval int
+	MaxScale       float64
+
+	goodSteps int
+	skipped   int
+}
+
+// NewLossScaler returns a scaler starting at scale (e.g. 65536).
+func NewLossScaler(scale float64) *LossScaler {
+	return &LossScaler{Scale: scale, GrowthInterval: 100, MaxScale: 1 << 24}
+}
+
+// StaticLossScaler returns a non-adaptive scaler (GrowthInterval disabled).
+func StaticLossScaler(scale float64) *LossScaler {
+	return &LossScaler{Scale: scale, GrowthInterval: math.MaxInt, MaxScale: scale}
+}
+
+// Update records whether the step overflowed and adapts the scale.
+// It returns true when the optimizer step must be skipped.
+func (s *LossScaler) Update(overflow bool) (skip bool) {
+	if overflow {
+		s.Scale = math.Max(s.Scale/2, 1)
+		s.goodSteps = 0
+		s.skipped++
+		return true
+	}
+	s.goodSteps++
+	if s.goodSteps >= s.GrowthInterval && s.Scale < s.MaxScale {
+		s.Scale *= 2
+		s.goodSteps = 0
+	}
+	return false
+}
+
+// Skipped returns the number of overflow-skipped steps.
+func (s *LossScaler) Skipped() int { return s.skipped }
+
+// UnscaleCheck divides grads by the scale in place and reports whether any
+// element is NaN/Inf (checked before unscaling, as overflow happens in the
+// scaled fp16 domain).
+func UnscaleCheck(grads []float32, scale float64) (overflow bool) {
+	if tensor.HasNaNOrInf(grads) {
+		return true
+	}
+	inv := float32(1 / scale)
+	if inv != 1 {
+		tensor.Scale(inv, grads)
+	}
+	return false
+}

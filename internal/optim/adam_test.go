@@ -1,0 +1,187 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAdamDescendsQuadratic(t *testing.T) {
+	// Minimize f(x) = Σ (x_i - c_i)²/2; grad = x - c.
+	const n = 8
+	c := make([]float32, n)
+	x := make([]float32, n)
+	tensor.NewRNG(1).FillNormal(c, 1)
+	a := NewAdam(n, AdamConfig{LR: 0.05, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8})
+	g := make([]float32, n)
+	for it := 0; it < 500; it++ {
+		for i := range g {
+			g[i] = x[i] - c[i]
+		}
+		a.Step(x, g)
+	}
+	for i := range x {
+		if math.Abs(float64(x[i]-c[i])) > 0.05 {
+			t.Fatalf("x[%d]=%g did not converge to %g", i, x[i], c[i])
+		}
+	}
+	if a.StepCount() != 500 {
+		t.Fatalf("step count %d", a.StepCount())
+	}
+}
+
+func TestAdamFirstStepIsLR(t *testing.T) {
+	// With bias correction, the very first Adam step moves by ~lr*sign(g).
+	a := NewAdam(1, AdamConfig{LR: 0.1, Beta1: 0.9, Beta2: 0.999, Eps: 1e-12})
+	x := []float32{0}
+	a.Step(x, []float32{3.7})
+	if math.Abs(float64(x[0])+0.1) > 1e-6 {
+		t.Fatalf("first step moved to %g, want ~-0.1", x[0])
+	}
+}
+
+// The ZeRO property: updating shards independently equals updating the full
+// vector, exactly.
+func TestAdamShardedEqualsReplicated(t *testing.T) {
+	const n, shards = 24, 4
+	cfg := DefaultAdamConfig()
+	cfg.WeightDecay = 0.01
+	rng := tensor.NewRNG(7)
+	params := make([]float32, n)
+	rng.FillNormal(params, 1)
+	shardParams := make([][]float32, shards)
+	for s := 0; s < shards; s++ {
+		shardParams[s] = append([]float32(nil), params[s*n/shards:(s+1)*n/shards]...)
+	}
+
+	full := NewAdam(n, cfg)
+	partial := make([]*Adam, shards)
+	for s := range partial {
+		partial[s] = NewAdam(n/shards, cfg)
+	}
+
+	g := make([]float32, n)
+	for it := 0; it < 10; it++ {
+		rng.FillNormal(g, 1)
+		full.Step(params, g)
+		for s := 0; s < shards; s++ {
+			partial[s].Step(shardParams[s], g[s*n/shards:(s+1)*n/shards])
+		}
+	}
+	for s := 0; s < shards; s++ {
+		for i, v := range shardParams[s] {
+			if v != params[s*n/shards+i] {
+				t.Fatalf("shard %d elem %d: %g != %g", s, i, v, params[s*n/shards+i])
+			}
+		}
+	}
+}
+
+func TestAdamStateRoundTrip(t *testing.T) {
+	cfg := DefaultAdamConfig()
+	a := NewAdam(6, cfg)
+	x := make([]float32, 6)
+	g := []float32{1, -1, 2, -2, 3, -3}
+	a.Step(x, g)
+	a.Step(x, g)
+	m, v := a.State()
+
+	b := NewAdam(6, cfg)
+	b.LoadState(m, v, a.StepCount())
+	xa := append([]float32(nil), x...)
+	xb := append([]float32(nil), x...)
+	a.Step(xa, g)
+	b.Step(xb, g)
+	for i := range xa {
+		if xa[i] != xb[i] {
+			t.Fatalf("restored optimizer diverged at %d: %g vs %g", i, xa[i], xb[i])
+		}
+	}
+}
+
+func TestLossScalerDynamics(t *testing.T) {
+	s := NewLossScaler(1024)
+	s.GrowthInterval = 3
+	// Overflow halves and skips.
+	if !s.Update(true) {
+		t.Fatal("overflow did not skip")
+	}
+	if s.Scale != 512 {
+		t.Fatalf("scale after overflow = %g", s.Scale)
+	}
+	// Three clean steps double.
+	for i := 0; i < 3; i++ {
+		if s.Update(false) {
+			t.Fatal("clean step skipped")
+		}
+	}
+	if s.Scale != 1024 {
+		t.Fatalf("scale after growth = %g", s.Scale)
+	}
+	if s.Skipped() != 1 {
+		t.Fatalf("skipped = %d", s.Skipped())
+	}
+}
+
+func TestLossScalerFloorsAtOne(t *testing.T) {
+	s := NewLossScaler(2)
+	s.Update(true)
+	s.Update(true)
+	s.Update(true)
+	if s.Scale != 1 {
+		t.Fatalf("scale floored at %g, want 1", s.Scale)
+	}
+}
+
+func TestStaticLossScalerNeverGrows(t *testing.T) {
+	s := StaticLossScaler(128)
+	for i := 0; i < 1000; i++ {
+		s.Update(false)
+	}
+	if s.Scale != 128 {
+		t.Fatalf("static scale changed to %g", s.Scale)
+	}
+}
+
+func TestUnscaleCheck(t *testing.T) {
+	g := []float32{2, 4, 8}
+	if UnscaleCheck(g, 2) {
+		t.Fatal("clean grads flagged as overflow")
+	}
+	if g[0] != 1 || g[2] != 4 {
+		t.Fatalf("unscale wrong: %v", g)
+	}
+	bad := []float32{1, float32(math.Inf(1))}
+	if !UnscaleCheck(bad, 2) {
+		t.Fatal("inf not detected")
+	}
+	if bad[0] != 1 {
+		t.Fatal("overflowed grads were modified")
+	}
+}
+
+func TestF32BytesRoundTrip(t *testing.T) {
+	src := []float32{0, 1, -2.5, 3e-20, float32(math.Inf(-1))}
+	b := make([]byte, 4*len(src))
+	tensor.F32ToBytes(b, src)
+	dst := make([]float32, len(src))
+	tensor.F32FromBytes(dst, b)
+	for i := range src {
+		if math.Float32bits(dst[i]) != math.Float32bits(src[i]) {
+			t.Fatalf("byte round trip [%d]: %g != %g", i, dst[i], src[i])
+		}
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	const n = 1 << 16
+	a := NewAdam(n, DefaultAdamConfig())
+	x := make([]float32, n)
+	g := make([]float32, n)
+	tensor.NewRNG(1).FillNormal(g, 1)
+	b.SetBytes(n * OptimizerStateBytesPerParam)
+	for i := 0; i < b.N; i++ {
+		a.Step(x, g)
+	}
+}

@@ -1,0 +1,163 @@
+package perf
+
+// Sec. 4: arithmetic intensity (AIT) and the bandwidth/efficiency model.
+
+// ComputePerIter evaluates the total computation per iteration (Sec. 4.1):
+// 2 · 4 · bsz · seq · params flops (forward + 2× backward + checkpoint
+// recomputation).
+func ComputePerIter(bsz, seq, params int64) float64 {
+	return 8 * float64(bsz) * float64(seq) * float64(params)
+}
+
+// AITParamsGrads is the arithmetic intensity w.r.t. parameters and
+// gradients, Eq. (9): seq · bsz flops per byte.
+func AITParamsGrads(seq, bsz int64) float64 { return float64(seq * bsz) }
+
+// AITOptimizerStates is Eq. (10): seq · bsz / 4.
+func AITOptimizerStates(seq, bsz int64) float64 { return float64(seq*bsz) / 4 }
+
+// AITActivationCkpt is Eq. (11): 24 · hd · ci.
+func AITActivationCkpt(hd, ci int64) float64 { return float64(24 * hd * ci) }
+
+// Efficiency evaluates Eq. (6):
+//
+//	eff = ait·bw / (ait·bw + peak)
+//
+// with peak in flops/s and bw in bytes/s.
+func Efficiency(ait, bw, peak float64) float64 {
+	if ait <= 0 || bw <= 0 {
+		return 0
+	}
+	return ait * bw / (ait*bw + peak)
+}
+
+// RequiredBandwidth inverts Eq. (6): the bandwidth needed to reach the
+// target efficiency at the given AIT and peak throughput.
+func RequiredBandwidth(eff, ait, peak float64) float64 {
+	if eff <= 0 || eff >= 1 || ait <= 0 {
+		panic("perf: RequiredBandwidth needs 0 < eff < 1 and ait > 0")
+	}
+	return peak * eff / ((1 - eff) * ait)
+}
+
+// Fig3Point is one (bandwidth, efficiency) sample.
+type Fig3Point struct {
+	BandwidthGBps float64
+	Efficiency    float64
+}
+
+// Fig3Series is one curve of Figure 3.
+type Fig3Series struct {
+	Label  string
+	Points []Fig3Point
+}
+
+// fig3Bandwidths is the log sweep used for all three subfigures, in GB/s.
+func fig3Bandwidths() []float64 {
+	var bws []float64
+	for bw := 0.1; bw <= 3000; bw *= 1.5 {
+		bws = append(bws, bw)
+	}
+	return bws
+}
+
+const peakV100 = 70e12 // 70 TFlops achievable peak (Sec. 4.2)
+
+// Fig3a: efficiency vs parameter/gradient bandwidth for batch sizes 1-16,
+// seq 1024.
+func Fig3a() []Fig3Series {
+	var out []Fig3Series
+	for _, bsz := range []int64{1, 2, 4, 8, 16} {
+		ait := AITParamsGrads(1024, bsz)
+		s := Fig3Series{Label: labelBsz(bsz)}
+		for _, bw := range fig3Bandwidths() {
+			s.Points = append(s.Points, Fig3Point{bw, Efficiency(ait, bw*1e9, peakV100)})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig3b: efficiency vs optimizer-state bandwidth.
+func Fig3b() []Fig3Series {
+	var out []Fig3Series
+	for _, bsz := range []int64{1, 2, 4, 8, 16} {
+		ait := AITOptimizerStates(1024, bsz)
+		s := Fig3Series{Label: labelBsz(bsz)}
+		for _, bw := range fig3Bandwidths() {
+			s.Points = append(s.Points, Fig3Point{bw, Efficiency(ait, bw*1e9, peakV100)})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig3c: efficiency vs activation-checkpoint bandwidth for hidden sizes
+// 2K-64K, one checkpoint per block.
+func Fig3c() []Fig3Series {
+	var out []Fig3Series
+	for _, hd := range []int64{2048, 8192, 16384, 32768, 65536} {
+		ait := AITActivationCkpt(hd, 1)
+		s := Fig3Series{Label: labelHidden(hd)}
+		for _, bw := range fig3Bandwidths() {
+			s.Points = append(s.Points, Fig3Point{bw, Efficiency(ait, bw*1e9, peakV100)})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func labelBsz(b int64) string    { return "bsz=" + itoa(b) }
+func labelHidden(h int64) string { return "hd=" + itoa(h/1024) + "K" }
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Table3Row is one column of the paper's Table 3: bandwidth requirements for
+// ZeRO-Infinity to stay efficient as accelerators outpace V100s.
+type Table3Row struct {
+	Label                string
+	Devices              int
+	PeakPFlopsPerDevice  float64
+	SlowMemBWPerDevice   float64 // GB/s
+	SlowMemAggregateTBps float64 // TB/s
+	GPUToGPUBW           float64 // GB/s
+}
+
+// Table3 reproduces the paper's Table 3: the V100 baseline needs ~3 GB/s of
+// slow-memory bandwidth per device (the DGX-2 per-GPU PCIe share) and
+// 70 GB/s device-device; requirements scale linearly with achievable
+// compute (Eq. 6 is linear in peak at fixed efficiency and AIT).
+func Table3() []Table3Row {
+	const devices = 512
+	base := Table3Row{
+		Label:               "V100",
+		Devices:             devices,
+		PeakPFlopsPerDevice: 0.07,
+		SlowMemBWPerDevice:  3.0,
+		GPUToGPUBW:          70.0,
+	}
+	base.SlowMemAggregateTBps = base.SlowMemBWPerDevice * devices / 1000
+	rows := []Table3Row{base}
+	for _, mult := range []float64{10, 100} {
+		r := base
+		r.Label = itoa(int64(mult)) + "x"
+		r.PeakPFlopsPerDevice *= mult
+		r.SlowMemBWPerDevice *= mult
+		r.SlowMemAggregateTBps *= mult
+		r.GPUToGPUBW *= mult
+		rows = append(rows, r)
+	}
+	return rows
+}

@@ -1,0 +1,82 @@
+package perf
+
+// Cluster describes the hardware envelope of a GPU cluster, defaulting to
+// the paper's NVIDIA V100 DGX-2 SuperPOD (Figure 2b). All bandwidths are
+// bytes/second; memory sizes are bytes.
+type Cluster struct {
+	Nodes       int
+	GPUsPerNode int
+
+	GPUMemory  int64 // per GPU
+	CPUMemory  int64 // per node
+	NVMeMemory int64 // per node
+
+	// Achievable bandwidths (paper Fig. 2b, reported per GPU when all GPUs
+	// read in parallel).
+	GPUMemBW        float64 // HBM2, per GPU
+	GPUToGPUBW      float64 // NVSwitch, per GPU
+	PCIeSingleBW    float64 // one GPU alone over PCIe
+	PCIeAggBW       float64 // node aggregate PCIe (all 16 GPUs)
+	NVMeAggBW       float64 // node aggregate NVMe
+	CPUMemBW        float64 // node CPU DRAM bandwidth
+	InterNodeBW     float64 // per node network (800 Gbps on the testbed)
+	PeakTFlopsPerGP float64 // achievable peak per GPU (empirical, Sec. 4)
+}
+
+// Unit helpers.
+const (
+	KB = int64(1) << 10
+	MB = int64(1) << 20
+	GB = int64(1) << 30
+	TB = int64(1) << 40
+
+	GBps = 1e9
+	TBps = 1e12
+)
+
+// DGX2 returns the paper's testbed description for the given node count.
+func DGX2(nodes int) Cluster {
+	return Cluster{
+		Nodes:       nodes,
+		GPUsPerNode: 16,
+		GPUMemory:   32 * GB,
+		CPUMemory:   int64(1.5 * float64(TB)),
+		NVMeMemory:  28 * TB,
+
+		GPUMemBW:        900 * GBps,
+		GPUToGPUBW:      70 * GBps,
+		PCIeSingleBW:    12 * GBps,
+		PCIeAggBW:       48 * GBps,
+		NVMeAggBW:       25 * GBps,
+		CPUMemBW:        100 * GBps,
+		InterNodeBW:     100 * GBps, // 800 Gbps
+		PeakTFlopsPerGP: 70,
+	}
+}
+
+// TotalGPUs returns nodes × GPUs per node.
+func (c Cluster) TotalGPUs() int { return c.Nodes * c.GPUsPerNode }
+
+// AggGPUMemory returns total GPU memory across the cluster.
+func (c Cluster) AggGPUMemory() int64 { return int64(c.TotalGPUs()) * c.GPUMemory }
+
+// AggCPUMemory returns total CPU memory across the cluster.
+func (c Cluster) AggCPUMemory() int64 { return int64(c.Nodes) * c.CPUMemory }
+
+// AggNVMeMemory returns total NVMe capacity across the cluster.
+func (c Cluster) AggNVMeMemory() int64 { return int64(c.Nodes) * c.NVMeMemory }
+
+// PerGPUPCIeBW is the per-GPU share of the node's PCIe aggregate when all
+// GPUs transfer in parallel — the bandwidth-centric partitioning win: with
+// a broadcast approach a fetch is limited to PCIeSingleBW total, while the
+// partitioned allgather approach reaches PCIeAggBW per node.
+func (c Cluster) PerGPUPCIeBW() float64 { return c.PCIeAggBW / float64(c.GPUsPerNode) }
+
+// PerGPUNVMeBW is the per-GPU share of the node's NVMe bandwidth.
+func (c Cluster) PerGPUNVMeBW() float64 { return c.NVMeAggBW / float64(c.GPUsPerNode) }
+
+// Fig2bRow is one line of the Figure 2b table.
+type Fig2bRow struct {
+	Label string
+	Value string
+}

@@ -1,0 +1,114 @@
+// Package perf implements the paper's analytic models: the Sec. 3 memory
+// characterization (Eqs. 1-5, Figure 2a), the DGX-2 hardware envelope
+// (Figure 2b), the Sec. 4 arithmetic-intensity and efficiency model
+// (Eqs. 6-11, Figure 3, Table 3), and the per-strategy memory-feasibility
+// model behind Figures 1, 5c and 6a.
+package perf
+
+// Byte sizes per parameter under mixed-precision Adam (paper Sec. 3).
+const (
+	BytesParamFP16   = 2
+	BytesGradFP16    = 2
+	BytesOptimState  = 16 // fp32 master + momentum + variance + fp32 grad
+	BytesModelStates = 20 // Eq. (2) / Eq. (1): 240·nl·hd² = 20 · 12·nl·hd²
+)
+
+// ModelShape is the Transformer geometry the analyses are parameterized by.
+type ModelShape struct {
+	Hidden    int64
+	Layers    int64
+	Heads     int64
+	Seq       int64
+	CkptEvery int64 // ci: Transformer blocks between activation checkpoints
+}
+
+// Params evaluates Eq. (1): total parameters ≈ 12 · nl · hd².
+func (m ModelShape) Params() int64 { return 12 * m.Layers * m.Hidden * m.Hidden }
+
+// ModelStatesBytes evaluates Eq. (2): 240 · nl · hd² bytes — fp16
+// params+grads plus fp32 Adam states.
+func (m ModelShape) ModelStatesBytes() int64 { return BytesModelStates * m.Params() }
+
+// ActivationCheckpointBytes evaluates Eq. (3):
+// 2 · bsz · seq · hd · nl / ci bytes.
+func (m ModelShape) ActivationCheckpointBytes(bsz int64) int64 {
+	ci := m.CkptEvery
+	if ci <= 0 {
+		ci = 1
+	}
+	return 2 * bsz * m.Seq * m.Hidden * m.Layers / ci
+}
+
+// FullActivationBytes estimates activations without checkpointing: the
+// per-block working activations (Eq. 5 with ci=1) retained for every block.
+func (m ModelShape) FullActivationBytes(bsz int64) int64 {
+	return bsz * m.Seq * (16*m.Hidden + 2*m.Heads*m.Seq) * m.Layers
+}
+
+// MSWMBytes evaluates Eq. (4): model-state working memory — the fp16
+// parameters and gradients of the largest operator (the hd→4hd linear):
+// 4 · hd · 4hd bytes.
+func (m ModelShape) MSWMBytes() int64 { return 4 * m.Hidden * 4 * m.Hidden }
+
+// AWMBytes evaluates Eq. (5): activation working memory between two
+// checkpoints: bsz · seq · ci · (16·hd + 2·heads·seq) bytes.
+func (m ModelShape) AWMBytes(bsz int64) int64 {
+	ci := m.CkptEvery
+	if ci <= 0 {
+		ci = 1
+	}
+	return bsz * m.Seq * ci * (16*m.Hidden + 2*m.Heads*m.Seq)
+}
+
+// Fig2aRow is one row of Figure 2a.
+type Fig2aRow struct {
+	Label       string
+	Shape       ModelShape
+	Params      int64
+	ModelStates int64 // bytes
+	ActFull     int64 // bytes, no checkpointing
+	ActCkpt     int64 // bytes, checkpointing every block
+	MSWM        int64 // bytes
+	AWM         int64 // bytes
+}
+
+// Fig2aShapes returns the canonical model geometries used throughout the
+// paper's analyses (hidden dim and layer counts chosen per Table 1 style so
+// Eq. (1) lands on the labelled sizes; batch 32, seq 1024, heads 16 per the
+// Figure 2a caption).
+func Fig2aShapes() []struct {
+	Label string
+	Shape ModelShape
+} {
+	mk := func(hd, nl int64) ModelShape {
+		return ModelShape{Hidden: hd, Layers: nl, Heads: 16, Seq: 1024, CkptEvery: 1}
+	}
+	return []struct {
+		Label string
+		Shape ModelShape
+	}{
+		{"100B", mk(8192, 125)},
+		{"500B", mk(18432, 124)},
+		{"1T", mk(25600, 128)},
+		{"10T", mk(65536, 200)},
+		{"100T", mk(88064, 1075)},
+	}
+}
+
+// Fig2a computes the Figure 2a table at the given per-node batch size.
+func Fig2a(bsz int64) []Fig2aRow {
+	var rows []Fig2aRow
+	for _, s := range Fig2aShapes() {
+		rows = append(rows, Fig2aRow{
+			Label:       s.Label,
+			Shape:       s.Shape,
+			Params:      s.Shape.Params(),
+			ModelStates: s.Shape.ModelStatesBytes(),
+			ActFull:     s.Shape.FullActivationBytes(bsz),
+			ActCkpt:     s.Shape.ActivationCheckpointBytes(bsz),
+			MSWM:        s.Shape.MSWMBytes(),
+			AWM:         s.Shape.AWMBytes(bsz),
+		})
+	}
+	return rows
+}

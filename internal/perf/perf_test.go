@@ -1,0 +1,294 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEq1Eq2ParamAndStateCounts(t *testing.T) {
+	m := ModelShape{Hidden: 8192, Layers: 125, Heads: 16, Seq: 1024, CkptEvery: 1}
+	wantParams := int64(12 * 125 * 8192 * 8192) // ≈ 100.7 B
+	if got := m.Params(); got != wantParams {
+		t.Fatalf("Params = %d, want %d", got, wantParams)
+	}
+	if got := m.ModelStatesBytes(); got != 20*wantParams {
+		t.Fatalf("ModelStates = %d, want %d", got, 20*wantParams)
+	}
+	// Sanity vs paper: 100B params → 2 TB of model states.
+	if tb := float64(m.ModelStatesBytes()) / float64(TB); tb < 1.7 || tb > 2.1 {
+		t.Fatalf("100B model states = %.2f TB, want ≈ 1.8 TB", tb)
+	}
+}
+
+// Paper Sec. 3: "it requires 64 GPUs to just fit the model states for a
+// 100B parameter model" (64 × 32 GB = 2 TB).
+func TestPaperAnchor100BNeeds64GPUs(t *testing.T) {
+	m := Fig2aShapes()[0].Shape
+	gpus := float64(m.ModelStatesBytes()) / float64(32*GB)
+	if gpus < 55 || gpus > 70 {
+		t.Fatalf("100B model needs %.0f GPUs of state, want ≈ 64", gpus)
+	}
+}
+
+// Paper Sec. 5.1.2: activation checkpoints of a 10T model ≈ 0.76 TB
+// (batch 32, seq 1024, ci 1).
+func TestPaperAnchor10TActivationCkpt(t *testing.T) {
+	m := Fig2aShapes()[3].Shape // 10T: hd 64K, nl 200
+	got := float64(m.ActivationCheckpointBytes(32)) / float64(TB)
+	if got < 0.6 || got > 0.95 {
+		t.Fatalf("10T ckpt = %.2f TB, want ≈ 0.76 TB", got)
+	}
+}
+
+// Paper Sec. 5.1.1: a 100T model's states fit in the aggregate NVMe of a
+// 96-node DGX-2 cluster.
+func TestPaperAnchor100TFitsIn96NodeNVMe(t *testing.T) {
+	m := Fig2aShapes()[4].Shape
+	c := DGX2(96)
+	if m.ModelStatesBytes() > c.AggNVMeMemory() {
+		t.Fatalf("100T states (%d) exceed 96-node NVMe (%d)", m.ModelStatesBytes(), c.AggNVMeMemory())
+	}
+	if m.ModelStatesBytes() > DGX2(60).AggNVMeMemory() {
+		t.Log("needs most of the cluster, as the paper implies")
+	}
+}
+
+func TestMSWMAndAWMFormulas(t *testing.T) {
+	m := ModelShape{Hidden: 8192, Layers: 1, Heads: 16, Seq: 1024, CkptEvery: 1}
+	if got, want := m.MSWMBytes(), int64(4*8192*4*8192); got != want {
+		t.Fatalf("MSWM = %d, want %d", got, want)
+	}
+	wantAWM := int64(32) * 1024 * (16*8192 + 2*16*1024)
+	if got := m.AWMBytes(32); got != wantAWM {
+		t.Fatalf("AWM = %d, want %d", got, wantAWM)
+	}
+}
+
+func TestEfficiencyEquationProperties(t *testing.T) {
+	// Monotone in bandwidth, bounded by (0,1), 50% point at bw=peak/ait.
+	ait, peak := 2048.0, 70e12
+	half := Efficiency(ait, peak/ait, peak)
+	if math.Abs(half-0.5) > 1e-12 {
+		t.Fatalf("efficiency at bw=peak/ait = %g, want 0.5", half)
+	}
+	f := func(a, b float64) bool {
+		a = math.Mod(math.Abs(a), 1e15) + 1
+		b = math.Mod(math.Abs(b), 1e6) + 1
+		lo, hi := a, a*b
+		e1 := Efficiency(ait, lo, peak)
+		e2 := Efficiency(ait, hi, peak)
+		return e1 <= e2 && e1 > 0 && e2 < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequiredBandwidthInvertsEfficiency(t *testing.T) {
+	ait, peak := 512.0, 70e12
+	for _, eff := range []float64{0.1, 0.5, 0.9, 0.99} {
+		bw := RequiredBandwidth(eff, ait, peak)
+		back := Efficiency(ait, bw, peak)
+		if math.Abs(back-eff) > 1e-9 {
+			t.Fatalf("eff %g → bw %g → eff %g", eff, bw, back)
+		}
+	}
+}
+
+// Paper Sec. 4.2 anchors.
+func TestFig3Anchors(t *testing.T) {
+	// (a) ≥70 GB/s gives >50% efficiency even at batch size 1 (seq 1024).
+	eff := Efficiency(AITParamsGrads(1024, 1), 70e9, peakV100)
+	if eff <= 0.5 {
+		t.Fatalf("params/grads eff at 70GB/s bsz1 = %g, want > 0.5", eff)
+	}
+	// (b) 90% efficiency at batch 2 needs ≈ 1.5 TB/s for optimizer states.
+	bw := RequiredBandwidth(0.9, AITOptimizerStates(1024, 2), peakV100)
+	if bw < 1.0e12 || bw > 1.6e12 {
+		t.Fatalf("optimizer 90%% bw = %.2g, want ≈ 1.5 TB/s", bw)
+	}
+	// Optimizer states need ~4x the bandwidth of params/grads (Eq 10 vs 9).
+	r := RequiredBandwidth(0.5, AITOptimizerStates(1024, 4), peakV100) /
+		RequiredBandwidth(0.5, AITParamsGrads(1024, 4), peakV100)
+	if math.Abs(r-4) > 1e-9 {
+		t.Fatalf("optimizer/params bw ratio = %g, want 4", r)
+	}
+	// (c) 2 GB/s sustains >50% efficiency for hidden 2K, <1 GB/s for ≥8K.
+	if e := Efficiency(AITActivationCkpt(2048, 1), 2e9, peakV100); e <= 0.5 {
+		t.Fatalf("act ckpt eff at 2GB/s hd2K = %g", e)
+	}
+	if bw := RequiredBandwidth(0.5, AITActivationCkpt(8192, 1), peakV100); bw >= 1e9 {
+		t.Fatalf("act ckpt 50%% bw at hd8K = %g, want < 1 GB/s", bw)
+	}
+}
+
+func TestFig3SeriesShapes(t *testing.T) {
+	for _, fig := range [][]Fig3Series{Fig3a(), Fig3b(), Fig3c()} {
+		if len(fig) != 5 {
+			t.Fatalf("series count = %d, want 5", len(fig))
+		}
+		for _, s := range fig {
+			if len(s.Points) == 0 {
+				t.Fatalf("series %s empty", s.Label)
+			}
+			for i := 1; i < len(s.Points); i++ {
+				if s.Points[i].Efficiency < s.Points[i-1].Efficiency {
+					t.Fatalf("series %s not monotone", s.Label)
+				}
+			}
+		}
+	}
+}
+
+func TestComputePerIter(t *testing.T) {
+	// Eq: 8 · bsz · seq · params.
+	if got := ComputePerIter(2, 1024, 1e9); got != 8*2*1024*1e9 {
+		t.Fatalf("ComputePerIter = %g", got)
+	}
+}
+
+func TestTable3LinearScaling(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].SlowMemBWPerDevice != 3.0 || rows[0].GPUToGPUBW != 70 {
+		t.Fatalf("V100 row wrong: %+v", rows[0])
+	}
+	for i, mult := range []float64{10, 100} {
+		r := rows[i+1]
+		if r.SlowMemBWPerDevice != 3.0*mult || r.GPUToGPUBW != 70*mult {
+			t.Fatalf("row %s not linear: %+v", r.Label, r)
+		}
+	}
+	// Aggregate: 512 devices × 3 GB/s = 1.5 TB/s (paper Table 3).
+	if math.Abs(rows[0].SlowMemAggregateTBps-1.536) > 0.01 {
+		t.Fatalf("aggregate = %g TB/s, want ≈ 1.5", rows[0].SlowMemAggregateTBps)
+	}
+}
+
+// Figure 6a shape: each successive strategy unlocks a larger model, with
+// the paper's approximate milestones on a single DGX-2.
+func TestFig6aStrategyOrdering(t *testing.T) {
+	rows := Fig6a()
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(k StrategyKind) int64 {
+		for _, r := range rows {
+			if r.Strategy == k {
+				return r.MaxParams
+			}
+		}
+		t.Fatalf("missing %v", k)
+		return 0
+	}
+	dp := get(KindDP)
+	z2 := get(KindZeRO2)
+	off := get(KindZeROOffload)
+	z3 := get(KindZeRO3)
+	infCPU := get(KindInfCPU)
+	infNVMe := get(KindInfNVMe)
+
+	inRange := func(name string, got int64, lo, hi float64) {
+		t.Helper()
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("%s max = %.2fB, want in [%.1fB, %.1fB]", name, float64(got)/1e9, lo/1e9, hi/1e9)
+		}
+	}
+	inRange("DP", dp, 0.8e9, 2.0e9)            // paper: 1.4B
+	inRange("ZeRO-2", z2, 7e9, 16e9)           // paper: 13B
+	inRange("ZeRO-Offload", off, 9e9, 18e9)    // paper: 13B
+	inRange("ZeRO-3", z3, 15e9, 30e9)          // paper: ~20B
+	inRange("Inf-CPU", infCPU, 60e9, 110e9)    // paper: ~100B ("almost")
+	inRange("Inf-NVMe", infNVMe, 0.8e12, 2e12) // paper: 1T
+
+	// The ~700x headline: NVMe vs plain data parallelism.
+	ratio := float64(infNVMe) / float64(dp)
+	if ratio < 400 || ratio > 1300 {
+		t.Errorf("Inf-NVMe/DP ratio = %.0fx, paper reports ≈ 700x", ratio)
+	}
+}
+
+// Figure 1 shape: ZeRO-Infinity trains ~50x larger than 3D parallelism on
+// 32 nodes, reaching ≥ 32T parameters.
+func TestFig1ScaleGap(t *testing.T) {
+	// Batch 1/GPU: at the scale frontier the paper itself shrinks the batch
+	// to fit activation checkpoints in CPU memory (Sec. 8.2).
+	pts := Fig1([]int{1, 4, 16, 32}, 1)
+	last := pts[len(pts)-1]
+	if last.ZeROInf < 32e12 {
+		t.Fatalf("32-node ZeRO-Infinity max = %.1fT, want ≥ 32T", float64(last.ZeROInf)/1e12)
+	}
+	if last.ThreeD > 1e12 {
+		t.Fatalf("32-node 3D max = %.2fT, want < 1T (paper ~0.65T)", float64(last.ThreeD)/1e12)
+	}
+	// Paper reports "50x" comparing its *achieved* 32T against 3D's max;
+	// our model compares max-vs-max, which lands higher. Accept the decade.
+	if last.ScaleRatio < 30 || last.ScaleRatio > 130 {
+		t.Fatalf("scale ratio = %.0fx, paper reports ≈ 50x", last.ScaleRatio)
+	}
+	// Monotone growth in nodes for both.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ZeROInf < pts[i-1].ZeROInf || pts[i].ThreeD < pts[i-1].ThreeD {
+			t.Fatal("max size not monotone in node count")
+		}
+	}
+}
+
+// Figure 6b shape: tiling multiplies the trainable hidden size ~√tiles.
+func TestFig6bTilingGrowsMaxHidden(t *testing.T) {
+	chunk := int64(2 * GB)
+	h1 := Fig6bMaxHidden(1, chunk)
+	h16 := Fig6bMaxHidden(16, chunk)
+	h64 := Fig6bMaxHidden(64, chunk)
+	if h1 < 8192 || h1 > 16384 {
+		t.Fatalf("untiled max hidden = %d, paper reports 8K", h1)
+	}
+	if h16 <= h1 {
+		t.Fatalf("tiling 16 did not increase max hidden: %d vs %d", h16, h1)
+	}
+	if h64 < 65536 {
+		t.Fatalf("tiling 64 max hidden = %d, want ≥ 64K", h64)
+	}
+}
+
+func TestShapeForParamsRoundTrip(t *testing.T) {
+	for _, p := range []int64{1e9, 13e9, 100e9, 1e12, 32e12} {
+		s := ShapeForParams(p)
+		got := s.Params()
+		if got < p/3 || got > p*3 {
+			t.Fatalf("ShapeForParams(%g) gives %g params", float64(p), float64(got))
+		}
+		if s.Layers < 1 || s.Layers > 1500 {
+			t.Fatalf("layers %d unreasonable", s.Layers)
+		}
+	}
+}
+
+func TestDGX2Envelope(t *testing.T) {
+	c := DGX2(1)
+	if c.TotalGPUs() != 16 {
+		t.Fatalf("gpus = %d", c.TotalGPUs())
+	}
+	if c.AggGPUMemory() != 512*GB {
+		t.Fatalf("agg gpu mem = %d", c.AggGPUMemory())
+	}
+	// Paper Sec. 6.1: allgather approach reaches ~3.0 GB/s per GPU over
+	// PCIe and ~1.6 GB/s per GPU from NVMe on a 16-GPU node.
+	if bw := c.PerGPUPCIeBW(); bw != 3e9 {
+		t.Fatalf("per-GPU PCIe = %g", bw)
+	}
+	if bw := c.PerGPUNVMeBW(); math.Abs(bw-1.5625e9) > 1e6 {
+		t.Fatalf("per-GPU NVMe = %g", bw)
+	}
+	// 64 nodes: >3 TB/s CPU and >1.5 TB/s NVMe aggregate (Sec. 6.1).
+	c64 := DGX2(64)
+	if float64(c64.Nodes)*c64.PCIeAggBW < 3e12 {
+		t.Fatal("64-node aggregate PCIe below 3 TB/s")
+	}
+	if float64(c64.Nodes)*c64.NVMeAggBW < 1.5e12 {
+		t.Fatal("64-node aggregate NVMe below 1.5 TB/s")
+	}
+}

@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"repro/internal/perf"
+	"repro/internal/zero"
+)
+
+// Table1Row is one experiment configuration from the paper's Table 1.
+type Table1Row struct {
+	Nodes      int
+	Label      string
+	ParamsB    float64 // billions
+	Hidden     int64
+	Layers     int64
+	BatchGPU   float64
+	MP         int
+	ParamPlace zero.Placement
+	OptPlace   zero.Placement
+}
+
+// Table1 reproduces the paper's Table 1 configurations.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{1, "10B", 10, 4096, 50, 8, 1, zero.OnGPU, zero.OnGPU},
+		{1, "50B", 50, 8192, 62, 26, 1, zero.OnCPU, zero.OnNVMe},
+		{1, "100B", 100, 8192, 125, 24, 1, zero.OnCPU, zero.OnNVMe},
+		{1, "0.5T", 500, 18432, 124, 8, 1, zero.OnNVMe, zero.OnNVMe},
+		{1, "1T", 1000, 25600, 128, 7, 1, zero.OnNVMe, zero.OnNVMe},
+		{32, "0.5T", 500, 18432, 124, 7, 4, zero.OnGPU, zero.OnGPU},
+		{32, "1T", 1000, 25600, 128, 5, 4, zero.OnGPU, zero.OnGPU},
+		{32, "5T", 5000, 49152, 174, 3, 4, zero.OnNVMe, zero.OnNVMe},
+		{32, "10T", 10000, 65536, 200, 2, 4, zero.OnNVMe, zero.OnNVMe},
+		{32, "20T", 20000, 88064, 205, 1.25, 8, zero.OnNVMe, zero.OnNVMe},
+	}
+}
+
+func (r Table1Row) shape() perf.ModelShape {
+	return perf.ModelShape{Hidden: r.Hidden, Layers: r.Layers, Heads: 16, Seq: 1024, CkptEvery: 1}
+}
+
+// infinityIter builds the ZeRO-Infinity iteration config for a Table 1 row.
+func infinityIter(r Table1Row) IterConfig {
+	return IterConfig{
+		Cluster:            perf.DGX2(r.Nodes),
+		Shape:              r.shape(),
+		BszGPU:             r.BatchGPU,
+		Params:             r.ParamPlace,
+		Optimizer:          r.OptPlace,
+		Overlap:            true,
+		OffloadActivations: r.ParamPlace == zero.OnNVMe, // extreme scale spills ckpts
+	}
+}
+
+// Simulate3D models Megatron-style 3D parallelism: the same compute, tensor-
+// slicing allreduces inside each layer, a pipeline-bubble stretch, and the
+// data-parallel gradient allreduce. Returns a zero result (OOM) when the
+// model states don't fit the aggregate GPU memory.
+func Simulate3D(c perf.Cluster, m perf.ModelShape, bszGPU float64, mp, pp int) IterResult {
+	if ok, _ := perf.Feasible(perf.Kind3D, c, m, int64(bszGPU+0.999)); !ok {
+		return IterResult{} // out of memory
+	}
+	peak := peakFlops(m.Hidden)
+	n := float64(c.TotalGPUs())
+	dp := n / float64(mp*pp)
+	if dp < 1 {
+		dp = 1
+	}
+	params := float64(m.Params())
+
+	computeSec := perf.ComputePerIter(1, m.Seq, m.Params()) * bszGPU / peak
+	// Tensor-slicing: 4 allreduces per layer of bsz·seq·hd fp16 activations.
+	mpVolume := 4 * 2 * bszGPU * float64(m.Seq) * float64(m.Hidden) * 2 * float64(m.Layers)
+	mpSec := mpVolume / c.GPUToGPUBW
+	// Pipeline bubble: microbatch count = replica batch (micro size 1).
+	replicaBatch := bszGPU * n / dp
+	bubble := float64(pp-1) / (replicaBatch + float64(pp-1))
+	// DP gradient allreduce over each GPU's 1/(mp·pp) slice.
+	gg := c.GPUToGPUBW
+	if c.Nodes > 1 && c.InterNodeBW < gg {
+		gg = c.InterNodeBW
+	}
+	dpSec := 0.0
+	if dp > 1 {
+		dpSec = 2 * 2 * params / float64(mp*pp) / gg
+	}
+	total := (computeSec+mpSec)/(1-bubble) + dpSec
+	flopsPerGPU := perf.ComputePerIter(1, m.Seq, m.Params()) * bszGPU / total
+	return IterResult{
+		TotalSec:     total,
+		TFlopsPerGPU: flopsPerGPU / 1e12,
+		Efficiency:   flopsPerGPU / peak,
+	}
+}
+
+// Fig5aRow is one cluster of bars in Figure 5a.
+type Fig5aRow struct {
+	Label        string
+	ZeROInfinity IterResult
+	ThreeD       IterResult // TFlopsPerGPU == 0 means OOM
+}
+
+// Fig5a simulates 500B-20T models on 512 GPUs for ZeRO-Infinity and 3D
+// parallelism.
+func Fig5a() []Fig5aRow {
+	var rows []Fig5aRow
+	for _, r := range Table1() {
+		if r.Nodes != 32 {
+			continue
+		}
+		zi := SimulateIteration(infinityIter(r))
+		td := Simulate3D(perf.DGX2(32), r.shape(), r.BatchGPU, 8, 8)
+		rows = append(rows, Fig5aRow{Label: r.Label, ZeROInfinity: zi, ThreeD: td})
+	}
+	return rows
+}
+
+// Fig5bPoint is one point of the Figure 5b weak-scaling study.
+type Fig5bPoint struct {
+	Nodes           int
+	GPUs            int
+	TFlopsPerGPU    float64
+	TotalPetaflops  float64
+	LinearPetaflops float64 // linear extrapolation from the smallest scale
+}
+
+// Fig5b sweeps a 1T model from 4 to 32 nodes at constant batch per node.
+func Fig5b() []Fig5bPoint {
+	shape := perf.ModelShape{Hidden: 25600, Layers: 128, Heads: 16, Seq: 1024, CkptEvery: 1}
+	// Paper Table 1 runs the 1T model at batch 5/GPU on 32 nodes; weak
+	// scaling keeps that per-node batch (80) constant down to 4 nodes.
+	const batchPerNode = 80.0
+	var out []Fig5bPoint
+	var basePerGPU float64
+	for _, nodes := range []int{4, 8, 16, 32} {
+		c := perf.DGX2(nodes)
+		res := SimulateIteration(IterConfig{
+			Cluster:            c,
+			Shape:              shape,
+			BszGPU:             batchPerNode / float64(c.GPUsPerNode),
+			Params:             zero.OnNVMe,
+			Optimizer:          zero.OnNVMe,
+			Overlap:            true,
+			OffloadActivations: true,
+		})
+		gpus := c.TotalGPUs()
+		total := res.TFlopsPerGPU * float64(gpus) / 1000
+		if basePerGPU == 0 {
+			basePerGPU = res.TFlopsPerGPU
+		}
+		out = append(out, Fig5bPoint{
+			Nodes:           nodes,
+			GPUs:            gpus,
+			TFlopsPerGPU:    res.TFlopsPerGPU,
+			TotalPetaflops:  total,
+			LinearPetaflops: basePerGPU * float64(gpus) / 1000,
+		})
+	}
+	return out
+}
+
+// Fig5cRow is one bar of Figure 5c: single-node training without model
+// parallelism.
+type Fig5cRow struct {
+	Label  string
+	Result IterResult
+}
+
+// Fig5c simulates 10B-1T models on one DGX-2 node.
+func Fig5c() []Fig5cRow {
+	var rows []Fig5cRow
+	for _, r := range Table1() {
+		if r.Nodes != 1 {
+			continue
+		}
+		rows = append(rows, Fig5cRow{Label: r.Label, Result: SimulateIteration(infinityIter(r))})
+	}
+	return rows
+}
+
+// fig6Cluster builds a cluster restricted to the given GPU count (paper
+// appendix configurations use 4-64 GPUs). PCIe aggregate scales with the
+// active GPUs up to the node's 48 GB/s switch limit.
+func fig6Cluster(gpus int) perf.Cluster {
+	nodes := (gpus + 15) / 16
+	c := perf.DGX2(nodes)
+	if gpus < 16 {
+		c.GPUsPerNode = gpus
+		agg := 12e9 * float64(gpus)
+		if agg > 48e9 {
+			agg = 48e9
+		}
+		c.PCIeAggBW = agg
+	}
+	return c
+}
+
+// Fig6cPoint compares gradient-offload backward time, ZeRO-Infinity's
+// bandwidth-centric path vs ZeRO-Offload's single-PCIe path (Table 6: 8B
+// model, hd 8192, 10 layers, batch 2/GPU).
+type Fig6cPoint struct {
+	GPUs           int
+	InfinityBwdSec float64
+	OffloadBwdSec  float64
+	Speedup        float64
+}
+
+// Fig6c sweeps 4-64 GPUs.
+func Fig6c() []Fig6cPoint {
+	shape := perf.ModelShape{Hidden: 8192, Layers: 10, Heads: 16, Seq: 1024, CkptEvery: 1}
+	var out []Fig6cPoint
+	for _, gpus := range []int{4, 16, 32, 64} {
+		base := IterConfig{
+			Cluster:   fig6Cluster(gpus),
+			Shape:     shape,
+			BszGPU:    2,
+			Params:    zero.OnGPU,
+			Optimizer: zero.OnCPU,
+			Overlap:   true,
+		}
+		inf := SimulateIteration(base)
+		// ZeRO-Offload: gradients funnel through a single PCIe link per
+		// node and the engine lacks the infinity overlap engine.
+		off := base
+		off.BroadcastPath = true
+		off.Overlap = false
+		offRes := SimulateIteration(off)
+		out = append(out, Fig6cPoint{
+			GPUs:           gpus,
+			InfinityBwdSec: inf.BackwardSec,
+			OffloadBwdSec:  offRes.BackwardSec,
+			Speedup:        offRes.BackwardSec / inf.BackwardSec,
+		})
+	}
+	return out
+}
+
+// Fig6dPoint measures the prefetch/overlap ablation (Table 7: 8B model,
+// 64 GPUs, batch 2-16 per GPU).
+type Fig6dPoint struct {
+	BatchGPU    float64
+	OverlapTF   float64
+	NoOverlapTF float64
+	Speedup     float64
+}
+
+// Fig6d sweeps batch size with overlap on/off.
+func Fig6d() []Fig6dPoint {
+	shape := perf.ModelShape{Hidden: 8192, Layers: 10, Heads: 16, Seq: 1024, CkptEvery: 1}
+	var out []Fig6dPoint
+	for _, bsz := range []float64{2, 4, 8, 10, 14, 16} {
+		base := IterConfig{
+			Cluster:   perf.DGX2(4),
+			Shape:     shape,
+			BszGPU:    bsz,
+			Params:    zero.OnCPU,
+			Optimizer: zero.OnCPU,
+		}
+		off := base
+		base.Overlap = true
+		on := SimulateIteration(base)
+		offR := SimulateIteration(off)
+		out = append(out, Fig6dPoint{
+			BatchGPU:    bsz,
+			OverlapTF:   on.TFlopsPerGPU,
+			NoOverlapTF: offR.TFlopsPerGPU,
+			Speedup:     on.TFlopsPerGPU / offR.TFlopsPerGPU,
+		})
+	}
+	return out
+}
+
+// Fig6ePoint measures activation-checkpoint CPU offload overhead (Table 8:
+// 5-layer models, batch 4/GPU, 32 GPUs; 64K hidden uses NVMe optimizer on
+// 64 GPUs).
+type Fig6ePoint struct {
+	Hidden    int64
+	OnGPUTF   float64
+	OffloadTF float64
+	Slowdown  float64 // ≥ 1; 1 means free offload
+}
+
+// Fig6e sweeps hidden sizes.
+func Fig6e() []Fig6ePoint {
+	var out []Fig6ePoint
+	for _, hd := range []int64{2048, 8192, 16384, 32768, 65536} {
+		shape := perf.ModelShape{Hidden: hd, Layers: 5, Heads: 16, Seq: 1024, CkptEvery: 1}
+		cl := perf.DGX2(2)
+		opt := zero.OnCPU
+		if hd == 65536 {
+			cl = perf.DGX2(4)
+			opt = zero.OnNVMe
+		}
+		base := IterConfig{
+			Cluster:   cl,
+			Shape:     shape,
+			BszGPU:    4,
+			Params:    zero.OnGPU,
+			Optimizer: opt,
+			Overlap:   true,
+		}
+		on := SimulateIteration(base)
+		off := base
+		off.OffloadActivations = true
+		offR := SimulateIteration(off)
+		out = append(out, Fig6ePoint{
+			Hidden:    hd,
+			OnGPUTF:   on.TFlopsPerGPU,
+			OffloadTF: offR.TFlopsPerGPU,
+			Slowdown:  on.TFlopsPerGPU / offR.TFlopsPerGPU,
+		})
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/perf"
+	"repro/internal/zero"
+)
+
+// IterConfig describes one simulated training iteration.
+type IterConfig struct {
+	Cluster perf.Cluster
+	Shape   perf.ModelShape
+	BszGPU  float64 // per-GPU micro batch (fractional values appear in Table 1)
+
+	Params    zero.Placement // fp16 parameter shards
+	Optimizer zero.Placement // fp32 optimizer shards
+	// GradsVia selects the gradient offload path: with BroadcastPath the
+	// engine behaves like ZeRO-Offload (single PCIe link per node carries
+	// the traffic, paper Sec. 6.1); otherwise bandwidth-centric
+	// partitioning uses every link in parallel.
+	BroadcastPath bool
+
+	Overlap            bool // overlap-centric design (prefetcher etc.)
+	OffloadActivations bool // activation checkpoints to CPU over PCIe
+}
+
+func (c *IterConfig) setDefaults() {
+	if c.BszGPU == 0 {
+		c.BszGPU = 1
+	}
+}
+
+// IterResult is the simulated outcome.
+type IterResult struct {
+	ForwardSec   float64
+	BackwardSec  float64
+	OptimizerSec float64
+	TotalSec     float64
+	TFlopsPerGPU float64
+	Efficiency   float64 // vs achievable peak
+}
+
+// peakFlops interpolates the paper's empirical 62-78 TFlops/GPU achievable
+// peak over hidden sizes 8K-64K (Sec. 4.2).
+func peakFlops(hidden int64) float64 {
+	lo, hi := math.Log2(8192), math.Log2(65536)
+	x := (math.Log2(float64(hidden)) - lo) / (hi - lo)
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	return (62 + 16*x) * 1e12
+}
+
+// bandwidths resolved per representative GPU.
+type linkBW struct {
+	gg        float64 // collective bandwidth per GPU
+	pcie      float64 // CPU<->GPU share per GPU
+	pcieBcast float64 // single-link PCIe (broadcast path)
+	nvme      float64 // NVMe share per GPU
+	gpuMem    float64
+	cpuMem    float64 // per GPU share of node CPU DRAM bandwidth
+}
+
+func resolveBW(c perf.Cluster) linkBW {
+	gg := c.GPUToGPUBW
+	if c.Nodes > 1 && c.InterNodeBW < gg {
+		// Hierarchical collectives: the inter-node stage bottlenecks at the
+		// node NIC; intra-node redistribution rides NVSwitch.
+		gg = c.InterNodeBW
+	}
+	gpn := float64(c.GPUsPerNode)
+	return linkBW{
+		gg:        gg,
+		pcie:      c.PCIeAggBW / gpn,
+		pcieBcast: c.PCIeSingleBW / gpn, // one active link serves the node
+		nvme:      c.NVMeAggBW / gpn,
+		gpuMem:    c.GPUMemBW,
+		cpuMem:    c.CPUMemBW / gpn,
+	}
+}
+
+// SimulateIteration runs the stream-timeline model for one iteration.
+func SimulateIteration(cfg IterConfig) IterResult {
+	cfg.setDefaults()
+	c := cfg.Cluster
+	m := cfg.Shape
+	n := float64(c.TotalGPUs())
+	bw := resolveBW(c)
+	peak := peakFlops(m.Hidden)
+
+	params := float64(m.Params())
+	layers := int(m.Layers)
+	if layers > 512 {
+		layers = 512 // model at layer-group granularity for very deep nets
+	}
+	paramsPerLayer := params / float64(layers)
+	fp16Layer := 2 * paramsPerLayer
+
+	// Per-layer compute (flops per GPU): forward = 2·bsz·seq·params_layer.
+	fwdFlops := 2 * cfg.BszGPU * float64(m.Seq) * paramsPerLayer
+	bwdFlops := 2 * fwdFlops // backward ≈ 2× forward
+	recFlops := fwdFlops     // checkpoint recomputation
+
+	// Transfer volumes per GPU per layer.
+	shardBytes := fp16Layer / n            // this GPU's slice of the layer
+	gatherBytes := fp16Layer * (n - 1) / n // received during allgather
+	ckptBytes := 2 * cfg.BszGPU * float64(m.Seq) * float64(m.Hidden)
+
+	pcieBW := bw.pcie
+	if cfg.BroadcastPath {
+		pcieBW = bw.pcieBcast
+	}
+
+	tl := &Timeline{}
+
+	// fetch models the source→GPU path for one layer's shard, returning
+	// the time the full parameter is available (after allgather).
+	fetch := func(ready float64) float64 {
+		t := ready
+		switch cfg.Params {
+		case zero.OnNVMe:
+			t = tl.NVMe.Run(t, shardBytes/bw.nvme)
+			t = tl.PCIe.Run(t, shardBytes/pcieBW)
+		case zero.OnCPU:
+			t = tl.PCIe.Run(t, shardBytes/pcieBW)
+		}
+		if n > 1 {
+			t = tl.GG.Run(t, gatherBytes/bw.gg)
+		}
+		return t
+	}
+	// With overlap disabled, every stage waits for everything before it.
+	sync := func() float64 {
+		if cfg.Overlap {
+			return 0 // streams run free; dependencies are per-layer only
+		}
+		return tl.Finish()
+	}
+
+	// ---- Forward pass ----
+	for l := 0; l < layers; l++ {
+		ready := fetch(sync())
+		done := tl.Compute.Run(ready, fwdFlops/peak)
+		if cfg.OffloadActivations {
+			tl.PCIe.Run(done, ckptBytes/bw.pcie)
+		}
+		if !cfg.Overlap {
+			tl.Compute.AdvanceTo(tl.Finish())
+		}
+	}
+	fwdEnd := tl.Finish()
+
+	// ---- Backward pass (reverse layer order) ----
+	// Parameters stream three times per iteration with checkpointing (Sec.
+	// 4.1): once in forward, once for recomputation, once for backward —
+	// matching the functional engine, whose hooks re-gather inside the
+	// checkpointed recompute.
+	for l := layers - 1; l >= 0; l-- {
+		start := sync()
+		if cfg.OffloadActivations {
+			start = tl.PCIe.Run(start, ckptBytes/bw.pcie) // fetch checkpoint
+		}
+		ready := fetch(start)
+		recDone := tl.Compute.Run(ready, recFlops/peak)
+		ready2 := fetch(sync())
+		if recDone > ready2 {
+			ready2 = recDone
+		}
+		done := tl.Compute.Run(ready2, bwdFlops/peak)
+		// Reduce-scatter gradients, then offload the reduced shard.
+		t := done
+		if n > 1 {
+			t = tl.GG.Run(t, gatherBytes/bw.gg)
+		}
+		switch cfg.Optimizer {
+		case zero.OnNVMe:
+			t = tl.PCIe.Run(t, shardBytes/pcieBW)
+			tl.NVMe.Run(t, shardBytes/bw.nvme)
+		case zero.OnCPU:
+			tl.PCIe.Run(t, shardBytes/pcieBW)
+		}
+		if !cfg.Overlap {
+			tl.Compute.AdvanceTo(tl.Finish())
+		}
+	}
+	bwdEnd := tl.Finish()
+
+	// ---- Optimizer step (not overlappable with fwd/bwd, Sec. 4.2) ----
+	optBytes := 2 * 16 * params / n // read + write fp32 states, per GPU share
+	var optSec float64
+	switch cfg.Optimizer {
+	case zero.OnNVMe:
+		optSec = optBytes/bw.nvme + optBytes/bw.cpuMem
+	case zero.OnCPU:
+		optSec = optBytes / bw.cpuMem
+	default:
+		optSec = optBytes / bw.gpuMem
+	}
+	// Updated fp16 shards return to their tier.
+	paramWriteBytes := 2 * params / n
+	switch cfg.Params {
+	case zero.OnNVMe:
+		optSec += paramWriteBytes / bw.nvme
+	case zero.OnCPU:
+		optSec += paramWriteBytes / bw.cpuMem
+	}
+
+	total := bwdEnd + optSec
+	flopsPerGPU := perf.ComputePerIter(1, m.Seq, m.Params()) * cfg.BszGPU / total
+	return IterResult{
+		ForwardSec:   fwdEnd,
+		BackwardSec:  bwdEnd - fwdEnd,
+		OptimizerSec: optSec,
+		TotalSec:     total,
+		TFlopsPerGPU: flopsPerGPU / 1e12,
+		Efficiency:   flopsPerGPU / peak,
+	}
+}

@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/perf"
+	"repro/internal/zero"
+)
+
+func TestStreamSerializesAndOverlaps(t *testing.T) {
+	var a, b Stream
+	// Two ops on one stream serialize.
+	a.Run(0, 1)
+	if end := a.Run(0, 1); end != 2 {
+		t.Fatalf("same-stream end = %g, want 2", end)
+	}
+	// Ops on different streams overlap.
+	if end := b.Run(0, 1); end != 1 {
+		t.Fatalf("other-stream end = %g, want 1", end)
+	}
+	// Ready-time gates the start.
+	if end := b.Run(5, 1); end != 6 {
+		t.Fatalf("gated end = %g, want 6", end)
+	}
+	if a.Busy() != 2 || b.Busy() != 2 {
+		t.Fatalf("busy = %g %g", a.Busy(), b.Busy())
+	}
+}
+
+func TestPeakFlopsInterpolation(t *testing.T) {
+	if p := peakFlops(8192); p != 62e12 {
+		t.Fatalf("peak(8K) = %g", p)
+	}
+	if p := peakFlops(65536); p != 78e12 {
+		t.Fatalf("peak(64K) = %g", p)
+	}
+	mid := peakFlops(23170) // geometric middle
+	if mid < 62e12 || mid > 78e12 {
+		t.Fatalf("peak(mid) = %g out of range", mid)
+	}
+	if peakFlops(1024) != 62e12 || peakFlops(1<<20) != 78e12 {
+		t.Fatal("clamping failed")
+	}
+}
+
+func TestOverlapNeverSlower(t *testing.T) {
+	for _, r := range Table1() {
+		cfg := infinityIter(r)
+		on := SimulateIteration(cfg)
+		cfg.Overlap = false
+		off := SimulateIteration(cfg)
+		if on.TotalSec > off.TotalSec*1.0001 {
+			t.Fatalf("%s: overlap made it slower: %g vs %g", r.Label, on.TotalSec, off.TotalSec)
+		}
+	}
+}
+
+func TestEfficiencyBounded(t *testing.T) {
+	for _, r := range Table1() {
+		res := SimulateIteration(infinityIter(r))
+		if res.Efficiency <= 0 || res.Efficiency >= 1 {
+			t.Fatalf("%s: efficiency %g out of (0,1)", r.Label, res.Efficiency)
+		}
+		if res.TotalSec <= 0 {
+			t.Fatalf("%s: nonpositive iteration time", r.Label)
+		}
+	}
+}
+
+// Figure 5a shape: ZeRO-Infinity ≈ 3D parallelism at 500B; 3D OOMs beyond;
+// ZeRO-Infinity sustains tens of TFlops/GPU through 20T with throughput
+// declining from 5T to 20T (the paper's 49 → 43 → 34 progression).
+func TestFig5aShape(t *testing.T) {
+	rows := Fig5a()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	at := func(label string) Fig5aRow {
+		for _, r := range rows {
+			if r.Label == label {
+				return r
+			}
+		}
+		t.Fatalf("missing %s", label)
+		return Fig5aRow{}
+	}
+	half := at("0.5T")
+	if half.ThreeD.TFlopsPerGPU == 0 {
+		t.Fatal("3D OOMed at 500B; paper trains it")
+	}
+	rel := half.ZeROInfinity.TFlopsPerGPU / half.ThreeD.TFlopsPerGPU
+	if rel < 0.7 || rel > 1.5 {
+		t.Fatalf("0.5T ZeRO/3D ratio = %.2f, paper reports near-identical", rel)
+	}
+	for _, label := range []string{"5T", "10T", "20T"} {
+		r := at(label)
+		if r.ThreeD.TFlopsPerGPU != 0 {
+			t.Fatalf("3D at %s should OOM", label)
+		}
+		if r.ZeROInfinity.TFlopsPerGPU < 20 || r.ZeROInfinity.TFlopsPerGPU > 70 {
+			t.Fatalf("%s ZeRO-Infinity = %.1f TF/GPU, want tens of TFlops", label, r.ZeROInfinity.TFlopsPerGPU)
+		}
+	}
+	if !(at("5T").ZeROInfinity.TFlopsPerGPU >= at("10T").ZeROInfinity.TFlopsPerGPU &&
+		at("10T").ZeROInfinity.TFlopsPerGPU >= at("20T").ZeROInfinity.TFlopsPerGPU) {
+		t.Fatal("throughput should decline from 5T to 20T (shrinking batch)")
+	}
+}
+
+// Figure 5b shape: superlinear weak scaling 64→512 GPUs for the 1T model,
+// exceeding 25 total petaflops at 512 GPUs and ≥ 2.8 petaflops at 64.
+func TestFig5bSuperlinear(t *testing.T) {
+	pts := Fig5b()
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].TotalPetaflops < 2.0 {
+		t.Fatalf("4-node total = %.2f pflops, paper reports 2.8", pts[0].TotalPetaflops)
+	}
+	last := pts[len(pts)-1]
+	if last.TotalPetaflops < 20 {
+		t.Fatalf("32-node total = %.1f pflops, paper reports >25", last.TotalPetaflops)
+	}
+	// Superlinear: actual ≥ linear extrapolation at every scale.
+	for _, p := range pts[1:] {
+		if p.TotalPetaflops < p.LinearPetaflops*0.999 {
+			t.Fatalf("%d nodes: %.2f pflops below linear %.2f", p.Nodes, p.TotalPetaflops, p.LinearPetaflops)
+		}
+	}
+	// Per-GPU throughput must not degrade with scale.
+	if last.TFlopsPerGPU < pts[0].TFlopsPerGPU {
+		t.Fatal("per-GPU throughput degraded with scale")
+	}
+}
+
+// Figure 5c shape: ≥40 TF/GPU through 100B on a single node; 1T still
+// trains (no model parallelism) at reduced throughput.
+func TestFig5cShape(t *testing.T) {
+	rows := Fig5c()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Label {
+		case "10B", "50B", "100B":
+			if r.Result.TFlopsPerGPU < 35 {
+				t.Fatalf("%s = %.1f TF/GPU, paper reports >40", r.Label, r.Result.TFlopsPerGPU)
+			}
+		case "0.5T", "1T":
+			if r.Result.TFlopsPerGPU <= 5 {
+				t.Fatalf("%s = %.1f TF/GPU, should still train", r.Label, r.Result.TFlopsPerGPU)
+			}
+		}
+	}
+}
+
+// Figure 6c shape: bandwidth-centric partitioning beats ZeRO-Offload's
+// single-PCIe path at every scale, by 1.2-2x (the paper reports ≈2x at 64
+// GPUs; see EXPERIMENTS.md for where the trend differs).
+func TestFig6cBandwidthCentricWins(t *testing.T) {
+	pts := Fig6c()
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Speedup < 1.2 || p.Speedup > 4 {
+			t.Fatalf("%d GPUs: speedup %.2fx outside [1.2, 4]", p.GPUs, p.Speedup)
+		}
+		if p.InfinityBwdSec >= p.OffloadBwdSec {
+			t.Fatalf("%d GPUs: infinity backward not faster", p.GPUs)
+		}
+	}
+}
+
+// Figure 6d shape: overlap/prefetch speedup is large at batch 2 and
+// diminishes toward 1 at batch 16.
+func TestFig6dOverlapAblation(t *testing.T) {
+	pts := Fig6d()
+	first, last := pts[0], pts[len(pts)-1]
+	if first.BatchGPU != 2 || last.BatchGPU != 16 {
+		t.Fatalf("unexpected batch sweep %v..%v", first.BatchGPU, last.BatchGPU)
+	}
+	if first.Speedup < 1.15 {
+		t.Fatalf("batch-2 overlap speedup = %.2fx, want noticeable (>1.15x)", first.Speedup)
+	}
+	if last.Speedup > first.Speedup {
+		t.Fatal("speedup should diminish with batch size")
+	}
+	if last.Speedup < 0.99 {
+		t.Fatalf("batch-16 speedup = %.2f < 1", last.Speedup)
+	}
+}
+
+// Figure 6e shape: activation-checkpoint offload costs up to ~1.2x at small
+// hidden sizes and is nearly free at 32K-64K.
+func TestFig6eActivationOffloadOverhead(t *testing.T) {
+	pts := Fig6e()
+	if pts[0].Hidden != 2048 || pts[len(pts)-1].Hidden != 65536 {
+		t.Fatal("unexpected hidden sweep")
+	}
+	small := pts[0]
+	if small.Slowdown < 1.02 || small.Slowdown > 1.6 {
+		t.Fatalf("hd 2K slowdown = %.2fx, paper reports up to 1.2x", small.Slowdown)
+	}
+	for _, p := range pts {
+		if p.Hidden >= 32768 && p.Slowdown > 1.05 {
+			t.Fatalf("hd %dK slowdown = %.2fx, should be minimal", p.Hidden/1024, p.Slowdown)
+		}
+	}
+	// Overhead decreases with hidden size.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Slowdown > pts[i-1].Slowdown+0.02 {
+			t.Fatalf("slowdown increased at hd %d", pts[i].Hidden)
+		}
+	}
+}
+
+// Anchor: 500B on 512 GPUs lands in the paper's TFlops range and the 3D
+// model responds to its knobs.
+func TestSimulate3DKnobs(t *testing.T) {
+	shape := perf.ModelShape{Hidden: 18432, Layers: 124, Heads: 16, Seq: 1024, CkptEvery: 1}
+	c := perf.DGX2(32)
+	base := Simulate3D(c, shape, 7, 8, 8)
+	if base.TFlopsPerGPU < 25 || base.TFlopsPerGPU > 70 {
+		t.Fatalf("3D 500B = %.1f TF/GPU, want paper-range tens", base.TFlopsPerGPU)
+	}
+	// Deeper pipeline at tiny batch → bigger bubble → slower.
+	slow := Simulate3D(c, shape, 0.25, 8, 32)
+	if slow.TFlopsPerGPU >= base.TFlopsPerGPU {
+		t.Fatal("pipeline bubble had no effect")
+	}
+	// A model that cannot fit reports OOM.
+	big := perf.ModelShape{Hidden: 65536, Layers: 200, Heads: 16, Seq: 1024, CkptEvery: 1}
+	if res := Simulate3D(c, big, 2, 8, 8); res.TFlopsPerGPU != 0 {
+		t.Fatal("10T 3D should OOM on 32 nodes")
+	}
+}
+
+func TestBroadcastPathOnlyAffectsPCIe(t *testing.T) {
+	// With params and optimizer on GPU, BroadcastPath must be a no-op.
+	cfg := IterConfig{
+		Cluster:   perf.DGX2(1),
+		Shape:     perf.ModelShape{Hidden: 8192, Layers: 10, Heads: 16, Seq: 1024, CkptEvery: 1},
+		BszGPU:    2,
+		Params:    zero.OnGPU,
+		Optimizer: zero.OnGPU,
+		Overlap:   true,
+	}
+	a := SimulateIteration(cfg)
+	cfg.BroadcastPath = true
+	b := SimulateIteration(cfg)
+	if a.TotalSec != b.TotalSec {
+		t.Fatal("broadcast path changed a GPU-only run")
+	}
+}

@@ -1,0 +1,62 @@
+// Package sim is the performance simulator for the paper's evaluation: a
+// deterministic discrete-event model of one training iteration on a DGX-2
+// cluster. Each (representative, SPMD-symmetric) GPU owns four execution
+// streams — compute, GPU-GPU interconnect, PCIe, and NVMe — and every
+// per-layer operation is charged to a stream with a duration derived from
+// the paper's Fig. 2b bandwidth envelope and Sec. 4 compute model. Overlap
+// falls out of stream concurrency: with the overlap-centric design enabled,
+// a layer's nc/cg/gg transfers pipeline ahead of the compute consuming
+// them (paper Sec. 6.2); with it disabled every operation serializes onto a
+// single timeline, which is exactly the ablation Figure 6d measures.
+package sim
+
+// Stream is a resource timeline: operations on the same stream serialize;
+// different streams run concurrently.
+type Stream struct {
+	t    float64 // next free time (seconds)
+	busy float64 // total occupied seconds
+}
+
+// Run schedules an operation that cannot start before ready and lasts dur;
+// it returns the completion time.
+func (s *Stream) Run(ready, dur float64) float64 {
+	start := s.t
+	if ready > start {
+		start = ready
+	}
+	s.t = start + dur
+	s.busy += dur
+	return s.t
+}
+
+// Now returns the stream's next free time.
+func (s *Stream) Now() float64 { return s.t }
+
+// Busy returns the stream's total occupancy.
+func (s *Stream) Busy() float64 { return s.busy }
+
+// AdvanceTo moves the stream's clock forward to at least t.
+func (s *Stream) AdvanceTo(t float64) {
+	if t > s.t {
+		s.t = t
+	}
+}
+
+// Timeline groups the per-GPU streams of the iteration model.
+type Timeline struct {
+	Compute Stream // GPU SMs
+	GG      Stream // NVSwitch / InfiniBand collectives
+	PCIe    Stream // CPU<->GPU link (this GPU's share)
+	NVMe    Stream // NVMe<->CPU (this GPU's share)
+}
+
+// Finish returns the latest completion time across all streams.
+func (tl *Timeline) Finish() float64 {
+	m := tl.Compute.Now()
+	for _, s := range []*Stream{&tl.GG, &tl.PCIe, &tl.NVMe} {
+		if s.Now() > m {
+			m = s.Now()
+		}
+	}
+	return m
+}

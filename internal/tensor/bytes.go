@@ -1,0 +1,30 @@
+package tensor
+
+import "math"
+
+// Serialization helpers (little endian) used when offloading fp32 optimizer
+// states and fp16 parameter shards to byte-addressed storage (CPU staging
+// buffers, NVMe regions).
+
+// F32ToBytes serializes src into b (4 bytes per value, little endian).
+// It panics if b is shorter than 4*len(src).
+func F32ToBytes(b []byte, src []float32) {
+	_ = b[4*len(src)-1]
+	for i, f := range src {
+		u := math.Float32bits(f)
+		b[4*i] = byte(u)
+		b[4*i+1] = byte(u >> 8)
+		b[4*i+2] = byte(u >> 16)
+		b[4*i+3] = byte(u >> 24)
+	}
+}
+
+// F32FromBytes deserializes b into dst. It panics if b is shorter than
+// 4*len(dst).
+func F32FromBytes(dst []float32, b []byte) {
+	_ = b[4*len(dst)-1]
+	for i := range dst {
+		u := uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24
+		dst[i] = math.Float32frombits(u)
+	}
+}

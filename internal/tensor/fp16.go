@@ -1,0 +1,158 @@
+// Package tensor implements the small dense-tensor substrate used by the
+// ZeRO-Infinity reproduction: IEEE-754 binary16 ("FP16") storage with
+// round-to-nearest-even conversion, float32 compute kernels, and a Tensor
+// type carrying dtype and shape.
+//
+// The package mirrors the arithmetic contract of mixed-precision training on
+// tensor-core hardware: parameters, gradients and activations are *stored* in
+// FP16, while every accumulation happens in float32.
+package tensor
+
+import "math"
+
+// Half is an IEEE-754 binary16 value stored in a uint16.
+type Half uint16
+
+// Binary16 constants.
+const (
+	halfSignMask = 0x8000
+	halfExpMask  = 0x7c00
+	halfFracMask = 0x03ff
+
+	// HalfMax is the largest finite Half value (65504).
+	HalfMax = float32(65504)
+	// HalfSmallestNormal is the smallest positive normal Half (2^-14).
+	HalfSmallestNormal = float32(6.103515625e-05)
+)
+
+// HalfFromFloat32 converts f to binary16 with round-to-nearest-even,
+// handling NaN, infinities, overflow to infinity, and subnormals.
+func HalfFromFloat32(f float32) Half {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & halfSignMask
+	exp := int32(b>>23) & 0xff
+	frac := b & 0x7fffff
+
+	switch {
+	case exp == 0xff: // Inf or NaN
+		if frac != 0 {
+			// NaN: keep a quiet-NaN payload bit so it stays a NaN.
+			return Half(sign | halfExpMask | 0x200 | uint16(frac>>13))
+		}
+		return Half(sign | halfExpMask)
+	case exp == 0 && frac == 0: // signed zero
+		return Half(sign)
+	}
+
+	// Unbiased exponent.
+	e := exp - 127
+	switch {
+	case e > 15: // overflow -> infinity
+		return Half(sign | halfExpMask)
+	case e >= -14: // normal half
+		// 10-bit mantissa; round-to-nearest-even on the 13 dropped bits.
+		halfExp := uint16(e+15) << 10
+		mant := uint16(frac >> 13)
+		round := frac & 0x1fff
+		if round > 0x1000 || (round == 0x1000 && mant&1 == 1) {
+			// Carry may overflow mantissa into the exponent; that is the
+			// correct rounding behaviour (e.g. 2047.5 -> 2048).
+			return Half(sign + halfExp + mant + 1)
+		}
+		return Half(sign | halfExp | mant)
+	case e >= -24: // subnormal half
+		// Implicit leading 1 becomes explicit; shift right by (-14 - e).
+		fullFrac := frac | 0x800000
+		shift := uint32(-e - 14 + 13) // 13 base drop + extra denormal shift
+		mant := uint16(fullFrac >> shift)
+		rem := fullFrac & ((1 << shift) - 1)
+		halfway := uint32(1) << (shift - 1)
+		if rem > halfway || (rem == halfway && mant&1 == 1) {
+			mant++
+		}
+		return Half(sign | mant)
+	default: // underflow -> signed zero
+		return Half(sign)
+	}
+}
+
+// Float32 converts the binary16 value to float32 exactly.
+func (h Half) Float32() float32 {
+	sign := uint32(h&halfSignMask) << 16
+	exp := uint32(h&halfExpMask) >> 10
+	frac := uint32(h & halfFracMask)
+
+	switch {
+	case exp == 0x1f: // Inf / NaN
+		return math.Float32frombits(sign | 0x7f800000 | frac<<13)
+	case exp != 0: // normal
+		return math.Float32frombits(sign | (exp+112)<<23 | frac<<13)
+	case frac != 0: // subnormal: value = frac * 2^-24
+		f := float32(frac) * float32(5.9604644775390625e-08) // 2^-24
+		if sign != 0 {
+			return -f
+		}
+		return f
+	default:
+		return math.Float32frombits(sign) // signed zero
+	}
+}
+
+// IsNaN reports whether h is a NaN.
+func (h Half) IsNaN() bool {
+	return h&halfExpMask == halfExpMask && h&halfFracMask != 0
+}
+
+// IsInf reports whether h is an infinity.
+func (h Half) IsInf() bool {
+	return h&halfExpMask == halfExpMask && h&halfFracMask == 0
+}
+
+// HalfBytes is the storage size of one Half value.
+const HalfBytes = 2
+
+// EncodeHalf converts src to binary16, storing into dst. It panics if dst is
+// shorter than src.
+func EncodeHalf(dst []Half, src []float32) {
+	_ = dst[len(src)-1]
+	for i, f := range src {
+		dst[i] = HalfFromFloat32(f)
+	}
+}
+
+// DecodeHalf converts src from binary16 into dst. It panics if dst is shorter
+// than src.
+func DecodeHalf(dst []float32, src []Half) {
+	_ = dst[len(src)-1]
+	for i, h := range src {
+		dst[i] = h.Float32()
+	}
+}
+
+// RoundTripHalf rounds every element of x through binary16 in place,
+// simulating an FP16 store + load. It returns x.
+func RoundTripHalf(x []float32) []float32 {
+	for i, f := range x {
+		x[i] = HalfFromFloat32(f).Float32()
+	}
+	return x
+}
+
+// HalfToBytes serializes h into b (little endian, 2 bytes per value).
+// It panics if b is shorter than 2*len(h).
+func HalfToBytes(b []byte, h []Half) {
+	_ = b[2*len(h)-1]
+	for i, v := range h {
+		b[2*i] = byte(v)
+		b[2*i+1] = byte(v >> 8)
+	}
+}
+
+// HalfFromBytes deserializes b into h (little endian).
+// It panics if b is shorter than 2*len(h).
+func HalfFromBytes(h []Half, b []byte) {
+	_ = b[2*len(h)-1]
+	for i := range h {
+		h[i] = Half(b[2*i]) | Half(b[2*i+1])<<8
+	}
+}

@@ -1,0 +1,170 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHalfExactValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h Half
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},             // HalfMax
+		{-65504, 0xfbff},            // -HalfMax
+		{6.103515625e-05, 0x0400},   // smallest normal
+		{5.9604644775390625e-08, 1}, // smallest subnormal
+		{-5.9604644775390625e-08, 0x8001},
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+	}
+	for _, c := range cases {
+		if got := HalfFromFloat32(c.f); got != c.h {
+			t.Errorf("HalfFromFloat32(%g) = %#04x, want %#04x", c.f, got, c.h)
+		}
+		if got := c.h.Float32(); got != c.f {
+			t.Errorf("Half(%#04x).Float32() = %g, want %g", c.h, got, c.f)
+		}
+	}
+}
+
+func TestHalfOverflowToInf(t *testing.T) {
+	if got := HalfFromFloat32(65520); !got.IsInf() {
+		t.Errorf("HalfFromFloat32(65520) = %#04x, want +Inf", got)
+	}
+	if got := HalfFromFloat32(-1e9); got != 0xfc00 {
+		t.Errorf("HalfFromFloat32(-1e9) = %#04x, want -Inf", got)
+	}
+}
+
+func TestHalfUnderflowToZero(t *testing.T) {
+	if got := HalfFromFloat32(1e-10); got != 0 {
+		t.Errorf("HalfFromFloat32(1e-10) = %#04x, want +0", got)
+	}
+	if got := HalfFromFloat32(-1e-10); got != 0x8000 {
+		t.Errorf("HalfFromFloat32(-1e-10) = %#04x, want -0", got)
+	}
+}
+
+func TestHalfNaN(t *testing.T) {
+	h := HalfFromFloat32(float32(math.NaN()))
+	if !h.IsNaN() {
+		t.Fatalf("NaN did not convert to half NaN: %#04x", h)
+	}
+	if f := h.Float32(); !math.IsNaN(float64(f)) {
+		t.Fatalf("half NaN did not convert back to NaN: %g", f)
+	}
+}
+
+func TestHalfRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1 and 1+2^-10; ties go to even
+	// mantissa, i.e. down to 1.0.
+	halfway := float32(1 + 1.0/2048)
+	if got := HalfFromFloat32(halfway); got != 0x3c00 {
+		t.Errorf("tie at 1+2^-11 rounded to %#04x, want 0x3c00 (1.0)", got)
+	}
+	// 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; ties to even goes up.
+	halfway = float32(1 + 3.0/2048)
+	if got := HalfFromFloat32(halfway); got != 0x3c02 {
+		t.Errorf("tie at 1+3*2^-11 rounded to %#04x, want 0x3c02", got)
+	}
+	// Mantissa carry into exponent: 2047.5 is halfway between 2047 and 2048,
+	// rounds to 2048 (even).
+	if got := HalfFromFloat32(2047.5); got.Float32() != 2048 {
+		t.Errorf("2047.5 rounded to %g, want 2048", got.Float32())
+	}
+}
+
+// Property: every finite half survives a half->float32->half round trip.
+func TestHalfRoundTripAllValues(t *testing.T) {
+	for i := 0; i < 1<<16; i++ {
+		h := Half(i)
+		if h.IsNaN() {
+			continue // NaN payloads need not be preserved bit-exactly
+		}
+		if got := HalfFromFloat32(h.Float32()); got != h {
+			t.Fatalf("round trip %#04x -> %g -> %#04x", h, h.Float32(), got)
+		}
+	}
+}
+
+// Property: conversion error is at most half a ULP for in-range values.
+func TestHalfQuickRoundingError(t *testing.T) {
+	f := func(raw uint32) bool {
+		x := math.Float32frombits(raw)
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			return true
+		}
+		// The round-to-inf threshold is 65520 (midpoint between HalfMax and
+		// the next representable step); below it, values round to ±HalfMax.
+		if x >= 65520 || x <= -65520 {
+			return HalfFromFloat32(x).IsInf()
+		}
+		if x > HalfMax || x < -HalfMax {
+			h := HalfFromFloat32(x)
+			return h == HalfFromFloat32(HalfMax) || h == HalfFromFloat32(-HalfMax)
+		}
+		back := float64(HalfFromFloat32(x).Float32())
+		// ULP at |x|: for normals, 2^(e-10); bound loosely by |x|/1024 + eps.
+		tol := math.Abs(float64(x))/1024 + 6e-8
+		return math.Abs(back-float64(x)) <= tol/2+6e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHalfBytesRoundTrip(t *testing.T) {
+	h := []Half{0x0000, 0x3c00, 0xfbff, 0x7c00, 0x1234}
+	b := make([]byte, 2*len(h))
+	HalfToBytes(b, h)
+	got := make([]Half, len(h))
+	HalfFromBytes(got, b)
+	for i := range h {
+		if got[i] != h[i] {
+			t.Errorf("byte round trip [%d] = %#04x, want %#04x", i, got[i], h[i])
+		}
+	}
+}
+
+func TestEncodeDecodeHalf(t *testing.T) {
+	src := []float32{0, 1, -2.5, 1000, 1e-5}
+	h := make([]Half, len(src))
+	EncodeHalf(h, src)
+	dst := make([]float32, len(src))
+	DecodeHalf(dst, h)
+	for i := range src {
+		if math.Abs(float64(dst[i]-src[i])) > math.Abs(float64(src[i]))/512+1e-7 {
+			t.Errorf("encode/decode [%d]: got %g want ~%g", i, dst[i], src[i])
+		}
+	}
+}
+
+func BenchmarkHalfFromFloat32(b *testing.B) {
+	src := make([]float32, 4096)
+	NewRNG(1).FillNormal(src, 1)
+	dst := make([]Half, len(src))
+	b.SetBytes(int64(len(src) * 4))
+	for i := 0; i < b.N; i++ {
+		EncodeHalf(dst, src)
+	}
+}
+
+func BenchmarkHalfToFloat32(b *testing.B) {
+	src := make([]Half, 4096)
+	for i := range src {
+		src[i] = Half(i)
+	}
+	dst := make([]float32, len(src))
+	b.SetBytes(int64(len(src) * 2))
+	for i := 0; i < b.N; i++ {
+		DecodeHalf(dst, src)
+	}
+}

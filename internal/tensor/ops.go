@@ -1,0 +1,255 @@
+package tensor
+
+import "math"
+
+// This file holds the float32 compute kernels. All kernels operate on raw
+// []float32 in row-major layout and accumulate in float32 (or float64 for
+// reductions), mirroring tensor-core matmuls with fp32 accumulators.
+
+// MatMul computes C = A·B where A is m×k, B is k×n and C is m×n.
+// It panics if slice lengths don't match the dims.
+func MatMul(c, a, b []float32, m, k, n int) {
+	checkLen("MatMul c", c, m*n)
+	checkLen("MatMul a", a, m*k)
+	checkLen("MatMul b", b, k*n)
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		for j := range ci {
+			ci[j] = 0
+		}
+		ai := a[i*k : (i+1)*k]
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB computes C = A·Bᵀ where A is m×k, B is n×k and C is m×n.
+func MatMulTransB(c, a, b []float32, m, k, n int) {
+	checkLen("MatMulTransB c", c, m*n)
+	checkLen("MatMulTransB a", a, m*k)
+	checkLen("MatMulTransB b", b, n*k)
+	for i := 0; i < m; i++ {
+		ai := a[i*k : (i+1)*k]
+		ci := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			var s float32
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			ci[j] = s
+		}
+	}
+}
+
+// MatMulTransA computes C += Aᵀ·B where A is k×m, B is k×n and C is m×n.
+// The accumulate-into semantics fit weight-gradient computation, where
+// gradients from successive micro-steps are summed.
+func MatMulTransA(c, a, b []float32, m, k, n int) {
+	checkLen("MatMulTransA c", c, m*n)
+	checkLen("MatMulTransA a", a, k*m)
+	checkLen("MatMulTransA b", b, k*n)
+	for p := 0; p < k; p++ {
+		ap := a[p*m : (p+1)*m]
+		bp := b[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c[i*n : (i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// Axpy computes y += alpha*x elementwise.
+func Axpy(alpha float32, x, y []float32) {
+	checkLen("Axpy y", y, len(x))
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Add computes dst = a + b elementwise.
+func Add(dst, a, b []float32) {
+	checkLen("Add dst", dst, len(a))
+	checkLen("Add b", b, len(a))
+	for i := range a {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Mul computes dst = a * b elementwise.
+func Mul(dst, a, b []float32) {
+	checkLen("Mul dst", dst, len(a))
+	checkLen("Mul b", b, len(a))
+	for i := range a {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Dot returns the float64-accumulated dot product of a and b.
+func Dot(a, b []float32) float64 {
+	checkLen("Dot b", b, len(a))
+	var s float64
+	for i, v := range a {
+		s += float64(v) * float64(b[i])
+	}
+	return s
+}
+
+// Sum returns the float64-accumulated sum of x.
+func Sum(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v)
+	}
+	return s
+}
+
+// MaxAbs returns the maximum absolute value in x (0 for empty x).
+func MaxAbs(x []float32) float32 {
+	var m float32
+	for _, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// L2Norm returns the float64-accumulated Euclidean norm of x.
+func L2Norm(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// HasNaNOrInf reports whether x contains a NaN or infinity. The mixed
+// precision loss scaler uses it to detect fp16 gradient overflow.
+func HasNaNOrInf(x []float32) bool {
+	for _, v := range x {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// Gelu applies the tanh-approximated GELU activation, dst = gelu(x).
+// dst and x may alias.
+func Gelu(dst, x []float32) {
+	checkLen("Gelu dst", dst, len(x))
+	for i, v := range x {
+		dst[i] = geluScalar(v)
+	}
+}
+
+const (
+	geluC  = 0.7978845608028654 // sqrt(2/pi)
+	geluC3 = 0.044715
+)
+
+func geluScalar(v float32) float32 {
+	x := float64(v)
+	return float32(0.5 * x * (1 + math.Tanh(geluC*(x+geluC3*x*x*x))))
+}
+
+// GeluBackward computes dx = dy * gelu'(x).
+func GeluBackward(dx, dy, x []float32) {
+	checkLen("GeluBackward dx", dx, len(x))
+	checkLen("GeluBackward dy", dy, len(x))
+	for i, v := range x {
+		xf := float64(v)
+		inner := geluC * (xf + geluC3*xf*xf*xf)
+		t := math.Tanh(inner)
+		dinner := geluC * (1 + 3*geluC3*xf*xf)
+		grad := 0.5*(1+t) + 0.5*xf*(1-t*t)*dinner
+		dx[i] = dy[i] * float32(grad)
+	}
+}
+
+// SoftmaxRows applies a numerically-stable softmax to each row of the m×n
+// matrix x in place.
+func SoftmaxRows(x []float32, m, n int) {
+	checkLen("SoftmaxRows x", x, m*n)
+	for i := 0; i < m; i++ {
+		row := x[i*n : (i+1)*n]
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := float32(math.Exp(float64(v - mx)))
+			row[j] = e
+			sum += float64(e)
+		}
+		inv := float32(1 / sum)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// SoftmaxRowsBackward computes, for each row, dx = (dy - sum(dy*y)) * y where
+// y is the softmax output. dx and dy may alias.
+func SoftmaxRowsBackward(dx, dy, y []float32, m, n int) {
+	checkLen("SoftmaxRowsBackward dx", dx, m*n)
+	checkLen("SoftmaxRowsBackward dy", dy, m*n)
+	checkLen("SoftmaxRowsBackward y", y, m*n)
+	for i := 0; i < m; i++ {
+		yr := y[i*n : (i+1)*n]
+		dyr := dy[i*n : (i+1)*n]
+		dxr := dx[i*n : (i+1)*n]
+		var dot float64
+		for j, v := range dyr {
+			dot += float64(v) * float64(yr[j])
+		}
+		d := float32(dot)
+		for j := range dxr {
+			dxr[j] = (dyr[j] - d) * yr[j]
+		}
+	}
+}
+
+// Transpose writes the n×m transpose of the m×n matrix a into dst.
+func Transpose(dst, a []float32, m, n int) {
+	checkLen("Transpose dst", dst, m*n)
+	checkLen("Transpose a", a, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			dst[j*m+i] = a[i*n+j]
+		}
+	}
+}
+
+func checkLen(what string, s []float32, want int) {
+	if len(s) < want {
+		panic("tensor: " + what + " too short")
+	}
+}

@@ -1,0 +1,262 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatMulSmall(t *testing.T) {
+	// [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+	a := []float32{1, 2, 3, 4}
+	b := []float32{5, 6, 7, 8}
+	c := make([]float32, 4)
+	MatMul(c, a, b, 2, 2, 2)
+	want := []float32{19, 22, 43, 50}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("MatMul[%d] = %g, want %g", i, c[i], want[i])
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	const n = 7
+	id := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	a := make([]float32, n*n)
+	NewRNG(7).FillNormal(a, 1)
+	c := make([]float32, n*n)
+	MatMul(c, a, id, n, n, n)
+	for i := range a {
+		if c[i] != a[i] {
+			t.Fatalf("A*I != A at %d: %g vs %g", i, c[i], a[i])
+		}
+	}
+}
+
+// Property: MatMulTransB(c, a, b) == MatMul(c, a, transpose(b)).
+func TestMatMulTransBMatchesExplicitTranspose(t *testing.T) {
+	rng := NewRNG(11)
+	for iter := 0; iter < 50; iter++ {
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := make([]float32, m*k)
+		b := make([]float32, n*k)
+		rng.FillNormal(a, 1)
+		rng.FillNormal(b, 1)
+		bt := make([]float32, k*n)
+		Transpose(bt, b, n, k)
+		c1 := make([]float32, m*n)
+		c2 := make([]float32, m*n)
+		MatMulTransB(c1, a, b, m, k, n)
+		MatMul(c2, a, bt, m, k, n)
+		for i := range c1 {
+			if !almostEq(float64(c1[i]), float64(c2[i]), 1e-4) {
+				t.Fatalf("iter %d: TransB[%d]=%g explicit=%g", iter, i, c1[i], c2[i])
+			}
+		}
+	}
+}
+
+// Property: MatMulTransA(c, a, b) accumulates transpose(a)·b into c.
+func TestMatMulTransAMatchesExplicitTranspose(t *testing.T) {
+	rng := NewRNG(13)
+	for iter := 0; iter < 50; iter++ {
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := make([]float32, k*m)
+		b := make([]float32, k*n)
+		rng.FillNormal(a, 1)
+		rng.FillNormal(b, 1)
+		at := make([]float32, m*k)
+		Transpose(at, a, k, m)
+		c1 := make([]float32, m*n)
+		c1[0] = 5 // accumulate semantics: pre-existing content must be kept
+		c2 := make([]float32, m*n)
+		MatMulTransA(c1, a, b, m, k, n)
+		MatMul(c2, at, b, m, k, n)
+		c2[0] += 5
+		for i := range c1 {
+			if !almostEq(float64(c1[i]), float64(c2[i]), 1e-4) {
+				t.Fatalf("iter %d: TransA[%d]=%g explicit=%g", iter, i, c1[i], c2[i])
+			}
+		}
+	}
+}
+
+func TestSoftmaxRowsSumsToOne(t *testing.T) {
+	const m, n = 5, 9
+	x := make([]float32, m*n)
+	NewRNG(3).FillNormal(x, 4)
+	SoftmaxRows(x, m, n)
+	for i := 0; i < m; i++ {
+		s := Sum(x[i*n : (i+1)*n])
+		if !almostEq(s, 1, 1e-5) {
+			t.Errorf("row %d sums to %g", i, s)
+		}
+		for j := 0; j < n; j++ {
+			if x[i*n+j] < 0 {
+				t.Errorf("negative probability at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSoftmaxStableUnderLargeInputs(t *testing.T) {
+	x := []float32{1e4, 1e4 + 1, 1e4 - 1}
+	SoftmaxRows(x, 1, 3)
+	if HasNaNOrInf(x) {
+		t.Fatalf("softmax overflowed: %v", x)
+	}
+	if !almostEq(Sum(x), 1, 1e-5) {
+		t.Fatalf("softmax sum = %g", Sum(x))
+	}
+}
+
+// Finite-difference check of the softmax backward pass.
+func TestSoftmaxRowsBackwardFiniteDiff(t *testing.T) {
+	const n = 6
+	rng := NewRNG(17)
+	x := make([]float32, n)
+	dy := make([]float32, n)
+	rng.FillNormal(x, 1)
+	rng.FillNormal(dy, 1)
+
+	y := append([]float32(nil), x...)
+	SoftmaxRows(y, 1, n)
+	dx := make([]float32, n)
+	SoftmaxRowsBackward(dx, dy, y, 1, n)
+
+	const h = 1e-3
+	for i := 0; i < n; i++ {
+		xp := append([]float32(nil), x...)
+		xm := append([]float32(nil), x...)
+		xp[i] += h
+		xm[i] -= h
+		SoftmaxRows(xp, 1, n)
+		SoftmaxRows(xm, 1, n)
+		var num float64
+		for j := 0; j < n; j++ {
+			num += float64(dy[j]) * (float64(xp[j]) - float64(xm[j])) / (2 * h)
+		}
+		if !almostEq(num, float64(dx[i]), 1e-3) {
+			t.Errorf("softmax grad[%d]: analytic %g numeric %g", i, dx[i], num)
+		}
+	}
+}
+
+func TestGeluBackwardFiniteDiff(t *testing.T) {
+	xs := []float32{-3, -1, -0.1, 0, 0.1, 1, 3}
+	dy := make([]float32, len(xs))
+	for i := range dy {
+		dy[i] = 1
+	}
+	dx := make([]float32, len(xs))
+	GeluBackward(dx, dy, xs)
+	const h = 1e-4
+	for i, x := range xs {
+		num := (float64(geluScalar(x+h)) - float64(geluScalar(x-h))) / (2 * h)
+		if !almostEq(num, float64(dx[i]), 1e-3) {
+			t.Errorf("gelu'(%g): analytic %g numeric %g", x, dx[i], num)
+		}
+	}
+}
+
+func TestGeluKnownValues(t *testing.T) {
+	if g := geluScalar(0); g != 0 {
+		t.Errorf("gelu(0) = %g, want 0", g)
+	}
+	if g := geluScalar(10); !almostEq(float64(g), 10, 1e-4) {
+		t.Errorf("gelu(10) = %g, want ~10", g)
+	}
+	if g := geluScalar(-10); !almostEq(float64(g), 0, 1e-4) {
+		t.Errorf("gelu(-10) = %g, want ~0", g)
+	}
+}
+
+func TestAxpyAddMulScaleDot(t *testing.T) {
+	x := []float32{1, 2, 3}
+	y := []float32{10, 20, 30}
+	Axpy(2, x, y)
+	if y[0] != 12 || y[1] != 24 || y[2] != 36 {
+		t.Fatalf("Axpy got %v", y)
+	}
+	dst := make([]float32, 3)
+	Add(dst, x, x)
+	if dst[2] != 6 {
+		t.Fatalf("Add got %v", dst)
+	}
+	Mul(dst, x, x)
+	if dst[2] != 9 {
+		t.Fatalf("Mul got %v", dst)
+	}
+	Scale(0.5, dst)
+	if dst[2] != 4.5 {
+		t.Fatalf("Scale got %v", dst)
+	}
+	if d := Dot(x, x); d != 14 {
+		t.Fatalf("Dot = %g, want 14", d)
+	}
+}
+
+func TestHasNaNOrInf(t *testing.T) {
+	if HasNaNOrInf([]float32{1, 2, 3}) {
+		t.Error("clean slice flagged")
+	}
+	if !HasNaNOrInf([]float32{1, float32(math.NaN())}) {
+		t.Error("NaN not detected")
+	}
+	if !HasNaNOrInf([]float32{float32(math.Inf(-1))}) {
+		t.Error("-Inf not detected")
+	}
+}
+
+func TestMaxAbsAndL2(t *testing.T) {
+	x := []float32{-5, 3, 4}
+	if m := MaxAbs(x); m != 5 {
+		t.Errorf("MaxAbs = %g", m)
+	}
+	if n := L2Norm([]float32{3, 4}); !almostEq(n, 5, 1e-9) {
+		t.Errorf("L2Norm = %g", n)
+	}
+	if m := MaxAbs(nil); m != 0 {
+		t.Errorf("MaxAbs(nil) = %g", m)
+	}
+}
+
+// quick property: Dot is symmetric and bilinear in scaling.
+func TestDotQuickProperties(t *testing.T) {
+	f := func(a, b []float32) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		for _, v := range append(append([]float32{}, a...), b...) {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) || math.Abs(float64(v)) > 1e18 {
+				return true
+			}
+		}
+		d1, d2 := Dot(a, b), Dot(b, a)
+		return almostEq(d1, d2, math.Abs(d1)*1e-9+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	const n = 128
+	a := make([]float32, n*n)
+	bb := make([]float32, n*n)
+	c := make([]float32, n*n)
+	NewRNG(1).FillNormal(a, 1)
+	NewRNG(2).FillNormal(bb, 1)
+	b.SetBytes(int64(3 * n * n * 4))
+	for i := 0; i < b.N; i++ {
+		MatMul(c, a, bb, n, n, n)
+	}
+}

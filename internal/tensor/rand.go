@@ -1,0 +1,66 @@
+package tensor
+
+import "math"
+
+// RNG is a deterministic splitmix64 pseudo-random generator. Every stochastic
+// choice in the reproduction (weight init, synthetic batches) flows through
+// RNG so that engines can be compared run-to-run bit for bit.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits (splitmix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Norm returns a standard-normal pseudo-random float64 (Box-Muller).
+func (r *RNG) Norm() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// FillNormal fills x with N(0, std²) samples.
+func (r *RNG) FillNormal(x []float32, std float64) {
+	for i := range x {
+		x[i] = float32(r.Norm() * std)
+	}
+}
+
+// FillUniform fills x with uniform samples in [lo, hi).
+func (r *RNG) FillUniform(x []float32, lo, hi float64) {
+	for i := range x {
+		x[i] = float32(lo + r.Float64()*(hi-lo))
+	}
+}
+
+// Split derives an independent generator from the current state; successive
+// Split calls yield distinct streams. Used to give each model layer its own
+// deterministic init stream regardless of construction order.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1342543de82ef95)
+}

@@ -1,0 +1,279 @@
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DType identifies the storage precision of a Tensor.
+type DType int
+
+// Supported dtypes. FP16 models parameter/gradient/activation storage in
+// mixed-precision training; FP32 models master weights and optimizer states.
+const (
+	FP32 DType = iota
+	FP16
+)
+
+// Bytes returns the per-element storage size of the dtype.
+func (d DType) Bytes() int {
+	if d == FP16 {
+		return 2
+	}
+	return 4
+}
+
+// String returns the conventional name of the dtype.
+func (d DType) String() string {
+	if d == FP16 {
+		return "fp16"
+	}
+	return "fp32"
+}
+
+// Tensor is a dense row-major tensor. FP32 tensors alias their float32
+// backing slice directly (zero copy); FP16 tensors store binary16 words and
+// convert on access. The zero value is an empty FP32 tensor.
+type Tensor struct {
+	dtype DType
+	shape []int
+	f32   []float32
+	f16   []Half
+}
+
+// New allocates a zeroed tensor with the given dtype and shape.
+func New(dt DType, shape ...int) *Tensor {
+	n := NumElems(shape)
+	t := &Tensor{dtype: dt, shape: append([]int(nil), shape...)}
+	if dt == FP16 {
+		t.f16 = make([]Half, n)
+	} else {
+		t.f32 = make([]float32, n)
+	}
+	return t
+}
+
+// FromSlice wraps data (without copying) as an FP32 tensor with the given
+// shape. It panics if len(data) does not match the shape.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	if NumElems(shape) != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v wants %d elems, got %d", shape, NumElems(shape), len(data)))
+	}
+	return &Tensor{dtype: FP32, shape: append([]int(nil), shape...), f32: data}
+}
+
+// FromHalf wraps data (without copying) as an FP16 tensor with the given
+// shape. It panics if len(data) does not match the shape.
+func FromHalf(data []Half, shape ...int) *Tensor {
+	if NumElems(shape) != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v wants %d elems, got %d", shape, NumElems(shape), len(data)))
+	}
+	return &Tensor{dtype: FP16, shape: append([]int(nil), shape...), f16: data}
+}
+
+// NumElems returns the product of the dims, 1 for an empty shape.
+func NumElems(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dim in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// DType returns the tensor's storage precision.
+func (t *Tensor) DType() DType { return t.dtype }
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int {
+	if t.dtype == FP16 {
+		return len(t.f16)
+	}
+	return len(t.f32)
+}
+
+// SizeBytes returns the storage footprint of the tensor in bytes.
+func (t *Tensor) SizeBytes() int64 { return int64(t.Len()) * int64(t.dtype.Bytes()) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// At returns the element at flat index i as float32.
+func (t *Tensor) At(i int) float32 {
+	if t.dtype == FP16 {
+		return t.f16[i].Float32()
+	}
+	return t.f32[i]
+}
+
+// Set stores v at flat index i, rounding to FP16 if needed.
+func (t *Tensor) Set(i int, v float32) {
+	if t.dtype == FP16 {
+		t.f16[i] = HalfFromFloat32(v)
+		return
+	}
+	t.f32[i] = v
+}
+
+// Float32s returns the backing float32 slice of an FP32 tensor.
+// It panics for FP16 tensors; use Read for a converting copy.
+func (t *Tensor) Float32s() []float32 {
+	if t.dtype != FP32 {
+		panic("tensor: Float32s on fp16 tensor")
+	}
+	return t.f32
+}
+
+// Halfs returns the backing binary16 slice of an FP16 tensor.
+// It panics for FP32 tensors.
+func (t *Tensor) Halfs() []Half {
+	if t.dtype != FP16 {
+		panic("tensor: Halfs on fp32 tensor")
+	}
+	return t.f16
+}
+
+// Read copies the tensor's values into dst as float32, converting from FP16
+// if needed. It panics if dst is shorter than t.Len().
+func (t *Tensor) Read(dst []float32) {
+	if t.dtype == FP16 {
+		DecodeHalf(dst, t.f16)
+		return
+	}
+	copy(dst, t.f32)
+}
+
+// Write copies src into the tensor, rounding to FP16 if needed. It panics if
+// src is shorter than t.Len().
+func (t *Tensor) Write(src []float32) {
+	if t.dtype == FP16 {
+		EncodeHalf(t.f16, src[:len(t.f16)])
+		return
+	}
+	copy(t.f32, src)
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.dtype, t.shape...)
+	if t.dtype == FP16 {
+		copy(c.f16, t.f16)
+	} else {
+		copy(c.f32, t.f32)
+	}
+	return c
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	if t.dtype == FP16 {
+		for i := range t.f16 {
+			t.f16[i] = 0
+		}
+		return
+	}
+	for i := range t.f32 {
+		t.f32[i] = 0
+	}
+}
+
+// Fill sets every element to v (rounded for FP16).
+func (t *Tensor) Fill(v float32) {
+	if t.dtype == FP16 {
+		h := HalfFromFloat32(v)
+		for i := range t.f16 {
+			t.f16[i] = h
+		}
+		return
+	}
+	for i := range t.f32 {
+		t.f32[i] = v
+	}
+}
+
+// Cast returns a copy of the tensor converted to dt. Casting FP32→FP16
+// rounds to nearest-even; FP16→FP32 is exact.
+func (t *Tensor) Cast(dt DType) *Tensor {
+	c := New(dt, t.shape...)
+	switch {
+	case t.dtype == dt:
+		if dt == FP16 {
+			copy(c.f16, t.f16)
+		} else {
+			copy(c.f32, t.f32)
+		}
+	case dt == FP16:
+		EncodeHalf(c.f16, t.f32)
+	default:
+		DecodeHalf(c.f32, t.f16)
+	}
+	return c
+}
+
+// Reshape returns a view with the same backing data and a new shape.
+// It panics if the element counts differ.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	if NumElems(shape) != t.Len() {
+		panic(fmt.Sprintf("tensor: reshape %v -> %v changes size", t.shape, shape))
+	}
+	return &Tensor{dtype: t.dtype, shape: append([]int(nil), shape...), f32: t.f32, f16: t.f16}
+}
+
+// String renders a compact description, e.g. "fp16[4 8]".
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%v", t.dtype, t.shape)
+	return b.String()
+}
+
+// Equal reports whether a and b have the same dtype, shape and bitwise-equal
+// contents.
+func Equal(a, b *Tensor) bool {
+	if a.dtype != b.dtype || len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	if a.dtype == FP16 {
+		for i := range a.f16 {
+			if a.f16[i] != b.f16[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range a.f32 {
+		if a.f32[i] != b.f32[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the maximum absolute elementwise difference between a
+// and b, reading both as float32. It panics if lengths differ.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if a.Len() != b.Len() {
+		panic("tensor: MaxAbsDiff length mismatch")
+	}
+	var m float64
+	for i := 0; i < a.Len(); i++ {
+		d := float64(a.At(i)) - float64(b.At(i))
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

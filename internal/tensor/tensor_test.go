@@ -1,0 +1,208 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapesAndSizes(t *testing.T) {
+	a := New(FP32, 2, 3)
+	if a.Len() != 6 || a.SizeBytes() != 24 {
+		t.Fatalf("fp32 2x3: len=%d bytes=%d", a.Len(), a.SizeBytes())
+	}
+	h := New(FP16, 4)
+	if h.Len() != 4 || h.SizeBytes() != 8 {
+		t.Fatalf("fp16 4: len=%d bytes=%d", h.Len(), h.SizeBytes())
+	}
+	if a.String() != "fp32[2 3]" {
+		t.Errorf("String() = %q", a.String())
+	}
+	if h.DType() != FP16 || h.DType().String() != "fp16" {
+		t.Errorf("dtype mismatch")
+	}
+}
+
+func TestSetAtRoundsFP16(t *testing.T) {
+	h := New(FP16, 1)
+	h.Set(0, 1+1.0/4096) // below half precision; rounds to 1.0
+	if got := h.At(0); got != 1 {
+		t.Errorf("fp16 Set/At = %g, want 1 (rounded)", got)
+	}
+	f := New(FP32, 1)
+	f.Set(0, 1+1.0/4096)
+	if got := f.At(0); got == 1 {
+		t.Errorf("fp32 Set/At rounded unexpectedly")
+	}
+}
+
+func TestCastRoundTrip(t *testing.T) {
+	a := New(FP32, 8)
+	NewRNG(5).FillNormal(a.Float32s(), 1)
+	h := a.Cast(FP16)
+	back := h.Cast(FP32)
+	if d := MaxAbsDiff(a, back); d > 1.0/512 {
+		t.Errorf("cast round trip diff %g too large", d)
+	}
+	// FP16 -> FP32 -> FP16 must be exact.
+	h2 := back.Cast(FP16)
+	if !Equal(h, h2) {
+		t.Error("fp16->fp32->fp16 not exact")
+	}
+}
+
+func TestReadWrite(t *testing.T) {
+	h := New(FP16, 3)
+	h.Write([]float32{1, 2, 3})
+	out := make([]float32, 3)
+	h.Read(out)
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("fp16 read/write got %v", out)
+	}
+	f := New(FP32, 3)
+	f.Write([]float32{4, 5, 6})
+	f.Read(out)
+	if out[0] != 4 || out[2] != 6 {
+		t.Fatalf("fp32 read/write got %v", out)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	c := a.Clone()
+	c.Set(0, 99)
+	if a.At(0) != 1 {
+		t.Error("Clone shares storage")
+	}
+	h := New(FP16, 2)
+	h.Set(0, 7)
+	hc := h.Clone()
+	hc.Set(0, 8)
+	if h.At(0) != 7 {
+		t.Error("fp16 Clone shares storage")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := New(FP32, 2, 3)
+	v := a.Reshape(3, 2)
+	v.Set(0, 42)
+	if a.At(0) != 42 {
+		t.Error("Reshape copied data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Reshape to wrong size did not panic")
+		}
+	}()
+	a.Reshape(7)
+}
+
+func TestZeroAndFill(t *testing.T) {
+	for _, dt := range []DType{FP32, FP16} {
+		a := New(dt, 5)
+		a.Fill(3)
+		for i := 0; i < 5; i++ {
+			if a.At(i) != 3 {
+				t.Fatalf("%v Fill: at(%d)=%g", dt, i, a.At(i))
+			}
+		}
+		a.Zero()
+		for i := 0; i < 5; i++ {
+			if a.At(i) != 0 {
+				t.Fatalf("%v Zero: at(%d)=%g", dt, i, a.At(i))
+			}
+		}
+	}
+}
+
+func TestFromSlicePanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromSlice with wrong shape did not panic")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestFromHalf(t *testing.T) {
+	h := FromHalf([]Half{0x3c00, 0x4000}, 2)
+	if h.At(0) != 1 || h.At(1) != 2 {
+		t.Fatalf("FromHalf values wrong: %g %g", h.At(0), h.At(1))
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{1, 2}, 2)
+	if !Equal(a, b) {
+		t.Error("equal tensors not Equal")
+	}
+	b.Set(1, 3)
+	if Equal(a, b) {
+		t.Error("different tensors Equal")
+	}
+	c := FromSlice([]float32{1, 2}, 1, 2)
+	if Equal(a, c) {
+		t.Error("different shapes Equal")
+	}
+	if Equal(a, a.Cast(FP16)) {
+		t.Error("different dtypes Equal")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Error("different seeds produced same first value")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(9)
+	s1 := r.Split()
+	s2 := r.Split()
+	if s1.Uint64() == s2.Uint64() {
+		t.Error("split streams identical")
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(123)
+	const n = 20000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if mean < -0.05 || mean > 0.05 {
+		t.Errorf("normal mean = %g", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Errorf("normal variance = %g", variance)
+	}
+}
+
+// Property: Float64 always in [0,1), Intn always in range.
+func TestRNGQuickRanges(t *testing.T) {
+	r := NewRNG(77)
+	f := func(n uint8) bool {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			return false
+		}
+		k := int(n%100) + 1
+		i := r.Intn(k)
+		return i >= 0 && i < k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+package zero
+
+import "math"
+
+// Gradient-norm clipping across partitioned gradients. Every engine —
+// replicated or sharded — must compute the global norm with the exact same
+// float64 summation order (per rank, then per parameter, folded in rank
+// order by AllReduceScalar) so that clipped training trajectories stay
+// bit-identical across engines.
+
+// SumSq accumulates Σ g² in float64 over one gradient shard.
+func SumSq(g []float32) float64 {
+	var s float64
+	for _, v := range g {
+		s += float64(v) * float64(v)
+	}
+	return s
+}
+
+// ClipFactor returns the multiplier (≤ 1) that brings a gradient of the
+// given squared norm down to clipNorm; 1 when already within bounds or when
+// clipping is disabled.
+func ClipFactor(sumSq, clipNorm float64) float64 {
+	if clipNorm <= 0 || sumSq <= clipNorm*clipNorm {
+		return 1
+	}
+	return clipNorm / math.Sqrt(sumSq)
+}

@@ -1,0 +1,303 @@
+package zero
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+	"repro/internal/module"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// DPEngine implements the replicated-parameter family: classic data
+// parallelism (StageDDP), ZeRO-1 (partitioned optimizer), ZeRO-2
+// (partitioned optimizer + gradients) and ZeRO-Offload (ZeRO-2 with the
+// optimizer state and update on CPU). Parameters are always fully resident
+// in GPU memory — the limitation ZeRO-3/Infinity removes.
+type DPEngine struct {
+	cfg    Config
+	c      *comm.Comm
+	g      *model.GPT
+	rt     *module.Runtime
+	params []*module.Param
+
+	// fp16 is the authoritative replicated fp16 weight storage.
+	fp16 map[*module.Param][]tensor.Half
+	// master/adam cover the full parameter for DDP, this rank's shard for
+	// ZeRO-1/2/Offload.
+	master map[*module.Param][]float32
+	adam   map[*module.Param]*optim.Adam
+
+	scaler *optim.LossScaler
+
+	// decoded reduced gradients, kept between the reduce and update phases.
+	grads map[*module.Param][]float32
+
+	// CPU-offload traffic accounting (ZeRO-Offload): bytes moved over the
+	// GPU<->CPU link per step for gradients down and parameters up.
+	BytesToCPU, BytesFromCPU int64
+}
+
+// NewDPEngine builds the engine for one rank. Stage must be StageDDP,
+// Stage1 or Stage2.
+func NewDPEngine(cfg Config, c *comm.Comm, g *model.GPT) (*DPEngine, error) {
+	cfg.setDefaults()
+	if cfg.Stage == Stage3 {
+		return nil, fmt.Errorf("zero: DPEngine does not support stage3; use Z3Engine")
+	}
+	e := &DPEngine{
+		cfg:    cfg,
+		c:      c,
+		g:      g,
+		params: module.AllParams(g),
+		fp16:   make(map[*module.Param][]tensor.Half),
+		master: make(map[*module.Param][]float32),
+		adam:   make(map[*module.Param]*optim.Adam),
+		grads:  make(map[*module.Param][]float32),
+	}
+	e.rt = module.NewRuntime(nil)
+	if cfg.DynamicLossScale {
+		e.scaler = optim.NewLossScaler(cfg.LossScale)
+	} else {
+		e.scaler = optim.StaticLossScaler(cfg.LossScale)
+	}
+	dp := c.Size()
+	for _, p := range e.params {
+		full := model.InitValues(p, cfg.Seed)
+		h := make([]tensor.Half, p.Len())
+		tensor.EncodeHalf(h, full)
+		e.fp16[p] = h
+		p.SetData(full)
+		if cfg.Stage == StageDDP {
+			e.master[p] = append([]float32(nil), full...)
+			e.adam[p] = optim.NewAdam(p.Len(), cfg.Adam)
+		} else {
+			s := comm.ShardLen(p.Len(), dp)
+			shard := make([]float32, s)
+			comm.Shard(shard, full, c.Rank(), dp)
+			e.master[p] = shard
+			e.adam[p] = optim.NewAdam(s, cfg.Adam)
+		}
+	}
+	return e, nil
+}
+
+// Model returns the wrapped model.
+func (e *DPEngine) Model() *model.GPT { return e.g }
+
+// Runtime returns the engine's hook runtime.
+func (e *DPEngine) Runtime() *module.Runtime { return e.rt }
+
+// LossScale returns the current loss scale.
+func (e *DPEngine) LossScale() float64 { return e.scaler.Scale }
+
+// Step runs one data-parallel training step on this rank's batch.
+func (e *DPEngine) Step(tokens, targets []int, batch int) StepResult {
+	return e.StepAccum([][]int{tokens}, [][]int{targets}, batch)
+}
+
+// StepAccum runs one training step with gradient accumulation over
+// micro-batches: each micro-batch's gradients are reduced across ranks and
+// accumulated in fp32 before a single optimizer step — the recipe ZeRO
+// engines use (reduce per micro-batch, accumulate the reduced shards), which
+// keeps every engine's trajectory bit-identical.
+func (e *DPEngine) StepAccum(microTokens, microTargets [][]int, batchPerMicro int) StepResult {
+	if len(microTokens) == 0 || len(microTokens) != len(microTargets) {
+		panic("zero: StepAccum needs matching non-empty micro-batches")
+	}
+	dp := e.c.Size()
+	micros := len(microTokens)
+	scaleUsed := e.scaler.Scale
+
+	var lossSum float64
+	for m := 0; m < micros; m++ {
+		for _, p := range e.params {
+			p.Grad()
+			p.ZeroGrad()
+		}
+		lossSum += e.g.ForwardLoss(e.rt, microTokens[m], microTargets[m], batchPerMicro)
+		e.g.BackwardLoss(e.rt, float32(scaleUsed))
+		e.reduceMicro()
+	}
+	globalLoss := e.c.AllReduceScalar(lossSum/float64(micros)) / float64(dp)
+
+	overflow := false
+	for _, p := range e.params {
+		if tensor.HasNaNOrInf(e.grads[p]) {
+			overflow = true
+			break
+		}
+	}
+	globalOverflow := e.c.AllReduceMax(b2f(overflow)) > 0
+	if globalOverflow {
+		e.scaler.Update(true)
+		for _, p := range e.params {
+			delete(e.grads, p)
+		}
+		return StepResult{Loss: globalLoss, Skipped: true, LossScale: e.scaler.Scale}
+	}
+
+	inv := 1 / (scaleUsed * float64(dp) * float64(micros))
+	for _, p := range e.params {
+		tensor.Scale(float32(inv), e.grads[p])
+	}
+	if f := e.clipFactor(); f != 1 {
+		for _, p := range e.params {
+			tensor.Scale(float32(f), e.grads[p])
+		}
+	}
+	for _, p := range e.params {
+		g := e.grads[p]
+		e.adam[p].Step(e.master[p], g)
+		delete(e.grads, p)
+
+		// Re-materialize fp16 weights.
+		n := p.Len()
+		if e.cfg.Stage == StageDDP {
+			tensor.EncodeHalf(e.fp16[p], e.master[p])
+			tensor.DecodeHalf(p.Data(), e.fp16[p])
+			continue
+		}
+		dpLen := comm.ShardLen(n, dp)
+		encShard := make([]tensor.Half, dpLen)
+		tensor.EncodeHalf(encShard, e.master[p])
+		if e.cfg.OffloadOptimizer {
+			// Updated fp16 shard returns from CPU to GPU before allgather.
+			e.BytesFromCPU += int64(dpLen) * tensor.HalfBytes
+		}
+		full := make([]tensor.Half, dpLen*dp)
+		e.c.AllGatherHalf(full, encShard)
+		copy(e.fp16[p], full[:n])
+		tensor.DecodeHalf(p.Data(), e.fp16[p])
+	}
+	e.scaler.Update(false)
+	return StepResult{Loss: globalLoss, LossScale: e.scaler.Scale}
+}
+
+// reduceMicro reduces the current local gradients in fp16 and accumulates
+// the decoded result into e.grads.
+func (e *DPEngine) reduceMicro() {
+	dp := e.c.Size()
+	for _, p := range e.params {
+		n := p.Len()
+		padded := comm.PaddedLen(n, dp)
+		gh := make([]tensor.Half, padded)
+		tensor.EncodeHalf(gh[:n], p.Grad())
+		var reduced []float32
+		switch e.cfg.Stage {
+		case StageDDP, Stage1:
+			e.c.AllReduceHalf(gh[:n])
+			if e.cfg.Stage == StageDDP {
+				reduced = make([]float32, n)
+				tensor.DecodeHalf(reduced, gh[:n])
+			} else {
+				lo, hi := comm.ShardRange(n, e.c.Rank(), dp)
+				s := hi - lo
+				reduced = make([]float32, s)
+				for i := 0; i < s; i++ {
+					if lo+i < n {
+						reduced[i] = gh[lo+i].Float32()
+					}
+				}
+			}
+		case Stage2:
+			shard := make([]tensor.Half, padded/dp)
+			e.c.ReduceScatterHalf(shard, gh)
+			reduced = make([]float32, len(shard))
+			tensor.DecodeHalf(reduced, shard)
+			if e.cfg.OffloadOptimizer {
+				// Gradient shard moves to CPU for the update.
+				e.BytesToCPU += int64(len(shard)) * tensor.HalfBytes
+			}
+		}
+		p.ReleaseGrad()
+		if acc := e.grads[p]; acc != nil {
+			tensor.Axpy(1, reduced, acc)
+		} else {
+			e.grads[p] = reduced
+		}
+	}
+}
+
+// clipFactor computes the global-gradient-norm clip multiplier in the
+// engine-invariant summation order: rank-major, then parameter-major.
+func (e *DPEngine) clipFactor() float64 {
+	if e.cfg.ClipNorm <= 0 {
+		return 1
+	}
+	dp := e.c.Size()
+	var total float64
+	if e.cfg.Stage == StageDDP {
+		// Replicated gradients: emulate the sharded engines' rank-major
+		// accumulation exactly.
+		for r := 0; r < dp; r++ {
+			var partial float64
+			for _, p := range e.params {
+				lo, hi := comm.ShardRange(p.Len(), r, dp)
+				g := e.grads[p]
+				if lo > len(g) {
+					lo = len(g)
+				}
+				if hi > len(g) {
+					hi = len(g)
+				}
+				partial += SumSq(g[lo:hi])
+			}
+			total += partial
+		}
+	} else {
+		var local float64
+		for _, p := range e.params {
+			local += SumSq(e.grads[p])
+		}
+		total = e.c.AllReduceScalar(local)
+	}
+	return ClipFactor(total, e.cfg.ClipNorm)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// LoadParams replaces the model weights with the given full fp16-valued
+// vectors (keyed by parameter name) and resets the optimizer state — the
+// load-pretrained-weights path. Values are rounded through fp16. Every rank
+// must call it with identical values.
+func (e *DPEngine) LoadParams(values map[string][]float32) error {
+	dp := e.c.Size()
+	for _, p := range e.params {
+		v, ok := values[p.Name]
+		if !ok {
+			return fmt.Errorf("zero: checkpoint missing parameter %q", p.Name)
+		}
+		if len(v) != p.Len() {
+			return fmt.Errorf("zero: checkpoint parameter %q has %d elems, want %d", p.Name, len(v), p.Len())
+		}
+		tensor.EncodeHalf(e.fp16[p], v)
+		tensor.DecodeHalf(p.Data(), e.fp16[p])
+		if e.cfg.Stage == StageDDP {
+			copy(e.master[p], p.Data())
+			e.adam[p] = optim.NewAdam(p.Len(), e.cfg.Adam)
+		} else {
+			comm.Shard(e.master[p], p.Data(), e.c.Rank(), dp)
+			e.adam[p] = optim.NewAdam(len(e.master[p]), e.cfg.Adam)
+		}
+	}
+	return nil
+}
+
+// FullParams gathers the current fp16 parameter values as float32 vectors,
+// keyed by parameter name (for engine-equivalence tests).
+func (e *DPEngine) FullParams() map[string][]float32 {
+	out := make(map[string][]float32, len(e.params))
+	for _, p := range e.params {
+		v := make([]float32, p.Len())
+		tensor.DecodeHalf(v, e.fp16[p])
+		out[p.Name] = v
+	}
+	return out
+}

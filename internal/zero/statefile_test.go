@@ -1,0 +1,116 @@
+package zero
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+)
+
+// Exact resume: training N steps straight equals training k, saving each
+// rank's state, loading into fresh engines, and training N-k more — bit for
+// bit, including optimizer moments and loss-scaler state.
+func TestRankStateExactResume(t *testing.T) {
+	mcfg := testCfg()
+	const total, split = 6, 3
+	tokens, targets := makeBatches(mcfg, total, testRanks, testBatch)
+	cfg := Config{LossScale: 1024, DynamicLossScale: true, Seed: 13}
+
+	// Continuous run.
+	var contLosses []float64
+	var contParams map[string][]float32
+	var mu sync.Mutex
+	comm.Run(testRanks, func(c *comm.Comm) {
+		g := model.MustGPT(mcfg)
+		e, _ := NewZ3Engine(cfg, c, g)
+		var local []float64
+		for s := 0; s < total; s++ {
+			local = append(local, e.Step(tokens[s][c.Rank()], targets[s][c.Rank()], testBatch).Loss)
+		}
+		p := e.FullParams()
+		if c.Rank() == 0 {
+			mu.Lock()
+			contLosses, contParams = local, p
+			mu.Unlock()
+		}
+	})
+
+	// Split run with save/restore in the middle.
+	states := make([]bytes.Buffer, testRanks)
+	comm.Run(testRanks, func(c *comm.Comm) {
+		g := model.MustGPT(mcfg)
+		e, _ := NewZ3Engine(cfg, c, g)
+		for s := 0; s < split; s++ {
+			e.Step(tokens[s][c.Rank()], targets[s][c.Rank()], testBatch)
+		}
+		if err := e.SaveRankState(&states[c.Rank()]); err != nil {
+			t.Errorf("rank %d save: %v", c.Rank(), err)
+		}
+	})
+	var resLosses []float64
+	var resParams map[string][]float32
+	comm.Run(testRanks, func(c *comm.Comm) {
+		g := model.MustGPT(mcfg)
+		e, _ := NewZ3Engine(cfg, c, g)
+		if err := e.LoadRankState(bytes.NewReader(states[c.Rank()].Bytes())); err != nil {
+			t.Errorf("rank %d load: %v", c.Rank(), err)
+			return
+		}
+		var local []float64
+		for s := split; s < total; s++ {
+			local = append(local, e.Step(tokens[s][c.Rank()], targets[s][c.Rank()], testBatch).Loss)
+		}
+		p := e.FullParams()
+		if c.Rank() == 0 {
+			mu.Lock()
+			resLosses, resParams = local, p
+			mu.Unlock()
+		}
+	})
+
+	for i, want := range contLosses[split:] {
+		if resLosses[i] != want {
+			t.Fatalf("resumed loss diverged at step %d: %.17g vs %.17g", split+i, resLosses[i], want)
+		}
+	}
+	for name, want := range contParams {
+		got := resParams[name]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("resumed param %s[%d] = %g, want %g", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRankStateRejectsWrongRank(t *testing.T) {
+	mcfg := testCfg()
+	states := make([]bytes.Buffer, 2)
+	comm.Run(2, func(c *comm.Comm) {
+		g := model.MustGPT(mcfg)
+		e, _ := NewZ3Engine(Config{LossScale: 8, Seed: 1}, c, g)
+		if err := e.SaveRankState(&states[c.Rank()]); err != nil {
+			t.Error(err)
+		}
+	})
+	comm.Run(2, func(c *comm.Comm) {
+		g := model.MustGPT(mcfg)
+		e, _ := NewZ3Engine(Config{LossScale: 8, Seed: 1}, c, g)
+		other := (c.Rank() + 1) % 2
+		if err := e.LoadRankState(bytes.NewReader(states[other].Bytes())); err == nil {
+			t.Error("cross-rank state load accepted")
+		}
+	})
+}
+
+func TestRankStateRejectsGarbage(t *testing.T) {
+	comm.Run(1, func(c *comm.Comm) {
+		g := model.MustGPT(testCfg())
+		e, _ := NewZ3Engine(Config{LossScale: 8, Seed: 1}, c, g)
+		if err := e.LoadRankState(bytes.NewReader([]byte("XXXXxxxx"))); err == nil {
+			t.Error("garbage accepted")
+		}
+	})
+}

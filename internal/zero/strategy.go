@@ -1,0 +1,135 @@
+// Package zero implements the ZeRO family of data-parallel training engines
+// from the paper's Table 2 taxonomy:
+//
+//	Data parallel (DDP)  — everything replicated on GPU
+//	ZeRO-1               — optimizer states partitioned
+//	ZeRO-2               — optimizer states + gradients partitioned
+//	ZeRO-Offload         — ZeRO-2 placement with optimizer states on CPU
+//	ZeRO-3               — all three model states partitioned
+//
+// ZeRO-Infinity itself (ZeRO-3 + infinity offload engine + tiling +
+// prefetcher) lives in internal/core and composes the pieces defined here.
+//
+// All engines share one gradient/update recipe so their training
+// trajectories are *bit-identical* given the same ranks, seeds and batches:
+// local fp32 grads are encoded to fp16, reduced across ranks in rank order
+// with fp32 accumulation, re-encoded to fp16, unscaled by 1/(lossScale·dp),
+// and fed to elementwise fp32 Adam on master weights initialized from the
+// fp16 init. The equivalence tests in this package assert exact equality.
+package zero
+
+import (
+	"fmt"
+
+	"repro/internal/optim"
+)
+
+// Stage selects how much of the model state is partitioned (paper Sec. 2).
+type Stage int
+
+// Partitioning stages.
+const (
+	StageDDP Stage = iota // classic data parallelism, no partitioning
+	Stage1                // optimizer states partitioned
+	Stage2                // + gradients partitioned
+	Stage3                // + parameters partitioned
+)
+
+// String returns the conventional name.
+func (s Stage) String() string {
+	switch s {
+	case StageDDP:
+		return "ddp"
+	case Stage1:
+		return "zero1"
+	case Stage2:
+		return "zero2"
+	case Stage3:
+		return "zero3"
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Placement says where a class of model state lives (paper Table 2).
+type Placement int
+
+// Device tiers.
+const (
+	OnGPU Placement = iota
+	OnCPU
+	OnNVMe
+)
+
+// String returns the tier name.
+func (p Placement) String() string {
+	switch p {
+	case OnCPU:
+		return "cpu"
+	case OnNVMe:
+		return "nvme"
+	default:
+		return "gpu"
+	}
+}
+
+// Strategy is a row of the paper's Table 2: a named combination of
+// partitioning and placement for optimizer+gradient state and parameters.
+type Strategy struct {
+	Name string
+	// OptGradDevices / ParamDevices list the tiers each state may occupy,
+	// fastest first (e.g. NVMe strategies spill GPU→CPU→NVMe).
+	OptGradDevices   []Placement
+	ParamDevices     []Placement
+	OptGradPartition bool
+	ParamPartition   bool
+}
+
+// Table2 reproduces the paper's Table 2 rows in order.
+func Table2() []Strategy {
+	return []Strategy{
+		{"Data parallel", []Placement{OnGPU}, []Placement{OnGPU}, false, false},
+		{"ZeRO 2", []Placement{OnGPU}, []Placement{OnGPU}, true, false},
+		{"ZeRO-Offload", []Placement{OnCPU, OnGPU}, []Placement{OnGPU}, true, false},
+		{"3D Parallelism", []Placement{OnGPU}, []Placement{OnGPU}, true, true},
+		{"ZeRO 3", []Placement{OnGPU}, []Placement{OnGPU}, true, true},
+		{"ZeRO-Inf-CPU", []Placement{OnCPU, OnGPU}, []Placement{OnCPU, OnGPU}, true, true},
+		{"ZeRO-Inf-NVMe", []Placement{OnNVMe, OnCPU, OnGPU}, []Placement{OnNVMe, OnCPU, OnGPU}, true, true},
+	}
+}
+
+// Config configures any engine in this package.
+type Config struct {
+	Stage Stage
+	Adam  optim.AdamConfig
+	// LossScale is the initial loss scale (default 1: disabled).
+	LossScale float64
+	// DynamicLossScale enables scale adaptation.
+	DynamicLossScale bool
+	// Seed drives deterministic parameter initialization.
+	Seed uint64
+	// OffloadOptimizer places optimizer state on CPU (ZeRO-Offload when
+	// Stage==Stage2).
+	OffloadOptimizer bool
+	// ClipNorm, when positive, clips the global (all-parameter, all-rank)
+	// gradient L2 norm to this value before the optimizer step.
+	ClipNorm float64
+}
+
+func (c *Config) setDefaults() {
+	if c.Adam == (optim.AdamConfig{}) {
+		c.Adam = optim.DefaultAdamConfig()
+	}
+	if c.LossScale == 0 {
+		c.LossScale = 1
+	}
+}
+
+// StepResult reports one training step.
+type StepResult struct {
+	// Loss is the global mean loss across ranks.
+	Loss float64
+	// Skipped reports an fp16-overflow step (no parameter update).
+	Skipped bool
+	// LossScale is the scale in effect after the step.
+	LossScale float64
+}

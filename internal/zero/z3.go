@@ -1,0 +1,363 @@
+package zero
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+	"repro/internal/module"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// Z3Engine implements ZeRO stage 3: every model state — parameters included
+// — is partitioned across the data-parallel ranks (bandwidth-centric
+// partitioning, paper Sec. 6.1: each individual parameter is sliced 1/dp per
+// rank rather than owned by a single rank). Hooks injected through the
+// module runtime gather a submodule's parameters right before its
+// forward/backward and re-partition them right after (paper Sec. 7.1);
+// parameters accessed across module boundaries are auto-registered as
+// external parameters through the on-demand Data() interception.
+//
+// The engine is deliberately synchronous; internal/core adds the infinity
+// offload engine, prefetch/overlap and NVMe placement on top of the same
+// hook skeleton.
+type Z3Engine struct {
+	cfg    Config
+	c      *comm.Comm
+	g      *model.GPT
+	rt     *module.Runtime
+	params []*module.Param
+
+	// shard is the authoritative fp16 parameter shard owned by this rank
+	// (padded to ShardLen).
+	shard map[*module.Param][]tensor.Half
+	// master/adam are this rank's fp32 optimizer shard.
+	master map[*module.Param][]float32
+	adam   map[*module.Param]*optim.Adam
+	// gradShard holds the reduced (still loss-scaled) fp32 gradient shard
+	// between backward and the optimizer phase.
+	gradShard map[*module.Param][]float32
+
+	scaler *optim.LossScaler
+
+	// owner maps a param to its owning module, and external records params
+	// auto-registered against modules that access them across boundaries.
+	owner    map[*module.Param]module.Module
+	external map[module.Module][]*module.Param
+	active   []module.Module // current hook scope stack
+
+	// Observability.
+	Gathers         int      // allgather operations issued
+	OnDemandGathers int      // gathers triggered by external-parameter access
+	GatherTrace     []string // module names in first-iteration gather order
+	traceDone       bool
+}
+
+// NewZ3Engine builds the stage-3 engine for one rank and performs
+// partitioned initialization: each parameter's full init values exist only
+// transiently before being sharded (paper Sec. 7.2).
+func NewZ3Engine(cfg Config, c *comm.Comm, g *model.GPT) (*Z3Engine, error) {
+	cfg.setDefaults()
+	cfg.Stage = Stage3
+	e := &Z3Engine{
+		cfg:       cfg,
+		c:         c,
+		g:         g,
+		params:    module.AllParams(g),
+		shard:     make(map[*module.Param][]tensor.Half),
+		master:    make(map[*module.Param][]float32),
+		adam:      make(map[*module.Param]*optim.Adam),
+		gradShard: make(map[*module.Param][]float32),
+		owner:     make(map[*module.Param]module.Module),
+		external:  make(map[module.Module][]*module.Param),
+	}
+	e.rt = module.NewRuntime(e)
+	if cfg.DynamicLossScale {
+		e.scaler = optim.NewLossScaler(cfg.LossScale)
+	} else {
+		e.scaler = optim.StaticLossScaler(cfg.LossScale)
+	}
+	dp := c.Size()
+	module.Walk(g, func(m module.Module) {
+		for _, p := range m.Params() {
+			e.owner[p] = m
+		}
+	})
+	for _, p := range e.params {
+		full := model.InitValues(p, cfg.Seed) // transient full copy
+		s := comm.ShardLen(p.Len(), dp)
+		lo := c.Rank() * s
+		shard := make([]tensor.Half, s)
+		fs := make([]float32, s)
+		for i := 0; i < s; i++ {
+			if lo+i < len(full) {
+				fs[i] = full[lo+i]
+			}
+		}
+		tensor.EncodeHalf(shard, fs)
+		e.shard[p] = shard
+		e.master[p] = fs
+		e.adam[p] = optim.NewAdam(s, cfg.Adam)
+		p.SetOnDemand(e.onDemand)
+	}
+	return e, nil
+}
+
+// Model returns the wrapped model.
+func (e *Z3Engine) Model() *model.GPT { return e.g }
+
+// Runtime returns the hook runtime; all forward/backward calls must go
+// through it.
+func (e *Z3Engine) Runtime() *module.Runtime { return e.rt }
+
+// LossScale returns the current loss scale.
+func (e *Z3Engine) LossScale() float64 { return e.scaler.Scale }
+
+// ShardFor exposes this rank's fp16 shard of p (read-only; used by tests
+// and by internal/core).
+func (e *Z3Engine) ShardFor(p *module.Param) []tensor.Half { return e.shard[p] }
+
+// gather materializes p's full fp16 values from all ranks' shards.
+func (e *Z3Engine) gather(p *module.Param) {
+	if p.Materialized() {
+		return
+	}
+	dp := e.c.Size()
+	s := comm.ShardLen(p.Len(), dp)
+	fullH := make([]tensor.Half, s*dp)
+	e.c.AllGatherHalf(fullH, e.shard[p])
+	full := make([]float32, p.Len())
+	tensor.DecodeHalf(full, fullH[:p.Len()])
+	p.SetData(full)
+	e.Gathers++
+	if !e.traceDone {
+		name := "?"
+		if m := e.owner[p]; m != nil {
+			name = m.Name()
+		}
+		e.GatherTrace = append(e.GatherTrace, name+"/"+p.Name)
+	}
+}
+
+// onDemand is the Param.Data() interception: gather now and register the
+// parameter as external to the module currently executing.
+func (e *Z3Engine) onDemand(p *module.Param) {
+	e.gather(p)
+	e.OnDemandGathers++
+	if len(e.active) == 0 {
+		return
+	}
+	m := e.active[len(e.active)-1]
+	if e.owner[p] == m {
+		return
+	}
+	for _, q := range e.external[m] {
+		if q == p {
+			return
+		}
+	}
+	e.external[m] = append(e.external[m], p)
+}
+
+// PreForward implements module.Hooks: gather own and known-external params.
+func (e *Z3Engine) PreForward(m module.Module) {
+	e.active = append(e.active, m)
+	for _, p := range m.Params() {
+		e.gather(p)
+	}
+	for _, p := range e.external[m] {
+		e.gather(p)
+	}
+}
+
+// PostForward implements module.Hooks: re-partition params used here.
+func (e *Z3Engine) PostForward(m module.Module) {
+	e.active = e.active[:len(e.active)-1]
+	for _, p := range m.Params() {
+		p.ReleaseData()
+	}
+	for _, p := range e.external[m] {
+		if !e.inScope(p) {
+			p.ReleaseData()
+		}
+	}
+}
+
+// PreBackward implements module.Hooks.
+func (e *Z3Engine) PreBackward(m module.Module) {
+	e.active = append(e.active, m)
+	for _, p := range m.Params() {
+		e.gather(p)
+	}
+	for _, p := range e.external[m] {
+		e.gather(p)
+	}
+}
+
+// PostBackward implements module.Hooks: reduce-scatter gradients of owned
+// params, then re-partition.
+func (e *Z3Engine) PostBackward(m module.Module) {
+	e.active = e.active[:len(e.active)-1]
+	dp := e.c.Size()
+	for _, p := range m.Params() {
+		if p.HasGrad() {
+			n := p.Len()
+			padded := comm.PaddedLen(n, dp)
+			gh := make([]tensor.Half, padded)
+			tensor.EncodeHalf(gh[:n], p.Grad())
+			shardH := make([]tensor.Half, padded/dp)
+			e.c.ReduceScatterHalf(shardH, gh)
+			gs := make([]float32, len(shardH))
+			tensor.DecodeHalf(gs, shardH)
+			if acc := e.gradShard[p]; acc != nil {
+				// Gradient accumulation across micro-batches.
+				tensor.Axpy(1, gs, acc)
+			} else {
+				e.gradShard[p] = gs
+			}
+			p.ReleaseGrad()
+		}
+		p.ReleaseData()
+	}
+	for _, p := range e.external[m] {
+		if !e.inScope(p) {
+			p.ReleaseData()
+		}
+	}
+}
+
+// inScope reports whether p belongs to (or is external to) a module still
+// on the active stack — if so it must stay materialized.
+func (e *Z3Engine) inScope(p *module.Param) bool {
+	for _, m := range e.active {
+		if e.owner[p] == m {
+			return true
+		}
+		for _, q := range e.external[m] {
+			if q == p {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Step runs one training step.
+func (e *Z3Engine) Step(tokens, targets []int, batch int) StepResult {
+	return e.StepAccum([][]int{tokens}, [][]int{targets}, batch)
+}
+
+// StepAccum runs one training step with gradient accumulation over
+// micro-batches (reduce per micro-batch, accumulate fp32 shards).
+func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro int) StepResult {
+	if len(microTokens) == 0 || len(microTokens) != len(microTargets) {
+		panic("zero: StepAccum needs matching non-empty micro-batches")
+	}
+	dp := e.c.Size()
+	micros := len(microTokens)
+	scaleUsed := e.scaler.Scale
+
+	var lossSum float64
+	for m := 0; m < micros; m++ {
+		lossSum += e.g.ForwardLoss(e.rt, microTokens[m], microTargets[m], batchPerMicro)
+		e.g.BackwardLoss(e.rt, float32(scaleUsed))
+	}
+	globalLoss := e.c.AllReduceScalar(lossSum/float64(micros)) / float64(dp)
+	e.traceDone = true
+
+	overflow := false
+	for _, p := range e.params {
+		if tensor.HasNaNOrInf(e.gradShard[p]) {
+			overflow = true
+			break
+		}
+	}
+	globalOverflow := e.c.AllReduceMax(b2f(overflow)) > 0
+	if globalOverflow {
+		e.scaler.Update(true)
+		for _, p := range e.params {
+			delete(e.gradShard, p)
+		}
+		return StepResult{Loss: globalLoss, Skipped: true, LossScale: e.scaler.Scale}
+	}
+
+	inv := float32(1 / (scaleUsed * float64(dp) * float64(micros)))
+	for _, p := range e.params {
+		gs := e.gradShard[p]
+		if gs == nil {
+			panic("zero: missing gradient shard for " + p.Name)
+		}
+		tensor.Scale(inv, gs)
+	}
+	if e.cfg.ClipNorm > 0 {
+		var local float64
+		for _, p := range e.params {
+			local += SumSq(e.gradShard[p])
+		}
+		if f := ClipFactor(e.c.AllReduceScalar(local), e.cfg.ClipNorm); f != 1 {
+			for _, p := range e.params {
+				tensor.Scale(float32(f), e.gradShard[p])
+			}
+		}
+	}
+	for _, p := range e.params {
+		gs := e.gradShard[p]
+		e.adam[p].Step(e.master[p], gs)
+		tensor.EncodeHalf(e.shard[p], e.master[p])
+		delete(e.gradShard, p)
+	}
+	e.scaler.Update(false)
+	return StepResult{Loss: globalLoss, LossScale: e.scaler.Scale}
+}
+
+// LoadParams replaces the model weights (sharding each full vector to this
+// rank's slice) and resets the optimizer state. Every rank must call it with
+// identical values.
+func (e *Z3Engine) LoadParams(values map[string][]float32) error {
+	dp := e.c.Size()
+	for _, p := range e.params {
+		v, ok := values[p.Name]
+		if !ok {
+			return fmt.Errorf("zero: checkpoint missing parameter %q", p.Name)
+		}
+		if len(v) != p.Len() {
+			return fmt.Errorf("zero: checkpoint parameter %q has %d elems, want %d", p.Name, len(v), p.Len())
+		}
+		rounded := tensor.RoundTripHalf(append([]float32(nil), v...))
+		comm.Shard(e.master[p], rounded, e.c.Rank(), dp)
+		tensor.EncodeHalf(e.shard[p], e.master[p])
+		e.adam[p] = optim.NewAdam(len(e.master[p]), e.cfg.Adam)
+	}
+	return nil
+}
+
+// FullParams gathers every parameter's current fp16 values (collective:
+// all ranks must call it together).
+func (e *Z3Engine) FullParams() map[string][]float32 {
+	dp := e.c.Size()
+	out := make(map[string][]float32, len(e.params))
+	for _, p := range e.params {
+		s := comm.ShardLen(p.Len(), dp)
+		fullH := make([]tensor.Half, s*dp)
+		e.c.AllGatherHalf(fullH, e.shard[p])
+		v := make([]float32, p.Len())
+		tensor.DecodeHalf(v, fullH[:p.Len()])
+		out[p.Name] = v
+	}
+	return out
+}
+
+// MaxLiveParamBytes returns the largest fp16 footprint any single gathered
+// parameter would occupy — the stage-3 working-set contribution.
+func (e *Z3Engine) MaxLiveParamBytes() int64 {
+	var m int64
+	for _, p := range e.params {
+		if b := p.FP16Bytes(); b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+var _ module.Hooks = (*Z3Engine)(nil)

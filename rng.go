@@ -1,0 +1,9 @@
+package zeroinf
+
+import "repro/internal/tensor"
+
+// rngAlias keeps the tensor RNG out of the public surface while letting the
+// facade seed synthetic data deterministically.
+type rngAlias = tensor.RNG
+
+func rngNew(seed uint64) *rngAlias { return tensor.NewRNG(seed) }

@@ -1,0 +1,292 @@
+// Package zeroinf is the public API of the ZeRO-Infinity reproduction: a
+// data-parallel Transformer training library in pure Go that implements the
+// full ZeRO family (DDP, ZeRO-1/2/3, ZeRO-Offload) and ZeRO-Infinity — the
+// infinity offload engine with GPU/CPU/NVMe placement, bandwidth-centric
+// partitioning, overlap-centric prefetching, CPU activation-checkpoint
+// offload, and memory-centric tiling — plus the paper's analytic and
+// simulated evaluation harness.
+//
+// Ranks are goroutines, collectives are channels, NVMe is a real
+// asynchronous file-backed I/O engine; every engine trains bit-identically
+// to plain data parallelism (see the equiv experiment).
+//
+// Quick start:
+//
+//	res, err := zeroinf.Train(zeroinf.TrainOptions{
+//		Model:  zeroinf.ModelConfig{Vocab: 64, Hidden: 32, Heads: 4, Seq: 16, Layers: 2},
+//		Engine: zeroinf.EngineConfig{Infinity: true, Params: zeroinf.OnCPU, Optimizer: zeroinf.OnCPU},
+//		Ranks:  4, Steps: 10, BatchPerRank: 2,
+//	})
+package zeroinf
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/optim"
+	"repro/internal/zero"
+)
+
+// Re-exported configuration types. These alias the internal implementation
+// types, so the full method sets are available through this package.
+type (
+	// ModelConfig describes the GPT-like Transformer to train.
+	ModelConfig = model.Config
+	// GPT is the model; construct per rank with NewModel.
+	GPT = model.GPT
+	// Comm is one rank's communicator handle.
+	Comm = comm.Comm
+	// Stage selects the ZeRO partitioning stage for non-Infinity engines.
+	Stage = zero.Stage
+	// Placement selects the tier (GPU/CPU/NVMe) holding a state.
+	Placement = zero.Placement
+	// StepResult reports one training step.
+	StepResult = zero.StepResult
+	// AdamConfig holds optimizer hyperparameters.
+	AdamConfig = optim.AdamConfig
+	// InfinityStats reports ZeRO-Infinity engine activity.
+	InfinityStats = core.Stats
+)
+
+// Placement and stage constants.
+const (
+	OnGPU  = zero.OnGPU
+	OnCPU  = zero.OnCPU
+	OnNVMe = zero.OnNVMe
+
+	StageDDP = zero.StageDDP
+	Stage1   = zero.Stage1
+	Stage2   = zero.Stage2
+	Stage3   = zero.Stage3
+)
+
+// DefaultAdamConfig returns the standard large-model Adam recipe.
+func DefaultAdamConfig() AdamConfig { return optim.DefaultAdamConfig() }
+
+// NewModel builds a model tree (parameters declared, not initialized —
+// engines own initialization and placement).
+func NewModel(cfg ModelConfig) (*GPT, error) { return model.NewGPT(cfg) }
+
+// SyntheticBatch produces a deterministic toy next-token-prediction batch.
+func SyntheticBatch(seed uint64, cfg ModelConfig, batch int) (tokens, targets []int) {
+	return model.SyntheticBatch(newRNG(seed), cfg, batch)
+}
+
+// SPMD spawns fn on one goroutine per rank and waits — the standard entry
+// point for multi-rank training.
+func SPMD(ranks int, fn func(c *Comm)) { comm.Run(ranks, fn) }
+
+// EngineConfig selects and configures a training engine.
+type EngineConfig struct {
+	// Infinity selects the ZeRO-Infinity engine; otherwise Stage picks a
+	// classic engine (DDP, ZeRO-1, ZeRO-2, ZeRO-3).
+	Infinity bool
+	Stage    Stage
+	// OffloadOptimizer turns Stage2 into ZeRO-Offload.
+	OffloadOptimizer bool
+
+	// Infinity placements and features.
+	Params             Placement
+	Optimizer          Placement
+	OffloadActivations bool
+	PrefetchDepth      int
+	NVMeDir            string // file-backed NVMe store directory ("" = in-memory)
+	GPUMemory          int64  // optional GPU working-set budget in bytes
+	PreFragment        int64  // optional Fig. 6b fragmentation chunk
+
+	Adam             AdamConfig
+	LossScale        float64
+	DynamicLossScale bool
+	Seed             uint64
+	// ClipNorm, when positive, clips the global gradient L2 norm before
+	// each optimizer step.
+	ClipNorm float64
+}
+
+// Engine is the uniform training-engine interface.
+type Engine interface {
+	// Step runs one iteration on this rank's batch (tokens/targets of
+	// length batch×Seq) and returns the global mean loss.
+	Step(tokens, targets []int, batch int) (StepResult, error)
+	// StepAccum runs one iteration with gradient accumulation over
+	// micro-batches: one optimizer step after all micro-batches' gradients
+	// have been reduced and accumulated.
+	StepAccum(microTokens, microTargets [][]int, batchPerMicro int) (StepResult, error)
+	// FullParams gathers the current fp16 weights (collective call).
+	FullParams() map[string][]float32
+	// Close releases engine resources (no-op for in-memory engines).
+	Close()
+}
+
+// NewEngine constructs the configured engine for one rank.
+func NewEngine(cfg EngineConfig, c *Comm, g *GPT) (Engine, error) {
+	if cfg.Infinity {
+		e, err := core.NewInfinityEngine(core.Config{
+			Params:             cfg.Params,
+			Optimizer:          cfg.Optimizer,
+			OffloadActivations: cfg.OffloadActivations,
+			PrefetchDepth:      cfg.PrefetchDepth,
+			Adam:               cfg.Adam,
+			LossScale:          cfg.LossScale,
+			DynamicLossScale:   cfg.DynamicLossScale,
+			Seed:               cfg.Seed,
+			ClipNorm:           cfg.ClipNorm,
+			NVMeDir:            cfg.NVMeDir,
+			GPUMemory:          cfg.GPUMemory,
+			PreFragment:        cfg.PreFragment,
+		}, c, g)
+		if err != nil {
+			return nil, err
+		}
+		return infinityEngine{e}, nil
+	}
+	zc := zero.Config{
+		Stage:            cfg.Stage,
+		Adam:             cfg.Adam,
+		LossScale:        cfg.LossScale,
+		DynamicLossScale: cfg.DynamicLossScale,
+		Seed:             cfg.Seed,
+		OffloadOptimizer: cfg.OffloadOptimizer,
+		ClipNorm:         cfg.ClipNorm,
+	}
+	if cfg.Stage == Stage3 {
+		e, err := zero.NewZ3Engine(zc, c, g)
+		if err != nil {
+			return nil, err
+		}
+		return z3Engine{e}, nil
+	}
+	e, err := zero.NewDPEngine(zc, c, g)
+	if err != nil {
+		return nil, err
+	}
+	return dpEngine{e}, nil
+}
+
+type dpEngine struct{ *zero.DPEngine }
+
+func (e dpEngine) Step(tok, tgt []int, batch int) (StepResult, error) {
+	return e.DPEngine.Step(tok, tgt, batch), nil
+}
+
+func (e dpEngine) StepAccum(mt, mg [][]int, batch int) (StepResult, error) {
+	return e.DPEngine.StepAccum(mt, mg, batch), nil
+}
+func (e dpEngine) Close() {}
+
+type z3Engine struct{ *zero.Z3Engine }
+
+func (e z3Engine) Step(tok, tgt []int, batch int) (StepResult, error) {
+	return e.Z3Engine.Step(tok, tgt, batch), nil
+}
+
+func (e z3Engine) StepAccum(mt, mg [][]int, batch int) (StepResult, error) {
+	return e.Z3Engine.StepAccum(mt, mg, batch), nil
+}
+func (e z3Engine) Close() {}
+
+type infinityEngine struct{ *core.InfinityEngine }
+
+// Stats exposes ZeRO-Infinity engine statistics. Callers holding an Engine
+// can type-assert to interface{ Stats() InfinityStats }.
+func (e infinityEngine) Stats() InfinityStats { return e.InfinityEngine.Stats() }
+
+// TrainOptions configures the convenience training loop.
+type TrainOptions struct {
+	Model        ModelConfig
+	Engine       EngineConfig
+	Ranks        int
+	Steps        int
+	BatchPerRank int
+	// GradAccumSteps accumulates gradients over this many micro-batches per
+	// optimizer step (default 1).
+	GradAccumSteps int
+	// DataSeed drives the synthetic batches (default 1).
+	DataSeed uint64
+	// OnStep, when set, observes rank 0's step results.
+	OnStep func(step int, res StepResult)
+}
+
+// TrainResult reports a Train run.
+type TrainResult struct {
+	Losses []float64 // global mean loss per step
+	Stats  InfinityStats
+}
+
+// Train spawns an SPMD world, trains the model on deterministic synthetic
+// data and returns the loss trajectory — the programmatic equivalent of
+// cmd/zinf-train.
+func Train(opts TrainOptions) (TrainResult, error) {
+	if opts.Ranks <= 0 || opts.Steps <= 0 || opts.BatchPerRank <= 0 {
+		return TrainResult{}, fmt.Errorf("zeroinf: Ranks, Steps, BatchPerRank must be positive")
+	}
+	if opts.DataSeed == 0 {
+		opts.DataSeed = 1
+	}
+	var (
+		mu       sync.Mutex
+		res      TrainResult
+		firstErr error
+	)
+	SPMD(opts.Ranks, func(c *Comm) {
+		g, err := NewModel(opts.Model)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		e, err := NewEngine(opts.Engine, c, g)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		defer e.Close()
+		accum := opts.GradAccumSteps
+		if accum < 1 {
+			accum = 1
+		}
+		var losses []float64
+		for s := 0; s < opts.Steps; s++ {
+			microTok := make([][]int, accum)
+			microTgt := make([][]int, accum)
+			for m := 0; m < accum; m++ {
+				seed := opts.DataSeed + uint64(s*1000+m*100000+c.Rank())
+				microTok[m], microTgt[m] = SyntheticBatch(seed, opts.Model, opts.BatchPerRank)
+			}
+			sr, err := e.StepAccum(microTok, microTgt, opts.BatchPerRank)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("rank %d step %d: %w", c.Rank(), s, err)
+				}
+				mu.Unlock()
+				return
+			}
+			losses = append(losses, sr.Loss)
+			if c.Rank() == 0 && opts.OnStep != nil {
+				opts.OnStep(s, sr)
+			}
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			res.Losses = losses
+			if ie, ok := e.(infinityEngine); ok {
+				res.Stats = ie.Stats()
+			}
+			mu.Unlock()
+		}
+	})
+	return res, firstErr
+}
+
+func newRNG(seed uint64) *rngAlias { return rngNew(seed) }

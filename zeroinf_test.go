@@ -1,0 +1,101 @@
+package zeroinf_test
+
+import (
+	"testing"
+
+	zeroinf "repro"
+)
+
+func tinyModel() zeroinf.ModelConfig {
+	return zeroinf.ModelConfig{Vocab: 16, Hidden: 16, Heads: 2, Seq: 6, Layers: 2}
+}
+
+func TestTrainFacadeAllEngines(t *testing.T) {
+	engines := map[string]zeroinf.EngineConfig{
+		"ddp":          {Stage: zeroinf.StageDDP, LossScale: 128, Seed: 5},
+		"zero2":        {Stage: zeroinf.Stage2, LossScale: 128, Seed: 5},
+		"zero3":        {Stage: zeroinf.Stage3, LossScale: 128, Seed: 5},
+		"infinity-cpu": {Infinity: true, Params: zeroinf.OnCPU, Optimizer: zeroinf.OnCPU, LossScale: 128, Seed: 5},
+		"infinity-nvme": {Infinity: true, Params: zeroinf.OnNVMe, Optimizer: zeroinf.OnNVMe,
+			PrefetchDepth: 2, LossScale: 128, Seed: 5},
+	}
+	var ref []float64
+	for _, name := range []string{"ddp", "zero2", "zero3", "infinity-cpu", "infinity-nvme"} {
+		steps := 0
+		res, err := zeroinf.Train(zeroinf.TrainOptions{
+			Model:        tinyModel(),
+			Engine:       engines[name],
+			Ranks:        4,
+			Steps:        3,
+			BatchPerRank: 2,
+			OnStep:       func(int, zeroinf.StepResult) { steps++ },
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Losses) != 3 || steps != 3 {
+			t.Fatalf("%s: losses=%d callbacks=%d", name, len(res.Losses), steps)
+		}
+		if ref == nil {
+			ref = res.Losses
+			continue
+		}
+		for i := range ref {
+			if res.Losses[i] != ref[i] {
+				t.Fatalf("%s: diverged from ddp at step %d: %g vs %g", name, i, res.Losses[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestTrainReportsInfinityStats(t *testing.T) {
+	res, err := zeroinf.Train(zeroinf.TrainOptions{
+		Model: tinyModel(),
+		Engine: zeroinf.EngineConfig{Infinity: true, Params: zeroinf.OnNVMe,
+			Optimizer: zeroinf.OnNVMe, PrefetchDepth: 2, LossScale: 64, Seed: 9},
+		Ranks: 2, Steps: 2, BatchPerRank: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.NVMeBytesRead == 0 || res.Stats.Gathers == 0 {
+		t.Fatalf("missing stats: %+v", res.Stats)
+	}
+}
+
+func TestTrainValidatesOptions(t *testing.T) {
+	if _, err := zeroinf.Train(zeroinf.TrainOptions{Model: tinyModel()}); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	bad := tinyModel()
+	bad.Heads = 3
+	if _, err := zeroinf.Train(zeroinf.TrainOptions{Model: bad, Ranks: 1, Steps: 1, BatchPerRank: 1}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestSPMDAndManualEngine(t *testing.T) {
+	mcfg := tinyModel()
+	zeroinf.SPMD(2, func(c *zeroinf.Comm) {
+		g, err := zeroinf.NewModel(mcfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		e, err := zeroinf.NewEngine(zeroinf.EngineConfig{Stage: zeroinf.Stage3, LossScale: 32, Seed: 2}, c, g)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer e.Close()
+		tok, tgt := zeroinf.SyntheticBatch(uint64(100+c.Rank()), mcfg, 2)
+		if _, err := e.Step(tok, tgt, 2); err != nil {
+			t.Error(err)
+			return
+		}
+		params := e.FullParams()
+		if len(params) == 0 {
+			t.Error("no params gathered")
+		}
+	})
+}
