@@ -11,13 +11,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/tensor"
 )
 
 func main() {
 	run := flag.String("run", "", "experiment id to run, or 'all'")
+	backend := flag.String("backend", "reference",
+		"compute backend for functional experiments: "+strings.Join(tensor.BackendNames(), "|"))
 	flag.Parse()
+
+	be, err := tensor.ByName(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	harness.SetBackend(be)
 
 	if *run == "" {
 		fmt.Println("Available experiments (use -run <id> or -run all):")

@@ -50,6 +50,8 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "init seed")
 		accum   = flag.Int("accum", 1, "gradient accumulation micro-batches per step")
 		clip    = flag.Float64("clip", 0, "global gradient-norm clip (0 = off)")
+		backend = flag.String("backend", "reference",
+			"compute backend: "+strings.Join(zeroinf.Backends(), "|")+" (bit-identical, parallel uses all cores)")
 	)
 	flag.Parse()
 
@@ -57,7 +59,7 @@ func main() {
 		Vocab: *vocab, Hidden: *hidden, Layers: *layers, Heads: *heads, Seq: *seq,
 		CheckpointActivations: *ckpt || *offAct,
 	}
-	ecfg := zeroinf.EngineConfig{LossScale: *scale, DynamicLossScale: true, Seed: *seed, ClipNorm: *clip}
+	ecfg := zeroinf.EngineConfig{LossScale: *scale, DynamicLossScale: true, Seed: *seed, ClipNorm: *clip, Backend: *backend}
 	switch *engine {
 	case "ddp":
 		ecfg.Stage = zeroinf.StageDDP

@@ -14,6 +14,7 @@ package core
 
 import (
 	"repro/internal/optim"
+	"repro/internal/tensor"
 	"repro/internal/zero"
 )
 
@@ -55,6 +56,11 @@ type Config struct {
 	// the paper's Fig. 6b protocol: allocations above the chunk size fail.
 	GPUMemory   int64
 	PreFragment int64
+
+	// Backend is the compute backend kernels dispatch through (nil selects
+	// the serial reference backend). Every backend is bit-identical, so
+	// this is purely a speed knob.
+	Backend tensor.Backend
 }
 
 func (c *Config) setDefaults() {
@@ -64,6 +70,7 @@ func (c *Config) setDefaults() {
 	if c.LossScale == 0 {
 		c.LossScale = 1
 	}
+	c.Backend = tensor.DefaultBackend(c.Backend)
 	if c.NVMeWorkers == 0 {
 		c.NVMeWorkers = 4
 	}

@@ -96,6 +96,7 @@ func NewInfinityEngine(cfg Config, c *comm.Comm, g *model.GPT) (*InfinityEngine,
 		external: make(map[module.Module][]*module.Param),
 	}
 	e.rt = module.NewRuntime(e)
+	e.rt.SetBackend(cfg.Backend)
 	if cfg.DynamicLossScale {
 		e.scaler = optim.NewLossScaler(cfg.LossScale)
 	} else {
@@ -437,7 +438,7 @@ func (e *InfinityEngine) PostBackward(m module.Module) {
 			gs := make([]float32, len(shardH))
 			tensor.DecodeHalf(gs, shardH)
 			if acc := e.states[p].gradShard; acc != nil {
-				tensor.Axpy(1, gs, acc) // micro-batch accumulation
+				e.rt.Backend().Axpy(1, gs, acc) // micro-batch accumulation
 			} else {
 				e.states[p].gradShard = gs
 			}
@@ -508,7 +509,7 @@ func (e *InfinityEngine) StepAccum(microTokens, microTargets [][]int, batchPerMi
 
 	overflow := false
 	for _, p := range e.params {
-		if tensor.HasNaNOrInf(e.states[p].gradShard) {
+		if e.rt.Backend().HasNaNOrInf(e.states[p].gradShard) {
 			overflow = true
 			break
 		}
@@ -525,7 +526,7 @@ func (e *InfinityEngine) StepAccum(microTokens, microTargets [][]int, batchPerMi
 	// update consumes finished gradients.
 	inv := float32(1 / (scaleUsed * float64(dp) * float64(micros)))
 	for _, p := range e.params {
-		tensor.Scale(inv, e.states[p].gradShard)
+		e.rt.Backend().Scale(inv, e.states[p].gradShard)
 	}
 	if e.cfg.ClipNorm > 0 {
 		var local float64
@@ -534,7 +535,7 @@ func (e *InfinityEngine) StepAccum(microTokens, microTargets [][]int, batchPerMi
 		}
 		if f := zero.ClipFactor(e.c.AllReduceScalar(local), e.cfg.ClipNorm); f != 1 {
 			for _, p := range e.params {
-				tensor.Scale(float32(f), e.states[p].gradShard)
+				e.rt.Backend().Scale(float32(f), e.states[p].gradShard)
 			}
 		}
 	}
@@ -548,7 +549,7 @@ func (e *InfinityEngine) StepAccum(microTokens, microTargets [][]int, batchPerMi
 		for _, p := range e.params {
 			ps := e.states[p]
 			gs := ps.gradShard
-			optim.StepVec(e.cfg.Adam, e.stepCount, ps.master, gs, ps.m, ps.v)
+			optim.StepVecOn(e.rt.Backend(), e.cfg.Adam, e.stepCount, ps.master, gs, ps.m, ps.v)
 			half := make([]tensor.Half, ps.shardLen)
 			tensor.EncodeHalf(half, ps.master)
 			e.writeShard(ps, half)

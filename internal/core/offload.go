@@ -63,7 +63,7 @@ func (e *InfinityEngine) optimizerStepNVMe() error {
 		tensor.F32FromBytes(m, cur.buf[4*s:8*s])
 		tensor.F32FromBytes(v, cur.buf[8*s:12*s])
 
-		optim.StepVec(e.cfg.Adam, e.stepCount, master, ps.gradShard, m, v)
+		optim.StepVecOn(e.rt.Backend(), e.cfg.Adam, e.stepCount, master, ps.gradShard, m, v)
 		ps.gradShard = nil
 
 		// Serialize the updated optimizer state back into the same pinned

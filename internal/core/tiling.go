@@ -77,7 +77,7 @@ func (tl *TiledLinear) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.T
 		if dx == nil {
 			dx = dxt
 		} else {
-			tensor.Axpy(1, dxt.Float32s(), dx.Float32s())
+			rt.Backend().Axpy(1, dxt.Float32s(), dx.Float32s())
 		}
 	}
 	return dx

@@ -34,7 +34,7 @@ func trainLosses(engine string, ranks, steps int) ([]float64, error) {
 		var step func(tok, tgt []int) (zero.StepResult, error)
 		switch engine {
 		case "ddp", "zero1", "zero2", "zero-offload":
-			cfg := zero.Config{LossScale: 256, Seed: 42}
+			cfg := zero.Config{LossScale: 256, Seed: 42, Backend: backend}
 			switch engine {
 			case "zero1":
 				cfg.Stage = zero.Stage1
@@ -53,7 +53,7 @@ func trainLosses(engine string, ranks, steps int) ([]float64, error) {
 			}
 			step = func(tok, tgt []int) (zero.StepResult, error) { return e.Step(tok, tgt, 2), nil }
 		case "zero3":
-			e, err := zero.NewZ3Engine(zero.Config{LossScale: 256, Seed: 42}, c, g)
+			e, err := zero.NewZ3Engine(zero.Config{LossScale: 256, Seed: 42, Backend: backend}, c, g)
 			if err != nil {
 				mu.Lock()
 				firstErr = err
@@ -62,7 +62,7 @@ func trainLosses(engine string, ranks, steps int) ([]float64, error) {
 			}
 			step = func(tok, tgt []int) (zero.StepResult, error) { return e.Step(tok, tgt, 2), nil }
 		default: // infinity variants
-			cfg := core.Config{LossScale: 256, Seed: 42, Params: zero.OnNVMe, Optimizer: zero.OnNVMe, PrefetchDepth: 2}
+			cfg := core.Config{LossScale: 256, Seed: 42, Params: zero.OnNVMe, Optimizer: zero.OnNVMe, PrefetchDepth: 2, Backend: backend}
 			if engine == "infinity-cpu" {
 				cfg.Params, cfg.Optimizer = zero.OnCPU, zero.OnCPU
 			}
@@ -157,6 +157,7 @@ func init() {
 				alloc.PreFragment(chunk)
 				hooks := core.NewAllocHooks(alloc, 77)
 				rt := module.NewRuntime(hooks)
+				rt.SetBackend(backend)
 				op := core.NewTiledLinear("op", in, out, tiles, true, 0.2)
 				err := core.RunUnderBudget(func() {
 					y := rt.Forward(op, x)

@@ -8,7 +8,18 @@ import (
 	"io"
 	"sort"
 	"text/tabwriter"
+
+	"repro/internal/tensor"
 )
+
+// backend is the compute backend the functional experiments build their
+// engines on. Experiments stay bit-identical across backends, so switching
+// it only changes wall-clock time.
+var backend = tensor.Reference()
+
+// SetBackend selects the compute backend for subsequent experiment runs
+// (nil restores the serial reference backend).
+func SetBackend(be tensor.Backend) { backend = tensor.DefaultBackend(be) }
 
 // Experiment regenerates one paper artifact.
 type Experiment struct {

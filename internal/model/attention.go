@@ -52,9 +52,13 @@ func (a *Attention) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor
 	ctx := tensor.New(tensor.FP32, rows, a.Hidden)
 
 	qkvd, ctxd := qkv.Float32s(), ctx.Float32s()
-	scores := make([]float32, a.Seq*a.Seq)
-	for bi := 0; bi < b; bi++ {
-		for h := 0; h < a.Heads; h++ {
+	// Heads are independent (disjoint slices of probs and ctx), so the
+	// (batch, head) loop fans out over the backend bit-exactly.
+	be := rt.Backend()
+	be.ParRange(b*a.Heads, tensor.Grain(a.Seq*a.Seq*dh), func(lo, hi int) {
+		scores := make([]float32, a.Seq*a.Seq)
+		for task := lo; task < hi; task++ {
+			bi, h := task/a.Heads, task%a.Heads
 			qOff, kOff, vOff := h*dh, a.Hidden+h*dh, 2*a.Hidden+h*dh
 			// scores[s,t] = scale * q_s · k_t for t <= s, -inf otherwise.
 			for s := 0; s < a.Seq; s++ {
@@ -92,7 +96,7 @@ func (a *Attention) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor
 				}
 			}
 		}
-	}
+	})
 	if rt.SaveActivations() {
 		a.saved = append(a.saved, attnSaved{qkv: qkv, probs: probs, batch: b})
 	}
@@ -115,10 +119,14 @@ func (a *Attention) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tens
 	dqkv := tensor.New(tensor.FP32, rows, 3*a.Hidden)
 	qkvd, dqkvd, dctxd := s.qkv.Float32s(), dqkv.Float32s(), dctx.Float32s()
 
-	dprobs := make([]float32, a.Seq*a.Seq)
-	dscores := make([]float32, a.Seq*a.Seq)
-	for bi := 0; bi < b; bi++ {
-		for h := 0; h < a.Heads; h++ {
+	// As in Forward, each (batch, head) task touches a disjoint column band
+	// of dqkv, so the backward loop fans out bit-exactly.
+	be := rt.Backend()
+	be.ParRange(b*a.Heads, tensor.Grain(a.Seq*a.Seq*dh), func(lo, hi int) {
+		dprobs := make([]float32, a.Seq*a.Seq)
+		dscores := make([]float32, a.Seq*a.Seq)
+		for task := lo; task < hi; task++ {
+			bi, h := task/a.Heads, task%a.Heads
 			qOff, kOff, vOff := h*dh, a.Hidden+h*dh, 2*a.Hidden+h*dh
 			probs := s.probs[((bi*a.Heads+h)*a.Seq)*a.Seq : ((bi*a.Heads+h)*a.Seq+a.Seq)*a.Seq]
 			// dprobs[s,t] = dctx_s · v_t ;  dv_t += Σ_s probs[s,t] * dctx_s
@@ -163,7 +171,7 @@ func (a *Attention) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tens
 				}
 			}
 		}
-	}
+	})
 	return rt.Backward(a.QKV, dqkv)
 }
 

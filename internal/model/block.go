@@ -21,7 +21,7 @@ func NewGelu(name string) *Gelu {
 // Forward implements module.Layer.
 func (g *Gelu) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
 	y := tensor.New(tensor.FP32, x.Shape()...)
-	tensor.Gelu(y.Float32s(), x.Float32s())
+	rt.Backend().Gelu(y.Float32s(), x.Float32s())
 	if rt.SaveActivations() {
 		g.saved = append(g.saved, x)
 	}
@@ -36,7 +36,7 @@ func (g *Gelu) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
 	x := g.saved[len(g.saved)-1]
 	g.saved = g.saved[:len(g.saved)-1]
 	dx := tensor.New(tensor.FP32, x.Shape()...)
-	tensor.GeluBackward(dx.Float32s(), dy.Float32s(), x.Float32s())
+	rt.Backend().GeluBackward(dx.Float32s(), dy.Float32s(), x.Float32s())
 	return dx
 }
 
@@ -88,14 +88,14 @@ func (b *Block) forwardInner(rt *module.Runtime, x *tensor.Tensor) *tensor.Tenso
 	h := rt.Forward(b.LN1, x)
 	h = rt.Forward(b.Attn, h)
 	res1 := tensor.New(tensor.FP32, x.Shape()...)
-	tensor.Add(res1.Float32s(), x.Float32s(), h.Float32s())
+	rt.Backend().Add(res1.Float32s(), x.Float32s(), h.Float32s())
 
 	h = rt.Forward(b.LN2, res1)
 	h = rt.Forward(b.FC1, h)
 	h = rt.Forward(b.Act, h)
 	h = rt.Forward(b.FC2, h)
 	out := tensor.New(tensor.FP32, res1.Shape()...)
-	tensor.Add(out.Float32s(), res1.Float32s(), h.Float32s())
+	rt.Backend().Add(out.Float32s(), res1.Float32s(), h.Float32s())
 	return out
 }
 
@@ -106,13 +106,13 @@ func (b *Block) backwardInner(rt *module.Runtime, dy *tensor.Tensor) *tensor.Ten
 	d = rt.Backward(b.FC1, d)
 	d = rt.Backward(b.LN2, d)
 	dres1 := tensor.New(tensor.FP32, dy.Shape()...)
-	tensor.Add(dres1.Float32s(), dy.Float32s(), d.Float32s())
+	rt.Backend().Add(dres1.Float32s(), dy.Float32s(), d.Float32s())
 
 	// res1 = x + Attn(LN1(x))
 	d = rt.Backward(b.Attn, dres1)
 	d = rt.Backward(b.LN1, d)
 	dx := tensor.New(tensor.FP32, dy.Shape()...)
-	tensor.Add(dx.Float32s(), dres1.Float32s(), d.Float32s())
+	rt.Backend().Add(dx.Float32s(), dres1.Float32s(), d.Float32s())
 	return dx
 }
 

@@ -39,15 +39,22 @@ func (e *Embedding) ForwardTokens(rt *module.Runtime, tokens []int, batch int) *
 		out = tensor.New(tensor.FP32, batch*e.Seq, e.Hidden)
 		tok, pos := e.Tok.Data(), e.Pos.Data()
 		od := out.Float32s()
-		for i, t := range tokens {
+		// Validate serially so a bad id panics on the caller's goroutine,
+		// then fan the independent row lookups out over the backend.
+		for _, t := range tokens {
 			if t < 0 || t >= e.Vocab {
 				panic("model: token id out of range")
 			}
-			s := i % e.Seq
-			row := od[i*e.Hidden : (i+1)*e.Hidden]
-			copy(row, tok[t*e.Hidden:(t+1)*e.Hidden])
-			tensor.Axpy(1, pos[s*e.Hidden:(s+1)*e.Hidden], row)
 		}
+		rt.Backend().ParRange(len(tokens), tensor.Grain(e.Hidden), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				t := tokens[i]
+				s := i % e.Seq
+				row := od[i*e.Hidden : (i+1)*e.Hidden]
+				copy(row, tok[t*e.Hidden:(t+1)*e.Hidden])
+				tensor.Axpy(1, pos[s*e.Hidden:(s+1)*e.Hidden], row)
+			}
+		})
 		if rt.SaveActivations() {
 			e.saved = append(e.saved, tokens)
 		}
@@ -65,6 +72,8 @@ func (e *Embedding) BackwardTokens(rt *module.Runtime, dh *tensor.Tensor) {
 		e.saved = e.saved[:len(e.saved)-1]
 		dtok, dpos := e.Tok.Grad(), e.Pos.Grad()
 		dhd := dh.Float32s()
+		// Serial: repeated tokens scatter-add into the same table row, so
+		// the accumulation order must match the reference backend exactly.
 		for i, t := range tokens {
 			s := i % e.Seq
 			row := dhd[i*e.Hidden : (i+1)*e.Hidden]
@@ -99,7 +108,7 @@ func (h *TiedHead) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor 
 	// External-parameter access: h owns no params, so h.Emb.Tok may be
 	// partitioned away right now; Data() performs the blocking gather.
 	e := h.Emb.Tok.Data()
-	tensor.MatMulTransB(logits.Float32s(), x.Float32s(), e, rows, h.Emb.Hidden, h.Emb.Vocab)
+	rt.Backend().MatMulTransB(logits.Float32s(), x.Float32s(), e, rows, h.Emb.Hidden, h.Emb.Vocab)
 	if rt.SaveActivations() {
 		h.saved = append(h.saved, x)
 	}
@@ -115,10 +124,11 @@ func (h *TiedHead) Backward(rt *module.Runtime, dlogits *tensor.Tensor) *tensor.
 	x := h.saved[len(h.saved)-1]
 	h.saved = h.saved[:len(h.saved)-1]
 	rows := rowsOf(x, h.Emb.Hidden)
+	be := rt.Backend()
 	// dE[v, :] += Σ_r dlogits[r, v] * x[r, :]
-	tensor.MatMulTransA(h.Emb.Tok.Grad(), dlogits.Float32s(), x.Float32s(), h.Emb.Vocab, rows, h.Emb.Hidden)
+	be.MatMulTransA(h.Emb.Tok.Grad(), dlogits.Float32s(), x.Float32s(), h.Emb.Vocab, rows, h.Emb.Hidden)
 	dx := tensor.New(tensor.FP32, rows, h.Emb.Hidden)
-	tensor.MatMul(dx.Float32s(), dlogits.Float32s(), h.Emb.Tok.Data(), rows, h.Emb.Vocab, h.Emb.Hidden)
+	be.MatMul(dx.Float32s(), dlogits.Float32s(), h.Emb.Tok.Data(), rows, h.Emb.Vocab, h.Emb.Hidden)
 	return dx
 }
 

@@ -90,7 +90,7 @@ func (g *GPT) ForwardLoss(rt *module.Runtime, tokens, targets []int, batch int) 
 	h := g.Embed.ForwardTokens(rt, tokens, batch)
 	h = g.Forward(rt, h)
 	logits := rt.Forward(g.Head, h)
-	loss, dlogits := CrossEntropy(logits, targets)
+	loss, dlogits := CrossEntropyOn(rt.Backend(), logits, targets)
 	g.dlogits = dlogits
 	return loss
 }
@@ -104,7 +104,7 @@ func (g *GPT) BackwardLoss(rt *module.Runtime, scale float32) {
 	d := g.dlogits
 	g.dlogits = nil
 	if scale != 1 {
-		tensor.Scale(scale, d.Float32s())
+		rt.Backend().Scale(scale, d.Float32s())
 	}
 	dh := rt.Backward(g.Head, d)
 	dh = g.Backward(rt, dh)
@@ -113,15 +113,22 @@ func (g *GPT) BackwardLoss(rt *module.Runtime, scale float32) {
 
 // CrossEntropy returns the mean negative log-likelihood of targets under
 // row-wise softmax of logits, and dloss/dlogits (already divided by the row
-// count).
+// count). It runs on the reference backend; engines use CrossEntropyOn.
 func CrossEntropy(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor) {
+	return CrossEntropyOn(tensor.Reference(), logits, targets)
+}
+
+// CrossEntropyOn is CrossEntropy with the softmax dispatched through be. The
+// loss reduction over rows stays serial (float64 accumulation order is part
+// of the bit-exactness contract).
+func CrossEntropyOn(be tensor.Backend, logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor) {
 	shape := logits.Shape()
 	rows, vocab := shape[0], shape[1]
 	if len(targets) != rows {
 		panic("model: CrossEntropy target count mismatch")
 	}
 	probs := logits.Clone()
-	tensor.SoftmaxRows(probs.Float32s(), rows, vocab)
+	be.SoftmaxRows(probs.Float32s(), rows, vocab)
 	pd := probs.Float32s()
 	var loss float64
 	inv := float32(1) / float32(rows)

@@ -44,21 +44,25 @@ func (l *LayerNorm) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor
 	xd, yd := x.Float32s(), y.Float32s()
 	invStd := make([]float32, rows)
 	mean := make([]float32, rows)
-	for r := 0; r < rows; r++ {
-		row := xd[r*l.D : (r+1)*l.D]
-		mu := float32(tensor.Sum(row) / float64(l.D))
-		var varAcc float64
-		for _, v := range row {
-			d := float64(v - mu)
-			varAcc += d * d
+	// Each row normalizes independently (statistics are per row), so the
+	// row loop fans out over the backend bit-exactly.
+	rt.Backend().ParRange(rows, tensor.Grain(l.D), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := xd[r*l.D : (r+1)*l.D]
+			mu := float32(tensor.Sum(row) / float64(l.D))
+			var varAcc float64
+			for _, v := range row {
+				d := float64(v - mu)
+				varAcc += d * d
+			}
+			is := float32(1 / math.Sqrt(varAcc/float64(l.D)+l.Eps))
+			mean[r], invStd[r] = mu, is
+			out := yd[r*l.D : (r+1)*l.D]
+			for j, v := range row {
+				out[j] = g[j]*(v-mu)*is + b[j]
+			}
 		}
-		is := float32(1 / math.Sqrt(varAcc/float64(l.D)+l.Eps))
-		mean[r], invStd[r] = mu, is
-		out := yd[r*l.D : (r+1)*l.D]
-		for j, v := range row {
-			out[j] = g[j]*(v-mu)*is + b[j]
-		}
-	}
+	})
 	if rt.SaveActivations() {
 		l.saved = append(l.saved, lnSaved{x: x, invStd: invStd, mean: mean})
 	}
@@ -79,6 +83,8 @@ func (l *LayerNorm) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tens
 	dg, db := l.Gain.Grad(), l.Bias.Grad()
 	xd, dyd, dxd := s.x.Float32s(), dy.Float32s(), dx.Float32s()
 	nf := float64(l.D)
+	// The row loop stays serial: dg/db accumulate across rows and that
+	// summation order is part of the bit-exactness contract.
 	for r := 0; r < rows; r++ {
 		xr := xd[r*l.D : (r+1)*l.D]
 		dyr := dyd[r*l.D : (r+1)*l.D]

@@ -41,15 +41,19 @@ func rowsOf(x *tensor.Tensor, in int) int {
 
 // Forward implements module.Layer.
 func (l *Linear) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
+	be := rt.Backend()
 	rows := rowsOf(x, l.In)
 	y := tensor.New(tensor.FP32, rows, l.Out)
-	tensor.MatMul(y.Float32s(), x.Float32s(), l.W.Data(), rows, l.In, l.Out)
+	be.MatMul(y.Float32s(), x.Float32s(), l.W.Data(), rows, l.In, l.Out)
 	if l.B != nil {
 		b := l.B.Data()
 		yd := y.Float32s()
-		for r := 0; r < rows; r++ {
-			tensor.Axpy(1, b, yd[r*l.Out:(r+1)*l.Out])
-		}
+		// Rows are independent, so the bias add fans out bit-exactly.
+		be.ParRange(rows, tensor.Grain(l.Out), func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				tensor.Axpy(1, b, yd[r*l.Out:(r+1)*l.Out])
+			}
+		})
 	}
 	if rt.SaveActivations() {
 		l.saved = append(l.saved, x)
@@ -66,10 +70,13 @@ func (l *Linear) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor 
 	x := l.saved[len(l.saved)-1]
 	l.saved = l.saved[:len(l.saved)-1]
 
+	be := rt.Backend()
 	rows := rowsOf(x, l.In)
 	// dW += xᵀ · dy
-	tensor.MatMulTransA(l.W.Grad(), x.Float32s(), dy.Float32s(), l.In, rows, l.Out)
-	// dB += column sums of dy
+	be.MatMulTransA(l.W.Grad(), x.Float32s(), dy.Float32s(), l.In, rows, l.Out)
+	// dB += column sums of dy. The row loop stays serial: each bias element
+	// accumulates across rows, and that summation order is part of the
+	// bit-exactness contract.
 	if l.B != nil {
 		g := l.B.Grad()
 		dyd := dy.Float32s()
@@ -79,7 +86,7 @@ func (l *Linear) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor 
 	}
 	// dx = dy · Wᵀ
 	dx := tensor.New(tensor.FP32, rows, l.In)
-	tensor.MatMulTransB(dx.Float32s(), dy.Float32s(), l.W.Data(), rows, l.Out, l.In)
+	be.MatMulTransB(dx.Float32s(), dy.Float32s(), l.W.Data(), rows, l.Out, l.In)
 	return dx
 }
 

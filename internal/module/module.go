@@ -67,16 +67,27 @@ type Runtime struct {
 	// a checkpointed block's main forward (only the block input is kept).
 	save bool
 
+	// be is the compute backend every layer's kernels dispatch through.
+	be tensor.Backend
+
 	ckptStore CheckpointStore
 }
 
-// NewRuntime returns a runtime dispatching to hooks (NopHooks if nil).
+// NewRuntime returns a runtime dispatching to hooks (NopHooks if nil) on the
+// reference compute backend.
 func NewRuntime(hooks Hooks) *Runtime {
 	if hooks == nil {
 		hooks = NopHooks{}
 	}
-	return &Runtime{hooks: hooks, save: true}
+	return &Runtime{hooks: hooks, save: true, be: tensor.Reference()}
 }
+
+// SetBackend installs the compute backend layers dispatch kernels through
+// (nil restores the reference backend).
+func (rt *Runtime) SetBackend(be tensor.Backend) { rt.be = tensor.DefaultBackend(be) }
+
+// Backend returns the runtime's compute backend.
+func (rt *Runtime) Backend() tensor.Backend { return rt.be }
 
 // SetCheckpointStore installs an activation-checkpoint offload store.
 func (rt *Runtime) SetCheckpointStore(s CheckpointStore) { rt.ckptStore = s }

@@ -43,11 +43,19 @@ type Adam struct {
 	cfg  AdamConfig
 	step int
 	m, v []float32
+	be   tensor.Backend
 }
 
-// NewAdam creates optimizer state for n elements.
+// NewAdam creates optimizer state for n elements on the reference backend.
 func NewAdam(n int, cfg AdamConfig) *Adam {
-	return &Adam{cfg: cfg, m: make([]float32, n), v: make([]float32, n)}
+	return &Adam{cfg: cfg, m: make([]float32, n), v: make([]float32, n), be: tensor.Reference()}
+}
+
+// WithBackend sets the compute backend the update runs on (nil selects the
+// reference backend) and returns a for chaining.
+func (a *Adam) WithBackend(be tensor.Backend) *Adam {
+	a.be = tensor.DefaultBackend(be)
+	return a
 }
 
 // Len returns the number of elements managed.
@@ -66,7 +74,7 @@ func (a *Adam) Step(params, grads []float32) {
 		panic("optim: Adam.Step length mismatch")
 	}
 	a.step++
-	StepVec(a.cfg, a.step, params, grads, a.m, a.v)
+	StepVecOn(a.be, a.cfg, a.step, params, grads, a.m, a.v)
 }
 
 // StepVec applies the Adam update as a pure function over externally-owned
@@ -76,6 +84,13 @@ func (a *Adam) Step(params, grads []float32) {
 // correction and float32 for state; it is deterministic, so sharded and
 // replicated updates agree exactly.
 func StepVec(cfg AdamConfig, step int, params, grads, m, v []float32) {
+	StepVecOn(tensor.Reference(), cfg, step, params, grads, m, v)
+}
+
+// StepVecOn is StepVec with the elementwise update fanned out over be. The
+// update touches each element exactly once with no cross-element reduction,
+// so partitioned execution is bit-identical to serial.
+func StepVecOn(be tensor.Backend, cfg AdamConfig, step int, params, grads, m, v []float32) {
 	if len(params) != len(grads) || len(params) != len(m) || len(params) != len(v) {
 		panic("optim: StepVec length mismatch")
 	}
@@ -83,18 +98,21 @@ func StepVec(cfg AdamConfig, step int, params, grads, m, v []float32) {
 	bc1 := 1 - math.Pow(b1, float64(step))
 	bc2 := 1 - math.Pow(b2, float64(step))
 	lr, eps, wd := cfg.LR, cfg.Eps, cfg.WeightDecay
-	for i, g := range grads {
-		gf := float64(g)
-		if wd != 0 {
-			gf += wd * float64(params[i])
+	be = tensor.DefaultBackend(be)
+	be.ParRange(len(grads), 1<<12, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gf := float64(grads[i])
+			if wd != 0 {
+				gf += wd * float64(params[i])
+			}
+			mf := b1*float64(m[i]) + (1-b1)*gf
+			vf := b2*float64(v[i]) + (1-b2)*gf*gf
+			m[i] = float32(mf)
+			v[i] = float32(vf)
+			update := (mf / bc1) / (math.Sqrt(vf/bc2) + eps)
+			params[i] = float32(float64(params[i]) - lr*update)
 		}
-		mf := b1*float64(m[i]) + (1-b1)*gf
-		vf := b2*float64(v[i]) + (1-b2)*gf*gf
-		m[i] = float32(mf)
-		v[i] = float32(vf)
-		update := (mf / bc1) / (math.Sqrt(vf/bc2) + eps)
-		params[i] = float32(float64(params[i]) - lr*update)
-	}
+	})
 }
 
 // State exposes the momentum and variance vectors for offload/serialization.

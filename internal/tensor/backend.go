@@ -1,0 +1,120 @@
+package tensor
+
+import "fmt"
+
+// Backend is the compute-kernel dispatch interface. Every hot kernel the
+// model, optimizer and engines execute goes through a Backend, so the
+// implementation — serial reference loops, the blocked multi-goroutine
+// kernels in parallel.go, or some future accelerator — is swappable per
+// engine without touching call sites.
+//
+// Contract: every Backend must be bit-identical to Reference() for every
+// kernel. The parallel backend achieves this by partitioning work at row (or
+// element) granularity so each output element's accumulation order matches
+// the serial loops exactly; the engine-equivalence tests in internal/zero
+// assert whole-trajectory equality on top of it.
+type Backend interface {
+	// Name returns the registry name ("reference", "parallel", ...).
+	Name() string
+
+	// MatMul computes C = A·B (A m×k, B k×n, C m×n).
+	MatMul(c, a, b []float32, m, k, n int)
+	// MatMulTransA computes C += Aᵀ·B (A k×m, B k×n, C m×n).
+	MatMulTransA(c, a, b []float32, m, k, n int)
+	// MatMulTransB computes C = A·Bᵀ (A m×k, B n×k, C m×n).
+	MatMulTransB(c, a, b []float32, m, k, n int)
+
+	// Gelu applies tanh-approximated GELU elementwise; dst may alias x.
+	Gelu(dst, x []float32)
+	// GeluBackward computes dx = dy * gelu'(x).
+	GeluBackward(dx, dy, x []float32)
+	// SoftmaxRows applies a stable softmax to each row of the m×n matrix.
+	SoftmaxRows(x []float32, m, n int)
+	// SoftmaxRowsBackward computes per-row dx = (dy - sum(dy*y)) * y.
+	SoftmaxRowsBackward(dx, dy, y []float32, m, n int)
+
+	// Add computes dst = a + b elementwise.
+	Add(dst, a, b []float32)
+	// Mul computes dst = a * b elementwise.
+	Mul(dst, a, b []float32)
+	// Axpy computes y += alpha*x elementwise.
+	Axpy(alpha float32, x, y []float32)
+	// Scale multiplies x by alpha in place.
+	Scale(alpha float32, x []float32)
+	// Transpose writes the n×m transpose of the m×n matrix a into dst.
+	Transpose(dst, a []float32, m, n int)
+
+	// Reductions. These stay serial in every backend: their float64
+	// accumulation order is part of the bit-exactness contract.
+	Sum(x []float32) float64
+	Dot(a, b []float32) float64
+	L2Norm(x []float32) float64
+	MaxAbs(x []float32) float32
+	HasNaNOrInf(x []float32) bool
+
+	// ParRange partitions [0, n) into disjoint contiguous chunks of at
+	// least grain elements and runs fn over each, concurrently where the
+	// backend supports it. It is the escape hatch for callers whose
+	// elementwise loops don't fit a named kernel (Adam updates, layernorm
+	// rows, attention heads); fn must be safe to run concurrently over
+	// disjoint ranges and must produce range-independent results.
+	ParRange(n, grain int, fn func(lo, hi int))
+}
+
+// reference is the serial backend: straight delegation to the package-level
+// kernels in ops.go. It is the bit-exactness baseline every other backend is
+// measured against.
+type reference struct{}
+
+// Reference returns the serial baseline backend.
+func Reference() Backend { return reference{} }
+
+func (reference) Name() string                                { return "reference" }
+func (reference) MatMul(c, a, b []float32, m, k, n int)       { MatMul(c, a, b, m, k, n) }
+func (reference) MatMulTransA(c, a, b []float32, m, k, n int) { MatMulTransA(c, a, b, m, k, n) }
+func (reference) MatMulTransB(c, a, b []float32, m, k, n int) { MatMulTransB(c, a, b, m, k, n) }
+func (reference) Gelu(dst, x []float32)                       { Gelu(dst, x) }
+func (reference) GeluBackward(dx, dy, x []float32)            { GeluBackward(dx, dy, x) }
+func (reference) SoftmaxRows(x []float32, m, n int)           { SoftmaxRows(x, m, n) }
+func (reference) SoftmaxRowsBackward(dx, dy, y []float32, m, n int) {
+	SoftmaxRowsBackward(dx, dy, y, m, n)
+}
+func (reference) Add(dst, a, b []float32)              { Add(dst, a, b) }
+func (reference) Mul(dst, a, b []float32)              { Mul(dst, a, b) }
+func (reference) Axpy(alpha float32, x, y []float32)   { Axpy(alpha, x, y) }
+func (reference) Scale(alpha float32, x []float32)     { Scale(alpha, x) }
+func (reference) Transpose(dst, a []float32, m, n int) { Transpose(dst, a, m, n) }
+func (reference) Sum(x []float32) float64              { return Sum(x) }
+func (reference) Dot(a, b []float32) float64           { return Dot(a, b) }
+func (reference) L2Norm(x []float32) float64           { return L2Norm(x) }
+func (reference) MaxAbs(x []float32) float32           { return MaxAbs(x) }
+func (reference) HasNaNOrInf(x []float32) bool         { return HasNaNOrInf(x) }
+func (reference) ParRange(n, grain int, fn func(lo, hi int)) {
+	if n > 0 {
+		fn(0, n)
+	}
+}
+
+// ByName resolves a backend by registry name. The empty string selects the
+// reference backend, keeping zero-valued configs bit-exact with the seed.
+func ByName(name string) (Backend, error) {
+	switch name {
+	case "", "reference", "serial":
+		return Reference(), nil
+	case "parallel":
+		return Parallel(), nil
+	}
+	return nil, fmt.Errorf("tensor: unknown backend %q (have %v)", name, BackendNames())
+}
+
+// BackendNames lists the registered backend names.
+func BackendNames() []string { return []string{"reference", "parallel"} }
+
+// DefaultBackend returns b, or the reference backend when b is nil — the
+// idiom configs use to make the zero value mean "serial".
+func DefaultBackend(b Backend) Backend {
+	if b == nil {
+		return Reference()
+	}
+	return b
+}

@@ -1,0 +1,375 @@
+package tensor
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// testParallel forces real multi-worker partitioning regardless of the host
+// GOMAXPROCS, so the equivalence tests exercise concurrent chunks even on a
+// single-core CI machine.
+var testParallel = NewParallel(4)
+
+func bitsEqual(a, b []float32) (int, bool) {
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+func fillRandom(rng *RNG, x []float32) {
+	rng.FillNormal(x, 1)
+	// Sprinkle exact zeros so the matmul sparsity fast path is exercised.
+	for i := range x {
+		if i%7 == 0 {
+			x[i] = 0
+		}
+	}
+}
+
+// testDims crosses the parallel backend's tile boundaries (tileM=16,
+// tileK=128, tileN=256) from below and above, plus ragged in-between sizes.
+var testDims = []int{1, 2, 3, 15, 16, 17, 31, 127, 128, 129, 256, 257}
+
+func randDim(rng *RNG) int { return testDims[rng.Intn(len(testDims))] }
+
+// TestBackendsBitIdentical runs every kernel on random (including ragged)
+// shapes and asserts bit-identical output between Reference and Parallel.
+func TestBackendsBitIdentical(t *testing.T) {
+	ref, par := Reference(), testParallel
+	rng := NewRNG(1234)
+	for iter := 0; iter < 60; iter++ {
+		m, k, n := randDim(rng), randDim(rng), randDim(rng)
+		a := make([]float32, m*k)
+		b := make([]float32, k*n)
+		bt := make([]float32, n*k)
+		at := make([]float32, k*m)
+		fillRandom(rng, a)
+		fillRandom(rng, b)
+		fillRandom(rng, bt)
+		fillRandom(rng, at)
+
+		cRef := make([]float32, m*n)
+		cPar := make([]float32, m*n)
+
+		ref.MatMul(cRef, a, b, m, k, n)
+		par.MatMul(cPar, a, b, m, k, n)
+		if i, ok := bitsEqual(cRef, cPar); !ok {
+			t.Fatalf("MatMul m=%d k=%d n=%d diverged at %d: %g vs %g", m, k, n, i, cRef[i], cPar[i])
+		}
+
+		ref.MatMulTransB(cRef, a, bt, m, k, n)
+		par.MatMulTransB(cPar, a, bt, m, k, n)
+		if i, ok := bitsEqual(cRef, cPar); !ok {
+			t.Fatalf("MatMulTransB m=%d k=%d n=%d diverged at %d", m, k, n, i)
+		}
+
+		// Accumulate-into semantics: seed both outputs identically.
+		fillRandom(NewRNG(uint64(iter)), cRef)
+		copy(cPar, cRef)
+		ref.MatMulTransA(cRef, at, b, m, k, n)
+		par.MatMulTransA(cPar, at, b, m, k, n)
+		if i, ok := bitsEqual(cRef, cPar); !ok {
+			t.Fatalf("MatMulTransA m=%d k=%d n=%d diverged at %d", m, k, n, i)
+		}
+	}
+
+	// Elementwise and row kernels, across ragged lengths.
+	for _, n := range []int{1, 3, 100, 1 << 12, 1<<14 + 13, 1 << 16} {
+		x := make([]float32, n)
+		y := make([]float32, n)
+		fillRandom(rng, x)
+		fillRandom(rng, y)
+
+		dRef, dPar := make([]float32, n), make([]float32, n)
+		ref.Gelu(dRef, x)
+		par.Gelu(dPar, x)
+		if i, ok := bitsEqual(dRef, dPar); !ok {
+			t.Fatalf("Gelu n=%d diverged at %d", n, i)
+		}
+		ref.GeluBackward(dRef, y, x)
+		par.GeluBackward(dPar, y, x)
+		if i, ok := bitsEqual(dRef, dPar); !ok {
+			t.Fatalf("GeluBackward n=%d diverged at %d", n, i)
+		}
+		ref.Add(dRef, x, y)
+		par.Add(dPar, x, y)
+		if i, ok := bitsEqual(dRef, dPar); !ok {
+			t.Fatalf("Add n=%d diverged at %d", n, i)
+		}
+		ref.Mul(dRef, x, y)
+		par.Mul(dPar, x, y)
+		if i, ok := bitsEqual(dRef, dPar); !ok {
+			t.Fatalf("Mul n=%d diverged at %d", n, i)
+		}
+		copy(dRef, y)
+		copy(dPar, y)
+		ref.Axpy(0.37, x, dRef)
+		par.Axpy(0.37, x, dPar)
+		if i, ok := bitsEqual(dRef, dPar); !ok {
+			t.Fatalf("Axpy n=%d diverged at %d", n, i)
+		}
+		copy(dRef, x)
+		copy(dPar, x)
+		ref.Scale(1.61, dRef)
+		par.Scale(1.61, dPar)
+		if i, ok := bitsEqual(dRef, dPar); !ok {
+			t.Fatalf("Scale n=%d diverged at %d", n, i)
+		}
+		if ref.Sum(x) != par.Sum(x) || ref.Dot(x, y) != par.Dot(x, y) ||
+			ref.L2Norm(x) != par.L2Norm(x) || ref.MaxAbs(x) != par.MaxAbs(x) {
+			t.Fatalf("reduction diverged at n=%d", n)
+		}
+	}
+
+	for iter := 0; iter < 20; iter++ {
+		m, n := randDim(rng), randDim(rng)
+		xRef := make([]float32, m*n)
+		fillRandom(rng, xRef)
+		xPar := append([]float32(nil), xRef...)
+		ref.SoftmaxRows(xRef, m, n)
+		par.SoftmaxRows(xPar, m, n)
+		if i, ok := bitsEqual(xRef, xPar); !ok {
+			t.Fatalf("SoftmaxRows m=%d n=%d diverged at %d", m, n, i)
+		}
+		dy := make([]float32, m*n)
+		fillRandom(rng, dy)
+		dRef, dPar := make([]float32, m*n), make([]float32, m*n)
+		ref.SoftmaxRowsBackward(dRef, dy, xRef, m, n)
+		par.SoftmaxRowsBackward(dPar, dy, xPar, m, n)
+		if i, ok := bitsEqual(dRef, dPar); !ok {
+			t.Fatalf("SoftmaxRowsBackward m=%d n=%d diverged at %d", m, n, i)
+		}
+
+		tRef, tPar := make([]float32, m*n), make([]float32, m*n)
+		ref.Transpose(tRef, xRef, m, n)
+		par.Transpose(tPar, xPar, m, n)
+		if i, ok := bitsEqual(tRef, tPar); !ok {
+			t.Fatalf("Transpose m=%d n=%d diverged at %d", m, n, i)
+		}
+	}
+}
+
+// TestBackendsBitIdenticalWithNonFinite feeds NaN/Inf through the matmuls on
+// both backends: the sparsity fast path must be disabled identically.
+func TestBackendsBitIdenticalWithNonFinite(t *testing.T) {
+	ref, par := Reference(), testParallel
+	rng := NewRNG(99)
+	for iter := 0; iter < 20; iter++ {
+		m, k, n := randDim(rng), randDim(rng), randDim(rng)
+		a := make([]float32, m*k)
+		b := make([]float32, k*n)
+		fillRandom(rng, a)
+		fillRandom(rng, b)
+		b[rng.Intn(len(b))] = float32(math.NaN())
+		if len(b) > 1 {
+			b[rng.Intn(len(b))] = float32(math.Inf(1))
+		}
+		cRef := make([]float32, m*n)
+		cPar := make([]float32, m*n)
+		ref.MatMul(cRef, a, b, m, k, n)
+		par.MatMul(cPar, a, b, m, k, n)
+		if i, ok := bitsEqual(cRef, cPar); !ok {
+			t.Fatalf("MatMul (non-finite B) m=%d k=%d n=%d diverged at %d", m, k, n, i)
+		}
+	}
+}
+
+// TestMatMulNaNInBPropagates is the regression test for the sparsity-skip
+// bug: a zero in A must not suppress NaN/Inf contributions from B, or the
+// loss scaler's HasNaNOrInf overflow detection misses fp16 overflows.
+func TestMatMulNaNInBPropagates(t *testing.T) {
+	backends := []Backend{Reference(), testParallel}
+	for _, be := range backends {
+		// A row is all zeros; B's NaN sits exactly where only the zero
+		// entries of A touch it.
+		a := []float32{0, 0} // 1×2
+		b := []float32{float32(math.NaN()), 1, 2, 3}
+		c := make([]float32, 2) // 1×2
+		be.MatMul(c, a, b, 1, 2, 2)
+		if !HasNaNOrInf(c) {
+			t.Errorf("%s: MatMul dropped NaN from B: c=%v", be.Name(), c)
+		}
+
+		// Same for the accumulate-into gradient matmul C += Aᵀ·B.
+		at := []float32{0, 0} // k=2, m=1
+		c2 := make([]float32, 2)
+		be.MatMulTransA(c2, at, b, 1, 2, 2)
+		if !HasNaNOrInf(c2) {
+			t.Errorf("%s: MatMulTransA dropped NaN from B: c=%v", be.Name(), c2)
+		}
+
+		// Inf must survive too.
+		bInf := []float32{float32(math.Inf(-1)), 1, 2, 3}
+		c3 := make([]float32, 2)
+		be.MatMul(c3, a, bInf, 1, 2, 2)
+		if !HasNaNOrInf(c3) {
+			t.Errorf("%s: MatMul dropped Inf from B: c=%v", be.Name(), c3)
+		}
+
+		// And the fast path must still be exact when B is finite.
+		aZ := []float32{0, 1}
+		bF := []float32{5, 6, 7, 8}
+		c4 := make([]float32, 2)
+		be.MatMul(c4, aZ, bF, 1, 2, 2)
+		if c4[0] != 7 || c4[1] != 8 {
+			t.Errorf("%s: finite fast path wrong: %v", be.Name(), c4)
+		}
+	}
+}
+
+// TestParallelBackendConcurrentCallers hammers one shared parallel backend
+// from many goroutines at once — the SPMD shape (every rank issuing kernels
+// into one pool). Run under -race in CI.
+func TestParallelBackendConcurrentCallers(t *testing.T) {
+	par := testParallel
+	const callers = 8
+	const m, k, n = 33, 129, 65
+	want := make([]float32, m*n)
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	fillRandom(NewRNG(5), a)
+	fillRandom(NewRNG(6), b)
+	Reference().MatMul(want, a, b, m, k, n)
+
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := make([]float32, m*n)
+			for it := 0; it < 10; it++ {
+				par.MatMul(c, a, b, m, k, n)
+				if i, ok := bitsEqual(want, c); !ok {
+					t.Errorf("concurrent MatMul diverged at %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"", "reference", "serial", "parallel"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("cuda"); err == nil {
+		t.Error("ByName(cuda) should fail")
+	}
+	if got := DefaultBackend(nil).Name(); got != "reference" {
+		t.Errorf("DefaultBackend(nil) = %s", got)
+	}
+}
+
+func TestPoolParallelFor(t *testing.T) {
+	p := NewPool(3)
+	for _, n := range []int{0, 1, 2, 7, 100, 10007} {
+		covered := make([]int32, n)
+		var mu sync.Mutex
+		p.ParallelFor(n, 1, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+			}
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				covered[i]++
+			}
+			mu.Unlock()
+		})
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, c)
+			}
+		}
+	}
+}
+
+// Per-kernel microbenchmarks, one sub-benchmark per backend, so kernel perf
+// is tracked across PRs:
+//
+//	go test ./internal/tensor -bench 'MatMul|Gelu|SoftmaxRows' -benchtime=3x
+func benchBackends() []Backend { return []Backend{Reference(), Parallel()} }
+
+func BenchmarkMatMul(b *testing.B) {
+	const m, k, n = 512, 512, 512
+	a := make([]float32, m*k)
+	bb := make([]float32, k*n)
+	c := make([]float32, m*n)
+	fillRandom(NewRNG(1), a)
+	fillRandom(NewRNG(2), bb)
+	for _, be := range benchBackends() {
+		b.Run("backend="+be.Name(), func(b *testing.B) {
+			b.SetBytes(int64(2 * m * k * n * 4))
+			for i := 0; i < b.N; i++ {
+				be.MatMul(c, a, bb, m, k, n)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulTransA(b *testing.B) {
+	const m, k, n = 512, 512, 512
+	a := make([]float32, k*m)
+	bb := make([]float32, k*n)
+	c := make([]float32, m*n)
+	fillRandom(NewRNG(1), a)
+	fillRandom(NewRNG(2), bb)
+	for _, be := range benchBackends() {
+		b.Run("backend="+be.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				be.MatMulTransA(c, a, bb, m, k, n)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulTransB(b *testing.B) {
+	const m, k, n = 512, 512, 512
+	a := make([]float32, m*k)
+	bb := make([]float32, n*k)
+	c := make([]float32, m*n)
+	fillRandom(NewRNG(1), a)
+	fillRandom(NewRNG(2), bb)
+	for _, be := range benchBackends() {
+		b.Run("backend="+be.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				be.MatMulTransB(c, a, bb, m, k, n)
+			}
+		})
+	}
+}
+
+func BenchmarkGelu(b *testing.B) {
+	const n = 1 << 20
+	x := make([]float32, n)
+	dst := make([]float32, n)
+	fillRandom(NewRNG(3), x)
+	for _, be := range benchBackends() {
+		b.Run("backend="+be.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				be.Gelu(dst, x)
+			}
+		})
+	}
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	const m, n = 1024, 1024
+	orig := make([]float32, m*n)
+	fillRandom(NewRNG(4), orig)
+	x := make([]float32, m*n)
+	for _, be := range benchBackends() {
+		b.Run("backend="+be.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(x, orig)
+				be.SoftmaxRows(x, m, n)
+			}
+		})
+	}
+}

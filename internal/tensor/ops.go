@@ -8,10 +8,18 @@ import "math"
 
 // MatMul computes C = A·B where A is m×k, B is k×n and C is m×n.
 // It panics if slice lengths don't match the dims.
+//
+// Zero rows of A skip their B row entirely — the sparsity fast path that
+// makes causal-masked attention affordable — but only when B is fully
+// finite: IEEE 0·NaN and 0·Inf are NaN, and the loss scaler's overflow
+// detection relies on NaN/Inf in B surfacing in C rather than being
+// silently dropped. The O(k·n) finiteness scan is negligible next to the
+// O(m·k·n) multiply.
 func MatMul(c, a, b []float32, m, k, n int) {
 	checkLen("MatMul c", c, m*n)
 	checkLen("MatMul a", a, m*k)
 	checkLen("MatMul b", b, k*n)
+	skipZero := !HasNaNOrInf(b[:k*n])
 	for i := 0; i < m; i++ {
 		ci := c[i*n : (i+1)*n]
 		for j := range ci {
@@ -19,7 +27,7 @@ func MatMul(c, a, b []float32, m, k, n int) {
 		}
 		ai := a[i*k : (i+1)*k]
 		for p, av := range ai {
-			if av == 0 {
+			if skipZero && av == 0 {
 				continue
 			}
 			bp := b[p*n : (p+1)*n]
@@ -52,15 +60,18 @@ func MatMulTransB(c, a, b []float32, m, k, n int) {
 // MatMulTransA computes C += Aᵀ·B where A is k×m, B is k×n and C is m×n.
 // The accumulate-into semantics fit weight-gradient computation, where
 // gradients from successive micro-steps are summed.
+// As in MatMul, the zero-skip fast path is disabled when B holds NaN/Inf so
+// non-finite gradients propagate into C instead of being dropped.
 func MatMulTransA(c, a, b []float32, m, k, n int) {
 	checkLen("MatMulTransA c", c, m*n)
 	checkLen("MatMulTransA a", a, k*m)
 	checkLen("MatMulTransA b", b, k*n)
+	skipZero := !HasNaNOrInf(b[:k*n])
 	for p := 0; p < k; p++ {
 		ap := a[p*m : (p+1)*m]
 		bp := b[p*n : (p+1)*n]
 		for i, av := range ap {
-			if av == 0 {
+			if skipZero && av == 0 {
 				continue
 			}
 			ci := c[i*n : (i+1)*n]

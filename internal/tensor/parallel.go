@@ -1,0 +1,265 @@
+package tensor
+
+// The parallel backend: cache-blocked (tiled) kernels fanned out over a
+// shared worker pool. Work is always partitioned at row (or element)
+// granularity, and within a row every output element accumulates its
+// contributions in exactly the serial order, so results are bit-identical to
+// the Reference backend — the property the engine-equivalence tests assert
+// end to end.
+
+// Tile sizes for the blocked matmuls. The B tile of the forward matmul
+// (tileK×tileN fp32 = 128 KiB) is reused across every row of a worker's
+// range, keeping it L2-resident instead of streaming B once per output row.
+const (
+	tileK = 128
+	tileN = 256
+	tileM = 16
+)
+
+// minParWork is the number of scalar operations below which a kernel runs
+// inline on the caller: dispatching goroutines for tiny slices costs more
+// than it saves.
+const minParWork = 1 << 14
+
+type parallel struct {
+	pool *Pool
+}
+
+// Parallel returns the blocked multi-goroutine backend on the process-wide
+// worker pool (sized from GOMAXPROCS at first use).
+func Parallel() Backend { return &parallel{pool: sharedPool()} }
+
+// NewParallel returns a parallel backend with its own pool of the given
+// worker count — for tests and for callers that want to cap kernel
+// parallelism independently of GOMAXPROCS.
+func NewParallel(workers int) Backend { return &parallel{pool: NewPool(workers)} }
+
+func (p *parallel) Name() string { return "parallel" }
+
+// Grain converts a per-item cost (approximate scalar operations) into the
+// minimum number of items per ParRange chunk, so each dispatched chunk
+// carries at least minParWork operations. Callers with hand-rolled loops
+// (attention heads, layernorm rows, bias adds) use it to pick a grain
+// consistent with the built-in kernels.
+func Grain(perItem int) int {
+	if perItem <= 0 {
+		return minParWork
+	}
+	g := minParWork / perItem
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+func (p *parallel) MatMul(c, a, b []float32, m, k, n int) {
+	checkLen("MatMul c", c, m*n)
+	checkLen("MatMul a", a, m*k)
+	checkLen("MatMul b", b, k*n)
+	skipZero := !HasNaNOrInf(b[:k*n])
+	p.pool.ParallelFor(m, Grain(k*n), func(lo, hi int) {
+		matMulRows(c, a, b, lo, hi, k, n, skipZero)
+	})
+}
+
+// matMulRows computes rows [lo, hi) of C = A·B with the k dimension tiled:
+// each tileK×n block of B is reused across the whole row range while it is
+// cache-hot, instead of streaming all of B once per output row. The p-tile
+// loop is outermost, and p ascends within each tile, so every element still
+// accumulates its contributions in strictly increasing p order — bit-exact
+// with the serial kernel. The skip/no-skip split keeps the per-element
+// branch out of the hot loop.
+func matMulRows(c, a, b []float32, lo, hi, k, n int, skipZero bool) {
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : (i+1)*n]
+		for j := range ci {
+			ci[j] = 0
+		}
+	}
+	for pt := 0; pt < k; pt += tileK {
+		pEnd := pt + tileK
+		if pEnd > k {
+			pEnd = k
+		}
+		for i := lo; i < hi; i++ {
+			ai := a[i*k : (i+1)*k]
+			ci := c[i*n : (i+1)*n]
+			if skipZero {
+				for pi := pt; pi < pEnd; pi++ {
+					av := ai[pi]
+					if av == 0 {
+						continue
+					}
+					bp := b[pi*n : (pi+1)*n]
+					for j, bv := range bp {
+						ci[j] += av * bv
+					}
+				}
+			} else {
+				for pi := pt; pi < pEnd; pi++ {
+					av := ai[pi]
+					bp := b[pi*n : (pi+1)*n]
+					for j, bv := range bp {
+						ci[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+func (p *parallel) MatMulTransA(c, a, b []float32, m, k, n int) {
+	checkLen("MatMulTransA c", c, m*n)
+	checkLen("MatMulTransA a", a, k*m)
+	checkLen("MatMulTransA b", b, k*n)
+	skipZero := !HasNaNOrInf(b[:k*n])
+	// Partition the m dimension (rows of C): C += Aᵀ·B writes row i of C
+	// only from column i of A, so worker ranges touch disjoint C rows while
+	// each element keeps the serial p-ascending accumulation order. Each B
+	// row is already reused across the worker's whole i range while
+	// cache-hot, so no further tiling is needed.
+	p.pool.ParallelFor(m, Grain(k*n), func(lo, hi int) {
+		for pi := 0; pi < k; pi++ {
+			ap := a[pi*m+lo : pi*m+hi]
+			bp := b[pi*n : (pi+1)*n]
+			if skipZero {
+				for ii, av := range ap {
+					if av == 0 {
+						continue
+					}
+					ci := c[(lo+ii)*n : (lo+ii+1)*n]
+					for j, bv := range bp {
+						ci[j] += av * bv
+					}
+				}
+			} else {
+				for ii, av := range ap {
+					ci := c[(lo+ii)*n : (lo+ii+1)*n]
+					for j, bv := range bp {
+						ci[j] += av * bv
+					}
+				}
+			}
+		}
+	})
+}
+
+func (p *parallel) MatMulTransB(c, a, b []float32, m, k, n int) {
+	checkLen("MatMulTransB c", c, m*n)
+	checkLen("MatMulTransB a", a, m*k)
+	checkLen("MatMulTransB b", b, n*k)
+	p.pool.ParallelFor(m, Grain(k*n), func(lo, hi int) {
+		// Tile the row range so each B row is reused across tileM rows of A
+		// while it is cache-hot. Each output element is one serial dot
+		// product, so ordering is trivially bit-exact.
+		for it := lo; it < hi; it += tileM {
+			iEnd := it + tileM
+			if iEnd > hi {
+				iEnd = hi
+			}
+			for j := 0; j < n; j++ {
+				bj := b[j*k : (j+1)*k]
+				for i := it; i < iEnd; i++ {
+					ai := a[i*k : (i+1)*k]
+					var s float32
+					for pi, av := range ai {
+						s += av * bj[pi]
+					}
+					c[i*n+j] = s
+				}
+			}
+		}
+	})
+}
+
+func (p *parallel) Gelu(dst, x []float32) {
+	checkLen("Gelu dst", dst, len(x))
+	p.pool.ParallelFor(len(x), minParWork/8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = geluScalar(x[i])
+		}
+	})
+}
+
+func (p *parallel) GeluBackward(dx, dy, x []float32) {
+	checkLen("GeluBackward dx", dx, len(x))
+	checkLen("GeluBackward dy", dy, len(x))
+	p.pool.ParallelFor(len(x), minParWork/8, func(lo, hi int) {
+		GeluBackward(dx[lo:hi], dy[lo:hi], x[lo:hi])
+	})
+}
+
+func (p *parallel) SoftmaxRows(x []float32, m, n int) {
+	checkLen("SoftmaxRows x", x, m*n)
+	p.pool.ParallelFor(m, Grain(4*n), func(lo, hi int) {
+		SoftmaxRows(x[lo*n:hi*n], hi-lo, n)
+	})
+}
+
+func (p *parallel) SoftmaxRowsBackward(dx, dy, y []float32, m, n int) {
+	checkLen("SoftmaxRowsBackward dx", dx, m*n)
+	checkLen("SoftmaxRowsBackward dy", dy, m*n)
+	checkLen("SoftmaxRowsBackward y", y, m*n)
+	p.pool.ParallelFor(m, Grain(2*n), func(lo, hi int) {
+		SoftmaxRowsBackward(dx[lo*n:hi*n], dy[lo*n:hi*n], y[lo*n:hi*n], hi-lo, n)
+	})
+}
+
+func (p *parallel) Add(dst, a, b []float32) {
+	checkLen("Add dst", dst, len(a))
+	checkLen("Add b", b, len(a))
+	p.pool.ParallelFor(len(a), minParWork, func(lo, hi int) {
+		Add(dst[lo:hi], a[lo:hi], b[lo:hi])
+	})
+}
+
+func (p *parallel) Mul(dst, a, b []float32) {
+	checkLen("Mul dst", dst, len(a))
+	checkLen("Mul b", b, len(a))
+	p.pool.ParallelFor(len(a), minParWork, func(lo, hi int) {
+		Mul(dst[lo:hi], a[lo:hi], b[lo:hi])
+	})
+}
+
+func (p *parallel) Axpy(alpha float32, x, y []float32) {
+	checkLen("Axpy y", y, len(x))
+	p.pool.ParallelFor(len(x), minParWork, func(lo, hi int) {
+		Axpy(alpha, x[lo:hi], y[lo:hi])
+	})
+}
+
+func (p *parallel) Scale(alpha float32, x []float32) {
+	p.pool.ParallelFor(len(x), minParWork, func(lo, hi int) {
+		Scale(alpha, x[lo:hi])
+	})
+}
+
+func (p *parallel) Transpose(dst, a []float32, m, n int) {
+	checkLen("Transpose dst", dst, m*n)
+	checkLen("Transpose a", a, m*n)
+	p.pool.ParallelFor(m, Grain(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				dst[j*m+i] = a[i*n+j]
+			}
+		}
+	})
+}
+
+// Reductions stay serial: their float64 accumulation order is part of the
+// cross-engine bit-exactness contract, and they are O(n) — not worth a
+// nondeterministic tree reduction.
+func (p *parallel) Sum(x []float32) float64      { return Sum(x) }
+func (p *parallel) Dot(a, b []float32) float64   { return Dot(a, b) }
+func (p *parallel) L2Norm(x []float32) float64   { return L2Norm(x) }
+func (p *parallel) MaxAbs(x []float32) float32   { return MaxAbs(x) }
+func (p *parallel) HasNaNOrInf(x []float32) bool { return HasNaNOrInf(x) }
+
+func (p *parallel) ParRange(n, grain int, fn func(lo, hi int)) {
+	p.pool.ParallelFor(n, grain, fn)
+}
+
+var (
+	_ Backend = (*parallel)(nil)
+	_ Backend = reference{}
+)

@@ -1,0 +1,101 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size worker pool shared by the Parallel backend's kernels.
+// Submitting never blocks: when every worker is busy (e.g. several SPMD rank
+// goroutines issue kernels at once) the chunk runs inline on the caller, so
+// kernel latency degrades gracefully instead of queueing behind other ranks.
+type Pool struct {
+	workers int
+	tasks   chan func()
+}
+
+// NewPool starts a pool with the given number of worker goroutines
+// (minimum 1). The workers live for the life of the process. The task
+// channel is buffered to the worker count so a worker that has finished a
+// chunk but not yet re-parked in its receive doesn't force the submitter
+// into the inline fallback; only a genuinely saturated pool (all workers
+// busy and a full backlog) does.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, tasks: make(chan func(), workers)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+var (
+	sharedPoolOnce sync.Once
+	sharedPoolInst *Pool
+)
+
+// sharedPool lazily creates the process-wide pool, sized from GOMAXPROCS.
+func sharedPool() *Pool {
+	sharedPoolOnce.Do(func() {
+		sharedPoolInst = NewPool(runtime.GOMAXPROCS(0))
+	})
+	return sharedPoolInst
+}
+
+// ParallelFor partitions [0, n) into at most Workers() contiguous chunks and
+// runs fn on each, concurrently where workers are free. grain is the minimum
+// chunk size: work smaller than one grain runs inline with no dispatch at
+// all. Chunks are disjoint, so fn may write to disjoint output ranges without
+// synchronization; ParallelFor returns only after every chunk has finished.
+//
+// Chunk boundaries never split fn's index space in a way the caller can't
+// control — callers that need row granularity scale n to rows and multiply
+// inside fn.
+func (p *Pool) ParallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	parts := p.workers
+	if max := (n + grain - 1) / grain; parts > max {
+		parts = max
+	}
+	if parts <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + parts - 1) / parts
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		lo, hi := lo, hi
+		task := func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}
+		select {
+		case p.tasks <- task:
+		default:
+			// All workers busy: run this chunk on the caller.
+			task()
+		}
+	}
+	// The caller always computes the first chunk itself.
+	fn(0, chunk)
+	wg.Wait()
+}

@@ -57,6 +57,7 @@ func NewDPEngine(cfg Config, c *comm.Comm, g *model.GPT) (*DPEngine, error) {
 		grads:  make(map[*module.Param][]float32),
 	}
 	e.rt = module.NewRuntime(nil)
+	e.rt.SetBackend(cfg.Backend)
 	if cfg.DynamicLossScale {
 		e.scaler = optim.NewLossScaler(cfg.LossScale)
 	} else {
@@ -71,13 +72,13 @@ func NewDPEngine(cfg Config, c *comm.Comm, g *model.GPT) (*DPEngine, error) {
 		p.SetData(full)
 		if cfg.Stage == StageDDP {
 			e.master[p] = append([]float32(nil), full...)
-			e.adam[p] = optim.NewAdam(p.Len(), cfg.Adam)
+			e.adam[p] = optim.NewAdam(p.Len(), cfg.Adam).WithBackend(e.rt.Backend())
 		} else {
 			s := comm.ShardLen(p.Len(), dp)
 			shard := make([]float32, s)
 			comm.Shard(shard, full, c.Rank(), dp)
 			e.master[p] = shard
-			e.adam[p] = optim.NewAdam(s, cfg.Adam)
+			e.adam[p] = optim.NewAdam(s, cfg.Adam).WithBackend(e.rt.Backend())
 		}
 	}
 	return e, nil
@@ -124,7 +125,7 @@ func (e *DPEngine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 
 	overflow := false
 	for _, p := range e.params {
-		if tensor.HasNaNOrInf(e.grads[p]) {
+		if e.rt.Backend().HasNaNOrInf(e.grads[p]) {
 			overflow = true
 			break
 		}
@@ -140,11 +141,11 @@ func (e *DPEngine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 
 	inv := 1 / (scaleUsed * float64(dp) * float64(micros))
 	for _, p := range e.params {
-		tensor.Scale(float32(inv), e.grads[p])
+		e.rt.Backend().Scale(float32(inv), e.grads[p])
 	}
 	if f := e.clipFactor(); f != 1 {
 		for _, p := range e.params {
-			tensor.Scale(float32(f), e.grads[p])
+			e.rt.Backend().Scale(float32(f), e.grads[p])
 		}
 	}
 	for _, p := range e.params {
@@ -213,7 +214,7 @@ func (e *DPEngine) reduceMicro() {
 		}
 		p.ReleaseGrad()
 		if acc := e.grads[p]; acc != nil {
-			tensor.Axpy(1, reduced, acc)
+			e.rt.Backend().Axpy(1, reduced, acc)
 		} else {
 			e.grads[p] = reduced
 		}
@@ -281,10 +282,10 @@ func (e *DPEngine) LoadParams(values map[string][]float32) error {
 		tensor.DecodeHalf(p.Data(), e.fp16[p])
 		if e.cfg.Stage == StageDDP {
 			copy(e.master[p], p.Data())
-			e.adam[p] = optim.NewAdam(p.Len(), e.cfg.Adam)
+			e.adam[p] = optim.NewAdam(p.Len(), e.cfg.Adam).WithBackend(e.rt.Backend())
 		} else {
 			comm.Shard(e.master[p], p.Data(), e.c.Rank(), dp)
-			e.adam[p] = optim.NewAdam(len(e.master[p]), e.cfg.Adam)
+			e.adam[p] = optim.NewAdam(len(e.master[p]), e.cfg.Adam).WithBackend(e.rt.Backend())
 		}
 	}
 	return nil

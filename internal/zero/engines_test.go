@@ -323,3 +323,31 @@ func TestStageStrings(t *testing.T) {
 		t.Fatal("placement names wrong")
 	}
 }
+
+// The compute-backend contract: swapping the blocked multi-goroutine kernels
+// in for the serial reference ones changes wall-clock time only. Every stage
+// trained on the parallel backend must reproduce the reference-backend DDP
+// trajectory bit for bit — losses and final parameters. (This also serves as
+// the -race exercise of training steps on the parallel backend: four rank
+// goroutines share one kernel worker pool.)
+func TestEnginesBitIdenticalAcrossBackends(t *testing.T) {
+	mcfg := testCfg()
+	par := tensor.NewParallel(4)
+
+	ref := runEngine(t, mcfg, Config{Stage: StageDDP, LossScale: 256, Seed: 42}, false)
+	cases := []struct {
+		name string
+		cfg  Config
+		ckpt bool
+	}{
+		{"ddp/parallel", Config{Stage: StageDDP, LossScale: 256, Seed: 42, Backend: par}, false},
+		{"zero1/parallel", Config{Stage: Stage1, LossScale: 256, Seed: 42, Backend: par}, false},
+		{"zero2/parallel", Config{Stage: Stage2, LossScale: 256, Seed: 42, Backend: par}, false},
+		{"zero3/parallel", Config{Stage: Stage3, LossScale: 256, Seed: 42, Backend: par}, false},
+		{"zero3+ckpt/parallel", Config{Stage: Stage3, LossScale: 256, Seed: 42, Backend: par}, true},
+	}
+	for _, tc := range cases {
+		got := runEngine(t, mcfg, tc.cfg, tc.ckpt)
+		assertSameTrajectory(t, tc.name, ref, got)
+	}
+}

@@ -158,7 +158,7 @@ func (e *Z3Engine) LoadRankState(r io.Reader) error {
 			return err
 		}
 		copy(e.master[p], master)
-		fresh := optim.NewAdam(int(shardLen), e.cfg.Adam)
+		fresh := optim.NewAdam(int(shardLen), e.cfg.Adam).WithBackend(e.rt.Backend())
 		fresh.LoadState(m, v, int(step))
 		e.adam[p] = fresh
 		tensor.EncodeHalf(e.shard[p], e.master[p])

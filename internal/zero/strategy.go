@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/optim"
+	"repro/internal/tensor"
 )
 
 // Stage selects how much of the model state is partitioned (paper Sec. 2).
@@ -113,6 +114,10 @@ type Config struct {
 	// ClipNorm, when positive, clips the global (all-parameter, all-rank)
 	// gradient L2 norm to this value before the optimizer step.
 	ClipNorm float64
+	// Backend is the compute backend kernels dispatch through (nil selects
+	// the serial reference backend). Every backend is bit-identical, so
+	// this is purely a speed knob.
+	Backend tensor.Backend
 }
 
 func (c *Config) setDefaults() {
@@ -122,6 +127,7 @@ func (c *Config) setDefaults() {
 	if c.LossScale == 0 {
 		c.LossScale = 1
 	}
+	c.Backend = tensor.DefaultBackend(c.Backend)
 }
 
 // StepResult reports one training step.

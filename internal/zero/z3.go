@@ -73,6 +73,7 @@ func NewZ3Engine(cfg Config, c *comm.Comm, g *model.GPT) (*Z3Engine, error) {
 		external:  make(map[module.Module][]*module.Param),
 	}
 	e.rt = module.NewRuntime(e)
+	e.rt.SetBackend(cfg.Backend)
 	if cfg.DynamicLossScale {
 		e.scaler = optim.NewLossScaler(cfg.LossScale)
 	} else {
@@ -98,7 +99,7 @@ func NewZ3Engine(cfg Config, c *comm.Comm, g *model.GPT) (*Z3Engine, error) {
 		tensor.EncodeHalf(shard, fs)
 		e.shard[p] = shard
 		e.master[p] = fs
-		e.adam[p] = optim.NewAdam(s, cfg.Adam)
+		e.adam[p] = optim.NewAdam(s, cfg.Adam).WithBackend(e.rt.Backend())
 		p.SetOnDemand(e.onDemand)
 	}
 	return e, nil
@@ -212,7 +213,7 @@ func (e *Z3Engine) PostBackward(m module.Module) {
 			tensor.DecodeHalf(gs, shardH)
 			if acc := e.gradShard[p]; acc != nil {
 				// Gradient accumulation across micro-batches.
-				tensor.Axpy(1, gs, acc)
+				e.rt.Backend().Axpy(1, gs, acc)
 			} else {
 				e.gradShard[p] = gs
 			}
@@ -268,7 +269,7 @@ func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 
 	overflow := false
 	for _, p := range e.params {
-		if tensor.HasNaNOrInf(e.gradShard[p]) {
+		if e.rt.Backend().HasNaNOrInf(e.gradShard[p]) {
 			overflow = true
 			break
 		}
@@ -288,7 +289,7 @@ func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 		if gs == nil {
 			panic("zero: missing gradient shard for " + p.Name)
 		}
-		tensor.Scale(inv, gs)
+		e.rt.Backend().Scale(inv, gs)
 	}
 	if e.cfg.ClipNorm > 0 {
 		var local float64
@@ -297,7 +298,7 @@ func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 		}
 		if f := ClipFactor(e.c.AllReduceScalar(local), e.cfg.ClipNorm); f != 1 {
 			for _, p := range e.params {
-				tensor.Scale(float32(f), e.gradShard[p])
+				e.rt.Backend().Scale(float32(f), e.gradShard[p])
 			}
 		}
 	}
@@ -327,7 +328,7 @@ func (e *Z3Engine) LoadParams(values map[string][]float32) error {
 		rounded := tensor.RoundTripHalf(append([]float32(nil), v...))
 		comm.Shard(e.master[p], rounded, e.c.Rank(), dp)
 		tensor.EncodeHalf(e.shard[p], e.master[p])
-		e.adam[p] = optim.NewAdam(len(e.master[p]), e.cfg.Adam)
+		e.adam[p] = optim.NewAdam(len(e.master[p]), e.cfg.Adam).WithBackend(e.rt.Backend())
 	}
 	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/optim"
+	"repro/internal/tensor"
 	"repro/internal/zero"
 )
 
@@ -49,6 +50,9 @@ type (
 	AdamConfig = optim.AdamConfig
 	// InfinityStats reports ZeRO-Infinity engine activity.
 	InfinityStats = core.Stats
+	// ComputeBackend is the kernel-dispatch interface; all backends are
+	// bit-identical, differing only in speed.
+	ComputeBackend = tensor.Backend
 )
 
 // Placement and stage constants.
@@ -65,6 +69,13 @@ const (
 
 // DefaultAdamConfig returns the standard large-model Adam recipe.
 func DefaultAdamConfig() AdamConfig { return optim.DefaultAdamConfig() }
+
+// Backends lists the available compute-backend names for EngineConfig.Backend.
+func Backends() []string { return tensor.BackendNames() }
+
+// BackendByName resolves a compute backend ("reference", "parallel"; "" is
+// reference) for callers that want to inspect or share one directly.
+func BackendByName(name string) (ComputeBackend, error) { return tensor.ByName(name) }
 
 // NewModel builds a model tree (parameters declared, not initialized —
 // engines own initialization and placement).
@@ -104,6 +115,11 @@ type EngineConfig struct {
 	// ClipNorm, when positive, clips the global gradient L2 norm before
 	// each optimizer step.
 	ClipNorm float64
+
+	// Backend selects the compute backend by name: "" or "reference" for
+	// the serial baseline, "parallel" for the blocked multi-goroutine
+	// kernels. Training trajectories are bit-identical across backends.
+	Backend string
 }
 
 // Engine is the uniform training-engine interface.
@@ -123,6 +139,10 @@ type Engine interface {
 
 // NewEngine constructs the configured engine for one rank.
 func NewEngine(cfg EngineConfig, c *Comm, g *GPT) (Engine, error) {
+	be, err := tensor.ByName(cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.Infinity {
 		e, err := core.NewInfinityEngine(core.Config{
 			Params:             cfg.Params,
@@ -137,6 +157,7 @@ func NewEngine(cfg EngineConfig, c *Comm, g *GPT) (Engine, error) {
 			NVMeDir:            cfg.NVMeDir,
 			GPUMemory:          cfg.GPUMemory,
 			PreFragment:        cfg.PreFragment,
+			Backend:            be,
 		}, c, g)
 		if err != nil {
 			return nil, err
@@ -151,6 +172,7 @@ func NewEngine(cfg EngineConfig, c *Comm, g *GPT) (Engine, error) {
 		Seed:             cfg.Seed,
 		OffloadOptimizer: cfg.OffloadOptimizer,
 		ClipNorm:         cfg.ClipNorm,
+		Backend:          be,
 	}
 	if cfg.Stage == Stage3 {
 		e, err := zero.NewZ3Engine(zc, c, g)
