@@ -116,7 +116,18 @@ func ReadCheckpoint(r io.Reader) (map[string][]float32, error) {
 		tensor.HalfFromBytes(h, b)
 		v := make([]float32, elems)
 		tensor.DecodeHalf(v, h)
-		out[string(nameBytes)] = v
+		name := string(nameBytes)
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("zeroinf: duplicate parameter %q in checkpoint", name)
+		}
+		out[name] = v
+	}
+	// The declared count must exhaust the stream: trailing bytes mean a
+	// corrupt or truncated-count file, not extra harmless padding.
+	if _, err := br.ReadByte(); err == nil {
+		return nil, fmt.Errorf("zeroinf: trailing bytes after %d checkpoint parameters", count)
+	} else if err != io.EOF {
+		return nil, err
 	}
 	return out, nil
 }

@@ -2,6 +2,8 @@ package zeroinf_test
 
 import (
 	"bytes"
+	"encoding/binary"
+	"strings"
 	"sync"
 	"testing"
 
@@ -150,5 +152,139 @@ func TestGradAccumViaFacade(t *testing.T) {
 	}
 	if len(res.Losses) != 2 {
 		t.Fatalf("losses = %d", len(res.Losses))
+	}
+}
+
+// ckptBytes hand-assembles a checkpoint stream: magic, version, count, then
+// one record per (name, elems) pair with zeroed fp16 payloads.
+func ckptBytes(count uint32, records []struct {
+	name  string
+	elems int
+}) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("ZINF")
+	binary.Write(&buf, binary.LittleEndian, uint32(1)) // version
+	binary.Write(&buf, binary.LittleEndian, count)
+	for _, r := range records {
+		binary.Write(&buf, binary.LittleEndian, uint32(len(r.name)))
+		buf.WriteString(r.name)
+		binary.Write(&buf, binary.LittleEndian, uint64(r.elems))
+		buf.Write(make([]byte, 2*r.elems))
+	}
+	return buf.Bytes()
+}
+
+// Duplicate parameter names used to be swallowed silently (last one wins),
+// masking corrupt or maliciously spliced checkpoints.
+func TestReadCheckpointRejectsDuplicateNames(t *testing.T) {
+	recs := []struct {
+		name  string
+		elems int
+	}{{"w", 3}, {"w", 3}}
+	if _, err := zeroinf.ReadCheckpoint(bytes.NewReader(ckptBytes(2, recs))); err == nil {
+		t.Fatal("duplicate parameter name accepted")
+	} else if !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+// Bytes after the declared parameter count indicate corruption (e.g. a
+// truncated count field) and must not be silently ignored.
+func TestReadCheckpointRejectsTrailingBytes(t *testing.T) {
+	recs := []struct {
+		name  string
+		elems int
+	}{{"w", 3}}
+	good := ckptBytes(1, recs)
+	if _, err := zeroinf.ReadCheckpoint(bytes.NewReader(good)); err != nil {
+		t.Fatalf("clean checkpoint rejected: %v", err)
+	}
+	if _, err := zeroinf.ReadCheckpoint(bytes.NewReader(append(good, 0xAB))); err == nil {
+		t.Fatal("trailing byte accepted")
+	} else if !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+// Checkpoints written by the overlap engines (async collectives + gather
+// prefetch) and resumed into them must behave exactly like the synchronous
+// engines — save/load is collective-order sensitive, so this guards the
+// overlap engines' sequence-number bookkeeping across FullParams/LoadParams.
+func TestCheckpointRoundTripOverlapEngines(t *testing.T) {
+	mcfg := tinyModel()
+	const ranks, batch = 2, 2
+
+	// Pretrain WITH overlap and save.
+	var ckpt bytes.Buffer
+	zeroinf.SPMD(ranks, func(c *zeroinf.Comm) {
+		g, _ := zeroinf.NewModel(mcfg)
+		e, err := zeroinf.NewEngine(zeroinf.EngineConfig{Stage: zeroinf.Stage3,
+			PrefetchDepth: 2, Overlap: true, LossScale: 64, Seed: 3}, c, g)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer e.Close()
+		for s := 0; s < 3; s++ {
+			tok, tgt := zeroinf.SyntheticBatch(uint64(10+s*10+c.Rank()), mcfg, batch)
+			if _, err := e.Step(tok, tgt, batch); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		params := e.FullParams()
+		if c.Rank() == 0 {
+			if err := zeroinf.WriteCheckpoint(&ckpt, params); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if ckpt.Len() == 0 {
+		t.Fatal("no checkpoint written")
+	}
+
+	resume := func(ecfg zeroinf.EngineConfig) []float64 {
+		var losses []float64
+		var mu sync.Mutex
+		zeroinf.SPMD(ranks, func(c *zeroinf.Comm) {
+			g, _ := zeroinf.NewModel(mcfg)
+			e, err := zeroinf.NewEngine(ecfg, c, g)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer e.Close()
+			if err := zeroinf.LoadCheckpoint(bytes.NewReader(ckpt.Bytes()), e); err != nil {
+				t.Error(err)
+				return
+			}
+			var local []float64
+			for s := 0; s < 3; s++ {
+				tok, tgt := zeroinf.SyntheticBatch(uint64(500+s*10+c.Rank()), mcfg, batch)
+				res, err := e.Step(tok, tgt, batch)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				local = append(local, res.Loss)
+			}
+			if c.Rank() == 0 {
+				mu.Lock()
+				losses = local
+				mu.Unlock()
+			}
+		})
+		return losses
+	}
+	ddp := resume(zeroinf.EngineConfig{Stage: zeroinf.StageDDP, LossScale: 64, Seed: 999})
+	z3o := resume(zeroinf.EngineConfig{Stage: zeroinf.Stage3,
+		PrefetchDepth: 2, Overlap: true, LossScale: 64, Seed: 999})
+	info := resume(zeroinf.EngineConfig{Infinity: true, Params: zeroinf.OnNVMe, Optimizer: zeroinf.OnNVMe,
+		PrefetchDepth: 2, Overlap: true, LossScale: 64, Seed: 999})
+	for i := range ddp {
+		if ddp[i] != z3o[i] || ddp[i] != info[i] {
+			t.Fatalf("overlap resume diverged at step %d: ddp %.17g z3 %.17g infinity %.17g",
+				i, ddp[i], z3o[i], info[i])
+		}
 	}
 }

@@ -21,6 +21,10 @@ func main() {
 	run := flag.String("run", "", "experiment id to run, or 'all'")
 	backend := flag.String("backend", "reference",
 		"compute backend for functional experiments: "+strings.Join(tensor.BackendNames(), "|"))
+	prefetch := flag.Int("prefetch", 2,
+		"overlap read-ahead depth for the overlap/equiv experiments (0 = off)")
+	overlap := flag.Bool("overlap", true,
+		"include the async-collective overlap engines in the functional experiments")
 	flag.Parse()
 
 	be, err := tensor.ByName(*backend)
@@ -29,6 +33,7 @@ func main() {
 		os.Exit(2)
 	}
 	harness.SetBackend(be)
+	harness.SetOverlap(*prefetch, *overlap)
 
 	if *run == "" {
 		fmt.Println("Available experiments (use -run <id> or -run all):")

@@ -32,24 +32,28 @@ func parsePlacement(s string) (zeroinf.Placement, error) {
 
 func main() {
 	var (
-		engine  = flag.String("engine", "infinity", "ddp | zero1 | zero2 | zero-offload | zero3 | infinity")
-		params  = flag.String("params", "cpu", "infinity fp16 parameter placement: gpu|cpu|nvme")
-		opt     = flag.String("opt", "cpu", "infinity optimizer placement: gpu|cpu|nvme")
-		nvmeDir = flag.String("nvme-dir", "", "directory for the file-backed NVMe store")
-		ranks   = flag.Int("ranks", 4, "data-parallel ranks (goroutine GPUs)")
-		steps   = flag.Int("steps", 20, "training steps")
-		batch   = flag.Int("batch", 2, "batch per rank")
-		vocab   = flag.Int("vocab", 64, "vocabulary size")
-		hidden  = flag.Int("hidden", 64, "hidden dimension")
-		layers  = flag.Int("layers", 2, "transformer layers")
-		heads   = flag.Int("heads", 4, "attention heads")
-		seq     = flag.Int("seq", 16, "sequence length")
-		ckpt    = flag.Bool("ckpt", false, "activation checkpointing")
-		offAct  = flag.Bool("offload-act", false, "offload activation checkpoints to CPU (infinity)")
-		scale   = flag.Float64("loss-scale", 1024, "initial loss scale")
-		seed    = flag.Uint64("seed", 42, "init seed")
-		accum   = flag.Int("accum", 1, "gradient accumulation micro-batches per step")
-		clip    = flag.Float64("clip", 0, "global gradient-norm clip (0 = off)")
+		engine   = flag.String("engine", "infinity", "ddp | zero1 | zero2 | zero-offload | zero3 | infinity")
+		params   = flag.String("params", "cpu", "infinity fp16 parameter placement: gpu|cpu|nvme")
+		opt      = flag.String("opt", "cpu", "infinity optimizer placement: gpu|cpu|nvme")
+		nvmeDir  = flag.String("nvme-dir", "", "directory for the file-backed NVMe store")
+		ranks    = flag.Int("ranks", 4, "data-parallel ranks (goroutine GPUs)")
+		steps    = flag.Int("steps", 20, "training steps")
+		batch    = flag.Int("batch", 2, "batch per rank")
+		vocab    = flag.Int("vocab", 64, "vocabulary size")
+		hidden   = flag.Int("hidden", 64, "hidden dimension")
+		layers   = flag.Int("layers", 2, "transformer layers")
+		heads    = flag.Int("heads", 4, "attention heads")
+		seq      = flag.Int("seq", 16, "sequence length")
+		ckpt     = flag.Bool("ckpt", false, "activation checkpointing")
+		offAct   = flag.Bool("offload-act", false, "offload activation checkpoints to CPU (infinity)")
+		scale    = flag.Float64("loss-scale", 1024, "initial loss scale")
+		seed     = flag.Uint64("seed", 42, "init seed")
+		accum    = flag.Int("accum", 1, "gradient accumulation micro-batches per step")
+		clip     = flag.Float64("clip", 0, "global gradient-norm clip (0 = off)")
+		prefetch = flag.Int("prefetch", 2,
+			"overlap read-ahead depth: NVMe reads (infinity) and, with -overlap, speculative allgathers (zero3/infinity) for the next N trace entries (0 = off)")
+		overlapF = flag.Bool("overlap", true,
+			"async collectives: launch reduce-scatters asynchronously and speculate allgathers -prefetch deep (bit-identical; zero3/infinity)")
 		backend = flag.String("backend", "reference",
 			"compute backend: "+strings.Join(zeroinf.Backends(), "|")+" (bit-identical, parallel uses all cores)")
 	)
@@ -59,7 +63,8 @@ func main() {
 		Vocab: *vocab, Hidden: *hidden, Layers: *layers, Heads: *heads, Seq: *seq,
 		CheckpointActivations: *ckpt || *offAct,
 	}
-	ecfg := zeroinf.EngineConfig{LossScale: *scale, DynamicLossScale: true, Seed: *seed, ClipNorm: *clip, Backend: *backend}
+	ecfg := zeroinf.EngineConfig{LossScale: *scale, DynamicLossScale: true, Seed: *seed, ClipNorm: *clip, Backend: *backend,
+		PrefetchDepth: *prefetch, Overlap: *overlapF}
 	switch *engine {
 	case "ddp":
 		ecfg.Stage = zeroinf.StageDDP
@@ -74,7 +79,6 @@ func main() {
 		ecfg.Stage = zeroinf.Stage3
 	case "infinity":
 		ecfg.Infinity = true
-		ecfg.PrefetchDepth = 2
 		ecfg.OffloadActivations = *offAct
 		ecfg.NVMeDir = *nvmeDir
 		var err error
@@ -104,11 +108,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *engine == "infinity" || *engine == "zero3" {
+		s := res.Stats
+		fmt.Printf("\n%s engine: %d gathers (%d on-demand)\n", *engine, s.Gathers, s.OnDemandGathers)
+		fmt.Printf("overlap: allgather prefetch %d issued / %d hits, %d async reduce-scatters\n",
+			s.CommPrefetchIssued, s.CommPrefetchHits, s.AsyncReduces)
+	}
 	if *engine == "infinity" {
 		s := res.Stats
-		fmt.Printf("\ninfinity offload engine: %d gathers (%d on-demand), prefetch %d issued / %d hits\n",
-			s.Gathers, s.OnDemandGathers, s.PrefetchIssued, s.PrefetchHits)
-		fmt.Printf("NVMe traffic: %s read, %s written; pinned pool %s (%d acquires)\n",
+		fmt.Printf("NVMe prefetch %d issued / %d hits; traffic: %s read, %s written; pinned pool %s (%d acquires)\n",
+			s.PrefetchIssued, s.PrefetchHits,
 			mem.FormatBytes(s.NVMeBytesRead), mem.FormatBytes(s.NVMeBytesWritten),
 			mem.FormatBytes(s.PinnedBytes), s.PinnedAcquires)
 		if s.CkptBytesOffload > 0 {

@@ -1,0 +1,101 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Ticket tracks one asynchronous collective. Wait blocks until every rank
+// has entered the matching call and the data movement has completed; it
+// must eventually be called, from the issuing rank's goroutine (extra Wait
+// calls are no-ops).
+//
+// Asynchronous collectives occupy a slot in the communicator's sequence at
+// issue time — the issuing rank's contribution is registered immediately,
+// with no goroutine spawned — so the SPMD contract extends naturally: every
+// rank must issue the same collectives in the same order, but may overlap
+// any amount of compute (or further collectives) between issuing and
+// waiting. Buffers handed to an async collective must stay untouched until
+// Wait returns.
+type Ticket struct {
+	w   *World
+	seq uint64
+	op  *op
+}
+
+// Wait blocks until the collective has completed on all ranks.
+func (t *Ticket) Wait() {
+	if t.op == nil {
+		return // degenerate or already-waited ticket
+	}
+	<-t.op.done
+	t.w.leave(t.seq, t.op)
+	t.op = nil
+}
+
+// async reserves the next sequence slot for kind and registers this rank's
+// arrival, returning immediately; the last rank to arrive (synchronously or
+// asynchronously) performs the data movement. The semantics — including
+// rank-order accumulation — are identical to the synchronous rendezvous, so
+// asynchronous and synchronous paths are bit-identical.
+func (c *Comm) async(kind string, contrib any, compute func(contribs []any) any) *Ticket {
+	w := c.world
+	if w.size == 1 {
+		compute([]any{contrib})
+		return &Ticket{}
+	}
+	seq := c.seq
+	c.seq++
+	return &Ticket{w: w, seq: seq, op: w.arrive(c.rank, seq, kind, contrib, compute)}
+}
+
+// AllGatherHalfAsync starts an asynchronous AllGatherHalf: every rank's src
+// (all equal length) is concatenated into dst in rank order. len(dst) must
+// be Size()*len(src). dst and src must not be touched until the ticket
+// completes; the gathered bytes are bit-identical to AllGatherHalf.
+func (c *Comm) AllGatherHalfAsync(dst, src []tensor.Half) *Ticket {
+	if len(dst) != c.Size()*len(src) {
+		panic(fmt.Sprintf("comm: allgatherhalfasync dst len %d != size %d * src len %d", len(dst), c.Size(), len(src)))
+	}
+	type arg struct{ dst, src []tensor.Half }
+	n := len(src)
+	return c.async("allgatherhalf", arg{dst, src}, func(contribs []any) any {
+		for _, ca := range contribs {
+			a := ca.(arg)
+			for r, cb := range contribs {
+				copy(a.dst[r*n:(r+1)*n], cb.(arg).src)
+			}
+		}
+		return nil
+	})
+}
+
+// ReduceScatterHalfAsync starts an asynchronous ReduceScatterHalf:
+// contributions are decoded to float32, summed in rank order with float32
+// accumulation, and each rank's shard is re-encoded to binary16 into its
+// dst. len(src) must be Size()*len(dst). Buffers must not be touched until
+// the ticket completes; results are bit-identical to ReduceScatterHalf.
+func (c *Comm) ReduceScatterHalfAsync(dst, src []tensor.Half) *Ticket {
+	if len(src) != c.Size()*len(dst) {
+		panic(fmt.Sprintf("comm: reducescatterhalfasync src len %d != size %d * dst len %d", len(src), c.Size(), len(dst)))
+	}
+	type arg struct{ dst, src []tensor.Half }
+	n := len(dst)
+	return c.async("reducescatterhalf", arg{dst, src}, func(contribs []any) any {
+		acc := make([]float32, n)
+		tmp := make([]float32, n)
+		for r := range contribs {
+			base := r * n
+			for i := range acc {
+				acc[i] = 0
+			}
+			for _, cb := range contribs {
+				tensor.DecodeHalf(tmp, cb.(arg).src[base:base+n])
+				tensor.Axpy(1, tmp, acc)
+			}
+			tensor.EncodeHalf(contribs[r].(arg).dst, acc)
+		}
+		return nil
+	})
+}

@@ -100,7 +100,21 @@ func (c *Comm) rendezvous(kind string, contrib any, compute func(contribs []any)
 	}
 	seq := c.seq
 	c.seq++
+	return w.rendezvousAt(c.rank, seq, kind, contrib, compute)
+}
 
+// rendezvousAt is the seq-addressed rendezvous body: arrive, wait for the
+// last arriver's compute, then leave. The ticket-based asynchronous
+// collectives split the same arrive/leave pair across issue and Wait.
+func (w *World) rendezvousAt(rank int, seq uint64, kind string, contrib any, compute func(contribs []any) any) any {
+	o := w.arrive(rank, seq, kind, contrib, compute)
+	<-o.done
+	return w.leave(seq, o)
+}
+
+// arrive registers rank's contribution to the seq-th collective; the last
+// arriver performs the data movement and unblocks everyone.
+func (w *World) arrive(rank int, seq uint64, kind string, contrib any, compute func(contribs []any) any) *op {
 	w.mu.Lock()
 	o, ok := w.ops[seq]
 	if !ok {
@@ -110,21 +124,20 @@ func (c *Comm) rendezvous(kind string, contrib any, compute func(contribs []any)
 	if o.kind != kind {
 		w.mu.Unlock()
 		panic(fmt.Sprintf("comm: collective mismatch at seq %d: rank %d called %s, others called %s",
-			seq, c.rank, kind, o.kind))
+			seq, rank, kind, o.kind))
 	}
-	o.contrib[c.rank] = contrib
+	o.contrib[rank] = contrib
 	o.arrived++
-	last := o.arrived == w.size
-	if last {
+	if o.arrived == w.size {
 		o.result = compute(o.contrib)
 		close(o.done)
 	}
 	w.mu.Unlock()
+	return o
+}
 
-	if !last {
-		<-o.done
-	}
-
+// leave records one rank's departure; the last rank out removes the op.
+func (w *World) leave(seq uint64, o *op) any {
 	w.mu.Lock()
 	o.left++
 	if o.left == w.size {

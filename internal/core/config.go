@@ -29,7 +29,16 @@ type Config struct {
 	OffloadActivations bool
 	// PrefetchDepth is how many upcoming parameter shards the overlap
 	// engine reads ahead of the consuming operator (0 disables prefetch).
+	// It is the shared depth/budget for both overlap stages: speculative
+	// NVMe reads and, with Overlap set, speculative allgathers.
 	PrefetchDepth int
+	// Overlap enables the communication half of the overlap-centric design:
+	// parameter allgathers for the next PrefetchDepth trace entries are
+	// issued asynchronously during the current operator's compute, and
+	// gradient reduce-scatters are launched asynchronously from the
+	// backward hooks with a drain barrier before the overflow check.
+	// Trajectories stay bit-identical to the synchronous engine.
+	Overlap bool
 
 	Adam             optim.AdamConfig
 	LossScale        float64
@@ -86,14 +95,20 @@ func (c *Config) needsNVMe() bool {
 
 // Stats summarizes one engine's activity for the experiment harness.
 type Stats struct {
-	Gathers          int
-	OnDemandGathers  int
-	PrefetchHits     int
-	PrefetchIssued   int
-	NVMeBytesRead    int64
-	NVMeBytesWritten int64
-	PinnedBytes      int64
-	PinnedAcquires   int64
-	CkptBytesOffload int64
-	GPUPeakBytes     int64
+	Gathers         int
+	OnDemandGathers int
+	// PrefetchIssued/PrefetchHits count the NVMe read stage; the CommPrefetch
+	// pair counts the allgather stage; AsyncReduces counts gradient
+	// reduce-scatters launched asynchronously from the backward hooks.
+	PrefetchHits       int
+	PrefetchIssued     int
+	CommPrefetchIssued int
+	CommPrefetchHits   int
+	AsyncReduces       int
+	NVMeBytesRead      int64
+	NVMeBytesWritten   int64
+	PinnedBytes        int64
+	PinnedAcquires     int64
+	CkptBytesOffload   int64
+	GPUPeakBytes       int64
 }

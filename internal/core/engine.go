@@ -10,6 +10,7 @@ import (
 	"repro/internal/module"
 	"repro/internal/nvme"
 	"repro/internal/optim"
+	"repro/internal/overlap"
 	"repro/internal/tensor"
 	"repro/internal/zero"
 )
@@ -32,12 +33,22 @@ type pstate struct {
 
 	gradShard []float32
 	gpuBlock  mem.Block
-	inflight  *inflightFetch
+	// inflight is a speculative NVMe read; commInflight a speculative
+	// allgather chained onto it (or onto the resident shard).
+	inflight     *inflightFetch
+	commInflight *inflightGather
 }
 
 type inflightFetch struct {
 	ticket *nvme.Ticket
 	buf    []byte
+	// born is the engine's gather count when the read was issued. The comm
+	// prefetcher only chains an allgather onto a read that is at least two
+	// gathers old — young reads are likely still in flight, and waiting on
+	// them early would serialize the disk stage instead of overlapping it.
+	// Gather counts are identical across SPMD ranks, so the gate is
+	// deterministic.
+	born int
 }
 
 // InfinityEngine is the ZeRO-Infinity training engine for one rank.
@@ -69,7 +80,14 @@ type InfinityEngine struct {
 	external map[module.Module][]*module.Param
 	active   []module.Module
 
-	prefetch *prefetcher
+	// Overlap-centric pieces (paper Sec. 6.2): trace is the learned gather
+	// sequence shared by the NVMe read prefetcher and the comm (allgather)
+	// prefetcher; pendingReduces holds asynchronously launched gradient
+	// reduce-scatters until the drain barrier in StepAccum.
+	trace          *overlap.Trace[*pstate]
+	prefetch       *prefetcher
+	commPrefetch   *commPrefetcher
+	pendingReduces []overlap.Pending[*pstate]
 
 	stats Stats
 }
@@ -232,6 +250,12 @@ func NewInfinityEngine(cfg Config, c *comm.Comm, g *model.GPT) (*InfinityEngine,
 		}
 		e.prefetch = newPrefetcher(e, depth)
 	}
+	if cfg.Overlap && cfg.PrefetchDepth > 0 {
+		e.commPrefetch = newCommPrefetcher(e, cfg.PrefetchDepth)
+	}
+	if e.prefetch != nil || e.commPrefetch != nil {
+		e.trace = overlap.New[*pstate](cfg.PrefetchDepth)
+	}
 	return e, nil
 }
 
@@ -324,19 +348,30 @@ func (e *InfinityEngine) writeShard(ps *pstate, half []tensor.Half) {
 }
 
 // gather materializes p from the ranks' shards (bandwidth-centric: every
-// rank fetches its own 1/dp slice over its own link, then allgather).
+// rank fetches its own 1/dp slice over its own link, then allgather). With
+// overlap enabled, a speculatively issued allgather is claimed instead of
+// stalling on a fresh one, and allgathers/NVMe reads for upcoming
+// parameters are issued before returning to compute.
 func (e *InfinityEngine) gather(p *module.Param) {
 	if p.Materialized() {
 		return
 	}
 	ps := e.states[p]
-	if e.prefetch != nil {
-		e.prefetch.advanceTo(ps)
+	if e.trace != nil {
+		e.trace.Observe(ps)
 	}
-	shard := e.shardHalf(ps)
-	dp := e.c.Size()
-	fullH := make([]tensor.Half, ps.shardLen*dp)
-	e.c.AllGatherHalf(fullH, shard)
+	var fullH []tensor.Half
+	if f := ps.commInflight; f != nil {
+		f.ticket.Wait()
+		fullH = f.fullH
+		ps.commInflight = nil
+		e.commPrefetch.consumed()
+		e.stats.CommPrefetchHits++
+	} else {
+		shard := e.shardHalf(ps)
+		fullH = make([]tensor.Half, ps.shardLen*e.c.Size())
+		e.c.AllGatherHalf(fullH, shard)
+	}
 	if e.gpuAlloc != nil {
 		b, err := e.gpuAlloc.Alloc(p.FP16Bytes())
 		if err != nil {
@@ -349,9 +384,11 @@ func (e *InfinityEngine) gather(p *module.Param) {
 	tensor.DecodeHalf(full, fullH[:p.Len()])
 	p.SetData(full)
 	e.stats.Gathers++
+	if e.commPrefetch != nil {
+		e.commPrefetch.issue() // chain allgathers onto completed NVMe reads first
+	}
 	if e.prefetch != nil {
-		e.prefetch.record(ps)
-		e.prefetch.issue()
+		e.prefetch.issue() // then replenish the NVMe read-ahead window
 	}
 }
 
@@ -434,13 +471,22 @@ func (e *InfinityEngine) PostBackward(m module.Module) {
 			gh := make([]tensor.Half, padded)
 			tensor.EncodeHalf(gh[:n], p.Grad())
 			shardH := make([]tensor.Half, padded/dp)
-			e.c.ReduceScatterHalf(shardH, gh)
-			gs := make([]float32, len(shardH))
-			tensor.DecodeHalf(gs, shardH)
-			if acc := e.states[p].gradShard; acc != nil {
-				e.rt.Backend().Axpy(1, gs, acc) // micro-batch accumulation
+			if e.cfg.Overlap {
+				// Launch asynchronously and keep computing the rest of the
+				// backward pass; drained before the overflow check.
+				tk := e.c.ReduceScatterHalfAsync(shardH, gh)
+				e.pendingReduces = append(e.pendingReduces,
+					overlap.Pending[*pstate]{Key: e.states[p], Ticket: tk, ShardH: shardH, GH: gh})
+				e.stats.AsyncReduces++
 			} else {
-				e.states[p].gradShard = gs
+				e.c.ReduceScatterHalf(shardH, gh)
+				gs := make([]float32, len(shardH))
+				tensor.DecodeHalf(gs, shardH)
+				if acc := e.states[p].gradShard; acc != nil {
+					e.rt.Backend().Axpy(1, gs, acc) // micro-batch accumulation
+				} else {
+					e.states[p].gradShard = gs
+				}
 			}
 			p.ReleaseGrad()
 		}
@@ -496,16 +542,16 @@ func (e *InfinityEngine) StepAccum(microTokens, microTargets [][]int, batchPerMi
 
 	var lossSum float64
 	for m := 0; m < micros; m++ {
-		if e.prefetch != nil {
-			e.prefetch.beginStep()
-		}
+		e.beginOverlapStep()
 		lossSum += e.g.ForwardLoss(e.rt, microTokens[m], microTargets[m], batchPerMicro)
 		e.g.BackwardLoss(e.rt, float32(scaleUsed))
-		if e.prefetch != nil {
-			e.prefetch.endStep()
-		}
+		e.endOverlapStep()
 	}
 	globalLoss := e.c.AllReduceScalar(lossSum/float64(micros)) / float64(dp)
+
+	// Drain barrier: every asynchronously launched reduce-scatter must land
+	// before gradients are inspected for overflow.
+	e.drainReduces()
 
 	overflow := false
 	for _, p := range e.params {

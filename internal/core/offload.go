@@ -52,6 +52,15 @@ func (e *InfinityEngine) optimizerStepNVMe() error {
 		}
 		if err := cur.ticket.Wait(); err != nil {
 			e.pinned.Release(cur.buf)
+			if havePrefetch {
+				// The read for params[i+1] is already in flight holding a
+				// pinned buffer; await it so releasing the buffer is safe.
+				_ = next.ticket.Wait()
+				e.pinned.Release(next.buf)
+			}
+			// Outstanding async writes from earlier iterations also hold
+			// pinned buffers; their reapers must run before we return.
+			wg.Wait()
 			return fmt.Errorf("core: optimizer read %s: %w", cur.ps.p.Name, err)
 		}
 		ps := cur.ps

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+	"repro/internal/nvme"
+	"repro/internal/zero"
+)
+
+var errInjectedRead = errors.New("injected read failure")
+
+// failingStore wraps a Store and fails every ReadAt after the first allow
+// successes. Writes always succeed.
+type failingStore struct {
+	nvme.Store
+	allow int64
+	reads atomic.Int64
+}
+
+func (s *failingStore) ReadAt(p []byte, off int64) (int, error) {
+	if s.reads.Add(1) > s.allow {
+		return 0, errInjectedRead
+	}
+	return s.Store.ReadAt(p, off)
+}
+
+// Regression test for the optimizerStepNVMe error path: when a streamed
+// optimizer read fails, the already-issued prefetch read for the next
+// parameter used to be abandoned (its pinned buffer never released, its
+// in-flight I/O never awaited) and outstanding async writes were not drained
+// before returning. After the error every pinned buffer must be back in the
+// pool and no I/O may still be in flight.
+func TestOptimizerStepNVMeErrorReleasesPrefetchSlot(t *testing.T) {
+	mcfg := testModelCfg(false)
+	tokens, targets := makeBatches(mcfg, 1, 1, testBatch)
+	comm.Run(1, func(c *comm.Comm) {
+		g := model.MustGPT(mcfg)
+		e, err := NewInfinityEngine(Config{
+			Params: zero.OnCPU, Optimizer: zero.OnNVMe,
+			LossScale: 32, Seed: 2,
+		}, c, g)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer e.Close()
+
+		// Swap in an I/O engine whose store fails reads after the first one:
+		// the pipeline then has a processed parameter (async write in
+		// flight), a failed current read, and a failing prefetched read all
+		// outstanding at once.
+		e.io.Close()
+		fs := &failingStore{Store: e.store, allow: 1}
+		e.io = nvme.NewEngine(fs, nvme.Options{Workers: 2})
+		defer e.io.Close()
+
+		_, serr := e.Step(tokens[0][0], targets[0][0], testBatch)
+		if serr == nil {
+			t.Error("step with failing optimizer reads succeeded")
+			return
+		}
+		if !errors.Is(serr, errInjectedRead) {
+			t.Errorf("unexpected error: %v", serr)
+		}
+		// Every pinned buffer must be back: the failed current slot, the
+		// abandoned prefetch slot, and the write slots via their reapers.
+		for i := 0; i < e.cfg.PinnedBuffers; i++ {
+			buf, ok := e.pinned.TryAcquire()
+			if !ok {
+				t.Errorf("pinned buffer %d/%d leaked on the error path", i+1, e.cfg.PinnedBuffers)
+				return
+			}
+			defer e.pinned.Release(buf)
+		}
+	})
+}

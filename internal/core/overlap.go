@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/overlap"
+	"repro/internal/tensor"
+	"repro/internal/zero"
+)
+
+// This file is the communication half of the overlap-centric design (paper
+// Sec. 6.2): asynchronous parameter allgathers issued ahead of the
+// consuming operator, and gradient reduce-scatters launched asynchronously
+// from the backward hooks with a drain barrier before the overflow check.
+// Both are bit-identical to the synchronous paths — the async collectives
+// keep rank-order accumulation — so overlap is purely a wall-clock knob.
+
+// inflightGather is a speculatively issued allgather. shard keeps the
+// source buffer alive (and untouched) until the ticket completes.
+type inflightGather struct {
+	ticket *comm.Ticket
+	fullH  []tensor.Half
+	shard  []tensor.Half
+}
+
+// commPrefetcher issues the next depth upcoming parameters' allgathers
+// during the current parameter's compute, following the shared gather
+// trace. For NVMe-resident parameters it composes with the NVMe
+// prefetcher: it consumes a completed (or completing) speculative read and
+// chains the allgather onto it, so disk and interconnect stages of the same
+// parameter pipeline back to back.
+//
+// Every issue decision is a deterministic function of the trace and the
+// engine's own consumption sequence — identical on all SPMD ranks — which
+// is what keeps the speculatively issued collectives matched rank to rank.
+type commPrefetcher struct {
+	e     *InfinityEngine
+	depth int
+
+	outstanding int
+	inflight    []*pstate // pstates with commInflight set, for the drain
+}
+
+func newCommPrefetcher(e *InfinityEngine, depth int) *commPrefetcher {
+	return &commPrefetcher{e: e, depth: depth}
+}
+
+// consumed notes that a gather claimed an in-flight allgather.
+func (cp *commPrefetcher) consumed() { cp.outstanding-- }
+
+// issue launches allgathers for upcoming trace entries within the depth
+// budget.
+func (cp *commPrefetcher) issue() {
+	e := cp.e
+	dp := e.c.Size()
+	e.trace.Each(func(ps *pstate) bool {
+		if cp.outstanding >= cp.depth {
+			return false
+		}
+		if ps.commInflight != nil || ps.p.Materialized() {
+			return true
+		}
+		var shard []tensor.Half
+		if e.cfg.Params == zero.OnNVMe {
+			f := ps.inflight
+			if f == nil || e.stats.Gathers-f.born < 2 {
+				// Either the NVMe stage hasn't read this shard yet, or the
+				// read is too young to be chained: waiting on it now would
+				// drag the disk wait forward instead of overlapping it.
+				// Skip — both conditions are pure functions of the gather
+				// sequence, never of I/O completion timing, so every rank
+				// skips identically.
+				return true
+			}
+			if err := f.ticket.Wait(); err != nil {
+				panic(fmt.Errorf("core: prefetched read %s: %w", ps.p.Name, err))
+			}
+			shard = make([]tensor.Half, ps.shardLen)
+			tensor.HalfFromBytes(shard, f.buf[:ps.region.Size])
+			e.pinned.Release(f.buf[:e.cfg.PinnedBufBytes])
+			ps.inflight = nil
+			if e.prefetch != nil {
+				e.prefetch.consumed()
+			}
+			e.stats.PrefetchHits++ // the NVMe read was consumed a stage early
+		} else {
+			shard = ps.hostShard
+		}
+		fullH := make([]tensor.Half, ps.shardLen*dp)
+		tk := e.c.AllGatherHalfAsync(fullH, shard)
+		ps.commInflight = &inflightGather{ticket: tk, fullH: fullH, shard: shard}
+		cp.inflight = append(cp.inflight, ps)
+		cp.outstanding++
+		e.stats.CommPrefetchIssued++
+		return true
+	})
+}
+
+// endStep drains allgathers the step never consumed. The collectives have
+// been issued on every rank (the trace is identical rank to rank), so the
+// tickets always complete.
+func (cp *commPrefetcher) endStep() {
+	for _, ps := range cp.inflight {
+		if ps.commInflight != nil {
+			ps.commInflight.ticket.Wait()
+			ps.commInflight = nil
+		}
+	}
+	cp.inflight = cp.inflight[:0]
+	cp.outstanding = 0
+}
+
+// beginOverlapStep resets the shared trace for one micro-batch.
+func (e *InfinityEngine) beginOverlapStep() {
+	if e.trace != nil {
+		e.trace.BeginStep()
+	}
+}
+
+// endOverlapStep drains both prefetch stages and this micro-batch's async
+// reduce-scatters (bounding retained gradient buffers to one micro-batch),
+// then finishes the trace step (arming speculation, or scheduling a relearn
+// after divergence).
+func (e *InfinityEngine) endOverlapStep() {
+	if e.commPrefetch != nil {
+		e.commPrefetch.endStep()
+	}
+	if e.prefetch != nil {
+		e.prefetch.endStep()
+	}
+	if e.trace != nil {
+		e.trace.EndStep()
+	}
+	e.drainReduces()
+}
+
+// drainReduces waits out the asynchronously launched reduce-scatters via
+// the shared issue-order fold (internal/overlap.Drain), accumulating into
+// the fp32 gradient shards exactly as the synchronous path would. Called at
+// every micro-batch boundary and again as the barrier before the overflow
+// check.
+func (e *InfinityEngine) drainReduces() {
+	e.pendingReduces = overlap.Drain(e.pendingReduces, func(ps *pstate, gs []float32) {
+		if acc := ps.gradShard; acc != nil {
+			e.rt.Backend().Axpy(1, gs, acc) // micro-batch accumulation
+		} else {
+			ps.gradShard = gs
+		}
+	})
+}

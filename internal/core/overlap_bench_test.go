@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+	"repro/internal/zero"
+)
+
+// BenchmarkOverlapStep compares one training step with the collectives
+// fully synchronous against the overlap-centric configuration (gather
+// prefetch + async reduce-scatter), for both the stage-3 engine and the
+// infinity engine. Synchronous collectives run all ranks in lockstep — every
+// module boundary is a rendezvous stall — while overlap lets rank
+// goroutines drift by up to PrefetchDepth gathers, which is the real-engine
+// counterpart of the simulator's Fig. 6d overlap ablation. At small batch
+// (communication-dominated steps) on a multi-core host the overlap
+// configuration should win; it must never lose meaningfully.
+func BenchmarkOverlapStep(b *testing.B) {
+	mcfg := model.Config{Vocab: 32, Hidden: 32, Heads: 4, Seq: 12, Layers: 4}
+	const ranks, batch = 4, 1
+	tokens, targets := makeBatches(mcfg, 1, ranks, batch)
+
+	b.Run("engine=z3/overlap=off", func(b *testing.B) {
+		benchZ3(b, mcfg, zero.Config{LossScale: 64, Seed: 3}, tokens, targets, batch)
+	})
+	b.Run("engine=z3/overlap=on", func(b *testing.B) {
+		benchZ3(b, mcfg, zero.Config{LossScale: 64, Seed: 3, PrefetchDepth: 3, Overlap: true},
+			tokens, targets, batch)
+	})
+	for _, place := range []zero.Placement{zero.OnCPU, zero.OnNVMe} {
+		cfg := Config{Params: place, Optimizer: place, LossScale: 64, Seed: 3}
+		b.Run(fmt.Sprintf("engine=infinity-%s/overlap=off", place), func(b *testing.B) {
+			benchInfinity(b, mcfg, cfg, tokens, targets, batch)
+		})
+		ocfg := cfg
+		ocfg.PrefetchDepth = 3
+		ocfg.Overlap = true
+		b.Run(fmt.Sprintf("engine=infinity-%s/overlap=on", place), func(b *testing.B) {
+			benchInfinity(b, mcfg, ocfg, tokens, targets, batch)
+		})
+	}
+}
+
+func benchZ3(b *testing.B, mcfg model.Config, cfg zero.Config, tokens, targets [][][]int, batch int) {
+	b.ReportAllocs()
+	comm.Run(4, func(c *comm.Comm) {
+		g := model.MustGPT(mcfg)
+		e, err := zero.NewZ3Engine(cfg, c, g)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			e.Step(tokens[0][c.Rank()], targets[0][c.Rank()], batch)
+		}
+	})
+}
+
+func benchInfinity(b *testing.B, mcfg model.Config, cfg Config, tokens, targets [][][]int, batch int) {
+	b.ReportAllocs()
+	comm.Run(4, func(c *comm.Comm) {
+		g := model.MustGPT(mcfg)
+		e, err := NewInfinityEngine(cfg, c, g)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer e.Close()
+		for i := 0; i < b.N; i++ {
+			if _, serr := e.Step(tokens[0][c.Rank()], targets[0][c.Rank()], batch); serr != nil {
+				b.Error(serr)
+				return
+			}
+		}
+	})
+}

@@ -1,99 +1,69 @@
 package core
 
-import "repro/internal/tensor"
-
-// prefetcher is the overlap-centric design's dynamic prefetcher (paper Sec.
-// 6.2): during the first iteration it traces the sequence of parameter
-// gathers (the operator sequence); in subsequent iterations it issues
-// asynchronous NVMe reads for the shards the next operators will need while
-// the current operator executes, so the nc-transfer of parameter i+k
-// overlaps the compute of parameter i. If the operator sequence changes
-// (dynamic control flow), the trace is re-learned lazily: unmatched gathers
-// fall back to synchronous reads and are appended to the new trace.
+// prefetcher is the NVMe half of the overlap-centric design (paper Sec.
+// 6.2): driven by the engine's shared gather trace (internal/overlap), it
+// issues asynchronous NVMe reads for the shards the next operators will
+// need while the current operator executes, so the nc-transfer of parameter
+// i+k overlaps the compute of parameter i. Learning and divergence handling
+// (mid-step relearn) live in the shared trace; this type only manages the
+// pinned-buffer budget and the in-flight reads. A speculative read is
+// consumed either by the gather itself (shardHalf) or by the comm
+// prefetcher, which allgathers the freshly read shard ahead of time.
 type prefetcher struct {
 	e     *InfinityEngine
 	depth int
 
-	trace   []*pstate
-	tracing bool
-	pos     int
 	// outstanding counts speculative reads holding pinned buffers. It must
 	// stay strictly below the pinned pool size or a synchronous fetch could
 	// starve (the buffer-budget invariant enforced in issue()).
 	outstanding int
+	// inflight lists pstates whose speculative reads may still be pending,
+	// for the end-of-step drain. Consumed entries have ps.inflight == nil
+	// and are skipped.
+	inflight []*pstate
 }
 
 func newPrefetcher(e *InfinityEngine, depth int) *prefetcher {
-	return &prefetcher{e: e, depth: depth, tracing: true}
+	return &prefetcher{e: e, depth: depth}
 }
 
-// beginStep resets the trace cursor for a new iteration.
-func (pf *prefetcher) beginStep() {
-	pf.pos = 0
-	if pf.tracing {
-		pf.trace = pf.trace[:0]
-	}
-}
-
-// endStep finishes the learning iteration and drops any unconsumed
-// speculative fetches.
+// endStep drops any speculative fetches the step never consumed.
 func (pf *prefetcher) endStep() {
-	pf.tracing = false
-	for _, ps := range pf.trace {
+	for _, ps := range pf.inflight {
 		if ps.inflight != nil {
-			// Drain speculative reads that the step never consumed.
 			_ = ps.inflight.ticket.Wait()
 			pf.e.pinned.Release(ps.inflight.buf[:pf.e.cfg.PinnedBufBytes])
 			ps.inflight = nil
-			pf.outstanding--
 		}
 	}
+	pf.inflight = pf.inflight[:0]
+	pf.outstanding = 0
 }
 
-// consumed notes that a gather claimed an in-flight buffer.
+// consumed notes that a gather (or the comm prefetcher) claimed an
+// in-flight buffer.
 func (pf *prefetcher) consumed() { pf.outstanding-- }
 
-// record appends to the trace during the learning iteration.
-func (pf *prefetcher) record(ps *pstate) {
-	if pf.tracing {
-		pf.trace = append(pf.trace, ps)
-	}
-}
-
-// advanceTo aligns the cursor with the gather that is about to happen.
-func (pf *prefetcher) advanceTo(ps *pstate) {
-	if pf.tracing {
-		return
-	}
-	for i := pf.pos; i < len(pf.trace) && i < pf.pos+2*pf.depth+4; i++ {
-		if pf.trace[i] == ps {
-			pf.pos = i + 1
-			return
-		}
-	}
-	// Sequence diverged from the trace: relearn next step.
-	pf.tracing = true
-}
-
-// issue starts asynchronous reads for the next depth upcoming shards.
+// issue starts asynchronous reads for the next depth upcoming shards. All
+// decisions are pure functions of the trace and the engine's own
+// consumption sequence, never of I/O timing.
 func (pf *prefetcher) issue() {
-	if pf.tracing {
-		return
-	}
-	for i := pf.pos; i < len(pf.trace) && pf.outstanding < pf.depth; i++ {
-		ps := pf.trace[i]
-		if ps.inflight != nil || ps.p.Materialized() {
-			continue
+	pf.e.trace.Each(func(ps *pstate) bool {
+		if pf.outstanding >= pf.depth {
+			return false
+		}
+		if ps.inflight != nil || ps.commInflight != nil || ps.p.Materialized() {
+			return true
 		}
 		buf, ok := pf.e.pinned.TryAcquire()
 		if !ok {
-			return // pool exhausted: back-pressure, stop speculating
+			return false // pool exhausted: back-pressure, stop speculating
 		}
 		t := pf.e.io.ReadRegion(buf[:ps.region.Size], ps.region)
-		ps.inflight = &inflightFetch{ticket: t, buf: buf}
+		ps.inflight = &inflightFetch{ticket: t, buf: buf, born: pf.e.stats.Gathers}
+		pf.inflight = append(pf.inflight, ps)
 		pf.e.stats.PrefetchIssued++
 		pf.outstanding++
-	}
+		return true
+	})
 }
-
-var _ = tensor.HalfBytes // keep import if unused in some builds

@@ -52,8 +52,13 @@ func trainLosses(engine string, ranks, steps int) ([]float64, error) {
 				return
 			}
 			step = func(tok, tgt []int) (zero.StepResult, error) { return e.Step(tok, tgt, 2), nil }
-		case "zero3":
-			e, err := zero.NewZ3Engine(zero.Config{LossScale: 256, Seed: 42, Backend: backend}, c, g)
+		case "zero3", "zero3-overlap":
+			zcfg := zero.Config{LossScale: 256, Seed: 42, Backend: backend}
+			if engine == "zero3-overlap" {
+				zcfg.PrefetchDepth = overlapDepth
+				zcfg.Overlap = true
+			}
+			e, err := zero.NewZ3Engine(zcfg, c, g)
 			if err != nil {
 				mu.Lock()
 				firstErr = err
@@ -68,6 +73,10 @@ func trainLosses(engine string, ranks, steps int) ([]float64, error) {
 			}
 			if engine == "infinity-nvme-ckpt" {
 				cfg.OffloadActivations = true
+			}
+			if engine == "infinity-overlap" {
+				cfg.PrefetchDepth = overlapDepth
+				cfg.Overlap = true
 			}
 			e, err := core.NewInfinityEngine(cfg, c, g)
 			if err != nil {
@@ -114,6 +123,9 @@ func init() {
 			}
 			engines := []string{"zero1", "zero2", "zero-offload", "zero3",
 				"infinity-cpu", "infinity-nvme", "infinity-nvme-ckpt"}
+			if overlapEnabled {
+				engines = append(engines, "zero3-overlap", "infinity-overlap")
+			}
 			t := newTable(w)
 			t.row("engine", "loss[0]", "loss[last]", "vs DDP")
 			t.row("ddp", fmt.Sprintf("%.9f", ref[0]), fmt.Sprintf("%.9f", ref[len(ref)-1]), "reference")

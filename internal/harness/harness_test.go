@@ -11,7 +11,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{
 		"equiv", "fig1", "fig2a", "fig2b", "fig3a", "fig3b", "fig3c",
 		"fig5a", "fig5b", "fig5c", "fig6a", "fig6b-analytic", "fig6b-functional",
-		"fig6c", "fig6d", "fig6e", "nvme-bw", "tab1", "tab2", "tab3",
+		"fig6c", "fig6d", "fig6e", "nvme-bw", "overlap", "tab1", "tab2", "tab3",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -60,7 +60,7 @@ func TestAnalyticAndSimExperimentsProduceOutput(t *testing.T) {
 // The functional experiments are slower; run them too (they double as
 // integration tests across comm+model+zero+core+nvme).
 func TestFunctionalExperiments(t *testing.T) {
-	for _, id := range []string{"equiv", "fig6b-functional", "nvme-bw"} {
+	for _, id := range []string{"equiv", "fig6b-functional", "nvme-bw", "overlap"} {
 		e, _ := ByID(id)
 		var buf bytes.Buffer
 		if err := Run(&buf, e); err != nil {

@@ -1,10 +1,14 @@
 package nvme
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrClosed is reported by tickets for requests submitted after Close.
+var ErrClosed = errors.New("nvme: engine closed")
 
 // Op distinguishes read from write requests.
 type Op int
@@ -69,7 +73,13 @@ type Engine struct {
 	chunkSize int
 	queue     chan subReq
 	wg        sync.WaitGroup
-	closed    atomic.Bool
+
+	// mu serializes shutdown against submission: submitters hold the read
+	// side across the closed-check, pending.Add and queue sends, and Close
+	// flips closed under the write side. This ensures no send can land on a
+	// closed channel and no pending.Add can race the final pending.Wait.
+	mu     sync.RWMutex
+	closed bool
 
 	pending sync.WaitGroup // all in-flight tickets, for Flush
 
@@ -135,12 +145,16 @@ func (e *Engine) worker() {
 	}
 }
 
-// submit splits the request into chunks and enqueues them.
+// submit splits the request into chunks and enqueues them. A request that
+// races or follows Close is not enqueued; its ticket reports ErrClosed.
 func (e *Engine) submit(op Op, buf []byte, off int64) *Ticket {
-	if e.closed.Load() {
-		panic("nvme: submit on closed engine")
-	}
 	t := &Ticket{}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		t.setErr(ErrClosed)
+		return t
+	}
 	n := len(buf)
 	chunks := (n + e.chunkSize - 1) / e.chunkSize
 	if chunks == 0 {
@@ -204,10 +218,18 @@ func (e *Engine) Stats() Stats {
 }
 
 // Close drains the queue and stops the workers. The store is not closed.
+// Requests submitted concurrently with (or after) Close either complete
+// normally or report ErrClosed — never a send on a closed channel.
 func (e *Engine) Close() {
-	if e.closed.Swap(true) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
 		return
 	}
+	e.closed = true
+	e.mu.Unlock()
+	// No submitter can enqueue or pending.Add past this point, so the drain
+	// below observes a monotonically shrinking request set.
 	e.pending.Wait()
 	close(e.queue)
 	e.wg.Wait()

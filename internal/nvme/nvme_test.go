@@ -305,3 +305,55 @@ func BenchmarkEngineParallelVsSerialWrite(b *testing.B) {
 		}
 	})
 }
+
+// Regression test for the submit/Close shutdown race: submit used to check a
+// closed flag and then send on the queue, which a concurrent Close could
+// close in between (panic: send on closed channel), and a late pending.Add
+// could land after Close's pending.Wait had started. Under -race this test
+// exercised both windows; now every racing request must either complete or
+// report ErrClosed, with no panic.
+func TestSubmitCloseRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		e := NewEngine(NewMemStore(1<<20), Options{Workers: 2, ChunkSize: 256, QueueDepth: 2})
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				buf := make([]byte, 4096) // 16 chunks per request
+				off := int64(g) * 4096
+				for i := 0; i < 50; i++ {
+					tk := e.WriteAsync(buf, off)
+					if err := tk.Wait(); err != nil {
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("unexpected error: %v", err)
+						}
+						return
+					}
+				}
+			}(g)
+		}
+		close(start)
+		e.Close() // races the submitters
+		wg.Wait()
+	}
+}
+
+// Submitting after Close returns a ticket reporting ErrClosed rather than
+// panicking, so drain paths that race shutdown stay recoverable.
+func TestSubmitAfterCloseReportsErrClosed(t *testing.T) {
+	e := NewEngine(NewMemStore(4096), Options{Workers: 1})
+	e.Close()
+	if err := e.ReadAsync(make([]byte, 16), 0).Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close: err = %v, want ErrClosed", err)
+	}
+	if err := e.Write(make([]byte, 16), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close: err = %v, want ErrClosed", err)
+	}
+	// Zero-length requests honor the contract too.
+	if err := e.ReadAsync(nil, 0).Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("empty read after close: err = %v, want ErrClosed", err)
+	}
+}

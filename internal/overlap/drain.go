@@ -1,0 +1,35 @@
+package overlap
+
+import "repro/internal/tensor"
+
+// Waiter is the completion handle of an asynchronously launched collective.
+type Waiter interface{ Wait() }
+
+// Pending is one asynchronously launched gradient reduce-scatter: the
+// ticket, the binary16 destination shard, and the gradient source buffer
+// kept alive until the ticket completes.
+type Pending[K comparable] struct {
+	Key    K
+	Ticket Waiter
+	ShardH []tensor.Half
+	GH     []tensor.Half
+}
+
+// Drain waits out pending reduces in issue order, decodes each shard to
+// fp32 and hands it to fold. Issue order is exactly the synchronous
+// engines' accumulation sequence, which is what keeps overlapped
+// trajectories bit-identical — this is the single canonical implementation
+// of that ordering, shared by the stage-3 and infinity engines. Entries are
+// zeroed as they are folded (releasing the gradient buffers) and the
+// emptied, reusable slice is returned.
+func Drain[K comparable](pending []Pending[K], fold func(key K, gs []float32)) []Pending[K] {
+	for i := range pending {
+		p := &pending[i]
+		p.Ticket.Wait()
+		gs := make([]float32, len(p.ShardH))
+		tensor.DecodeHalf(gs, p.ShardH)
+		fold(p.Key, gs)
+		*p = Pending[K]{}
+	}
+	return pending[:0]
+}

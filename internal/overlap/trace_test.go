@@ -1,0 +1,138 @@
+package overlap
+
+import (
+	"reflect"
+	"testing"
+)
+
+// runStep feeds one iteration's observed sequence through the trace and
+// returns, for each observation, the speculation candidates the prefetcher
+// would have seen right after it (up to window entries).
+func runStep(t *Trace[string], obs []string, window int) [][]string {
+	t.BeginStep()
+	var out [][]string
+	for _, k := range obs {
+		t.Observe(k)
+		var up []string
+		t.Each(func(k string) bool {
+			if len(up) >= window {
+				return false
+			}
+			up = append(up, k)
+			return true
+		})
+		out = append(out, up)
+	}
+	t.EndStep()
+	return out
+}
+
+func TestLearnThenSpeculate(t *testing.T) {
+	tr := New[string](2)
+	seq := []string{"a", "b", "c", "d"}
+
+	// Step 1 learns; no speculation during learning.
+	cands := runStep(tr, seq, 2)
+	for i, c := range cands {
+		if len(c) != 0 {
+			t.Fatalf("speculated during learning at obs %d: %v", i, c)
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("trace len = %d, want 4", tr.Len())
+	}
+
+	// Step 2 speculates: after observing "a" the upcoming entries are b, c.
+	cands = runStep(tr, seq, 2)
+	want := [][]string{{"b", "c"}, {"c", "d"}, {"d"}, nil}
+	if !reflect.DeepEqual(cands, want) {
+		t.Fatalf("speculation candidates = %v, want %v", cands, want)
+	}
+}
+
+// The mid-step relearn regression (internal/core/prefetch.go divergence
+// corruption): when the operator sequence diverges mid-step, the rest of the
+// step must neither speculate nor append onto the stale trace. The next step
+// is a learning step that records a complete fresh sequence, and the step
+// after that speculates the new sequence — not a garbage splice of stale
+// prefix + duplicate suffix.
+func TestMidStepDivergenceRelearnsCleanly(t *testing.T) {
+	tr := New[string](2)
+	old := []string{"a", "b", "c", "d"}
+	diverged := []string{"a", "x", "y", "z"}
+
+	runStep(tr, old, 4) // learn
+	// Step 2 diverges at the second observation.
+	tr.BeginStep()
+	tr.Observe("a")
+	if !tr.Speculating() {
+		t.Fatal("not speculating after matching observation")
+	}
+	tr.Observe("x") // not in trace: divergence
+	if tr.Speculating() {
+		t.Fatal("still speculating after divergence")
+	}
+	tr.Observe("y")
+	tr.Observe("z")
+	if tr.Len() != len(old) {
+		t.Fatalf("diverged step mutated the trace: len %d, want %d", tr.Len(), len(old))
+	}
+	tr.EndStep()
+
+	// Step 3 relearns from scratch.
+	if !tr.Learning() {
+		t.Fatal("next step after divergence is not a learning step")
+	}
+	runStep(tr, diverged, 4)
+	if tr.Len() != len(diverged) {
+		t.Fatalf("relearned trace len = %d, want %d", tr.Len(), len(diverged))
+	}
+
+	// Step 4 speculates the new sequence exactly.
+	cands := runStep(tr, diverged, 4)
+	want := [][]string{{"x", "y", "z"}, {"y", "z"}, {"z"}, nil}
+	if !reflect.DeepEqual(cands, want) {
+		t.Fatalf("post-relearn candidates = %v, want %v (stale prefix leaked?)", cands, want)
+	}
+}
+
+func TestOutOfWindowDivergence(t *testing.T) {
+	tr := New[string](1) // window = 2*1+4 = 6
+	long := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i"}
+	runStep(tr, long, 1)
+
+	// Jumping far ahead (beyond the search window) counts as divergence.
+	tr.BeginStep()
+	tr.Observe("a")
+	tr.Observe("i") // 7 entries ahead of the cursor
+	if tr.Speculating() {
+		t.Fatal("out-of-window jump did not stop speculation")
+	}
+	tr.EndStep()
+	if !tr.Learning() {
+		t.Fatal("out-of-window jump did not schedule a relearn")
+	}
+}
+
+func TestSkippedEntriesWithinWindowAreTolerated(t *testing.T) {
+	tr := New[string](2)
+	runStep(tr, []string{"a", "b", "c", "d"}, 2)
+
+	// "b" vanishing (e.g. a materialized param needing no gather) is fine as
+	// long as the next observation is within the window.
+	tr.BeginStep()
+	tr.Observe("a")
+	tr.Observe("c")
+	if !tr.Speculating() {
+		t.Fatal("within-window skip treated as divergence")
+	}
+	var up []string
+	tr.Each(func(k string) bool { up = append(up, k); return true })
+	if !reflect.DeepEqual(up, []string{"d"}) {
+		t.Fatalf("cursor wrong after skip: upcoming = %v", up)
+	}
+	tr.EndStep()
+	if tr.Learning() {
+		t.Fatal("clean step scheduled a relearn")
+	}
+}

@@ -1,0 +1,108 @@
+package zero
+
+import (
+	"repro/internal/comm"
+	"repro/internal/module"
+	"repro/internal/overlap"
+	"repro/internal/tensor"
+)
+
+// This file is the stage-3 half of the overlap-centric design (paper Sec.
+// 6.2): a gather-trace-driven parameter prefetcher that issues the next k
+// parameters' allgathers during the current module's compute, and
+// asynchronous gradient reduce-scatters drained before the overflow check.
+// internal/core composes the same mechanism with its NVMe prefetcher.
+
+// inflightGather is one speculatively issued allgather. The source shard is
+// the engine's own (stable until the optimizer phase, which runs after the
+// drain), so only the destination needs to be carried.
+type inflightGather struct {
+	ticket *comm.Ticket
+	fullH  []tensor.Half
+}
+
+// gatherPrefetcher speculates parameter allgathers along the learned gather
+// trace. All decisions are pure functions of the observed gather sequence —
+// identical on every SPMD rank — so the asynchronously issued collectives
+// stay matched rank to rank (the property that makes speculation safe on
+// the sequence-numbered rendezvous substrate).
+type gatherPrefetcher struct {
+	e     *Z3Engine
+	depth int
+	trace *overlap.Trace[*module.Param]
+
+	outstanding int
+	inflight    map[*module.Param]*inflightGather
+}
+
+func newGatherPrefetcher(e *Z3Engine, depth int) *gatherPrefetcher {
+	return &gatherPrefetcher{
+		e:        e,
+		depth:    depth,
+		trace:    overlap.New[*module.Param](depth),
+		inflight: make(map[*module.Param]*inflightGather),
+	}
+}
+
+// claim hands back the speculative allgather for p, if one is in flight.
+func (pf *gatherPrefetcher) claim(p *module.Param) []tensor.Half {
+	f := pf.inflight[p]
+	if f == nil {
+		return nil
+	}
+	f.ticket.Wait()
+	delete(pf.inflight, p)
+	pf.outstanding--
+	pf.e.PrefetchHits++
+	return f.fullH
+}
+
+// issue launches allgathers for the next depth upcoming parameters.
+func (pf *gatherPrefetcher) issue() {
+	e := pf.e
+	dp := e.c.Size()
+	pf.trace.Each(func(p *module.Param) bool {
+		if pf.outstanding >= pf.depth {
+			return false
+		}
+		if p.Materialized() {
+			return true
+		}
+		if _, ok := pf.inflight[p]; ok {
+			return true
+		}
+		s := comm.ShardLen(p.Len(), dp)
+		fullH := make([]tensor.Half, s*dp)
+		tk := e.c.AllGatherHalfAsync(fullH, e.shard[p])
+		pf.inflight[p] = &inflightGather{ticket: tk, fullH: fullH}
+		pf.outstanding++
+		e.PrefetchIssued++
+		return true
+	})
+}
+
+// endStep drains unconsumed speculative gathers (every rank issued the same
+// collectives, so the tickets always complete) and finishes the trace step.
+func (pf *gatherPrefetcher) endStep() {
+	for p, f := range pf.inflight {
+		f.ticket.Wait()
+		delete(pf.inflight, p)
+	}
+	pf.outstanding = 0
+	pf.trace.EndStep()
+}
+
+// drainReduces waits out the asynchronous reduce-scatters via the shared
+// issue-order fold (internal/overlap.Drain), accumulating into the fp32
+// gradient shards exactly as the synchronous path would. Called at every
+// micro-batch boundary — bounding retained gradient buffers to one
+// micro-batch — and again as the barrier before the overflow check.
+func (e *Z3Engine) drainReduces() {
+	e.pendingReduces = overlap.Drain(e.pendingReduces, func(p *module.Param, gs []float32) {
+		if acc := e.gradShard[p]; acc != nil {
+			e.rt.Backend().Axpy(1, gs, acc) // micro-batch accumulation
+		} else {
+			e.gradShard[p] = gs
+		}
+	})
+}

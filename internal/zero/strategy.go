@@ -114,6 +114,19 @@ type Config struct {
 	// ClipNorm, when positive, clips the global (all-parameter, all-rank)
 	// gradient L2 norm to this value before the optimizer step.
 	ClipNorm float64
+	// PrefetchDepth sizes the stage-3 gather prefetcher (paper Sec. 6.2):
+	// with Overlap set, the allgathers for the next PrefetchDepth
+	// parameters in the learned gather trace are issued asynchronously
+	// while the current module computes. 0 disables prefetch. Results are
+	// bit-identical.
+	PrefetchDepth int
+	// Overlap enables asynchronous collectives in the stage-3 engine:
+	// gradient reduce-scatters launch asynchronously from the backward
+	// hooks (drained at micro-batch boundaries and before the overflow
+	// check in StepAccum), and PrefetchDepth > 0 additionally speculates
+	// parameter allgathers. Results are bit-identical to the synchronous
+	// path.
+	Overlap bool
 	// Backend is the compute backend kernels dispatch through (nil selects
 	// the serial reference backend). Every backend is bit-identical, so
 	// this is purely a speed knob.

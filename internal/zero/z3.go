@@ -7,6 +7,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/module"
 	"repro/internal/optim"
+	"repro/internal/overlap"
 	"repro/internal/tensor"
 )
 
@@ -47,9 +48,17 @@ type Z3Engine struct {
 	external map[module.Module][]*module.Param
 	active   []module.Module // current hook scope stack
 
+	// Overlap-centric pieces (paper Sec. 6.2), active when the config sets
+	// Overlap (+ PrefetchDepth for the gather prefetcher).
+	prefetch       *gatherPrefetcher
+	pendingReduces []overlap.Pending[*module.Param]
+
 	// Observability.
 	Gathers         int      // allgather operations issued
 	OnDemandGathers int      // gathers triggered by external-parameter access
+	PrefetchIssued  int      // speculative allgathers issued
+	PrefetchHits    int      // gathers served by a speculative allgather
+	AsyncReduces    int      // reduce-scatters launched asynchronously
 	GatherTrace     []string // module names in first-iteration gather order
 	traceDone       bool
 }
@@ -102,6 +111,9 @@ func NewZ3Engine(cfg Config, c *comm.Comm, g *model.GPT) (*Z3Engine, error) {
 		e.adam[p] = optim.NewAdam(s, cfg.Adam).WithBackend(e.rt.Backend())
 		p.SetOnDemand(e.onDemand)
 	}
+	if cfg.Overlap && cfg.PrefetchDepth > 0 {
+		e.prefetch = newGatherPrefetcher(e, cfg.PrefetchDepth)
+	}
 	return e, nil
 }
 
@@ -119,15 +131,27 @@ func (e *Z3Engine) LossScale() float64 { return e.scaler.Scale }
 // and by internal/core).
 func (e *Z3Engine) ShardFor(p *module.Param) []tensor.Half { return e.shard[p] }
 
-// gather materializes p's full fp16 values from all ranks' shards.
+// gather materializes p's full fp16 values from all ranks' shards. With
+// prefetch enabled, a speculatively issued allgather is claimed instead of
+// stalling on a fresh one, and allgathers for the next trace entries are
+// issued before returning to compute.
 func (e *Z3Engine) gather(p *module.Param) {
 	if p.Materialized() {
 		return
 	}
+	if e.prefetch != nil {
+		e.prefetch.trace.Observe(p)
+	}
 	dp := e.c.Size()
 	s := comm.ShardLen(p.Len(), dp)
-	fullH := make([]tensor.Half, s*dp)
-	e.c.AllGatherHalf(fullH, e.shard[p])
+	var fullH []tensor.Half
+	if e.prefetch != nil {
+		fullH = e.prefetch.claim(p)
+	}
+	if fullH == nil {
+		fullH = make([]tensor.Half, s*dp)
+		e.c.AllGatherHalf(fullH, e.shard[p])
+	}
 	full := make([]float32, p.Len())
 	tensor.DecodeHalf(full, fullH[:p.Len()])
 	p.SetData(full)
@@ -138,6 +162,9 @@ func (e *Z3Engine) gather(p *module.Param) {
 			name = m.Name()
 		}
 		e.GatherTrace = append(e.GatherTrace, name+"/"+p.Name)
+	}
+	if e.prefetch != nil {
+		e.prefetch.issue()
 	}
 }
 
@@ -208,14 +235,23 @@ func (e *Z3Engine) PostBackward(m module.Module) {
 			gh := make([]tensor.Half, padded)
 			tensor.EncodeHalf(gh[:n], p.Grad())
 			shardH := make([]tensor.Half, padded/dp)
-			e.c.ReduceScatterHalf(shardH, gh)
-			gs := make([]float32, len(shardH))
-			tensor.DecodeHalf(gs, shardH)
-			if acc := e.gradShard[p]; acc != nil {
-				// Gradient accumulation across micro-batches.
-				e.rt.Backend().Axpy(1, gs, acc)
+			if e.cfg.Overlap {
+				// Launch asynchronously and keep computing the rest of the
+				// backward pass; drained before the overflow check.
+				tk := e.c.ReduceScatterHalfAsync(shardH, gh)
+				e.pendingReduces = append(e.pendingReduces,
+					overlap.Pending[*module.Param]{Key: p, Ticket: tk, ShardH: shardH, GH: gh})
+				e.AsyncReduces++
 			} else {
-				e.gradShard[p] = gs
+				e.c.ReduceScatterHalf(shardH, gh)
+				gs := make([]float32, len(shardH))
+				tensor.DecodeHalf(gs, shardH)
+				if acc := e.gradShard[p]; acc != nil {
+					// Gradient accumulation across micro-batches.
+					e.rt.Backend().Axpy(1, gs, acc)
+				} else {
+					e.gradShard[p] = gs
+				}
 			}
 			p.ReleaseGrad()
 		}
@@ -261,11 +297,24 @@ func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 
 	var lossSum float64
 	for m := 0; m < micros; m++ {
+		if e.prefetch != nil {
+			e.prefetch.trace.BeginStep()
+		}
 		lossSum += e.g.ForwardLoss(e.rt, microTokens[m], microTargets[m], batchPerMicro)
 		e.g.BackwardLoss(e.rt, float32(scaleUsed))
+		if e.prefetch != nil {
+			e.prefetch.endStep()
+		}
+		// Fold this micro-batch's async reduce-scatters now (issue order),
+		// so retained gradient buffers never exceed one micro-batch.
+		e.drainReduces()
 	}
 	globalLoss := e.c.AllReduceScalar(lossSum/float64(micros)) / float64(dp)
 	e.traceDone = true
+
+	// Drain barrier: every asynchronously launched reduce-scatter must land
+	// before gradients are inspected for overflow.
+	e.drainReduces()
 
 	overflow := false
 	for _, p := range e.params {

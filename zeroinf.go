@@ -103,10 +103,20 @@ type EngineConfig struct {
 	Params             Placement
 	Optimizer          Placement
 	OffloadActivations bool
-	PrefetchDepth      int
-	NVMeDir            string // file-backed NVMe store directory ("" = in-memory)
-	GPUMemory          int64  // optional GPU working-set budget in bytes
-	PreFragment        int64  // optional Fig. 6b fragmentation chunk
+	// PrefetchDepth is the overlap-centric read-ahead window: how many
+	// upcoming parameters (per the learned gather trace) have their
+	// allgathers — and, on NVMe, their shard reads — issued speculatively
+	// during the current operator's compute. Used by both the ZeRO-3 and
+	// ZeRO-Infinity engines; 0 disables prefetch.
+	PrefetchDepth int
+	// Overlap launches gradient reduce-scatters asynchronously from the
+	// backward hooks (drained before the overflow check) and, together with
+	// PrefetchDepth, enables asynchronous parameter allgathers. Results are
+	// bit-identical to the synchronous engines; only wall-clock changes.
+	Overlap     bool
+	NVMeDir     string // file-backed NVMe store directory ("" = in-memory)
+	GPUMemory   int64  // optional GPU working-set budget in bytes
+	PreFragment int64  // optional Fig. 6b fragmentation chunk
 
 	Adam             AdamConfig
 	LossScale        float64
@@ -149,6 +159,7 @@ func NewEngine(cfg EngineConfig, c *Comm, g *GPT) (Engine, error) {
 			Optimizer:          cfg.Optimizer,
 			OffloadActivations: cfg.OffloadActivations,
 			PrefetchDepth:      cfg.PrefetchDepth,
+			Overlap:            cfg.Overlap,
 			Adam:               cfg.Adam,
 			LossScale:          cfg.LossScale,
 			DynamicLossScale:   cfg.DynamicLossScale,
@@ -172,6 +183,8 @@ func NewEngine(cfg EngineConfig, c *Comm, g *GPT) (Engine, error) {
 		Seed:             cfg.Seed,
 		OffloadOptimizer: cfg.OffloadOptimizer,
 		ClipNorm:         cfg.ClipNorm,
+		PrefetchDepth:    cfg.PrefetchDepth,
+		Overlap:          cfg.Overlap,
 		Backend:          be,
 	}
 	if cfg.Stage == Stage3 {
@@ -209,6 +222,18 @@ func (e z3Engine) StepAccum(mt, mg [][]int, batch int) (StepResult, error) {
 	return e.Z3Engine.StepAccum(mt, mg, batch), nil
 }
 func (e z3Engine) Close() {}
+
+// Stats maps the stage-3 engine's overlap counters into the shared stats
+// shape: the comm-stage fields are populated, NVMe fields stay zero.
+func (e z3Engine) Stats() InfinityStats {
+	return InfinityStats{
+		Gathers:            e.Gathers,
+		OnDemandGathers:    e.OnDemandGathers,
+		CommPrefetchIssued: e.PrefetchIssued,
+		CommPrefetchHits:   e.PrefetchHits,
+		AsyncReduces:       e.AsyncReduces,
+	}
+}
 
 type infinityEngine struct{ *core.InfinityEngine }
 
@@ -302,8 +327,8 @@ func Train(opts TrainOptions) (TrainResult, error) {
 		if c.Rank() == 0 {
 			mu.Lock()
 			res.Losses = losses
-			if ie, ok := e.(infinityEngine); ok {
-				res.Stats = ie.Stats()
+			if se, ok := e.(interface{ Stats() InfinityStats }); ok {
+				res.Stats = se.Stats()
 			}
 			mu.Unlock()
 		}
