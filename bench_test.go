@@ -5,6 +5,7 @@
 package zeroinf_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -50,7 +51,31 @@ func BenchmarkTab3FutureBandwidth(b *testing.B)     { benchExperiment(b, "tab3")
 // Functional verification artifacts.
 
 func BenchmarkEquivAllEngines(b *testing.B) { benchExperiment(b, "equiv") }
+func BenchmarkFig6bEngine(b *testing.B)     { benchExperiment(b, "fig6b-engine") }
 func BenchmarkNVMeBandwidth(b *testing.B)   { benchExperiment(b, "nvme-bw") }
+
+// Memory-centric tiling on/off: same model function shape, dense vs tiled
+// operators on the ZeRO-Infinity engine. Tiling trades a lower max live
+// parameter working set for more (smaller) gathers per step.
+func BenchmarkTilingStep(b *testing.B) {
+	for _, tiles := range []int{1, 4} {
+		b.Run(fmt.Sprintf("tiles=%d", tiles), func(b *testing.B) {
+			mcfg := zeroinf.ModelConfig{Vocab: 16, Hidden: 32, Heads: 2, Seq: 8, Layers: 2, Tiling: tiles}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := zeroinf.Train(zeroinf.TrainOptions{
+				Model: mcfg,
+				Engine: zeroinf.EngineConfig{
+					Infinity: true, Params: zeroinf.OnCPU, Optimizer: zeroinf.OnCPU,
+					LossScale: 64, Seed: 1,
+				},
+				Ranks: 4, Steps: b.N, BatchPerRank: 2,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
 
 // End-to-end training step per engine (4 ranks, tiny model): measures the
 // real functional stack — goroutine collectives, fp16 round-trips, hooks,

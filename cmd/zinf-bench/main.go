@@ -25,6 +25,8 @@ func main() {
 		"overlap read-ahead depth for the overlap/equiv experiments (0 = off)")
 	overlap := flag.Bool("overlap", true,
 		"include the async-collective overlap engines in the functional experiments")
+	tiling := flag.Int("tiling", 4,
+		"memory-centric tiling factor for the fig6b-engine experiment (must divide the experiment model's hidden and vocab sizes; values below 2 fall back to 4 — the experiment always contrasts dense vs tiled)")
 	flag.Parse()
 
 	be, err := tensor.ByName(*backend)
@@ -34,6 +36,7 @@ func main() {
 	}
 	harness.SetBackend(be)
 	harness.SetOverlap(*prefetch, *overlap)
+	harness.SetTiling(*tiling)
 
 	if *run == "" {
 		fmt.Println("Available experiments (use -run <id> or -run all):")

@@ -32,18 +32,20 @@ func parsePlacement(s string) (zeroinf.Placement, error) {
 
 func main() {
 	var (
-		engine   = flag.String("engine", "infinity", "ddp | zero1 | zero2 | zero-offload | zero3 | infinity")
-		params   = flag.String("params", "cpu", "infinity fp16 parameter placement: gpu|cpu|nvme")
-		opt      = flag.String("opt", "cpu", "infinity optimizer placement: gpu|cpu|nvme")
-		nvmeDir  = flag.String("nvme-dir", "", "directory for the file-backed NVMe store")
-		ranks    = flag.Int("ranks", 4, "data-parallel ranks (goroutine GPUs)")
-		steps    = flag.Int("steps", 20, "training steps")
-		batch    = flag.Int("batch", 2, "batch per rank")
-		vocab    = flag.Int("vocab", 64, "vocabulary size")
-		hidden   = flag.Int("hidden", 64, "hidden dimension")
-		layers   = flag.Int("layers", 2, "transformer layers")
-		heads    = flag.Int("heads", 4, "attention heads")
-		seq      = flag.Int("seq", 16, "sequence length")
+		engine  = flag.String("engine", "infinity", "ddp | zero1 | zero2 | zero-offload | zero3 | infinity")
+		params  = flag.String("params", "cpu", "infinity fp16 parameter placement: gpu|cpu|nvme")
+		opt     = flag.String("opt", "cpu", "infinity optimizer placement: gpu|cpu|nvme")
+		nvmeDir = flag.String("nvme-dir", "", "directory for the file-backed NVMe store")
+		ranks   = flag.Int("ranks", 4, "data-parallel ranks (goroutine GPUs)")
+		steps   = flag.Int("steps", 20, "training steps")
+		batch   = flag.Int("batch", 2, "batch per rank")
+		vocab   = flag.Int("vocab", 64, "vocabulary size")
+		hidden  = flag.Int("hidden", 64, "hidden dimension")
+		layers  = flag.Int("layers", 2, "transformer layers")
+		heads   = flag.Int("heads", 4, "attention heads")
+		seq     = flag.Int("seq", 16, "sequence length")
+		tiling  = flag.Int("tiling", 1,
+			"memory-centric tiling factor: build qkv/proj/fc1/fc2 and the LM head as N-tile operators (must divide hidden and vocab; 1 = dense)")
 		ckpt     = flag.Bool("ckpt", false, "activation checkpointing")
 		offAct   = flag.Bool("offload-act", false, "offload activation checkpoints to CPU (infinity)")
 		scale    = flag.Float64("loss-scale", 1024, "initial loss scale")
@@ -62,6 +64,7 @@ func main() {
 	mcfg := zeroinf.ModelConfig{
 		Vocab: *vocab, Hidden: *hidden, Layers: *layers, Heads: *heads, Seq: *seq,
 		CheckpointActivations: *ckpt || *offAct,
+		Tiling:                *tiling,
 	}
 	ecfg := zeroinf.EngineConfig{LossScale: *scale, DynamicLossScale: true, Seed: *seed, ClipNorm: *clip, Backend: *backend,
 		PrefetchDepth: *prefetch, Overlap: *overlapF}
@@ -110,7 +113,14 @@ func main() {
 	}
 	if *engine == "infinity" || *engine == "zero3" {
 		s := res.Stats
-		fmt.Printf("\n%s engine: %d gathers (%d on-demand)\n", *engine, s.Gathers, s.OnDemandGathers)
+		// The two engines report different max-live semantics: zero3 a
+		// static largest-single-parameter bound, infinity a measured peak.
+		label := "peak live gathered params"
+		if *engine == "zero3" {
+			label = "largest gathered param (static bound)"
+		}
+		fmt.Printf("\n%s engine: %d gathers (%d on-demand), %s %s (tiling %d)\n",
+			*engine, s.Gathers, s.OnDemandGathers, label, mem.FormatBytes(s.MaxLiveParamBytes), *tiling)
 		fmt.Printf("overlap: allgather prefetch %d issued / %d hits, %d async reduce-scatters\n",
 			s.CommPrefetchIssued, s.CommPrefetchHits, s.AsyncReduces)
 	}

@@ -3,8 +3,11 @@
 // infinity offload engine, with bandwidth-centric partitioning, an
 // overlap-centric prefetcher driven by the traced operator sequence,
 // CPU offload of activation checkpoints, streamed NVMe optimizer steps
-// through reusable pinned buffers, and memory-centric tiling for operators
-// too large to materialize whole.
+// through reusable pinned buffers, and a budgeted (optionally
+// pre-fragmented) GPU allocator. Memory-centric tiling for operators too
+// large to materialize whole is a model-layer feature
+// (model.Config.Tiling); the engine sees tiles as ordinary parameters and
+// gathers, prefetches and releases them with no special-casing.
 //
 // Placement moves bytes, never values: every fp16/fp32 quantity round-trips
 // through staging buffers and storage exactly, so a ZeRO-Infinity run is
@@ -107,8 +110,12 @@ type Stats struct {
 	AsyncReduces       int
 	NVMeBytesRead      int64
 	NVMeBytesWritten   int64
-	PinnedBytes        int64
-	PinnedAcquires     int64
-	CkptBytesOffload   int64
-	GPUPeakBytes       int64
+	// MaxLiveParamBytes is the peak fp16 footprint of simultaneously
+	// materialized (gathered) parameters — the working-set contribution
+	// memory-centric tiling divides by the tile factor.
+	MaxLiveParamBytes int64
+	PinnedBytes       int64
+	PinnedAcquires    int64
+	CkptBytesOffload  int64
+	GPUPeakBytes      int64
 }

@@ -281,6 +281,7 @@ func (e *InfinityEngine) LossScale() float64 { return e.scaler.Scale }
 // Stats returns cumulative engine statistics.
 func (e *InfinityEngine) Stats() Stats {
 	s := e.stats
+	s.MaxLiveParamBytes = e.gpuT.Peak(mem.CatWorkingSet)
 	if e.io != nil {
 		io := e.io.Stats()
 		s.NVMeBytesRead = io.BytesRead
@@ -553,14 +554,11 @@ func (e *InfinityEngine) StepAccum(microTokens, microTargets [][]int, batchPerMi
 	// before gradients are inspected for overflow.
 	e.drainReduces()
 
-	overflow := false
+	shards := make([][]float32, 0, len(e.params))
 	for _, p := range e.params {
-		if e.rt.Backend().HasNaNOrInf(e.states[p].gradShard) {
-			overflow = true
-			break
-		}
+		shards = append(shards, e.states[p].gradShard)
 	}
-	if e.c.AllReduceMax(b2f(overflow)) > 0 {
+	if zero.GlobalOverflow(e.c, e.rt.Backend(), shards) {
 		e.scaler.Update(true)
 		for _, p := range e.params {
 			e.states[p].gradShard = nil
@@ -574,15 +572,9 @@ func (e *InfinityEngine) StepAccum(microTokens, microTargets [][]int, batchPerMi
 	for _, p := range e.params {
 		e.rt.Backend().Scale(inv, e.states[p].gradShard)
 	}
-	if e.cfg.ClipNorm > 0 {
-		var local float64
+	if f := zero.GlobalClipFactor(e.c, e.cfg.ClipNorm, shards); f != 1 {
 		for _, p := range e.params {
-			local += zero.SumSq(e.states[p].gradShard)
-		}
-		if f := zero.ClipFactor(e.c.AllReduceScalar(local), e.cfg.ClipNorm); f != 1 {
-			for _, p := range e.params {
-				e.rt.Backend().Scale(float32(f), e.states[p].gradShard)
-			}
+			e.rt.Backend().Scale(float32(f), e.states[p].gradShard)
 		}
 	}
 
@@ -604,13 +596,6 @@ func (e *InfinityEngine) StepAccum(microTokens, microTargets [][]int, batchPerMi
 	}
 	e.scaler.Update(false)
 	return zero.StepResult{Loss: globalLoss, LossScale: e.scaler.Scale}, nil
-}
-
-func b2f(b bool) float64 {
-	if b {
-		return 1
-	}
-	return 0
 }
 
 // LoadParams replaces the model weights — sharding each full vector and

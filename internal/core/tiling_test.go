@@ -2,100 +2,16 @@ package core
 
 import (
 	"errors"
-	"math"
+	"sync"
 	"testing"
 
+	"repro/internal/comm"
 	"repro/internal/mem"
 	"repro/internal/model"
 	"repro/internal/module"
 	"repro/internal/tensor"
+	"repro/internal/zero"
 )
-
-// Tiled and dense linear must be mathematically equivalent (paper Sec.
-// 5.1.3: "a mathematically equivalent sequence of smaller linear
-// operators").
-func TestTiledLinearMatchesDense(t *testing.T) {
-	const in, out, tiles, rows = 12, 24, 4, 5
-	tl := NewTiledLinear("tl", in, out, tiles, true, 0.2)
-	for _, p := range module.AllParams(tl) {
-		p.SetData(model.InitValues(p, 3))
-	}
-	w, b := tl.AssembleDense()
-
-	rt := module.NewRuntime(nil)
-	x := tensor.New(tensor.FP32, rows, in)
-	tensor.NewRNG(4).FillNormal(x.Float32s(), 1)
-
-	yTiled := rt.Forward(tl, x)
-
-	yDense := tensor.New(tensor.FP32, rows, out)
-	tensor.MatMul(yDense.Float32s(), x.Float32s(), w, rows, in, out)
-	for r := 0; r < rows; r++ {
-		tensor.Axpy(1, b, yDense.Float32s()[r*out:(r+1)*out])
-	}
-	if d := tensor.MaxAbsDiff(yTiled, yDense); d != 0 {
-		t.Fatalf("tiled forward differs from dense by %g (should be exact)", d)
-	}
-
-	// Backward: dx matches dense dy·Wᵀ within float tolerance (summation
-	// order differs across tiles).
-	dy := tensor.New(tensor.FP32, rows, out)
-	tensor.NewRNG(5).FillNormal(dy.Float32s(), 1)
-	dxTiled := rt.Backward(tl, dy)
-	dxDense := tensor.New(tensor.FP32, rows, in)
-	tensor.MatMulTransB(dxDense.Float32s(), dy.Float32s(), w, rows, out, in)
-	if d := tensor.MaxAbsDiff(dxTiled, dxDense); d > 1e-4 {
-		t.Fatalf("tiled backward dx differs by %g", d)
-	}
-}
-
-func TestTiledLinearGradCheck(t *testing.T) {
-	const in, out, tiles, rows = 6, 8, 2, 3
-	tl := NewTiledLinear("tl", in, out, tiles, true, 0.3)
-	for _, p := range module.AllParams(tl) {
-		p.SetData(model.InitValues(p, 8))
-		p.Grad()
-		p.ZeroGrad()
-	}
-	rt := module.NewRuntime(nil)
-	x := tensor.New(tensor.FP32, rows, in)
-	tensor.NewRNG(9).FillNormal(x.Float32s(), 1)
-	r := make([]float32, rows*out)
-	tensor.NewRNG(10).FillNormal(r, 1)
-
-	rt.Forward(tl, x)
-	dx := rt.Backward(tl, tensor.FromSlice(append([]float32(nil), r...), rows, out))
-
-	const h = 1e-2
-	xd := x.Float32s()
-	for i := 0; i < len(xd); i += 4 {
-		orig := xd[i]
-		xd[i] = orig + h
-		yp := rt.Forward(tl, x)
-		rt.Backward(tl, tensor.FromSlice(append([]float32(nil), r...), rows, out))
-		xd[i] = orig - h
-		ym := rt.Forward(tl, x)
-		rt.Backward(tl, tensor.FromSlice(append([]float32(nil), r...), rows, out))
-		xd[i] = orig
-		num := (tensor.Dot(yp.Float32s(), r) - tensor.Dot(ym.Float32s(), r)) / (2 * h)
-		got := float64(dx.Float32s()[i])
-		if math.Abs(num-got) > 2e-2*(1+math.Abs(num)) {
-			t.Errorf("dx[%d]: analytic %g numeric %g", i, got, num)
-		}
-	}
-}
-
-// MaxParamBytes drops by the tile factor.
-func TestTilingReducesMaxAllocation(t *testing.T) {
-	dense := NewTiledLinear("d", 64, 256, 1, false, 0.1)
-	tiled := NewTiledLinear("t", 64, 256, 8, false, 0.1)
-	if dense.MaxParamBytes() != 64*256*2 {
-		t.Fatalf("dense max = %d", dense.MaxParamBytes())
-	}
-	if tiled.MaxParamBytes() != 64*256*2/8 {
-		t.Fatalf("tiled max = %d", tiled.MaxParamBytes())
-	}
-}
 
 // The Fig. 6b protocol, functionally: under a pre-fragmented allocator the
 // dense operator OOMs with ErrFragmented while the tiled one trains, and
@@ -116,7 +32,7 @@ func TestFig6bFunctionalTilingUnderFragmentation(t *testing.T) {
 	alloc.PreFragment(chunk)
 	hooks := NewAllocHooks(alloc, 77)
 	rt := module.NewRuntime(hooks)
-	dense := NewTiledLinear("op", in, out, 1, true, 0.2)
+	dense := model.NewTiledLinear("op", in, out, 1, true, 0.2)
 	err := RunUnderBudget(func() { rt.Forward(dense, x) })
 	if err == nil {
 		t.Fatal("dense gather under fragmentation succeeded")
@@ -130,7 +46,7 @@ func TestFig6bFunctionalTilingUnderFragmentation(t *testing.T) {
 	alloc2.PreFragment(chunk)
 	hooks2 := NewAllocHooks(alloc2, 77)
 	rt2 := module.NewRuntime(hooks2)
-	tiled := NewTiledLinear("op", in, out, 8, true, 0.2)
+	tiled := model.NewTiledLinear("op", in, out, 8, true, 0.2)
 	if tiled.MaxParamBytes() > chunk {
 		t.Fatal("test sizing wrong: tile must fit in chunk")
 	}
@@ -144,7 +60,7 @@ func TestFig6bFunctionalTilingUnderFragmentation(t *testing.T) {
 	}
 
 	// Same values as an unbudgeted dense run with the same param names.
-	ref := NewTiledLinear("op", in, out, 8, true, 0.2)
+	ref := model.NewTiledLinear("op", in, out, 8, true, 0.2)
 	for _, p := range module.AllParams(ref) {
 		p.SetData(model.InitValues(p, 77))
 	}
@@ -159,11 +75,153 @@ func TestFig6bFunctionalTilingUnderFragmentation(t *testing.T) {
 	}
 }
 
-func TestTiledLinearRejectsBadTileCount(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("non-dividing tile count did not panic")
+// runZero trains a zero-package engine (DP family or Z3) on the shared
+// batches and returns rank 0's observations.
+func runZero(t *testing.T, mcfg model.Config, zcfg zero.Config) trajectory {
+	t.Helper()
+	zcfg.LossScale = 256
+	zcfg.Seed = 42
+	tokens, targets := makeBatches(mcfg, testSteps, testRanks, testBatch)
+	var out trajectory
+	var mu sync.Mutex
+	comm.Run(testRanks, func(c *comm.Comm) {
+		g := model.MustGPT(mcfg)
+		var step func(tok, tgt []int) zero.StepResult
+		var full func() map[string][]float32
+		if zcfg.Stage == zero.Stage3 {
+			e, err := zero.NewZ3Engine(zcfg, c, g)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			step = func(tok, tgt []int) zero.StepResult { return e.Step(tok, tgt, testBatch) }
+			full = e.FullParams
+		} else {
+			e, err := zero.NewDPEngine(zcfg, c, g)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			step = func(tok, tgt []int) zero.StepResult { return e.Step(tok, tgt, testBatch) }
+			full = e.FullParams
 		}
-	}()
-	NewTiledLinear("x", 4, 10, 3, false, 0.1)
+		var losses []float64
+		for s := 0; s < testSteps; s++ {
+			losses = append(losses, step(tokens[s][c.Rank()], targets[s][c.Rank()]).Loss)
+		}
+		p := full()
+		if c.Rank() == 0 {
+			mu.Lock()
+			out = trajectory{losses: losses, params: p}
+			mu.Unlock()
+		}
+	})
+	return out
+}
+
+// The acceptance claim for model-wide tiling: for a fixed tiling factor,
+// every engine — DDP, ZeRO-1/2/3, ZeRO-Infinity on CPU and NVMe (with
+// prefetch and overlap) — trains the tiled model bit-identically. Tiling is
+// model structure, not an engine feature, so no engine special-cases it.
+func TestTiledModelBitIdenticalAcrossEngines(t *testing.T) {
+	mcfg := testModelCfg(false)
+	mcfg.Tiling = 4
+	ddp := runZero(t, mcfg, zero.Config{Stage: zero.StageDDP})
+	if len(ddp.losses) != testSteps {
+		t.Fatalf("ddp ran %d steps", len(ddp.losses))
+	}
+
+	for _, tc := range []struct {
+		name string
+		cfg  zero.Config
+	}{
+		{"zero1", zero.Config{Stage: zero.Stage1}},
+		{"zero2", zero.Config{Stage: zero.Stage2}},
+		{"zero-offload", zero.Config{Stage: zero.Stage2, OffloadOptimizer: true}},
+		{"zero3", zero.Config{Stage: zero.Stage3}},
+		{"zero3-overlap", zero.Config{Stage: zero.Stage3, PrefetchDepth: 2, Overlap: true}},
+	} {
+		got := runZero(t, mcfg, tc.cfg)
+		assertSame(t, tc.name, ddp, got)
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"infinity-cpu", Config{Params: zero.OnCPU, Optimizer: zero.OnCPU}},
+		{"infinity-nvme", Config{Params: zero.OnNVMe, Optimizer: zero.OnNVMe, PrefetchDepth: 2}},
+		{"infinity-nvme-overlap", Config{Params: zero.OnNVMe, Optimizer: zero.OnNVMe,
+			PrefetchDepth: 2, Overlap: true}},
+	} {
+		got := runInfinity(t, mcfg, tc.cfg)
+		assertSame(t, tc.name, ddp, got)
+	}
+}
+
+// Tiling divides the Infinity engine's max live parameter bytes by ~the
+// tile factor: the largest leaf (fc1: W+B) dominates the dense working set,
+// and each of its tiles is a quarter of it.
+func TestTilingCutsMaxLiveParamBytes(t *testing.T) {
+	mcfg := model.Config{Vocab: 16, Hidden: 32, Heads: 2, Seq: 6, Layers: 1}
+	dense := runInfinity(t, mcfg, Config{Params: zero.OnCPU, Optimizer: zero.OnCPU})
+
+	tcfg := mcfg
+	tcfg.Tiling = 4
+	tiled := runInfinity(t, tcfg, Config{Params: zero.OnCPU, Optimizer: zero.OnCPU})
+
+	dm, tm := dense.stats.MaxLiveParamBytes, tiled.stats.MaxLiveParamBytes
+	if dm == 0 || tm == 0 {
+		t.Fatalf("missing MaxLiveParamBytes: dense %d tiled %d", dm, tm)
+	}
+	// Dense peak: fc1 weight+bias = (32*128 + 128) fp16 values.
+	if want := int64(32*128+128) * 2; dm != want {
+		t.Fatalf("dense max live = %d, want %d", dm, want)
+	}
+	if tm*3 > dm {
+		t.Fatalf("tiling cut max live only %d -> %d (want ~%dx reduction)", dm, tm, tcfg.Tiling)
+	}
+}
+
+// The real-engine Fig. 6b: a dense GPT OOMs (ErrFragmented) gathering its
+// projections under a pre-fragmented GPU budget; the tiled model — same
+// budget, same fragmentation — trains.
+func TestFig6bRealEngineDenseOOMsTiledTrains(t *testing.T) {
+	mcfg := model.Config{Vocab: 16, Hidden: 32, Heads: 2, Seq: 6, Layers: 1}
+	tokens, targets := makeBatches(mcfg, 1, 2, testBatch)
+	budget := Config{Params: zero.OnCPU, Optimizer: zero.OnCPU,
+		GPUMemory: 1 << 20, PreFragment: 4 << 10, LossScale: 256, Seed: 42}
+
+	run := func(mcfg model.Config) error {
+		var mu sync.Mutex
+		var firstErr error
+		comm.Run(2, func(c *comm.Comm) {
+			g := model.MustGPT(mcfg)
+			e, err := NewInfinityEngine(budget, c, g)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer e.Close()
+			if _, serr := e.Step(tokens[0][c.Rank()], targets[0][c.Rank()], testBatch); serr != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = serr
+				}
+				mu.Unlock()
+			}
+		})
+		return firstErr
+	}
+
+	if err := run(mcfg); err == nil {
+		t.Fatal("dense model trained under the fragmented budget")
+	} else if !errors.Is(err, mem.ErrFragmented) {
+		t.Fatalf("dense model failed for the wrong reason: %v", err)
+	}
+
+	tcfg := mcfg
+	tcfg.Tiling = 4
+	if err := run(tcfg); err != nil {
+		t.Fatalf("tiled model failed under the fragmented budget: %v", err)
+	}
 }

@@ -21,6 +21,20 @@ var backend = tensor.Reference()
 // (nil restores the serial reference backend).
 func SetBackend(be tensor.Backend) { backend = tensor.DefaultBackend(be) }
 
+// tilingFactor is the memory-centric tiling factor the real-engine Fig. 6b
+// experiment and the tiled functional runs use (zinf-bench's -tiling flag).
+var tilingFactor = 4
+
+// SetTiling selects the tiling factor for subsequent experiment runs
+// (values below 2 restore the default of 4; it must divide the experiment
+// models' hidden and vocab sizes).
+func SetTiling(t int) {
+	if t < 2 {
+		t = 4
+	}
+	tilingFactor = t
+}
+
 // Experiment regenerates one paper artifact.
 type Experiment struct {
 	ID    string // stable id, e.g. "fig5a"

@@ -15,8 +15,8 @@ type Attention struct {
 	module.Base
 	Hidden, Heads, Seq int
 
-	QKV  *Linear // [H, 3H]
-	Proj *Linear // [H, H]
+	QKV  Projection // [H, 3H]
+	Proj Projection // [H, H]
 
 	saved []attnSaved
 }
@@ -27,12 +27,13 @@ type attnSaved struct {
 	batch int
 }
 
-// NewAttention constructs the attention submodule.
-func NewAttention(name string, hidden, heads, seq int, initStd float64) *Attention {
+// NewAttention constructs the attention submodule. tiles > 1 builds the QKV
+// and output projections as memory-centric tiled operators.
+func NewAttention(name string, hidden, heads, seq int, initStd float64, tiles int) *Attention {
 	a := &Attention{Hidden: hidden, Heads: heads, Seq: seq}
 	a.ModName = name
-	a.QKV = NewLinear(name+".qkv", hidden, 3*hidden, true, initStd)
-	a.Proj = NewLinear(name+".proj", hidden, hidden, true, initStd)
+	a.QKV = NewProjection(name+".qkv", hidden, 3*hidden, true, initStd, tiles)
+	a.Proj = NewProjection(name+".proj", hidden, hidden, true, initStd, tiles)
 	a.Kids = []module.Module{a.QKV, a.Proj}
 	return a
 }

@@ -55,9 +55,9 @@ type Block struct {
 	LN1  *LayerNorm
 	Attn *Attention
 	LN2  *LayerNorm
-	FC1  *Linear
+	FC1  Projection
 	Act  *Gelu
-	FC2  *Linear
+	FC2  Projection
 
 	savedInputs []ckptRef // checkpoint: block inputs only
 }
@@ -75,11 +75,11 @@ func NewBlock(name string, cfg Config, initStd float64) *Block {
 	b := &Block{Checkpoint: cfg.CheckpointActivations}
 	b.ModName = name
 	b.LN1 = NewLayerNorm(name+".ln1", cfg.Hidden)
-	b.Attn = NewAttention(name+".attn", cfg.Hidden, cfg.Heads, cfg.Seq, initStd)
+	b.Attn = NewAttention(name+".attn", cfg.Hidden, cfg.Heads, cfg.Seq, initStd, cfg.tiles())
 	b.LN2 = NewLayerNorm(name+".ln2", cfg.Hidden)
-	b.FC1 = NewLinear(name+".fc1", cfg.Hidden, 4*cfg.Hidden, true, initStd)
+	b.FC1 = NewProjection(name+".fc1", cfg.Hidden, 4*cfg.Hidden, true, initStd, cfg.tiles())
 	b.Act = NewGelu(name + ".gelu")
-	b.FC2 = NewLinear(name+".fc2", 4*cfg.Hidden, cfg.Hidden, true, initStd)
+	b.FC2 = NewProjection(name+".fc2", 4*cfg.Hidden, cfg.Hidden, true, initStd, cfg.tiles())
 	b.Kids = []module.Module{b.LN1, b.Attn, b.LN2, b.FC1, b.Act, b.FC2}
 	return b
 }

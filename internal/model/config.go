@@ -1,6 +1,8 @@
 // Package model implements a GPT-like Transformer with real forward AND
 // backward passes (hand-written autograd), activation checkpointing, tied
-// input/output embeddings (the paper's canonical "external parameter"), and
+// input/output embeddings (the paper's canonical "external parameter"),
+// memory-centric tiling (Config.Tiling builds every large projection as a
+// sequence of independently-parameterized tiles, paper Sec. 5.1.3), and
 // the paper's Sec. 3 parameter-count formula. It is the workload every
 // training engine in this reproduction runs.
 //
@@ -23,6 +25,15 @@ type Config struct {
 	// CheckpointActivations enables per-block activation checkpointing
 	// (store only block inputs; recompute inside blocks during backward).
 	CheckpointActivations bool
+
+	// Tiling, when > 1, builds every large projection — attention QKV and
+	// output, MLP fc1/fc2, and (with Vocab > 0) the token table behind the
+	// tied LM head — as a memory-centric tiled operator (paper Sec. 5.1.3)
+	// whose tiles are independent parameters. Engine gather/release hooks,
+	// the overlap trace and the prefetchers then operate per tile, cutting
+	// the max live parameter working set by ~the tile factor. 0 or 1 builds
+	// the dense model. Tiling must divide Hidden, and Vocab when Vocab > 0.
+	Tiling int
 }
 
 // Validate checks structural constraints.
@@ -36,7 +47,26 @@ func (c Config) Validate() error {
 	if c.Vocab < 0 {
 		return fmt.Errorf("model: negative vocab %d", c.Vocab)
 	}
+	if c.Tiling < 0 {
+		return fmt.Errorf("model: negative tiling %d", c.Tiling)
+	}
+	if c.Tiling > 1 {
+		if c.Hidden%c.Tiling != 0 {
+			return fmt.Errorf("model: tiling %d must divide hidden %d", c.Tiling, c.Hidden)
+		}
+		if c.Vocab > 0 && c.Vocab%c.Tiling != 0 {
+			return fmt.Errorf("model: tiling %d must divide vocab %d", c.Tiling, c.Vocab)
+		}
+	}
 	return nil
+}
+
+// tiles normalizes the Tiling factor (0 and 1 both mean dense).
+func (c Config) tiles() int {
+	if c.Tiling > 1 {
+		return c.Tiling
+	}
+	return 1
 }
 
 // HeadDim returns Hidden/Heads.

@@ -1,6 +1,8 @@
 package model
 
 import (
+	"fmt"
+
 	"repro/internal/module"
 	"repro/internal/tensor"
 )
@@ -9,23 +11,57 @@ import (
 // embeddings. Its token table is shared with the output head (weight tying),
 // making it the paper's canonical *external parameter*: a parameter defined
 // in one submodule and consumed by another (Sec. 7.1.1).
+//
+// With tiles > 1 the token table is split into vocab-row tiles, each an
+// independent parameter. The lookup itself still touches every tile (token
+// ids are arbitrary), but the tied head consumes the tiles one at a time
+// through per-tile submodules, so the LM-head projection — the largest
+// operator in small-vocab models' forward — runs under memory-centric
+// tiling like the block projections.
 type Embedding struct {
 	module.Base
 	Vocab, Hidden, Seq int
-	Tok                *module.Param // [Vocab, Hidden]
-	Pos                *module.Param // [Seq, Hidden]
+	Tiles, TileVocab   int
+
+	// Tok is the dense token table [Vocab, Hidden]; nil when tiled.
+	Tok *module.Param
+	// TokTiles are the vocab-row tiles [TileVocab, Hidden]; when dense it
+	// holds the single entry Tok, so iteration code is uniform.
+	TokTiles []*module.Param
+	Pos      *module.Param // [Seq, Hidden]
 
 	saved [][]int // token batches for backward
 }
 
-// NewEmbedding constructs the embedding module.
-func NewEmbedding(name string, vocab, hidden, seq int, initStd float64) *Embedding {
-	e := &Embedding{Vocab: vocab, Hidden: hidden, Seq: seq}
+// NewEmbedding constructs the embedding module. tiles > 1 splits the token
+// table into vocab-row tiles (vocab must be divisible by tiles).
+func NewEmbedding(name string, vocab, hidden, seq int, initStd float64, tiles int) *Embedding {
+	if tiles <= 1 {
+		tiles = 1
+	}
+	if vocab%tiles != 0 {
+		panic(fmt.Sprintf("model: tiles %d must divide vocab %d", tiles, vocab))
+	}
+	e := &Embedding{Vocab: vocab, Hidden: hidden, Seq: seq, Tiles: tiles, TileVocab: vocab / tiles}
 	e.ModName = name
-	e.Tok = module.NewParam(name+".tok", initStd, vocab, hidden)
+	if tiles == 1 {
+		e.Tok = module.NewParam(name+".tok", initStd, vocab, hidden)
+		e.TokTiles = []*module.Param{e.Tok}
+	} else {
+		for t := 0; t < tiles; t++ {
+			e.TokTiles = append(e.TokTiles,
+				module.NewParam(fmt.Sprintf("%s.tok.tile%d", name, t), initStd, e.TileVocab, hidden))
+		}
+	}
 	e.Pos = module.NewParam(name+".pos", initStd, seq, hidden)
-	e.OwnParams = []*module.Param{e.Tok, e.Pos}
+	e.OwnParams = append(append([]*module.Param(nil), e.TokTiles...), e.Pos)
 	return e
+}
+
+// tokRow returns the table row for token t, given the gathered tile slices.
+func (e *Embedding) tokRow(tabs [][]float32, t int) []float32 {
+	r := t % e.TileVocab
+	return tabs[t/e.TileVocab][r*e.Hidden : (r+1)*e.Hidden]
 }
 
 // ForwardTokens embeds tokens (length batch*Seq) into a [batch*Seq, Hidden]
@@ -37,7 +73,13 @@ func (e *Embedding) ForwardTokens(rt *module.Runtime, tokens []int, batch int) *
 	var out *tensor.Tensor
 	rt.WithForward(e, func() {
 		out = tensor.New(tensor.FP32, batch*e.Seq, e.Hidden)
-		tok, pos := e.Tok.Data(), e.Pos.Data()
+		// Materialize all tile views serially before fanning out, so any
+		// on-demand gather fires on the caller's goroutine.
+		tabs := make([][]float32, e.Tiles)
+		for t := range e.TokTiles {
+			tabs[t] = e.TokTiles[t].Data()
+		}
+		pos := e.Pos.Data()
 		od := out.Float32s()
 		// Validate serially so a bad id panics on the caller's goroutine,
 		// then fan the independent row lookups out over the backend.
@@ -48,10 +90,9 @@ func (e *Embedding) ForwardTokens(rt *module.Runtime, tokens []int, batch int) *
 		}
 		rt.Backend().ParRange(len(tokens), tensor.Grain(e.Hidden), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				t := tokens[i]
 				s := i % e.Seq
 				row := od[i*e.Hidden : (i+1)*e.Hidden]
-				copy(row, tok[t*e.Hidden:(t+1)*e.Hidden])
+				copy(row, e.tokRow(tabs, tokens[i]))
 				tensor.Axpy(1, pos[s*e.Hidden:(s+1)*e.Hidden], row)
 			}
 		})
@@ -70,14 +111,18 @@ func (e *Embedding) BackwardTokens(rt *module.Runtime, dh *tensor.Tensor) {
 		}
 		tokens := e.saved[len(e.saved)-1]
 		e.saved = e.saved[:len(e.saved)-1]
-		dtok, dpos := e.Tok.Grad(), e.Pos.Grad()
+		gtabs := make([][]float32, e.Tiles)
+		for t := range e.TokTiles {
+			gtabs[t] = e.TokTiles[t].Grad()
+		}
+		dpos := e.Pos.Grad()
 		dhd := dh.Float32s()
 		// Serial: repeated tokens scatter-add into the same table row, so
 		// the accumulation order must match the reference backend exactly.
 		for i, t := range tokens {
 			s := i % e.Seq
 			row := dhd[i*e.Hidden : (i+1)*e.Hidden]
-			tensor.Axpy(1, row, dtok[t*e.Hidden:(t+1)*e.Hidden])
+			tensor.Axpy(1, row, e.tokRow(gtabs, t))
 			tensor.Axpy(1, row, dpos[s*e.Hidden:(s+1)*e.Hidden])
 		}
 	})
@@ -87,9 +132,16 @@ func (e *Embedding) BackwardTokens(rt *module.Runtime, dh *tensor.Tensor) {
 // of the embedding's token table: logits = H·Eᵀ. It owns no parameters —
 // the token table is an external parameter accessed through Param.Data(),
 // which triggers the engine's on-demand gather when partitioned.
+//
+// When the embedding is vocab-tiled, the head decomposes into per-tile
+// child modules: each computes one column band of the logits from one token
+// tile, so the engine gathers and releases the tiles sequentially (the
+// memory-centric tiling pattern) instead of materializing the whole table.
 type TiedHead struct {
 	module.Base
 	Emb *Embedding
+
+	tiles []*headTile // per-vocab-tile children; empty when dense
 
 	saved []*tensor.Tensor
 }
@@ -98,12 +150,29 @@ type TiedHead struct {
 func NewTiedHead(name string, emb *Embedding) *TiedHead {
 	h := &TiedHead{Emb: emb}
 	h.ModName = name
+	if emb.Tiles > 1 {
+		for t := 0; t < emb.Tiles; t++ {
+			ht := &headTile{emb: emb, t: t}
+			ht.ModName = fmt.Sprintf("%s.tile%d", name, t)
+			h.tiles = append(h.tiles, ht)
+			h.Kids = append(h.Kids, ht)
+		}
+	}
 	return h
 }
 
 // Forward implements module.Layer: x [rows, Hidden] -> logits [rows, Vocab].
 func (h *TiedHead) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
 	rows := rowsOf(x, h.Emb.Hidden)
+	if len(h.tiles) > 0 {
+		tv := h.Emb.TileVocab
+		logits := tensor.New(tensor.FP32, rows, h.Emb.Vocab)
+		for t, ht := range h.tiles {
+			lt := rt.Forward(ht, x)
+			copyBand(logits.Float32s(), lt.Float32s(), rows, h.Emb.Vocab, t*tv, tv)
+		}
+		return logits
+	}
 	logits := tensor.New(tensor.FP32, rows, h.Emb.Vocab)
 	// External-parameter access: h owns no params, so h.Emb.Tok may be
 	// partitioned away right now; Data() performs the blocking gather.
@@ -118,6 +187,24 @@ func (h *TiedHead) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor 
 // Backward implements module.Layer: accumulates dE += dlogitsᵀ·x and
 // returns dx = dlogits·E.
 func (h *TiedHead) Backward(rt *module.Runtime, dlogits *tensor.Tensor) *tensor.Tensor {
+	if len(h.tiles) > 0 {
+		rows := rowsOf(dlogits, h.Emb.Vocab)
+		tv := h.Emb.TileVocab
+		dld := dlogits.Float32s()
+		var dx *tensor.Tensor
+		// Reverse order mirrors the saved-activation LIFO (as TiledLinear).
+		for t := len(h.tiles) - 1; t >= 0; t-- {
+			dlt := tensor.New(tensor.FP32, rows, tv)
+			sliceBand(dlt.Float32s(), dld, rows, h.Emb.Vocab, t*tv, tv)
+			dxt := rt.Backward(h.tiles[t], dlt)
+			if dx == nil {
+				dx = dxt
+			} else {
+				rt.Backend().Axpy(1, dxt.Float32s(), dx.Float32s())
+			}
+		}
+		return dx
+	}
 	if len(h.saved) == 0 {
 		panic("model: TiedHead.Backward without saved input")
 	}
@@ -132,4 +219,49 @@ func (h *TiedHead) Backward(rt *module.Runtime, dlogits *tensor.Tensor) *tensor.
 	return dx
 }
 
-var _ module.Layer = (*TiedHead)(nil)
+// headTile is one vocab tile of the tied head: logits tile = H·E_tᵀ over
+// the t-th token-table tile. It owns no parameters — the tile is external,
+// gathered on demand the first iteration and via the engine's external
+// registry afterwards.
+type headTile struct {
+	module.Base
+	emb *Embedding
+	t   int
+
+	saved []*tensor.Tensor
+}
+
+// Forward implements module.Layer.
+func (ht *headTile) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
+	rows := rowsOf(x, ht.emb.Hidden)
+	tv := ht.emb.TileVocab
+	logits := tensor.New(tensor.FP32, rows, tv)
+	e := ht.emb.TokTiles[ht.t].Data()
+	rt.Backend().MatMulTransB(logits.Float32s(), x.Float32s(), e, rows, ht.emb.Hidden, tv)
+	if rt.SaveActivations() {
+		ht.saved = append(ht.saved, x)
+	}
+	return logits
+}
+
+// Backward implements module.Layer.
+func (ht *headTile) Backward(rt *module.Runtime, dlogits *tensor.Tensor) *tensor.Tensor {
+	if len(ht.saved) == 0 {
+		panic("model: headTile.Backward without saved input")
+	}
+	x := ht.saved[len(ht.saved)-1]
+	ht.saved = ht.saved[:len(ht.saved)-1]
+	rows := rowsOf(x, ht.emb.Hidden)
+	tv := ht.emb.TileVocab
+	be := rt.Backend()
+	tile := ht.emb.TokTiles[ht.t]
+	be.MatMulTransA(tile.Grad(), dlogits.Float32s(), x.Float32s(), tv, rows, ht.emb.Hidden)
+	dx := tensor.New(tensor.FP32, rows, ht.emb.Hidden)
+	be.MatMul(dx.Float32s(), dlogits.Float32s(), tile.Data(), rows, tv, ht.emb.Hidden)
+	return dx
+}
+
+var (
+	_ module.Layer = (*TiedHead)(nil)
+	_ module.Layer = (*headTile)(nil)
+)

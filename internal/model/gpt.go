@@ -35,7 +35,7 @@ func NewGPT(cfg Config) (*GPT, error) {
 	g.ModName = "gpt"
 	initStd := 0.02
 	if cfg.Vocab > 0 {
-		g.Embed = NewEmbedding("embed", cfg.Vocab, cfg.Hidden, cfg.Seq, initStd)
+		g.Embed = NewEmbedding("embed", cfg.Vocab, cfg.Hidden, cfg.Seq, initStd, cfg.tiles())
 		g.Kids = append(g.Kids, g.Embed)
 	}
 	for i := 0; i < cfg.Layers; i++ {

@@ -146,7 +146,7 @@ func TestGeluGradCheck(t *testing.T) {
 
 func TestAttentionGradCheck(t *testing.T) {
 	cfg := Config{Hidden: 8, Heads: 2, Seq: 4, Layers: 1}
-	a := NewAttention("attn", cfg.Hidden, cfg.Heads, cfg.Seq, 0.3)
+	a := NewAttention("attn", cfg.Hidden, cfg.Heads, cfg.Seq, 0.3, 1)
 	materialize(a, 12)
 	zeroGrads(a)
 	x := tensor.New(tensor.FP32, 2*cfg.Seq, cfg.Hidden) // batch 2
@@ -157,7 +157,7 @@ func TestAttentionGradCheck(t *testing.T) {
 func TestAttentionCausality(t *testing.T) {
 	// Changing a later token's hidden state must not change earlier outputs.
 	cfg := Config{Hidden: 8, Heads: 2, Seq: 4, Layers: 1}
-	a := NewAttention("attn", cfg.Hidden, cfg.Heads, cfg.Seq, 0.3)
+	a := NewAttention("attn", cfg.Hidden, cfg.Heads, cfg.Seq, 0.3, 1)
 	materialize(a, 14)
 	rt := module.NewRuntime(nil)
 	x := tensor.New(tensor.FP32, cfg.Seq, cfg.Hidden)
@@ -201,7 +201,7 @@ func TestGPTEndToEndGradCheck(t *testing.T) {
 	// Spot-check gradients of several parameters with central differences.
 	const h = 1e-2
 	for _, p := range []*module.Param{
-		g.Blocks[0].FC1.W, g.Blocks[1].Attn.QKV.W, g.Embed.Tok, g.LNF.Gain,
+		g.Blocks[0].FC1.(*Linear).W, g.Blocks[1].Attn.QKV.(*Linear).W, g.Embed.Tok, g.LNF.Gain,
 	} {
 		data := p.Data()
 		step := len(data)/8 + 1

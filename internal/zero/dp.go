@@ -123,15 +123,7 @@ func (e *DPEngine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 	}
 	globalLoss := e.c.AllReduceScalar(lossSum/float64(micros)) / float64(dp)
 
-	overflow := false
-	for _, p := range e.params {
-		if e.rt.Backend().HasNaNOrInf(e.grads[p]) {
-			overflow = true
-			break
-		}
-	}
-	globalOverflow := e.c.AllReduceMax(b2f(overflow)) > 0
-	if globalOverflow {
+	if GlobalOverflow(e.c, e.rt.Backend(), e.gradList()) {
 		e.scaler.Update(true)
 		for _, p := range e.params {
 			delete(e.grads, p)
@@ -221,47 +213,45 @@ func (e *DPEngine) reduceMicro() {
 	}
 }
 
+// gradList returns this rank's reduced gradient buffers in parameter order
+// (the order the shared overflow/clip helpers require).
+func (e *DPEngine) gradList() [][]float32 {
+	gs := make([][]float32, 0, len(e.params))
+	for _, p := range e.params {
+		gs = append(gs, e.grads[p])
+	}
+	return gs
+}
+
 // clipFactor computes the global-gradient-norm clip multiplier in the
 // engine-invariant summation order: rank-major, then parameter-major.
 func (e *DPEngine) clipFactor() float64 {
 	if e.cfg.ClipNorm <= 0 {
 		return 1
 	}
+	if e.cfg.Stage != StageDDP {
+		return GlobalClipFactor(e.c, e.cfg.ClipNorm, e.gradList())
+	}
+	// Replicated gradients: emulate the sharded engines' rank-major
+	// accumulation exactly.
 	dp := e.c.Size()
 	var total float64
-	if e.cfg.Stage == StageDDP {
-		// Replicated gradients: emulate the sharded engines' rank-major
-		// accumulation exactly.
-		for r := 0; r < dp; r++ {
-			var partial float64
-			for _, p := range e.params {
-				lo, hi := comm.ShardRange(p.Len(), r, dp)
-				g := e.grads[p]
-				if lo > len(g) {
-					lo = len(g)
-				}
-				if hi > len(g) {
-					hi = len(g)
-				}
-				partial += SumSq(g[lo:hi])
-			}
-			total += partial
-		}
-	} else {
-		var local float64
+	for r := 0; r < dp; r++ {
+		var partial float64
 		for _, p := range e.params {
-			local += SumSq(e.grads[p])
+			lo, hi := comm.ShardRange(p.Len(), r, dp)
+			g := e.grads[p]
+			if lo > len(g) {
+				lo = len(g)
+			}
+			if hi > len(g) {
+				hi = len(g)
+			}
+			partial += SumSq(g[lo:hi])
 		}
-		total = e.c.AllReduceScalar(local)
+		total += partial
 	}
 	return ClipFactor(total, e.cfg.ClipNorm)
-}
-
-func b2f(b bool) float64 {
-	if b {
-		return 1
-	}
-	return 0
 }
 
 // LoadParams replaces the model weights with the given full fp16-valued

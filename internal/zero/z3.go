@@ -316,15 +316,11 @@ func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 	// before gradients are inspected for overflow.
 	e.drainReduces()
 
-	overflow := false
+	shards := make([][]float32, 0, len(e.params))
 	for _, p := range e.params {
-		if e.rt.Backend().HasNaNOrInf(e.gradShard[p]) {
-			overflow = true
-			break
-		}
+		shards = append(shards, e.gradShard[p])
 	}
-	globalOverflow := e.c.AllReduceMax(b2f(overflow)) > 0
-	if globalOverflow {
+	if GlobalOverflow(e.c, e.rt.Backend(), shards) {
 		e.scaler.Update(true)
 		for _, p := range e.params {
 			delete(e.gradShard, p)
@@ -340,15 +336,9 @@ func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 		}
 		e.rt.Backend().Scale(inv, gs)
 	}
-	if e.cfg.ClipNorm > 0 {
-		var local float64
+	if f := GlobalClipFactor(e.c, e.cfg.ClipNorm, shards); f != 1 {
 		for _, p := range e.params {
-			local += SumSq(e.gradShard[p])
-		}
-		if f := ClipFactor(e.c.AllReduceScalar(local), e.cfg.ClipNorm); f != 1 {
-			for _, p := range e.params {
-				e.rt.Backend().Scale(float32(f), e.gradShard[p])
-			}
+			e.rt.Backend().Scale(float32(f), e.gradShard[p])
 		}
 	}
 	for _, p := range e.params {

@@ -34,7 +34,11 @@ import (
 // Re-exported configuration types. These alias the internal implementation
 // types, so the full method sets are available through this package.
 type (
-	// ModelConfig describes the GPT-like Transformer to train.
+	// ModelConfig describes the GPT-like Transformer to train. Set Tiling
+	// to build the large projections (attention qkv/output, MLP fc1/fc2,
+	// the tied LM head's token table) as memory-centric tiled operators;
+	// engines then gather and release one tile at a time, cutting the max
+	// live parameter working set (Stats.MaxLiveParamBytes) by ~the factor.
 	ModelConfig = model.Config
 	// GPT is the model; construct per rank with NewModel.
 	GPT = model.GPT
@@ -225,6 +229,8 @@ func (e z3Engine) Close() {}
 
 // Stats maps the stage-3 engine's overlap counters into the shared stats
 // shape: the comm-stage fields are populated, NVMe fields stay zero.
+// MaxLiveParamBytes carries the engine's static bound (the largest single
+// gathered parameter); the Infinity engine reports the measured peak.
 func (e z3Engine) Stats() InfinityStats {
 	return InfinityStats{
 		Gathers:            e.Gathers,
@@ -232,6 +238,7 @@ func (e z3Engine) Stats() InfinityStats {
 		CommPrefetchIssued: e.PrefetchIssued,
 		CommPrefetchHits:   e.PrefetchHits,
 		AsyncReduces:       e.AsyncReduces,
+		MaxLiveParamBytes:  e.MaxLiveParamBytes(),
 	}
 }
 
