@@ -19,6 +19,8 @@ import (
 
 func main() {
 	run := flag.String("run", "", "experiment id to run, or 'all'")
+	jsonOut := flag.String("json", "",
+		"write the run's machine-readable records (BENCH_*.json style) to this path ('-' = stdout)")
 	backend := flag.String("backend", "reference",
 		"compute backend for functional experiments: "+strings.Join(tensor.BackendNames(), "|"))
 	prefetch := flag.Int("prefetch", 2,
@@ -60,6 +62,24 @@ func main() {
 		if _, ok := harness.ByID(*run); !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
 			os.Exit(2)
+		}
+	}
+	if *jsonOut != "" {
+		var w *os.File
+		if *jsonOut == "-" {
+			w = os.Stdout
+		} else {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := harness.WriteRecords(w, *backend); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 	if failed {

@@ -18,6 +18,9 @@ import (
 // any amount of compute (or further collectives) between issuing and
 // waiting. Buffers handed to an async collective must stay untouched until
 // Wait returns.
+//
+// Ticket is a small value type (engines embed it in pooled in-flight
+// records); the zero Ticket is a completed ticket.
 type Ticket struct {
 	w   *World
 	seq uint64
@@ -29,8 +32,13 @@ func (t *Ticket) Wait() {
 	if t.op == nil {
 		return // degenerate or already-waited ticket
 	}
-	<-t.op.done
-	t.w.leave(t.seq, t.op)
+	w := t.w
+	w.mu.Lock()
+	for !t.op.computed {
+		t.op.done.Wait()
+	}
+	w.leaveLocked(t.seq, t.op)
+	w.mu.Unlock()
 	t.op = nil
 }
 
@@ -39,36 +47,29 @@ func (t *Ticket) Wait() {
 // asynchronously) performs the data movement. The semantics — including
 // rank-order accumulation — are identical to the synchronous rendezvous, so
 // asynchronous and synchronous paths are bit-identical.
-func (c *Comm) async(kind string, contrib any, compute func(contribs []any) any) *Ticket {
+func (c *Comm) async(kind opKind, pl payload) Ticket {
 	w := c.world
 	if w.size == 1 {
-		compute([]any{contrib})
-		return &Ticket{}
+		w.computeSolo(kind, 0, pl)
+		return Ticket{}
 	}
 	seq := c.seq
 	c.seq++
-	return &Ticket{w: w, seq: seq, op: w.arrive(c.rank, seq, kind, contrib, compute)}
+	w.mu.Lock()
+	o := w.arriveLocked(c.rank, seq, kind, 0, pl)
+	w.mu.Unlock()
+	return Ticket{w: w, seq: seq, op: o}
 }
 
 // AllGatherHalfAsync starts an asynchronous AllGatherHalf: every rank's src
 // (all equal length) is concatenated into dst in rank order. len(dst) must
 // be Size()*len(src). dst and src must not be touched until the ticket
 // completes; the gathered bytes are bit-identical to AllGatherHalf.
-func (c *Comm) AllGatherHalfAsync(dst, src []tensor.Half) *Ticket {
+func (c *Comm) AllGatherHalfAsync(dst, src []tensor.Half) Ticket {
 	if len(dst) != c.Size()*len(src) {
 		panic(fmt.Sprintf("comm: allgatherhalfasync dst len %d != size %d * src len %d", len(dst), c.Size(), len(src)))
 	}
-	type arg struct{ dst, src []tensor.Half }
-	n := len(src)
-	return c.async("allgatherhalf", arg{dst, src}, func(contribs []any) any {
-		for _, ca := range contribs {
-			a := ca.(arg)
-			for r, cb := range contribs {
-				copy(a.dst[r*n:(r+1)*n], cb.(arg).src)
-			}
-		}
-		return nil
-	})
+	return c.async(opAllGatherHalf, payload{hdst: dst, hsrc: src})
 }
 
 // ReduceScatterHalfAsync starts an asynchronous ReduceScatterHalf:
@@ -76,26 +77,21 @@ func (c *Comm) AllGatherHalfAsync(dst, src []tensor.Half) *Ticket {
 // accumulation, and each rank's shard is re-encoded to binary16 into its
 // dst. len(src) must be Size()*len(dst). Buffers must not be touched until
 // the ticket completes; results are bit-identical to ReduceScatterHalf.
-func (c *Comm) ReduceScatterHalfAsync(dst, src []tensor.Half) *Ticket {
+func (c *Comm) ReduceScatterHalfAsync(dst, src []tensor.Half) Ticket {
 	if len(src) != c.Size()*len(dst) {
 		panic(fmt.Sprintf("comm: reducescatterhalfasync src len %d != size %d * dst len %d", len(src), c.Size(), len(dst)))
 	}
-	type arg struct{ dst, src []tensor.Half }
-	n := len(dst)
-	return c.async("reducescatterhalf", arg{dst, src}, func(contribs []any) any {
-		acc := make([]float32, n)
-		tmp := make([]float32, n)
-		for r := range contribs {
-			base := r * n
-			for i := range acc {
-				acc[i] = 0
-			}
-			for _, cb := range contribs {
-				tensor.DecodeHalf(tmp, cb.(arg).src[base:base+n])
-				tensor.Axpy(1, tmp, acc)
-			}
-			tensor.EncodeHalf(contribs[r].(arg).dst, acc)
-		}
-		return nil
-	})
+	return c.async(opReduceScatterHalf, payload{hdst: dst, hsrc: src})
+}
+
+// ReduceScatterHalfDecodeAsync starts an asynchronous
+// ReduceScatterHalfDecode: the fused reduce+fp16-round+decode delivers each
+// rank's shard directly as float32 into dst. len(src) must be
+// Size()*len(dst). Buffers must not be touched until the ticket completes;
+// results are bit-identical to ReduceScatterHalf followed by DecodeHalf.
+func (c *Comm) ReduceScatterHalfDecodeAsync(dst []float32, src []tensor.Half) Ticket {
+	if len(src) != c.Size()*len(dst) {
+		panic(fmt.Sprintf("comm: reducescatterhalfdecodeasync src len %d != size %d * dst len %d", len(src), c.Size(), len(dst)))
+	}
+	return c.async(opReduceScatterHalfDecode, payload{fdst: dst, hsrc: src})
 }

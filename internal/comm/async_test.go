@@ -57,7 +57,8 @@ func TestReduceScatterHalfAsyncMatchesSync(t *testing.T) {
 	Run(ranks, func(c *Comm) {
 		src := randHalves(uint64(7+c.Rank()), n)
 		dst := make([]tensor.Half, n/ranks)
-		c.ReduceScatterHalfAsync(dst, src).Wait()
+		rsTk := c.ReduceScatterHalfAsync(dst, src)
+		rsTk.Wait()
 		asyncOut[c.Rank()] = dst
 	})
 	for r := 0; r < ranks; r++ {
@@ -80,7 +81,7 @@ func TestAsyncPipelineInterleavedWithSync(t *testing.T) {
 	Run(ranks, func(c *Comm) {
 		srcs := make([][]tensor.Half, depth)
 		dsts := make([][]tensor.Half, depth)
-		tickets := make([]*Ticket, depth)
+		tickets := make([]Ticket, depth)
 		for k := 0; k < depth; k++ {
 			srcs[k] = randHalves(uint64(1000+10*k+c.Rank()), n)
 			dsts[k] = make([]tensor.Half, ranks*n)
@@ -129,7 +130,8 @@ func TestAsyncSingleRank(t *testing.T) {
 			}
 		}
 		rs := make([]tensor.Half, 8)
-		c.ReduceScatterHalfAsync(rs, src).Wait()
+		rsTk := c.ReduceScatterHalfAsync(rs, src)
+		rsTk.Wait()
 	})
 }
 

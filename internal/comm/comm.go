@@ -9,32 +9,125 @@
 // goroutine scheduling and safe under the race detector. Reductions
 // accumulate in rank order with float32 arithmetic, making results
 // deterministic and enabling bit-exact engine-equivalence tests.
+//
+// The substrate is allocation-free in steady state: in-flight op descriptors
+// are pooled and reused, per-rank contributions are flat payload structs
+// (no interface boxing), the data-movement functions are package-level (no
+// closure captures), and reduction/encode scratch comes from a world-owned
+// size-classed arena. Fused convert+collective paths
+// (AllGatherEncodeHalf, ReduceScatterHalfDecode) additionally remove the
+// intermediate full-size fp16 pass their two-call forms needed.
 package comm
 
 import (
 	"fmt"
 	"sync"
 
+	"repro/internal/mem"
 	"repro/internal/tensor"
 )
+
+// opKind enumerates the collective types. An enum (rather than the previous
+// per-call formatted string) keeps the mismatch check allocation-free.
+type opKind uint8
+
+const (
+	opBarrier opKind = iota
+	opBroadcast
+	opAllGather
+	opReduceScatter
+	opAllReduce
+	opGather
+	opBroadcastHalf
+	opAllGatherHalf
+	opReduceScatterHalf
+	opAllReduceHalf
+	opAllGatherEncodeHalf
+	opReduceScatterHalfDecode
+	opAllReduceScalar
+	opAllReduceMax
+)
+
+var opNames = [...]string{
+	"barrier", "broadcast", "allgather", "reducescatter", "allreduce",
+	"gather", "broadcasthalf", "allgatherhalf", "reducescatterhalf",
+	"allreducehalf", "allgatherencodehalf", "reducescatterhalfdecode",
+	"allreducescalar", "allreducemax",
+}
+
+func (k opKind) String() string { return opNames[k] }
+
+// payload is one rank's contribution to a collective: a flat union covering
+// every collective's argument shapes. Passing it by value avoids the
+// per-call interface boxing the previous []any design paid on every
+// collective.
+type payload struct {
+	fdst, fsrc []float32
+	hdst, hsrc []tensor.Half
+	v          float64
+}
+
+// computeFns dispatches the data movement for each kind. The functions are
+// package-level so issuing a collective never builds a closure.
+var computeFns = [...]func(w *World, o *op){
+	opBarrier:                 func(*World, *op) {},
+	opBroadcast:               computeBroadcast,
+	opAllGather:               computeAllGather,
+	opReduceScatter:           computeReduceScatter,
+	opAllReduce:               computeAllReduce,
+	opGather:                  computeGather,
+	opBroadcastHalf:           computeBroadcastHalf,
+	opAllGatherHalf:           computeAllGatherHalf,
+	opReduceScatterHalf:       computeReduceScatterHalf,
+	opAllReduceHalf:           computeAllReduceHalf,
+	opAllGatherEncodeHalf:     computeAllGatherEncodeHalf,
+	opReduceScatterHalfDecode: computeReduceScatterHalfDecode,
+	opAllReduceScalar:         computeAllReduceScalar,
+	opAllReduceMax:            computeAllReduceMax,
+}
 
 // World is the shared state behind a group of communicating ranks.
 type World struct {
 	size int
 
-	mu  sync.Mutex
-	ops map[uint64]*op // keyed by sequence number
+	mu      sync.Mutex
+	ops     []opSlot // in-flight collectives, keyed by sequence number
+	freeOps []*op    // recycled op descriptors
+
+	// fscratch/hscratch serve the reductions' accumulator/decode/encode
+	// buffers. They are touched only inside compute functions (serialized
+	// by mu on multi-rank worlds; the arena's own lock covers the size-1
+	// inline path).
+	fscratch *mem.Arena[float32]
+	hscratch *mem.Arena[tensor.Half]
+
+	// codec dispatches the binary16 conversions the *Half collectives
+	// perform. Every backend is bit-identical, so this is purely a speed
+	// knob (reference by default).
+	codec tensor.Backend
+}
+
+// opSlot is one in-flight collective's registry entry. In-flight ops are a
+// handful at any moment (the async pipeline depth times the rank count), so
+// a linear-scanned slice beats a map — and unlike a map keyed by the
+// ever-growing sequence number it never allocates after warm-up (a map's
+// fresh keys occasionally force a new overflow bucket even at constant
+// size, which would break the zero-allocation steady-state contract).
+type opSlot struct {
+	seq uint64
+	o   *op
 }
 
 // op is one in-flight collective. The last rank to arrive performs the data
-// movement; the last rank to leave removes the op from the world map.
+// movement; the last rank to leave returns the descriptor to the free pool.
 type op struct {
-	kind    string
-	arrived int
-	left    int
-	done    chan struct{}
-	contrib []any // per-rank argument, indexed by rank
-	result  any   // computed by the last arriver, read by all
+	kind          opKind
+	root          int
+	arrived, left int
+	computed      bool
+	done          *sync.Cond // shares the world mutex
+	contrib       []payload  // per-rank argument, indexed by rank
+	result        float64    // scalar collectives' result
 }
 
 // NewWorld creates the shared state for size ranks. It panics if size < 1.
@@ -42,11 +135,28 @@ func NewWorld(size int) *World {
 	if size < 1 {
 		panic("comm: world size must be >= 1")
 	}
-	return &World{size: size, ops: make(map[uint64]*op)}
+	return &World{
+		size:     size,
+		fscratch: mem.NewArena[float32](),
+		hscratch: mem.NewArena[tensor.Half](),
+		codec:    tensor.Reference(),
+	}
 }
 
 // Size returns the number of ranks in the world.
 func (w *World) Size() int { return w.size }
+
+// SetCodecBackend selects the compute backend the binary16 collectives
+// convert through (nil restores the serial reference backend). All backends
+// are bit-identical, so this only changes wall-clock time. Safe to call
+// from concurrent rank goroutines (engine constructors call it with their
+// configured backend); last writer wins.
+func (w *World) SetCodecBackend(be tensor.Backend) {
+	be = tensor.DefaultBackend(be)
+	w.mu.Lock()
+	w.codec = be
+	w.mu.Unlock()
+}
 
 // Comm returns the communicator handle for the given rank. Each rank
 // goroutine must use its own handle; handles are not safe for concurrent use
@@ -85,91 +195,154 @@ type Comm struct {
 // Rank returns this communicator's rank.
 func (c *Comm) Rank() int { return c.rank }
 
+// SetCodecBackend selects the world's binary16-conversion backend (see
+// World.SetCodecBackend); engines call it so the collectives' fused
+// encode/decode runs on the same backend as their compute kernels.
+func (c *Comm) SetCodecBackend(be tensor.Backend) { c.world.SetCodecBackend(be) }
+
 // Size returns the number of ranks in the world.
 func (c *Comm) Size() int { return c.world.size }
 
-// rendezvous matches this rank's seq-th collective with the other ranks'.
-// contrib is this rank's argument; compute runs exactly once, on the last
-// arriving rank, with all contributions in rank order. The returned value is
-// compute's result, shared by all ranks (treat as read-only unless the
-// collective defines otherwise).
-func (c *Comm) rendezvous(kind string, contrib any, compute func(contribs []any) any) any {
-	w := c.world
-	if w.size == 1 {
-		return compute([]any{contrib})
+// getOpLocked pops a pooled op descriptor (or builds one). Caller holds mu.
+func (w *World) getOpLocked(kind opKind, root int) *op {
+	var o *op
+	if n := len(w.freeOps); n > 0 {
+		o = w.freeOps[n-1]
+		w.freeOps[n-1] = nil
+		w.freeOps = w.freeOps[:n-1]
+	} else {
+		o = &op{contrib: make([]payload, w.size)}
+		o.done = sync.NewCond(&w.mu)
 	}
-	seq := c.seq
-	c.seq++
-	return w.rendezvousAt(c.rank, seq, kind, contrib, compute)
-}
-
-// rendezvousAt is the seq-addressed rendezvous body: arrive, wait for the
-// last arriver's compute, then leave. The ticket-based asynchronous
-// collectives split the same arrive/leave pair across issue and Wait.
-func (w *World) rendezvousAt(rank int, seq uint64, kind string, contrib any, compute func(contribs []any) any) any {
-	o := w.arrive(rank, seq, kind, contrib, compute)
-	<-o.done
-	return w.leave(seq, o)
-}
-
-// arrive registers rank's contribution to the seq-th collective; the last
-// arriver performs the data movement and unblocks everyone.
-func (w *World) arrive(rank int, seq uint64, kind string, contrib any, compute func(contribs []any) any) *op {
-	w.mu.Lock()
-	o, ok := w.ops[seq]
-	if !ok {
-		o = &op{kind: kind, done: make(chan struct{}), contrib: make([]any, w.size)}
-		w.ops[seq] = o
-	}
-	if o.kind != kind {
-		w.mu.Unlock()
-		panic(fmt.Sprintf("comm: collective mismatch at seq %d: rank %d called %s, others called %s",
-			seq, rank, kind, o.kind))
-	}
-	o.contrib[rank] = contrib
-	o.arrived++
-	if o.arrived == w.size {
-		o.result = compute(o.contrib)
-		close(o.done)
-	}
-	w.mu.Unlock()
+	o.kind, o.root = kind, root
 	return o
 }
 
-// leave records one rank's departure; the last rank out removes the op.
-func (w *World) leave(seq uint64, o *op) any {
+// putOpLocked clears and recycles an op descriptor. Caller holds mu.
+func (w *World) putOpLocked(o *op) {
+	for i := range o.contrib {
+		o.contrib[i] = payload{}
+	}
+	o.arrived, o.left, o.computed, o.result = 0, 0, false, 0
+	w.freeOps = append(w.freeOps, o)
+}
+
+// rendezvous matches this rank's seq-th collective with the other ranks':
+// arrive, wait for the last arriver's compute, leave. The ticket-based
+// asynchronous collectives split the same arrive/leave pair across issue and
+// Wait. The returned value is the op's scalar result (0 for data
+// collectives).
+func (c *Comm) rendezvous(kind opKind, root int, pl payload) float64 {
+	w := c.world
+	if w.size == 1 {
+		return w.computeSolo(kind, root, pl)
+	}
+	seq := c.seq
+	c.seq++
 	w.mu.Lock()
-	o.left++
-	if o.left == w.size {
-		delete(w.ops, seq)
+	o := w.arriveLocked(c.rank, seq, kind, root, pl)
+	for !o.computed {
+		o.done.Wait()
 	}
 	res := o.result
+	w.leaveLocked(seq, o)
 	w.mu.Unlock()
 	return res
 }
 
+// computeSolo runs a size-1 world's collective inline through a transient
+// pooled op, so single-rank semantics (and allocation behaviour) match the
+// multi-rank path. The lock is held across compute, as on the multi-rank
+// path — the compute functions read w.codec, whose SetCodecBackend writes
+// are only synchronized by mu.
+func (w *World) computeSolo(kind opKind, root int, pl payload) float64 {
+	w.mu.Lock()
+	// Deferred unlock: a recovered length-mismatch panic from a compute
+	// function must not wedge the world (the op leaks from the pool, which
+	// is fine). Open-coded defers cost no heap allocation.
+	defer w.mu.Unlock()
+	o := w.getOpLocked(kind, root)
+	o.contrib[0] = pl
+	computeFns[kind](w, o)
+	res := o.result
+	w.putOpLocked(o)
+	return res
+}
+
+// arriveLocked registers rank's contribution to the seq-th collective; the
+// last arriver performs the data movement and wakes everyone. Caller holds
+// mu.
+func (w *World) arriveLocked(rank int, seq uint64, kind opKind, root int, pl payload) *op {
+	var o *op
+	for i := range w.ops {
+		if w.ops[i].seq == seq {
+			o = w.ops[i].o
+			break
+		}
+	}
+	if o == nil {
+		o = w.getOpLocked(kind, root)
+		w.ops = append(w.ops, opSlot{seq: seq, o: o})
+	}
+	if o.kind != kind || o.root != root {
+		// Release the world lock before panicking: a recovering caller (the
+		// infinity engine's OOM guard, tests asserting the mismatch) must
+		// not leave every other rank wedged on w.mu.
+		w.mu.Unlock()
+		panic(fmt.Sprintf("comm: collective mismatch at seq %d: rank %d called %s(root %d), others called %s(root %d)",
+			seq, rank, kind, root, o.kind, o.root))
+	}
+	o.contrib[rank] = pl
+	o.arrived++
+	if o.arrived == w.size {
+		computeFns[o.kind](w, o)
+		o.computed = true
+		o.done.Broadcast()
+	}
+	return o
+}
+
+// leaveLocked records one rank's departure; the last rank out recycles the
+// op. Caller holds mu.
+func (w *World) leaveLocked(seq uint64, o *op) {
+	o.left++
+	if o.left == w.size {
+		for i := range w.ops {
+			if w.ops[i].seq == seq {
+				last := len(w.ops) - 1
+				w.ops[i] = w.ops[last]
+				w.ops[last] = opSlot{}
+				w.ops = w.ops[:last]
+				break
+			}
+		}
+		w.putOpLocked(o)
+	}
+}
+
 // Barrier blocks until every rank has entered the barrier.
 func (c *Comm) Barrier() {
-	c.rendezvous("barrier", nil, func([]any) any { return nil })
+	c.rendezvous(opBarrier, 0, payload{})
 }
 
 // Broadcast copies root's buf into every rank's buf. All bufs must have the
 // same length.
 func (c *Comm) Broadcast(buf []float32, root int) {
-	c.rendezvous(fmt.Sprintf("bcast:%d", root), buf, func(contribs []any) any {
-		src := contribs[root].([]float32)
-		for r, cb := range contribs {
-			if r == root {
-				continue
-			}
-			dst := cb.([]float32)
-			if len(dst) != len(src) {
-				panic(fmt.Sprintf("comm: broadcast length mismatch: root %d, rank %d", len(src), len(dst)))
-			}
-			copy(dst, src)
+	c.rendezvous(opBroadcast, root, payload{fdst: buf})
+}
+
+func computeBroadcast(w *World, o *op) {
+	src := o.contrib[o.root].fdst
+	for r := range o.contrib {
+		if r == o.root {
+			continue
 		}
-		return nil
-	})
+		dst := o.contrib[r].fdst
+		if len(dst) != len(src) {
+			panic(fmt.Sprintf("comm: broadcast length mismatch: root %d, rank %d", len(src), len(dst)))
+		}
+		copy(dst, src)
+	}
 }
 
 // AllGather concatenates every rank's src (all equal length) into dst in rank
@@ -178,17 +351,17 @@ func (c *Comm) AllGather(dst, src []float32) {
 	if len(dst) != c.Size()*len(src) {
 		panic(fmt.Sprintf("comm: allgather dst len %d != size %d * src len %d", len(dst), c.Size(), len(src)))
 	}
-	type arg struct{ dst, src []float32 }
-	c.rendezvous("allgather", arg{dst, src}, func(contribs []any) any {
-		n := len(src)
-		for _, ca := range contribs {
-			a := ca.(arg)
-			for r, cb := range contribs {
-				copy(a.dst[r*n:(r+1)*n], cb.(arg).src)
-			}
+	c.rendezvous(opAllGather, 0, payload{fdst: dst, fsrc: src})
+}
+
+func computeAllGather(w *World, o *op) {
+	n := len(o.contrib[0].fsrc)
+	for i := range o.contrib {
+		dst := o.contrib[i].fdst
+		for r := range o.contrib {
+			copy(dst[r*n:(r+1)*n], o.contrib[r].fsrc)
 		}
-		return nil
-	})
+	}
 }
 
 // ReduceScatter sums the ranks' src buffers elementwise (in rank order) and
@@ -198,59 +371,59 @@ func (c *Comm) ReduceScatter(dst, src []float32) {
 	if len(src) != c.Size()*len(dst) {
 		panic(fmt.Sprintf("comm: reducescatter src len %d != size %d * dst len %d", len(src), c.Size(), len(dst)))
 	}
-	type arg struct{ dst, src []float32 }
-	c.rendezvous("reducescatter", arg{dst, src}, func(contribs []any) any {
-		n := len(dst)
-		for r, ca := range contribs {
-			a := ca.(arg)
-			shard := a.dst
-			base := r * n
-			first := contribs[0].(arg).src
-			copy(shard, first[base:base+n])
-			for _, cb := range contribs[1:] {
-				tensor.Axpy(1, cb.(arg).src[base:base+n], shard)
-			}
+	c.rendezvous(opReduceScatter, 0, payload{fdst: dst, fsrc: src})
+}
+
+func computeReduceScatter(w *World, o *op) {
+	n := len(o.contrib[0].fdst)
+	for r := range o.contrib {
+		shard := o.contrib[r].fdst
+		base := r * n
+		copy(shard, o.contrib[0].fsrc[base:base+n])
+		for _, cb := range o.contrib[1:] {
+			tensor.Axpy(1, cb.fsrc[base:base+n], shard)
 		}
-		return nil
-	})
+	}
 }
 
 // AllReduce sums every rank's buf elementwise (in rank order); each rank's
 // buf holds the total afterwards.
 func (c *Comm) AllReduce(buf []float32) {
-	c.rendezvous("allreduce", buf, func(contribs []any) any {
-		sum := make([]float32, len(buf))
-		copy(sum, contribs[0].([]float32))
-		for _, cb := range contribs[1:] {
-			b := cb.([]float32)
-			if len(b) != len(sum) {
-				panic("comm: allreduce length mismatch")
-			}
-			tensor.Axpy(1, b, sum)
+	c.rendezvous(opAllReduce, 0, payload{fdst: buf})
+}
+
+func computeAllReduce(w *World, o *op) {
+	n := len(o.contrib[0].fdst)
+	sum := w.fscratch.Get(n)
+	copy(sum, o.contrib[0].fdst)
+	for _, cb := range o.contrib[1:] {
+		if len(cb.fdst) != n {
+			panic("comm: allreduce length mismatch")
 		}
-		for _, cb := range contribs {
-			copy(cb.([]float32), sum)
-		}
-		return nil
-	})
+		tensor.Axpy(1, cb.fdst, sum)
+	}
+	for i := range o.contrib {
+		copy(o.contrib[i].fdst, sum)
+	}
+	w.fscratch.Put(sum)
 }
 
 // Gather concatenates every rank's src into root's dst in rank order. dst is
 // ignored on non-root ranks (may be nil). On root, len(dst) must be
 // Size()*len(src).
 func (c *Comm) Gather(dst, src []float32, root int) {
-	type arg struct{ dst, src []float32 }
-	c.rendezvous(fmt.Sprintf("gather:%d", root), arg{dst, src}, func(contribs []any) any {
-		rd := contribs[root].(arg).dst
-		n := len(contribs[root].(arg).src)
-		if len(rd) != len(contribs)*n {
-			panic("comm: gather root dst length mismatch")
-		}
-		for r, cb := range contribs {
-			copy(rd[r*n:(r+1)*n], cb.(arg).src)
-		}
-		return nil
-	})
+	c.rendezvous(opGather, root, payload{fdst: dst, fsrc: src})
+}
+
+func computeGather(w *World, o *op) {
+	rd := o.contrib[o.root].fdst
+	n := len(o.contrib[o.root].fsrc)
+	if len(rd) != len(o.contrib)*n {
+		panic("comm: gather root dst length mismatch")
+	}
+	for r := range o.contrib {
+		copy(rd[r*n:(r+1)*n], o.contrib[r].fsrc)
+	}
 }
 
 // AllGatherHalf is AllGather over binary16 payloads; data moves bit-exactly.
@@ -258,31 +431,32 @@ func (c *Comm) AllGatherHalf(dst, src []tensor.Half) {
 	if len(dst) != c.Size()*len(src) {
 		panic("comm: allgatherhalf length mismatch")
 	}
-	type arg struct{ dst, src []tensor.Half }
-	c.rendezvous("allgatherhalf", arg{dst, src}, func(contribs []any) any {
-		n := len(src)
-		for _, ca := range contribs {
-			a := ca.(arg)
-			for r, cb := range contribs {
-				copy(a.dst[r*n:(r+1)*n], cb.(arg).src)
-			}
+	c.rendezvous(opAllGatherHalf, 0, payload{hdst: dst, hsrc: src})
+}
+
+func computeAllGatherHalf(w *World, o *op) {
+	n := len(o.contrib[0].hsrc)
+	for i := range o.contrib {
+		dst := o.contrib[i].hdst
+		for r := range o.contrib {
+			copy(dst[r*n:(r+1)*n], o.contrib[r].hsrc)
 		}
-		return nil
-	})
+	}
 }
 
 // BroadcastHalf copies root's binary16 buf into every rank's buf.
 func (c *Comm) BroadcastHalf(buf []tensor.Half, root int) {
-	c.rendezvous(fmt.Sprintf("bcasthalf:%d", root), buf, func(contribs []any) any {
-		src := contribs[root].([]tensor.Half)
-		for r, cb := range contribs {
-			if r == root {
-				continue
-			}
-			copy(cb.([]tensor.Half), src)
+	c.rendezvous(opBroadcastHalf, root, payload{hdst: buf})
+}
+
+func computeBroadcastHalf(w *World, o *op) {
+	src := o.contrib[o.root].hdst
+	for r := range o.contrib {
+		if r == o.root {
+			continue
 		}
-		return nil
-	})
+		copy(o.contrib[r].hdst, src)
+	}
 }
 
 // ReduceScatterHalf reduce-scatters binary16 gradients: contributions are
@@ -293,25 +467,58 @@ func (c *Comm) ReduceScatterHalf(dst, src []tensor.Half) {
 	if len(src) != c.Size()*len(dst) {
 		panic("comm: reducescatterhalf length mismatch")
 	}
-	type arg struct{ dst, src []tensor.Half }
-	c.rendezvous("reducescatterhalf", arg{dst, src}, func(contribs []any) any {
-		n := len(dst)
-		acc := make([]float32, n)
-		tmp := make([]float32, n)
-		for r := range contribs {
-			base := r * n
-			for i := range acc {
-				acc[i] = 0
-			}
-			for _, cb := range contribs {
-				tensor.DecodeHalf(tmp, cb.(arg).src[base:base+n])
-				tensor.Axpy(1, tmp, acc)
-			}
-			shard := contribs[r].(arg).dst
-			tensor.EncodeHalf(shard, acc)
-		}
-		return nil
-	})
+	c.rendezvous(opReduceScatterHalf, 0, payload{hdst: dst, hsrc: src})
+}
+
+// reduceHalfShard computes the fp32 rank-order sum of shard r's slice of the
+// contributions into acc (the shared accumulation kernel of the half
+// reduce-scatter family).
+func (w *World) reduceHalfShard(o *op, r, n int, acc, tmp []float32) {
+	base := r * n
+	clear(acc)
+	for _, cb := range o.contrib {
+		w.codec.DecodeHalf(tmp, cb.hsrc[base:base+n])
+		tensor.Axpy(1, tmp, acc)
+	}
+}
+
+func computeReduceScatterHalf(w *World, o *op) {
+	n := len(o.contrib[0].hdst)
+	acc := w.fscratch.Get(n)
+	tmp := w.fscratch.Get(n)
+	for r := range o.contrib {
+		w.reduceHalfShard(o, r, n, acc, tmp)
+		w.codec.EncodeHalf(o.contrib[r].hdst, acc)
+	}
+	w.fscratch.Put(acc)
+	w.fscratch.Put(tmp)
+}
+
+// ReduceScatterHalfDecode is the fused ReduceScatterHalf→DecodeHalf path:
+// the reduced shard is rounded through binary16 (exactly as
+// ReduceScatterHalf stores it) and delivered directly as float32 into dst,
+// eliminating the caller's intermediate fp16 shard buffer and decode pass.
+// Bit-identical to ReduceScatterHalf followed by DecodeHalf.
+func (c *Comm) ReduceScatterHalfDecode(dst []float32, src []tensor.Half) {
+	if len(src) != c.Size()*len(dst) {
+		panic("comm: reducescatterhalfdecode length mismatch")
+	}
+	c.rendezvous(opReduceScatterHalfDecode, 0, payload{fdst: dst, hsrc: src})
+}
+
+func computeReduceScatterHalfDecode(w *World, o *op) {
+	n := len(o.contrib[0].fdst)
+	acc := w.fscratch.Get(n)
+	tmp := w.fscratch.Get(n)
+	enc := w.hscratch.Get(n)
+	for r := range o.contrib {
+		w.reduceHalfShard(o, r, n, acc, tmp)
+		w.codec.EncodeHalf(enc, acc)
+		w.codec.DecodeHalf(o.contrib[r].fdst, enc)
+	}
+	w.fscratch.Put(acc)
+	w.fscratch.Put(tmp)
+	w.hscratch.Put(enc)
 }
 
 // AllReduceHalf sums binary16 buffers elementwise across ranks with float32
@@ -319,50 +526,80 @@ func (c *Comm) ReduceScatterHalf(dst, src []tensor.Half) {
 // rank's buf. Numerically identical to ReduceScatterHalf followed by
 // AllGatherHalf, which is what makes DDP and ZeRO gradient paths bit-equal.
 func (c *Comm) AllReduceHalf(buf []tensor.Half) {
-	c.rendezvous("allreducehalf", buf, func(contribs []any) any {
-		n := len(buf)
-		acc := make([]float32, n)
-		tmp := make([]float32, n)
-		for _, cb := range contribs {
-			b := cb.([]tensor.Half)
-			if len(b) != n {
-				panic("comm: allreducehalf length mismatch")
-			}
-			tensor.DecodeHalf(tmp, b)
-			tensor.Axpy(1, tmp, acc)
+	c.rendezvous(opAllReduceHalf, 0, payload{hdst: buf})
+}
+
+func computeAllReduceHalf(w *World, o *op) {
+	n := len(o.contrib[0].hdst)
+	acc := w.fscratch.GetZeroed(n)
+	tmp := w.fscratch.Get(n)
+	for _, cb := range o.contrib {
+		if len(cb.hdst) != n {
+			panic("comm: allreducehalf length mismatch")
 		}
-		enc := make([]tensor.Half, n)
-		tensor.EncodeHalf(enc, acc)
-		for _, cb := range contribs {
-			copy(cb.([]tensor.Half), enc)
+		w.codec.DecodeHalf(tmp, cb.hdst)
+		tensor.Axpy(1, tmp, acc)
+	}
+	enc := w.hscratch.Get(n)
+	w.codec.EncodeHalf(enc, acc)
+	for i := range o.contrib {
+		copy(o.contrib[i].hdst, enc)
+	}
+	w.fscratch.Put(acc)
+	w.fscratch.Put(tmp)
+	w.hscratch.Put(enc)
+}
+
+// AllGatherEncodeHalf is the fused EncodeHalf→AllGatherHalf path: every
+// rank contributes a float32 shard, each shard is rounded to binary16 once,
+// and the encoded shards are concatenated into every rank's dst in rank
+// order. Bit-identical to each rank encoding its shard and calling
+// AllGatherHalf, without the per-rank intermediate fp16 shard buffer.
+// len(dst) must be Size()*len(src).
+func (c *Comm) AllGatherEncodeHalf(dst []tensor.Half, src []float32) {
+	if len(dst) != c.Size()*len(src) {
+		panic("comm: allgatherencodehalf length mismatch")
+	}
+	c.rendezvous(opAllGatherEncodeHalf, 0, payload{hdst: dst, fsrc: src})
+}
+
+func computeAllGatherEncodeHalf(w *World, o *op) {
+	n := len(o.contrib[0].fsrc)
+	enc := w.hscratch.Get(n)
+	for r := range o.contrib {
+		w.codec.EncodeHalf(enc, o.contrib[r].fsrc)
+		for i := range o.contrib {
+			copy(o.contrib[i].hdst[r*n:(r+1)*n], enc)
 		}
-		return nil
-	})
+	}
+	w.hscratch.Put(enc)
 }
 
 // AllReduceScalar sums one float64 across ranks and returns the total on
 // every rank. Used for loss aggregation and overflow flags.
 func (c *Comm) AllReduceScalar(v float64) float64 {
-	res := c.rendezvous("allreducescalar", v, func(contribs []any) any {
-		var s float64
-		for _, cb := range contribs {
-			s += cb.(float64)
-		}
-		return s
-	})
-	return res.(float64)
+	return c.rendezvous(opAllReduceScalar, 0, payload{v: v})
+}
+
+func computeAllReduceScalar(w *World, o *op) {
+	var s float64
+	for i := range o.contrib {
+		s += o.contrib[i].v
+	}
+	o.result = s
 }
 
 // AllReduceMax returns the maximum of v across ranks on every rank.
 func (c *Comm) AllReduceMax(v float64) float64 {
-	res := c.rendezvous("allreducemax", v, func(contribs []any) any {
-		m := contribs[0].(float64)
-		for _, cb := range contribs[1:] {
-			if f := cb.(float64); f > m {
-				m = f
-			}
+	return c.rendezvous(opAllReduceMax, 0, payload{v: v})
+}
+
+func computeAllReduceMax(w *World, o *op) {
+	m := o.contrib[0].v
+	for _, cb := range o.contrib[1:] {
+		if cb.v > m {
+			m = cb.v
 		}
-		return m
-	})
-	return res.(float64)
+	}
+	o.result = m
 }

@@ -1,0 +1,123 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func randFloats(seed uint64, n int) []float32 {
+	f := make([]float32, n)
+	tensor.NewRNG(seed).FillNormal(f, 1)
+	return f
+}
+
+// The fused encode+allgather must be bit-identical to encoding on each rank
+// and allgathering the fp16 shards.
+func TestAllGatherEncodeHalfMatchesTwoCall(t *testing.T) {
+	const ranks, n = 4, 37
+	fused := make([][]tensor.Half, ranks)
+	twoCall := make([][]tensor.Half, ranks)
+	Run(ranks, func(c *Comm) {
+		src := randFloats(uint64(50+c.Rank()), n)
+		dst := make([]tensor.Half, ranks*n)
+		c.AllGatherEncodeHalf(dst, src)
+		fused[c.Rank()] = dst
+	})
+	Run(ranks, func(c *Comm) {
+		src := randFloats(uint64(50+c.Rank()), n)
+		enc := make([]tensor.Half, n)
+		tensor.EncodeHalf(enc, src)
+		dst := make([]tensor.Half, ranks*n)
+		c.AllGatherHalf(dst, enc)
+		twoCall[c.Rank()] = dst
+	})
+	for r := 0; r < ranks; r++ {
+		for i := range fused[r] {
+			if fused[r][i] != twoCall[r][i] {
+				t.Fatalf("rank %d elem %d: fused %#04x != two-call %#04x", r, i, fused[r][i], twoCall[r][i])
+			}
+		}
+	}
+}
+
+// The fused reduce-scatter+decode must be bit-identical to ReduceScatterHalf
+// followed by DecodeHalf — including the fp16 rounding of the reduced shard.
+func TestReduceScatterHalfDecodeMatchesTwoCall(t *testing.T) {
+	const ranks, n = 4, 24
+	fused := make([][]float32, ranks)
+	twoCall := make([][]float32, ranks)
+	Run(ranks, func(c *Comm) {
+		src := randHalves(uint64(9+c.Rank()), n)
+		dst := make([]float32, n/ranks)
+		c.ReduceScatterHalfDecode(dst, src)
+		fused[c.Rank()] = dst
+	})
+	Run(ranks, func(c *Comm) {
+		src := randHalves(uint64(9+c.Rank()), n)
+		shard := make([]tensor.Half, n/ranks)
+		c.ReduceScatterHalf(shard, src)
+		dst := make([]float32, n/ranks)
+		tensor.DecodeHalf(dst, shard)
+		twoCall[c.Rank()] = dst
+	})
+	for r := 0; r < ranks; r++ {
+		for i := range fused[r] {
+			if fused[r][i] != twoCall[r][i] {
+				t.Fatalf("rank %d elem %d: fused %g != two-call %g", r, i, fused[r][i], twoCall[r][i])
+			}
+		}
+	}
+}
+
+// The async fused reduce-scatter+decode must match its synchronous form.
+func TestReduceScatterHalfDecodeAsyncMatchesSync(t *testing.T) {
+	const ranks, n = 4, 16
+	syncOut := make([][]float32, ranks)
+	asyncOut := make([][]float32, ranks)
+	Run(ranks, func(c *Comm) {
+		src := randHalves(uint64(77+c.Rank()), n)
+		dst := make([]float32, n/ranks)
+		c.ReduceScatterHalfDecode(dst, src)
+		syncOut[c.Rank()] = dst
+	})
+	Run(ranks, func(c *Comm) {
+		src := randHalves(uint64(77+c.Rank()), n)
+		dst := make([]float32, n/ranks)
+		tk := c.ReduceScatterHalfDecodeAsync(dst, src)
+		tk.Wait()
+		asyncOut[c.Rank()] = dst
+	})
+	for r := 0; r < ranks; r++ {
+		for i := range syncOut[r] {
+			if syncOut[r][i] != asyncOut[r][i] {
+				t.Fatalf("rank %d elem %d: sync %g != async %g", r, i, syncOut[r][i], asyncOut[r][i])
+			}
+		}
+	}
+}
+
+// Single-rank worlds must run the fused paths inline.
+func TestFusedSingleRank(t *testing.T) {
+	Run(1, func(c *Comm) {
+		src := randFloats(3, 8)
+		dst := make([]tensor.Half, 8)
+		c.AllGatherEncodeHalf(dst, src)
+		want := make([]tensor.Half, 8)
+		tensor.EncodeHalf(want, src)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("elem %d: %#04x != %#04x", i, dst[i], want[i])
+			}
+		}
+		hs := randHalves(4, 8)
+		out := make([]float32, 8)
+		c.ReduceScatterHalfDecode(out, hs)
+		for i := range hs {
+			rt := tensor.Float32FromHalf(tensor.HalfFromFloat32(hs[i].Float32()))
+			if out[i] != rt {
+				t.Fatalf("elem %d: %g != round-trip %g", i, out[i], rt)
+			}
+		}
+	})
+}

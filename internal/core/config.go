@@ -118,4 +118,10 @@ type Stats struct {
 	PinnedAcquires    int64
 	CkptBytesOffload  int64
 	GPUPeakBytes      int64
+	// AllocsPerStep is the number of heap allocations performed during the
+	// last StepAccum (/gc/heap/allocs:objects runtime-metrics delta). The counter is
+	// process-global, so with several rank goroutines stepping in lockstep
+	// it reflects the whole world's step; after the scratch arenas warm up
+	// the engine+comm+tensor contribution is zero.
+	AllocsPerStep uint64
 }

@@ -36,7 +36,7 @@ type pstate struct {
 	// inflight is a speculative NVMe read; commInflight a speculative
 	// allgather chained onto it (or onto the resident shard).
 	inflight     *inflightFetch
-	commInflight *inflightGather
+	commInflight inflightGather
 }
 
 type inflightFetch struct {
@@ -55,7 +55,7 @@ type inflightFetch struct {
 type InfinityEngine struct {
 	cfg Config
 	c   *comm.Comm
-	g   *model.GPT
+	g   zero.Model
 	rt  *module.Runtime
 
 	params []*module.Param
@@ -63,6 +63,17 @@ type InfinityEngine struct {
 
 	scaler    *optim.LossScaler
 	stepCount int
+
+	// f32/f16/bytes are the engine's scratch arenas; transient gather,
+	// gradient and staging buffers cycle through them instead of the heap.
+	f32   *mem.Arena[float32]
+	f16   *mem.Arena[tensor.Half]
+	bytes *mem.Arena[byte]
+
+	// Reused step scratch.
+	shardsBuf          [][]float32
+	microTok, microTgt [][]int
+	meter              zero.AllocMeter
 
 	// Infinity offload engine pieces.
 	store  nvme.Store
@@ -101,7 +112,7 @@ func (e errGPUOOM) Error() string { return e.err.Error() }
 // NewInfinityEngine builds the engine for one rank, performing partitioned
 // initialization: each parameter's full init values exist only transiently
 // before being sharded to the configured tier.
-func NewInfinityEngine(cfg Config, c *comm.Comm, g *model.GPT) (*InfinityEngine, error) {
+func NewInfinityEngine(cfg Config, c *comm.Comm, g zero.Model) (*InfinityEngine, error) {
 	cfg.setDefaults()
 	e := &InfinityEngine{
 		cfg:      cfg,
@@ -109,12 +120,16 @@ func NewInfinityEngine(cfg Config, c *comm.Comm, g *model.GPT) (*InfinityEngine,
 		g:        g,
 		params:   module.AllParams(g),
 		states:   make(map[*module.Param]*pstate),
+		f32:      mem.NewArena[float32](),
+		f16:      mem.NewArena[tensor.Half](),
+		bytes:    mem.NewArena[byte](),
 		gpuT:     mem.NewTracker(fmt.Sprintf("gpu%d", c.Rank())),
 		cpuT:     mem.NewTracker(fmt.Sprintf("cpu%d", c.Rank())),
 		external: make(map[module.Module][]*module.Param),
 	}
 	e.rt = module.NewRuntime(e)
 	e.rt.SetBackend(cfg.Backend)
+	c.SetCodecBackend(cfg.Backend)
 	if cfg.DynamicLossScale {
 		e.scaler = optim.NewLossScaler(cfg.LossScale)
 	} else {
@@ -240,6 +255,7 @@ func NewInfinityEngine(cfg Config, c *comm.Comm, g *model.GPT) (*InfinityEngine,
 		}
 		e.states[p] = ps
 		p.SetOnDemand(e.onDemand)
+		p.SetGradScratch(e.f32.Get, e.f32.Put)
 	}
 	if cfg.Params == zero.OnNVMe && cfg.PrefetchDepth > 0 {
 		// The prefetcher's speculative reads must never hold the whole
@@ -270,7 +286,7 @@ func (e *InfinityEngine) Close() {
 }
 
 // Model returns the wrapped model.
-func (e *InfinityEngine) Model() *model.GPT { return e.g }
+func (e *InfinityEngine) Model() zero.Model { return e.g }
 
 // Runtime returns the hook runtime.
 func (e *InfinityEngine) Runtime() *module.Runtime { return e.rt }
@@ -307,11 +323,13 @@ func (e *InfinityEngine) GPUTracker() *mem.Tracker { return e.gpuT }
 func (e *InfinityEngine) CPUTracker() *mem.Tracker { return e.cpuT }
 
 // shardHalf returns the rank's fp16 shard of ps, fetching from its tier.
+// For NVMe-resident parameters the returned slice is arena scratch; release
+// it with releaseShard when done.
 func (e *InfinityEngine) shardHalf(ps *pstate) []tensor.Half {
 	if e.cfg.Params != zero.OnNVMe {
 		return ps.hostShard
 	}
-	half := make([]tensor.Half, ps.shardLen)
+	half := e.f16.Get(ps.shardLen)
 	if f := ps.inflight; f != nil {
 		// Prefetched: the nc-transfer already happened (or is completing).
 		if err := f.ticket.Wait(); err != nil {
@@ -335,15 +353,25 @@ func (e *InfinityEngine) shardHalf(ps *pstate) []tensor.Half {
 	return half
 }
 
+// releaseShard recycles a shardHalf result (a no-op for resident tiers,
+// whose slice is the authoritative storage).
+func (e *InfinityEngine) releaseShard(s []tensor.Half) {
+	if e.cfg.Params == zero.OnNVMe {
+		e.f16.Put(s)
+	}
+}
+
 // writeShard persists an updated fp16 shard back to its tier.
 func (e *InfinityEngine) writeShard(ps *pstate, half []tensor.Half) {
 	if e.cfg.Params != zero.OnNVMe {
 		copy(ps.hostShard, half)
 		return
 	}
-	buf := make([]byte, ps.region.Size)
+	buf := e.bytes.Get(int(ps.region.Size))
 	tensor.HalfToBytes(buf, half)
-	if err := e.io.WriteRegion(buf, ps.region).Wait(); err != nil {
+	err := e.io.WriteRegion(buf, ps.region).Wait()
+	e.bytes.Put(buf)
+	if err != nil {
 		panic(fmt.Errorf("core: write shard %s: %w", ps.p.Name, err))
 	}
 }
@@ -362,16 +390,18 @@ func (e *InfinityEngine) gather(p *module.Param) {
 		e.trace.Observe(ps)
 	}
 	var fullH []tensor.Half
-	if f := ps.commInflight; f != nil {
+	if f := ps.commInflight; f.fullH != nil {
 		f.ticket.Wait()
 		fullH = f.fullH
-		ps.commInflight = nil
+		e.releaseShard(f.shard)
+		ps.commInflight = inflightGather{}
 		e.commPrefetch.consumed()
 		e.stats.CommPrefetchHits++
 	} else {
 		shard := e.shardHalf(ps)
-		fullH = make([]tensor.Half, ps.shardLen*e.c.Size())
+		fullH = e.f16.Get(ps.shardLen * e.c.Size())
 		e.c.AllGatherHalf(fullH, shard)
+		e.releaseShard(shard)
 	}
 	if e.gpuAlloc != nil {
 		b, err := e.gpuAlloc.Alloc(p.FP16Bytes())
@@ -381,8 +411,9 @@ func (e *InfinityEngine) gather(p *module.Param) {
 		ps.gpuBlock = b
 	}
 	e.gpuT.Add(mem.CatWorkingSet, p.FP16Bytes())
-	full := make([]float32, p.Len())
-	tensor.DecodeHalf(full, fullH[:p.Len()])
+	full := e.f32.Get(p.Len())
+	e.rt.Backend().DecodeHalf(full, fullH[:p.Len()])
+	e.f16.Put(fullH)
 	p.SetData(full)
 	e.stats.Gathers++
 	if e.commPrefetch != nil {
@@ -404,6 +435,7 @@ func (e *InfinityEngine) release(p *module.Param) {
 		ps.gpuBlock = mem.Block{}
 	}
 	e.gpuT.Add(mem.CatWorkingSet, -p.FP16Bytes())
+	e.f32.Put(p.Data())
 	p.ReleaseData()
 }
 
@@ -469,25 +501,22 @@ func (e *InfinityEngine) PostBackward(m module.Module) {
 		if p.HasGrad() {
 			n := p.Len()
 			padded := comm.PaddedLen(n, dp)
-			gh := make([]tensor.Half, padded)
-			tensor.EncodeHalf(gh[:n], p.Grad())
-			shardH := make([]tensor.Half, padded/dp)
+			gh := e.f16.Get(padded)
+			e.rt.Backend().EncodeHalf(gh[:n], p.Grad())
+			clear(gh[n:])
+			gs := e.f32.Get(padded / dp)
 			if e.cfg.Overlap {
-				// Launch asynchronously and keep computing the rest of the
-				// backward pass; drained before the overflow check.
-				tk := e.c.ReduceScatterHalfAsync(shardH, gh)
+				// Launch asynchronously (fused reduce+decode) and keep
+				// computing the rest of the backward pass; drained before
+				// the overflow check.
+				tk := e.c.ReduceScatterHalfDecodeAsync(gs, gh)
 				e.pendingReduces = append(e.pendingReduces,
-					overlap.Pending[*pstate]{Key: e.states[p], Ticket: tk, ShardH: shardH, GH: gh})
+					overlap.Pending[*pstate]{Key: e.states[p], Ticket: tk, Shard: gs, GH: gh})
 				e.stats.AsyncReduces++
 			} else {
-				e.c.ReduceScatterHalf(shardH, gh)
-				gs := make([]float32, len(shardH))
-				tensor.DecodeHalf(gs, shardH)
-				if acc := e.states[p].gradShard; acc != nil {
-					e.rt.Backend().Axpy(1, gs, acc) // micro-batch accumulation
-				} else {
-					e.states[p].gradShard = gs
-				}
+				e.c.ReduceScatterHalfDecode(gs, gh)
+				e.f16.Put(gh)
+				e.foldGradShard(e.states[p], gs)
 			}
 			p.ReleaseGrad()
 		}
@@ -497,6 +526,18 @@ func (e *InfinityEngine) PostBackward(m module.Module) {
 		if !e.inScope(p) {
 			e.release(p)
 		}
+	}
+}
+
+// foldGradShard accumulates a freshly reduced fp32 shard into ps's gradient
+// shard (micro-batch accumulation), recycling the buffer when an
+// accumulator already exists.
+func (e *InfinityEngine) foldGradShard(ps *pstate, gs []float32) {
+	if acc := ps.gradShard; acc != nil {
+		e.rt.Backend().Axpy(1, gs, acc)
+		e.f32.Put(gs)
+	} else {
+		ps.gradShard = gs
 	}
 }
 
@@ -519,7 +560,8 @@ func (e *InfinityEngine) inScope(p *module.Param) bool {
 // violation (working set exceeds Config.GPUMemory) is returned as an error
 // wrapping mem.ErrOutOfMemory or mem.ErrFragmented.
 func (e *InfinityEngine) Step(tokens, targets []int, batch int) (zero.StepResult, error) {
-	return e.StepAccum([][]int{tokens}, [][]int{targets}, batch)
+	tok, tgt := zero.MicroBatch(&e.microTok, &e.microTgt, tokens, targets)
+	return e.StepAccum(tok, tgt, batch)
 }
 
 // StepAccum runs one training step with gradient accumulation over
@@ -536,6 +578,10 @@ func (e *InfinityEngine) StepAccum(microTokens, microTargets [][]int, batchPerMi
 			}
 			panic(r)
 		}
+	}()
+	e.meter.Begin()
+	defer func() {
+		e.stats.AllocsPerStep = e.meter.End()
 	}()
 	dp := e.c.Size()
 	micros := len(microTokens)
@@ -554,14 +600,18 @@ func (e *InfinityEngine) StepAccum(microTokens, microTargets [][]int, batchPerMi
 	// before gradients are inspected for overflow.
 	e.drainReduces()
 
-	shards := make([][]float32, 0, len(e.params))
+	shards := e.shardsBuf[:0]
 	for _, p := range e.params {
 		shards = append(shards, e.states[p].gradShard)
 	}
+	e.shardsBuf = shards
 	if zero.GlobalOverflow(e.c, e.rt.Backend(), shards) {
 		e.scaler.Update(true)
 		for _, p := range e.params {
-			e.states[p].gradShard = nil
+			if gs := e.states[p].gradShard; gs != nil {
+				e.f32.Put(gs)
+				e.states[p].gradShard = nil
+			}
 		}
 		return zero.StepResult{Loss: globalLoss, Skipped: true, LossScale: e.scaler.Scale}, nil
 	}
@@ -588,9 +638,11 @@ func (e *InfinityEngine) StepAccum(microTokens, microTargets [][]int, batchPerMi
 			ps := e.states[p]
 			gs := ps.gradShard
 			optim.StepVecOn(e.rt.Backend(), e.cfg.Adam, e.stepCount, ps.master, gs, ps.m, ps.v)
-			half := make([]tensor.Half, ps.shardLen)
-			tensor.EncodeHalf(half, ps.master)
+			half := e.f16.Get(ps.shardLen)
+			e.rt.Backend().EncodeHalf(half, ps.master)
 			e.writeShard(ps, half)
+			e.f16.Put(half)
+			e.f32.Put(gs)
 			ps.gradShard = nil
 		}
 	}
@@ -644,7 +696,9 @@ func (e *InfinityEngine) FullParams() map[string][]float32 {
 	for _, p := range e.params {
 		ps := e.states[p]
 		fullH := make([]tensor.Half, ps.shardLen*dp)
-		e.c.AllGatherHalf(fullH, e.shardHalf(ps))
+		shard := e.shardHalf(ps)
+		e.c.AllGatherHalf(fullH, shard)
+		e.releaseShard(shard)
 		v := make([]float32, p.Len())
 		tensor.DecodeHalf(v, fullH[:p.Len()])
 		out[p.Name] = v

@@ -65,14 +65,15 @@ func (e *InfinityEngine) optimizerStepNVMe() error {
 		}
 		ps := cur.ps
 		s := ps.shardLen
-		master := make([]float32, s)
-		m := make([]float32, s)
-		v := make([]float32, s)
+		master := e.f32.Get(s)
+		m := e.f32.Get(s)
+		v := e.f32.Get(s)
 		tensor.F32FromBytes(master, cur.buf[0:4*s])
 		tensor.F32FromBytes(m, cur.buf[4*s:8*s])
 		tensor.F32FromBytes(v, cur.buf[8*s:12*s])
 
 		optim.StepVecOn(e.rt.Backend(), e.cfg.Adam, e.stepCount, master, ps.gradShard, m, v)
+		e.f32.Put(ps.gradShard)
 		ps.gradShard = nil
 
 		// Serialize the updated optimizer state back into the same pinned
@@ -84,26 +85,32 @@ func (e *InfinityEngine) optimizerStepNVMe() error {
 		wt := e.io.WriteRegion(cur.buf[:ps.optRegion.Size], ps.optRegion)
 
 		// Refresh the fp16 parameter shard on its own tier.
-		half := make([]tensor.Half, s)
-		tensor.EncodeHalf(half, master)
+		half := e.f16.Get(s)
+		e.rt.Backend().EncodeHalf(half, master)
 		var pt interface{ Wait() error }
+		var pbuf []byte
 		if e.cfg.Params == e.cfg.Optimizer { // both NVMe
-			pbuf := make([]byte, ps.region.Size)
+			pbuf = e.bytes.Get(int(ps.region.Size))
 			tensor.HalfToBytes(pbuf, half)
 			pt = e.io.WriteRegion(pbuf, ps.region)
 		} else {
 			copy(ps.hostShard, half)
 		}
+		e.f16.Put(half)
+		e.f32.Put(master)
+		e.f32.Put(m)
+		e.f32.Put(v)
 
 		wg.Add(1)
-		go func(buf []byte, w, p interface{ Wait() error }) {
+		go func(buf, pbuf []byte, w, p interface{ Wait() error }) {
 			defer wg.Done()
 			setErr(w.Wait())
 			if p != nil {
 				setErr(p.Wait())
+				e.bytes.Put(pbuf)
 			}
 			e.pinned.Release(buf)
-		}(cur.buf, wt, pt)
+		}(cur.buf, pbuf, wt, pt)
 	}
 	wg.Wait()
 	e.io.Flush()

@@ -17,9 +17,11 @@ import (
 // keep rank-order accumulation — so overlap is purely a wall-clock knob.
 
 // inflightGather is a speculatively issued allgather. shard keeps the
-// source buffer alive (and untouched) until the ticket completes.
+// source buffer alive (and untouched) until the ticket completes. It is
+// stored by value in the pstate so tracking it allocates nothing; a nil
+// fullH means no allgather is in flight.
 type inflightGather struct {
-	ticket *comm.Ticket
+	ticket comm.Ticket
 	fullH  []tensor.Half
 	shard  []tensor.Half
 }
@@ -58,7 +60,7 @@ func (cp *commPrefetcher) issue() {
 		if cp.outstanding >= cp.depth {
 			return false
 		}
-		if ps.commInflight != nil || ps.p.Materialized() {
+		if ps.commInflight.fullH != nil || ps.p.Materialized() {
 			return true
 		}
 		var shard []tensor.Half
@@ -76,7 +78,7 @@ func (cp *commPrefetcher) issue() {
 			if err := f.ticket.Wait(); err != nil {
 				panic(fmt.Errorf("core: prefetched read %s: %w", ps.p.Name, err))
 			}
-			shard = make([]tensor.Half, ps.shardLen)
+			shard = e.f16.Get(ps.shardLen)
 			tensor.HalfFromBytes(shard, f.buf[:ps.region.Size])
 			e.pinned.Release(f.buf[:e.cfg.PinnedBufBytes])
 			ps.inflight = nil
@@ -87,9 +89,9 @@ func (cp *commPrefetcher) issue() {
 		} else {
 			shard = ps.hostShard
 		}
-		fullH := make([]tensor.Half, ps.shardLen*dp)
+		fullH := e.f16.Get(ps.shardLen * dp)
 		tk := e.c.AllGatherHalfAsync(fullH, shard)
-		ps.commInflight = &inflightGather{ticket: tk, fullH: fullH, shard: shard}
+		ps.commInflight = inflightGather{ticket: tk, fullH: fullH, shard: shard}
 		cp.inflight = append(cp.inflight, ps)
 		cp.outstanding++
 		e.stats.CommPrefetchIssued++
@@ -101,10 +103,13 @@ func (cp *commPrefetcher) issue() {
 // been issued on every rank (the trace is identical rank to rank), so the
 // tickets always complete.
 func (cp *commPrefetcher) endStep() {
+	e := cp.e
 	for _, ps := range cp.inflight {
-		if ps.commInflight != nil {
-			ps.commInflight.ticket.Wait()
-			ps.commInflight = nil
+		if f := ps.commInflight; f.fullH != nil {
+			f.ticket.Wait()
+			e.f16.Put(f.fullH)
+			e.releaseShard(f.shard)
+			ps.commInflight = inflightGather{}
 		}
 	}
 	cp.inflight = cp.inflight[:0]
@@ -141,11 +146,8 @@ func (e *InfinityEngine) endOverlapStep() {
 // every micro-batch boundary and again as the barrier before the overflow
 // check.
 func (e *InfinityEngine) drainReduces() {
-	e.pendingReduces = overlap.Drain(e.pendingReduces, func(ps *pstate, gs []float32) {
-		if acc := ps.gradShard; acc != nil {
-			e.rt.Backend().Axpy(1, gs, acc) // micro-batch accumulation
-		} else {
-			ps.gradShard = gs
-		}
+	e.pendingReduces = overlap.Drain(e.pendingReduces, func(ps *pstate, gs []float32, gh []tensor.Half) {
+		e.f16.Put(gh)
+		e.foldGradShard(ps, gs)
 	})
 }

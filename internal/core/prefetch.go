@@ -52,7 +52,7 @@ func (pf *prefetcher) issue() {
 		if pf.outstanding >= pf.depth {
 			return false
 		}
-		if ps.inflight != nil || ps.commInflight != nil || ps.p.Materialized() {
+		if ps.inflight != nil || ps.commInflight.fullH != nil || ps.p.Materialized() {
 			return true
 		}
 		buf, ok := pf.e.pinned.TryAcquire()

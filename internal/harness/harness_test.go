@@ -12,7 +12,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		"equiv", "fig1", "fig2a", "fig2b", "fig3a", "fig3b", "fig3c",
 		"fig5a", "fig5b", "fig5c", "fig6a", "fig6b-analytic", "fig6b-engine",
 		"fig6b-functional", "fig6c", "fig6d", "fig6e", "nvme-bw", "overlap",
-		"tab1", "tab2", "tab3",
+		"stepalloc", "tab1", "tab2", "tab3",
 	}
 	all := All()
 	if len(all) != len(want) {

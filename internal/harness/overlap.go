@@ -61,7 +61,8 @@ func runOverlapVariant(engine string, depth int, async bool, ranks, steps int) (
 			step = func(tok, tgt []int) (zero.StepResult, error) { return e.Step(tok, tgt, 2), nil }
 			stats = func() core.Stats {
 				return core.Stats{Gathers: e.Gathers, CommPrefetchIssued: e.PrefetchIssued,
-					CommPrefetchHits: e.PrefetchHits, AsyncReduces: e.AsyncReduces}
+					CommPrefetchHits: e.PrefetchHits, AsyncReduces: e.AsyncReduces,
+					AllocsPerStep: e.AllocsPerStep}
 			}
 		default: // infinity-nvme
 			e, err := core.NewInfinityEngine(core.Config{LossScale: 256, Seed: 42, Backend: backend,
@@ -145,6 +146,17 @@ func init() {
 				}
 				fmt.Fprintf(w, "\n  total %.2f ms sync vs %.2f ms overlap (%.2fx)\n\n",
 					sumSync, sumOver, sumSync/sumOver)
+				emitRecord(Record{
+					Name:  "zinf/overlap/" + engine,
+					Unit:  "ms/run",
+					Value: sumOver,
+					Extra: map[string]float64{
+						"sync_ms":            sumSync,
+						"prefetch_hits":      float64(st.CommPrefetchHits),
+						"async_reduces":      float64(st.AsyncReduces),
+						"steady_allocs_step": float64(st.AllocsPerStep),
+					},
+				})
 			}
 			fmt.Fprintln(w, "(the simulator's Fig. 6d ablation models the same effect: zinf-bench -run fig6d)")
 			return nil

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Record is one machine-readable measurement emitted by an experiment — the
+// schema zinf-bench's -json mode serializes (a BENCH_*.json-style artifact
+// CI uploads so regressions in step time or allocation count are diffable
+// across commits).
+type Record struct {
+	// Name identifies the series, e.g. "zinf/stepalloc/zero3/steady".
+	Name string `json:"name"`
+	// Unit is the measurement unit ("ms/step", "allocs/step", ...).
+	Unit string `json:"unit"`
+	// Value is the measurement.
+	Value float64 `json:"value"`
+	// Extra carries secondary counters keyed by name.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+var records []Record
+
+// emitRecord appends a measurement to the run's record list.
+func emitRecord(r Record) { records = append(records, r) }
+
+// Records returns the measurements collected by the experiments run so far.
+func Records() []Record { return records }
+
+// ResetRecords clears the collected measurements.
+func ResetRecords() { records = nil }
+
+// WriteRecords serializes the collected records as an indented JSON document
+// with run metadata — the payload of zinf-bench -json.
+func WriteRecords(w io.Writer, backendName string) error {
+	doc := struct {
+		Bench   string   `json:"bench"`
+		Backend string   `json:"backend"`
+		Records []Record `json:"records"`
+	}{
+		Bench:   "zinf-bench",
+		Backend: backendName,
+		Records: records,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/tensor"
+	"repro/internal/zero"
+)
+
+// The stepalloc experiment surfaces the allocation-free steady-state work:
+// it trains the stage-3 and infinity engines for a few steps and reports
+// each step's wall time and heap-allocation count (Stats.AllocsPerStep /
+// Z3Engine.AllocsPerStep, a process-global runtime-metrics allocation
+// delta). Step 1 warms the scratch arenas, the collective op pool and the
+// gather trace; later steps' engine+comm+tensor contribution is zero, so
+// the residual count is the model's activation allocations only.
+
+type stepAllocRun struct {
+	stepMS []float64
+	allocs []uint64
+	losses []float64
+}
+
+func runStepAllocVariant(engine string, ranks, steps int) (stepAllocRun, error) {
+	mcfg := model.Config{Vocab: 32, Hidden: 32, Heads: 4, Seq: 12, Layers: 4}
+	var out stepAllocRun
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	comm.Run(ranks, func(c *comm.Comm) {
+		g := model.MustGPT(mcfg)
+		var step func(tok, tgt []int) (zero.StepResult, uint64, error)
+		switch engine {
+		case "zero3":
+			e, err := zero.NewZ3Engine(zero.Config{LossScale: 256, Seed: 42, Backend: backend,
+				PrefetchDepth: overlapDepth, Overlap: overlapEnabled}, c, g)
+			if err != nil {
+				fail(err)
+				return
+			}
+			step = func(tok, tgt []int) (zero.StepResult, uint64, error) {
+				res := e.Step(tok, tgt, 2)
+				return res, e.AllocsPerStep, nil
+			}
+		default: // infinity-gpu
+			e, err := core.NewInfinityEngine(core.Config{LossScale: 256, Seed: 42, Backend: backend,
+				PrefetchDepth: overlapDepth, Overlap: overlapEnabled}, c, g)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer e.Close()
+			step = func(tok, tgt []int) (zero.StepResult, uint64, error) {
+				res, err := e.Step(tok, tgt, 2)
+				return res, e.Stats().AllocsPerStep, err
+			}
+		}
+		var local stepAllocRun
+		for s := 0; s < steps; s++ {
+			rng := tensor.NewRNG(uint64(9000 + s*100 + c.Rank()))
+			tok, tgt := model.SyntheticBatch(rng, mcfg, 2)
+			start := time.Now()
+			res, allocs, err := step(tok, tgt)
+			if err != nil {
+				fail(err)
+				return
+			}
+			local.stepMS = append(local.stepMS, float64(time.Since(start).Microseconds())/1000)
+			local.allocs = append(local.allocs, allocs)
+			local.losses = append(local.losses, res.Loss)
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			out = local
+			mu.Unlock()
+		}
+	})
+	return out, firstErr
+}
+
+func init() {
+	register(Experiment{
+		ID:    "stepalloc",
+		Title: "Allocation-free steady state: per-step heap allocations and wall time",
+		Claim: "after step 1 warms the scratch arenas, the engine+comm+tensor hot path stops allocating",
+		Run: func(w io.Writer) error {
+			const ranks, steps = 4, 6
+			for _, engine := range []string{"zero3", "infinity-gpu"} {
+				run, err := runStepAllocVariant(engine, ranks, steps)
+				if err != nil {
+					return fmt.Errorf("%s: %w", engine, err)
+				}
+				fmt.Fprintf(w, "engine %s (%d ranks, backend %s):\n", engine, ranks, backend.Name())
+				tb := newTable(w)
+				tb.row("step", "ms", "allocs/step", "loss")
+				for s := range run.stepMS {
+					tb.row(s, fmt.Sprintf("%.2f", run.stepMS[s]), run.allocs[s],
+						fmt.Sprintf("%.6f", run.losses[s]))
+				}
+				tb.flush()
+				first, last := run.allocs[0], run.allocs[len(run.allocs)-1]
+				if last == 0 {
+					fmt.Fprintf(w, "  step-1 allocs %d -> steady 0 (fully allocation-free)\n\n", first)
+				} else {
+					fmt.Fprintf(w, "  step-1 allocs %d -> steady %d (%.1fx fewer; residual = model activations)\n\n",
+						first, last, float64(first)/float64(last))
+				}
+				emitRecord(Record{
+					Name:  "zinf/stepalloc/" + engine + "/steady",
+					Unit:  "allocs/step",
+					Value: float64(last),
+					Extra: map[string]float64{
+						"first_step_allocs": float64(first),
+						"steady_ms":         run.stepMS[len(run.stepMS)-1],
+					},
+				})
+			}
+			return nil
+		},
+	})
+}

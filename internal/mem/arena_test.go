@@ -1,0 +1,80 @@
+package mem
+
+import "testing"
+
+func TestArenaReuse(t *testing.T) {
+	a := NewArena[float32]()
+	s := a.Get(100)
+	if len(s) != 100 || cap(s) != 128 {
+		t.Fatalf("Get(100): len %d cap %d, want 100/128", len(s), cap(s))
+	}
+	s[0] = 42
+	a.Put(s)
+	// Any length in the same class reuses the buffer.
+	r := a.Get(65)
+	if len(r) != 65 || cap(r) != 128 {
+		t.Fatalf("Get(65): len %d cap %d, want 65/128", len(r), cap(r))
+	}
+	if r[0] != 42 {
+		t.Fatalf("arena did not reuse the pooled buffer")
+	}
+	if gets, hits, _ := a.Stats(); gets != 2 || hits != 1 {
+		t.Fatalf("stats = %d gets / %d hits, want 2/1", gets, hits)
+	}
+}
+
+func TestArenaGetZeroed(t *testing.T) {
+	a := NewArena[float32]()
+	s := a.Get(8)
+	for i := range s {
+		s[i] = 1
+	}
+	a.Put(s)
+	z := a.GetZeroed(8)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("GetZeroed[%d] = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestArenaDropsForeignAndZero(t *testing.T) {
+	a := NewArena[float32]()
+	a.Put(nil)                   // no-op
+	a.Put(make([]float32, 0, 3)) // non-power-of-two cap: dropped
+	if _, _, retained := a.Stats(); retained != 0 {
+		t.Fatalf("foreign buffers retained: %d", retained)
+	}
+	if s := a.Get(0); s != nil {
+		t.Fatalf("Get(0) = %v, want nil", s)
+	}
+}
+
+func TestArenaBackPressure(t *testing.T) {
+	a := NewArena[float32]()
+	bufs := make([][]float32, 0, maxFreePerClass+8)
+	for i := 0; i < maxFreePerClass+8; i++ {
+		bufs = append(bufs, a.Get(16))
+	}
+	for _, b := range bufs {
+		a.Put(b)
+	}
+	if _, _, retained := a.Stats(); retained != maxFreePerClass {
+		t.Fatalf("retained %d buffers, want bound %d", retained, maxFreePerClass)
+	}
+}
+
+func TestArenaExactPowerOfTwo(t *testing.T) {
+	a := NewArena[uint16]()
+	s := a.Get(64)
+	if cap(s) != 64 {
+		t.Fatalf("Get(64) cap = %d, want 64", cap(s))
+	}
+	a.Put(s)
+	if r := a.Get(64); cap(r) != 64 {
+		t.Fatalf("reuse cap = %d, want 64", cap(r))
+	}
+	if _, hits, _ := a.Stats(); hits != 1 {
+		t.Fatalf("exact-class reuse missed")
+	}
+}

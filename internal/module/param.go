@@ -33,6 +33,13 @@ type Param struct {
 	// onDemand, when set by an engine, is invoked by Data() if the
 	// parameter is not materialized. It must leave the parameter gathered.
 	onDemand func(*Param)
+	// gradGet/gradPut, when set by an engine, route the gradient
+	// accumulator through the engine's scratch arena instead of the heap:
+	// Grad() draws (and zeroes) a buffer via gradGet, ReleaseGrad returns
+	// it via gradPut. This is what keeps the backward pass allocation-free
+	// in steady state.
+	gradGet func(n int) []float32
+	gradPut func([]float32)
 	// accessedWhileReleased counts on-demand gathers, exposed so tests can
 	// verify auto-registration fired.
 	accessedWhileReleased int
@@ -87,11 +94,25 @@ func (p *Param) SetOnDemand(fn func(*Param)) { p.onDemand = fn }
 // on-demand handler.
 func (p *Param) OnDemandGathers() int { return p.accessedWhileReleased }
 
+// SetGradScratch installs an engine-owned gradient-buffer recycler: get
+// returns a buffer of the requested length (contents may be stale; Grad
+// zeroes it), put takes a released buffer back. Either may be nil to restore
+// plain heap allocation.
+func (p *Param) SetGradScratch(get func(n int) []float32, put func([]float32)) {
+	p.gradGet, p.gradPut = get, put
+}
+
 // Grad returns the fp32 gradient accumulator, allocating it zeroed on first
-// use.
+// use (from the engine's scratch arena when one is installed).
 func (p *Param) Grad() []float32 {
 	if p.grad == nil {
-		p.grad = make([]float32, p.n)
+		if p.gradGet != nil {
+			g := p.gradGet(p.n)
+			clear(g)
+			p.grad = g
+		} else {
+			p.grad = make([]float32, p.n)
+		}
 	}
 	return p.grad
 }
@@ -99,8 +120,14 @@ func (p *Param) Grad() []float32 {
 // HasGrad reports whether a gradient buffer is live.
 func (p *Param) HasGrad() bool { return p.grad != nil }
 
-// ReleaseGrad drops the gradient buffer (after reduce-scatter/offload).
-func (p *Param) ReleaseGrad() { p.grad = nil }
+// ReleaseGrad drops the gradient buffer (after reduce-scatter/offload),
+// recycling it through the engine's scratch arena when one is installed.
+func (p *Param) ReleaseGrad() {
+	if p.grad != nil && p.gradPut != nil {
+		p.gradPut(p.grad)
+	}
+	p.grad = nil
+}
 
 // ZeroGrad zeroes the gradient buffer if it is live.
 func (p *Param) ZeroGrad() {

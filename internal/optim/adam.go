@@ -94,25 +94,39 @@ func StepVecOn(be tensor.Backend, cfg AdamConfig, step int, params, grads, m, v 
 	if len(params) != len(grads) || len(params) != len(m) || len(params) != len(v) {
 		panic("optim: StepVec length mismatch")
 	}
-	b1, b2 := cfg.Beta1, cfg.Beta2
-	bc1 := 1 - math.Pow(b1, float64(step))
-	bc2 := 1 - math.Pow(b2, float64(step))
-	lr, eps, wd := cfg.LR, cfg.Eps, cfg.WeightDecay
+	bc1 := 1 - math.Pow(cfg.Beta1, float64(step))
+	bc2 := 1 - math.Pow(cfg.Beta2, float64(step))
 	be = tensor.DefaultBackend(be)
+	if tensor.IsReference(be) {
+		// Serial fast path: a closure handed to the Backend interface would
+		// escape (one heap allocation per update), which the allocation-free
+		// steady-state contract forbids.
+		adamChunk(cfg, bc1, bc2, params, grads, m, v, 0, len(grads))
+		return
+	}
 	be.ParRange(len(grads), 1<<12, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			gf := float64(grads[i])
-			if wd != 0 {
-				gf += wd * float64(params[i])
-			}
-			mf := b1*float64(m[i]) + (1-b1)*gf
-			vf := b2*float64(v[i]) + (1-b2)*gf*gf
-			m[i] = float32(mf)
-			v[i] = float32(vf)
-			update := (mf / bc1) / (math.Sqrt(vf/bc2) + eps)
-			params[i] = float32(float64(params[i]) - lr*update)
-		}
+		adamChunk(cfg, bc1, bc2, params, grads, m, v, lo, hi)
 	})
+}
+
+// adamChunk applies the elementwise update to [lo, hi). Each element is
+// touched exactly once with no cross-element reduction, so partitioned
+// execution is bit-identical to serial.
+func adamChunk(cfg AdamConfig, bc1, bc2 float64, params, grads, m, v []float32, lo, hi int) {
+	b1, b2 := cfg.Beta1, cfg.Beta2
+	lr, eps, wd := cfg.LR, cfg.Eps, cfg.WeightDecay
+	for i := lo; i < hi; i++ {
+		gf := float64(grads[i])
+		if wd != 0 {
+			gf += wd * float64(params[i])
+		}
+		mf := b1*float64(m[i]) + (1-b1)*gf
+		vf := b2*float64(v[i]) + (1-b2)*gf*gf
+		m[i] = float32(mf)
+		v[i] = float32(vf)
+		update := (mf / bc1) / (math.Sqrt(vf/bc2) + eps)
+		params[i] = float32(float64(params[i]) - lr*update)
+	}
 }
 
 // State exposes the momentum and variance vectors for offload/serialization.

@@ -1,34 +1,35 @@
 package overlap
 
-import "repro/internal/tensor"
-
-// Waiter is the completion handle of an asynchronously launched collective.
-type Waiter interface{ Wait() }
+import (
+	"repro/internal/comm"
+	"repro/internal/tensor"
+)
 
 // Pending is one asynchronously launched gradient reduce-scatter: the
-// ticket, the binary16 destination shard, and the gradient source buffer
-// kept alive until the ticket completes.
+// ticket, the fp32 destination shard the fused reduce-scatter+decode
+// collective fills, and the binary16 gradient source buffer kept alive
+// until the ticket completes. Both buffers typically come from the engine's
+// scratch arena; the fold callback owns returning them.
 type Pending[K comparable] struct {
 	Key    K
-	Ticket Waiter
-	ShardH []tensor.Half
+	Ticket comm.Ticket
+	Shard  []float32
 	GH     []tensor.Half
 }
 
-// Drain waits out pending reduces in issue order, decodes each shard to
-// fp32 and hands it to fold. Issue order is exactly the synchronous
-// engines' accumulation sequence, which is what keeps overlapped
-// trajectories bit-identical — this is the single canonical implementation
-// of that ordering, shared by the stage-3 and infinity engines. Entries are
-// zeroed as they are folded (releasing the gradient buffers) and the
+// Drain waits out pending reduces in issue order and hands each completed
+// fp32 shard (plus its retired gradient source buffer) to fold. Issue order
+// is exactly the synchronous engines' accumulation sequence, which is what
+// keeps overlapped trajectories bit-identical — this is the single canonical
+// implementation of that ordering, shared by the stage-3 and infinity
+// engines. fold decides each buffer's fate (accumulate-and-recycle or keep
+// as the gradient shard); entries are zeroed as they are folded and the
 // emptied, reusable slice is returned.
-func Drain[K comparable](pending []Pending[K], fold func(key K, gs []float32)) []Pending[K] {
+func Drain[K comparable](pending []Pending[K], fold func(key K, shard []float32, gh []tensor.Half)) []Pending[K] {
 	for i := range pending {
 		p := &pending[i]
 		p.Ticket.Wait()
-		gs := make([]float32, len(p.ShardH))
-		tensor.DecodeHalf(gs, p.ShardH)
-		fold(p.Key, gs)
+		fold(p.Key, p.Shard, p.GH)
 		*p = Pending[K]{}
 	}
 	return pending[:0]

@@ -33,6 +33,12 @@ type Backend interface {
 	// SoftmaxRowsBackward computes per-row dx = (dy - sum(dy*y)) * y.
 	SoftmaxRowsBackward(dx, dy, y []float32, m, n int)
 
+	// EncodeHalf converts src to binary16 (round-to-nearest-even) into dst.
+	// Elementwise, so fan-out is trivially bit-identical to the serial loop.
+	EncodeHalf(dst []Half, src []float32)
+	// DecodeHalf converts binary16 src into dst exactly (LUT lookup).
+	DecodeHalf(dst []float32, src []Half)
+
 	// Add computes dst = a + b elementwise.
 	Add(dst, a, b []float32)
 	// Mul computes dst = a * b elementwise.
@@ -79,6 +85,8 @@ func (reference) SoftmaxRows(x []float32, m, n int)           { SoftmaxRows(x, m
 func (reference) SoftmaxRowsBackward(dx, dy, y []float32, m, n int) {
 	SoftmaxRowsBackward(dx, dy, y, m, n)
 }
+func (reference) EncodeHalf(dst []Half, src []float32) { EncodeHalf(dst, src) }
+func (reference) DecodeHalf(dst []float32, src []Half) { DecodeHalf(dst, src) }
 func (reference) Add(dst, a, b []float32)              { Add(dst, a, b) }
 func (reference) Mul(dst, a, b []float32)              { Mul(dst, a, b) }
 func (reference) Axpy(alpha float32, x, y []float32)   { Axpy(alpha, x, y) }
@@ -109,6 +117,15 @@ func ByName(name string) (Backend, error) {
 
 // BackendNames lists the registered backend names.
 func BackendNames() []string { return []string{"reference", "parallel"} }
+
+// IsReference reports whether be is the serial reference backend. Hot-path
+// callers use it to run small elementwise loops directly instead of building
+// a closure for ParRange — a closure passed through an interface call always
+// escapes, and the zero-allocation steady-state contract forbids that.
+func IsReference(be Backend) bool {
+	_, ok := be.(reference)
+	return ok
+}
 
 // DefaultBackend returns b, or the reference backend when b is nil — the
 // idiom configs use to make the zero value mean "serial".

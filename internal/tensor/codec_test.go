@@ -1,0 +1,156 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// Exhaustive LUT-vs-scalar equivalence: every one of the 65536 binary16 bit
+// patterns must decode through Float32FromHalf (the LUT) to the exact bits
+// the scalar converter produces — NaN payloads included.
+func TestFloat32FromHalfLUTMatchesScalarExhaustive(t *testing.T) {
+	for i := 0; i < 1<<16; i++ {
+		h := Half(i)
+		lut := math.Float32bits(Float32FromHalf(h))
+		scalar := math.Float32bits(float32FromHalfScalar(h))
+		if lut != scalar {
+			t.Fatalf("half %#04x: LUT bits %#08x != scalar bits %#08x", i, lut, scalar)
+		}
+		if method := math.Float32bits(h.Float32()); method != scalar {
+			t.Fatalf("half %#04x: Float32() bits %#08x != scalar bits %#08x", i, method, scalar)
+		}
+	}
+}
+
+// encodeEdgeCases are the inputs where branch-reduced rounding is most
+// likely to diverge from the scalar converter: NaN payloads, infinities,
+// signed zeros, subnormal boundaries, halfway rounding points, and the
+// overflow threshold.
+func encodeEdgeCases() []float32 {
+	f32 := math.Float32frombits
+	cases := []float32{
+		0, f32(0x80000000), // ±0
+		1, -1, 2, 0.5, 65504, -65504,
+		65519.996, 65520, 65535.9, 65536, -1e9, // overflow threshold
+		float32(math.Inf(1)), float32(math.Inf(-1)),
+		f32(0x7fc00000), f32(0x7f800001), f32(0x7fffffff), // NaN payloads
+		f32(0xffc00000), f32(0xff923456), // negative NaN payloads
+		6.103515625e-05, 5.9604644775390625e-08, // smallest normal/subnormal half
+		-5.9604644775390625e-08,
+		f32(0x33800000), f32(0x337fffff), f32(0x33ffffff), // subnormal-range boundary ±1ulp
+		f32(0x38800000), f32(0x387fffff), // normal/subnormal boundary
+		f32(0x00000001), f32(0x007fffff), // fp32 subnormals -> flush
+		float32(1 + 1.0/2048), float32(1 + 3.0/2048), 2047.5, // RNE ties
+		f32(0x33000000), f32(0x32ffffff), // below half the smallest subnormal
+		1e-10, -1e-10,
+	}
+	// Dense sweep across every binary16 value's neighbourhood: decode each
+	// half, nudge the float32 bits by ±1, and feed those through too.
+	for i := 0; i < 1<<16; i++ {
+		f := float32FromHalfScalar(Half(i))
+		b := math.Float32bits(f)
+		cases = append(cases, f, f32(b+1))
+		if b != 0 && b != 0x80000000 {
+			cases = append(cases, f32(b-1))
+		}
+	}
+	return cases
+}
+
+// Edge-case equivalence of the branch-reduced encoder against the original
+// scalar encoder (bit-exact, including NaN payload handling).
+func TestHalfFromFloat32MatchesScalarEdgeCases(t *testing.T) {
+	for _, f := range encodeEdgeCases() {
+		fast, slow := HalfFromFloat32(f), halfFromFloat32Scalar(f)
+		if fast != slow {
+			t.Fatalf("HalfFromFloat32(%g / %#08x) = %#04x, scalar = %#04x",
+				f, math.Float32bits(f), fast, slow)
+		}
+	}
+}
+
+// Randomized equivalence over raw float32 bit patterns (covers the whole
+// input space including NaNs, infs and denormals).
+func TestHalfFromFloat32MatchesScalarRandom(t *testing.T) {
+	rng := NewRNG(0xC0DEC)
+	for i := 0; i < 2_000_000; i++ {
+		bits := uint32(rng.Uint64())
+		f := math.Float32frombits(bits)
+		fast, slow := HalfFromFloat32(f), halfFromFloat32Scalar(f)
+		if fast != slow {
+			t.Fatalf("bits %#08x: fast %#04x != scalar %#04x", bits, fast, slow)
+		}
+	}
+}
+
+// The backend codec kernels must be bit-identical to the serial package
+// functions on every backend, across sizes spanning the fan-out grain.
+func TestBackendCodecEquivalence(t *testing.T) {
+	sizes := []int{0, 1, 7, 1000, codecGrain - 1, codecGrain, 4*codecGrain + 13}
+	for _, name := range BackendNames() {
+		be, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range sizes {
+			src := make([]float32, n)
+			NewRNG(uint64(31+n)).FillNormal(src, 4)
+			if n > 2 {
+				src[0] = float32(math.NaN())
+				src[1] = float32(math.Inf(1))
+				src[2] = 1e-9 // underflows binary16 to signed zero
+			}
+			want := make([]Half, n)
+			EncodeHalf(want, src)
+			got := make([]Half, n)
+			be.EncodeHalf(got, src)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s EncodeHalf n=%d elem %d: %#04x != %#04x", name, n, i, got[i], want[i])
+				}
+			}
+			wantF := make([]float32, n)
+			DecodeHalf(wantF, want)
+			gotF := make([]float32, n)
+			be.DecodeHalf(gotF, want)
+			for i := range wantF {
+				if math.Float32bits(gotF[i]) != math.Float32bits(wantF[i]) {
+					t.Fatalf("%s DecodeHalf n=%d elem %d: %g != %g", name, n, i, gotF[i], wantF[i])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFp16Codec measures the table-driven codec through each backend at
+// 1M elements. ReportAllocs documents the zero-allocation dispatch (the
+// parallel fan-out reuses pooled chunk descriptors).
+func BenchmarkFp16Codec(b *testing.B) {
+	const n = 1 << 20
+	src := make([]float32, n)
+	NewRNG(7).FillNormal(src, 1)
+	hs := make([]Half, n)
+	EncodeHalf(hs, src)
+	dstH := make([]Half, n)
+	dstF := make([]float32, n)
+	for _, name := range BackendNames() {
+		be, err := ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("encode/backend="+name, func(b *testing.B) {
+			b.SetBytes(n * 4)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				be.EncodeHalf(dstH, src)
+			}
+		})
+		b.Run("decode/backend="+name, func(b *testing.B) {
+			b.SetBytes(n * 2)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				be.DecodeHalf(dstF, hs)
+			}
+		})
+	}
+}

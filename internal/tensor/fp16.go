@@ -25,9 +25,60 @@ const (
 	HalfSmallestNormal = float32(6.103515625e-05)
 )
 
+// halfToF32 is the 64Ki-entry decode LUT: every binary16 bit pattern's exact
+// float32 value, including NaN payloads (quiet bit and payload shift match
+// the scalar conversion bit for bit). 256 KiB, built once at init from the
+// scalar converter so the table is bit-identical to it by construction.
+var halfToF32 [1 << 16]float32
+
+func init() {
+	for i := range halfToF32 {
+		halfToF32[i] = float32FromHalfScalar(Half(i))
+	}
+}
+
 // HalfFromFloat32 converts f to binary16 with round-to-nearest-even,
-// handling NaN, infinities, overflow to infinity, and subnormals.
+// handling NaN payloads, infinities, overflow to infinity, and subnormals.
+// The conversion is branch-reduced: the common normal-range case is a
+// single re-bias plus an arithmetic rounding increment (the carry out of the
+// mantissa rolls into the exponent, which is exactly the correct RNE
+// behaviour, including overflow to infinity). It is bit-identical to the
+// original branchy scalar converter, kept below as halfFromFloat32Scalar.
 func HalfFromFloat32(f float32) Half {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & halfSignMask
+	m := b & 0x7fffffff
+
+	switch {
+	case m >= 0x7f800000: // Inf or NaN
+		if m == 0x7f800000 {
+			return Half(sign | halfExpMask)
+		}
+		// NaN: keep a quiet-NaN payload bit so it stays a NaN.
+		return Half(sign | halfExpMask | 0x200 | uint16((m&0x7fffff)>>13))
+	case m >= 0x47800000: // |f| >= 65536: overflow to infinity
+		return Half(sign | halfExpMask)
+	case m >= 0x38800000: // normal half range (e >= -14)
+		// Re-bias exponent (127-15 in the fp32 position) and drop 13
+		// mantissa bits; the increment term implements round-to-nearest-even
+		// on the dropped bits and carries into the exponent when needed.
+		h := uint16((m - 0x38000000) >> 13)
+		return Half(sign + h + uint16((m&0x1fff+0xfff+uint32(h&1))>>13))
+	case m >= 0x33800000: // subnormal half range (e in [-24, -15])
+		shift := 126 - m>>23 // in [14, 23]
+		full := m&0x7fffff | 0x800000
+		mant := uint16(full >> shift)
+		rem := full & (1<<shift - 1)
+		// RNE: round up when rem > halfway, or rem == halfway and mant odd.
+		return Half(sign | (mant + uint16((rem+(1<<(shift-1))-1+uint32(mant&1))>>shift)))
+	default: // underflow -> signed zero
+		return Half(sign)
+	}
+}
+
+// halfFromFloat32Scalar is the original fully-branched converter, retained
+// as the correctness baseline the branch-reduced encoder is tested against.
+func halfFromFloat32Scalar(f float32) Half {
 	b := math.Float32bits(f)
 	sign := uint16(b>>16) & halfSignMask
 	exp := int32(b>>23) & 0xff
@@ -76,8 +127,15 @@ func HalfFromFloat32(f float32) Half {
 	}
 }
 
-// Float32 converts the binary16 value to float32 exactly.
-func (h Half) Float32() float32 {
+// Float32 converts the binary16 value to float32 exactly (table lookup).
+func (h Half) Float32() float32 { return halfToF32[h] }
+
+// Float32FromHalf converts h to float32 exactly via the decode LUT.
+func Float32FromHalf(h Half) float32 { return halfToF32[h] }
+
+// float32FromHalfScalar is the original bit-manipulating decode, retained as
+// the LUT generator and the exhaustive-equivalence baseline.
+func float32FromHalfScalar(h Half) float32 {
 	sign := uint32(h&halfSignMask) << 16
 	exp := uint32(h&halfExpMask) >> 10
 	frac := uint32(h & halfFracMask)
@@ -112,20 +170,28 @@ func (h Half) IsInf() bool {
 const HalfBytes = 2
 
 // EncodeHalf converts src to binary16, storing into dst. It panics if dst is
-// shorter than src.
+// shorter than src. This is the serial kernel; Backend.EncodeHalf fans the
+// same conversion out over the worker pool.
 func EncodeHalf(dst []Half, src []float32) {
-	_ = dst[len(src)-1]
+	if len(dst) < len(src) {
+		panic("tensor: EncodeHalf dst too short")
+	}
+	dst = dst[:len(src)]
 	for i, f := range src {
 		dst[i] = HalfFromFloat32(f)
 	}
 }
 
 // DecodeHalf converts src from binary16 into dst. It panics if dst is shorter
-// than src.
+// than src. This is the serial kernel; Backend.DecodeHalf fans the same
+// lookup out over the worker pool.
 func DecodeHalf(dst []float32, src []Half) {
-	_ = dst[len(src)-1]
+	if len(dst) < len(src) {
+		panic("tensor: DecodeHalf dst too short")
+	}
+	dst = dst[:len(src)]
 	for i, h := range src {
-		dst[i] = h.Float32()
+		dst[i] = halfToF32[h]
 	}
 }
 
@@ -133,7 +199,7 @@ func DecodeHalf(dst []float32, src []Half) {
 // simulating an FP16 store + load. It returns x.
 func RoundTripHalf(x []float32) []float32 {
 	for i, f := range x {
-		x[i] = HalfFromFloat32(f).Float32()
+		x[i] = halfToF32[HalfFromFloat32(f)]
 	}
 	return x
 }

@@ -1,5 +1,7 @@
 package tensor
 
+import "sync"
+
 // The parallel backend: cache-blocked (tiled) kernels fanned out over a
 // shared worker pool. Work is always partitioned at row (or element)
 // granularity, and within a row every output element accumulates its
@@ -203,6 +205,55 @@ func (p *parallel) SoftmaxRowsBackward(dx, dy, y []float32, m, n int) {
 	p.pool.ParallelFor(m, Grain(2*n), func(lo, hi int) {
 		SoftmaxRowsBackward(dx[lo*n:hi*n], dy[lo*n:hi*n], y[lo*n:hi*n], hi-lo, n)
 	})
+}
+
+// codecArgs carries one fp16 codec call's buffers to the package-level chunk
+// functions. Pooling the struct and boxing only its pointer keeps the codec
+// kernels' dispatch completely allocation-free — the property the
+// zero-allocation steady-state step and BenchmarkFp16Codec assert.
+type codecArgs struct {
+	hdst []Half
+	fdst []float32
+	hsrc []Half
+	fsrc []float32
+}
+
+var codecArgsPool = sync.Pool{New: func() any { return new(codecArgs) }}
+
+// codecGrain: the conversions are a few ops per element, so require large
+// chunks before fanning out.
+const codecGrain = minParWork / 8
+
+func encodeChunk(ctx any, lo, hi int) {
+	a := ctx.(*codecArgs)
+	EncodeHalf(a.hdst[lo:hi], a.fsrc[lo:hi])
+}
+
+func decodeChunk(ctx any, lo, hi int) {
+	a := ctx.(*codecArgs)
+	DecodeHalf(a.fdst[lo:hi], a.hsrc[lo:hi])
+}
+
+func (p *parallel) EncodeHalf(dst []Half, src []float32) {
+	if len(dst) < len(src) {
+		panic("tensor: EncodeHalf dst too short")
+	}
+	a := codecArgsPool.Get().(*codecArgs)
+	a.hdst, a.fsrc = dst, src
+	p.pool.ParallelForCtx(len(src), codecGrain, a, encodeChunk)
+	*a = codecArgs{}
+	codecArgsPool.Put(a)
+}
+
+func (p *parallel) DecodeHalf(dst []float32, src []Half) {
+	if len(dst) < len(src) {
+		panic("tensor: DecodeHalf dst too short")
+	}
+	a := codecArgsPool.Get().(*codecArgs)
+	a.fdst, a.hsrc = dst, src
+	p.pool.ParallelForCtx(len(src), codecGrain, a, decodeChunk)
+	*a = codecArgs{}
+	codecArgsPool.Put(a)
 }
 
 func (p *parallel) Add(dst, a, b []float32) {

@@ -11,7 +11,19 @@ import (
 // kernel latency degrades gracefully instead of queueing behind other ranks.
 type Pool struct {
 	workers int
-	tasks   chan func()
+	tasks   chan task
+}
+
+// task is one dispatched chunk. It is a plain value — sending it over the
+// channel copies it, so dispatch itself performs no heap allocation; the only
+// per-call allocation a kernel pays is its own fn closure, and kernels on the
+// zero-allocation hot path avoid even that by passing a pooled ctx to a
+// package-level fn (see ParallelForCtx and the fp16 codec kernels).
+type task struct {
+	fn     func(ctx any, lo, hi int)
+	ctx    any
+	lo, hi int
+	wg     *sync.WaitGroup
 }
 
 // NewPool starts a pool with the given number of worker goroutines
@@ -24,11 +36,12 @@ func NewPool(workers int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Pool{workers: workers, tasks: make(chan func(), workers)}
+	p := &Pool{workers: workers, tasks: make(chan task, workers)}
 	for i := 0; i < workers; i++ {
 		go func() {
-			for f := range p.tasks {
-				f()
+			for t := range p.tasks {
+				t.fn(t.ctx, t.lo, t.hi)
+				t.wg.Done()
 			}
 		}()
 	}
@@ -51,6 +64,16 @@ func sharedPool() *Pool {
 	return sharedPoolInst
 }
 
+// wgPool recycles the WaitGroups ParallelFor hands to its tasks; a
+// WaitGroup stored in a task escapes, so pooling keeps steady-state
+// dispatch allocation-free.
+var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+
+// callClosure adapts the closure-based ParallelFor API onto the ctx-based
+// dispatch. Boxing a func value into any is allocation-free (funcs are
+// pointer-shaped); the closure itself is the caller's single allocation.
+func callClosure(ctx any, lo, hi int) { ctx.(func(lo, hi int))(lo, hi) }
+
 // ParallelFor partitions [0, n) into at most Workers() contiguous chunks and
 // runs fn on each, concurrently where workers are free. grain is the minimum
 // chunk size: work smaller than one grain runs inline with no dispatch at
@@ -61,6 +84,15 @@ func sharedPool() *Pool {
 // control — callers that need row granularity scale n to rows and multiply
 // inside fn.
 func (p *Pool) ParallelFor(n, grain int, fn func(lo, hi int)) {
+	p.ParallelForCtx(n, grain, fn, callClosure)
+}
+
+// ParallelForCtx is ParallelFor with the chunk function split into a
+// package-level fn and a caller-owned ctx. When ctx is a pooled pointer and
+// fn a top-level function, dispatch performs zero heap allocations — the
+// form the fp16 codec kernels use so conversion stays off the allocator even
+// at full fan-out.
+func (p *Pool) ParallelForCtx(n, grain int, ctx any, fn func(ctx any, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -72,30 +104,28 @@ func (p *Pool) ParallelFor(n, grain int, fn func(lo, hi int)) {
 		parts = max
 	}
 	if parts <= 1 {
-		fn(0, n)
+		fn(ctx, 0, n)
 		return
 	}
 	chunk := (n + parts - 1) / parts
-	var wg sync.WaitGroup
+	wg := wgPool.Get().(*sync.WaitGroup)
 	for lo := chunk; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		wg.Add(1)
-		lo, hi := lo, hi
-		task := func() {
-			defer wg.Done()
-			fn(lo, hi)
-		}
+		t := task{fn: fn, ctx: ctx, lo: lo, hi: hi, wg: wg}
 		select {
-		case p.tasks <- task:
+		case p.tasks <- t:
 		default:
 			// All workers busy: run this chunk on the caller.
-			task()
+			fn(ctx, lo, hi)
+			wg.Done()
 		}
 	}
 	// The caller always computes the first chunk itself.
-	fn(0, chunk)
+	fn(ctx, 0, chunk)
 	wg.Wait()
+	wgPool.Put(wg)
 }

@@ -1,0 +1,222 @@
+package zero
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/module"
+	"repro/internal/tensor"
+)
+
+// The zero-allocation regression test drives the real Z3 engine (overlap +
+// prefetch on) with a stub model whose forward/backward reuse preallocated
+// tensors, so every heap allocation observed during a step is attributable
+// to the engine+comm+tensor hot path: gathers, async collectives, gradient
+// reduction, the optimizer phase and loss-scale bookkeeping. After a warm-up
+// step fills the scratch arenas, the op pool and the learned gather trace, a
+// steady-state step must perform zero heap allocations.
+
+// afLayer is an allocation-free Layer: y = 0.9*x + 0.1*w elementwise, with
+// dW += 0.5*dy and dx = 0.9*dy, all into preallocated buffers. Accessing
+// p.Data()/p.Grad() exercises the engine's gather and gradient paths.
+type afLayer struct {
+	module.Base
+	p   *module.Param
+	out *tensor.Tensor
+	dx  *tensor.Tensor
+}
+
+func newAFLayer(name string, n int) *afLayer {
+	l := &afLayer{
+		p:   module.NewParam(name+".w", 0.02, n),
+		out: tensor.New(tensor.FP32, n),
+		dx:  tensor.New(tensor.FP32, n),
+	}
+	l.ModName = name
+	l.OwnParams = []*module.Param{l.p}
+	return l
+}
+
+func (l *afLayer) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
+	w := l.p.Data()
+	xd := x.Float32s()
+	yd := l.out.Float32s()
+	for i := range yd {
+		yd[i] = 0.9*xd[i] + 0.1*w[i]
+	}
+	return l.out
+}
+
+func (l *afLayer) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
+	g := l.p.Grad()
+	dyd := dy.Float32s()
+	for i := range g {
+		g[i] += 0.5 * dyd[i]
+	}
+	dxd := l.dx.Float32s()
+	for i := range dxd {
+		dxd[i] = 0.9 * dyd[i]
+	}
+	return l.dx
+}
+
+// afModel chains afLayers and implements zero.Model without allocating in
+// ForwardLoss/BackwardLoss.
+type afModel struct {
+	module.Base
+	layers []*afLayer
+	x, dy  *tensor.Tensor
+}
+
+func newAFModel(layers, n int) *afModel {
+	m := &afModel{x: tensor.New(tensor.FP32, n), dy: tensor.New(tensor.FP32, n)}
+	m.ModName = "afmodel"
+	for i := 0; i < layers; i++ {
+		l := newAFLayer("layer"+string(rune('a'+i)), n)
+		m.layers = append(m.layers, l)
+		m.Kids = append(m.Kids, l)
+	}
+	xd := m.x.Float32s()
+	for i := range xd {
+		xd[i] = float32(i%7) * 0.25
+	}
+	return m
+}
+
+func (m *afModel) ForwardLoss(rt *module.Runtime, tokens, targets []int, batch int) float64 {
+	h := m.x
+	for _, l := range m.layers {
+		h = rt.Forward(l, h)
+	}
+	var s float64
+	for _, v := range h.Float32s() {
+		s += float64(v)
+	}
+	return s / float64(h.Len())
+}
+
+func (m *afModel) BackwardLoss(rt *module.Runtime, scale float32) {
+	dyd := m.dy.Float32s()
+	for i := range dyd {
+		dyd[i] = scale * 0.001
+	}
+	d := m.dy
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		d = rt.Backward(m.layers[i], d)
+	}
+}
+
+var _ Model = (*afModel)(nil)
+var _ module.Layer = (*afLayer)(nil)
+
+// TestSteadyStateZeroAllocs asserts that after warm-up, a Z3 training step
+// with overlap and gather prefetch enabled performs zero heap allocations in
+// the engine+comm+tensor hot path. Each measured window spans one full
+// world-wide step (all ranks inside, fenced by barriers) and records the
+// process-global mallocs delta. Hot-path allocations are deterministic — an
+// arena or op-pool miss would recur in every window — so the assertion takes
+// the minimum over several windows, which filters the Go runtime's own
+// sporadic, scheduling-dependent bookkeeping allocations (unprofiled ~48-byte
+// park/GC internals) without masking a real engine leak.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race")
+	}
+	const (
+		ranks    = 2
+		paramLen = 51 // not divisible by ranks: exercises padded-tail zeroing
+		layers   = 4
+		warmup   = 3
+		windows  = 4
+	)
+	minAllocs := ^uint64(0)
+	minPerStep := ^uint64(0)
+	comm.Run(ranks, func(c *comm.Comm) {
+		m := newAFModel(layers, paramLen)
+		e, err := NewZ3Engine(Config{LossScale: 1, Seed: 11, Overlap: true, PrefetchDepth: 2}, c, m)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		tok := make([]int, 1)
+		tgt := make([]int, 1)
+		for i := 0; i < warmup; i++ {
+			if res := e.Step(tok, tgt, 1); res.Skipped {
+				t.Error("warm-up step skipped (unexpected overflow)")
+				return
+			}
+		}
+		// Settle the heap once; the barrier keeps every rank's warm-up tail
+		// out of the first window.
+		c.Barrier()
+		if c.Rank() == 0 {
+			runtime.GC()
+		}
+		var ms0, ms1 runtime.MemStats
+		for w := 0; w < windows; w++ {
+			if c.Rank() == 0 {
+				runtime.ReadMemStats(&ms0)
+			}
+			// Nobody enters the window before ms0 is read.
+			c.Barrier()
+			e.Step(tok, tgt, 1)
+			// Every rank's step lands before ms1 is read.
+			c.Barrier()
+			if c.Rank() == 0 {
+				runtime.ReadMemStats(&ms1)
+				if d := ms1.Mallocs - ms0.Mallocs; d < minAllocs {
+					minAllocs = d
+				}
+				if e.AllocsPerStep < minPerStep {
+					minPerStep = e.AllocsPerStep
+				}
+			}
+		}
+	})
+	if minAllocs != 0 {
+		t.Fatalf("every steady-state Z3 step performed heap allocations (min %d over %d windows), want 0", minAllocs, windows)
+	}
+	// The engine's own per-step counter must agree.
+	if minPerStep != 0 {
+		t.Fatalf("Z3Engine.AllocsPerStep min = %d after steady state, want 0", minPerStep)
+	}
+}
+
+// TestAFModelTrainsBitIdenticallyAcrossOverlap sanity-checks the stub model:
+// the allocation-free path must produce the same trajectory with and without
+// overlap, so the zero-alloc test is exercising the real engine semantics.
+func TestAFModelLossMatchesAcrossOverlap(t *testing.T) {
+	losses := func(overlapOn bool) []float64 {
+		var out []float64
+		comm.Run(2, func(c *comm.Comm) {
+			m := newAFModel(3, 40)
+			cfg := Config{LossScale: 1, Seed: 5}
+			if overlapOn {
+				cfg.Overlap = true
+				cfg.PrefetchDepth = 2
+			}
+			e, err := NewZ3Engine(cfg, c, m)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tok := make([]int, 1)
+			tgt := make([]int, 1)
+			var l []float64
+			for i := 0; i < 4; i++ {
+				l = append(l, e.Step(tok, tgt, 1).Loss)
+			}
+			if c.Rank() == 0 {
+				out = l
+			}
+		})
+		return out
+	}
+	a, b := losses(false), losses(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d: sync loss %v != overlap loss %v", i, a[i], b[i])
+		}
+	}
+}

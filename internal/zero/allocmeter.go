@@ -1,0 +1,41 @@
+package zero
+
+import "runtime/metrics"
+
+// allocMeter measures a step's heap-allocation count for the AllocsPerStep
+// observability counters, shared by every engine. It reads the cumulative
+// /gc/heap/allocs:objects runtime metric — the same count as
+// runtime.MemStats.Mallocs, but without ReadMemStats' stop-the-world pause,
+// which would serialize all rank goroutines twice per step in the very hot
+// path this counter observes. The counter is process-global, so with
+// several rank goroutines stepping in lockstep it reflects the whole
+// world's step. The zero value is ready to use; the sample buffers live in
+// the engine so steady-state reads allocate nothing.
+type AllocMeter struct {
+	begin, end [1]metrics.Sample
+}
+
+const allocMetric = "/gc/heap/allocs:objects"
+
+// Begin snapshots the allocation counter at step start.
+func (m *AllocMeter) Begin() {
+	if m.begin[0].Name == "" {
+		m.begin[0].Name = allocMetric
+		m.end[0].Name = allocMetric
+	}
+	metrics.Read(m.begin[:])
+}
+
+// End snapshots again and returns the step's allocation count.
+func (m *AllocMeter) End() uint64 {
+	metrics.Read(m.end[:])
+	return m.end[0].Value.Uint64() - m.begin[0].Value.Uint64()
+}
+
+// MicroBatch fills the engine-owned single-micro-batch wrappers for the
+// Step → StepAccum path without allocating after the first call.
+func MicroBatch(tokBuf, tgtBuf *[][]int, tokens, targets []int) (tok, tgt [][]int) {
+	*tokBuf = append((*tokBuf)[:0], tokens)
+	*tgtBuf = append((*tgtBuf)[:0], targets)
+	return *tokBuf, *tgtBuf
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/comm"
+	"repro/internal/mem"
 	"repro/internal/model"
 	"repro/internal/module"
 	"repro/internal/optim"
@@ -15,10 +16,15 @@ import (
 // (partitioned optimizer + gradients) and ZeRO-Offload (ZeRO-2 with the
 // optimizer state and update on CPU). Parameters are always fully resident
 // in GPU memory — the limitation ZeRO-3/Infinity removes.
+//
+// Hot-path buffers — padded fp16 gradient buffers (keyed by padded length
+// through the arena's size classes), reduced fp32 gradients, encoded and
+// gathered fp16 parameter views — cycle through per-engine scratch arenas,
+// so steady-state steps stop hitting the Go allocator after step 1.
 type DPEngine struct {
 	cfg    Config
 	c      *comm.Comm
-	g      *model.GPT
+	g      Model
 	rt     *module.Runtime
 	params []*module.Param
 
@@ -34,6 +40,20 @@ type DPEngine struct {
 	// decoded reduced gradients, kept between the reduce and update phases.
 	grads map[*module.Param][]float32
 
+	// f32/f16 are the engine's scratch arenas.
+	f32 *mem.Arena[float32]
+	f16 *mem.Arena[tensor.Half]
+
+	// Reused step scratch.
+	gradsBuf           [][]float32
+	microTok, microTgt [][]int
+	meter              AllocMeter
+
+	// AllocsPerStep is the heap-allocation count of the last step
+	// (process-global; see Stats.AllocsPerStep in internal/core for the
+	// same counter on the infinity engine).
+	AllocsPerStep uint64
+
 	// CPU-offload traffic accounting (ZeRO-Offload): bytes moved over the
 	// GPU<->CPU link per step for gradients down and parameters up.
 	BytesToCPU, BytesFromCPU int64
@@ -41,7 +61,7 @@ type DPEngine struct {
 
 // NewDPEngine builds the engine for one rank. Stage must be StageDDP,
 // Stage1 or Stage2.
-func NewDPEngine(cfg Config, c *comm.Comm, g *model.GPT) (*DPEngine, error) {
+func NewDPEngine(cfg Config, c *comm.Comm, g Model) (*DPEngine, error) {
 	cfg.setDefaults()
 	if cfg.Stage == Stage3 {
 		return nil, fmt.Errorf("zero: DPEngine does not support stage3; use Z3Engine")
@@ -55,9 +75,12 @@ func NewDPEngine(cfg Config, c *comm.Comm, g *model.GPT) (*DPEngine, error) {
 		master: make(map[*module.Param][]float32),
 		adam:   make(map[*module.Param]*optim.Adam),
 		grads:  make(map[*module.Param][]float32),
+		f32:    mem.NewArena[float32](),
+		f16:    mem.NewArena[tensor.Half](),
 	}
 	e.rt = module.NewRuntime(nil)
 	e.rt.SetBackend(cfg.Backend)
+	c.SetCodecBackend(cfg.Backend)
 	if cfg.DynamicLossScale {
 		e.scaler = optim.NewLossScaler(cfg.LossScale)
 	} else {
@@ -70,6 +93,7 @@ func NewDPEngine(cfg Config, c *comm.Comm, g *model.GPT) (*DPEngine, error) {
 		tensor.EncodeHalf(h, full)
 		e.fp16[p] = h
 		p.SetData(full)
+		p.SetGradScratch(e.f32.Get, e.f32.Put)
 		if cfg.Stage == StageDDP {
 			e.master[p] = append([]float32(nil), full...)
 			e.adam[p] = optim.NewAdam(p.Len(), cfg.Adam).WithBackend(e.rt.Backend())
@@ -85,7 +109,7 @@ func NewDPEngine(cfg Config, c *comm.Comm, g *model.GPT) (*DPEngine, error) {
 }
 
 // Model returns the wrapped model.
-func (e *DPEngine) Model() *model.GPT { return e.g }
+func (e *DPEngine) Model() Model { return e.g }
 
 // Runtime returns the engine's hook runtime.
 func (e *DPEngine) Runtime() *module.Runtime { return e.rt }
@@ -95,7 +119,8 @@ func (e *DPEngine) LossScale() float64 { return e.scaler.Scale }
 
 // Step runs one data-parallel training step on this rank's batch.
 func (e *DPEngine) Step(tokens, targets []int, batch int) StepResult {
-	return e.StepAccum([][]int{tokens}, [][]int{targets}, batch)
+	tok, tgt := MicroBatch(&e.microTok, &e.microTgt, tokens, targets)
+	return e.StepAccum(tok, tgt, batch)
 }
 
 // StepAccum runs one training step with gradient accumulation over
@@ -107,6 +132,7 @@ func (e *DPEngine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 	if len(microTokens) == 0 || len(microTokens) != len(microTargets) {
 		panic("zero: StepAccum needs matching non-empty micro-batches")
 	}
+	e.meter.Begin()
 	dp := e.c.Size()
 	micros := len(microTokens)
 	scaleUsed := e.scaler.Scale
@@ -126,9 +152,12 @@ func (e *DPEngine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 	if GlobalOverflow(e.c, e.rt.Backend(), e.gradList()) {
 		e.scaler.Update(true)
 		for _, p := range e.params {
-			delete(e.grads, p)
+			if g := e.grads[p]; g != nil {
+				e.f32.Put(g)
+				delete(e.grads, p)
+			}
 		}
-		return StepResult{Loss: globalLoss, Skipped: true, LossScale: e.scaler.Scale}
+		return e.finishStep(StepResult{Loss: globalLoss, Skipped: true, LossScale: e.scaler.Scale})
 	}
 
 	inv := 1 / (scaleUsed * float64(dp) * float64(micros))
@@ -143,70 +172,85 @@ func (e *DPEngine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 	for _, p := range e.params {
 		g := e.grads[p]
 		e.adam[p].Step(e.master[p], g)
+		e.f32.Put(g)
 		delete(e.grads, p)
 
 		// Re-materialize fp16 weights.
 		n := p.Len()
 		if e.cfg.Stage == StageDDP {
-			tensor.EncodeHalf(e.fp16[p], e.master[p])
-			tensor.DecodeHalf(p.Data(), e.fp16[p])
+			e.rt.Backend().EncodeHalf(e.fp16[p], e.master[p])
+			e.rt.Backend().DecodeHalf(p.Data(), e.fp16[p])
 			continue
 		}
 		dpLen := comm.ShardLen(n, dp)
-		encShard := make([]tensor.Half, dpLen)
-		tensor.EncodeHalf(encShard, e.master[p])
 		if e.cfg.OffloadOptimizer {
 			// Updated fp16 shard returns from CPU to GPU before allgather.
 			e.BytesFromCPU += int64(dpLen) * tensor.HalfBytes
 		}
-		full := make([]tensor.Half, dpLen*dp)
-		e.c.AllGatherHalf(full, encShard)
+		// Fused encode+allgather: each rank's fp32 master shard is rounded
+		// to fp16 once inside the collective — no intermediate shard buffer.
+		full := e.f16.Get(dpLen * dp)
+		e.c.AllGatherEncodeHalf(full, e.master[p])
 		copy(e.fp16[p], full[:n])
-		tensor.DecodeHalf(p.Data(), e.fp16[p])
+		e.f16.Put(full)
+		e.rt.Backend().DecodeHalf(p.Data(), e.fp16[p])
 	}
 	e.scaler.Update(false)
-	return StepResult{Loss: globalLoss, LossScale: e.scaler.Scale}
+	return e.finishStep(StepResult{Loss: globalLoss, LossScale: e.scaler.Scale})
+}
+
+// finishStep records the step's process-global allocation count.
+func (e *DPEngine) finishStep(res StepResult) StepResult {
+	e.AllocsPerStep = e.meter.End()
+	return res
 }
 
 // reduceMicro reduces the current local gradients in fp16 and accumulates
-// the decoded result into e.grads.
+// the decoded result into e.grads. The padded fp16 buffer is engine-owned
+// scratch keyed by padded length (arena size class) rather than a per-call
+// allocation.
 func (e *DPEngine) reduceMicro() {
 	dp := e.c.Size()
 	for _, p := range e.params {
 		n := p.Len()
 		padded := comm.PaddedLen(n, dp)
-		gh := make([]tensor.Half, padded)
-		tensor.EncodeHalf(gh[:n], p.Grad())
+		gh := e.f16.Get(padded)
+		e.rt.Backend().EncodeHalf(gh[:n], p.Grad())
+		clear(gh[n:])
 		var reduced []float32
 		switch e.cfg.Stage {
 		case StageDDP, Stage1:
 			e.c.AllReduceHalf(gh[:n])
 			if e.cfg.Stage == StageDDP {
-				reduced = make([]float32, n)
-				tensor.DecodeHalf(reduced, gh[:n])
+				reduced = e.f32.Get(n)
+				e.rt.Backend().DecodeHalf(reduced, gh[:n])
 			} else {
 				lo, hi := comm.ShardRange(n, e.c.Rank(), dp)
 				s := hi - lo
-				reduced = make([]float32, s)
+				reduced = e.f32.Get(s)
 				for i := 0; i < s; i++ {
 					if lo+i < n {
 						reduced[i] = gh[lo+i].Float32()
+					} else {
+						reduced[i] = 0
 					}
 				}
 			}
 		case Stage2:
-			shard := make([]tensor.Half, padded/dp)
-			e.c.ReduceScatterHalf(shard, gh)
-			reduced = make([]float32, len(shard))
-			tensor.DecodeHalf(reduced, shard)
+			// Fused reduce-scatter+decode: the reduced fp16 shard lands
+			// directly as fp32, with no intermediate fp16 shard buffer.
+			reduced = e.f32.Get(padded / dp)
+			e.c.ReduceScatterHalfDecode(reduced, gh)
 			if e.cfg.OffloadOptimizer {
 				// Gradient shard moves to CPU for the update.
-				e.BytesToCPU += int64(len(shard)) * tensor.HalfBytes
+				e.BytesToCPU += int64(len(reduced)) * tensor.HalfBytes
 			}
 		}
+		e.f16.Put(gh)
 		p.ReleaseGrad()
 		if acc := e.grads[p]; acc != nil {
 			e.rt.Backend().Axpy(1, reduced, acc)
+			e.f32.Put(reduced)
 		} else {
 			e.grads[p] = reduced
 		}
@@ -214,12 +258,14 @@ func (e *DPEngine) reduceMicro() {
 }
 
 // gradList returns this rank's reduced gradient buffers in parameter order
-// (the order the shared overflow/clip helpers require).
+// (the order the shared overflow/clip helpers require), reusing the
+// engine's scratch list.
 func (e *DPEngine) gradList() [][]float32 {
-	gs := make([][]float32, 0, len(e.params))
+	gs := e.gradsBuf[:0]
 	for _, p := range e.params {
 		gs = append(gs, e.grads[p])
 	}
+	e.gradsBuf = gs
 	return gs
 }
 

@@ -1,0 +1,18 @@
+package zero
+
+import "repro/internal/module"
+
+// Model is the trainable-model surface the engines drive: a module tree
+// (walked for parameters and hooks) plus the loss-bearing forward/backward
+// entry points. *model.GPT is the production implementation; tests substitute
+// minimal models (e.g. the allocation-free stub behind the zero-allocation
+// steady-state regression test) without dragging in the full Transformer.
+type Model interface {
+	module.Module
+	// ForwardLoss runs the model on tokens/targets (length batch*seq) and
+	// returns the mean loss, stashing whatever BackwardLoss needs.
+	ForwardLoss(rt *module.Runtime, tokens, targets []int, batch int) float64
+	// BackwardLoss backpropagates the stashed loss gradient scaled by scale,
+	// accumulating parameter gradients.
+	BackwardLoss(rt *module.Runtime, scale float32)
+}

@@ -15,9 +15,10 @@ import (
 
 // inflightGather is one speculatively issued allgather. The source shard is
 // the engine's own (stable until the optimizer phase, which runs after the
-// drain), so only the destination needs to be carried.
+// drain), so only the destination needs to be carried. It is stored by value
+// so tracking in-flight gathers allocates nothing.
 type inflightGather struct {
-	ticket *comm.Ticket
+	ticket comm.Ticket
 	fullH  []tensor.Half
 }
 
@@ -32,7 +33,7 @@ type gatherPrefetcher struct {
 	trace *overlap.Trace[*module.Param]
 
 	outstanding int
-	inflight    map[*module.Param]*inflightGather
+	inflight    map[*module.Param]inflightGather
 }
 
 func newGatherPrefetcher(e *Z3Engine, depth int) *gatherPrefetcher {
@@ -40,14 +41,16 @@ func newGatherPrefetcher(e *Z3Engine, depth int) *gatherPrefetcher {
 		e:        e,
 		depth:    depth,
 		trace:    overlap.New[*module.Param](depth),
-		inflight: make(map[*module.Param]*inflightGather),
+		inflight: make(map[*module.Param]inflightGather),
 	}
 }
 
 // claim hands back the speculative allgather for p, if one is in flight.
+// The returned buffer belongs to the engine's fp16 arena; the caller Puts
+// it back after decoding.
 func (pf *gatherPrefetcher) claim(p *module.Param) []tensor.Half {
-	f := pf.inflight[p]
-	if f == nil {
+	f, ok := pf.inflight[p]
+	if !ok {
 		return nil
 	}
 	f.ticket.Wait()
@@ -72,9 +75,9 @@ func (pf *gatherPrefetcher) issue() {
 			return true
 		}
 		s := comm.ShardLen(p.Len(), dp)
-		fullH := make([]tensor.Half, s*dp)
+		fullH := e.f16.Get(s * dp)
 		tk := e.c.AllGatherHalfAsync(fullH, e.shard[p])
-		pf.inflight[p] = &inflightGather{ticket: tk, fullH: fullH}
+		pf.inflight[p] = inflightGather{ticket: tk, fullH: fullH}
 		pf.outstanding++
 		e.PrefetchIssued++
 		return true
@@ -82,27 +85,27 @@ func (pf *gatherPrefetcher) issue() {
 }
 
 // endStep drains unconsumed speculative gathers (every rank issued the same
-// collectives, so the tickets always complete) and finishes the trace step.
+// collectives, so the tickets always complete), recycles their buffers, and
+// finishes the trace step.
 func (pf *gatherPrefetcher) endStep() {
 	for p, f := range pf.inflight {
 		f.ticket.Wait()
+		pf.e.f16.Put(f.fullH)
 		delete(pf.inflight, p)
 	}
 	pf.outstanding = 0
 	pf.trace.EndStep()
 }
 
-// drainReduces waits out the asynchronous reduce-scatters via the shared
-// issue-order fold (internal/overlap.Drain), accumulating into the fp32
-// gradient shards exactly as the synchronous path would. Called at every
-// micro-batch boundary — bounding retained gradient buffers to one
-// micro-batch — and again as the barrier before the overflow check.
+// drainReduces waits out the asynchronous fused reduce-scatter+decodes via
+// the shared issue-order fold (internal/overlap.Drain), accumulating into
+// the fp32 gradient shards exactly as the synchronous path would and
+// recycling the retired buffers. Called at every micro-batch boundary —
+// bounding retained gradient buffers to one micro-batch — and again as the
+// barrier before the overflow check.
 func (e *Z3Engine) drainReduces() {
-	e.pendingReduces = overlap.Drain(e.pendingReduces, func(p *module.Param, gs []float32) {
-		if acc := e.gradShard[p]; acc != nil {
-			e.rt.Backend().Axpy(1, gs, acc) // micro-batch accumulation
-		} else {
-			e.gradShard[p] = gs
-		}
+	e.pendingReduces = overlap.Drain(e.pendingReduces, func(p *module.Param, gs []float32, gh []tensor.Half) {
+		e.f16.Put(gh)
+		e.foldGradShard(p, gs)
 	})
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package zero
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// its shadow-memory bookkeeping allocates, so the zero-allocation assertion
+// is skipped under -race (the CI bench-smoke lane runs it uninstrumented).
+const raceEnabled = true

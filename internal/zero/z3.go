@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/comm"
+	"repro/internal/mem"
 	"repro/internal/model"
 	"repro/internal/module"
 	"repro/internal/optim"
@@ -23,10 +24,16 @@ import (
 // The engine is deliberately synchronous; internal/core adds the infinity
 // offload engine, prefetch/overlap and NVMe placement on top of the same
 // hook skeleton.
+//
+// All transient step buffers — gathered fp16/fp32 parameter views, padded
+// fp16 gradient buffers, reduced fp32 shards, gradient accumulators — cycle
+// through per-engine scratch arenas, so a steady-state step performs zero
+// heap allocations in the engine+comm+tensor hot path (asserted by
+// TestSteadyStateZeroAllocs).
 type Z3Engine struct {
 	cfg    Config
 	c      *comm.Comm
-	g      *model.GPT
+	g      Model
 	rt     *module.Runtime
 	params []*module.Param
 
@@ -42,6 +49,11 @@ type Z3Engine struct {
 
 	scaler *optim.LossScaler
 
+	// f32/f16 are the engine's scratch arenas; every hot-path buffer is
+	// drawn from and returned to them.
+	f32 *mem.Arena[float32]
+	f16 *mem.Arena[tensor.Half]
+
 	// owner maps a param to its owning module, and external records params
 	// auto-registered against modules that access them across boundaries.
 	owner    map[*module.Param]module.Module
@@ -53,12 +65,19 @@ type Z3Engine struct {
 	prefetch       *gatherPrefetcher
 	pendingReduces []overlap.Pending[*module.Param]
 
+	// Reused step scratch (gradient-shard list, micro-batch wrappers,
+	// allocation meter).
+	shardsBuf          [][]float32
+	microTok, microTgt [][]int
+	meter              AllocMeter
+
 	// Observability.
 	Gathers         int      // allgather operations issued
 	OnDemandGathers int      // gathers triggered by external-parameter access
 	PrefetchIssued  int      // speculative allgathers issued
 	PrefetchHits    int      // gathers served by a speculative allgather
 	AsyncReduces    int      // reduce-scatters launched asynchronously
+	AllocsPerStep   uint64   // heap allocations during the last step (process-global mallocs delta)
 	GatherTrace     []string // module names in first-iteration gather order
 	traceDone       bool
 }
@@ -66,7 +85,7 @@ type Z3Engine struct {
 // NewZ3Engine builds the stage-3 engine for one rank and performs
 // partitioned initialization: each parameter's full init values exist only
 // transiently before being sharded (paper Sec. 7.2).
-func NewZ3Engine(cfg Config, c *comm.Comm, g *model.GPT) (*Z3Engine, error) {
+func NewZ3Engine(cfg Config, c *comm.Comm, g Model) (*Z3Engine, error) {
 	cfg.setDefaults()
 	cfg.Stage = Stage3
 	e := &Z3Engine{
@@ -78,11 +97,14 @@ func NewZ3Engine(cfg Config, c *comm.Comm, g *model.GPT) (*Z3Engine, error) {
 		master:    make(map[*module.Param][]float32),
 		adam:      make(map[*module.Param]*optim.Adam),
 		gradShard: make(map[*module.Param][]float32),
+		f32:       mem.NewArena[float32](),
+		f16:       mem.NewArena[tensor.Half](),
 		owner:     make(map[*module.Param]module.Module),
 		external:  make(map[module.Module][]*module.Param),
 	}
 	e.rt = module.NewRuntime(e)
 	e.rt.SetBackend(cfg.Backend)
+	c.SetCodecBackend(cfg.Backend)
 	if cfg.DynamicLossScale {
 		e.scaler = optim.NewLossScaler(cfg.LossScale)
 	} else {
@@ -110,6 +132,7 @@ func NewZ3Engine(cfg Config, c *comm.Comm, g *model.GPT) (*Z3Engine, error) {
 		e.master[p] = fs
 		e.adam[p] = optim.NewAdam(s, cfg.Adam).WithBackend(e.rt.Backend())
 		p.SetOnDemand(e.onDemand)
+		p.SetGradScratch(e.f32.Get, e.f32.Put)
 	}
 	if cfg.Overlap && cfg.PrefetchDepth > 0 {
 		e.prefetch = newGatherPrefetcher(e, cfg.PrefetchDepth)
@@ -118,7 +141,7 @@ func NewZ3Engine(cfg Config, c *comm.Comm, g *model.GPT) (*Z3Engine, error) {
 }
 
 // Model returns the wrapped model.
-func (e *Z3Engine) Model() *model.GPT { return e.g }
+func (e *Z3Engine) Model() Model { return e.g }
 
 // Runtime returns the hook runtime; all forward/backward calls must go
 // through it.
@@ -134,7 +157,8 @@ func (e *Z3Engine) ShardFor(p *module.Param) []tensor.Half { return e.shard[p] }
 // gather materializes p's full fp16 values from all ranks' shards. With
 // prefetch enabled, a speculatively issued allgather is claimed instead of
 // stalling on a fresh one, and allgathers for the next trace entries are
-// issued before returning to compute.
+// issued before returning to compute. All transient buffers cycle through
+// the engine arenas.
 func (e *Z3Engine) gather(p *module.Param) {
 	if p.Materialized() {
 		return
@@ -149,11 +173,12 @@ func (e *Z3Engine) gather(p *module.Param) {
 		fullH = e.prefetch.claim(p)
 	}
 	if fullH == nil {
-		fullH = make([]tensor.Half, s*dp)
+		fullH = e.f16.Get(s * dp)
 		e.c.AllGatherHalf(fullH, e.shard[p])
 	}
-	full := make([]float32, p.Len())
-	tensor.DecodeHalf(full, fullH[:p.Len()])
+	full := e.f32.Get(p.Len())
+	e.rt.Backend().DecodeHalf(full, fullH[:p.Len()])
+	e.f16.Put(fullH)
 	p.SetData(full)
 	e.Gathers++
 	if !e.traceDone {
@@ -166,6 +191,15 @@ func (e *Z3Engine) gather(p *module.Param) {
 	if e.prefetch != nil {
 		e.prefetch.issue()
 	}
+}
+
+// releaseParam re-partitions p, recycling the gathered fp32 view.
+func (e *Z3Engine) releaseParam(p *module.Param) {
+	if !p.Materialized() {
+		return
+	}
+	e.f32.Put(p.Data())
+	p.ReleaseData()
 }
 
 // onDemand is the Param.Data() interception: gather now and register the
@@ -203,11 +237,11 @@ func (e *Z3Engine) PreForward(m module.Module) {
 func (e *Z3Engine) PostForward(m module.Module) {
 	e.active = e.active[:len(e.active)-1]
 	for _, p := range m.Params() {
-		p.ReleaseData()
+		e.releaseParam(p)
 	}
 	for _, p := range e.external[m] {
 		if !e.inScope(p) {
-			p.ReleaseData()
+			e.releaseParam(p)
 		}
 	}
 }
@@ -224,7 +258,7 @@ func (e *Z3Engine) PreBackward(m module.Module) {
 }
 
 // PostBackward implements module.Hooks: reduce-scatter gradients of owned
-// params, then re-partition.
+// params through the fused reduce+decode collective, then re-partition.
 func (e *Z3Engine) PostBackward(m module.Module) {
 	e.active = e.active[:len(e.active)-1]
 	dp := e.c.Size()
@@ -232,35 +266,42 @@ func (e *Z3Engine) PostBackward(m module.Module) {
 		if p.HasGrad() {
 			n := p.Len()
 			padded := comm.PaddedLen(n, dp)
-			gh := make([]tensor.Half, padded)
-			tensor.EncodeHalf(gh[:n], p.Grad())
-			shardH := make([]tensor.Half, padded/dp)
+			gh := e.f16.Get(padded)
+			e.rt.Backend().EncodeHalf(gh[:n], p.Grad())
+			clear(gh[n:])
+			gs := e.f32.Get(padded / dp)
 			if e.cfg.Overlap {
 				// Launch asynchronously and keep computing the rest of the
 				// backward pass; drained before the overflow check.
-				tk := e.c.ReduceScatterHalfAsync(shardH, gh)
+				tk := e.c.ReduceScatterHalfDecodeAsync(gs, gh)
 				e.pendingReduces = append(e.pendingReduces,
-					overlap.Pending[*module.Param]{Key: p, Ticket: tk, ShardH: shardH, GH: gh})
+					overlap.Pending[*module.Param]{Key: p, Ticket: tk, Shard: gs, GH: gh})
 				e.AsyncReduces++
 			} else {
-				e.c.ReduceScatterHalf(shardH, gh)
-				gs := make([]float32, len(shardH))
-				tensor.DecodeHalf(gs, shardH)
-				if acc := e.gradShard[p]; acc != nil {
-					// Gradient accumulation across micro-batches.
-					e.rt.Backend().Axpy(1, gs, acc)
-				} else {
-					e.gradShard[p] = gs
-				}
+				e.c.ReduceScatterHalfDecode(gs, gh)
+				e.f16.Put(gh)
+				e.foldGradShard(p, gs)
 			}
 			p.ReleaseGrad()
 		}
-		p.ReleaseData()
+		e.releaseParam(p)
 	}
 	for _, p := range e.external[m] {
 		if !e.inScope(p) {
-			p.ReleaseData()
+			e.releaseParam(p)
 		}
+	}
+}
+
+// foldGradShard accumulates a freshly reduced fp32 shard into the
+// per-parameter gradient shard (micro-batch accumulation), recycling the
+// buffer when an accumulator already exists.
+func (e *Z3Engine) foldGradShard(p *module.Param, gs []float32) {
+	if acc := e.gradShard[p]; acc != nil {
+		e.rt.Backend().Axpy(1, gs, acc)
+		e.f32.Put(gs)
+	} else {
+		e.gradShard[p] = gs
 	}
 }
 
@@ -282,7 +323,8 @@ func (e *Z3Engine) inScope(p *module.Param) bool {
 
 // Step runs one training step.
 func (e *Z3Engine) Step(tokens, targets []int, batch int) StepResult {
-	return e.StepAccum([][]int{tokens}, [][]int{targets}, batch)
+	tok, tgt := MicroBatch(&e.microTok, &e.microTgt, tokens, targets)
+	return e.StepAccum(tok, tgt, batch)
 }
 
 // StepAccum runs one training step with gradient accumulation over
@@ -291,6 +333,7 @@ func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 	if len(microTokens) == 0 || len(microTokens) != len(microTargets) {
 		panic("zero: StepAccum needs matching non-empty micro-batches")
 	}
+	e.meter.Begin()
 	dp := e.c.Size()
 	micros := len(microTokens)
 	scaleUsed := e.scaler.Scale
@@ -316,16 +359,15 @@ func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 	// before gradients are inspected for overflow.
 	e.drainReduces()
 
-	shards := make([][]float32, 0, len(e.params))
+	shards := e.shardsBuf[:0]
 	for _, p := range e.params {
 		shards = append(shards, e.gradShard[p])
 	}
+	e.shardsBuf = shards
 	if GlobalOverflow(e.c, e.rt.Backend(), shards) {
 		e.scaler.Update(true)
-		for _, p := range e.params {
-			delete(e.gradShard, p)
-		}
-		return StepResult{Loss: globalLoss, Skipped: true, LossScale: e.scaler.Scale}
+		e.dropGradShards()
+		return e.finishStep(StepResult{Loss: globalLoss, Skipped: true, LossScale: e.scaler.Scale})
 	}
 
 	inv := float32(1 / (scaleUsed * float64(dp) * float64(micros)))
@@ -344,11 +386,28 @@ func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 	for _, p := range e.params {
 		gs := e.gradShard[p]
 		e.adam[p].Step(e.master[p], gs)
-		tensor.EncodeHalf(e.shard[p], e.master[p])
+		e.rt.Backend().EncodeHalf(e.shard[p], e.master[p])
+		e.f32.Put(gs)
 		delete(e.gradShard, p)
 	}
 	e.scaler.Update(false)
-	return StepResult{Loss: globalLoss, LossScale: e.scaler.Scale}
+	return e.finishStep(StepResult{Loss: globalLoss, LossScale: e.scaler.Scale})
+}
+
+// dropGradShards recycles and forgets every gradient shard (overflow skip).
+func (e *Z3Engine) dropGradShards() {
+	for _, p := range e.params {
+		if gs := e.gradShard[p]; gs != nil {
+			e.f32.Put(gs)
+			delete(e.gradShard, p)
+		}
+	}
+}
+
+// finishStep records the step's process-global allocation count.
+func (e *Z3Engine) finishStep(res StepResult) StepResult {
+	e.AllocsPerStep = e.meter.End()
+	return res
 }
 
 // LoadParams replaces the model weights (sharding each full vector to this
