@@ -13,8 +13,10 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/comm"
 	"repro/internal/harness"
 	"repro/internal/tensor"
+	"repro/internal/zero"
 )
 
 func main() {
@@ -29,6 +31,10 @@ func main() {
 		"include the async-collective overlap engines in the functional experiments")
 	tiling := flag.Int("tiling", 4,
 		"memory-centric tiling factor for the fig6b-engine experiment (must divide the experiment model's hidden and vocab sizes; values below 2 fall back to 4 — the experiment always contrasts dense vs tiled)")
+	topology := flag.String("topology", "",
+		"multi-node fabric for the functional experiments: <nodes>x<ranksPerNode>[:intra=GB/s][:inter=GB/s][:lintra=µs][:linter=µs][:flat] (\"\" = flat; fig6c defaults to 4x2:intra=100:inter=10)")
+	partition := flag.String("partition", "slice",
+		"parameter partitioning for the stepalloc/overlap experiments: slice|broadcast (fig6c always contrasts both)")
 	flag.Parse()
 
 	be, err := tensor.ByName(*backend)
@@ -36,9 +42,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	topo, err := comm.ParseTopology(*topology)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	part, err := zero.ParsePartitioning(*partition)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	harness.SetBackend(be)
 	harness.SetOverlap(*prefetch, *overlap)
 	harness.SetTiling(*tiling)
+	harness.SetFabric(topo, part)
 
 	if *run == "" {
 		fmt.Println("Available experiments (use -run <id> or -run all):")

@@ -1,0 +1,193 @@
+// Command zinf-benchdiff is the CI perf-regression gate: it compares a
+// freshly generated zinf-bench -json record file (BENCH_stepalloc.json,
+// BENCH_fig6c.json) against a committed baseline and fails when
+//
+//   - any record with unit "allocs/step" is above zero — the
+//     allocation-free steady-state contract is absolute, independent of the
+//     baseline's value;
+//   - a lower-is-better metric (ms/step, ms/run, allocs/step, and the
+//     steady_ms/sim_ms extras) regresses past the threshold (default 25%);
+//   - a higher-is-better metric (GB/s) drops past the threshold;
+//   - a baseline record disappears from the current run (coverage cannot
+//     rot silently).
+//
+// Records present only in the current run are reported but do not fail —
+// commit a refreshed baseline (-update) to start gating them.
+//
+// Wall-clock metrics (steady_ms) are machine-dependent: a committed
+// baseline gates runs on comparable hardware. If the CI runner generation
+// changes and the lane goes red with no code change, regenerate the
+// baseline there and commit it via -update; the deterministic metrics
+// (allocs, sim_ms, modeled GB/s) are stable across machines.
+//
+// Usage:
+//
+//	zinf-benchdiff -baseline bench/baselines/BENCH_stepalloc.json -current BENCH_stepalloc.json
+//	zinf-benchdiff -baseline ... -current ... -update   # rewrite the baseline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/harness"
+)
+
+// benchDoc mirrors harness.WriteRecords' payload.
+type benchDoc struct {
+	Bench   string           `json:"bench"`
+	Backend string           `json:"backend"`
+	Records []harness.Record `json:"records"`
+}
+
+func loadDoc(path string) (benchDoc, error) {
+	var d benchDoc
+	f, err := os.Open(path)
+	if err != nil {
+		return d, err
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// direction returns +1 for higher-is-better units, -1 for lower-is-better,
+// 0 for unknown (not gated).
+func direction(unit string) int {
+	switch unit {
+	case "GB/s", "x":
+		return +1
+	case "allocs/step", "model-allocs/step", "ms/step", "ms/run", "ms", "seconds":
+		return -1
+	}
+	return 0
+}
+
+// compare gates current against baseline with the given fractional
+// threshold, returning human-readable violations.
+func compare(baseline, current benchDoc, threshold float64) []string {
+	var violations []string
+	cur := make(map[string]harness.Record, len(current.Records))
+	for _, r := range current.Records {
+		cur[r.Name] = r
+	}
+
+	// The hard allocation gate applies to the current run even where the
+	// baseline has no matching record.
+	for _, r := range current.Records {
+		if r.Unit == "allocs/step" && r.Value > 0 {
+			violations = append(violations,
+				fmt.Sprintf("%s: AllocsPerStep = %.0f, want 0 (allocation-free steady state)", r.Name, r.Value))
+		}
+	}
+
+	gate := func(name, metric string, base, got float64, dir int) {
+		if dir == 0 || base == 0 {
+			return
+		}
+		switch {
+		case dir < 0 && got > base*(1+threshold):
+			violations = append(violations,
+				fmt.Sprintf("%s: %s regressed %.4g -> %.4g (>%.0f%% over baseline)",
+					name, metric, base, got, threshold*100))
+		case dir > 0 && got < base*(1-threshold):
+			violations = append(violations,
+				fmt.Sprintf("%s: %s dropped %.4g -> %.4g (>%.0f%% under baseline)",
+					name, metric, base, got, threshold*100))
+		}
+	}
+
+	for _, b := range baseline.Records {
+		c, ok := cur[b.Name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: record missing from current run (unit %s)", b.Name, b.Unit))
+			continue
+		}
+		if c.Unit != b.Unit {
+			violations = append(violations,
+				fmt.Sprintf("%s: unit changed %q -> %q", b.Name, b.Unit, c.Unit))
+			continue
+		}
+		gate(b.Name, "value ("+b.Unit+")", b.Value, c.Value, direction(b.Unit))
+		for _, extra := range []string{"steady_ms", "sim_ms"} {
+			bv, bok := b.Extra[extra]
+			cv, cok := c.Extra[extra]
+			if bok && cok {
+				gate(b.Name, extra, bv, cv, -1)
+			}
+		}
+	}
+	return violations
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed baseline BENCH_*.json")
+	currentPath := flag.String("current", "", "freshly generated BENCH_*.json")
+	thresholdPct := flag.Float64("time-threshold", 25,
+		"allowed regression in percent for ratio-gated metrics (allocs are gated at zero regardless)")
+	update := flag.Bool("update", false, "rewrite the baseline from the current file and exit")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "zinf-benchdiff: -baseline and -current are required")
+		os.Exit(2)
+	}
+
+	if *update {
+		src, err := os.Open(*currentPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer src.Close()
+		dst, err := os.Create(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer dst.Close()
+		if _, err := io.Copy(dst, src); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("baseline %s updated from %s\n", *baselinePath, *currentPath)
+		return
+	}
+
+	baseline, err := loadDoc(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	current, err := loadDoc(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	base := make(map[string]bool, len(baseline.Records))
+	for _, r := range baseline.Records {
+		base[r.Name] = true
+	}
+	for _, r := range current.Records {
+		if !base[r.Name] {
+			fmt.Printf("note: new record %s (%s = %.4g) not in baseline; run -update to gate it\n",
+				r.Name, r.Unit, r.Value)
+		}
+	}
+
+	violations := compare(baseline, current, *thresholdPct/100)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "FAIL: "+v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d baseline records OK against %s (threshold %.0f%%)\n",
+		len(baseline.Records), *currentPath, *thresholdPct)
+}

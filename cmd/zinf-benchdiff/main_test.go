@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func doc(records ...harness.Record) benchDoc {
+	return benchDoc{Bench: "zinf-bench", Backend: "parallel", Records: records}
+}
+
+func TestCompareAllocsGateIsAbsolute(t *testing.T) {
+	base := doc(harness.Record{Name: "zinf/stepalloc/zero3/steady", Unit: "allocs/step", Value: 5})
+	cur := doc(harness.Record{Name: "zinf/stepalloc/zero3/steady", Unit: "allocs/step", Value: 3})
+	// Even improving on a nonzero baseline fails: the contract is zero.
+	v := compare(base, cur, 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "AllocsPerStep") {
+		t.Fatalf("violations = %v", v)
+	}
+	cur.Records[0].Value = 0
+	if v := compare(base, cur, 0.25); len(v) != 0 {
+		t.Fatalf("zero allocs flagged: %v", v)
+	}
+}
+
+func TestCompareTimeRegressionThreshold(t *testing.T) {
+	base := doc(harness.Record{Name: "r", Unit: "ms/run", Value: 100,
+		Extra: map[string]float64{"steady_ms": 10}})
+	ok := doc(harness.Record{Name: "r", Unit: "ms/run", Value: 120,
+		Extra: map[string]float64{"steady_ms": 12}})
+	if v := compare(base, ok, 0.25); len(v) != 0 {
+		t.Fatalf("20%% regression flagged at 25%% threshold: %v", v)
+	}
+	slow := doc(harness.Record{Name: "r", Unit: "ms/run", Value: 130,
+		Extra: map[string]float64{"steady_ms": 10}})
+	v := compare(base, slow, 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "regressed") {
+		t.Fatalf("30%% regression not flagged: %v", v)
+	}
+	slowExtra := doc(harness.Record{Name: "r", Unit: "ms/run", Value: 100,
+		Extra: map[string]float64{"steady_ms": 20}})
+	v = compare(base, slowExtra, 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "steady_ms") {
+		t.Fatalf("steady_ms regression not flagged: %v", v)
+	}
+}
+
+func TestCompareBandwidthDropAndMissingRecord(t *testing.T) {
+	base := doc(
+		harness.Record{Name: "zinf/fig6c/slice/gather", Unit: "GB/s", Value: 80},
+		harness.Record{Name: "zinf/fig6c/broadcast/gather", Unit: "GB/s", Value: 20},
+	)
+	drop := doc(
+		harness.Record{Name: "zinf/fig6c/slice/gather", Unit: "GB/s", Value: 50},
+	)
+	v := compare(base, drop, 0.25)
+	if len(v) != 2 {
+		t.Fatalf("want bandwidth-drop + missing-record, got %v", v)
+	}
+	if !strings.Contains(v[0], "dropped") || !strings.Contains(v[1], "missing") {
+		t.Fatalf("violations = %v", v)
+	}
+	same := doc(
+		harness.Record{Name: "zinf/fig6c/slice/gather", Unit: "GB/s", Value: 79},
+		harness.Record{Name: "zinf/fig6c/broadcast/gather", Unit: "GB/s", Value: 21},
+	)
+	if v := compare(base, same, 0.25); len(v) != 0 {
+		t.Fatalf("in-threshold values flagged: %v", v)
+	}
+}
+
+func TestCompareUnitChange(t *testing.T) {
+	base := doc(harness.Record{Name: "r", Unit: "ms/run", Value: 1})
+	cur := doc(harness.Record{Name: "r", Unit: "GB/s", Value: 1})
+	v := compare(base, cur, 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "unit changed") {
+		t.Fatalf("violations = %v", v)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
 	"strings"
 
 	zeroinf "repro"
@@ -58,6 +59,11 @@ func main() {
 			"async collectives: launch reduce-scatters asynchronously and speculate allgathers -prefetch deep (bit-identical; zero3/infinity)")
 		backend = flag.String("backend", "reference",
 			"compute backend: "+strings.Join(zeroinf.Backends(), "|")+" (bit-identical, parallel uses all cores)")
+		topology = flag.String("topology", "",
+			"multi-node fabric spec <nodes>x<ranksPerNode>[:intra=GB/s][:inter=GB/s][:lintra=µs][:linter=µs][:flat]; "+
+				"collectives decompose hierarchically and achieved aggregate bandwidth is reported (\"\" = flat)")
+		partition = flag.String("partition", "slice",
+			"stage-3/infinity parameter partitioning (Fig. 6c): slice (1/dp, all links) | broadcast (owner-rank)")
 	)
 	flag.Parse()
 
@@ -68,6 +74,14 @@ func main() {
 	}
 	ecfg := zeroinf.EngineConfig{LossScale: *scale, DynamicLossScale: true, Seed: *seed, ClipNorm: *clip, Backend: *backend,
 		PrefetchDepth: *prefetch, Overlap: *overlapF}
+	topo, err := zeroinf.ParseTopology(*topology)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ecfg.Topology = topo
+	if ecfg.Partition, err = zeroinf.ParsePartitioning(*partition); err != nil {
+		log.Fatal(err)
+	}
 	switch *engine {
 	case "ddp":
 		ecfg.Stage = zeroinf.StageDDP
@@ -123,6 +137,21 @@ func main() {
 			*engine, s.Gathers, s.OnDemandGathers, label, mem.FormatBytes(s.MaxLiveParamBytes), *tiling)
 		fmt.Printf("overlap: allgather prefetch %d issued / %d hits, %d async reduce-scatters\n",
 			s.CommPrefetchIssued, s.CommPrefetchHits, s.AsyncReduces)
+		if topo != nil && len(s.CommTraffic) > 0 {
+			fmt.Printf("fabric %s, partition %s — achieved aggregate bandwidth per collective:\n",
+				topo, ecfg.Partition)
+			kinds := make([]string, 0, len(s.CommTraffic))
+			for k := range s.CommTraffic {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			for _, k := range kinds {
+				tr := s.CommTraffic[k]
+				fmt.Printf("  %-24s %5d ops  %9s moved (%s inter)  %8.3f ms  %7.2f GB/s\n",
+					k, tr.Ops, mem.FormatBytes(tr.Bytes()), mem.FormatBytes(tr.InterBytes),
+					tr.Seconds*1e3, tr.AggGBps())
+			}
+		}
 	}
 	if *engine == "infinity" {
 		s := res.Stats

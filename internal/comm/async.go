@@ -47,16 +47,16 @@ func (t *Ticket) Wait() {
 // asynchronously) performs the data movement. The semantics — including
 // rank-order accumulation — are identical to the synchronous rendezvous, so
 // asynchronous and synchronous paths are bit-identical.
-func (c *Comm) async(kind opKind, pl payload) Ticket {
+func (c *Comm) async(kind opKind, root int, pl payload) Ticket {
 	w := c.world
 	if w.size == 1 {
-		w.computeSolo(kind, 0, pl)
+		w.computeSolo(kind, root, pl)
 		return Ticket{}
 	}
 	seq := c.seq
 	c.seq++
 	w.mu.Lock()
-	o := w.arriveLocked(c.rank, seq, kind, 0, pl)
+	o := w.arriveLocked(c.rank, seq, kind, root, pl)
 	w.mu.Unlock()
 	return Ticket{w: w, seq: seq, op: o}
 }
@@ -69,7 +69,16 @@ func (c *Comm) AllGatherHalfAsync(dst, src []tensor.Half) Ticket {
 	if len(dst) != c.Size()*len(src) {
 		panic(fmt.Sprintf("comm: allgatherhalfasync dst len %d != size %d * src len %d", len(dst), c.Size(), len(src)))
 	}
-	return c.async(opAllGatherHalf, payload{hdst: dst, hsrc: src})
+	return c.async(opAllGatherHalf, 0, payload{hdst: dst, hsrc: src})
+}
+
+// BroadcastHalfAsync starts an asynchronous BroadcastHalf: root's buf is
+// copied into every rank's buf (all equal length). Buffers must not be
+// touched until the ticket completes; the delivered bytes are bit-identical
+// to BroadcastHalf. This is the owner-rank-broadcast partitioning
+// strategy's parameter-prefetch primitive.
+func (c *Comm) BroadcastHalfAsync(buf []tensor.Half, root int) Ticket {
+	return c.async(opBroadcastHalf, root, payload{hdst: buf})
 }
 
 // ReduceScatterHalfAsync starts an asynchronous ReduceScatterHalf:
@@ -81,7 +90,7 @@ func (c *Comm) ReduceScatterHalfAsync(dst, src []tensor.Half) Ticket {
 	if len(src) != c.Size()*len(dst) {
 		panic(fmt.Sprintf("comm: reducescatterhalfasync src len %d != size %d * dst len %d", len(src), c.Size(), len(dst)))
 	}
-	return c.async(opReduceScatterHalf, payload{hdst: dst, hsrc: src})
+	return c.async(opReduceScatterHalf, 0, payload{hdst: dst, hsrc: src})
 }
 
 // ReduceScatterHalfDecodeAsync starts an asynchronous
@@ -93,5 +102,17 @@ func (c *Comm) ReduceScatterHalfDecodeAsync(dst []float32, src []tensor.Half) Ti
 	if len(src) != c.Size()*len(dst) {
 		panic(fmt.Sprintf("comm: reducescatterhalfdecodeasync src len %d != size %d * dst len %d", len(src), c.Size(), len(dst)))
 	}
-	return c.async(opReduceScatterHalfDecode, payload{fdst: dst, hsrc: src})
+	return c.async(opReduceScatterHalfDecode, 0, payload{fdst: dst, hsrc: src})
+}
+
+// ReduceHalfDecodeAsync starts an asynchronous ReduceHalfDecode: every
+// rank's src is decoded, summed in rank order with float32 accumulation,
+// rounded through binary16 and delivered as float32 into root's dst (nil on
+// non-root ranks). Buffers must not be touched until the ticket completes;
+// results are bit-identical to ReduceHalfDecode.
+func (c *Comm) ReduceHalfDecodeAsync(dst []float32, src []tensor.Half, root int) Ticket {
+	if c.rank == root && len(dst) != len(src) {
+		panic(fmt.Sprintf("comm: reducehalfdecodeasync root dst len %d != src len %d", len(dst), len(src)))
+	}
+	return c.async(opReduceHalfDecode, root, payload{fdst: dst, hsrc: src})
 }

@@ -44,15 +44,18 @@ const (
 	opAllReduceHalf
 	opAllGatherEncodeHalf
 	opReduceScatterHalfDecode
+	opReduceHalfDecode
 	opAllReduceScalar
 	opAllReduceMax
+
+	opKindCount
 )
 
 var opNames = [...]string{
 	"barrier", "broadcast", "allgather", "reducescatter", "allreduce",
 	"gather", "broadcasthalf", "allgatherhalf", "reducescatterhalf",
 	"allreducehalf", "allgatherencodehalf", "reducescatterhalfdecode",
-	"allreducescalar", "allreducemax",
+	"reducehalfdecode", "allreducescalar", "allreducemax",
 }
 
 func (k opKind) String() string { return opNames[k] }
@@ -82,6 +85,7 @@ var computeFns = [...]func(w *World, o *op){
 	opAllReduceHalf:           computeAllReduceHalf,
 	opAllGatherEncodeHalf:     computeAllGatherEncodeHalf,
 	opReduceScatterHalfDecode: computeReduceScatterHalfDecode,
+	opReduceHalfDecode:        computeReduceHalfDecode,
 	opAllReduceScalar:         computeAllReduceScalar,
 	opAllReduceMax:            computeAllReduceMax,
 }
@@ -105,6 +109,14 @@ type World struct {
 	// perform. Every backend is bit-identical, so this is purely a speed
 	// knob (reference by default).
 	codec tensor.Backend
+
+	// topo, when set, groups ranks into nodes: the data-moving collectives
+	// decompose hierarchically (intra-node phase, then inter-node phase
+	// among node leaders) and every collective's byte flow and simulated
+	// transfer cost are accounted per link class in traffic. See
+	// topology.go.
+	topo    *Topology
+	traffic [opKindCount]TrafficStats
 }
 
 // opSlot is one in-flight collective's registry entry. In-flight ops are a
@@ -264,6 +276,7 @@ func (w *World) computeSolo(kind opKind, root int, pl payload) float64 {
 	o := w.getOpLocked(kind, root)
 	o.contrib[0] = pl
 	computeFns[kind](w, o)
+	w.account(o)
 	res := o.result
 	w.putOpLocked(o)
 	return res
@@ -296,6 +309,7 @@ func (w *World) arriveLocked(rank int, seq uint64, kind opKind, root int, pl pay
 	o.arrived++
 	if o.arrived == w.size {
 		computeFns[o.kind](w, o)
+		w.account(o)
 		o.computed = true
 		o.done.Broadcast()
 	}
@@ -332,6 +346,10 @@ func (c *Comm) Broadcast(buf []float32, root int) {
 }
 
 func computeBroadcast(w *World, o *op) {
+	if w.hier() {
+		computeBroadcastHier(w, o)
+		return
+	}
 	src := o.contrib[o.root].fdst
 	for r := range o.contrib {
 		if r == o.root {
@@ -355,6 +373,10 @@ func (c *Comm) AllGather(dst, src []float32) {
 }
 
 func computeAllGather(w *World, o *op) {
+	if w.hier() {
+		computeAllGatherHier(w, o)
+		return
+	}
 	n := len(o.contrib[0].fsrc)
 	for i := range o.contrib {
 		dst := o.contrib[i].fdst
@@ -435,6 +457,10 @@ func (c *Comm) AllGatherHalf(dst, src []tensor.Half) {
 }
 
 func computeAllGatherHalf(w *World, o *op) {
+	if w.hier() {
+		computeAllGatherHalfHier(w, o)
+		return
+	}
 	n := len(o.contrib[0].hsrc)
 	for i := range o.contrib {
 		dst := o.contrib[i].hdst
@@ -450,6 +476,10 @@ func (c *Comm) BroadcastHalf(buf []tensor.Half, root int) {
 }
 
 func computeBroadcastHalf(w *World, o *op) {
+	if w.hier() {
+		computeBroadcastHalfHier(w, o)
+		return
+	}
 	src := o.contrib[o.root].hdst
 	for r := range o.contrib {
 		if r == o.root {
@@ -521,6 +551,41 @@ func computeReduceScatterHalfDecode(w *World, o *op) {
 	w.hscratch.Put(enc)
 }
 
+// ReduceHalfDecode reduces binary16 contributions to root: every rank's src
+// (all equal length) is decoded to float32 and summed in rank order with
+// float32 accumulation, the total is rounded through binary16 (exactly as
+// the reduce-scatter family stores it) and delivered as float32 into root's
+// dst. dst is ignored on non-root ranks (may be nil); on root len(dst) must
+// equal len(src). This is the gradient-reduction primitive of the
+// owner-rank-broadcast partitioning strategy (Fig. 6c's baseline): the sum
+// per element is identical to ReduceScatterHalfDecode's, so the two
+// strategies train bit-identically.
+func (c *Comm) ReduceHalfDecode(dst []float32, src []tensor.Half, root int) {
+	if c.rank == root && len(dst) != len(src) {
+		panic(fmt.Sprintf("comm: reducehalfdecode root dst len %d != src len %d", len(dst), len(src)))
+	}
+	c.rendezvous(opReduceHalfDecode, root, payload{fdst: dst, hsrc: src})
+}
+
+func computeReduceHalfDecode(w *World, o *op) {
+	n := len(o.contrib[0].hsrc)
+	acc := w.fscratch.GetZeroed(n)
+	tmp := w.fscratch.Get(n)
+	for _, cb := range o.contrib {
+		if len(cb.hsrc) != n {
+			panic("comm: reducehalfdecode length mismatch")
+		}
+		w.codec.DecodeHalf(tmp, cb.hsrc)
+		tensor.Axpy(1, tmp, acc)
+	}
+	enc := w.hscratch.Get(n)
+	w.codec.EncodeHalf(enc, acc)
+	w.codec.DecodeHalf(o.contrib[o.root].fdst, enc)
+	w.fscratch.Put(acc)
+	w.fscratch.Put(tmp)
+	w.hscratch.Put(enc)
+}
+
 // AllReduceHalf sums binary16 buffers elementwise across ranks with float32
 // accumulation (rank order) and re-encodes the total to binary16 into every
 // rank's buf. Numerically identical to ReduceScatterHalf followed by
@@ -564,6 +629,10 @@ func (c *Comm) AllGatherEncodeHalf(dst []tensor.Half, src []float32) {
 }
 
 func computeAllGatherEncodeHalf(w *World, o *op) {
+	if w.hier() {
+		computeAllGatherEncodeHalfHier(w, o)
+		return
+	}
 	n := len(o.contrib[0].fsrc)
 	enc := w.hscratch.Get(n)
 	for r := range o.contrib {

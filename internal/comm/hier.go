@@ -1,0 +1,139 @@
+package comm
+
+// Hierarchical implementations of the data-moving collectives, active when
+// a multi-node Topology is installed (w.hier()). Each decomposes into an
+// intra-node phase and an inter-node phase among node leaders — broadcast
+// lands on each remote node's leader before fanning out intra-node;
+// allgather assembles the full vector through per-node chunks (the intra
+// gather at each leader, whose chunks the leaders' inter ring exchanges)
+// before distribution — and produces contents bit-identical to the flat
+// path: node-then-member staging order is exactly global rank order,
+// because nodes own consecutive rank ranges.
+//
+// The reduction collectives have no hierarchical data variant: their
+// arithmetic always accumulates in global rank order (the deterministic-
+// reduction configuration real collective stacks use for reproducibility),
+// so a partial-sum tree would change results bit for bit. For them the
+// hierarchical decomposition lives entirely in the cost model — the
+// intra-node reduce and inter-node exchange phases charge their bytes to
+// the links that would carry them (see topology.go).
+//
+// All variants are allocation-free: staging buffers come from the world
+// arenas and no closures are formed (the functions are concrete per payload
+// type, mirroring the flat compute functions).
+
+// computeBroadcastHier routes root's float32 buffer through the remote node
+// leaders, then fans out intra-node (the root serves as staging inside its
+// own node).
+func computeBroadcastHier(w *World, o *op) {
+	k := w.topo.NodeSize
+	src := o.contrib[o.root].fdst
+	rootNode := w.nodeOf(o.root)
+	for n := 0; n < w.nodes(); n++ {
+		lead := n * k
+		stage := src
+		if n != rootNode {
+			d := o.contrib[lead].fdst
+			if len(d) != len(src) {
+				panic("comm: broadcast length mismatch")
+			}
+			copy(d, src) // inter phase: root's uplink to this node's leader
+			stage = d
+		}
+		for r := n * k; r < (n+1)*k; r++ {
+			if r == o.root || (n != rootNode && r == lead) {
+				continue
+			}
+			d := o.contrib[r].fdst
+			if len(d) != len(src) {
+				panic("comm: broadcast length mismatch")
+			}
+			copy(d, stage) // intra phase: member copies from its node's staging
+		}
+	}
+}
+
+// computeBroadcastHalfHier is computeBroadcastHier over binary16 buffers.
+func computeBroadcastHalfHier(w *World, o *op) {
+	k := w.topo.NodeSize
+	src := o.contrib[o.root].hdst
+	rootNode := w.nodeOf(o.root)
+	for n := 0; n < w.nodes(); n++ {
+		lead := n * k
+		stage := src
+		if n != rootNode {
+			d := o.contrib[lead].hdst
+			if len(d) != len(src) {
+				panic("comm: broadcasthalf length mismatch")
+			}
+			copy(d, src)
+			stage = d
+		}
+		for r := n * k; r < (n+1)*k; r++ {
+			if r == o.root || (n != rootNode && r == lead) {
+				continue
+			}
+			d := o.contrib[r].hdst
+			if len(d) != len(src) {
+				panic("comm: broadcasthalf length mismatch")
+			}
+			copy(d, stage)
+		}
+	}
+}
+
+// computeAllGatherHier assembles the full float32 vector once through
+// per-node chunks in a leader staging buffer, then distributes it to every
+// rank — the staged counterpart of the flat per-destination assembly.
+func computeAllGatherHier(w *World, o *op) {
+	n := len(o.contrib[0].fsrc)
+	full := w.fscratch.Get(n * w.size)
+	k := w.topo.NodeSize
+	for node := 0; node < w.nodes(); node++ {
+		for r := node * k; r < (node+1)*k; r++ {
+			copy(full[r*n:(r+1)*n], o.contrib[r].fsrc) // intra gather into the node chunk
+		}
+		// The chunk [node*k*n, (node+1)*k*n) is what the leaders' inter ring
+		// exchanges; chunk order equals rank order.
+	}
+	for i := range o.contrib {
+		copy(o.contrib[i].fdst, full) // intra distribution from each leader
+	}
+	w.fscratch.Put(full)
+}
+
+// computeAllGatherHalfHier is computeAllGatherHier over binary16 payloads.
+func computeAllGatherHalfHier(w *World, o *op) {
+	n := len(o.contrib[0].hsrc)
+	full := w.hscratch.Get(n * w.size)
+	k := w.topo.NodeSize
+	for node := 0; node < w.nodes(); node++ {
+		for r := node * k; r < (node+1)*k; r++ {
+			copy(full[r*n:(r+1)*n], o.contrib[r].hsrc)
+		}
+	}
+	for i := range o.contrib {
+		copy(o.contrib[i].hdst, full)
+	}
+	w.hscratch.Put(full)
+}
+
+// computeAllGatherEncodeHalfHier fuses the per-rank binary16 encode into
+// the hierarchical assembly: each float32 shard is rounded once into its
+// slot of the staged full vector, which then distributes to every rank.
+// Bit-identical to the flat fused path (each shard is encoded exactly once
+// either way).
+func computeAllGatherEncodeHalfHier(w *World, o *op) {
+	n := len(o.contrib[0].fsrc)
+	full := w.hscratch.Get(n * w.size)
+	k := w.topo.NodeSize
+	for node := 0; node < w.nodes(); node++ {
+		for r := node * k; r < (node+1)*k; r++ {
+			w.codec.EncodeHalf(full[r*n:(r+1)*n], o.contrib[r].fsrc)
+		}
+	}
+	for i := range o.contrib {
+		copy(o.contrib[i].hdst, full)
+	}
+	w.hscratch.Put(full)
+}

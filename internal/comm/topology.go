@@ -1,0 +1,517 @@
+package comm
+
+// Topology-aware communication (paper Sec. 6.1): the flat goroutine fabric
+// models every rank one hop from every other, which makes the paper's
+// bandwidth-centric argument unreproducible — an owner-rank broadcast and a
+// per-parameter 1/dp allgather move the same bytes over the same (single)
+// link class. A Topology groups ranks into nodes with distinct intra-node
+// and inter-node link bandwidth/latency; the hot collectives then decompose
+// hierarchically — an intra-node phase followed by an inter-node phase among
+// node leaders — and every collective's byte flow and simulated transfer
+// cost are accounted per link class.
+//
+// Two properties are contractual:
+//
+//   - Hierarchical collectives are bit-identical to the flat paths. Pure
+//     data movement (broadcast/allgather/gather) decomposes into staged
+//     copies whose final contents equal the flat concatenation; reductions
+//     always accumulate in global rank order regardless of decomposition
+//     (the deterministic-reduction configuration of real collective
+//     libraries), so the decomposition governs which links carry which
+//     phase's bytes — and therefore the simulated cost — never the
+//     arithmetic.
+//
+//   - Accounting is allocation-free: per-kind counters live in a fixed
+//     array guarded by the world mutex, and the cost model is pure
+//     arithmetic, so the zero-allocation steady-state contract holds with a
+//     topology installed.
+//
+// The cost model is a store-and-forward switch model: each rank has one
+// link to its node switch (intra class) and each node one uplink to the
+// global switch (inter class). A phase's simulated time is the busiest
+// link's bytes over its class bandwidth plus the phase's sequential hop
+// count times the class latency; a collective's time is the sum of its
+// phases. Achieved aggregate bandwidth — the Fig. 6c metric — is total
+// bytes crossing links divided by total simulated time.
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Topology groups the world's ranks into equal nodes and parameterizes the
+// two link classes. The zero value of each knob is replaced by the
+// corresponding Default* constant when the topology is installed.
+type Topology struct {
+	// NodeSize is the number of consecutive ranks per node (node i owns
+	// ranks [i*NodeSize, (i+1)*NodeSize)). The world size must be a
+	// multiple of NodeSize.
+	NodeSize int
+	// Nodes, when positive, is the expected node count; SetTopology rejects
+	// a world whose size is not Nodes*NodeSize. Zero derives the node count
+	// from the world size.
+	Nodes int
+	// IntraGBps / InterGBps are the link bandwidths in GB/s (1e9 bytes/s).
+	IntraGBps, InterGBps float64
+	// IntraLatencyUS / InterLatencyUS are per-hop latencies in
+	// microseconds. The defaults are zero: the model is bandwidth-centric
+	// like the paper's, and latency is opt-in.
+	IntraLatencyUS, InterLatencyUS float64
+	// Flat keeps the single-phase (flat) algorithms and cost shapes while
+	// still classifying each transfer by the link it crosses — the
+	// "topology-oblivious" ablation baseline.
+	Flat bool
+}
+
+// Default link parameters (NVLink-class intra, IB-class inter).
+const (
+	DefaultIntraGBps = 100.0
+	DefaultInterGBps = 12.5
+)
+
+// setDefaults fills zero bandwidth knobs.
+func (t *Topology) setDefaults() {
+	if t.IntraGBps <= 0 {
+		t.IntraGBps = DefaultIntraGBps
+	}
+	if t.InterGBps <= 0 {
+		t.InterGBps = DefaultInterGBps
+	}
+}
+
+// String renders the topology in ParseTopology's spec format.
+func (t *Topology) String() string {
+	if t == nil {
+		return "flat"
+	}
+	n := t.Nodes
+	s := fmt.Sprintf("%dx%d:intra=%g:inter=%g", n, t.NodeSize, t.IntraGBps, t.InterGBps)
+	if t.IntraLatencyUS > 0 || t.InterLatencyUS > 0 {
+		s += fmt.Sprintf(":lintra=%g:linter=%g", t.IntraLatencyUS, t.InterLatencyUS)
+	}
+	if t.Flat {
+		s += ":flat"
+	}
+	return s
+}
+
+// ParseTopology parses a topology spec of the form
+//
+//	<nodes>x<ranksPerNode>[:intra=<GB/s>][:inter=<GB/s>][:lintra=<µs>][:linter=<µs>][:flat]
+//
+// e.g. "4x2" or "2x4:intra=100:inter=10:linter=5". The empty spec returns a
+// nil topology (the flat single-node fabric).
+func ParseTopology(spec string) (*Topology, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ":")
+	nk := strings.Split(parts[0], "x")
+	if len(nk) != 2 {
+		return nil, fmt.Errorf("comm: topology %q: want <nodes>x<ranksPerNode>", spec)
+	}
+	n, err1 := strconv.Atoi(nk[0])
+	k, err2 := strconv.Atoi(nk[1])
+	if err1 != nil || err2 != nil || n < 1 || k < 1 {
+		return nil, fmt.Errorf("comm: topology %q: bad node counts", spec)
+	}
+	t := &Topology{Nodes: n, NodeSize: k}
+	for _, opt := range parts[1:] {
+		if opt == "flat" {
+			t.Flat = true
+			continue
+		}
+		kv := strings.SplitN(opt, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("comm: topology %q: bad option %q", spec, opt)
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("comm: topology %q: bad value %q", spec, opt)
+		}
+		switch kv[0] {
+		case "intra", "inter":
+			// An explicit 0 would silently become the default in
+			// setDefaults — reject it instead of simulating a link the
+			// user zeroed out.
+			if v == 0 {
+				return nil, fmt.Errorf("comm: topology %q: %s bandwidth must be positive", spec, kv[0])
+			}
+			if kv[0] == "intra" {
+				t.IntraGBps = v
+			} else {
+				t.InterGBps = v
+			}
+		case "lintra":
+			t.IntraLatencyUS = v
+		case "linter":
+			t.InterLatencyUS = v
+		default:
+			return nil, fmt.Errorf("comm: topology %q: unknown option %q", spec, kv[0])
+		}
+	}
+	t.setDefaults()
+	return t, nil
+}
+
+// SetTopology installs (a copy of) the topology on the world. A nil
+// topology restores the flat single-node fabric. Engines call it from their
+// per-rank constructors with identical values — like SetCodecBackend, the
+// last writer wins. It must not be changed while collectives are in flight.
+func (w *World) SetTopology(t *Topology) error {
+	if t == nil {
+		w.mu.Lock()
+		w.topo = nil
+		w.mu.Unlock()
+		return nil
+	}
+	cp := *t
+	cp.setDefaults()
+	if cp.NodeSize < 1 {
+		return fmt.Errorf("comm: topology node size %d < 1", cp.NodeSize)
+	}
+	if w.size%cp.NodeSize != 0 {
+		return fmt.Errorf("comm: world size %d not a multiple of node size %d", w.size, cp.NodeSize)
+	}
+	if cp.Nodes > 0 && cp.Nodes*cp.NodeSize != w.size {
+		return fmt.Errorf("comm: topology %dx%d does not cover world size %d", cp.Nodes, cp.NodeSize, w.size)
+	}
+	cp.Nodes = w.size / cp.NodeSize
+	w.mu.Lock()
+	w.topo = &cp
+	w.mu.Unlock()
+	return nil
+}
+
+// SetTopology installs the topology on this communicator's world (see
+// World.SetTopology).
+func (c *Comm) SetTopology(t *Topology) error { return c.world.SetTopology(t) }
+
+// Topology returns the installed topology (nil = flat).
+func (c *Comm) Topology() *Topology {
+	c.world.mu.Lock()
+	defer c.world.mu.Unlock()
+	return c.world.topo
+}
+
+// nodes returns the node count of the installed topology (1 when flat).
+// Caller holds mu (or the world is quiescent).
+func (w *World) nodes() int {
+	if w.topo == nil {
+		return 1
+	}
+	return w.size / w.topo.NodeSize
+}
+
+// hier reports whether collectives should decompose hierarchically. Caller
+// holds mu.
+func (w *World) hier() bool {
+	return w.topo != nil && !w.topo.Flat && w.nodes() > 1
+}
+
+// nodeOf returns the node index owning rank. Caller holds mu.
+func (w *World) nodeOf(rank int) int {
+	if w.topo == nil {
+		return 0
+	}
+	return rank / w.topo.NodeSize
+}
+
+// TrafficStats accumulates one collective kind's modeled byte flow and
+// simulated transfer cost.
+type TrafficStats struct {
+	// Ops is the number of collectives of this kind performed.
+	Ops int64
+	// IntraBytes / InterBytes are the bytes that crossed intra-node and
+	// inter-node links (each logical transfer counted once, classified by
+	// the link it crossed; staged hierarchical phases count each phase's
+	// crossing).
+	IntraBytes, InterBytes int64
+	// Seconds is the simulated transfer time under the topology's link
+	// bandwidths and latencies (0 when no topology is installed).
+	Seconds float64
+}
+
+// Bytes returns the total bytes moved over any link.
+func (t TrafficStats) Bytes() int64 { return t.IntraBytes + t.InterBytes }
+
+// AggGBps returns the achieved aggregate bandwidth in GB/s — total bytes
+// over all links divided by simulated time (0 when nothing was timed). This
+// is the Fig. 6c metric: partitioning strategies that keep every link busy
+// achieve a multiple of a single link's bandwidth.
+func (t TrafficStats) AggGBps() float64 {
+	if t.Seconds <= 0 {
+		return 0
+	}
+	return float64(t.Bytes()) / t.Seconds / 1e9
+}
+
+// add accumulates other into t.
+func (t *TrafficStats) add(o TrafficStats) {
+	t.Ops += o.Ops
+	t.IntraBytes += o.IntraBytes
+	t.InterBytes += o.InterBytes
+	t.Seconds += o.Seconds
+}
+
+// Traffic returns a snapshot of the world's per-collective traffic, keyed
+// by collective name, skipping kinds that never ran. The snapshot
+// allocates; it is an observability call, not a hot-path one.
+func (c *Comm) Traffic() map[string]TrafficStats {
+	w := c.world
+	out := make(map[string]TrafficStats)
+	w.mu.Lock()
+	for k := range w.traffic {
+		if w.traffic[k].Ops > 0 {
+			out[opKind(k).String()] = w.traffic[k]
+		}
+	}
+	w.mu.Unlock()
+	return out
+}
+
+// TrafficTotal returns the sum of all collectives' traffic.
+func (c *Comm) TrafficTotal() TrafficStats {
+	w := c.world
+	var tot TrafficStats
+	w.mu.Lock()
+	for k := range w.traffic {
+		tot.add(w.traffic[k])
+	}
+	w.mu.Unlock()
+	return tot
+}
+
+// ResetTraffic zeroes the accumulated traffic counters.
+func (c *Comm) ResetTraffic() {
+	w := c.world
+	w.mu.Lock()
+	for k := range w.traffic {
+		w.traffic[k] = TrafficStats{}
+	}
+	w.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Cost model. All helpers run under w.mu and perform no allocation.
+
+// phase charges one collective phase: perIntra/perInter are the busiest
+// intra/inter link's bytes, totIntra/totInter the bytes crossing each class
+// in the phase, and intraHops/interHops the phase's sequential hop counts.
+func (w *World) phase(st *TrafficStats, perIntra, perInter, totIntra, totInter int64, intraHops, interHops int) {
+	st.IntraBytes += totIntra
+	st.InterBytes += totInter
+	if w.topo == nil {
+		return
+	}
+	t := w.topo
+	st.Seconds += float64(perIntra)/(t.IntraGBps*1e9) +
+		float64(perInter)/(t.InterGBps*1e9) +
+		float64(intraHops)*t.IntraLatencyUS*1e-6 +
+		float64(interHops)*t.InterLatencyUS*1e-6
+}
+
+// accountAllGather models an allgather of S contribution bytes per rank:
+// flat is a p-ring (every link carries (p-1)S, the N node uplinks included
+// when the ring spans nodes); hierarchical is intra-node gather at the
+// leaders, an inter-node ring among leaders over kS node chunks, then an
+// intra-node ring distributing the (N-1)kS remote bytes.
+func (w *World) accountAllGather(st *TrafficStats, S int64) {
+	p, N := int64(w.size), int64(w.nodes())
+	if p == 1 || S == 0 {
+		return
+	}
+	k := p / N
+	if !w.hier() {
+		inter := int64(0)
+		hopsInter := 0
+		intraEdges := p // a single-node ring's p edges are all intra
+		if N > 1 {
+			intraEdges = p - N // N of the ring's edges cross node boundaries
+			inter = N * (p - 1) * S
+			hopsInter = int(p - 1)
+		}
+		w.phase(st, (p-1)*S, (p-1)*S*min64(N-1, 1), intraEdges*(p-1)*S, inter, int(p-1), hopsInter)
+		return
+	}
+	w.phase(st, (k-1)*S, 0, N*(k-1)*S, 0, 1, 0)                  // intra gather at leaders
+	w.phase(st, 0, (N-1)*k*S, 0, N*(N-1)*k*S, 0, int(N-1))       // inter ring among leaders
+	w.phase(st, (N-1)*k*S, 0, N*(k-1)*(N-1)*k*S, 0, int(k-1), 0) // intra distribution
+}
+
+// accountReduceScatter models a reduce-scatter of M contribution bytes per
+// rank (shard m = M/p): flat is a p-ring over m chunks; hierarchical is an
+// intra-node reduce-scatter over M followed by an inter-node reduce-scatter
+// of the node partials among same-slot ranks (each node uplink carries
+// (N-1)M/N).
+func (w *World) accountReduceScatter(st *TrafficStats, M int64) {
+	p, N := int64(w.size), int64(w.nodes())
+	if p == 1 || M == 0 {
+		return
+	}
+	k := p / N
+	m := M / p
+	if !w.hier() {
+		inter := int64(0)
+		hopsInter := 0
+		intraEdges := p // a single-node ring's p edges are all intra
+		if N > 1 {
+			intraEdges = p - N // N of the ring's edges cross node boundaries
+			inter = N * (p - 1) * m
+			hopsInter = int(p - 1)
+		}
+		w.phase(st, (p-1)*m, (p-1)*m*min64(N-1, 1), intraEdges*(p-1)*m, inter, int(p-1), hopsInter)
+		return
+	}
+	w.phase(st, (k-1)*M/k, 0, N*(k-1)*M, 0, int(k-1), 0) // intra reduce-scatter
+	w.phase(st, 0, (N-1)*M/N, 0, (N-1)*M, 0, int(N-1))   // inter reduce-scatter of node partials
+}
+
+// accountAllReduce models an allreduce of M bytes per rank as
+// reduce-scatter + allgather volumes.
+func (w *World) accountAllReduce(st *TrafficStats, M int64) {
+	if w.size == 1 || M == 0 {
+		return
+	}
+	w.accountReduceScatter(st, M)
+	w.accountAllGather(st, M/int64(w.size))
+}
+
+// accountBroadcast models a broadcast of M bytes from root: flat is a star
+// from the root (its link carries (p-1)M, the remote share crossing its node
+// uplink); hierarchical sends M once to each remote node leader over the
+// root's uplink, then each node distributes intra.
+func (w *World) accountBroadcast(st *TrafficStats, M int64, root int) {
+	p, N := int64(w.size), int64(w.nodes())
+	if p == 1 || M == 0 {
+		return
+	}
+	k := p / N
+	if !w.hier() {
+		remote := (p - k) * M // transfers leaving the root's node
+		hopsInter := 0
+		if N > 1 {
+			hopsInter = 1
+		}
+		w.phase(st, (p-1)*M, remote, (k-1)*M, remote, 1, hopsInter)
+		return
+	}
+	w.phase(st, 0, (N-1)*M, 0, (N-1)*M, 0, 1)   // root's uplink to the other leaders
+	w.phase(st, (k-1)*M, 0, N*(k-1)*M, 0, 1, 0) // intra distribution in every node
+}
+
+// accountGather models a gather of S bytes per rank to root (the root acts
+// as its node's leader): flat star into the root; hierarchical gathers at
+// each leader then funnels node chunks over the root's uplink.
+func (w *World) accountGather(st *TrafficStats, S int64, root int) {
+	p, N := int64(w.size), int64(w.nodes())
+	if p == 1 || S == 0 {
+		return
+	}
+	k := p / N
+	if !w.hier() {
+		remote := (p - k) * S
+		hopsInter := 0
+		if N > 1 {
+			hopsInter = 1
+		}
+		w.phase(st, (p-1)*S, remote, (k-1)*S, remote, 1, hopsInter)
+		return
+	}
+	w.phase(st, (k-1)*S, 0, N*(k-1)*S, 0, 1, 0)   // intra gather at leaders
+	w.phase(st, 0, (N-1)*k*S, 0, (N-1)*k*S, 0, 1) // leaders funnel into the root's uplink
+}
+
+// accountReduceRoot models a reduce of M contribution bytes per rank to
+// root: flat star of raw contributions into the root; hierarchical reduces
+// raw contributions at each node leader intra, then ships one M-sized node
+// partial per remote node over the root's uplink.
+func (w *World) accountReduceRoot(st *TrafficStats, M int64, root int) {
+	p, N := int64(w.size), int64(w.nodes())
+	if p == 1 || M == 0 {
+		return
+	}
+	k := p / N
+	if !w.hier() {
+		remote := (p - k) * M
+		hopsInter := 0
+		if N > 1 {
+			hopsInter = 1
+		}
+		w.phase(st, (p-1)*M, remote, (k-1)*M, remote, 1, hopsInter)
+		return
+	}
+	w.phase(st, (k-1)*M, 0, N*(k-1)*M, 0, 1, 0) // intra raw reduction at leaders
+	w.phase(st, 0, (N-1)*M, 0, (N-1)*M, 0, 1)   // node partials into the root's uplink
+}
+
+// accountScalar models the 8-byte scalar collectives: a reduction tree up
+// and down (bytes negligible, latency two tree traversals).
+func (w *World) accountScalar(st *TrafficStats) {
+	p, N := int64(w.size), int64(w.nodes())
+	if p == 1 {
+		return
+	}
+	const sz = 8
+	intra := 2 * (p - N) * sz
+	inter := 2 * (N - 1) * sz
+	hops := 2 * bits.Len(uint(p-1))
+	if w.topo == nil {
+		st.IntraBytes += intra
+		st.InterBytes += inter
+		return
+	}
+	interHops := 0
+	if N > 1 {
+		interHops = 2
+	}
+	w.phase(st, intra, inter, intra, inter, hops, interHops)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// account records one completed collective's modeled traffic and simulated
+// cost. Caller holds mu; runs after the op's compute function.
+func (w *World) account(o *op) {
+	st := &w.traffic[o.kind]
+	st.Ops++
+	if w.size == 1 {
+		return
+	}
+	const f32, f16 = 4, 2
+	switch o.kind {
+	case opBarrier:
+		w.accountScalar(st)
+	case opBroadcast:
+		w.accountBroadcast(st, int64(len(o.contrib[o.root].fdst))*f32, o.root)
+	case opBroadcastHalf:
+		w.accountBroadcast(st, int64(len(o.contrib[o.root].hdst))*f16, o.root)
+	case opAllGather:
+		w.accountAllGather(st, int64(len(o.contrib[0].fsrc))*f32)
+	case opAllGatherHalf:
+		w.accountAllGather(st, int64(len(o.contrib[0].hsrc))*f16)
+	case opAllGatherEncodeHalf:
+		w.accountAllGather(st, int64(len(o.contrib[0].fsrc))*f16) // moves encoded fp16 shards
+	case opReduceScatter:
+		w.accountReduceScatter(st, int64(len(o.contrib[0].fsrc))*f32)
+	case opReduceScatterHalf, opReduceScatterHalfDecode:
+		w.accountReduceScatter(st, int64(len(o.contrib[0].hsrc))*f16)
+	case opAllReduce:
+		w.accountAllReduce(st, int64(len(o.contrib[0].fdst))*f32)
+	case opAllReduceHalf:
+		w.accountAllReduce(st, int64(len(o.contrib[0].hdst))*f16)
+	case opGather:
+		w.accountGather(st, int64(len(o.contrib[o.root].fsrc))*f32, o.root)
+	case opReduceHalfDecode:
+		w.accountReduceRoot(st, int64(len(o.contrib[0].hsrc))*f16, o.root)
+	case opAllReduceScalar, opAllReduceMax:
+		w.accountScalar(st)
+	}
+}

@@ -1,0 +1,489 @@
+package comm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// runTopo is the SPMD entry point over a world with an installed topology
+// (nil topo = flat, same as Run).
+func runTopo(t *testing.T, size int, topo *Topology, fn func(c *Comm)) {
+	t.Helper()
+	w := NewWorld(size)
+	if err := w.SetTopology(topo); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(size)
+	for r := 0; r < size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			fn(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+}
+
+func testTopo(nodeSize int) *Topology {
+	return &Topology{NodeSize: nodeSize, IntraGBps: 100, InterGBps: 10}
+}
+
+func TestParseTopology(t *testing.T) {
+	if topo, err := ParseTopology(""); err != nil || topo != nil {
+		t.Fatalf("empty spec: %v %v", topo, err)
+	}
+	topo, err := ParseTopology("2x4:intra=200:inter=25:lintra=1:linter=5:flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Nodes != 2 || topo.NodeSize != 4 || topo.IntraGBps != 200 || topo.InterGBps != 25 ||
+		topo.IntraLatencyUS != 1 || topo.InterLatencyUS != 5 || !topo.Flat {
+		t.Fatalf("parsed %+v", topo)
+	}
+	if !strings.Contains(topo.String(), "2x4") {
+		t.Fatalf("String() = %q", topo.String())
+	}
+	defaulted, err := ParseTopology("4x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaulted.IntraGBps != DefaultIntraGBps || defaulted.InterGBps != DefaultInterGBps {
+		t.Fatalf("defaults not applied: %+v", defaulted)
+	}
+	for _, bad := range []string{"x", "2", "0x4", "2x0", "2x2:wat=3", "2x2:intra=abc", "2x2:intra", "2x2:inter=0", "2x2:intra=0"} {
+		if _, err := ParseTopology(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestSetTopologyValidatesWorld(t *testing.T) {
+	w := NewWorld(4)
+	if err := w.SetTopology(&Topology{NodeSize: 3}); err == nil {
+		t.Error("node size 3 accepted for world of 4")
+	}
+	if err := w.SetTopology(&Topology{NodeSize: 2, Nodes: 3}); err == nil {
+		t.Error("3x2 accepted for world of 4")
+	}
+	if err := w.SetTopology(&Topology{NodeSize: 2}); err != nil {
+		t.Errorf("2-node topology rejected: %v", err)
+	}
+	if err := w.SetTopology(nil); err != nil {
+		t.Errorf("clearing topology failed: %v", err)
+	}
+}
+
+// collectiveOutputs runs every data collective once on a world with the
+// given topology and returns each rank's observed outputs, keyed by
+// collective name.
+func collectiveOutputs(t *testing.T, ranks int, topo *Topology) map[string][][]float32 {
+	t.Helper()
+	const n = 24 // divisible by ranks
+	out := make(map[string][][]float32)
+	var mu sync.Mutex
+	put := func(name string, rank int, v []float32) {
+		mu.Lock()
+		if out[name] == nil {
+			out[name] = make([][]float32, ranks)
+		}
+		out[name][rank] = v
+		mu.Unlock()
+	}
+	runTopo(t, ranks, topo, func(c *Comm) {
+		r := c.Rank()
+		// broadcast (f32)
+		buf := randFloats(101, n)
+		if r != 2%ranks {
+			buf = make([]float32, n)
+		}
+		c.Broadcast(buf, 2%ranks)
+		put("broadcast", r, buf)
+
+		// broadcasthalf
+		hb := randHalves(55, n)
+		if r != 1%ranks {
+			hb = make([]tensor.Half, n)
+		}
+		c.BroadcastHalf(hb, 1%ranks)
+		put("broadcasthalf", r, halfToF32(hb))
+
+		// allgather (f32)
+		src := randFloats(uint64(200+r), n/ranks)
+		dst := make([]float32, n)
+		c.AllGather(dst, src)
+		put("allgather", r, dst)
+
+		// allgatherhalf
+		hsrc := randHalves(uint64(300+r), n/ranks)
+		hdst := make([]tensor.Half, n)
+		c.AllGatherHalf(hdst, hsrc)
+		put("allgatherhalf", r, halfToF32(hdst))
+
+		// allgatherencodehalf (fused)
+		fsrc := randFloats(uint64(400+r), n/ranks)
+		fdst := make([]tensor.Half, n)
+		c.AllGatherEncodeHalf(fdst, fsrc)
+		put("allgatherencodehalf", r, halfToF32(fdst))
+
+		// reducescatter (f32)
+		rsrc := randFloats(uint64(500+r), n)
+		rdst := make([]float32, n/ranks)
+		c.ReduceScatter(rdst, rsrc)
+		put("reducescatter", r, rdst)
+
+		// reducescatterhalf
+		rhsrc := randHalves(uint64(600+r), n)
+		rhdst := make([]tensor.Half, n/ranks)
+		c.ReduceScatterHalf(rhdst, rhsrc)
+		put("reducescatterhalf", r, halfToF32(rhdst))
+
+		// reducescatterhalfdecode (fused)
+		fhsrc := randHalves(uint64(700+r), n)
+		fout := make([]float32, n/ranks)
+		c.ReduceScatterHalfDecode(fout, fhsrc)
+		put("reducescatterhalfdecode", r, fout)
+
+		// allreduce (f32)
+		ar := randFloats(uint64(800+r), n)
+		c.AllReduce(ar)
+		put("allreduce", r, ar)
+
+		// allreducehalf
+		arh := randHalves(uint64(900+r), n)
+		c.AllReduceHalf(arh)
+		put("allreducehalf", r, halfToF32(arh))
+
+		// gather to root
+		gsrc := randFloats(uint64(1000+r), n/ranks)
+		var gdst []float32
+		if r == 0 {
+			gdst = make([]float32, n)
+		}
+		c.Gather(gdst, gsrc, 0)
+		put("gather", r, gdst)
+
+		// reducehalfdecode to root
+		rr := ranks - 1
+		rhd := randHalves(uint64(1100+r), n)
+		var rout []float32
+		if r == rr {
+			rout = make([]float32, n)
+		}
+		c.ReduceHalfDecode(rout, rhd, rr)
+		put("reducehalfdecode", r, rout)
+
+		// scalar collectives
+		s := c.AllReduceScalar(float64(r) + 0.25)
+		m := c.AllReduceMax(float64(r) * 1.5)
+		put("scalars", r, []float32{float32(s), float32(m)})
+	})
+	return out
+}
+
+func halfToF32(h []tensor.Half) []float32 {
+	f := make([]float32, len(h))
+	tensor.DecodeHalf(f, h)
+	return f
+}
+
+// The tentpole contract: every collective on a hierarchical multi-node
+// topology — and on the flat-algorithms ablation of the same topology — is
+// bit-identical to the flat single-node fabric.
+func TestHierarchicalCollectivesBitIdenticalToFlat(t *testing.T) {
+	const ranks = 4
+	flat := collectiveOutputs(t, ranks, nil)
+	for _, tc := range []struct {
+		name string
+		topo *Topology
+	}{
+		{"2x2", testTopo(2)},
+		{"4x1", testTopo(1)},
+		{"1x4", testTopo(4)},
+		{"2x2-flat-algos", &Topology{NodeSize: 2, Flat: true}},
+		{"2x2-latency", &Topology{NodeSize: 2, IntraLatencyUS: 1, InterLatencyUS: 10}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := collectiveOutputs(t, ranks, tc.topo)
+			for name, flatRanks := range flat {
+				gotRanks := got[name]
+				if gotRanks == nil {
+					t.Fatalf("%s: missing outputs", name)
+				}
+				for r := range flatRanks {
+					if len(flatRanks[r]) != len(gotRanks[r]) {
+						t.Fatalf("%s rank %d: len %d vs %d", name, r, len(flatRanks[r]), len(gotRanks[r]))
+					}
+					for i := range flatRanks[r] {
+						if flatRanks[r][i] != gotRanks[r][i] {
+							t.Fatalf("%s rank %d elem %d: flat %g vs topo %g", name, r, i, flatRanks[r][i], gotRanks[r][i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// Async variants on a hierarchical topology must match the flat synchronous
+// results bit for bit (the compute runs at last arrival, so hierarchy and
+// asynchrony compose with no further code).
+func TestHierarchicalAsyncCollectivesBitIdentical(t *testing.T) {
+	const ranks, n = 4, 16
+	type asyncOut struct {
+		ag, bc []tensor.Half
+		rs     []tensor.Half
+		rsd    []float32
+		rhd    []float32
+	}
+	run := func(topo *Topology) []asyncOut {
+		outs := make([]asyncOut, ranks)
+		runTopo(t, ranks, topo, func(c *Comm) {
+			r := c.Rank()
+			agSrc := randHalves(uint64(10+r), n/ranks)
+			agDst := make([]tensor.Half, n)
+			t1 := c.AllGatherHalfAsync(agDst, agSrc)
+
+			bc := randHalves(31, n)
+			if r != 1 {
+				bc = make([]tensor.Half, n)
+			}
+			t2 := c.BroadcastHalfAsync(bc, 1)
+
+			rsSrc := randHalves(uint64(20+r), n)
+			rsDst := make([]tensor.Half, n/ranks)
+			t3 := c.ReduceScatterHalfAsync(rsDst, rsSrc)
+
+			rsdSrc := randHalves(uint64(40+r), n)
+			rsdDst := make([]float32, n/ranks)
+			t4 := c.ReduceScatterHalfDecodeAsync(rsdDst, rsdSrc)
+
+			rhdSrc := randHalves(uint64(60+r), n)
+			var rhdDst []float32
+			if r == 0 {
+				rhdDst = make([]float32, n)
+			}
+			t5 := c.ReduceHalfDecodeAsync(rhdDst, rhdSrc, 0)
+
+			t1.Wait()
+			t2.Wait()
+			t3.Wait()
+			t4.Wait()
+			t5.Wait()
+			outs[r] = asyncOut{ag: agDst, bc: bc, rs: rsDst, rsd: rsdDst, rhd: rhdDst}
+		})
+		return outs
+	}
+	flat := run(nil)
+	hier := run(testTopo(2))
+	for r := 0; r < ranks; r++ {
+		for i := range flat[r].ag {
+			if flat[r].ag[i] != hier[r].ag[i] {
+				t.Fatalf("rank %d allgather[%d] differs", r, i)
+			}
+		}
+		for i := range flat[r].bc {
+			if flat[r].bc[i] != hier[r].bc[i] {
+				t.Fatalf("rank %d broadcast[%d] differs", r, i)
+			}
+		}
+		for i := range flat[r].rs {
+			if flat[r].rs[i] != hier[r].rs[i] {
+				t.Fatalf("rank %d reducescatter[%d] differs", r, i)
+			}
+		}
+		for i := range flat[r].rsd {
+			if flat[r].rsd[i] != hier[r].rsd[i] {
+				t.Fatalf("rank %d reducescatterdecode[%d] differs", r, i)
+			}
+		}
+		for i := range flat[r].rhd {
+			if flat[r].rhd[i] != hier[r].rhd[i] {
+				t.Fatalf("rank %d reducehalfdecode[%d] differs", r, i)
+			}
+		}
+	}
+}
+
+// The per-element sum delivered by ReduceHalfDecode (owner-rank strategy)
+// must equal the concatenated shards of ReduceScatterHalfDecode (1/dp
+// slicing) — the property that makes the two partitioning strategies train
+// bit-identically.
+func TestReduceHalfDecodeMatchesShardedSum(t *testing.T) {
+	const ranks, n = 4, 32
+	var rootSum []float32
+	shards := make([][]float32, ranks)
+	Run(ranks, func(c *Comm) {
+		src := randHalves(uint64(5+c.Rank()), n)
+		var dst []float32
+		if c.Rank() == 0 {
+			dst = make([]float32, n)
+		}
+		c.ReduceHalfDecode(dst, src, 0)
+		if c.Rank() == 0 {
+			rootSum = dst
+		}
+	})
+	Run(ranks, func(c *Comm) {
+		src := randHalves(uint64(5+c.Rank()), n)
+		dst := make([]float32, n/ranks)
+		c.ReduceScatterHalfDecode(dst, src)
+		shards[c.Rank()] = dst
+	})
+	for r := 0; r < ranks; r++ {
+		for i, v := range shards[r] {
+			if rootSum[r*(n/ranks)+i] != v {
+				t.Fatalf("elem %d: reduce-to-root %g vs sharded %g", r*(n/ranks)+i, rootSum[r*(n/ranks)+i], v)
+			}
+		}
+	}
+}
+
+// The Fig. 6c property at the fabric level: gathering a full vector via the
+// all-links allgather (1/dp slicing) achieves higher aggregate bandwidth —
+// and less simulated time — than an owner-rank broadcast of the same bytes
+// on a multi-node topology.
+func TestSlicedGatherBeatsOwnerBroadcastBandwidth(t *testing.T) {
+	const ranks, full = 8, 1 << 12
+	topo := &Topology{NodeSize: 2, IntraGBps: 100, InterGBps: 10}
+	var ag, bc TrafficStats
+	runTopo(t, ranks, topo, func(c *Comm) {
+		src := randHalves(uint64(c.Rank()), full/ranks)
+		dst := make([]tensor.Half, full)
+		for i := 0; i < 8; i++ {
+			c.AllGatherHalf(dst, src)
+		}
+		if c.Rank() == 0 {
+			ag = c.Traffic()["allgatherhalf"]
+		}
+	})
+	runTopo(t, ranks, topo, func(c *Comm) {
+		buf := randHalves(3, full)
+		for i := 0; i < 8; i++ {
+			c.BroadcastHalf(buf, 0)
+		}
+		if c.Rank() == 0 {
+			bc = c.Traffic()["broadcasthalf"]
+		}
+	})
+	if ag.Ops != 8 || bc.Ops != 8 {
+		t.Fatalf("ops: allgather %d, broadcast %d", ag.Ops, bc.Ops)
+	}
+	if ag.Seconds <= 0 || bc.Seconds <= 0 {
+		t.Fatalf("no simulated time: %v %v", ag.Seconds, bc.Seconds)
+	}
+	if ag.AggGBps() <= bc.AggGBps() {
+		t.Fatalf("sliced allgather %.2f GB/s not above owner broadcast %.2f GB/s",
+			ag.AggGBps(), bc.AggGBps())
+	}
+	if ag.Seconds >= bc.Seconds {
+		t.Fatalf("sliced allgather %.3gs not faster than owner broadcast %.3gs", ag.Seconds, bc.Seconds)
+	}
+}
+
+// Hierarchical decomposition must beat the flat-algorithms ablation of the
+// same topology when inter-node links are the scarce resource.
+func TestHierarchicalBeatsFlatAlgorithmsOnSlowInterconnect(t *testing.T) {
+	const ranks, full = 8, 1 << 12
+	measure := func(flat bool) TrafficStats {
+		topo := &Topology{NodeSize: 4, IntraGBps: 100, InterGBps: 5, Flat: flat}
+		var st TrafficStats
+		runTopo(t, ranks, topo, func(c *Comm) {
+			buf := randHalves(3, full)
+			if c.Rank() != 0 {
+				buf = make([]tensor.Half, full)
+			}
+			for i := 0; i < 4; i++ {
+				c.BroadcastHalf(buf, 0)
+			}
+			if c.Rank() == 0 {
+				st = c.Traffic()["broadcasthalf"]
+			}
+		})
+		return st
+	}
+	hier := measure(false)
+	flat := measure(true)
+	if hier.Seconds >= flat.Seconds {
+		t.Fatalf("hierarchical broadcast %.3gs not faster than flat %.3gs", hier.Seconds, flat.Seconds)
+	}
+}
+
+// Traffic accounting without a topology still counts ops and bytes (the
+// byte flow is well defined on the flat fabric; only timing needs links).
+func TestTrafficCountsWithoutTopology(t *testing.T) {
+	const ranks, n = 4, 16
+	var tr map[string]TrafficStats
+	var tot TrafficStats
+	Run(ranks, func(c *Comm) {
+		src := randHalves(uint64(c.Rank()), n/ranks)
+		dst := make([]tensor.Half, n)
+		c.AllGatherHalf(dst, src)
+		c.Barrier()
+		if c.Rank() == 0 {
+			tr = c.Traffic()
+			tot = c.TrafficTotal()
+		}
+	})
+	ag := tr["allgatherhalf"]
+	if ag.Ops != 1 || ag.Bytes() == 0 {
+		t.Fatalf("allgatherhalf traffic %+v", ag)
+	}
+	if ag.Seconds != 0 {
+		t.Fatalf("flat fabric charged time: %v", ag.Seconds)
+	}
+	if tot.Ops < 2 {
+		t.Fatalf("total ops %d", tot.Ops)
+	}
+}
+
+// Equivalent fabrics must count the same bytes: a 4-rank allgather ring
+// with no topology, on a single-node "1x4" topology, and on a "4x1"
+// topology (every rank its own node: the hierarchical phases degenerate to
+// the same inter ring) all move identical totals.
+func TestDegenerateTopologiesCountSameBytes(t *testing.T) {
+	const ranks, n = 4, 16
+	measure := func(topo *Topology) int64 {
+		var b int64
+		runTopo(t, ranks, topo, func(c *Comm) {
+			src := randHalves(uint64(c.Rank()), n/ranks)
+			dst := make([]tensor.Half, n)
+			c.AllGatherHalf(dst, src)
+			if c.Rank() == 0 {
+				b = c.Traffic()["allgatherhalf"].Bytes()
+			}
+		})
+		return b
+	}
+	flat := measure(nil)
+	oneNode := measure(testTopo(ranks))
+	perRank := measure(testTopo(1))
+	// p ring edges each carrying (p-1) chunks of n/ranks halves.
+	want := int64(ranks * (ranks - 1) * (n / ranks) * 2)
+	if flat != want || oneNode != want || perRank != want {
+		t.Fatalf("byte totals diverge: flat %d, 1x%d %d, %dx1 %d, want %d",
+			flat, ranks, oneNode, ranks, perRank, want)
+	}
+}
+
+// Accounting must not allocate: the steady-state zero-allocation contract
+// holds with a topology installed (solo worlds exercise the same account()
+// path as the multi-rank rendezvous).
+func TestTopologyAccountingAllocFree(t *testing.T) {
+	w := NewWorld(1)
+	if err := w.SetTopology(&Topology{NodeSize: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c := w.Comm(0)
+	src := randHalves(1, 64)
+	dst := make([]tensor.Half, 64)
+	c.AllGatherHalf(dst, src) // warm the op pool
+	allocs := testing.AllocsPerRun(100, func() {
+		c.AllGatherHalf(dst, src)
+	})
+	if allocs != 0 {
+		t.Fatalf("allgatherhalf with topology allocated %.1f/op", allocs)
+	}
+}

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"repro/internal/comm"
 	"repro/internal/optim"
 	"repro/internal/tensor"
 	"repro/internal/zero"
@@ -73,6 +74,22 @@ type Config struct {
 	// the serial reference backend). Every backend is bit-identical, so
 	// this is purely a speed knob.
 	Backend tensor.Backend
+
+	// Partition selects the parameter-partitioning strategy (Fig. 6c):
+	// per-parameter 1/dp slicing (default) or owner-rank broadcast. Both
+	// train bit-identically; they differ in which links the gathers and
+	// gradient reductions keep busy and therefore in achieved aggregate
+	// bandwidth (Stats.CommTraffic). With PartitionBroadcast and
+	// Params==OnNVMe the comm (allgather) prefetcher is disabled — its
+	// issue decisions would depend on owner-only NVMe state and desynchronize
+	// the SPMD collective sequence — while the owner-local NVMe read
+	// prefetcher keeps working.
+	Partition zero.Partitioning
+	// Topology, when set, is installed on the communicator's world: ranks
+	// group into nodes, collectives decompose hierarchically and the
+	// fabric's traffic accounting distinguishes intra- from inter-node
+	// links. Results are bit-identical with or without a topology.
+	Topology *comm.Topology
 }
 
 func (c *Config) setDefaults() {
@@ -124,4 +141,13 @@ type Stats struct {
 	// it reflects the whole world's step; after the scratch arenas warm up
 	// the engine+comm+tensor contribution is zero.
 	AllocsPerStep uint64
+	// CommTraffic is the collective fabric's cumulative modeled traffic per
+	// collective kind — ops, intra/inter-node bytes, simulated transfer
+	// seconds and achieved aggregate bandwidth (TrafficStats.AggGBps). The
+	// counters are world-wide (all ranks' collectives), which is what the
+	// Fig. 6c aggregate-bandwidth comparison wants.
+	CommTraffic map[string]comm.TrafficStats
+	// CommGBps is the achieved aggregate bandwidth across every collective
+	// kind (0 without a topology: the flat fabric has no link timing).
+	CommGBps float64
 }

@@ -21,6 +21,11 @@ type pstate struct {
 	p        *module.Param
 	owner    module.Module
 	shardLen int
+	// bcastRoot is the rank owning the whole parameter under
+	// PartitionBroadcast (-1 under 1/dp slicing). On the owner shardLen is
+	// the full parameter length; elsewhere it is 0 and no shard storage
+	// exists.
+	bcastRoot int
 
 	// fp16 parameter shard: resident slice for OnGPU/OnCPU, region for OnNVMe.
 	hostShard []tensor.Half
@@ -60,6 +65,10 @@ type InfinityEngine struct {
 
 	params []*module.Param
 	states map[*module.Param]*pstate
+	// owned lists the parameters whose gradient and optimizer shard this
+	// rank holds: all of them under 1/dp slicing, the round-robin subset
+	// under owner-rank broadcast partitioning.
+	owned []*module.Param
 
 	scaler    *optim.LossScaler
 	stepCount int
@@ -130,6 +139,11 @@ func NewInfinityEngine(cfg Config, c *comm.Comm, g zero.Model) (*InfinityEngine,
 	e.rt = module.NewRuntime(e)
 	e.rt.SetBackend(cfg.Backend)
 	c.SetCodecBackend(cfg.Backend)
+	if cfg.Topology != nil {
+		if err := c.SetTopology(cfg.Topology); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.DynamicLossScale {
 		e.scaler = optim.NewLossScaler(cfg.LossScale)
 	} else {
@@ -158,8 +172,8 @@ func NewInfinityEngine(cfg Config, c *comm.Comm, g zero.Model) (*InfinityEngine,
 	if cfg.needsNVMe() {
 		var capacity int64
 		maxRegion := 0
-		for _, p := range e.params {
-			s := comm.ShardLen(p.Len(), dp)
+		for i, p := range e.params {
+			s := e.shardLenFor(i, p)
 			if cfg.Params == zero.OnNVMe {
 				capacity += int64(s) * tensor.HalfBytes
 			}
@@ -195,54 +209,66 @@ func NewInfinityEngine(cfg Config, c *comm.Comm, g zero.Model) (*InfinityEngine,
 		e.cpuT.Add(mem.CatPinnedStage, int64(cfg.PinnedBuffers)*int64(cfg.PinnedBufBytes))
 	}
 
-	// Partitioned initialization (paper Sec. 7.2).
-	for _, p := range e.params {
-		full := model.InitValues(p, cfg.Seed) // transient
-		s := comm.ShardLen(p.Len(), dp)
+	// Partitioned initialization (paper Sec. 7.2). Under PartitionBroadcast
+	// the "shard" is the whole parameter on its owning rank and nothing
+	// elsewhere (shardLen 0: zero-length state, no NVMe regions).
+	for i, p := range e.params {
+		s := e.shardLenFor(i, p)
 		lo := c.Rank() * s
+		ps := &pstate{p: p, owner: owners[p], shardLen: s, bcastRoot: -1}
+		if cfg.Partition == zero.PartitionBroadcast {
+			ps.bcastRoot = i % dp
+			lo = 0
+		}
 		fs := make([]float32, s)
-		for i := 0; i < s; i++ {
-			if lo+i < len(full) {
-				fs[i] = full[lo+i]
+		if s > 0 {
+			full := model.InitValues(p, cfg.Seed) // transient
+			for j := 0; j < s; j++ {
+				if lo+j < len(full) {
+					fs[j] = full[lo+j]
+				}
 			}
 		}
 		half := make([]tensor.Half, s)
 		tensor.EncodeHalf(half, fs)
 
-		ps := &pstate{p: p, owner: owners[p], shardLen: s}
-		switch cfg.Params {
-		case zero.OnNVMe:
-			r, err := e.vol.Alloc("param/"+p.Name, int64(s)*tensor.HalfBytes)
-			if err != nil {
-				return nil, err
+		switch {
+		case cfg.Params == zero.OnNVMe:
+			if s > 0 {
+				r, err := e.vol.Alloc("param/"+p.Name, int64(s)*tensor.HalfBytes)
+				if err != nil {
+					return nil, err
+				}
+				buf := make([]byte, r.Size)
+				tensor.HalfToBytes(buf, half)
+				if err := e.io.WriteRegion(buf, r).Wait(); err != nil {
+					return nil, err
+				}
+				ps.region = r
 			}
-			buf := make([]byte, r.Size)
-			tensor.HalfToBytes(buf, half)
-			if err := e.io.WriteRegion(buf, r).Wait(); err != nil {
-				return nil, err
-			}
-			ps.region = r
-		case zero.OnCPU:
+		case cfg.Params == zero.OnCPU:
 			ps.hostShard = half
 			e.cpuT.Add(mem.CatParamsFP16, int64(s)*tensor.HalfBytes)
 		default:
 			ps.hostShard = half
 			e.gpuT.Add(mem.CatParamsFP16, int64(s)*tensor.HalfBytes)
 		}
-		switch cfg.Optimizer {
-		case zero.OnNVMe:
-			r, err := e.vol.Alloc("opt/"+p.Name, int64(s)*12)
-			if err != nil {
-				return nil, err
+		switch {
+		case cfg.Optimizer == zero.OnNVMe:
+			if s > 0 {
+				r, err := e.vol.Alloc("opt/"+p.Name, int64(s)*12)
+				if err != nil {
+					return nil, err
+				}
+				buf := make([]byte, r.Size)
+				tensor.F32ToBytes(buf[:4*s], fs) // master = fp16 init values
+				// momentum and variance start at zero (already zero in buf).
+				if err := e.io.WriteRegion(buf, r).Wait(); err != nil {
+					return nil, err
+				}
+				ps.optRegion = r
 			}
-			buf := make([]byte, r.Size)
-			tensor.F32ToBytes(buf[:4*s], fs) // master = fp16 init values
-			// momentum and variance start at zero (already zero in buf).
-			if err := e.io.WriteRegion(buf, r).Wait(); err != nil {
-				return nil, err
-			}
-			ps.optRegion = r
-		case zero.OnCPU:
+		case cfg.Optimizer == zero.OnCPU:
 			ps.master = fs
 			ps.m = make([]float32, s)
 			ps.v = make([]float32, s)
@@ -254,6 +280,9 @@ func NewInfinityEngine(cfg Config, c *comm.Comm, g zero.Model) (*InfinityEngine,
 			e.gpuT.Add(mem.CatOptimState, int64(s)*12)
 		}
 		e.states[p] = ps
+		if s > 0 {
+			e.owned = append(e.owned, p)
+		}
 		p.SetOnDemand(e.onDemand)
 		p.SetGradScratch(e.f32.Get, e.f32.Put)
 	}
@@ -266,13 +295,31 @@ func NewInfinityEngine(cfg Config, c *comm.Comm, g zero.Model) (*InfinityEngine,
 		}
 		e.prefetch = newPrefetcher(e, depth)
 	}
-	if cfg.Overlap && cfg.PrefetchDepth > 0 {
+	if cfg.Overlap && cfg.PrefetchDepth > 0 &&
+		!(cfg.Partition == zero.PartitionBroadcast && cfg.Params == zero.OnNVMe) {
+		// Broadcast partitioning over NVMe keeps the owner-local read
+		// prefetcher but not the comm prefetcher: its issue decisions would
+		// depend on the owner's private read state and desynchronize the
+		// SPMD collective sequence across ranks.
 		e.commPrefetch = newCommPrefetcher(e, cfg.PrefetchDepth)
 	}
 	if e.prefetch != nil || e.commPrefetch != nil {
 		e.trace = overlap.New[*pstate](cfg.PrefetchDepth)
 	}
 	return e, nil
+}
+
+// shardLenFor returns this rank's fp16 shard length for the i-th parameter
+// under the configured partitioning strategy: the padded 1/dp slice, or the
+// whole parameter on its round-robin owner (0 elsewhere).
+func (e *InfinityEngine) shardLenFor(i int, p *module.Param) int {
+	if e.cfg.Partition == zero.PartitionBroadcast {
+		if i%e.c.Size() == e.c.Rank() {
+			return p.Len()
+		}
+		return 0
+	}
+	return comm.ShardLen(p.Len(), e.c.Size())
 }
 
 // Close releases the NVMe engine and store.
@@ -313,6 +360,8 @@ func (e *InfinityEngine) Stats() Stats {
 	if e.gpuAlloc != nil {
 		s.GPUPeakBytes = e.gpuAlloc.Peak()
 	}
+	s.CommTraffic = e.c.Traffic()
+	s.CommGBps = e.c.TrafficTotal().AggGBps()
 	return s
 }
 
@@ -376,10 +425,11 @@ func (e *InfinityEngine) writeShard(ps *pstate, half []tensor.Half) {
 	}
 }
 
-// gather materializes p from the ranks' shards (bandwidth-centric: every
-// rank fetches its own 1/dp slice over its own link, then allgather). With
-// overlap enabled, a speculatively issued allgather is claimed instead of
-// stalling on a fresh one, and allgathers/NVMe reads for upcoming
+// gather materializes p from the ranks' shards: bandwidth-centric under
+// PartitionSlice (every rank fetches its own 1/dp slice over its own link,
+// then allgather), an owner-rank broadcast under PartitionBroadcast. With
+// overlap enabled, a speculatively issued collective is claimed instead of
+// stalling on a fresh one, and collectives/NVMe reads for upcoming
 // parameters are issued before returning to compute.
 func (e *InfinityEngine) gather(p *module.Param) {
 	if p.Materialized() {
@@ -397,6 +447,9 @@ func (e *InfinityEngine) gather(p *module.Param) {
 		ps.commInflight = inflightGather{}
 		e.commPrefetch.consumed()
 		e.stats.CommPrefetchHits++
+	} else if e.cfg.Partition == zero.PartitionBroadcast {
+		fullH = e.bcastFullH(ps)
+		e.c.BroadcastHalf(fullH, ps.bcastRoot)
 	} else {
 		shard := e.shardHalf(ps)
 		fullH = e.f16.Get(ps.shardLen * e.c.Size())
@@ -422,6 +475,21 @@ func (e *InfinityEngine) gather(p *module.Param) {
 	if e.prefetch != nil {
 		e.prefetch.issue() // then replenish the NVMe read-ahead window
 	}
+}
+
+// bcastFullH draws a full-length fp16 view buffer from the arena and fills
+// it with this rank's contribution to ps's owner broadcast — the owner's
+// whole shard (fetched from its tier); stale arena contents elsewhere,
+// which the broadcast overwrites. Shared by the sync gather, the comm
+// prefetcher and FullParams so the owner-fetch sequence exists once.
+func (e *InfinityEngine) bcastFullH(ps *pstate) []tensor.Half {
+	fullH := e.f16.Get(ps.p.Len())
+	if e.c.Rank() == ps.bcastRoot {
+		shard := e.shardHalf(ps)
+		copy(fullH, shard)
+		e.releaseShard(shard)
+	}
+	return fullH
 }
 
 // release re-partitions p, freeing the gathered copy.
@@ -492,32 +560,14 @@ func (e *InfinityEngine) PreBackward(m module.Module) {
 	}
 }
 
-// PostBackward implements module.Hooks: reduce-scatter owned grads, then
-// re-partition.
+// PostBackward implements module.Hooks: reduce each parameter's gradient —
+// fused reduce-scatter+decode of the 1/dp slices, or fused reduce+decode to
+// the owning rank under PartitionBroadcast — then re-partition.
 func (e *InfinityEngine) PostBackward(m module.Module) {
 	e.active = e.active[:len(e.active)-1]
-	dp := e.c.Size()
 	for _, p := range m.Params() {
 		if p.HasGrad() {
-			n := p.Len()
-			padded := comm.PaddedLen(n, dp)
-			gh := e.f16.Get(padded)
-			e.rt.Backend().EncodeHalf(gh[:n], p.Grad())
-			clear(gh[n:])
-			gs := e.f32.Get(padded / dp)
-			if e.cfg.Overlap {
-				// Launch asynchronously (fused reduce+decode) and keep
-				// computing the rest of the backward pass; drained before
-				// the overflow check.
-				tk := e.c.ReduceScatterHalfDecodeAsync(gs, gh)
-				e.pendingReduces = append(e.pendingReduces,
-					overlap.Pending[*pstate]{Key: e.states[p], Ticket: tk, Shard: gs, GH: gh})
-				e.stats.AsyncReduces++
-			} else {
-				e.c.ReduceScatterHalfDecode(gs, gh)
-				e.f16.Put(gh)
-				e.foldGradShard(e.states[p], gs)
-			}
+			e.reduceGrad(p)
 			p.ReleaseGrad()
 		}
 		e.release(p)
@@ -526,6 +576,55 @@ func (e *InfinityEngine) PostBackward(m module.Module) {
 		if !e.inScope(p) {
 			e.release(p)
 		}
+	}
+}
+
+// reduceGrad launches (or performs) the strategy's gradient reduction for
+// p. Both strategies accumulate per element in rank order with fp32
+// arithmetic and round through binary16, so the reduced values are
+// bit-identical; only where the result lands and which links carry the
+// bytes differ.
+func (e *InfinityEngine) reduceGrad(p *module.Param) {
+	ps := e.states[p]
+	dp := e.c.Size()
+	n := p.Len()
+	if e.cfg.Partition == zero.PartitionBroadcast {
+		gh := e.f16.Get(n)
+		e.rt.Backend().EncodeHalf(gh, p.Grad())
+		var gs []float32
+		if e.c.Rank() == ps.bcastRoot {
+			gs = e.f32.Get(n)
+		}
+		if e.cfg.Overlap {
+			tk := e.c.ReduceHalfDecodeAsync(gs, gh, ps.bcastRoot)
+			e.pendingReduces = append(e.pendingReduces,
+				overlap.Pending[*pstate]{Key: ps, Ticket: tk, Shard: gs, GH: gh})
+			e.stats.AsyncReduces++
+		} else {
+			e.c.ReduceHalfDecode(gs, gh, ps.bcastRoot)
+			e.f16.Put(gh)
+			if gs != nil {
+				e.foldGradShard(ps, gs)
+			}
+		}
+		return
+	}
+	padded := comm.PaddedLen(n, dp)
+	gh := e.f16.Get(padded)
+	e.rt.Backend().EncodeHalf(gh[:n], p.Grad())
+	clear(gh[n:])
+	gs := e.f32.Get(padded / dp)
+	if e.cfg.Overlap {
+		// Launch asynchronously (fused reduce+decode) and keep computing
+		// the rest of the backward pass; drained before the overflow check.
+		tk := e.c.ReduceScatterHalfDecodeAsync(gs, gh)
+		e.pendingReduces = append(e.pendingReduces,
+			overlap.Pending[*pstate]{Key: ps, Ticket: tk, Shard: gs, GH: gh})
+		e.stats.AsyncReduces++
+	} else {
+		e.c.ReduceScatterHalfDecode(gs, gh)
+		e.f16.Put(gh)
+		e.foldGradShard(ps, gs)
 	}
 }
 
@@ -601,13 +700,13 @@ func (e *InfinityEngine) StepAccum(microTokens, microTargets [][]int, batchPerMi
 	e.drainReduces()
 
 	shards := e.shardsBuf[:0]
-	for _, p := range e.params {
+	for _, p := range e.owned {
 		shards = append(shards, e.states[p].gradShard)
 	}
 	e.shardsBuf = shards
 	if zero.GlobalOverflow(e.c, e.rt.Backend(), shards) {
 		e.scaler.Update(true)
-		for _, p := range e.params {
+		for _, p := range e.owned {
 			if gs := e.states[p].gradShard; gs != nil {
 				e.f32.Put(gs)
 				e.states[p].gradShard = nil
@@ -619,11 +718,11 @@ func (e *InfinityEngine) StepAccum(microTokens, microTargets [][]int, batchPerMi
 	// Unscale (and clip) before the optimizer phase so the NVMe-streamed
 	// update consumes finished gradients.
 	inv := float32(1 / (scaleUsed * float64(dp) * float64(micros)))
-	for _, p := range e.params {
+	for _, p := range e.owned {
 		e.rt.Backend().Scale(inv, e.states[p].gradShard)
 	}
 	if f := zero.GlobalClipFactor(e.c, e.cfg.ClipNorm, shards); f != 1 {
-		for _, p := range e.params {
+		for _, p := range e.owned {
 			e.rt.Backend().Scale(float32(f), e.states[p].gradShard)
 		}
 	}
@@ -634,7 +733,7 @@ func (e *InfinityEngine) StepAccum(microTokens, microTargets [][]int, batchPerMi
 			return zero.StepResult{}, oerr
 		}
 	} else {
-		for _, p := range e.params {
+		for _, p := range e.owned {
 			ps := e.states[p]
 			gs := ps.gradShard
 			optim.StepVecOn(e.rt.Backend(), e.cfg.Adam, e.stepCount, ps.master, gs, ps.m, ps.v)
@@ -664,9 +763,16 @@ func (e *InfinityEngine) LoadParams(values map[string][]float32) error {
 			return fmt.Errorf("core: checkpoint parameter %q has %d elems, want %d", p.Name, len(v), p.Len())
 		}
 		ps := e.states[p]
+		if e.cfg.Partition == zero.PartitionBroadcast && e.c.Rank() != ps.bcastRoot {
+			continue // no state on this rank
+		}
 		rounded := tensor.RoundTripHalf(append([]float32(nil), v...))
 		fs := make([]float32, ps.shardLen)
-		comm.Shard(fs, rounded, e.c.Rank(), dp)
+		if e.cfg.Partition == zero.PartitionBroadcast {
+			copy(fs, rounded)
+		} else {
+			comm.Shard(fs, rounded, e.c.Rank(), dp)
+		}
 		half := make([]tensor.Half, ps.shardLen)
 		tensor.EncodeHalf(half, fs)
 		e.writeShard(ps, half)
@@ -690,17 +796,26 @@ func (e *InfinityEngine) LoadParams(values map[string][]float32) error {
 }
 
 // FullParams gathers every parameter's current fp16 values (collective).
+// The transient gathered fp16 view cycles through the engine's scratch
+// arena — only the returned float32 vectors are fresh allocations.
 func (e *InfinityEngine) FullParams() map[string][]float32 {
 	dp := e.c.Size()
 	out := make(map[string][]float32, len(e.params))
 	for _, p := range e.params {
 		ps := e.states[p]
-		fullH := make([]tensor.Half, ps.shardLen*dp)
-		shard := e.shardHalf(ps)
-		e.c.AllGatherHalf(fullH, shard)
-		e.releaseShard(shard)
+		var fullH []tensor.Half
+		if e.cfg.Partition == zero.PartitionBroadcast {
+			fullH = e.bcastFullH(ps)
+			e.c.BroadcastHalf(fullH, ps.bcastRoot)
+		} else {
+			fullH = e.f16.Get(ps.shardLen * dp)
+			shard := e.shardHalf(ps)
+			e.c.AllGatherHalf(fullH, shard)
+			e.releaseShard(shard)
+		}
 		v := make([]float32, p.Len())
 		tensor.DecodeHalf(v, fullH[:p.Len()])
+		e.f16.Put(fullH)
 		out[p.Name] = v
 	}
 	return out

@@ -37,15 +37,17 @@ func (e *InfinityEngine) optimizerStepNVMe() error {
 	}
 
 	// Software pipeline: one read in flight ahead of the compute stage.
+	// Only this rank's owned parameters stream (all of them under 1/dp
+	// slicing; the round-robin subset under owner-rank broadcast).
 	var next slot
 	havePrefetch := false
-	for i, p := range e.params {
+	for i, p := range e.owned {
 		cur := next
 		if !havePrefetch {
 			cur = issueRead(e.states[p])
 		}
-		if i+1 < len(e.params) {
-			next = issueRead(e.states[e.params[i+1]])
+		if i+1 < len(e.owned) {
+			next = issueRead(e.states[e.owned[i+1]])
 			havePrefetch = true
 		} else {
 			havePrefetch = false

@@ -63,6 +63,21 @@ func (cp *commPrefetcher) issue() {
 		if ps.commInflight.fullH != nil || ps.p.Materialized() {
 			return true
 		}
+		if e.cfg.Partition == zero.PartitionBroadcast {
+			// Owner-rank partitioning (resident tiers only — the
+			// constructor never builds a comm prefetcher for broadcast over
+			// NVMe, so bcastFullH's owner fetch is a plain hostShard copy):
+			// speculate the owner's broadcast. Every rank issues the same
+			// collective unconditionally, so the SPMD sequence stays
+			// matched.
+			fullH := e.bcastFullH(ps)
+			tk := e.c.BroadcastHalfAsync(fullH, ps.bcastRoot)
+			ps.commInflight = inflightGather{ticket: tk, fullH: fullH}
+			cp.inflight = append(cp.inflight, ps)
+			cp.outstanding++
+			e.stats.CommPrefetchIssued++
+			return true
+		}
 		var shard []tensor.Half
 		if e.cfg.Params == zero.OnNVMe {
 			f := ps.inflight
@@ -148,6 +163,8 @@ func (e *InfinityEngine) endOverlapStep() {
 func (e *InfinityEngine) drainReduces() {
 	e.pendingReduces = overlap.Drain(e.pendingReduces, func(ps *pstate, gs []float32, gh []tensor.Half) {
 		e.f16.Put(gh)
-		e.foldGradShard(ps, gs)
+		if gs != nil { // nil on non-owner ranks under PartitionBroadcast
+			e.foldGradShard(ps, gs)
+		}
 	})
 }

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+	"repro/internal/zero"
+)
+
+// Fig. 6c correctness on the infinity engine: the owner-rank broadcast
+// strategy — across placements, with overlap+prefetch and a multi-node
+// topology — trains bit-identically to DDP, exactly like 1/dp slicing.
+func TestPartitionBroadcastBitIdenticalToDDP(t *testing.T) {
+	topo := &comm.Topology{NodeSize: 2, IntraGBps: 100, InterGBps: 10}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"gpu-gpu", Config{Partition: zero.PartitionBroadcast}},
+		{"cpu-cpu+overlap", Config{Partition: zero.PartitionBroadcast,
+			Params: zero.OnCPU, Optimizer: zero.OnCPU, Overlap: true, PrefetchDepth: 2}},
+		{"gpu-gpu+overlap+topology", Config{Partition: zero.PartitionBroadcast,
+			Overlap: true, PrefetchDepth: 2, Topology: topo}},
+		{"nvme-nvme+prefetch", Config{Partition: zero.PartitionBroadcast,
+			Params: zero.OnNVMe, Optimizer: zero.OnNVMe, PrefetchDepth: 3}},
+		{"slice+topology", Config{Overlap: true, PrefetchDepth: 2, Topology: topo}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mcfg := testModelCfg(false)
+			ddp := runDDP(t, mcfg)
+			got := runInfinity(t, mcfg, tc.cfg)
+			assertSame(t, tc.name, ddp, got)
+		})
+	}
+}
+
+// Stats must surface the fabric's modeled traffic: with a topology
+// installed, the gather collective reports bytes, simulated seconds and a
+// positive achieved aggregate bandwidth — and the slicing strategy's gather
+// bandwidth beats the owner-broadcast strategy's on the same topology.
+func TestStatsReportCommTrafficAndSlicingWins(t *testing.T) {
+	topo := &comm.Topology{NodeSize: 2, IntraGBps: 100, InterGBps: 10}
+	mcfg := testModelCfg(false)
+
+	slice := runInfinity(t, mcfg, Config{Overlap: true, PrefetchDepth: 2, Topology: topo})
+	bcast := runInfinity(t, mcfg, Config{Partition: zero.PartitionBroadcast,
+		Overlap: true, PrefetchDepth: 2, Topology: topo})
+
+	ag, ok := slice.stats.CommTraffic["allgatherhalf"]
+	if !ok || ag.Ops == 0 || ag.Bytes() == 0 || ag.Seconds <= 0 {
+		t.Fatalf("slicing allgather traffic missing or untimed: %+v", ag)
+	}
+	bc, ok := bcast.stats.CommTraffic["broadcasthalf"]
+	if !ok || bc.Ops == 0 || bc.Bytes() == 0 || bc.Seconds <= 0 {
+		t.Fatalf("broadcast gather traffic missing or untimed: %+v", bc)
+	}
+	if ag.AggGBps() <= bc.AggGBps() {
+		t.Fatalf("1/dp slicing gather %.2f GB/s not above owner broadcast %.2f GB/s",
+			ag.AggGBps(), bc.AggGBps())
+	}
+	if slice.stats.CommGBps <= 0 || bcast.stats.CommGBps <= 0 {
+		t.Fatalf("aggregate CommGBps not populated: %v %v", slice.stats.CommGBps, bcast.stats.CommGBps)
+	}
+}
+
+// The infinity FullParams consolidation must draw its gather scratch from
+// the engine arena (checkpoint-gather satellite): a warm call allocates
+// only the returned vectors and map.
+func TestInfinityFullParamsGatherScratchPooled(t *testing.T) {
+	mcfg := testModelCfg(false)
+	comm.Run(1, func(c *comm.Comm) {
+		e, err := NewInfinityEngine(Config{LossScale: 64, Seed: 3}, c, model.MustGPT(mcfg))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer e.Close()
+		e.FullParams() // warm the arena size classes
+		nparams := len(e.params)
+		allocs := testing.AllocsPerRun(10, func() {
+			e.FullParams()
+		})
+		budget := float64(2*nparams + 4)
+		if allocs > budget {
+			t.Errorf("FullParams allocated %.1f/call for %d params (budget %.0f): gather scratch not pooled",
+				allocs, nparams, budget)
+		}
+	})
+}

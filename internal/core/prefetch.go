@@ -52,6 +52,12 @@ func (pf *prefetcher) issue() {
 		if pf.outstanding >= pf.depth {
 			return false
 		}
+		if ps.shardLen == 0 {
+			// Owner-rank partitioning: this rank holds no shard (and no NVMe
+			// region) for the parameter — nothing to read ahead. Reads are
+			// rank-local, so skipping here cannot desynchronize ranks.
+			return true
+		}
 		if ps.inflight != nil || ps.commInflight.fullH != nil || ps.p.Materialized() {
 			return true
 		}

@@ -9,7 +9,9 @@ import (
 	"sort"
 	"text/tabwriter"
 
+	"repro/internal/comm"
 	"repro/internal/tensor"
+	"repro/internal/zero"
 )
 
 // backend is the compute backend the functional experiments build their
@@ -33,6 +35,24 @@ func SetTiling(t int) {
 		t = 4
 	}
 	tilingFactor = t
+}
+
+// fabricTopo/fabricPart configure the communication fabric the functional
+// experiments (stepalloc, overlap) build their engines on, set by
+// zinf-bench's -topology/-partition flags. The fig6c experiment ignores the
+// partition knob (it inherently contrasts both strategies) but honours a
+// custom topology. Defaults — flat fabric, 1/dp slicing — keep the
+// committed bench baselines comparable.
+var (
+	fabricTopo *comm.Topology
+	fabricPart zero.Partitioning
+)
+
+// SetFabric selects the topology (nil = flat) and partitioning strategy for
+// subsequent experiment runs.
+func SetFabric(topo *comm.Topology, part zero.Partitioning) {
+	fabricTopo = topo
+	fabricPart = part
 }
 
 // Experiment regenerates one paper artifact.

@@ -11,8 +11,8 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{
 		"equiv", "fig1", "fig2a", "fig2b", "fig3a", "fig3b", "fig3c",
 		"fig5a", "fig5b", "fig5c", "fig6a", "fig6b-analytic", "fig6b-engine",
-		"fig6b-functional", "fig6c", "fig6d", "fig6e", "nvme-bw", "overlap",
-		"stepalloc", "tab1", "tab2", "tab3",
+		"fig6b-functional", "fig6c", "fig6c-sim", "fig6d", "fig6e", "nvme-bw",
+		"overlap", "stepalloc", "tab1", "tab2", "tab3",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -42,7 +42,7 @@ func TestAnalyticAndSimExperimentsProduceOutput(t *testing.T) {
 	for _, id := range []string{
 		"fig1", "fig2a", "fig2b", "fig3a", "fig3b", "fig3c",
 		"fig5a", "fig5b", "fig5c", "fig6a", "fig6b-analytic",
-		"fig6c", "fig6d", "fig6e", "tab1", "tab2", "tab3",
+		"fig6c-sim", "fig6d", "fig6e", "tab1", "tab2", "tab3",
 	} {
 		e, ok := ByID(id)
 		if !ok {
@@ -79,6 +79,41 @@ func TestFunctionalExperiments(t *testing.T) {
 		if id == "fig6b-engine" && !strings.Contains(buf.String(), "reduction") {
 			t.Fatalf("fig6b-engine missing max-live reduction line:\n%s", buf.String())
 		}
+	}
+}
+
+// The fig6c acceptance property: on a multi-node topology, 1/dp slicing's
+// param-gather aggregate bandwidth beats owner-rank broadcast's, the run
+// emits machine-readable records for both, and (asserted inside the
+// experiment) the two strategies' losses are bit-identical.
+func TestFig6cSlicingBeatsBroadcast(t *testing.T) {
+	e, ok := ByID("fig6c")
+	if !ok {
+		t.Fatal("fig6c missing")
+	}
+	ResetRecords()
+	defer ResetRecords()
+	var buf bytes.Buffer
+	if err := Run(&buf, e); err != nil {
+		t.Fatalf("fig6c: %v\n%s", err, buf.String())
+	}
+	var slice, bcast float64
+	for _, r := range Records() {
+		switch r.Name {
+		case "zinf/fig6c/slice/gather":
+			slice = r.Value
+		case "zinf/fig6c/broadcast/gather":
+			bcast = r.Value
+		}
+	}
+	if slice == 0 || bcast == 0 {
+		t.Fatalf("fig6c records missing: slice=%v broadcast=%v", slice, bcast)
+	}
+	if slice <= bcast {
+		t.Fatalf("slicing %.2f GB/s not above broadcast %.2f GB/s", slice, bcast)
+	}
+	if !strings.Contains(buf.String(), "bit-identical") {
+		t.Fatalf("fig6c output missing bit-identity note:\n%s", buf.String())
 	}
 }
 

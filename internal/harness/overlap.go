@@ -53,7 +53,8 @@ func runOverlapVariant(engine string, depth int, async bool, ranks, steps int) (
 		switch engine {
 		case "zero3":
 			e, err := zero.NewZ3Engine(zero.Config{LossScale: 256, Seed: 42, Backend: backend,
-				PrefetchDepth: depth, Overlap: async}, c, g)
+				PrefetchDepth: depth, Overlap: async,
+				Partition: fabricPart, Topology: fabricTopo}, c, g)
 			if err != nil {
 				fail(err)
 				return
@@ -67,7 +68,8 @@ func runOverlapVariant(engine string, depth int, async bool, ranks, steps int) (
 		default: // infinity-nvme
 			e, err := core.NewInfinityEngine(core.Config{LossScale: 256, Seed: 42, Backend: backend,
 				Params: zero.OnNVMe, Optimizer: zero.OnNVMe,
-				PrefetchDepth: depth, Overlap: async}, c, g)
+				PrefetchDepth: depth, Overlap: async,
+				Partition: fabricPart, Topology: fabricTopo}, c, g)
 			if err != nil {
 				fail(err)
 				return

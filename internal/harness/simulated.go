@@ -76,8 +76,8 @@ func init() {
 	})
 
 	register(Experiment{
-		ID:    "fig6c",
-		Title: "Figure 6c: gradient offload, ZeRO-Infinity vs ZeRO-Offload",
+		ID:    "fig6c-sim",
+		Title: "Figure 6c (simulator): gradient offload, ZeRO-Infinity vs ZeRO-Offload",
 		Claim: "aggregate-PCIe gradient path beats single-PCIe by up to ~2x backward time",
 		Run: func(w io.Writer) error {
 			t := newTable(w)

@@ -27,6 +27,48 @@ type stepAllocRun struct {
 	losses []float64
 }
 
+// runStepAllocEngineOnly trains the allocation-free stub model
+// (zero.NewAllocFreeStub) on the real Z3 engine with overlap+prefetch and
+// returns the minimum AllocsPerStep over the post-warm-up steps — the
+// engine+comm+tensor hot path's own allocation count, which must be zero.
+// The minimum over windows filters the Go runtime's sporadic bookkeeping
+// allocations exactly as TestSteadyStateZeroAllocs does; a real engine
+// leak recurs every step and survives the minimum. The stub run keeps the
+// flat fabric (a -topology spec need not divide its 2 ranks) but honours
+// the partitioning strategy.
+func runStepAllocEngineOnly(warmup, steps int) (uint64, error) {
+	const ranks = 2
+	minAllocs := ^uint64(0)
+	var mu sync.Mutex
+	var firstErr error
+	comm.Run(ranks, func(c *comm.Comm) {
+		m := zero.NewAllocFreeStub(4, 51)
+		e, err := zero.NewZ3Engine(zero.Config{LossScale: 1, Seed: 11, Backend: backend,
+			Overlap: true, PrefetchDepth: 2, Partition: fabricPart}, c, m)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		tok := make([]int, 1)
+		tgt := make([]int, 1)
+		for s := 0; s < warmup+steps; s++ {
+			e.Step(tok, tgt, 1)
+			if s >= warmup && c.Rank() == 0 {
+				mu.Lock()
+				if e.AllocsPerStep < minAllocs {
+					minAllocs = e.AllocsPerStep
+				}
+				mu.Unlock()
+			}
+		}
+	})
+	return minAllocs, firstErr
+}
+
 func runStepAllocVariant(engine string, ranks, steps int) (stepAllocRun, error) {
 	mcfg := model.Config{Vocab: 32, Hidden: 32, Heads: 4, Seq: 12, Layers: 4}
 	var out stepAllocRun
@@ -45,7 +87,8 @@ func runStepAllocVariant(engine string, ranks, steps int) (stepAllocRun, error) 
 		switch engine {
 		case "zero3":
 			e, err := zero.NewZ3Engine(zero.Config{LossScale: 256, Seed: 42, Backend: backend,
-				PrefetchDepth: overlapDepth, Overlap: overlapEnabled}, c, g)
+				PrefetchDepth: overlapDepth, Overlap: overlapEnabled,
+				Partition: fabricPart, Topology: fabricTopo}, c, g)
 			if err != nil {
 				fail(err)
 				return
@@ -56,7 +99,8 @@ func runStepAllocVariant(engine string, ranks, steps int) (stepAllocRun, error) 
 			}
 		default: // infinity-gpu
 			e, err := core.NewInfinityEngine(core.Config{LossScale: 256, Seed: 42, Backend: backend,
-				PrefetchDepth: overlapDepth, Overlap: overlapEnabled}, c, g)
+				PrefetchDepth: overlapDepth, Overlap: overlapEnabled,
+				Partition: fabricPart, Topology: fabricTopo}, c, g)
 			if err != nil {
 				fail(err)
 				return
@@ -97,6 +141,17 @@ func init() {
 		Claim: "after step 1 warms the scratch arenas, the engine+comm+tensor hot path stops allocating",
 		Run: func(w io.Writer) error {
 			const ranks, steps = 4, 6
+			engineAllocs, err := runStepAllocEngineOnly(3, 4)
+			if err != nil {
+				return fmt.Errorf("engine-only: %w", err)
+			}
+			fmt.Fprintf(w, "engine+comm+tensor hot path (stub model, overlap+prefetch): %d allocs/step steady\n\n",
+				engineAllocs)
+			emitRecord(Record{
+				Name:  "zinf/stepalloc/zero3-engine/steady",
+				Unit:  "allocs/step",
+				Value: float64(engineAllocs),
+			})
 			for _, engine := range []string{"zero3", "infinity-gpu"} {
 				run, err := runStepAllocVariant(engine, ranks, steps)
 				if err != nil {
@@ -110,20 +165,39 @@ func init() {
 						fmt.Sprintf("%.6f", run.losses[s]))
 				}
 				tb.flush()
-				first, last := run.allocs[0], run.allocs[len(run.allocs)-1]
+				// Steady state = minimum over the post-warm-up steps: the
+				// model's activation allocations recur identically every
+				// step, while GC/runtime bookkeeping spikes are sporadic —
+				// the minimum keeps the former and filters the latter, so
+				// the committed baseline is stable enough to ratio-gate.
+				first := run.allocs[0]
+				last := run.allocs[1]
+				steadyMS := run.stepMS[1]
+				for s := 2; s < len(run.allocs); s++ {
+					if run.allocs[s] < last {
+						last = run.allocs[s]
+					}
+					if run.stepMS[s] < steadyMS {
+						steadyMS = run.stepMS[s]
+					}
+				}
 				if last == 0 {
 					fmt.Fprintf(w, "  step-1 allocs %d -> steady 0 (fully allocation-free)\n\n", first)
 				} else {
 					fmt.Fprintf(w, "  step-1 allocs %d -> steady %d (%.1fx fewer; residual = model activations)\n\n",
 						first, last, float64(first)/float64(last))
 				}
+				// Unit "model-allocs/step", not "allocs/step": the steady
+				// residual is the GPT model's activation allocations, which
+				// are legitimate — benchdiff ratio-gates them instead of
+				// applying the hard zero gate reserved for the engine path.
 				emitRecord(Record{
 					Name:  "zinf/stepalloc/" + engine + "/steady",
-					Unit:  "allocs/step",
+					Unit:  "model-allocs/step",
 					Value: float64(last),
 					Extra: map[string]float64{
 						"first_step_allocs": float64(first),
-						"steady_ms":         run.stepMS[len(run.stepMS)-1],
+						"steady_ms":         steadyMS,
 					},
 				})
 			}

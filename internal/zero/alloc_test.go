@@ -5,110 +5,15 @@ import (
 	"testing"
 
 	"repro/internal/comm"
-	"repro/internal/module"
-	"repro/internal/tensor"
 )
 
 // The zero-allocation regression test drives the real Z3 engine (overlap +
-// prefetch on) with a stub model whose forward/backward reuse preallocated
-// tensors, so every heap allocation observed during a step is attributable
-// to the engine+comm+tensor hot path: gathers, async collectives, gradient
-// reduction, the optimizer phase and loss-scale bookkeeping. After a warm-up
-// step fills the scratch arenas, the op pool and the learned gather trace, a
+// prefetch on) with the allocation-free stub model (stub.go), so every heap
+// allocation observed during a step is attributable to the engine+comm+
+// tensor hot path: gathers, async collectives, gradient reduction, the
+// optimizer phase and loss-scale bookkeeping. After a warm-up step fills
+// the scratch arenas, the op pool and the learned gather trace, a
 // steady-state step must perform zero heap allocations.
-
-// afLayer is an allocation-free Layer: y = 0.9*x + 0.1*w elementwise, with
-// dW += 0.5*dy and dx = 0.9*dy, all into preallocated buffers. Accessing
-// p.Data()/p.Grad() exercises the engine's gather and gradient paths.
-type afLayer struct {
-	module.Base
-	p   *module.Param
-	out *tensor.Tensor
-	dx  *tensor.Tensor
-}
-
-func newAFLayer(name string, n int) *afLayer {
-	l := &afLayer{
-		p:   module.NewParam(name+".w", 0.02, n),
-		out: tensor.New(tensor.FP32, n),
-		dx:  tensor.New(tensor.FP32, n),
-	}
-	l.ModName = name
-	l.OwnParams = []*module.Param{l.p}
-	return l
-}
-
-func (l *afLayer) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
-	w := l.p.Data()
-	xd := x.Float32s()
-	yd := l.out.Float32s()
-	for i := range yd {
-		yd[i] = 0.9*xd[i] + 0.1*w[i]
-	}
-	return l.out
-}
-
-func (l *afLayer) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
-	g := l.p.Grad()
-	dyd := dy.Float32s()
-	for i := range g {
-		g[i] += 0.5 * dyd[i]
-	}
-	dxd := l.dx.Float32s()
-	for i := range dxd {
-		dxd[i] = 0.9 * dyd[i]
-	}
-	return l.dx
-}
-
-// afModel chains afLayers and implements zero.Model without allocating in
-// ForwardLoss/BackwardLoss.
-type afModel struct {
-	module.Base
-	layers []*afLayer
-	x, dy  *tensor.Tensor
-}
-
-func newAFModel(layers, n int) *afModel {
-	m := &afModel{x: tensor.New(tensor.FP32, n), dy: tensor.New(tensor.FP32, n)}
-	m.ModName = "afmodel"
-	for i := 0; i < layers; i++ {
-		l := newAFLayer("layer"+string(rune('a'+i)), n)
-		m.layers = append(m.layers, l)
-		m.Kids = append(m.Kids, l)
-	}
-	xd := m.x.Float32s()
-	for i := range xd {
-		xd[i] = float32(i%7) * 0.25
-	}
-	return m
-}
-
-func (m *afModel) ForwardLoss(rt *module.Runtime, tokens, targets []int, batch int) float64 {
-	h := m.x
-	for _, l := range m.layers {
-		h = rt.Forward(l, h)
-	}
-	var s float64
-	for _, v := range h.Float32s() {
-		s += float64(v)
-	}
-	return s / float64(h.Len())
-}
-
-func (m *afModel) BackwardLoss(rt *module.Runtime, scale float32) {
-	dyd := m.dy.Float32s()
-	for i := range dyd {
-		dyd[i] = scale * 0.001
-	}
-	d := m.dy
-	for i := len(m.layers) - 1; i >= 0; i-- {
-		d = rt.Backward(m.layers[i], d)
-	}
-}
-
-var _ Model = (*afModel)(nil)
-var _ module.Layer = (*afLayer)(nil)
 
 // TestSteadyStateZeroAllocs asserts that after warm-up, a Z3 training step
 // with overlap and gather prefetch enabled performs zero heap allocations in
@@ -133,7 +38,7 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 	minAllocs := ^uint64(0)
 	minPerStep := ^uint64(0)
 	comm.Run(ranks, func(c *comm.Comm) {
-		m := newAFModel(layers, paramLen)
+		m := NewAllocFreeStub(layers, paramLen)
 		e, err := NewZ3Engine(Config{LossScale: 1, Seed: 11, Overlap: true, PrefetchDepth: 2}, c, m)
 		if err != nil {
 			t.Error(err)
@@ -190,7 +95,7 @@ func TestAFModelLossMatchesAcrossOverlap(t *testing.T) {
 	losses := func(overlapOn bool) []float64 {
 		var out []float64
 		comm.Run(2, func(c *comm.Comm) {
-			m := newAFModel(3, 40)
+			m := NewAllocFreeStub(3, 40)
 			cfg := Config{LossScale: 1, Seed: 5}
 			if overlapOn {
 				cfg.Overlap = true

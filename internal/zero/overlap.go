@@ -60,7 +60,9 @@ func (pf *gatherPrefetcher) claim(p *module.Param) []tensor.Half {
 	return f.fullH
 }
 
-// issue launches allgathers for the next depth upcoming parameters.
+// issue launches gathers for the next depth upcoming parameters:
+// allgathers of the 1/dp slices, or asynchronous broadcasts from the owning
+// rank under PartitionBroadcast.
 func (pf *gatherPrefetcher) issue() {
 	e := pf.e
 	dp := e.c.Size()
@@ -74,9 +76,17 @@ func (pf *gatherPrefetcher) issue() {
 		if _, ok := pf.inflight[p]; ok {
 			return true
 		}
-		s := comm.ShardLen(p.Len(), dp)
-		fullH := e.f16.Get(s * dp)
-		tk := e.c.AllGatherHalfAsync(fullH, e.shard[p])
+		var fullH []tensor.Half
+		var tk comm.Ticket
+		if e.cfg.Partition == PartitionBroadcast {
+			var owner int
+			fullH, owner = e.bcastFullH(p)
+			tk = e.c.BroadcastHalfAsync(fullH, owner)
+		} else {
+			s := comm.ShardLen(p.Len(), dp)
+			fullH = e.f16.Get(s * dp)
+			tk = e.c.AllGatherHalfAsync(fullH, e.shard[p])
+		}
 		pf.inflight[p] = inflightGather{ticket: tk, fullH: fullH}
 		pf.outstanding++
 		e.PrefetchIssued++
@@ -106,6 +116,8 @@ func (pf *gatherPrefetcher) endStep() {
 func (e *Z3Engine) drainReduces() {
 	e.pendingReduces = overlap.Drain(e.pendingReduces, func(p *module.Param, gs []float32, gh []tensor.Half) {
 		e.f16.Put(gh)
-		e.foldGradShard(p, gs)
+		if gs != nil { // nil on non-owner ranks under PartitionBroadcast
+			e.foldGradShard(p, gs)
+		}
 	})
 }

@@ -21,6 +21,7 @@ package zero
 import (
 	"fmt"
 
+	"repro/internal/comm"
 	"repro/internal/optim"
 	"repro/internal/tensor"
 )
@@ -49,6 +50,43 @@ func (s Stage) String() string {
 		return "zero3"
 	}
 	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Partitioning selects how stage-3 engines split parameters across the
+// data-parallel ranks — the two strategies of the paper's Fig. 6c.
+type Partitioning int
+
+const (
+	// PartitionSlice is bandwidth-centric partitioning (paper Sec. 6.1, the
+	// default): every parameter is sliced 1/dp across all ranks, so a
+	// gather is an allgather that keeps every link busy and achieves
+	// aggregate bandwidth proportional to the rank count.
+	PartitionSlice Partitioning = iota
+	// PartitionBroadcast is the owner-rank baseline: each parameter is
+	// wholly owned by one rank (round-robin by parameter index), gathers
+	// are broadcasts bottlenecked on the owner's links, and gradients
+	// reduce to the owner. Trains bit-identically to PartitionSlice; only
+	// the byte flow (and therefore achieved bandwidth) differs.
+	PartitionBroadcast
+)
+
+// String returns the strategy name ("slice" / "broadcast").
+func (p Partitioning) String() string {
+	if p == PartitionBroadcast {
+		return "broadcast"
+	}
+	return "slice"
+}
+
+// ParsePartitioning resolves a strategy name ("", "slice", "broadcast").
+func ParsePartitioning(s string) (Partitioning, error) {
+	switch s {
+	case "", "slice":
+		return PartitionSlice, nil
+	case "broadcast":
+		return PartitionBroadcast, nil
+	}
+	return PartitionSlice, fmt.Errorf("zero: unknown partitioning %q (slice|broadcast)", s)
 }
 
 // Placement says where a class of model state lives (paper Table 2).
@@ -131,6 +169,16 @@ type Config struct {
 	// the serial reference backend). Every backend is bit-identical, so
 	// this is purely a speed knob.
 	Backend tensor.Backend
+	// Partition selects the stage-3 parameter-partitioning strategy
+	// (Fig. 6c): 1/dp slicing (default) or owner-rank broadcast. Both train
+	// bit-identically; they differ in which links the gathers and gradient
+	// reductions keep busy.
+	Partition Partitioning
+	// Topology, when set, is installed on the communicator's world: ranks
+	// group into nodes, collectives decompose hierarchically and the
+	// fabric's traffic/cost accounting distinguishes intra- from inter-node
+	// links. Results are bit-identical with or without a topology.
+	Topology *comm.Topology
 }
 
 func (c *Config) setDefaults() {

@@ -1,0 +1,116 @@
+package zero
+
+import (
+	"repro/internal/module"
+	"repro/internal/tensor"
+)
+
+// This file provides an allocation-free stub Model: elementwise layers
+// whose forward/backward reuse preallocated tensors, so every heap
+// allocation observed while the real engines train it is attributable to
+// the engine+comm+tensor hot path — gathers, async collectives, gradient
+// reduction, the optimizer phase and loss-scale bookkeeping. It backs both
+// the TestSteadyStateZeroAllocs regression test and the stepalloc harness
+// experiment's engine-path record, which CI hard-gates at zero
+// (cmd/zinf-benchdiff).
+
+// stubLayer is an allocation-free Layer: y = 0.9*x + 0.1*w elementwise,
+// with dW += 0.5*dy and dx = 0.9*dy, all into preallocated buffers.
+// Accessing p.Data()/p.Grad() exercises the engine's gather and gradient
+// paths.
+type stubLayer struct {
+	module.Base
+	p   *module.Param
+	out *tensor.Tensor
+	dx  *tensor.Tensor
+}
+
+func newStubLayer(name string, n int) *stubLayer {
+	l := &stubLayer{
+		p:   module.NewParam(name+".w", 0.02, n),
+		out: tensor.New(tensor.FP32, n),
+		dx:  tensor.New(tensor.FP32, n),
+	}
+	l.ModName = name
+	l.OwnParams = []*module.Param{l.p}
+	return l
+}
+
+// Forward implements module.Layer without allocating.
+func (l *stubLayer) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
+	w := l.p.Data()
+	xd := x.Float32s()
+	yd := l.out.Float32s()
+	for i := range yd {
+		yd[i] = 0.9*xd[i] + 0.1*w[i]
+	}
+	return l.out
+}
+
+// Backward implements module.Layer without allocating.
+func (l *stubLayer) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
+	g := l.p.Grad()
+	dyd := dy.Float32s()
+	for i := range g {
+		g[i] += 0.5 * dyd[i]
+	}
+	dxd := l.dx.Float32s()
+	for i := range dxd {
+		dxd[i] = 0.9 * dyd[i]
+	}
+	return l.dx
+}
+
+// stubModel chains stubLayers and implements Model without allocating in
+// ForwardLoss/BackwardLoss.
+type stubModel struct {
+	module.Base
+	layers []*stubLayer
+	x, dy  *tensor.Tensor
+}
+
+// NewAllocFreeStub builds the allocation-free stub model: layers
+// elementwise layers of n parameters each, deterministic input.
+func NewAllocFreeStub(layers, n int) Model {
+	m := &stubModel{x: tensor.New(tensor.FP32, n), dy: tensor.New(tensor.FP32, n)}
+	m.ModName = "afmodel"
+	for i := 0; i < layers; i++ {
+		l := newStubLayer("layer"+string(rune('a'+i)), n)
+		m.layers = append(m.layers, l)
+		m.Kids = append(m.Kids, l)
+	}
+	xd := m.x.Float32s()
+	for i := range xd {
+		xd[i] = float32(i%7) * 0.25
+	}
+	return m
+}
+
+// ForwardLoss implements Model: run the chain, return the mean output.
+func (m *stubModel) ForwardLoss(rt *module.Runtime, tokens, targets []int, batch int) float64 {
+	h := m.x
+	for _, l := range m.layers {
+		h = rt.Forward(l, h)
+	}
+	var s float64
+	for _, v := range h.Float32s() {
+		s += float64(v)
+	}
+	return s / float64(h.Len())
+}
+
+// BackwardLoss implements Model: constant upstream gradient through the
+// chain in reverse.
+func (m *stubModel) BackwardLoss(rt *module.Runtime, scale float32) {
+	dyd := m.dy.Float32s()
+	for i := range dyd {
+		dyd[i] = scale * 0.001
+	}
+	d := m.dy
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		d = rt.Backward(m.layers[i], d)
+	}
+}
+
+var _ Model = (*stubModel)(nil)
+var _ module.Layer = (*stubLayer)(nil)

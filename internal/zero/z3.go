@@ -37,8 +37,17 @@ type Z3Engine struct {
 	rt     *module.Runtime
 	params []*module.Param
 
-	// shard is the authoritative fp16 parameter shard owned by this rank
-	// (padded to ShardLen).
+	// owned lists the parameters whose reduced gradient and optimizer shard
+	// this rank holds: all of them under 1/dp slicing, the round-robin
+	// subset under owner-rank broadcast partitioning.
+	owned []*module.Param
+	// bcastOwner maps each parameter to its owning rank under
+	// PartitionBroadcast (unused for slicing).
+	bcastOwner map[*module.Param]int
+
+	// shard is the authoritative fp16 parameter shard held by this rank:
+	// the padded 1/dp slice under PartitionSlice, the whole parameter on
+	// its owner (absent elsewhere) under PartitionBroadcast.
 	shard map[*module.Param][]tensor.Half
 	// master/adam are this rank's fp32 optimizer shard.
 	master map[*module.Param][]float32
@@ -89,22 +98,28 @@ func NewZ3Engine(cfg Config, c *comm.Comm, g Model) (*Z3Engine, error) {
 	cfg.setDefaults()
 	cfg.Stage = Stage3
 	e := &Z3Engine{
-		cfg:       cfg,
-		c:         c,
-		g:         g,
-		params:    module.AllParams(g),
-		shard:     make(map[*module.Param][]tensor.Half),
-		master:    make(map[*module.Param][]float32),
-		adam:      make(map[*module.Param]*optim.Adam),
-		gradShard: make(map[*module.Param][]float32),
-		f32:       mem.NewArena[float32](),
-		f16:       mem.NewArena[tensor.Half](),
-		owner:     make(map[*module.Param]module.Module),
-		external:  make(map[module.Module][]*module.Param),
+		cfg:        cfg,
+		c:          c,
+		g:          g,
+		params:     module.AllParams(g),
+		bcastOwner: make(map[*module.Param]int),
+		shard:      make(map[*module.Param][]tensor.Half),
+		master:     make(map[*module.Param][]float32),
+		adam:       make(map[*module.Param]*optim.Adam),
+		gradShard:  make(map[*module.Param][]float32),
+		f32:        mem.NewArena[float32](),
+		f16:        mem.NewArena[tensor.Half](),
+		owner:      make(map[*module.Param]module.Module),
+		external:   make(map[module.Module][]*module.Param),
 	}
 	e.rt = module.NewRuntime(e)
 	e.rt.SetBackend(cfg.Backend)
 	c.SetCodecBackend(cfg.Backend)
+	if cfg.Topology != nil {
+		if err := c.SetTopology(cfg.Topology); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.DynamicLossScale {
 		e.scaler = optim.NewLossScaler(cfg.LossScale)
 	} else {
@@ -116,23 +131,41 @@ func NewZ3Engine(cfg Config, c *comm.Comm, g Model) (*Z3Engine, error) {
 			e.owner[p] = m
 		}
 	})
-	for _, p := range e.params {
+	for i, p := range e.params {
+		p.SetOnDemand(e.onDemand)
+		p.SetGradScratch(e.f32.Get, e.f32.Put)
+		if cfg.Partition == PartitionBroadcast {
+			// Owner-rank partitioning: the whole parameter — fp16 weights,
+			// fp32 master and optimizer state — lives on one rank.
+			owner := i % dp
+			e.bcastOwner[p] = owner
+			if owner != c.Rank() {
+				continue
+			}
+			full := model.InitValues(p, cfg.Seed)
+			shard := make([]tensor.Half, p.Len())
+			tensor.EncodeHalf(shard, full)
+			e.shard[p] = shard
+			e.master[p] = full
+			e.adam[p] = optim.NewAdam(p.Len(), cfg.Adam).WithBackend(e.rt.Backend())
+			e.owned = append(e.owned, p)
+			continue
+		}
 		full := model.InitValues(p, cfg.Seed) // transient full copy
 		s := comm.ShardLen(p.Len(), dp)
 		lo := c.Rank() * s
 		shard := make([]tensor.Half, s)
 		fs := make([]float32, s)
-		for i := 0; i < s; i++ {
-			if lo+i < len(full) {
-				fs[i] = full[lo+i]
+		for j := 0; j < s; j++ {
+			if lo+j < len(full) {
+				fs[j] = full[lo+j]
 			}
 		}
 		tensor.EncodeHalf(shard, fs)
 		e.shard[p] = shard
 		e.master[p] = fs
 		e.adam[p] = optim.NewAdam(s, cfg.Adam).WithBackend(e.rt.Backend())
-		p.SetOnDemand(e.onDemand)
-		p.SetGradScratch(e.f32.Get, e.f32.Put)
+		e.owned = append(e.owned, p)
 	}
 	if cfg.Overlap && cfg.PrefetchDepth > 0 {
 		e.prefetch = newGatherPrefetcher(e, cfg.PrefetchDepth)
@@ -154,11 +187,19 @@ func (e *Z3Engine) LossScale() float64 { return e.scaler.Scale }
 // and by internal/core).
 func (e *Z3Engine) ShardFor(p *module.Param) []tensor.Half { return e.shard[p] }
 
-// gather materializes p's full fp16 values from all ranks' shards. With
-// prefetch enabled, a speculatively issued allgather is claimed instead of
-// stalling on a fresh one, and allgathers for the next trace entries are
-// issued before returning to compute. All transient buffers cycle through
-// the engine arenas.
+// CommTraffic returns the collective fabric's cumulative modeled traffic
+// per collective kind (world-wide; see comm.TrafficStats).
+func (e *Z3Engine) CommTraffic() map[string]comm.TrafficStats { return e.c.Traffic() }
+
+// CommTrafficTotal returns the all-kinds traffic total.
+func (e *Z3Engine) CommTrafficTotal() comm.TrafficStats { return e.c.TrafficTotal() }
+
+// gather materializes p's full fp16 values: an all-links allgather of the
+// 1/dp slices under PartitionSlice, a broadcast from the owning rank under
+// PartitionBroadcast. With prefetch enabled, a speculatively issued
+// collective is claimed instead of stalling on a fresh one, and collectives
+// for the next trace entries are issued before returning to compute. All
+// transient buffers cycle through the engine arenas.
 func (e *Z3Engine) gather(p *module.Param) {
 	if p.Materialized() {
 		return
@@ -167,14 +208,19 @@ func (e *Z3Engine) gather(p *module.Param) {
 		e.prefetch.trace.Observe(p)
 	}
 	dp := e.c.Size()
-	s := comm.ShardLen(p.Len(), dp)
 	var fullH []tensor.Half
 	if e.prefetch != nil {
 		fullH = e.prefetch.claim(p)
 	}
 	if fullH == nil {
-		fullH = e.f16.Get(s * dp)
-		e.c.AllGatherHalf(fullH, e.shard[p])
+		if e.cfg.Partition == PartitionBroadcast {
+			fullH, _ = e.bcastFullH(p)
+			e.c.BroadcastHalf(fullH, e.bcastOwner[p])
+		} else {
+			s := comm.ShardLen(p.Len(), dp)
+			fullH = e.f16.Get(s * dp)
+			e.c.AllGatherHalf(fullH, e.shard[p])
+		}
 	}
 	full := e.f32.Get(p.Len())
 	e.rt.Backend().DecodeHalf(full, fullH[:p.Len()])
@@ -191,6 +237,20 @@ func (e *Z3Engine) gather(p *module.Param) {
 	if e.prefetch != nil {
 		e.prefetch.issue()
 	}
+}
+
+// bcastFullH draws a full-length fp16 view buffer from the arena and fills
+// it with this rank's contribution to p's owner broadcast — the owner's
+// whole shard; stale arena contents elsewhere, which the broadcast
+// overwrites. Shared by the sync gather, the prefetcher and FullParams so
+// the owner-copy sequence exists once.
+func (e *Z3Engine) bcastFullH(p *module.Param) ([]tensor.Half, int) {
+	owner := e.bcastOwner[p]
+	fullH := e.f16.Get(p.Len())
+	if e.c.Rank() == owner {
+		copy(fullH, e.shard[p])
+	}
+	return fullH, owner
 }
 
 // releaseParam re-partitions p, recycling the gathered fp32 view.
@@ -257,31 +317,15 @@ func (e *Z3Engine) PreBackward(m module.Module) {
 	}
 }
 
-// PostBackward implements module.Hooks: reduce-scatter gradients of owned
-// params through the fused reduce+decode collective, then re-partition.
+// PostBackward implements module.Hooks: reduce each parameter's gradient —
+// a fused reduce-scatter+decode of the 1/dp slices, or a fused
+// reduce+decode to the owning rank under PartitionBroadcast — then
+// re-partition.
 func (e *Z3Engine) PostBackward(m module.Module) {
 	e.active = e.active[:len(e.active)-1]
-	dp := e.c.Size()
 	for _, p := range m.Params() {
 		if p.HasGrad() {
-			n := p.Len()
-			padded := comm.PaddedLen(n, dp)
-			gh := e.f16.Get(padded)
-			e.rt.Backend().EncodeHalf(gh[:n], p.Grad())
-			clear(gh[n:])
-			gs := e.f32.Get(padded / dp)
-			if e.cfg.Overlap {
-				// Launch asynchronously and keep computing the rest of the
-				// backward pass; drained before the overflow check.
-				tk := e.c.ReduceScatterHalfDecodeAsync(gs, gh)
-				e.pendingReduces = append(e.pendingReduces,
-					overlap.Pending[*module.Param]{Key: p, Ticket: tk, Shard: gs, GH: gh})
-				e.AsyncReduces++
-			} else {
-				e.c.ReduceScatterHalfDecode(gs, gh)
-				e.f16.Put(gh)
-				e.foldGradShard(p, gs)
-			}
+			e.reduceGrad(p)
 			p.ReleaseGrad()
 		}
 		e.releaseParam(p)
@@ -290,6 +334,55 @@ func (e *Z3Engine) PostBackward(m module.Module) {
 		if !e.inScope(p) {
 			e.releaseParam(p)
 		}
+	}
+}
+
+// reduceGrad launches (or performs) the strategy's gradient reduction for
+// p. Both strategies accumulate per element in rank order with fp32
+// arithmetic and round through binary16, so their reduced values are
+// bit-identical; they differ only in where the result lands (every rank's
+// slice vs the owner's full vector) and which links carry the bytes.
+func (e *Z3Engine) reduceGrad(p *module.Param) {
+	dp := e.c.Size()
+	n := p.Len()
+	if e.cfg.Partition == PartitionBroadcast {
+		owner := e.bcastOwner[p]
+		gh := e.f16.Get(n)
+		e.rt.Backend().EncodeHalf(gh, p.Grad())
+		var gs []float32
+		if e.c.Rank() == owner {
+			gs = e.f32.Get(n)
+		}
+		if e.cfg.Overlap {
+			tk := e.c.ReduceHalfDecodeAsync(gs, gh, owner)
+			e.pendingReduces = append(e.pendingReduces,
+				overlap.Pending[*module.Param]{Key: p, Ticket: tk, Shard: gs, GH: gh})
+			e.AsyncReduces++
+		} else {
+			e.c.ReduceHalfDecode(gs, gh, owner)
+			e.f16.Put(gh)
+			if gs != nil {
+				e.foldGradShard(p, gs)
+			}
+		}
+		return
+	}
+	padded := comm.PaddedLen(n, dp)
+	gh := e.f16.Get(padded)
+	e.rt.Backend().EncodeHalf(gh[:n], p.Grad())
+	clear(gh[n:])
+	gs := e.f32.Get(padded / dp)
+	if e.cfg.Overlap {
+		// Launch asynchronously and keep computing the rest of the
+		// backward pass; drained before the overflow check.
+		tk := e.c.ReduceScatterHalfDecodeAsync(gs, gh)
+		e.pendingReduces = append(e.pendingReduces,
+			overlap.Pending[*module.Param]{Key: p, Ticket: tk, Shard: gs, GH: gh})
+		e.AsyncReduces++
+	} else {
+		e.c.ReduceScatterHalfDecode(gs, gh)
+		e.f16.Put(gh)
+		e.foldGradShard(p, gs)
 	}
 }
 
@@ -360,7 +453,7 @@ func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 	e.drainReduces()
 
 	shards := e.shardsBuf[:0]
-	for _, p := range e.params {
+	for _, p := range e.owned {
 		shards = append(shards, e.gradShard[p])
 	}
 	e.shardsBuf = shards
@@ -371,7 +464,7 @@ func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 	}
 
 	inv := float32(1 / (scaleUsed * float64(dp) * float64(micros)))
-	for _, p := range e.params {
+	for _, p := range e.owned {
 		gs := e.gradShard[p]
 		if gs == nil {
 			panic("zero: missing gradient shard for " + p.Name)
@@ -379,11 +472,11 @@ func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 		e.rt.Backend().Scale(inv, gs)
 	}
 	if f := GlobalClipFactor(e.c, e.cfg.ClipNorm, shards); f != 1 {
-		for _, p := range e.params {
+		for _, p := range e.owned {
 			e.rt.Backend().Scale(float32(f), e.gradShard[p])
 		}
 	}
-	for _, p := range e.params {
+	for _, p := range e.owned {
 		gs := e.gradShard[p]
 		e.adam[p].Step(e.master[p], gs)
 		e.rt.Backend().EncodeHalf(e.shard[p], e.master[p])
@@ -396,7 +489,7 @@ func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 
 // dropGradShards recycles and forgets every gradient shard (overflow skip).
 func (e *Z3Engine) dropGradShards() {
-	for _, p := range e.params {
+	for _, p := range e.owned {
 		if gs := e.gradShard[p]; gs != nil {
 			e.f32.Put(gs)
 			delete(e.gradShard, p)
@@ -423,6 +516,16 @@ func (e *Z3Engine) LoadParams(values map[string][]float32) error {
 		if len(v) != p.Len() {
 			return fmt.Errorf("zero: checkpoint parameter %q has %d elems, want %d", p.Name, len(v), p.Len())
 		}
+		if e.cfg.Partition == PartitionBroadcast {
+			if e.bcastOwner[p] != e.c.Rank() {
+				continue
+			}
+			rounded := tensor.RoundTripHalf(append([]float32(nil), v...))
+			copy(e.master[p], rounded)
+			tensor.EncodeHalf(e.shard[p], e.master[p])
+			e.adam[p] = optim.NewAdam(len(e.master[p]), e.cfg.Adam).WithBackend(e.rt.Backend())
+			continue
+		}
 		rounded := tensor.RoundTripHalf(append([]float32(nil), v...))
 		comm.Shard(e.master[p], rounded, e.c.Rank(), dp)
 		tensor.EncodeHalf(e.shard[p], e.master[p])
@@ -432,16 +535,26 @@ func (e *Z3Engine) LoadParams(values map[string][]float32) error {
 }
 
 // FullParams gathers every parameter's current fp16 values (collective:
-// all ranks must call it together).
+// all ranks must call it together). The transient gathered fp16 view cycles
+// through the engine's scratch arena — only the returned float32 vectors
+// are fresh allocations (asserted by TestFullParamsGatherScratchPooled).
 func (e *Z3Engine) FullParams() map[string][]float32 {
 	dp := e.c.Size()
 	out := make(map[string][]float32, len(e.params))
 	for _, p := range e.params {
-		s := comm.ShardLen(p.Len(), dp)
-		fullH := make([]tensor.Half, s*dp)
-		e.c.AllGatherHalf(fullH, e.shard[p])
+		var fullH []tensor.Half
+		if e.cfg.Partition == PartitionBroadcast {
+			var owner int
+			fullH, owner = e.bcastFullH(p)
+			e.c.BroadcastHalf(fullH, owner)
+		} else {
+			s := comm.ShardLen(p.Len(), dp)
+			fullH = e.f16.Get(s * dp)
+			e.c.AllGatherHalf(fullH, e.shard[p])
+		}
 		v := make([]float32, p.Len())
 		tensor.DecodeHalf(v, fullH[:p.Len()])
+		e.f16.Put(fullH)
 		out[p.Name] = v
 	}
 	return out

@@ -57,6 +57,16 @@ type (
 	// ComputeBackend is the kernel-dispatch interface; all backends are
 	// bit-identical, differing only in speed.
 	ComputeBackend = tensor.Backend
+	// Topology groups ranks into nodes with distinct intra-/inter-node
+	// link bandwidth and latency: collectives decompose hierarchically and
+	// the fabric accounts achieved aggregate bandwidth per collective.
+	Topology = comm.Topology
+	// Partitioning selects the Fig. 6c parameter-partitioning strategy for
+	// stage-3/Infinity engines: 1/dp slicing or owner-rank broadcast.
+	Partitioning = zero.Partitioning
+	// CommTraffic is one collective kind's modeled byte flow and simulated
+	// cost (see Topology).
+	CommTraffic = comm.TrafficStats
 )
 
 // Placement and stage constants.
@@ -69,7 +79,18 @@ const (
 	Stage1   = zero.Stage1
 	Stage2   = zero.Stage2
 	Stage3   = zero.Stage3
+
+	PartitionSlice     = zero.PartitionSlice
+	PartitionBroadcast = zero.PartitionBroadcast
 )
+
+// ParseTopology parses a "<nodes>x<ranksPerNode>[:intra=..][:inter=..]
+// [:lintra=..][:linter=..][:flat]" spec ("" = flat fabric).
+func ParseTopology(spec string) (*Topology, error) { return comm.ParseTopology(spec) }
+
+// ParsePartitioning resolves a partitioning-strategy name
+// ("", "slice", "broadcast").
+func ParsePartitioning(s string) (Partitioning, error) { return zero.ParsePartitioning(s) }
 
 // DefaultAdamConfig returns the standard large-model Adam recipe.
 func DefaultAdamConfig() AdamConfig { return optim.DefaultAdamConfig() }
@@ -134,6 +155,16 @@ type EngineConfig struct {
 	// the serial baseline, "parallel" for the blocked multi-goroutine
 	// kernels. Training trajectories are bit-identical across backends.
 	Backend string
+
+	// Partition selects the stage-3/Infinity parameter-partitioning
+	// strategy (Fig. 6c): PartitionSlice (1/dp, default) or
+	// PartitionBroadcast (owner-rank). Trajectories are bit-identical;
+	// achieved aggregate bandwidth differs (Stats.CommTraffic).
+	Partition Partitioning
+	// Topology, when set, groups ranks into nodes: collectives decompose
+	// hierarchically and the fabric models intra- vs inter-node link cost.
+	// Bit-identical to the flat fabric.
+	Topology *Topology
 }
 
 // Engine is the uniform training-engine interface.
@@ -173,6 +204,8 @@ func NewEngine(cfg EngineConfig, c *Comm, g *GPT) (Engine, error) {
 			GPUMemory:          cfg.GPUMemory,
 			PreFragment:        cfg.PreFragment,
 			Backend:            be,
+			Partition:          cfg.Partition,
+			Topology:           cfg.Topology,
 		}, c, g)
 		if err != nil {
 			return nil, err
@@ -190,6 +223,8 @@ func NewEngine(cfg EngineConfig, c *Comm, g *GPT) (Engine, error) {
 		PrefetchDepth:    cfg.PrefetchDepth,
 		Overlap:          cfg.Overlap,
 		Backend:          be,
+		Partition:        cfg.Partition,
+		Topology:         cfg.Topology,
 	}
 	if cfg.Stage == Stage3 {
 		e, err := zero.NewZ3Engine(zc, c, g)
@@ -239,6 +274,8 @@ func (e z3Engine) Stats() InfinityStats {
 		CommPrefetchHits:   e.PrefetchHits,
 		AsyncReduces:       e.AsyncReduces,
 		MaxLiveParamBytes:  e.MaxLiveParamBytes(),
+		CommTraffic:        e.CommTraffic(),
+		CommGBps:           e.CommTrafficTotal().AggGBps(),
 	}
 }
 
