@@ -1,13 +1,15 @@
 // Command zinf-benchdiff is the CI perf-regression gate: it compares a
-// freshly generated zinf-bench -json record file (BENCH_stepalloc.json,
-// BENCH_fig6c.json) against a committed baseline and fails when
+// freshly generated record file (zinf-bench -json BENCH_stepalloc.json /
+// BENCH_fig6c.json, zinf-roofline -json BENCH_roofline.json) against a
+// committed baseline and fails when
 //
 //   - any record with unit "allocs/step" is above zero — the
 //     allocation-free steady-state contract is absolute, independent of the
 //     baseline's value;
 //   - a lower-is-better metric (ms/step, ms/run, allocs/step, and the
 //     steady_ms/sim_ms extras) regresses past the threshold (default 25%);
-//   - a higher-is-better metric (GB/s) drops past the threshold;
+//   - a higher-is-better metric (GB/s, GFLOP/s, speedup ratios "x") drops
+//     past the threshold;
 //   - a baseline record disappears from the current run (coverage cannot
 //     rot silently).
 //
@@ -60,7 +62,7 @@ func loadDoc(path string) (benchDoc, error) {
 // 0 for unknown (not gated).
 func direction(unit string) int {
 	switch unit {
-	case "GB/s", "x":
+	case "GB/s", "GFLOP/s", "x":
 		return +1
 	case "allocs/step", "model-allocs/step", "ms/step", "ms/run", "ms", "seconds":
 		return -1

@@ -81,6 +81,19 @@ func (c *Comm) BroadcastHalfAsync(buf []tensor.Half, root int) Ticket {
 	return c.async(opBroadcastHalf, root, payload{hdst: buf})
 }
 
+// AllGatherHalfDecodeAsync starts an asynchronous AllGatherHalfDecode:
+// every rank's binary16 src shard is decoded once and the decoded shards
+// are concatenated into dst in rank order as float32. len(dst) must be
+// Size()*len(src). Buffers must not be touched until the ticket completes;
+// results are bit-identical to AllGatherHalf followed by DecodeHalf. This
+// is the engines' parameter-prefetch primitive under 1/dp slicing.
+func (c *Comm) AllGatherHalfDecodeAsync(dst []float32, src []tensor.Half) Ticket {
+	if len(dst) != c.Size()*len(src) {
+		panic(fmt.Sprintf("comm: allgatherhalfdecodeasync dst len %d != size %d * src len %d", len(dst), c.Size(), len(src)))
+	}
+	return c.async(opAllGatherHalfDecode, 0, payload{fdst: dst, hsrc: src})
+}
+
 // ReduceScatterHalfAsync starts an asynchronous ReduceScatterHalf:
 // contributions are decoded to float32, summed in rank order with float32
 // accumulation, and each rank's shard is re-encoded to binary16 into its

@@ -43,6 +43,7 @@ const (
 	opReduceScatterHalf
 	opAllReduceHalf
 	opAllGatherEncodeHalf
+	opAllGatherHalfDecode
 	opReduceScatterHalfDecode
 	opReduceHalfDecode
 	opAllReduceScalar
@@ -54,8 +55,9 @@ const (
 var opNames = [...]string{
 	"barrier", "broadcast", "allgather", "reducescatter", "allreduce",
 	"gather", "broadcasthalf", "allgatherhalf", "reducescatterhalf",
-	"allreducehalf", "allgatherencodehalf", "reducescatterhalfdecode",
-	"reducehalfdecode", "allreducescalar", "allreducemax",
+	"allreducehalf", "allgatherencodehalf", "allgatherhalfdecode",
+	"reducescatterhalfdecode", "reducehalfdecode", "allreducescalar",
+	"allreducemax",
 }
 
 func (k opKind) String() string { return opNames[k] }
@@ -84,6 +86,7 @@ var computeFns = [...]func(w *World, o *op){
 	opReduceScatterHalf:       computeReduceScatterHalf,
 	opAllReduceHalf:           computeAllReduceHalf,
 	opAllGatherEncodeHalf:     computeAllGatherEncodeHalf,
+	opAllGatherHalfDecode:     computeAllGatherHalfDecode,
 	opReduceScatterHalfDecode: computeReduceScatterHalfDecode,
 	opReduceHalfDecode:        computeReduceHalfDecode,
 	opAllReduceScalar:         computeAllReduceScalar,
@@ -642,6 +645,37 @@ func computeAllGatherEncodeHalf(w *World, o *op) {
 		}
 	}
 	w.hscratch.Put(enc)
+}
+
+// AllGatherHalfDecode is the fused AllGatherHalf→DecodeHalf path — the
+// gather-side mirror of AllGatherEncodeHalf: every rank contributes a
+// binary16 shard, each shard is decoded to float32 exactly once, and the
+// decoded shards are concatenated into every rank's dst in rank order.
+// Bit-identical to AllGatherHalf followed by DecodeHalf (the decode LUT is
+// exact), without the caller's full-size intermediate fp16 buffer and
+// decode pass — the engines' parameter gathers run on this.
+// len(dst) must be Size()*len(src).
+func (c *Comm) AllGatherHalfDecode(dst []float32, src []tensor.Half) {
+	if len(dst) != c.Size()*len(src) {
+		panic(fmt.Sprintf("comm: allgatherhalfdecode dst len %d != size %d * src len %d", len(dst), c.Size(), len(src)))
+	}
+	c.rendezvous(opAllGatherHalfDecode, 0, payload{fdst: dst, hsrc: src})
+}
+
+func computeAllGatherHalfDecode(w *World, o *op) {
+	if w.hier() {
+		computeAllGatherHalfDecodeHier(w, o)
+		return
+	}
+	n := len(o.contrib[0].hsrc)
+	dec := w.fscratch.Get(n)
+	for r := range o.contrib {
+		w.codec.DecodeHalf(dec, o.contrib[r].hsrc)
+		for i := range o.contrib {
+			copy(o.contrib[i].fdst[r*n:(r+1)*n], dec)
+		}
+	}
+	w.fscratch.Put(dec)
 }
 
 // AllReduceScalar sums one float64 across ranks and returns the total on

@@ -1,0 +1,152 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The fused allgather+decode must be bit-identical to AllGatherHalf followed
+// by DecodeHalf on every rank (the decode is an exact LUT, so equality is
+// exact float32 bits).
+func TestAllGatherHalfDecodeMatchesTwoCall(t *testing.T) {
+	const ranks, n = 4, 37
+	fused := make([][]float32, ranks)
+	twoCall := make([][]float32, ranks)
+	Run(ranks, func(c *Comm) {
+		src := randHalves(uint64(31+c.Rank()), n)
+		dst := make([]float32, ranks*n)
+		c.AllGatherHalfDecode(dst, src)
+		fused[c.Rank()] = dst
+	})
+	Run(ranks, func(c *Comm) {
+		src := randHalves(uint64(31+c.Rank()), n)
+		gathered := make([]tensor.Half, ranks*n)
+		c.AllGatherHalf(gathered, src)
+		dst := make([]float32, ranks*n)
+		tensor.DecodeHalf(dst, gathered)
+		twoCall[c.Rank()] = dst
+	})
+	for r := 0; r < ranks; r++ {
+		for i := range fused[r] {
+			if fused[r][i] != twoCall[r][i] {
+				t.Fatalf("rank %d elem %d: fused %g != two-call %g", r, i, fused[r][i], twoCall[r][i])
+			}
+		}
+	}
+}
+
+// The async fused allgather+decode must match its synchronous form.
+func TestAllGatherHalfDecodeAsyncMatchesSync(t *testing.T) {
+	const ranks, n = 4, 33
+	syncOut := make([][]float32, ranks)
+	asyncOut := make([][]float32, ranks)
+	Run(ranks, func(c *Comm) {
+		src := randHalves(uint64(61+c.Rank()), n)
+		dst := make([]float32, ranks*n)
+		c.AllGatherHalfDecode(dst, src)
+		syncOut[c.Rank()] = dst
+	})
+	Run(ranks, func(c *Comm) {
+		src := randHalves(uint64(61+c.Rank()), n)
+		dst := make([]float32, ranks*n)
+		tk := c.AllGatherHalfDecodeAsync(dst, src)
+		tk.Wait()
+		asyncOut[c.Rank()] = dst
+	})
+	for r := 0; r < ranks; r++ {
+		for i := range syncOut[r] {
+			if syncOut[r][i] != asyncOut[r][i] {
+				t.Fatalf("rank %d elem %d: async %g != sync %g", r, i, asyncOut[r][i], syncOut[r][i])
+			}
+		}
+	}
+}
+
+// With a hierarchical topology installed the collective routes through the
+// two-level variant; results must stay bit-identical to the flat path.
+func TestAllGatherHalfDecodeHierMatchesFlat(t *testing.T) {
+	const ranks, n = 8, 21
+	run := func(topo *Topology) [][]float32 {
+		out := make([][]float32, ranks)
+		Run(ranks, func(c *Comm) {
+			if topo != nil {
+				if err := c.SetTopology(topo); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			src := randHalves(uint64(17+c.Rank()), n)
+			dst := make([]float32, ranks*n)
+			c.AllGatherHalfDecode(dst, src)
+			out[c.Rank()] = dst
+		})
+		return out
+	}
+	flat := run(nil)
+	hier := run(testTopo(2)) // 4 nodes x 2 ranks
+	for r := 0; r < ranks; r++ {
+		for i := range flat[r] {
+			if flat[r][i] != hier[r][i] {
+				t.Fatalf("rank %d elem %d: hier %g != flat %g", r, i, hier[r][i], flat[r][i])
+			}
+		}
+	}
+}
+
+// The fused gather accounts the same fp16 bytes as the unfused
+// AllGatherHalf — decoding at the destination is free on the wire.
+func TestAllGatherHalfDecodeAccountsHalfBytes(t *testing.T) {
+	const ranks, n = 4, 64
+	var fusedBytes, plainBytes int64
+	Run(ranks, func(c *Comm) {
+		if err := c.SetTopology(testTopo(ranks)); err != nil {
+			t.Error(err)
+			return
+		}
+		src := randHalves(uint64(c.Rank()), n)
+		dst := make([]float32, ranks*n)
+		c.AllGatherHalfDecode(dst, src)
+		if c.Rank() == 0 {
+			fusedBytes = c.Traffic()["allgatherhalfdecode"].Bytes()
+		}
+	})
+	Run(ranks, func(c *Comm) {
+		if err := c.SetTopology(testTopo(ranks)); err != nil {
+			t.Error(err)
+			return
+		}
+		src := randHalves(uint64(c.Rank()), n)
+		dst := make([]tensor.Half, ranks*n)
+		c.AllGatherHalf(dst, src)
+		if c.Rank() == 0 {
+			plainBytes = c.Traffic()["allgatherhalf"].Bytes()
+		}
+	})
+	if fusedBytes == 0 || fusedBytes != plainBytes {
+		t.Fatalf("fused gather accounted %d bytes, unfused %d — want equal fp16 totals", fusedBytes, plainBytes)
+	}
+}
+
+// The engine steady state runs the fused gather every step, so a warm
+// collective must not allocate — with and without a topology installed.
+func TestAllGatherHalfDecodeAllocFree(t *testing.T) {
+	for _, topo := range []*Topology{nil, testTopo(1)} {
+		w := NewWorld(1)
+		if topo != nil {
+			if err := w.SetTopology(topo); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c := w.Comm(0)
+		src := randHalves(1, 64)
+		dst := make([]float32, 64)
+		c.AllGatherHalfDecode(dst, src) // warm the op pool and arenas
+		allocs := testing.AllocsPerRun(100, func() {
+			c.AllGatherHalfDecode(dst, src)
+		})
+		if allocs != 0 {
+			t.Fatalf("allgatherhalfdecode (topo=%v) allocated %.1f/op", topo != nil, allocs)
+		}
+	}
+}

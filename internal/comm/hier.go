@@ -118,6 +118,30 @@ func computeAllGatherHalfHier(w *World, o *op) {
 	w.hscratch.Put(full)
 }
 
+// computeAllGatherHalfDecodeHier stages the full fp16 vector exactly like
+// computeAllGatherHalfHier (the bytes the links carry are fp16 either way),
+// decodes it to float32 once, and distributes the decoded vector to every
+// rank. Bit-identical to the flat fused path: the decode LUT is exact, so
+// decoding per shard and decoding the staged whole agree element for
+// element.
+func computeAllGatherHalfDecodeHier(w *World, o *op) {
+	n := len(o.contrib[0].hsrc)
+	full := w.hscratch.Get(n * w.size)
+	k := w.topo.NodeSize
+	for node := 0; node < w.nodes(); node++ {
+		for r := node * k; r < (node+1)*k; r++ {
+			copy(full[r*n:(r+1)*n], o.contrib[r].hsrc)
+		}
+	}
+	dec := w.fscratch.Get(n * w.size)
+	w.codec.DecodeHalf(dec, full)
+	for i := range o.contrib {
+		copy(o.contrib[i].fdst, dec)
+	}
+	w.fscratch.Put(dec)
+	w.hscratch.Put(full)
+}
+
 // computeAllGatherEncodeHalfHier fuses the per-rank binary16 encode into
 // the hierarchical assembly: each float32 shard is rounded once into its
 // slot of the staged full vector, which then distributes to every rank.

@@ -495,7 +495,7 @@ func (w *World) account(o *op) {
 		w.accountBroadcast(st, int64(len(o.contrib[o.root].hdst))*f16, o.root)
 	case opAllGather:
 		w.accountAllGather(st, int64(len(o.contrib[0].fsrc))*f32)
-	case opAllGatherHalf:
+	case opAllGatherHalf, opAllGatherHalfDecode:
 		w.accountAllGather(st, int64(len(o.contrib[0].hsrc))*f16)
 	case opAllGatherEncodeHalf:
 		w.accountAllGather(st, int64(len(o.contrib[0].fsrc))*f16) // moves encoded fp16 shards

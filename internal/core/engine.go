@@ -439,10 +439,11 @@ func (e *InfinityEngine) gather(p *module.Param) {
 	if e.trace != nil {
 		e.trace.Observe(ps)
 	}
+	var full []float32
 	var fullH []tensor.Half
-	if f := ps.commInflight; f.fullH != nil {
+	if f := ps.commInflight; f.inFlight() {
 		f.ticket.Wait()
-		fullH = f.fullH
+		full, fullH = f.full, f.fullH
 		e.releaseShard(f.shard)
 		ps.commInflight = inflightGather{}
 		e.commPrefetch.consumed()
@@ -451,9 +452,12 @@ func (e *InfinityEngine) gather(p *module.Param) {
 		fullH = e.bcastFullH(ps)
 		e.c.BroadcastHalf(fullH, ps.bcastRoot)
 	} else {
+		// Fused allgather+decode: the collective moves fp16 shards and
+		// delivers the decoded float32 view directly, skipping the
+		// full-size intermediate fp16 buffer and decode pass.
 		shard := e.shardHalf(ps)
-		fullH = e.f16.Get(ps.shardLen * e.c.Size())
-		e.c.AllGatherHalf(fullH, shard)
+		full = e.f32.Get(ps.shardLen * e.c.Size())
+		e.c.AllGatherHalfDecode(full, shard)
 		e.releaseShard(shard)
 	}
 	if e.gpuAlloc != nil {
@@ -464,9 +468,13 @@ func (e *InfinityEngine) gather(p *module.Param) {
 		ps.gpuBlock = b
 	}
 	e.gpuT.Add(mem.CatWorkingSet, p.FP16Bytes())
-	full := e.f32.Get(p.Len())
-	e.rt.Backend().DecodeHalf(full, fullH[:p.Len()])
-	e.f16.Put(fullH)
+	if full == nil {
+		full = e.f32.Get(p.Len())
+		e.rt.Backend().DecodeHalf(full, fullH[:p.Len()])
+		e.f16.Put(fullH)
+	} else {
+		full = full[:p.Len()]
+	}
 	p.SetData(full)
 	e.stats.Gathers++
 	if e.commPrefetch != nil {
@@ -803,19 +811,20 @@ func (e *InfinityEngine) FullParams() map[string][]float32 {
 	out := make(map[string][]float32, len(e.params))
 	for _, p := range e.params {
 		ps := e.states[p]
-		var fullH []tensor.Half
-		if e.cfg.Partition == zero.PartitionBroadcast {
-			fullH = e.bcastFullH(ps)
-			e.c.BroadcastHalf(fullH, ps.bcastRoot)
-		} else {
-			fullH = e.f16.Get(ps.shardLen * dp)
-			shard := e.shardHalf(ps)
-			e.c.AllGatherHalf(fullH, shard)
-			e.releaseShard(shard)
-		}
 		v := make([]float32, p.Len())
-		tensor.DecodeHalf(v, fullH[:p.Len()])
-		e.f16.Put(fullH)
+		if e.cfg.Partition == zero.PartitionBroadcast {
+			fullH := e.bcastFullH(ps)
+			e.c.BroadcastHalf(fullH, ps.bcastRoot)
+			tensor.DecodeHalf(v, fullH[:p.Len()])
+			e.f16.Put(fullH)
+		} else {
+			full := e.f32.Get(ps.shardLen * dp)
+			shard := e.shardHalf(ps)
+			e.c.AllGatherHalfDecode(full, shard)
+			e.releaseShard(shard)
+			copy(v, full[:p.Len()])
+			e.f32.Put(full)
+		}
 		out[p.Name] = v
 	}
 	return out

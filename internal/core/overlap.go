@@ -17,14 +17,20 @@ import (
 // keep rank-order accumulation — so overlap is purely a wall-clock knob.
 
 // inflightGather is a speculatively issued allgather. shard keeps the
-// source buffer alive (and untouched) until the ticket completes. It is
-// stored by value in the pstate so tracking it allocates nothing; a nil
-// fullH means no allgather is in flight.
+// source buffer alive (and untouched) until the ticket completes. The
+// destination is the fused allgather+decode's float32 buffer under 1/dp
+// slicing (full) or the fp16 view under owner-rank broadcast (fullH) — at
+// most one is non-nil. It is stored by value in the pstate so tracking it
+// allocates nothing; both destinations nil means no allgather is in flight.
 type inflightGather struct {
 	ticket comm.Ticket
+	full   []float32
 	fullH  []tensor.Half
 	shard  []tensor.Half
 }
+
+// inFlight reports whether an allgather is speculatively running.
+func (f *inflightGather) inFlight() bool { return f.full != nil || f.fullH != nil }
 
 // commPrefetcher issues the next depth upcoming parameters' allgathers
 // during the current parameter's compute, following the shared gather
@@ -60,7 +66,7 @@ func (cp *commPrefetcher) issue() {
 		if cp.outstanding >= cp.depth {
 			return false
 		}
-		if ps.commInflight.fullH != nil || ps.p.Materialized() {
+		if ps.commInflight.inFlight() || ps.p.Materialized() {
 			return true
 		}
 		if e.cfg.Partition == zero.PartitionBroadcast {
@@ -104,9 +110,9 @@ func (cp *commPrefetcher) issue() {
 		} else {
 			shard = ps.hostShard
 		}
-		fullH := e.f16.Get(ps.shardLen * dp)
-		tk := e.c.AllGatherHalfAsync(fullH, shard)
-		ps.commInflight = inflightGather{ticket: tk, fullH: fullH, shard: shard}
+		full := e.f32.Get(ps.shardLen * dp)
+		tk := e.c.AllGatherHalfDecodeAsync(full, shard)
+		ps.commInflight = inflightGather{ticket: tk, full: full, shard: shard}
 		cp.inflight = append(cp.inflight, ps)
 		cp.outstanding++
 		e.stats.CommPrefetchIssued++
@@ -120,9 +126,13 @@ func (cp *commPrefetcher) issue() {
 func (cp *commPrefetcher) endStep() {
 	e := cp.e
 	for _, ps := range cp.inflight {
-		if f := ps.commInflight; f.fullH != nil {
+		if f := ps.commInflight; f.inFlight() {
 			f.ticket.Wait()
-			e.f16.Put(f.fullH)
+			if f.full != nil {
+				e.f32.Put(f.full)
+			} else {
+				e.f16.Put(f.fullH)
+			}
 			e.releaseShard(f.shard)
 			ps.commInflight = inflightGather{}
 		}

@@ -48,7 +48,7 @@ func TestStatsReportCommTrafficAndSlicingWins(t *testing.T) {
 	bcast := runInfinity(t, mcfg, Config{Partition: zero.PartitionBroadcast,
 		Overlap: true, PrefetchDepth: 2, Topology: topo})
 
-	ag, ok := slice.stats.CommTraffic["allgatherhalf"]
+	ag, ok := slice.stats.CommTraffic["allgatherhalfdecode"]
 	if !ok || ag.Ops == 0 || ag.Bytes() == 0 || ag.Seconds <= 0 {
 		t.Fatalf("slicing allgather traffic missing or untimed: %+v", ag)
 	}

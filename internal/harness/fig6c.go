@@ -40,7 +40,7 @@ type fig6cRun struct {
 
 func runFig6cVariant(part zero.Partitioning, topo *comm.Topology, ranks, steps int) (fig6cRun, error) {
 	mcfg := model.Config{Vocab: 32, Hidden: 32, Heads: 4, Seq: 12, Layers: 2}
-	gatherK, reduceK := "allgatherhalf", "reducescatterhalfdecode"
+	gatherK, reduceK := "allgatherhalfdecode", "reducescatterhalfdecode"
 	if part == zero.PartitionBroadcast {
 		gatherK, reduceK = "broadcasthalf", "reducehalfdecode"
 	}

@@ -109,10 +109,50 @@ func StepVecOn(be tensor.Backend, cfg AdamConfig, step int, params, grads, m, v 
 	})
 }
 
+// adamElem applies the update to one element and returns the new param,
+// momentum and variance. Small enough to inline into adamChunk's unrolled
+// body; the arithmetic is exactly the historical serial loop's, so the
+// unrolled kernel is bit-identical to adamChunkScalar.
+func adamElem(b1, b2, lr, eps, wd, bc1, bc2 float64, p, g, mi, vi float32) (float32, float32, float32) {
+	gf := float64(g)
+	if wd != 0 {
+		gf += wd * float64(p)
+	}
+	mf := b1*float64(mi) + (1-b1)*gf
+	vf := b2*float64(vi) + (1-b2)*gf*gf
+	update := (mf / bc1) / (math.Sqrt(vf/bc2) + eps)
+	return float32(float64(p) - lr*update), float32(mf), float32(vf)
+}
+
 // adamChunk applies the elementwise update to [lo, hi). Each element is
 // touched exactly once with no cross-element reduction, so partitioned
-// execution is bit-identical to serial.
+// execution is bit-identical to serial. The body processes four elements
+// per iteration through three-index subslices: each element's update chain
+// ends in a divide and a square root, so the win is keeping four
+// independent sqrt/div chains in flight rather than one.
 func adamChunk(cfg AdamConfig, bc1, bc2 float64, params, grads, m, v []float32, lo, hi int) {
+	b1, b2 := cfg.Beta1, cfg.Beta2
+	lr, eps, wd := cfg.LR, cfg.Eps, cfg.WeightDecay
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		p := params[i : i+4 : i+4]
+		g := grads[i : i+4 : i+4]
+		mm := m[i : i+4 : i+4]
+		vv := v[i : i+4 : i+4]
+		p[0], mm[0], vv[0] = adamElem(b1, b2, lr, eps, wd, bc1, bc2, p[0], g[0], mm[0], vv[0])
+		p[1], mm[1], vv[1] = adamElem(b1, b2, lr, eps, wd, bc1, bc2, p[1], g[1], mm[1], vv[1])
+		p[2], mm[2], vv[2] = adamElem(b1, b2, lr, eps, wd, bc1, bc2, p[2], g[2], mm[2], vv[2])
+		p[3], mm[3], vv[3] = adamElem(b1, b2, lr, eps, wd, bc1, bc2, p[3], g[3], mm[3], vv[3])
+	}
+	for ; i < hi; i++ {
+		params[i], m[i], v[i] = adamElem(b1, b2, lr, eps, wd, bc1, bc2, params[i], grads[i], m[i], v[i])
+	}
+}
+
+// adamChunkScalar is the pre-unroll serial loop, retained as the
+// bit-equality baseline for the unrolled kernel and as the roofline
+// harness's scalar Adam measurement (via StepVecScalar).
+func adamChunkScalar(cfg AdamConfig, bc1, bc2 float64, params, grads, m, v []float32, lo, hi int) {
 	b1, b2 := cfg.Beta1, cfg.Beta2
 	lr, eps, wd := cfg.LR, cfg.Eps, cfg.WeightDecay
 	for i := lo; i < hi; i++ {
@@ -127,6 +167,17 @@ func adamChunk(cfg AdamConfig, bc1, bc2 float64, params, grads, m, v []float32, 
 		update := (mf / bc1) / (math.Sqrt(vf/bc2) + eps)
 		params[i] = float32(float64(params[i]) - lr*update)
 	}
+}
+
+// StepVecScalar is StepVec on the pre-unroll scalar loop — the roofline
+// harness's baseline. Bit-identical to StepVec.
+func StepVecScalar(cfg AdamConfig, step int, params, grads, m, v []float32) {
+	if len(params) != len(grads) || len(params) != len(m) || len(params) != len(v) {
+		panic("optim: StepVec length mismatch")
+	}
+	bc1 := 1 - math.Pow(cfg.Beta1, float64(step))
+	bc2 := 1 - math.Pow(cfg.Beta2, float64(step))
+	adamChunkScalar(cfg, bc1, bc2, params, grads, m, v, 0, len(grads))
 }
 
 // State exposes the momentum and variance vectors for offload/serialization.

@@ -1,0 +1,43 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The 4-wide unrolled adamChunk must stay bit-identical to the retained
+// scalar loop (StepVecScalar) for every length — remainder tail included —
+// with and without weight decay, across several steps so the bias
+// corrections move.
+func TestStepVecMatchesScalar(t *testing.T) {
+	cfgs := []AdamConfig{
+		DefaultAdamConfig(),
+		{LR: 3e-4, Beta1: 0.9, Beta2: 0.95, Eps: 1e-8, WeightDecay: 0.1},
+	}
+	for _, cfg := range cfgs {
+		for _, n := range []int{1, 3, 4, 5, 7, 8, 9, 31, 257, 1 << 12} {
+			pv := make([]float32, n)
+			ps := make([]float32, n)
+			g := make([]float32, n)
+			mv, vv := make([]float32, n), make([]float32, n)
+			ms, vs := make([]float32, n), make([]float32, n)
+			tensor.NewRNG(uint64(n)).FillNormal(pv, 1)
+			copy(ps, pv)
+			for step := 1; step <= 3; step++ {
+				tensor.NewRNG(uint64(n*10+step)).FillNormal(g, 1)
+				StepVec(cfg, step, pv, g, mv, vv)
+				StepVecScalar(cfg, step, ps, g, ms, vs)
+				for i := 0; i < n; i++ {
+					if math.Float32bits(pv[i]) != math.Float32bits(ps[i]) ||
+						math.Float32bits(mv[i]) != math.Float32bits(ms[i]) ||
+						math.Float32bits(vv[i]) != math.Float32bits(vs[i]) {
+						t.Fatalf("wd=%v n=%d step=%d: [%d] p %g/%g m %g/%g v %g/%g",
+							cfg.WeightDecay, n, step, i, pv[i], ps[i], mv[i], ms[i], vv[i], vs[i])
+					}
+				}
+			}
+		}
+	}
+}

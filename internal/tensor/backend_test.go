@@ -296,6 +296,12 @@ func TestPoolParallelFor(t *testing.T) {
 //	go test ./internal/tensor -bench 'MatMul|Gelu|SoftmaxRows' -benchtime=3x
 func benchBackends() []Backend { return []Backend{Reference(), Parallel()} }
 
+// reportGFLOPS attaches the achieved-GFLOP/s metric zinf-roofline reports,
+// so `go test -bench` and the roofline harness agree on units.
+func reportGFLOPS(b *testing.B, flopsPerOp float64) {
+	b.ReportMetric(flopsPerOp*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
 func BenchmarkMatMul(b *testing.B) {
 	const m, k, n = 512, 512, 512
 	a := make([]float32, m*k)
@@ -303,12 +309,18 @@ func BenchmarkMatMul(b *testing.B) {
 	c := make([]float32, m*n)
 	fillRandom(NewRNG(1), a)
 	fillRandom(NewRNG(2), bb)
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MatMulScalar(c, a, bb, m, k, n)
+		}
+		reportGFLOPS(b, 2*m*k*n)
+	})
 	for _, be := range benchBackends() {
 		b.Run("backend="+be.Name(), func(b *testing.B) {
-			b.SetBytes(int64(2 * m * k * n * 4))
 			for i := 0; i < b.N; i++ {
 				be.MatMul(c, a, bb, m, k, n)
 			}
+			reportGFLOPS(b, 2*m*k*n)
 		})
 	}
 }
@@ -325,6 +337,7 @@ func BenchmarkMatMulTransA(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				be.MatMulTransA(c, a, bb, m, k, n)
 			}
+			reportGFLOPS(b, 2*m*k*n)
 		})
 	}
 }
@@ -341,6 +354,7 @@ func BenchmarkMatMulTransB(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				be.MatMulTransB(c, a, bb, m, k, n)
 			}
+			reportGFLOPS(b, 2*m*k*n)
 		})
 	}
 }
@@ -352,6 +366,7 @@ func BenchmarkGelu(b *testing.B) {
 	fillRandom(NewRNG(3), x)
 	for _, be := range benchBackends() {
 		b.Run("backend="+be.Name(), func(b *testing.B) {
+			b.SetBytes(8 * n) // 4 bytes read + 4 written per element
 			for i := 0; i < b.N; i++ {
 				be.Gelu(dst, x)
 			}

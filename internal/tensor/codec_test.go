@@ -133,20 +133,37 @@ func BenchmarkFp16Codec(b *testing.B) {
 	EncodeHalf(hs, src)
 	dstH := make([]Half, n)
 	dstF := make([]float32, n)
+	// 6 bytes of traffic per element each way (4 read + 2 written encoding,
+	// 2 read + 4 written decoding) — the same convention zinf-roofline uses,
+	// so the MB/s column here matches the harness's GB/s records.
+	b.Run("encode/scalar", func(b *testing.B) {
+		b.SetBytes(n * 6)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			EncodeHalfScalar(dstH, src)
+		}
+	})
+	b.Run("decode/scalar", func(b *testing.B) {
+		b.SetBytes(n * 6)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			DecodeHalfScalar(dstF, hs)
+		}
+	})
 	for _, name := range BackendNames() {
 		be, err := ByName(name)
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.Run("encode/backend="+name, func(b *testing.B) {
-			b.SetBytes(n * 4)
+			b.SetBytes(n * 6)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				be.EncodeHalf(dstH, src)
 			}
 		})
 		b.Run("decode/backend="+name, func(b *testing.B) {
-			b.SetBytes(n * 2)
+			b.SetBytes(n * 6)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				be.DecodeHalf(dstF, hs)

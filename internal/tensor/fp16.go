@@ -169,29 +169,107 @@ func (h Half) IsInf() bool {
 // HalfBytes is the storage size of one Half value.
 const HalfBytes = 2
 
+// encFastOK reports whether the fp32 magnitude bits m fall in the classes
+// the block encoder handles inline: the normal binary16 range
+// [0x38800000, 0x47800000) — the first comparison, via unsigned wraparound —
+// or underflow-to-signed-zero (m < 0x33800000, which covers exact zeros).
+func encFastOK(m uint32) bool {
+	return m-0x38800000 < 0x0f000000 || m < 0x33800000
+}
+
+// encFast encodes one fast-class value (see encFastOK); bit-identical to
+// HalfFromFloat32 on that domain. Small enough to inline into the block
+// encoder's unrolled body.
+func encFast(b, m uint32) Half {
+	sign := uint16(b>>16) & halfSignMask
+	if m < 0x33800000 {
+		return Half(sign)
+	}
+	h := uint16((m - 0x38000000) >> 13)
+	return Half(sign + h + uint16((m&0x1fff+0xfff+uint32(h&1))>>13))
+}
+
 // EncodeHalf converts src to binary16, storing into dst. It panics if dst is
 // shorter than src. This is the serial kernel; Backend.EncodeHalf fans the
 // same conversion out over the worker pool.
+//
+// The kernel is block-processed: eight values per iteration, classified
+// with one combined branch. Training data is overwhelmingly zeros plus
+// normal-range magnitudes, so blocks almost always take the inlined
+// rebias-and-round fast path; a block containing any Inf/NaN/subnormal/
+// overflow value falls back to the full converter for all eight lanes.
+// Output is bit-identical to the per-element HalfFromFloat32 loop
+// (EncodeHalfScalar) for every input.
 func EncodeHalf(dst []Half, src []float32) {
 	if len(dst) < len(src) {
 		panic("tensor: EncodeHalf dst too short")
 	}
 	dst = dst[:len(src)]
-	for i, f := range src {
-		dst[i] = HalfFromFloat32(f)
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		b0, b1 := math.Float32bits(s[0]), math.Float32bits(s[1])
+		b2, b3 := math.Float32bits(s[2]), math.Float32bits(s[3])
+		b4, b5 := math.Float32bits(s[4]), math.Float32bits(s[5])
+		b6, b7 := math.Float32bits(s[6]), math.Float32bits(s[7])
+		m0, m1 := b0&0x7fffffff, b1&0x7fffffff
+		m2, m3 := b2&0x7fffffff, b3&0x7fffffff
+		m4, m5 := b4&0x7fffffff, b5&0x7fffffff
+		m6, m7 := b6&0x7fffffff, b7&0x7fffffff
+		if encFastOK(m0) && encFastOK(m1) && encFastOK(m2) && encFastOK(m3) &&
+			encFastOK(m4) && encFastOK(m5) && encFastOK(m6) && encFastOK(m7) {
+			d[0] = encFast(b0, m0)
+			d[1] = encFast(b1, m1)
+			d[2] = encFast(b2, m2)
+			d[3] = encFast(b3, m3)
+			d[4] = encFast(b4, m4)
+			d[5] = encFast(b5, m5)
+			d[6] = encFast(b6, m6)
+			d[7] = encFast(b7, m7)
+		} else {
+			d[0] = HalfFromFloat32(s[0])
+			d[1] = HalfFromFloat32(s[1])
+			d[2] = HalfFromFloat32(s[2])
+			d[3] = HalfFromFloat32(s[3])
+			d[4] = HalfFromFloat32(s[4])
+			d[5] = HalfFromFloat32(s[5])
+			d[6] = HalfFromFloat32(s[6])
+			d[7] = HalfFromFloat32(s[7])
+		}
+	}
+	for ; i < n; i++ {
+		dst[i] = HalfFromFloat32(src[i])
 	}
 }
 
 // DecodeHalf converts src from binary16 into dst. It panics if dst is shorter
 // than src. This is the serial kernel; Backend.DecodeHalf fans the same
-// lookup out over the worker pool.
+// lookup out over the worker pool. Eight LUT lookups per iteration — the
+// uint16 index never bounds-checks against the 64Ki table, so the unrolled
+// body is pure loads and stores.
 func DecodeHalf(dst []float32, src []Half) {
 	if len(dst) < len(src) {
 		panic("tensor: DecodeHalf dst too short")
 	}
 	dst = dst[:len(src)]
-	for i, h := range src {
-		dst[i] = halfToF32[h]
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		d[0] = halfToF32[s[0]]
+		d[1] = halfToF32[s[1]]
+		d[2] = halfToF32[s[2]]
+		d[3] = halfToF32[s[3]]
+		d[4] = halfToF32[s[4]]
+		d[5] = halfToF32[s[5]]
+		d[6] = halfToF32[s[6]]
+		d[7] = halfToF32[s[7]]
+	}
+	for ; i < n; i++ {
+		dst[i] = halfToF32[src[i]]
 	}
 }
 

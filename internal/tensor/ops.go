@@ -15,12 +15,30 @@ import "math"
 // detection relies on NaN/Inf in B surfacing in C rather than being
 // silently dropped. The O(k·n) finiteness scan is negligible next to the
 // O(m·k·n) multiply.
+// Rows are processed in register-blocked pairs and the k dimension in
+// blocks of four p-steps (axpy2x4Lanes): each loaded B row feeds two
+// accumulator rows, and each C element is loaded/stored once per four
+// p-steps, without touching any element's p-ascending accumulation order. A
+// zero A element inside a block falls back to the per-p pair path
+// (matMulPair), so the sparsity skip is preserved row by row.
 func MatMul(c, a, b []float32, m, k, n int) {
 	checkLen("MatMul c", c, m*n)
 	checkLen("MatMul a", a, m*k)
 	checkLen("MatMul b", b, k*n)
 	skipZero := !HasNaNOrInf(b[:k*n])
-	for i := 0; i < m; i++ {
+	i := 0
+	for ; i+2 <= m; i += 2 {
+		c0 := c[i*n : (i+1)*n]
+		c1 := c[(i+1)*n : (i+2)*n]
+		for j := range c0 {
+			c0[j] = 0
+			c1[j] = 0
+		}
+		a0 := a[i*k : (i+1)*k]
+		a1 := a[(i+1)*k : (i+2)*k]
+		matMulPairBlocked(c0, c1, b, n, 0, k, a0, a1, skipZero)
+	}
+	for ; i < m; i++ {
 		ci := c[i*n : (i+1)*n]
 		for j := range ci {
 			ci[j] = 0
@@ -30,15 +48,56 @@ func MatMul(c, a, b []float32, m, k, n int) {
 			if skipZero && av == 0 {
 				continue
 			}
-			bp := b[p*n : (p+1)*n]
-			for j, bv := range bp {
-				ci[j] += av * bv
-			}
+			axpyLanes(ci, b[p*n:(p+1)*n], av)
 		}
 	}
 }
 
+// matMulPairBlocked accumulates B rows [pLo, pHi) into the two output rows
+// c0, c1 with four-step p-blocking where no A element in the block is a
+// skippable zero, falling back to matMulPair otherwise.
+func matMulPairBlocked(c0, c1, b []float32, n, pLo, pHi int, a0, a1 []float32, skipZero bool) {
+	p := pLo
+	for ; p+4 <= pHi; p += 4 {
+		av00, av01, av02, av03 := a0[p], a0[p+1], a0[p+2], a0[p+3]
+		av10, av11, av12, av13 := a1[p], a1[p+1], a1[p+2], a1[p+3]
+		if skipZero && (av00 == 0 || av01 == 0 || av02 == 0 || av03 == 0 ||
+			av10 == 0 || av11 == 0 || av12 == 0 || av13 == 0) {
+			matMulPair(c0, c1, b, n, p, p+4, a0, a1, skipZero)
+			continue
+		}
+		axpy2x4Lanes(c0, c1,
+			b[p*n:(p+1)*n], b[(p+1)*n:(p+2)*n], b[(p+2)*n:(p+3)*n], b[(p+3)*n:(p+4)*n],
+			av00, av01, av02, av03, av10, av11, av12, av13)
+	}
+	matMulPair(c0, c1, b, n, p, pHi, a0, a1, skipZero)
+}
+
+// matMulPair is the per-p path for a row pair: zero-skip per row, paired
+// axpy when both rows contribute.
+func matMulPair(c0, c1, b []float32, n, pLo, pHi int, a0, a1 []float32, skipZero bool) {
+	for p := pLo; p < pHi; p++ {
+		av0, av1 := a0[p], a1[p]
+		if skipZero {
+			if av0 == 0 {
+				if av1 == 0 {
+					continue
+				}
+				axpyLanes(c1, b[p*n:(p+1)*n], av1)
+				continue
+			}
+			if av1 == 0 {
+				axpyLanes(c0, b[p*n:(p+1)*n], av0)
+				continue
+			}
+		}
+		axpy2Lanes(c0, c1, b[p*n:(p+1)*n], av0, av1)
+	}
+}
+
 // MatMulTransB computes C = A·Bᵀ where A is m×k, B is n×k and C is m×n.
+// Each output element is one dotLanes call — the fixed eight-accumulator
+// schedule shared by both backends.
 func MatMulTransB(c, a, b []float32, m, k, n int) {
 	checkLen("MatMulTransB c", c, m*n)
 	checkLen("MatMulTransB a", a, m*k)
@@ -47,12 +106,7 @@ func MatMulTransB(c, a, b []float32, m, k, n int) {
 		ai := a[i*k : (i+1)*k]
 		ci := c[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
-			bj := b[j*k : (j+1)*k]
-			var s float32
-			for p, av := range ai {
-				s += av * bj[p]
-			}
-			ci[j] = s
+			ci[j] = dotLanes(ai, b[j*k:(j+1)*k])
 		}
 	}
 }
@@ -74,10 +128,7 @@ func MatMulTransA(c, a, b []float32, m, k, n int) {
 			if skipZero && av == 0 {
 				continue
 			}
-			ci := c[i*n : (i+1)*n]
-			for j, bv := range bp {
-				ci[j] += av * bv
-			}
+			axpyLanes(c[i*n:(i+1)*n], bp, av)
 		}
 	}
 }
@@ -85,34 +136,26 @@ func MatMulTransA(c, a, b []float32, m, k, n int) {
 // Axpy computes y += alpha*x elementwise.
 func Axpy(alpha float32, x, y []float32) {
 	checkLen("Axpy y", y, len(x))
-	for i, v := range x {
-		y[i] += alpha * v
-	}
+	axpyLanes(y, x, alpha)
 }
 
 // Add computes dst = a + b elementwise.
 func Add(dst, a, b []float32) {
 	checkLen("Add dst", dst, len(a))
 	checkLen("Add b", b, len(a))
-	for i := range a {
-		dst[i] = a[i] + b[i]
-	}
+	addLanes(dst, a, b)
 }
 
 // Mul computes dst = a * b elementwise.
 func Mul(dst, a, b []float32) {
 	checkLen("Mul dst", dst, len(a))
 	checkLen("Mul b", b, len(a))
-	for i := range a {
-		dst[i] = a[i] * b[i]
-	}
+	mulLanes(dst, a, b)
 }
 
 // Scale multiplies x by alpha in place.
 func Scale(alpha float32, x []float32) {
-	for i := range x {
-		x[i] *= alpha
-	}
+	scaleLanes(alpha, x)
 }
 
 // Dot returns the float64-accumulated dot product of a and b.
@@ -158,11 +201,32 @@ func L2Norm(x []float32) float64 {
 }
 
 // HasNaNOrInf reports whether x contains a NaN or infinity. The mixed
-// precision loss scaler uses it to detect fp16 gradient overflow.
+// precision loss scaler uses it to detect fp16 gradient overflow, and the
+// matmuls' sparsity fast path runs it over B on every call, so it is the
+// hottest pure scan in a training step. A float32 is non-finite exactly
+// when its exponent field is all ones, in which case (and only then) adding
+// 1<<23 to the masked exponent carries into the sign bit — so eight lanes
+// OR their carry bits together and the loop tests one branch per block.
 func HasNaNOrInf(x []float32) bool {
-	for _, v := range x {
-		f := float64(v)
-		if math.IsNaN(f) || math.IsInf(f, 0) {
+	const expMask = 0x7f800000
+	n := len(x)
+	i := 0
+	for ; i+lanes <= n; i += lanes {
+		s := x[i : i+lanes : i+lanes]
+		acc := (math.Float32bits(s[0])&expMask + 1<<23) |
+			(math.Float32bits(s[1])&expMask + 1<<23) |
+			(math.Float32bits(s[2])&expMask + 1<<23) |
+			(math.Float32bits(s[3])&expMask + 1<<23) |
+			(math.Float32bits(s[4])&expMask + 1<<23) |
+			(math.Float32bits(s[5])&expMask + 1<<23) |
+			(math.Float32bits(s[6])&expMask + 1<<23) |
+			(math.Float32bits(s[7])&expMask + 1<<23)
+		if acc&(1<<31) != 0 {
+			return true
+		}
+	}
+	for ; i < n; i++ {
+		if math.Float32bits(x[i])&expMask == expMask {
 			return true
 		}
 	}
@@ -173,9 +237,7 @@ func HasNaNOrInf(x []float32) bool {
 // dst and x may alias.
 func Gelu(dst, x []float32) {
 	checkLen("Gelu dst", dst, len(x))
-	for i, v := range x {
-		dst[i] = geluScalar(v)
-	}
+	geluLanes(dst, x)
 }
 
 const (
@@ -203,27 +265,22 @@ func GeluBackward(dx, dy, x []float32) {
 }
 
 // SoftmaxRows applies a numerically-stable softmax to each row of the m×n
-// matrix x in place.
+// matrix x in place. The max scan and the final scale run on the lane
+// kernels; the exp pass keeps its serial float64 accumulation (the
+// transcendental dominates it, and the sum's order is part of the
+// bit-exactness contract).
 func SoftmaxRows(x []float32, m, n int) {
 	checkLen("SoftmaxRows x", x, m*n)
 	for i := 0; i < m; i++ {
 		row := x[i*n : (i+1)*n]
-		mx := row[0]
-		for _, v := range row[1:] {
-			if v > mx {
-				mx = v
-			}
-		}
+		mx := maxLanes(row)
 		var sum float64
 		for j, v := range row {
 			e := float32(math.Exp(float64(v - mx)))
 			row[j] = e
 			sum += float64(e)
 		}
-		inv := float32(1 / sum)
-		for j := range row {
-			row[j] *= inv
-		}
+		scaleLanes(float32(1/sum), row)
 	}
 }
 

@@ -255,8 +255,8 @@ func BenchmarkMatMul128(b *testing.B) {
 	c := make([]float32, n*n)
 	NewRNG(1).FillNormal(a, 1)
 	NewRNG(2).FillNormal(bb, 1)
-	b.SetBytes(int64(3 * n * n * 4))
 	for i := 0; i < b.N; i++ {
 		MatMul(c, a, bb, n, n, n)
 	}
+	reportGFLOPS(b, 2*n*n*n)
 }

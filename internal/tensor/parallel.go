@@ -69,8 +69,9 @@ func (p *parallel) MatMul(c, a, b []float32, m, k, n int) {
 // cache-hot, instead of streaming all of B once per output row. The p-tile
 // loop is outermost, and p ascends within each tile, so every element still
 // accumulates its contributions in strictly increasing p order — bit-exact
-// with the serial kernel. The skip/no-skip split keeps the per-element
-// branch out of the hot loop.
+// with the serial kernel. Row pairs run through the same p-blocked kernel
+// as the reference MatMul (matMulPairBlocked), so both backends share one
+// lane-accumulation schedule.
 func matMulRows(c, a, b []float32, lo, hi, k, n int, skipZero bool) {
 	for i := lo; i < hi; i++ {
 		ci := c[i*n : (i+1)*n]
@@ -83,7 +84,12 @@ func matMulRows(c, a, b []float32, lo, hi, k, n int, skipZero bool) {
 		if pEnd > k {
 			pEnd = k
 		}
-		for i := lo; i < hi; i++ {
+		i := lo
+		for ; i+2 <= hi; i += 2 {
+			matMulPairBlocked(c[i*n:(i+1)*n], c[(i+1)*n:(i+2)*n], b, n,
+				pt, pEnd, a[i*k:(i+1)*k], a[(i+1)*k:(i+2)*k], skipZero)
+		}
+		for ; i < hi; i++ {
 			ai := a[i*k : (i+1)*k]
 			ci := c[i*n : (i+1)*n]
 			if skipZero {
@@ -92,18 +98,11 @@ func matMulRows(c, a, b []float32, lo, hi, k, n int, skipZero bool) {
 					if av == 0 {
 						continue
 					}
-					bp := b[pi*n : (pi+1)*n]
-					for j, bv := range bp {
-						ci[j] += av * bv
-					}
+					axpyLanes(ci, b[pi*n:(pi+1)*n], av)
 				}
 			} else {
 				for pi := pt; pi < pEnd; pi++ {
-					av := ai[pi]
-					bp := b[pi*n : (pi+1)*n]
-					for j, bv := range bp {
-						ci[j] += av * bv
-					}
+					axpyLanes(ci, b[pi*n:(pi+1)*n], ai[pi])
 				}
 			}
 		}
@@ -129,17 +128,11 @@ func (p *parallel) MatMulTransA(c, a, b []float32, m, k, n int) {
 					if av == 0 {
 						continue
 					}
-					ci := c[(lo+ii)*n : (lo+ii+1)*n]
-					for j, bv := range bp {
-						ci[j] += av * bv
-					}
+					axpyLanes(c[(lo+ii)*n:(lo+ii+1)*n], bp, av)
 				}
 			} else {
 				for ii, av := range ap {
-					ci := c[(lo+ii)*n : (lo+ii+1)*n]
-					for j, bv := range bp {
-						ci[j] += av * bv
-					}
+					axpyLanes(c[(lo+ii)*n:(lo+ii+1)*n], bp, av)
 				}
 			}
 		}
@@ -152,8 +145,9 @@ func (p *parallel) MatMulTransB(c, a, b []float32, m, k, n int) {
 	checkLen("MatMulTransB b", b, n*k)
 	p.pool.ParallelFor(m, Grain(k*n), func(lo, hi int) {
 		// Tile the row range so each B row is reused across tileM rows of A
-		// while it is cache-hot. Each output element is one serial dot
-		// product, so ordering is trivially bit-exact.
+		// while it is cache-hot. Each output element is one dotLanes call —
+		// the same fixed lane schedule as the reference backend, so ordering
+		// is bit-exact by construction.
 		for it := lo; it < hi; it += tileM {
 			iEnd := it + tileM
 			if iEnd > hi {
@@ -162,12 +156,7 @@ func (p *parallel) MatMulTransB(c, a, b []float32, m, k, n int) {
 			for j := 0; j < n; j++ {
 				bj := b[j*k : (j+1)*k]
 				for i := it; i < iEnd; i++ {
-					ai := a[i*k : (i+1)*k]
-					var s float32
-					for pi, av := range ai {
-						s += av * bj[pi]
-					}
-					c[i*n+j] = s
+					c[i*n+j] = dotLanes(a[i*k:(i+1)*k], bj)
 				}
 			}
 		}
@@ -177,9 +166,7 @@ func (p *parallel) MatMulTransB(c, a, b []float32, m, k, n int) {
 func (p *parallel) Gelu(dst, x []float32) {
 	checkLen("Gelu dst", dst, len(x))
 	p.pool.ParallelFor(len(x), minParWork/8, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst[i] = geluScalar(x[i])
-		}
+		geluLanes(dst[lo:hi], x[lo:hi])
 	})
 }
 

@@ -1,0 +1,73 @@
+package tensor
+
+import "math"
+
+// Pre-vectorization scalar kernels, retained for two jobs: the
+// roofline harness (cmd/zinf-roofline) measures the lane kernels' speedup
+// against them, and the remainder-lane equivalence tests assert the
+// unrolled kernels reproduce them bit for bit wherever the lane schedule
+// preserves the serial accumulation order.
+
+// MatMulScalar is the plain serial C = A·B kernel: one scalar axpy row at a
+// time, p ascending, including the zero-skip sparsity fast path. The lane
+// kernel MatMul is bit-identical to it (per-element accumulation order is
+// unchanged by the unroll).
+func MatMulScalar(c, a, b []float32, m, k, n int) {
+	checkLen("MatMul c", c, m*n)
+	checkLen("MatMul a", a, m*k)
+	checkLen("MatMul b", b, k*n)
+	skipZero := !hasNaNOrInfScalar(b[:k*n])
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		for j := range ci {
+			ci[j] = 0
+		}
+		ai := a[i*k : (i+1)*k]
+		for p, av := range ai {
+			if skipZero && av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// EncodeHalfScalar converts src to binary16 one element at a time through
+// HalfFromFloat32 — the pre-block-processing encoder. Output is
+// bit-identical to EncodeHalf.
+func EncodeHalfScalar(dst []Half, src []float32) {
+	if len(dst) < len(src) {
+		panic("tensor: EncodeHalf dst too short")
+	}
+	dst = dst[:len(src)]
+	for i, f := range src {
+		dst[i] = HalfFromFloat32(f)
+	}
+}
+
+// DecodeHalfScalar converts src from binary16 one LUT lookup at a time.
+// Output is bit-identical to DecodeHalf.
+func DecodeHalfScalar(dst []float32, src []Half) {
+	if len(dst) < len(src) {
+		panic("tensor: DecodeHalf dst too short")
+	}
+	dst = dst[:len(src)]
+	for i, h := range src {
+		dst[i] = halfToF32[h]
+	}
+}
+
+// hasNaNOrInfScalar is the math.IsNaN/IsInf formulation the exponent-mask
+// scan in HasNaNOrInf is tested against.
+func hasNaNOrInfScalar(x []float32) bool {
+	for _, v := range x {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return true
+		}
+	}
+	return false
+}

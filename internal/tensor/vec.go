@@ -1,0 +1,425 @@
+package tensor
+
+// This file holds the 8-wide unrolled lane kernels behind the float32
+// compute primitives. Go's gc compiler does not auto-vectorize, so the
+// kernels are written the way the hardware wants to run them anyway:
+// full-width blocks addressed through three-index subslices (so every bounds
+// check hoists out of the block), eight independent operations per
+// iteration (so the out-of-order core can keep multiple FLOPs in flight),
+// and a fixed combination order wherever lanes meet.
+//
+// Both backends call these same functions, which makes the lane-accumulation
+// schedule part of the cross-backend bit-identity contract *by
+// construction*: reference and parallel cannot diverge on a kernel they
+// share. Kernels whose per-element accumulation order matches the
+// pre-vectorization serial loops (axpyLanes, the elementwise family) are
+// additionally bit-identical to the historical scalar kernels; dotLanes uses
+// a fixed eight-accumulator tree and is the one place the numerical schedule
+// deliberately changed (every caller on every backend changed with it).
+
+// lanes is the unroll width of the vectorized kernels: 8 float32 values,
+// one 32-byte AVX register's worth, and enough independent chains to cover
+// fused-multiply-add latency on current cores.
+const lanes = 8
+
+// axpyLanes computes ci[j] += av*bp[j] for j in [0, len(bp)). Every element
+// is read-modified-written independently in ascending j, so the result is
+// bit-identical to the plain scalar loop — this is the inner kernel of
+// MatMul and MatMulTransA, where it preserves the strict p-ascending
+// per-element accumulation order the engine-equivalence tests pin down.
+func axpyLanes(ci, bp []float32, av float32) {
+	n := len(bp)
+	j := 0
+	for ; j+lanes <= n; j += lanes {
+		c := ci[j : j+lanes : j+lanes]
+		b := bp[j : j+lanes : j+lanes]
+		c[0] += av * b[0]
+		c[1] += av * b[1]
+		c[2] += av * b[2]
+		c[3] += av * b[3]
+		c[4] += av * b[4]
+		c[5] += av * b[5]
+		c[6] += av * b[6]
+		c[7] += av * b[7]
+	}
+	for ; j < n; j++ {
+		ci[j] += av * bp[j]
+	}
+}
+
+// axpy2Lanes computes c0[j] += a0*bp[j] and c1[j] += a1*bp[j] in one pass
+// over bp. Pairing two output rows doubles the arithmetic per loaded bp
+// block and halves the loop overhead per FLOP — the register-blocking step
+// that moves MatMul off the load ceiling — while each row's per-element
+// arithmetic and ascending-j order are exactly axpyLanes', so the result is
+// bit-identical to two separate axpyLanes calls.
+func axpy2Lanes(c0, c1, bp []float32, a0, a1 float32) {
+	n := len(bp)
+	j := 0
+	for ; j+lanes <= n; j += lanes {
+		b := bp[j : j+lanes : j+lanes]
+		x := c0[j : j+lanes : j+lanes]
+		y := c1[j : j+lanes : j+lanes]
+		x[0] += a0 * b[0]
+		x[1] += a0 * b[1]
+		x[2] += a0 * b[2]
+		x[3] += a0 * b[3]
+		x[4] += a0 * b[4]
+		x[5] += a0 * b[5]
+		x[6] += a0 * b[6]
+		x[7] += a0 * b[7]
+		y[0] += a1 * b[0]
+		y[1] += a1 * b[1]
+		y[2] += a1 * b[2]
+		y[3] += a1 * b[3]
+		y[4] += a1 * b[4]
+		y[5] += a1 * b[5]
+		y[6] += a1 * b[6]
+		y[7] += a1 * b[7]
+	}
+	for ; j < n; j++ {
+		c0[j] += a0 * bp[j]
+		c1[j] += a1 * bp[j]
+	}
+}
+
+// axpy2x4Lanes applies four consecutive p-steps to two accumulator rows in
+// one pass: t := c[j]; t += a0*b0[j]; t += a1*b1[j]; ... ; c[j] = t. The
+// addition sequence per element is exactly the one four separate axpyLanes
+// passes would execute — same operations, same order, bit-identical — but
+// the intermediate lives in a register, so each c element is loaded and
+// stored once per four p-steps instead of once per step. This is the
+// p-blocking that lifts MatMul off the store-bandwidth ceiling.
+func axpy2x4Lanes(c0, c1, b0, b1, b2, b3 []float32,
+	a00, a01, a02, a03, a10, a11, a12, a13 float32) {
+	n := len(b0)
+	j := 0
+	for ; j+lanes <= n; j += lanes {
+		x := c0[j : j+lanes : j+lanes]
+		y := c1[j : j+lanes : j+lanes]
+		p0 := b0[j : j+lanes : j+lanes]
+		p1 := b1[j : j+lanes : j+lanes]
+		p2 := b2[j : j+lanes : j+lanes]
+		p3 := b3[j : j+lanes : j+lanes]
+		b00, b10, b20, b30 := p0[0], p1[0], p2[0], p3[0]
+		t0 := x[0]
+		t0 += a00 * b00
+		t0 += a01 * b10
+		t0 += a02 * b20
+		t0 += a03 * b30
+		x[0] = t0
+		u0 := y[0]
+		u0 += a10 * b00
+		u0 += a11 * b10
+		u0 += a12 * b20
+		u0 += a13 * b30
+		y[0] = u0
+		b01, b11, b21, b31 := p0[1], p1[1], p2[1], p3[1]
+		t1 := x[1]
+		t1 += a00 * b01
+		t1 += a01 * b11
+		t1 += a02 * b21
+		t1 += a03 * b31
+		x[1] = t1
+		u1 := y[1]
+		u1 += a10 * b01
+		u1 += a11 * b11
+		u1 += a12 * b21
+		u1 += a13 * b31
+		y[1] = u1
+		b02, b12, b22, b32 := p0[2], p1[2], p2[2], p3[2]
+		t2 := x[2]
+		t2 += a00 * b02
+		t2 += a01 * b12
+		t2 += a02 * b22
+		t2 += a03 * b32
+		x[2] = t2
+		u2 := y[2]
+		u2 += a10 * b02
+		u2 += a11 * b12
+		u2 += a12 * b22
+		u2 += a13 * b32
+		y[2] = u2
+		b03, b13, b23, b33 := p0[3], p1[3], p2[3], p3[3]
+		t3 := x[3]
+		t3 += a00 * b03
+		t3 += a01 * b13
+		t3 += a02 * b23
+		t3 += a03 * b33
+		x[3] = t3
+		u3 := y[3]
+		u3 += a10 * b03
+		u3 += a11 * b13
+		u3 += a12 * b23
+		u3 += a13 * b33
+		y[3] = u3
+		b04, b14, b24, b34 := p0[4], p1[4], p2[4], p3[4]
+		t4 := x[4]
+		t4 += a00 * b04
+		t4 += a01 * b14
+		t4 += a02 * b24
+		t4 += a03 * b34
+		x[4] = t4
+		u4 := y[4]
+		u4 += a10 * b04
+		u4 += a11 * b14
+		u4 += a12 * b24
+		u4 += a13 * b34
+		y[4] = u4
+		b05, b15, b25, b35 := p0[5], p1[5], p2[5], p3[5]
+		t5 := x[5]
+		t5 += a00 * b05
+		t5 += a01 * b15
+		t5 += a02 * b25
+		t5 += a03 * b35
+		x[5] = t5
+		u5 := y[5]
+		u5 += a10 * b05
+		u5 += a11 * b15
+		u5 += a12 * b25
+		u5 += a13 * b35
+		y[5] = u5
+		b06, b16, b26, b36 := p0[6], p1[6], p2[6], p3[6]
+		t6 := x[6]
+		t6 += a00 * b06
+		t6 += a01 * b16
+		t6 += a02 * b26
+		t6 += a03 * b36
+		x[6] = t6
+		u6 := y[6]
+		u6 += a10 * b06
+		u6 += a11 * b16
+		u6 += a12 * b26
+		u6 += a13 * b36
+		y[6] = u6
+		b07, b17, b27, b37 := p0[7], p1[7], p2[7], p3[7]
+		t7 := x[7]
+		t7 += a00 * b07
+		t7 += a01 * b17
+		t7 += a02 * b27
+		t7 += a03 * b37
+		x[7] = t7
+		u7 := y[7]
+		u7 += a10 * b07
+		u7 += a11 * b17
+		u7 += a12 * b27
+		u7 += a13 * b37
+		y[7] = u7
+	}
+	for ; j < n; j++ {
+		t := c0[j]
+		t += a00 * b0[j]
+		t += a01 * b1[j]
+		t += a02 * b2[j]
+		t += a03 * b3[j]
+		c0[j] = t
+		u := c1[j]
+		u += a10 * b0[j]
+		u += a11 * b1[j]
+		u += a12 * b2[j]
+		u += a13 * b3[j]
+		c1[j] = u
+	}
+}
+
+// dotLanes returns the float32 dot product of a and b (equal lengths)
+// accumulated across eight independent lane accumulators that combine in a
+// fixed pairwise tree, with the sub-lane remainder folded in serially
+// afterwards. The schedule differs from a strictly serial sum, but it is
+// one fixed schedule shared by every backend, so cross-backend bit-identity
+// holds by construction. NaN/Inf in either input propagates through the
+// lane accumulators and the combine tree exactly as IEEE arithmetic
+// requires (nothing is skipped or compared away).
+func dotLanes(a, b []float32) float32 {
+	n := len(a)
+	var s0, s1, s2, s3, s4, s5, s6, s7 float32
+	j := 0
+	for ; j+lanes <= n; j += lanes {
+		x := a[j : j+lanes : j+lanes]
+		y := b[j : j+lanes : j+lanes]
+		s0 += x[0] * y[0]
+		s1 += x[1] * y[1]
+		s2 += x[2] * y[2]
+		s3 += x[3] * y[3]
+		s4 += x[4] * y[4]
+		s5 += x[5] * y[5]
+		s6 += x[6] * y[6]
+		s7 += x[7] * y[7]
+	}
+	s := ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))
+	for ; j < n; j++ {
+		s += a[j] * b[j]
+	}
+	return s
+}
+
+// maxLanes returns the maximum of the non-empty row using eight running
+// lane maxima combined in a fixed order. For finite inputs max is
+// order-independent, so this matches the serial scan exactly; with NaNs
+// present every strict comparison involving a NaN is false in both the
+// serial and the lane scan, and softmax turns the whole row into NaNs
+// either way, so SoftmaxRows' output stays bit-identical (see the
+// NaN-propagation tests).
+func maxLanes(row []float32) float32 {
+	n := len(row)
+	if n < 2*lanes {
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		return mx
+	}
+	h := row[0:lanes:lanes]
+	m0, m1, m2, m3 := h[0], h[1], h[2], h[3]
+	m4, m5, m6, m7 := h[4], h[5], h[6], h[7]
+	j := lanes
+	for ; j+lanes <= n; j += lanes {
+		s := row[j : j+lanes : j+lanes]
+		if s[0] > m0 {
+			m0 = s[0]
+		}
+		if s[1] > m1 {
+			m1 = s[1]
+		}
+		if s[2] > m2 {
+			m2 = s[2]
+		}
+		if s[3] > m3 {
+			m3 = s[3]
+		}
+		if s[4] > m4 {
+			m4 = s[4]
+		}
+		if s[5] > m5 {
+			m5 = s[5]
+		}
+		if s[6] > m6 {
+			m6 = s[6]
+		}
+		if s[7] > m7 {
+			m7 = s[7]
+		}
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	if m2 > m0 {
+		m0 = m2
+	}
+	if m3 > m0 {
+		m0 = m3
+	}
+	if m4 > m0 {
+		m0 = m4
+	}
+	if m5 > m0 {
+		m0 = m5
+	}
+	if m6 > m0 {
+		m0 = m6
+	}
+	if m7 > m0 {
+		m0 = m7
+	}
+	for ; j < n; j++ {
+		if row[j] > m0 {
+			m0 = row[j]
+		}
+	}
+	return m0
+}
+
+// addLanes computes dst = a + b elementwise; bit-identical to the scalar
+// loop (independent elements, ascending order).
+func addLanes(dst, a, b []float32) {
+	n := len(a)
+	i := 0
+	for ; i+lanes <= n; i += lanes {
+		d := dst[i : i+lanes : i+lanes]
+		x := a[i : i+lanes : i+lanes]
+		y := b[i : i+lanes : i+lanes]
+		d[0] = x[0] + y[0]
+		d[1] = x[1] + y[1]
+		d[2] = x[2] + y[2]
+		d[3] = x[3] + y[3]
+		d[4] = x[4] + y[4]
+		d[5] = x[5] + y[5]
+		d[6] = x[6] + y[6]
+		d[7] = x[7] + y[7]
+	}
+	for ; i < n; i++ {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// mulLanes computes dst = a * b elementwise; bit-identical to the scalar
+// loop.
+func mulLanes(dst, a, b []float32) {
+	n := len(a)
+	i := 0
+	for ; i+lanes <= n; i += lanes {
+		d := dst[i : i+lanes : i+lanes]
+		x := a[i : i+lanes : i+lanes]
+		y := b[i : i+lanes : i+lanes]
+		d[0] = x[0] * y[0]
+		d[1] = x[1] * y[1]
+		d[2] = x[2] * y[2]
+		d[3] = x[3] * y[3]
+		d[4] = x[4] * y[4]
+		d[5] = x[5] * y[5]
+		d[6] = x[6] * y[6]
+		d[7] = x[7] * y[7]
+	}
+	for ; i < n; i++ {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// scaleLanes multiplies x by alpha in place; bit-identical to the scalar
+// loop.
+func scaleLanes(alpha float32, x []float32) {
+	n := len(x)
+	i := 0
+	for ; i+lanes <= n; i += lanes {
+		s := x[i : i+lanes : i+lanes]
+		s[0] *= alpha
+		s[1] *= alpha
+		s[2] *= alpha
+		s[3] *= alpha
+		s[4] *= alpha
+		s[5] *= alpha
+		s[6] *= alpha
+		s[7] *= alpha
+	}
+	for ; i < n; i++ {
+		x[i] *= alpha
+	}
+}
+
+// geluLanes applies geluScalar to eight elements per iteration. The
+// transcendental dominates, but the unroll removes the per-element loop
+// overhead and lets independent tanh evaluations overlap. Per-element
+// arithmetic is unchanged, so results are bit-identical to the scalar
+// loop; statement order within a block matches the serial loop, so the
+// documented dst/x aliasing behaves identically too.
+func geluLanes(dst, x []float32) {
+	n := len(x)
+	i := 0
+	for ; i+lanes <= n; i += lanes {
+		d := dst[i : i+lanes : i+lanes]
+		s := x[i : i+lanes : i+lanes]
+		d[0] = geluScalar(s[0])
+		d[1] = geluScalar(s[1])
+		d[2] = geluScalar(s[2])
+		d[3] = geluScalar(s[3])
+		d[4] = geluScalar(s[4])
+		d[5] = geluScalar(s[5])
+		d[6] = geluScalar(s[6])
+		d[7] = geluScalar(s[7])
+	}
+	for ; i < n; i++ {
+		dst[i] = geluScalar(x[i])
+	}
+}

@@ -1,0 +1,165 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// The lane kernels' contract is bit-identity with the retained scalar
+// kernels (scalar.go) for every shape — including the remainder paths the
+// 8-wide blocks and the 4/2-row register blocking leave behind — and IEEE
+// NaN/Inf propagation through the unrolled accumulators. These tests pin
+// both down against MatMulScalar / EncodeHalfScalar / DecodeHalfScalar /
+// hasNaNOrInfScalar, which keep the pre-vectorization loops alive exactly
+// for this purpose.
+
+// matmulShapes stresses every remainder combination: below one lane, odd
+// row counts that exercise the 4-, 2- and 1-row tails, prime dims with
+// n%8 != 0, and lane-aligned shapes.
+var matmulShapes = []struct{ m, k, n int }{
+	{1, 1, 1}, {1, 7, 1}, {7, 13, 5}, {2, 3, 9},
+	{3, 8, 8}, {5, 5, 5}, {13, 17, 19}, {31, 29, 23},
+	{8, 8, 8}, {16, 32, 24}, {9, 16, 17}, {6, 1, 7},
+}
+
+func TestMatMulRemainderLanesMatchScalar(t *testing.T) {
+	for _, sh := range matmulShapes {
+		a := make([]float32, sh.m*sh.k)
+		b := make([]float32, sh.k*sh.n)
+		fillRandom(NewRNG(uint64(sh.m*1000+sh.k*10+sh.n)), a)
+		fillRandom(NewRNG(uint64(sh.n*1000+sh.k)), b)
+		want := make([]float32, sh.m*sh.n)
+		got := make([]float32, sh.m*sh.n)
+		MatMulScalar(want, a, b, sh.m, sh.k, sh.n)
+		MatMul(got, a, b, sh.m, sh.k, sh.n)
+		assertBitsEqual(t, "MatMul", sh.m, sh.k, sh.n, got, want)
+		for _, be := range []Backend{Reference(), Parallel()} {
+			be.MatMul(got, a, b, sh.m, sh.k, sh.n)
+			assertBitsEqual(t, "backend "+be.Name(), sh.m, sh.k, sh.n, got, want)
+		}
+	}
+}
+
+// NaN and Inf in B disable the zero-skip fast path, so the non-finite
+// values must flow through the unrolled multi-row accumulators exactly as
+// through the scalar loop — same NaN payload bits included.
+func TestMatMulNaNInfThroughUnrolledAccumulators(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	for _, sh := range matmulShapes {
+		a := make([]float32, sh.m*sh.k)
+		b := make([]float32, sh.k*sh.n)
+		fillRandom(NewRNG(uint64(sh.m+sh.k+sh.n)), a)
+		fillRandom(NewRNG(uint64(sh.k*sh.n)), b)
+		// Zeros in A meet NaN/Inf in B: 0*NaN and 0*Inf must surface.
+		a[0] = 0
+		b[0] = nan
+		b[len(b)-1] = inf
+		if len(b) > 2 {
+			b[len(b)/2] = -inf
+		}
+		want := make([]float32, sh.m*sh.n)
+		got := make([]float32, sh.m*sh.n)
+		MatMulScalar(want, a, b, sh.m, sh.k, sh.n)
+		MatMul(got, a, b, sh.m, sh.k, sh.n)
+		assertBitsEqual(t, "MatMul NaN/Inf", sh.m, sh.k, sh.n, got, want)
+	}
+}
+
+func assertBitsEqual(t *testing.T, what string, m, k, n int, got, want []float32) {
+	t.Helper()
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s %dx%dx%d: [%d] = %x (%g), scalar %x (%g)",
+				what, m, k, n, i, math.Float32bits(got[i]), got[i],
+				math.Float32bits(want[i]), want[i])
+		}
+	}
+}
+
+// codecInputs builds a vector that forces every encode path: fast-class
+// blocks (normals, zeros), slow-class lanes (NaN, Inf, subnormal results,
+// overflow) mixed into otherwise-fast blocks, and RNE tie values.
+func codecInputs() []float32 {
+	src := []float32{
+		0, float32(math.Copysign(0, -1)), 1, -1, 65504, -65504, 65520, 1e9,
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+		5.9604645e-08, 6.1035156e-05, 6.0975552e-05, 1.0009765625, 0.33325195,
+		2.980232e-08, -2.9802326e-08, 3.05175781e-05, -1.52587891e-05,
+	}
+	rng := NewRNG(99)
+	tail := make([]float32, 4096)
+	rng.FillNormal(tail, 4)
+	for i := range tail {
+		switch i % 16 {
+		case 3:
+			tail[i] = 0
+		case 7:
+			tail[i] = float32(math.NaN()) // slow lane inside a fast block
+		case 11:
+			tail[i] *= 1e-6 // subnormal half range
+		case 13:
+			tail[i] *= 1e6 // overflow range
+		}
+	}
+	return append(src, tail...)
+}
+
+func TestEncodeHalfMatchesScalarAllLengths(t *testing.T) {
+	src := codecInputs()
+	// Every length from 0 to a few blocks exercises every tail size, then
+	// the full mixed vector.
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 33, len(src)} {
+		want := make([]Half, n)
+		got := make([]Half, n)
+		EncodeHalfScalar(want, src[:n])
+		EncodeHalf(got, src[:n])
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("EncodeHalf len %d: [%d] = %#04x, scalar %#04x (src %g)",
+					n, i, got[i], want[i], src[i])
+			}
+		}
+	}
+}
+
+func TestDecodeHalfMatchesScalarAllLengths(t *testing.T) {
+	hs := make([]Half, 4096)
+	for i := range hs {
+		hs[i] = Half(i * 37) // strides over normals, subnormals, NaN space
+	}
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 31, 33, len(hs)} {
+		want := make([]float32, n)
+		got := make([]float32, n)
+		DecodeHalfScalar(want, hs[:n])
+		DecodeHalf(got, hs[:n])
+		for i := range want {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("DecodeHalf len %d: [%d] = %g, scalar %g", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// HasNaNOrInf's carry-bit block scan must agree with the IsNaN/IsInf scalar
+// scan for a non-finite value at every lane position and in the tail.
+func TestHasNaNOrInfMatchesScalarEveryLane(t *testing.T) {
+	bad := []float32{float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1))}
+	for _, n := range []int{1, 7, 8, 9, 16, 23, 64} {
+		x := make([]float32, n)
+		fillRandom(NewRNG(uint64(n)), x)
+		if HasNaNOrInf(x) != hasNaNOrInfScalar(x) || HasNaNOrInf(x) {
+			t.Fatalf("len %d finite: lane scan disagrees with scalar", n)
+		}
+		for pos := 0; pos < n; pos++ {
+			for _, v := range bad {
+				save := x[pos]
+				x[pos] = v
+				if !HasNaNOrInf(x) || !hasNaNOrInfScalar(x) {
+					t.Fatalf("len %d: %g at [%d] not detected", n, v, pos)
+				}
+				x[pos] = save
+			}
+		}
+	}
+}

@@ -15,10 +15,13 @@ import (
 
 // inflightGather is one speculatively issued allgather. The source shard is
 // the engine's own (stable until the optimizer phase, which runs after the
-// drain), so only the destination needs to be carried. It is stored by value
-// so tracking in-flight gathers allocates nothing.
+// drain), so only the destination needs to be carried: the fused
+// allgather+decode's float32 buffer under 1/dp slicing (full), or the fp16
+// view under owner-rank broadcast (fullH) — exactly one is non-nil. It is
+// stored by value so tracking in-flight gathers allocates nothing.
 type inflightGather struct {
 	ticket comm.Ticket
+	full   []float32
 	fullH  []tensor.Half
 }
 
@@ -45,19 +48,21 @@ func newGatherPrefetcher(e *Z3Engine, depth int) *gatherPrefetcher {
 	}
 }
 
-// claim hands back the speculative allgather for p, if one is in flight.
-// The returned buffer belongs to the engine's fp16 arena; the caller Puts
+// claim hands back the speculative gather for p, if one is in flight:
+// the already-decoded float32 buffer (fused allgather+decode, slicing) or
+// the fp16 view (broadcast). The float32 buffer becomes the parameter's
+// data; the fp16 buffer belongs to the engine's arena and the caller Puts
 // it back after decoding.
-func (pf *gatherPrefetcher) claim(p *module.Param) []tensor.Half {
+func (pf *gatherPrefetcher) claim(p *module.Param) ([]float32, []tensor.Half) {
 	f, ok := pf.inflight[p]
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	f.ticket.Wait()
 	delete(pf.inflight, p)
 	pf.outstanding--
 	pf.e.PrefetchHits++
-	return f.fullH
+	return f.full, f.fullH
 }
 
 // issue launches gathers for the next depth upcoming parameters:
@@ -76,18 +81,16 @@ func (pf *gatherPrefetcher) issue() {
 		if _, ok := pf.inflight[p]; ok {
 			return true
 		}
-		var fullH []tensor.Half
-		var tk comm.Ticket
+		var g inflightGather
 		if e.cfg.Partition == PartitionBroadcast {
-			var owner int
-			fullH, owner = e.bcastFullH(p)
-			tk = e.c.BroadcastHalfAsync(fullH, owner)
+			fullH, owner := e.bcastFullH(p)
+			g = inflightGather{ticket: e.c.BroadcastHalfAsync(fullH, owner), fullH: fullH}
 		} else {
 			s := comm.ShardLen(p.Len(), dp)
-			fullH = e.f16.Get(s * dp)
-			tk = e.c.AllGatherHalfAsync(fullH, e.shard[p])
+			full := e.f32.Get(s * dp)
+			g = inflightGather{ticket: e.c.AllGatherHalfDecodeAsync(full, e.shard[p]), full: full}
 		}
-		pf.inflight[p] = inflightGather{ticket: tk, fullH: fullH}
+		pf.inflight[p] = g
 		pf.outstanding++
 		e.PrefetchIssued++
 		return true
@@ -100,7 +103,11 @@ func (pf *gatherPrefetcher) issue() {
 func (pf *gatherPrefetcher) endStep() {
 	for p, f := range pf.inflight {
 		f.ticket.Wait()
-		pf.e.f16.Put(f.fullH)
+		if f.full != nil {
+			pf.e.f32.Put(f.full)
+		} else {
+			pf.e.f16.Put(f.fullH)
+		}
 		delete(pf.inflight, p)
 	}
 	pf.outstanding = 0

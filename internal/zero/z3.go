@@ -194,9 +194,11 @@ func (e *Z3Engine) CommTraffic() map[string]comm.TrafficStats { return e.c.Traff
 // CommTrafficTotal returns the all-kinds traffic total.
 func (e *Z3Engine) CommTrafficTotal() comm.TrafficStats { return e.c.TrafficTotal() }
 
-// gather materializes p's full fp16 values: an all-links allgather of the
-// 1/dp slices under PartitionSlice, a broadcast from the owning rank under
-// PartitionBroadcast. With prefetch enabled, a speculatively issued
+// gather materializes p's full fp16-rounded values: a fused
+// allgather+decode of the 1/dp slices under PartitionSlice (the collective
+// delivers float32 directly, skipping the full-size intermediate fp16 pass),
+// a broadcast from the owning rank under PartitionBroadcast (fp16 on the
+// wire, decoded here). With prefetch enabled, a speculatively issued
 // collective is claimed instead of stalling on a fresh one, and collectives
 // for the next trace entries are issued before returning to compute. All
 // transient buffers cycle through the engine arenas.
@@ -208,23 +210,28 @@ func (e *Z3Engine) gather(p *module.Param) {
 		e.prefetch.trace.Observe(p)
 	}
 	dp := e.c.Size()
+	var full []float32
 	var fullH []tensor.Half
 	if e.prefetch != nil {
-		fullH = e.prefetch.claim(p)
+		full, fullH = e.prefetch.claim(p)
 	}
-	if fullH == nil {
+	if full == nil && fullH == nil {
 		if e.cfg.Partition == PartitionBroadcast {
 			fullH, _ = e.bcastFullH(p)
 			e.c.BroadcastHalf(fullH, e.bcastOwner[p])
 		} else {
 			s := comm.ShardLen(p.Len(), dp)
-			fullH = e.f16.Get(s * dp)
-			e.c.AllGatherHalf(fullH, e.shard[p])
+			full = e.f32.Get(s * dp)
+			e.c.AllGatherHalfDecode(full, e.shard[p])
 		}
 	}
-	full := e.f32.Get(p.Len())
-	e.rt.Backend().DecodeHalf(full, fullH[:p.Len()])
-	e.f16.Put(fullH)
+	if full == nil {
+		full = e.f32.Get(p.Len())
+		e.rt.Backend().DecodeHalf(full, fullH[:p.Len()])
+		e.f16.Put(fullH)
+	} else {
+		full = full[:p.Len()]
+	}
 	p.SetData(full)
 	e.Gathers++
 	if !e.traceDone {
@@ -542,19 +549,19 @@ func (e *Z3Engine) FullParams() map[string][]float32 {
 	dp := e.c.Size()
 	out := make(map[string][]float32, len(e.params))
 	for _, p := range e.params {
-		var fullH []tensor.Half
+		v := make([]float32, p.Len())
 		if e.cfg.Partition == PartitionBroadcast {
-			var owner int
-			fullH, owner = e.bcastFullH(p)
+			fullH, owner := e.bcastFullH(p)
 			e.c.BroadcastHalf(fullH, owner)
+			tensor.DecodeHalf(v, fullH[:p.Len()])
+			e.f16.Put(fullH)
 		} else {
 			s := comm.ShardLen(p.Len(), dp)
-			fullH = e.f16.Get(s * dp)
-			e.c.AllGatherHalf(fullH, e.shard[p])
+			full := e.f32.Get(s * dp)
+			e.c.AllGatherHalfDecode(full, e.shard[p])
+			copy(v, full[:p.Len()])
+			e.f32.Put(full)
 		}
-		v := make([]float32, p.Len())
-		tensor.DecodeHalf(v, fullH[:p.Len()])
-		e.f16.Put(fullH)
 		out[p.Name] = v
 	}
 	return out
