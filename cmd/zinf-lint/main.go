@@ -1,0 +1,111 @@
+// zinf-lint is the repo's static-analysis multichecker: it runs the
+// internal/analysis suite (hotpathalloc, pinnedleak, ticketawait, detfloat)
+// over the module and exits non-zero on any diagnostic, go-vet-style.
+//
+// Usage:
+//
+//	go run ./cmd/zinf-lint ./...          # whole module (what CI runs)
+//	go run ./cmd/zinf-lint ./internal/zero ./internal/comm
+//	go run ./cmd/zinf-lint -list          # describe the analyzers
+//	go run ./cmd/zinf-lint -run pinnedleak,ticketawait ./...
+//
+// Suppressions (//zinf:allow <analyzer> <reason>) are counted and reported
+// on stderr so the escape-hatch budget stays visible; an allow without a
+// reason, or one that no longer suppresses anything, is itself an error.
+//
+// The suite is built on the standard library's go/ast + go/types only (the
+// repo is dependency-free by policy), so unlike x/tools-based vettools it
+// loads and type-checks the module itself rather than running under
+// `go vet -vettool`; the output format is vet-compatible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	run := flag.String("run", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: zinf-lint [-run a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *run != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "zinf-lint: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zinf-lint:", err)
+		os.Exit(2)
+	}
+	root, modulePath, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zinf-lint:", err)
+		os.Exit(2)
+	}
+
+	res, err := analysis.Run(root, modulePath, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zinf-lint:", err)
+		os.Exit(2)
+	}
+
+	// The allow budget: every suppression that fired, per analyzer.
+	if len(res.Allows) > 0 {
+		var names []string
+		total := 0
+		for name, n := range res.Allows {
+			names = append(names, fmt.Sprintf("%s=%d", name, n))
+			total += n
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "zinf-lint: %d //zinf:allow suppression(s) in effect (%s)\n",
+			total, strings.Join(names, ", "))
+	}
+
+	if len(res.Diagnostics) == 0 {
+		return
+	}
+	// Loader state is gone here; rebuild positions through a fresh fset is
+	// unnecessary — Run formats positions into the message via Index.
+	for _, d := range res.Diagnostics {
+		fmt.Println(d.Formatted)
+	}
+	fmt.Fprintf(os.Stderr, "zinf-lint: %d diagnostic(s)\n", len(res.Diagnostics))
+	os.Exit(1)
+}

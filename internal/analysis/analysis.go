@@ -1,0 +1,321 @@
+// Package analysis is zinf-lint: a repo-specific static-analysis suite that
+// promotes this codebase's dynamic invariants — allocation-free steady-state
+// steps, leak-free pinned/arena buffer handling, always-awaited async
+// collective tickets, and deterministic rank-order float accumulation — from
+// "a test might catch it" to "the build refuses it".
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic) so the analyzers read like standard vet checks, but the
+// framework is implemented on the standard library's go/ast + go/types only:
+// the repo is dependency-free by policy, so the x/tools driver machinery
+// (multichecker, analysistest, packages) is reimplemented here in miniature
+// (load.go, run.go, analysistest_test.go).
+//
+// Directives understood in source:
+//
+//	//zinf:hotpath
+//	    On a function's doc comment: the function is part of the
+//	    steady-state training step and must not contain
+//	    allocation-introducing constructs (see hotpathalloc). The property
+//	    is transitive: a hotpath function may only statically call local
+//	    functions that are themselves marked //zinf:hotpath.
+//
+//	//zinf:allow <analyzer> <reason>
+//	    Suppresses <analyzer>'s diagnostics on the same line (trailing
+//	    comment) or on the line directly below (comment-above style). The
+//	    reason is mandatory; allows are counted and reported by zinf-lint,
+//	    and unused allows are themselves errors so suppressions cannot
+//	    outlive the code they excuse.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check, x/tools-style.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass provides one analyzer with one package plus the module-wide Index.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Index     *Index
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding. Analyzer and Formatted are filled in by the
+// driver (Formatted is the go-vet-style "file:line:col: message [analyzer]"
+// rendering, usable after the loader's FileSet is gone).
+type Diagnostic struct {
+	Analyzer  string
+	Pos       token.Pos
+	Message   string
+	Formatted string
+}
+
+// DirectiveAnalyzer is the pseudo-analyzer name under which the framework
+// reports malformed or unused //zinf: directives.
+const DirectiveAnalyzer = "zinfdirective"
+
+// allowDirective is one parsed //zinf:allow comment.
+type allowDirective struct {
+	file     string
+	line     int
+	pos      token.Pos
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// Index is the module-wide cross-package state shared by every pass:
+// which functions carry //zinf:hotpath, which packages are local (for the
+// transitivity rule), and the allow table.
+type Index struct {
+	Fset     *token.FileSet
+	Packages map[string]*Package // every loaded local package, keyed by path
+
+	// HotPath records functions whose doc comment carries //zinf:hotpath.
+	// Keys are the generic origin (*types.Func.Origin), so instantiated
+	// calls of generic helpers resolve to the annotated declaration.
+	HotPath map[*types.Func]bool
+	// Decl maps a function object back to its declaration.
+	Decl map[*types.Func]*ast.FuncDecl
+
+	allows []*allowDirective
+	diags  []Diagnostic // framework diagnostics (malformed directives)
+}
+
+// Local reports whether pkg is part of the analyzed source root (as opposed
+// to the standard library); the hotpath transitivity rule applies only to
+// local callees.
+func (ix *Index) Local(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	_, ok := ix.Packages[pkg.Path()]
+	return ok
+}
+
+// BuildIndex scans every loaded package for //zinf: directives.
+func BuildIndex(fset *token.FileSet, pkgs map[string]*Package) *Index {
+	ix := &Index{
+		Fset:     fset,
+		Packages: pkgs,
+		HotPath:  make(map[*types.Func]bool),
+		Decl:     make(map[*types.Func]*ast.FuncDecl),
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ix.scanFile(p, f)
+		}
+	}
+	return ix
+}
+
+func (ix *Index) scanFile(p *Package, f *ast.File) {
+	// Function declarations: record objects and hotpath marks.
+	docs := make(map[*ast.CommentGroup]bool)
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+		if fn == nil {
+			continue
+		}
+		fn = fn.Origin()
+		ix.Decl[fn] = fd
+		if fd.Doc != nil {
+			docs[fd.Doc] = true
+			for _, c := range fd.Doc.List {
+				if directiveName(c.Text) == "hotpath" {
+					ix.HotPath[fn] = true
+				}
+			}
+		}
+	}
+	// All comments: allow table + malformed-directive checks.
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			name := directiveName(c.Text)
+			switch name {
+			case "":
+				continue
+			case "hotpath":
+				if !docs[cg] {
+					ix.diags = append(ix.diags, Diagnostic{
+						Analyzer: DirectiveAnalyzer, Pos: c.Pos(),
+						Message: "//zinf:hotpath must be in a function's doc comment",
+					})
+				}
+			case "allow":
+				rest := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//zinf:allow"), " ")
+				analyzer, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				pos := ix.Fset.Position(c.Pos())
+				if analyzer == "" || reason == "" {
+					ix.diags = append(ix.diags, Diagnostic{
+						Analyzer: DirectiveAnalyzer, Pos: c.Pos(),
+						Message: "//zinf:allow requires an analyzer name and a reason: //zinf:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				ix.allows = append(ix.allows, &allowDirective{
+					file: pos.Filename, line: pos.Line, pos: c.Pos(),
+					analyzer: analyzer, reason: reason,
+				})
+			default:
+				ix.diags = append(ix.diags, Diagnostic{
+					Analyzer: DirectiveAnalyzer, Pos: c.Pos(),
+					Message: fmt.Sprintf("unknown directive //zinf:%s (known: hotpath, allow)", name),
+				})
+			}
+		}
+	}
+}
+
+// directiveName returns the word after "//zinf:" for directive comments,
+// "" otherwise. Like //go: directives, no space is permitted after "//".
+func directiveName(text string) string {
+	rest, ok := strings.CutPrefix(text, "//zinf:")
+	if !ok {
+		return ""
+	}
+	name, _, _ := strings.Cut(rest, " ")
+	return strings.TrimSpace(name)
+}
+
+// suppressed reports whether d is excused by an allow directive on its line
+// or on the line directly above, marking the directive used.
+func (ix *Index) suppressed(d Diagnostic) bool {
+	pos := ix.Fset.Position(d.Pos)
+	for _, a := range ix.allows {
+		if a.analyzer != d.Analyzer || a.file != pos.Filename {
+			continue
+		}
+		if a.line == pos.Line || a.line == pos.Line-1 {
+			a.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Result is one zinf-lint run's outcome.
+type Result struct {
+	Diagnostics []Diagnostic
+	// Allows counts the //zinf:allow suppressions that fired, per analyzer
+	// (the "escape hatch budget" the driver reports).
+	Allows map[string]int
+}
+
+// Run executes the analyzers over the packages matched by patterns under
+// root (a module root with modulePath, or a fixture root with modulePath
+// ""), returning allow-filtered diagnostics sorted by position.
+func Run(root, modulePath string, patterns []string, analyzers []*Analyzer) (*Result, error) {
+	l := NewLoader(root, modulePath)
+	targets, err := l.Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	return runOn(l, targets, analyzers)
+}
+
+func runOn(l *Loader, targets []*Package, analyzers []*Analyzer) (*Result, error) {
+	ix := BuildIndex(l.Fset, l.All())
+	var raw []Diagnostic
+	for _, p := range targets {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      l.Fset,
+				Files:     p.Files,
+				Pkg:       p.Pkg,
+				TypesInfo: p.Info,
+				Index:     ix,
+				Report: func(d Diagnostic) {
+					d.Analyzer = a.Name
+					raw = append(raw, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, p.Path, err)
+			}
+		}
+	}
+
+	res := &Result{Allows: make(map[string]int)}
+	for _, d := range raw {
+		if ix.suppressed(d) {
+			res.Allows[d.Analyzer]++
+			continue
+		}
+		res.Diagnostics = append(res.Diagnostics, d)
+	}
+	// Framework diagnostics: malformed directives, then unused allows —
+	// restricted to the target packages so a partial run doesn't complain
+	// about dependencies it wasn't asked to lint.
+	inTargets := func(pos token.Pos) bool {
+		dir := filepath.Dir(l.Fset.Position(pos).Filename)
+		for _, p := range targets {
+			if dir == p.Dir {
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range ix.diags {
+		if inTargets(d.Pos) {
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	for _, a := range ix.allows {
+		if !a.used && inTargets(a.pos) {
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Analyzer: DirectiveAnalyzer, Pos: a.pos,
+				Message: fmt.Sprintf("unused //zinf:allow %s directive (nothing to suppress here — remove it)", a.analyzer),
+			})
+		}
+	}
+	sort.SliceStable(res.Diagnostics, func(i, j int) bool {
+		return res.Diagnostics[i].Pos < res.Diagnostics[j].Pos
+	})
+	for i := range res.Diagnostics {
+		res.Diagnostics[i].Formatted = FormatDiag(l.Fset, res.Diagnostics[i])
+	}
+	return res, nil
+}
+
+// Format renders d as a go-vet-style line.
+func (ix *Index) Format(d Diagnostic) string {
+	return fmt.Sprintf("%s: %s [%s]", ix.Fset.Position(d.Pos), d.Message, d.Analyzer)
+}
+
+// FormatDiag renders d against fset.
+func FormatDiag(fset *token.FileSet, d Diagnostic) string {
+	return fmt.Sprintf("%s: %s [%s]", fset.Position(d.Pos), d.Message, d.Analyzer)
+}
+
+// All returns the four production analyzers in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{HotPathAlloc, PinnedLeak, TicketAwait, DetFloat}
+}

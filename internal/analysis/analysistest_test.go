@@ -1,0 +1,145 @@
+package analysis
+
+// A minimal analysistest-style harness: fixture packages under
+// testdata/src/ carry `// want `+"`regex`"+`` trailing comments, and every
+// diagnostic the analyzers emit must match exactly one want (and vice
+// versa). `// want+N` anchors the expectation N lines below the comment,
+// which is how directive-position diagnostics are expressed (a line comment
+// cannot carry a second comment after it).
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	wantRe    = regexp.MustCompile("// want(\\+[0-9]+)? (.+)$")
+	wantArgRe = regexp.MustCompile("`([^`]+)`")
+	diagRe    = regexp.MustCompile(`^(.+?\.go):([0-9]+):([0-9]+): (.+) \[([a-z]+)\]$`)
+)
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// parseWants collects want expectations from every .go file in dir, keyed
+// by the file and line the diagnostic must land on.
+func parseWants(t *testing.T, dir string) map[wantKey][]string {
+	t.Helper()
+	wants := make(map[wantKey][]string)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			off := 0
+			if m[1] != "" {
+				off, _ = strconv.Atoi(m[1][1:])
+			}
+			args := wantArgRe.FindAllStringSubmatch(m[2], -1)
+			if len(args) == 0 {
+				t.Fatalf("%s:%d: want comment without a backquoted pattern", path, i+1)
+			}
+			k := wantKey{file: filepath.Clean(path), line: i + 1 + off}
+			for _, a := range args {
+				wants[k] = append(wants[k], a[1])
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture analyzes one fixture package and checks its diagnostics
+// against the want comments.
+func runFixture(t *testing.T, pkg string, analyzers ...*Analyzer) *Result {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(root, "", []string{"./" + pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	wants := parseWants(t, filepath.Join(root, pkg))
+
+	for _, d := range res.Diagnostics {
+		m := diagRe.FindStringSubmatch(d.Formatted)
+		if m == nil {
+			t.Errorf("unparseable diagnostic: %s", d.Formatted)
+			continue
+		}
+		line, _ := strconv.Atoi(m[2])
+		k := wantKey{file: filepath.Clean(m[1]), line: line}
+		matched := false
+		for i, pat := range wants[k] {
+			if pat == "" {
+				continue
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", k.file, k.line, pat, err)
+			}
+			if re.MatchString(m[4]) {
+				wants[k][i] = "" // consume
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d.Formatted)
+		}
+	}
+	for k, pats := range wants {
+		for _, pat := range pats {
+			if pat != "" {
+				t.Errorf("%s:%d: no diagnostic matched %q", k.file, k.line, pat)
+			}
+		}
+	}
+	return res
+}
+
+func TestHotPathAllocFixture(t *testing.T) {
+	runFixture(t, "hotpath", HotPathAlloc)
+}
+
+func TestPinnedLeakFixture(t *testing.T) {
+	runFixture(t, "pinned", PinnedLeak)
+}
+
+func TestTicketAwaitFixture(t *testing.T) {
+	res := runFixture(t, "ticket", TicketAwait)
+	if res.Allows["ticketawait"] == 0 {
+		t.Error("expected the fire-and-forget //zinf:allow to register a suppression")
+	}
+}
+
+func TestDetFloatFixture(t *testing.T) {
+	runFixture(t, "zero", DetFloat)
+}
+
+func TestAllowFixture(t *testing.T) {
+	res := runFixture(t, "allowdir", HotPathAlloc)
+	if res.Allows["hotpathalloc"] == 0 {
+		t.Error("expected the reasoned //zinf:allow to register a suppression")
+	}
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetFloat guards the bit-identity contract (PR 1/PR 5): every engine,
+// backend, topology and partition strategy must produce byte-identical
+// trajectories, which requires every floating-point reduction to accumulate
+// in a deterministic global rank order. In the packages that carry that
+// contract (comm, zero, tensor) it forbids:
+//
+//   - math.FMA — contracts the intermediate rounding step, so results
+//     diverge from the two-op reference on platforms that lower it
+//     differently;
+//   - floating-point accumulation inside `range` over a map — Go randomizes
+//     map iteration order, so a sum folded over it is a different
+//     permutation (and a different fp32 rounding sequence) every run.
+//
+// Reductions must instead iterate slices in index order (the rank-order
+// accumulation in comm's compute functions is the canonical pattern).
+var DetFloat = &Analyzer{
+	Name: "detfloat",
+	Doc:  "forbid nondeterministic float accumulation (math.FMA, reductions over map iteration) in bit-identity packages",
+	Run:  runDetFloat,
+}
+
+// detFloatPkgs are the package names carrying the bit-identity contract.
+var detFloatPkgs = map[string]bool{"comm": true, "zero": true, "tensor": true}
+
+func runDetFloat(pass *Pass) error {
+	if !detFloatPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calledMethod(info, n); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "math" && fn.Name() == "FMA" {
+					pass.Reportf(n.Pos(), "math.FMA skips the intermediate rounding and breaks cross-platform bit-identity; use separate multiply and add")
+				}
+			case *ast.RangeStmt:
+				t := info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRangeBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRangeBody flags float accumulation statements inside a map-range
+// body: compound assignments (+=, -=, *=, /=) on float operands, and
+// x = x <op> ... float self-updates.
+func checkMapRangeBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	isFloat := func(e ast.Expr) bool {
+		t := info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if len(as.Lhs) == 1 && isFloat(as.Lhs[0]) {
+				pass.Reportf(as.Pos(), "float accumulation inside range-over-map folds in random iteration order and breaks bit-identity; iterate a deterministically ordered slice instead")
+			}
+		case token.ASSIGN:
+			for i := range as.Lhs {
+				if i >= len(as.Rhs) || !isFloat(as.Lhs[i]) {
+					continue
+				}
+				if bin, ok := ast.Unparen(as.Rhs[i]).(*ast.BinaryExpr); ok {
+					lhs := types.ExprString(as.Lhs[i])
+					if types.ExprString(bin.X) == lhs || types.ExprString(bin.Y) == lhs {
+						pass.Reportf(as.Pos(), "float accumulation inside range-over-map folds in random iteration order and breaks bit-identity; iterate a deterministically ordered slice instead")
+					}
+				}
+			}
+		}
+		return true
+	})
+}

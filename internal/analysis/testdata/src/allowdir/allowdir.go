@@ -1,0 +1,39 @@
+// Package allowdir exercises the //zinf: directive machinery: a reasoned
+// inline allow suppresses its diagnostic, while unused, reason-less and
+// misplaced directives are themselves errors.
+package allowdir
+
+// Hot carries a deliberate allocation excused by an inline allow; no
+// diagnostic must surface for it.
+//
+//zinf:hotpath
+func Hot(n int) []byte {
+	return make([]byte, n) //zinf:allow hotpathalloc fixture demonstrates a reasoned inline suppression
+}
+
+// Stale has nothing to suppress, so its allow is flagged as unused.
+func Stale() {
+	// want+1 `unused //zinf:allow hotpathalloc directive`
+	//zinf:allow hotpathalloc there is nothing on this line to excuse
+	_ = 0
+}
+
+// NoReason omits the mandatory reason.
+func NoReason() {
+	// want+1 `//zinf:allow requires an analyzer name and a reason`
+	//zinf:allow hotpathalloc
+	_ = 0
+}
+
+// Misplaced puts the hotpath mark outside a function doc comment.
+func Misplaced() {
+	// want+1 `//zinf:hotpath must be in a function's doc comment`
+	//zinf:hotpath
+	_ = 0
+}
+
+// Bogus uses an unknown directive.
+// want+2 `unknown directive //zinf:bogus`
+//
+//zinf:bogus
+func Bogus() {}

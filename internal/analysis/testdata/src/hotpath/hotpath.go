@@ -1,0 +1,106 @@
+// Package hotpath exercises the hotpathalloc analyzer: every allocating
+// construct fires inside a marked function, the blessed idioms stay quiet.
+package hotpath
+
+import "fmt"
+
+var sink []int
+
+// helper is deliberately unmarked, so calling it from a hot path trips the
+// transitivity rule.
+func helper() int { return 1 }
+
+// noted is a marked no-op callee.
+//
+//zinf:hotpath
+func noted() {}
+
+// each calls yield on every index; its parameter appears only in call
+// position, so closures handed to it are borrowed, not escaping.
+//
+//zinf:hotpath
+func each(n int, yield func(int)) {
+	for i := 0; i < n; i++ {
+		yield(i)
+	}
+}
+
+// keep retains fn, so closures handed to it are NOT borrowed.
+//
+//zinf:hotpath
+func keep(fn func(int)) {
+	kept = fn
+}
+
+var kept func(int)
+
+type pair struct{ a, b int }
+
+// Alloc violates one allocation rule per line.
+//
+//zinf:hotpath
+func Alloc(m map[string]int, xs, ys []int, s, t string) []int {
+	buf := make([]int, 8) // want `make allocates in a hotpath function`
+	p := new(int)         // want `new allocates in a hotpath function`
+	xs = append(ys, 1)    // want `append into a fresh slice`
+	m[s] = len(xs)        // want `map write in a hotpath function`
+	u := s + t            // want `string concatenation allocates`
+	b := []byte(u)        // want `string conversion allocates`
+	fmt.Println()         // want `call to fmt.Println allocates`
+	n := helper()         // want `hotpath function calls hotpath.helper, which is not marked`
+	go noted()            // want `go statement allocates a goroutine`
+	xs = append(xs, n, *p, len(b), len(buf))
+	return xs
+}
+
+// Ref allocates through a pointer-taking composite literal.
+//
+//zinf:hotpath
+func Ref() *pair {
+	return &pair{} // want `&composite literal allocates`
+}
+
+// Boxes allocates by boxing a non-pointer-shaped value into an interface.
+//
+//zinf:hotpath
+func Boxes(n int) any {
+	var a any = n // want `boxing int into`
+	_ = a
+	return n // want `boxing int into`
+}
+
+// Closures: a retained capturing closure fires; a borrowed one does not.
+//
+//zinf:hotpath
+func Closures(n int) {
+	keep(func(i int) { sink[i] = n }) // want `closure captures n in a hotpath function`
+	each(n, func(i int) { sink[i] = n })
+}
+
+// BorrowedBody proves a borrowed closure's body is still checked as part of
+// the hot path.
+//
+//zinf:hotpath
+func BorrowedBody(n int) {
+	each(n, func(i int) {
+		_ = make([]int, i) // want `make allocates in a hotpath function`
+	})
+}
+
+// CleanAppend uses the two amortized-free self-append idioms.
+//
+//zinf:hotpath
+func CleanAppend(xs []int) []int {
+	xs = append(xs, 1)
+	xs = append(xs[:0], 2)
+	return xs
+}
+
+// Crash may allocate freely inside panic arguments: the process is dying.
+//
+//zinf:hotpath
+func Crash(kind string) {
+	if kind == "bad" {
+		panic(fmt.Sprintf("hotpath: bad kind %q", kind))
+	}
+}

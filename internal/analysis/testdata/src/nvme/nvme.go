@@ -1,0 +1,15 @@
+// Package nvme is a fixture stub mirroring the repo's internal/nvme ticket
+// surface for the ticketawait analyzer.
+package nvme
+
+// Ticket mirrors nvme.Ticket; Wait returns the I/O error.
+type Ticket struct{ err error }
+
+// Wait blocks until the I/O completes and returns its error.
+func (t *Ticket) Wait() error { return t.err }
+
+// Store mirrors the async I/O surface.
+type Store struct{}
+
+// WriteAsync issues an asynchronous write.
+func (s *Store) WriteAsync(off int64, b []byte) *Ticket { return &Ticket{} }

@@ -1,0 +1,89 @@
+// Package pinned exercises the pinnedleak analyzer against the stub mem
+// package: the PR 2 error-return leak shape fires, the engine idioms
+// (defer, ok-guard, escape into an in-flight record) stay quiet.
+package pinned
+
+import (
+	"errors"
+
+	"mem"
+)
+
+var errBoom = errors.New("boom")
+
+// LeakOnError is the historical bug shape: an error return between Acquire
+// and Release leaks the buffer.
+func LeakOnError(p *mem.PinnedPool, fail bool) error {
+	buf := p.Acquire() // want `pinned buffer from PinnedPool.Acquire is not released or handed off`
+	if fail {
+		return errBoom
+	}
+	p.Release(buf)
+	return nil
+}
+
+// ArenaLeak is the same shape through a size-classed arena.
+func ArenaLeak(a *mem.Arena[float32], fail bool) error {
+	s := a.Get(64) // want `arena buffer from Arena.Get is not released or handed off`
+	if fail {
+		return errBoom
+	}
+	a.Put(s)
+	return nil
+}
+
+// Overwritten drops the first buffer by reusing its variable.
+func Overwritten(p *mem.PinnedPool) {
+	buf := p.Acquire() // want `is overwritten at line \d+ before being released or handed off`
+	buf = p.Acquire()
+	p.Release(buf)
+}
+
+// Balanced releases on every path via defer.
+func Balanced(p *mem.PinnedPool, fail bool) error {
+	buf := p.Acquire()
+	defer p.Release(buf)
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// Guarded holds nothing on the failed-TryAcquire arm.
+func Guarded(p *mem.PinnedPool) {
+	buf, ok := p.TryAcquire()
+	if !ok {
+		return
+	}
+	p.Release(buf)
+}
+
+type inflight struct{ buf []byte }
+
+// Escapes hands the buffer off into an in-flight record; ownership moves
+// with it.
+func Escapes(p *mem.PinnedPool, dst *inflight) {
+	buf := p.Acquire()
+	*dst = inflight{buf: buf}
+}
+
+// Returned transfers ownership to the caller.
+func Returned(p *mem.PinnedPool) []byte {
+	buf := p.Acquire()
+	return buf
+}
+
+// SlicedRelease releases through a reslice of the tracked buffer.
+func SlicedRelease(p *mem.PinnedPool, n int) {
+	buf := p.Acquire()
+	p.Release(buf[:n])
+}
+
+// CrashPath may keep the buffer: the process is going down.
+func CrashPath(p *mem.PinnedPool, fail bool) {
+	buf := p.Acquire()
+	if fail {
+		panic("fatal")
+	}
+	p.Release(buf)
+}

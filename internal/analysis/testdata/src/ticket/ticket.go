@@ -1,0 +1,73 @@
+// Package ticket exercises the ticketawait analyzer against the stub comm
+// and nvme packages: dropped tickets fire, awaited and handed-off tickets
+// stay quiet, and //zinf:allow documents a deliberate fire-and-forget.
+package ticket
+
+import (
+	"comm"
+	"nvme"
+)
+
+// Dropped discards the ticket outright — the drain-barrier bug shape.
+func Dropped(c *comm.Comm, dst, src []uint16) {
+	c.ReduceScatterHalfAsync(dst, src) // want `ticket from ReduceScatterHalfAsync is discarded`
+}
+
+// DroppedBlank discards it explicitly.
+func DroppedBlank(c *comm.Comm, dst, src []uint16) {
+	_ = c.AllGatherHalfAsync(dst, src) // want `ticket from AllGatherHalfAsync is discarded via _`
+}
+
+// EarlyReturn leaks the ticket on the skip path.
+func EarlyReturn(c *comm.Comm, dst, src []uint16, skip bool) {
+	t := c.ReduceScatterHalfAsync(dst, src) // want `ticket from ReduceScatterHalfAsync is not awaited or handed off`
+	if skip {
+		return
+	}
+	t.Wait()
+}
+
+// DroppedWriteError skips the Wait on one path, losing the NVMe write error.
+func DroppedWriteError(s *nvme.Store, b []byte, skip bool) error {
+	t := s.WriteAsync(0, b) // want `ticket from WriteAsync is not awaited or handed off`
+	if skip {
+		return nil
+	}
+	return t.Wait()
+}
+
+// Awaited waits before returning.
+func Awaited(c *comm.Comm, dst, src []uint16) {
+	t := c.AllGatherHalfAsync(dst, src)
+	t.Wait()
+}
+
+// WaitError surfaces the NVMe error to the caller.
+func WaitError(s *nvme.Store, b []byte) error {
+	t := s.WriteAsync(0, b)
+	return t.Wait()
+}
+
+type pending struct {
+	t comm.Ticket
+}
+
+// HandOff stores the ticket in a pending record whose owner will drain it.
+func HandOff(c *comm.Comm, dst, src []uint16, q []pending) []pending {
+	q = append(q, pending{t: c.ReduceScatterHalfAsync(dst, src)})
+	return q
+}
+
+// PassedWhole hands the ticket to a drain helper, which owns the Wait.
+func PassedWhole(c *comm.Comm, dst, src []uint16) {
+	t := c.AllGatherHalfAsync(dst, src)
+	drain(t)
+}
+
+func drain(t comm.Ticket) { t.Wait() }
+
+// FireAndForget deliberately drops a ticket; the inline allow documents it.
+func FireAndForget(c *comm.Comm, dst, src []uint16) {
+	//zinf:allow ticketawait fixture demonstrates a documented fire-and-forget
+	c.ReduceScatterHalfAsync(dst, src)
+}

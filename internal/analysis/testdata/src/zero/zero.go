@@ -1,0 +1,47 @@
+// Package zero exercises the detfloat analyzer (it runs only in the
+// bit-identity packages comm, zero and tensor, so the fixture borrows the
+// zero package name).
+package zero
+
+import "math"
+
+// Fused uses the fused multiply-add, which skips a rounding step.
+func Fused(a, b, c float64) float64 {
+	return math.FMA(a, b, c) // want `math.FMA skips the intermediate rounding`
+}
+
+// SumMap folds float values in randomized map-iteration order.
+func SumMap(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `float accumulation inside range-over-map`
+	}
+	return s
+}
+
+// ScaledAssign is the x = x*v self-update form of the same fold.
+func ScaledAssign(m map[int]float32) float32 {
+	s := float32(1)
+	for _, v := range m {
+		s = s * v // want `float accumulation inside range-over-map`
+	}
+	return s
+}
+
+// SumSlice is the deterministic pattern: index order over a slice.
+func SumSlice(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// CountMap accumulates integers, which round the same in any order.
+func CountMap(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TicketAwait verifies that every asynchronous collective or NVMe ticket —
+// a comm.Ticket or *nvme.Ticket returned by the *Async collectives,
+// ReadRegion/WriteRegion and friends — reaches a Wait, or is handed off
+// into the machinery that will wait for it (an overlap.Pending record, an
+// in-flight struct, a deferred reaper) before the issuing function exits.
+// The PR 2 drain-barrier bug class — an async reduce-scatter whose ticket
+// never reaches the drain before the overflow check — and dropped NVMe
+// write errors both reduce to a locally held ticket leaking out of scope.
+var TicketAwait = &Analyzer{
+	Name: "ticketawait",
+	Doc:  "async collective/NVMe tickets must be awaited or handed off before function exit",
+	Run: func(pass *Pass) error {
+		return runObligations(pass, ticketSpec)
+	},
+}
+
+var ticketSpec = &obligationSpec{
+	noun: "async ticket",
+	acquire: func(info *types.Info, call *ast.CallExpr) (string, bool, bool) {
+		t := info.TypeOf(call)
+		if t == nil {
+			return "", false, false
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Name() != "Ticket" || named.Obj().Pkg() == nil {
+			return "", false, false
+		}
+		switch named.Obj().Pkg().Name() {
+		case "comm", "nvme":
+			name := "async ticket"
+			if fn := calledMethod(info, call); fn != nil {
+				name = "ticket from " + fn.Name()
+			}
+			return name, false, true
+		}
+		return "", false, false
+	},
+	wait: func(info *types.Info, sel *ast.SelectorExpr) bool {
+		return sel.Sel.Name == "Wait"
+	},
+	// A ticket passed whole to any function (overlap.Drain, a drain helper)
+	// is a hand-off: tickets are one-word records whose Wait the callee now
+	// owns. Buffers, by contrast, are borrowed by callees — see pinnedleak.
+	argEscapes: true,
+}

@@ -28,6 +28,8 @@ type Ticket struct {
 }
 
 // Wait blocks until the collective has completed on all ranks.
+//
+//zinf:hotpath
 func (t *Ticket) Wait() {
 	if t.op == nil {
 		return // degenerate or already-waited ticket
@@ -47,6 +49,8 @@ func (t *Ticket) Wait() {
 // asynchronously) performs the data movement. The semantics — including
 // rank-order accumulation — are identical to the synchronous rendezvous, so
 // asynchronous and synchronous paths are bit-identical.
+//
+//zinf:hotpath
 func (c *Comm) async(kind opKind, root int, pl payload) Ticket {
 	w := c.world
 	if w.size == 1 {
@@ -65,6 +69,8 @@ func (c *Comm) async(kind opKind, root int, pl payload) Ticket {
 // (all equal length) is concatenated into dst in rank order. len(dst) must
 // be Size()*len(src). dst and src must not be touched until the ticket
 // completes; the gathered bytes are bit-identical to AllGatherHalf.
+//
+//zinf:hotpath
 func (c *Comm) AllGatherHalfAsync(dst, src []tensor.Half) Ticket {
 	if len(dst) != c.Size()*len(src) {
 		panic(fmt.Sprintf("comm: allgatherhalfasync dst len %d != size %d * src len %d", len(dst), c.Size(), len(src)))
@@ -77,6 +83,8 @@ func (c *Comm) AllGatherHalfAsync(dst, src []tensor.Half) Ticket {
 // touched until the ticket completes; the delivered bytes are bit-identical
 // to BroadcastHalf. This is the owner-rank-broadcast partitioning
 // strategy's parameter-prefetch primitive.
+//
+//zinf:hotpath
 func (c *Comm) BroadcastHalfAsync(buf []tensor.Half, root int) Ticket {
 	return c.async(opBroadcastHalf, root, payload{hdst: buf})
 }
@@ -87,6 +95,8 @@ func (c *Comm) BroadcastHalfAsync(buf []tensor.Half, root int) Ticket {
 // Size()*len(src). Buffers must not be touched until the ticket completes;
 // results are bit-identical to AllGatherHalf followed by DecodeHalf. This
 // is the engines' parameter-prefetch primitive under 1/dp slicing.
+//
+//zinf:hotpath
 func (c *Comm) AllGatherHalfDecodeAsync(dst []float32, src []tensor.Half) Ticket {
 	if len(dst) != c.Size()*len(src) {
 		panic(fmt.Sprintf("comm: allgatherhalfdecodeasync dst len %d != size %d * src len %d", len(dst), c.Size(), len(src)))
@@ -99,6 +109,8 @@ func (c *Comm) AllGatherHalfDecodeAsync(dst []float32, src []tensor.Half) Ticket
 // accumulation, and each rank's shard is re-encoded to binary16 into its
 // dst. len(src) must be Size()*len(dst). Buffers must not be touched until
 // the ticket completes; results are bit-identical to ReduceScatterHalf.
+//
+//zinf:hotpath
 func (c *Comm) ReduceScatterHalfAsync(dst, src []tensor.Half) Ticket {
 	if len(src) != c.Size()*len(dst) {
 		panic(fmt.Sprintf("comm: reducescatterhalfasync src len %d != size %d * dst len %d", len(src), c.Size(), len(dst)))
@@ -111,6 +123,8 @@ func (c *Comm) ReduceScatterHalfAsync(dst, src []tensor.Half) Ticket {
 // rank's shard directly as float32 into dst. len(src) must be
 // Size()*len(dst). Buffers must not be touched until the ticket completes;
 // results are bit-identical to ReduceScatterHalf followed by DecodeHalf.
+//
+//zinf:hotpath
 func (c *Comm) ReduceScatterHalfDecodeAsync(dst []float32, src []tensor.Half) Ticket {
 	if len(src) != c.Size()*len(dst) {
 		panic(fmt.Sprintf("comm: reducescatterhalfdecodeasync src len %d != size %d * dst len %d", len(src), c.Size(), len(dst)))
@@ -123,6 +137,8 @@ func (c *Comm) ReduceScatterHalfDecodeAsync(dst []float32, src []tensor.Half) Ti
 // rounded through binary16 and delivered as float32 into root's dst (nil on
 // non-root ranks). Buffers must not be touched until the ticket completes;
 // results are bit-identical to ReduceHalfDecode.
+//
+//zinf:hotpath
 func (c *Comm) ReduceHalfDecodeAsync(dst []float32, src []tensor.Half, root int) Ticket {
 	if c.rank == root && len(dst) != len(src) {
 		panic(fmt.Sprintf("comm: reducehalfdecodeasync root dst len %d != src len %d", len(dst), len(src)))

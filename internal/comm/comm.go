@@ -159,6 +159,8 @@ func NewWorld(size int) *World {
 }
 
 // Size returns the number of ranks in the world.
+//
+//zinf:hotpath
 func (w *World) Size() int { return w.size }
 
 // SetCodecBackend selects the compute backend the binary16 collectives
@@ -208,6 +210,8 @@ type Comm struct {
 }
 
 // Rank returns this communicator's rank.
+//
+//zinf:hotpath
 func (c *Comm) Rank() int { return c.rank }
 
 // SetCodecBackend selects the world's binary16-conversion backend (see
@@ -216,9 +220,13 @@ func (c *Comm) Rank() int { return c.rank }
 func (c *Comm) SetCodecBackend(be tensor.Backend) { c.world.SetCodecBackend(be) }
 
 // Size returns the number of ranks in the world.
+//
+//zinf:hotpath
 func (c *Comm) Size() int { return c.world.size }
 
 // getOpLocked pops a pooled op descriptor (or builds one). Caller holds mu.
+//
+//zinf:hotpath
 func (w *World) getOpLocked(kind opKind, root int) *op {
 	var o *op
 	if n := len(w.freeOps); n > 0 {
@@ -226,6 +234,7 @@ func (w *World) getOpLocked(kind opKind, root int) *op {
 		w.freeOps[n-1] = nil
 		w.freeOps = w.freeOps[:n-1]
 	} else {
+		//zinf:allow hotpathalloc op-pool miss grows the free list once per concurrency high-water mark; putOpLocked retains it
 		o = &op{contrib: make([]payload, w.size)}
 		o.done = sync.NewCond(&w.mu)
 	}
@@ -234,6 +243,8 @@ func (w *World) getOpLocked(kind opKind, root int) *op {
 }
 
 // putOpLocked clears and recycles an op descriptor. Caller holds mu.
+//
+//zinf:hotpath
 func (w *World) putOpLocked(o *op) {
 	for i := range o.contrib {
 		o.contrib[i] = payload{}
@@ -247,6 +258,8 @@ func (w *World) putOpLocked(o *op) {
 // asynchronous collectives split the same arrive/leave pair across issue and
 // Wait. The returned value is the op's scalar result (0 for data
 // collectives).
+//
+//zinf:hotpath
 func (c *Comm) rendezvous(kind opKind, root int, pl payload) float64 {
 	w := c.world
 	if w.size == 1 {
@@ -270,6 +283,8 @@ func (c *Comm) rendezvous(kind opKind, root int, pl payload) float64 {
 // multi-rank path. The lock is held across compute, as on the multi-rank
 // path — the compute functions read w.codec, whose SetCodecBackend writes
 // are only synchronized by mu.
+//
+//zinf:hotpath
 func (w *World) computeSolo(kind opKind, root int, pl payload) float64 {
 	w.mu.Lock()
 	// Deferred unlock: a recovered length-mismatch panic from a compute
@@ -288,6 +303,8 @@ func (w *World) computeSolo(kind opKind, root int, pl payload) float64 {
 // arriveLocked registers rank's contribution to the seq-th collective; the
 // last arriver performs the data movement and wakes everyone. Caller holds
 // mu.
+//
+//zinf:hotpath
 func (w *World) arriveLocked(rank int, seq uint64, kind opKind, root int, pl payload) *op {
 	var o *op
 	for i := range w.ops {
@@ -321,6 +338,8 @@ func (w *World) arriveLocked(rank int, seq uint64, kind opKind, root int, pl pay
 
 // leaveLocked records one rank's departure; the last rank out recycles the
 // op. Caller holds mu.
+//
+//zinf:hotpath
 func (w *World) leaveLocked(seq uint64, o *op) {
 	o.left++
 	if o.left == w.size {
@@ -338,16 +357,21 @@ func (w *World) leaveLocked(seq uint64, o *op) {
 }
 
 // Barrier blocks until every rank has entered the barrier.
+//
+//zinf:hotpath
 func (c *Comm) Barrier() {
 	c.rendezvous(opBarrier, 0, payload{})
 }
 
 // Broadcast copies root's buf into every rank's buf. All bufs must have the
 // same length.
+//
+//zinf:hotpath
 func (c *Comm) Broadcast(buf []float32, root int) {
 	c.rendezvous(opBroadcast, root, payload{fdst: buf})
 }
 
+//zinf:hotpath
 func computeBroadcast(w *World, o *op) {
 	if w.hier() {
 		computeBroadcastHier(w, o)
@@ -368,6 +392,8 @@ func computeBroadcast(w *World, o *op) {
 
 // AllGather concatenates every rank's src (all equal length) into dst in rank
 // order on every rank. len(dst) must be Size()*len(src).
+//
+//zinf:hotpath
 func (c *Comm) AllGather(dst, src []float32) {
 	if len(dst) != c.Size()*len(src) {
 		panic(fmt.Sprintf("comm: allgather dst len %d != size %d * src len %d", len(dst), c.Size(), len(src)))
@@ -375,6 +401,7 @@ func (c *Comm) AllGather(dst, src []float32) {
 	c.rendezvous(opAllGather, 0, payload{fdst: dst, fsrc: src})
 }
 
+//zinf:hotpath
 func computeAllGather(w *World, o *op) {
 	if w.hier() {
 		computeAllGatherHier(w, o)
@@ -392,6 +419,8 @@ func computeAllGather(w *World, o *op) {
 // ReduceScatter sums the ranks' src buffers elementwise (in rank order) and
 // scatters the result: rank r receives elements [r*len(dst), (r+1)*len(dst))
 // of the sum. len(src) must be Size()*len(dst).
+//
+//zinf:hotpath
 func (c *Comm) ReduceScatter(dst, src []float32) {
 	if len(src) != c.Size()*len(dst) {
 		panic(fmt.Sprintf("comm: reducescatter src len %d != size %d * dst len %d", len(src), c.Size(), len(dst)))
@@ -399,6 +428,7 @@ func (c *Comm) ReduceScatter(dst, src []float32) {
 	c.rendezvous(opReduceScatter, 0, payload{fdst: dst, fsrc: src})
 }
 
+//zinf:hotpath
 func computeReduceScatter(w *World, o *op) {
 	n := len(o.contrib[0].fdst)
 	for r := range o.contrib {
@@ -413,10 +443,13 @@ func computeReduceScatter(w *World, o *op) {
 
 // AllReduce sums every rank's buf elementwise (in rank order); each rank's
 // buf holds the total afterwards.
+//
+//zinf:hotpath
 func (c *Comm) AllReduce(buf []float32) {
 	c.rendezvous(opAllReduce, 0, payload{fdst: buf})
 }
 
+//zinf:hotpath
 func computeAllReduce(w *World, o *op) {
 	n := len(o.contrib[0].fdst)
 	sum := w.fscratch.Get(n)
@@ -436,10 +469,13 @@ func computeAllReduce(w *World, o *op) {
 // Gather concatenates every rank's src into root's dst in rank order. dst is
 // ignored on non-root ranks (may be nil). On root, len(dst) must be
 // Size()*len(src).
+//
+//zinf:hotpath
 func (c *Comm) Gather(dst, src []float32, root int) {
 	c.rendezvous(opGather, root, payload{fdst: dst, fsrc: src})
 }
 
+//zinf:hotpath
 func computeGather(w *World, o *op) {
 	rd := o.contrib[o.root].fdst
 	n := len(o.contrib[o.root].fsrc)
@@ -452,6 +488,8 @@ func computeGather(w *World, o *op) {
 }
 
 // AllGatherHalf is AllGather over binary16 payloads; data moves bit-exactly.
+//
+//zinf:hotpath
 func (c *Comm) AllGatherHalf(dst, src []tensor.Half) {
 	if len(dst) != c.Size()*len(src) {
 		panic("comm: allgatherhalf length mismatch")
@@ -459,6 +497,7 @@ func (c *Comm) AllGatherHalf(dst, src []tensor.Half) {
 	c.rendezvous(opAllGatherHalf, 0, payload{hdst: dst, hsrc: src})
 }
 
+//zinf:hotpath
 func computeAllGatherHalf(w *World, o *op) {
 	if w.hier() {
 		computeAllGatherHalfHier(w, o)
@@ -474,10 +513,13 @@ func computeAllGatherHalf(w *World, o *op) {
 }
 
 // BroadcastHalf copies root's binary16 buf into every rank's buf.
+//
+//zinf:hotpath
 func (c *Comm) BroadcastHalf(buf []tensor.Half, root int) {
 	c.rendezvous(opBroadcastHalf, root, payload{hdst: buf})
 }
 
+//zinf:hotpath
 func computeBroadcastHalf(w *World, o *op) {
 	if w.hier() {
 		computeBroadcastHalfHier(w, o)
@@ -496,6 +538,8 @@ func computeBroadcastHalf(w *World, o *op) {
 // decoded to float32, summed in rank order with float32 accumulation (the
 // fp32-accumulate behaviour of tensor-core reductions), and each rank's shard
 // is re-encoded to binary16 into dst.
+//
+//zinf:hotpath
 func (c *Comm) ReduceScatterHalf(dst, src []tensor.Half) {
 	if len(src) != c.Size()*len(dst) {
 		panic("comm: reducescatterhalf length mismatch")
@@ -506,6 +550,8 @@ func (c *Comm) ReduceScatterHalf(dst, src []tensor.Half) {
 // reduceHalfShard computes the fp32 rank-order sum of shard r's slice of the
 // contributions into acc (the shared accumulation kernel of the half
 // reduce-scatter family).
+//
+//zinf:hotpath
 func (w *World) reduceHalfShard(o *op, r, n int, acc, tmp []float32) {
 	base := r * n
 	clear(acc)
@@ -515,6 +561,7 @@ func (w *World) reduceHalfShard(o *op, r, n int, acc, tmp []float32) {
 	}
 }
 
+//zinf:hotpath
 func computeReduceScatterHalf(w *World, o *op) {
 	n := len(o.contrib[0].hdst)
 	acc := w.fscratch.Get(n)
@@ -532,6 +579,8 @@ func computeReduceScatterHalf(w *World, o *op) {
 // ReduceScatterHalf stores it) and delivered directly as float32 into dst,
 // eliminating the caller's intermediate fp16 shard buffer and decode pass.
 // Bit-identical to ReduceScatterHalf followed by DecodeHalf.
+//
+//zinf:hotpath
 func (c *Comm) ReduceScatterHalfDecode(dst []float32, src []tensor.Half) {
 	if len(src) != c.Size()*len(dst) {
 		panic("comm: reducescatterhalfdecode length mismatch")
@@ -539,6 +588,7 @@ func (c *Comm) ReduceScatterHalfDecode(dst []float32, src []tensor.Half) {
 	c.rendezvous(opReduceScatterHalfDecode, 0, payload{fdst: dst, hsrc: src})
 }
 
+//zinf:hotpath
 func computeReduceScatterHalfDecode(w *World, o *op) {
 	n := len(o.contrib[0].fdst)
 	acc := w.fscratch.Get(n)
@@ -563,6 +613,8 @@ func computeReduceScatterHalfDecode(w *World, o *op) {
 // owner-rank-broadcast partitioning strategy (Fig. 6c's baseline): the sum
 // per element is identical to ReduceScatterHalfDecode's, so the two
 // strategies train bit-identically.
+//
+//zinf:hotpath
 func (c *Comm) ReduceHalfDecode(dst []float32, src []tensor.Half, root int) {
 	if c.rank == root && len(dst) != len(src) {
 		panic(fmt.Sprintf("comm: reducehalfdecode root dst len %d != src len %d", len(dst), len(src)))
@@ -570,6 +622,7 @@ func (c *Comm) ReduceHalfDecode(dst []float32, src []tensor.Half, root int) {
 	c.rendezvous(opReduceHalfDecode, root, payload{fdst: dst, hsrc: src})
 }
 
+//zinf:hotpath
 func computeReduceHalfDecode(w *World, o *op) {
 	n := len(o.contrib[0].hsrc)
 	acc := w.fscratch.GetZeroed(n)
@@ -593,10 +646,13 @@ func computeReduceHalfDecode(w *World, o *op) {
 // accumulation (rank order) and re-encodes the total to binary16 into every
 // rank's buf. Numerically identical to ReduceScatterHalf followed by
 // AllGatherHalf, which is what makes DDP and ZeRO gradient paths bit-equal.
+//
+//zinf:hotpath
 func (c *Comm) AllReduceHalf(buf []tensor.Half) {
 	c.rendezvous(opAllReduceHalf, 0, payload{hdst: buf})
 }
 
+//zinf:hotpath
 func computeAllReduceHalf(w *World, o *op) {
 	n := len(o.contrib[0].hdst)
 	acc := w.fscratch.GetZeroed(n)
@@ -624,6 +680,8 @@ func computeAllReduceHalf(w *World, o *op) {
 // order. Bit-identical to each rank encoding its shard and calling
 // AllGatherHalf, without the per-rank intermediate fp16 shard buffer.
 // len(dst) must be Size()*len(src).
+//
+//zinf:hotpath
 func (c *Comm) AllGatherEncodeHalf(dst []tensor.Half, src []float32) {
 	if len(dst) != c.Size()*len(src) {
 		panic("comm: allgatherencodehalf length mismatch")
@@ -631,6 +689,7 @@ func (c *Comm) AllGatherEncodeHalf(dst []tensor.Half, src []float32) {
 	c.rendezvous(opAllGatherEncodeHalf, 0, payload{hdst: dst, fsrc: src})
 }
 
+//zinf:hotpath
 func computeAllGatherEncodeHalf(w *World, o *op) {
 	if w.hier() {
 		computeAllGatherEncodeHalfHier(w, o)
@@ -655,6 +714,8 @@ func computeAllGatherEncodeHalf(w *World, o *op) {
 // exact), without the caller's full-size intermediate fp16 buffer and
 // decode pass — the engines' parameter gathers run on this.
 // len(dst) must be Size()*len(src).
+//
+//zinf:hotpath
 func (c *Comm) AllGatherHalfDecode(dst []float32, src []tensor.Half) {
 	if len(dst) != c.Size()*len(src) {
 		panic(fmt.Sprintf("comm: allgatherhalfdecode dst len %d != size %d * src len %d", len(dst), c.Size(), len(src)))
@@ -662,6 +723,7 @@ func (c *Comm) AllGatherHalfDecode(dst []float32, src []tensor.Half) {
 	c.rendezvous(opAllGatherHalfDecode, 0, payload{fdst: dst, hsrc: src})
 }
 
+//zinf:hotpath
 func computeAllGatherHalfDecode(w *World, o *op) {
 	if w.hier() {
 		computeAllGatherHalfDecodeHier(w, o)
@@ -680,10 +742,13 @@ func computeAllGatherHalfDecode(w *World, o *op) {
 
 // AllReduceScalar sums one float64 across ranks and returns the total on
 // every rank. Used for loss aggregation and overflow flags.
+//
+//zinf:hotpath
 func (c *Comm) AllReduceScalar(v float64) float64 {
 	return c.rendezvous(opAllReduceScalar, 0, payload{v: v})
 }
 
+//zinf:hotpath
 func computeAllReduceScalar(w *World, o *op) {
 	var s float64
 	for i := range o.contrib {
@@ -693,10 +758,13 @@ func computeAllReduceScalar(w *World, o *op) {
 }
 
 // AllReduceMax returns the maximum of v across ranks on every rank.
+//
+//zinf:hotpath
 func (c *Comm) AllReduceMax(v float64) float64 {
 	return c.rendezvous(opAllReduceMax, 0, payload{v: v})
 }
 
+//zinf:hotpath
 func computeAllReduceMax(w *World, o *op) {
 	m := o.contrib[0].v
 	for _, cb := range o.contrib[1:] {

@@ -25,6 +25,8 @@ package comm
 // computeBroadcastHier routes root's float32 buffer through the remote node
 // leaders, then fans out intra-node (the root serves as staging inside its
 // own node).
+//
+//zinf:hotpath
 func computeBroadcastHier(w *World, o *op) {
 	k := w.topo.NodeSize
 	src := o.contrib[o.root].fdst
@@ -54,6 +56,8 @@ func computeBroadcastHier(w *World, o *op) {
 }
 
 // computeBroadcastHalfHier is computeBroadcastHier over binary16 buffers.
+//
+//zinf:hotpath
 func computeBroadcastHalfHier(w *World, o *op) {
 	k := w.topo.NodeSize
 	src := o.contrib[o.root].hdst
@@ -85,6 +89,8 @@ func computeBroadcastHalfHier(w *World, o *op) {
 // computeAllGatherHier assembles the full float32 vector once through
 // per-node chunks in a leader staging buffer, then distributes it to every
 // rank — the staged counterpart of the flat per-destination assembly.
+//
+//zinf:hotpath
 func computeAllGatherHier(w *World, o *op) {
 	n := len(o.contrib[0].fsrc)
 	full := w.fscratch.Get(n * w.size)
@@ -103,6 +109,8 @@ func computeAllGatherHier(w *World, o *op) {
 }
 
 // computeAllGatherHalfHier is computeAllGatherHier over binary16 payloads.
+//
+//zinf:hotpath
 func computeAllGatherHalfHier(w *World, o *op) {
 	n := len(o.contrib[0].hsrc)
 	full := w.hscratch.Get(n * w.size)
@@ -124,6 +132,8 @@ func computeAllGatherHalfHier(w *World, o *op) {
 // rank. Bit-identical to the flat fused path: the decode LUT is exact, so
 // decoding per shard and decoding the staged whole agree element for
 // element.
+//
+//zinf:hotpath
 func computeAllGatherHalfDecodeHier(w *World, o *op) {
 	n := len(o.contrib[0].hsrc)
 	full := w.hscratch.Get(n * w.size)
@@ -147,6 +157,8 @@ func computeAllGatherHalfDecodeHier(w *World, o *op) {
 // slot of the staged full vector, which then distributes to every rank.
 // Bit-identical to the flat fused path (each shard is encoded exactly once
 // either way).
+//
+//zinf:hotpath
 func computeAllGatherEncodeHalfHier(w *World, o *op) {
 	n := len(o.contrib[0].fsrc)
 	full := w.hscratch.Get(n * w.size)

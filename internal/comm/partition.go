@@ -6,6 +6,8 @@ package comm
 // world size so allgather/reduce-scatter shards are equal length.
 
 // PaddedLen returns the smallest multiple of size that is >= n.
+//
+//zinf:hotpath
 func PaddedLen(n, size int) int {
 	if size <= 0 {
 		panic("comm: PaddedLen size <= 0")
@@ -15,11 +17,15 @@ func PaddedLen(n, size int) int {
 
 // ShardLen returns the per-rank shard length for an n-element vector
 // partitioned across size ranks (with padding).
+//
+//zinf:hotpath
 func ShardLen(n, size int) int { return PaddedLen(n, size) / size }
 
 // ShardRange returns the half-open range [lo, hi) of the padded vector owned
 // by rank. Indices past n (padding) are valid shard positions but carry no
 // data.
+//
+//zinf:hotpath
 func ShardRange(n, rank, size int) (lo, hi int) {
 	s := ShardLen(n, size)
 	return rank * s, (rank + 1) * s
@@ -27,6 +33,8 @@ func ShardRange(n, rank, size int) (lo, hi int) {
 
 // Shard copies rank's shard of src (length n) into dst (length ShardLen),
 // zero-filling the padded tail. It panics if dst is shorter than the shard.
+//
+//zinf:hotpath
 func Shard(dst, src []float32, rank, size int) {
 	lo, hi := ShardRange(len(src), rank, size)
 	s := hi - lo
@@ -45,6 +53,8 @@ func Shard(dst, src []float32, rank, size int) {
 
 // Unshard copies the shard owned by rank back into the full vector dst,
 // ignoring padding.
+//
+//zinf:hotpath
 func Unshard(dst, shard []float32, rank, size int) {
 	lo, hi := ShardRange(len(dst), rank, size)
 	for i := lo; i < hi && i < len(dst); i++ {

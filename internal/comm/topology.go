@@ -198,6 +198,8 @@ func (c *Comm) Topology() *Topology {
 
 // nodes returns the node count of the installed topology (1 when flat).
 // Caller holds mu (or the world is quiescent).
+//
+//zinf:hotpath
 func (w *World) nodes() int {
 	if w.topo == nil {
 		return 1
@@ -207,11 +209,15 @@ func (w *World) nodes() int {
 
 // hier reports whether collectives should decompose hierarchically. Caller
 // holds mu.
+//
+//zinf:hotpath
 func (w *World) hier() bool {
 	return w.topo != nil && !w.topo.Flat && w.nodes() > 1
 }
 
 // nodeOf returns the node index owning rank. Caller holds mu.
+//
+//zinf:hotpath
 func (w *World) nodeOf(rank int) int {
 	if w.topo == nil {
 		return 0
@@ -235,6 +241,8 @@ type TrafficStats struct {
 }
 
 // Bytes returns the total bytes moved over any link.
+//
+//zinf:hotpath
 func (t TrafficStats) Bytes() int64 { return t.IntraBytes + t.InterBytes }
 
 // AggGBps returns the achieved aggregate bandwidth in GB/s — total bytes
@@ -249,6 +257,8 @@ func (t TrafficStats) AggGBps() float64 {
 }
 
 // add accumulates other into t.
+//
+//zinf:hotpath
 func (t *TrafficStats) add(o TrafficStats) {
 	t.Ops += o.Ops
 	t.IntraBytes += o.IntraBytes
@@ -300,6 +310,8 @@ func (c *Comm) ResetTraffic() {
 // phase charges one collective phase: perIntra/perInter are the busiest
 // intra/inter link's bytes, totIntra/totInter the bytes crossing each class
 // in the phase, and intraHops/interHops the phase's sequential hop counts.
+//
+//zinf:hotpath
 func (w *World) phase(st *TrafficStats, perIntra, perInter, totIntra, totInter int64, intraHops, interHops int) {
 	st.IntraBytes += totIntra
 	st.InterBytes += totInter
@@ -318,6 +330,8 @@ func (w *World) phase(st *TrafficStats, perIntra, perInter, totIntra, totInter i
 // when the ring spans nodes); hierarchical is intra-node gather at the
 // leaders, an inter-node ring among leaders over kS node chunks, then an
 // intra-node ring distributing the (N-1)kS remote bytes.
+//
+//zinf:hotpath
 func (w *World) accountAllGather(st *TrafficStats, S int64) {
 	p, N := int64(w.size), int64(w.nodes())
 	if p == 1 || S == 0 {
@@ -346,6 +360,8 @@ func (w *World) accountAllGather(st *TrafficStats, S int64) {
 // intra-node reduce-scatter over M followed by an inter-node reduce-scatter
 // of the node partials among same-slot ranks (each node uplink carries
 // (N-1)M/N).
+//
+//zinf:hotpath
 func (w *World) accountReduceScatter(st *TrafficStats, M int64) {
 	p, N := int64(w.size), int64(w.nodes())
 	if p == 1 || M == 0 {
@@ -371,6 +387,8 @@ func (w *World) accountReduceScatter(st *TrafficStats, M int64) {
 
 // accountAllReduce models an allreduce of M bytes per rank as
 // reduce-scatter + allgather volumes.
+//
+//zinf:hotpath
 func (w *World) accountAllReduce(st *TrafficStats, M int64) {
 	if w.size == 1 || M == 0 {
 		return
@@ -383,6 +401,8 @@ func (w *World) accountAllReduce(st *TrafficStats, M int64) {
 // from the root (its link carries (p-1)M, the remote share crossing its node
 // uplink); hierarchical sends M once to each remote node leader over the
 // root's uplink, then each node distributes intra.
+//
+//zinf:hotpath
 func (w *World) accountBroadcast(st *TrafficStats, M int64, root int) {
 	p, N := int64(w.size), int64(w.nodes())
 	if p == 1 || M == 0 {
@@ -405,6 +425,8 @@ func (w *World) accountBroadcast(st *TrafficStats, M int64, root int) {
 // accountGather models a gather of S bytes per rank to root (the root acts
 // as its node's leader): flat star into the root; hierarchical gathers at
 // each leader then funnels node chunks over the root's uplink.
+//
+//zinf:hotpath
 func (w *World) accountGather(st *TrafficStats, S int64, root int) {
 	p, N := int64(w.size), int64(w.nodes())
 	if p == 1 || S == 0 {
@@ -428,6 +450,8 @@ func (w *World) accountGather(st *TrafficStats, S int64, root int) {
 // root: flat star of raw contributions into the root; hierarchical reduces
 // raw contributions at each node leader intra, then ships one M-sized node
 // partial per remote node over the root's uplink.
+//
+//zinf:hotpath
 func (w *World) accountReduceRoot(st *TrafficStats, M int64, root int) {
 	p, N := int64(w.size), int64(w.nodes())
 	if p == 1 || M == 0 {
@@ -449,6 +473,8 @@ func (w *World) accountReduceRoot(st *TrafficStats, M int64, root int) {
 
 // accountScalar models the 8-byte scalar collectives: a reduction tree up
 // and down (bytes negligible, latency two tree traversals).
+//
+//zinf:hotpath
 func (w *World) accountScalar(st *TrafficStats) {
 	p, N := int64(w.size), int64(w.nodes())
 	if p == 1 {
@@ -470,6 +496,7 @@ func (w *World) accountScalar(st *TrafficStats) {
 	w.phase(st, intra, inter, intra, inter, hops, interHops)
 }
 
+//zinf:hotpath
 func min64(a, b int64) int64 {
 	if a < b {
 		return a
@@ -479,6 +506,8 @@ func min64(a, b int64) int64 {
 
 // account records one completed collective's modeled traffic and simulated
 // cost. Caller holds mu; runs after the op's compute function.
+//
+//zinf:hotpath
 func (w *World) account(o *op) {
 	st := &w.traffic[o.kind]
 	st.Ops++

@@ -1,0 +1,39 @@
+package comm
+
+import "testing"
+
+// FuzzParseTopology throws arbitrary specs at the parser: it must never
+// panic, and any spec it accepts must survive a String() → reparse round
+// trip with an identical rendering (so configs logged by one run can be
+// replayed by the next).
+func FuzzParseTopology(f *testing.F) {
+	f.Add("")
+	f.Add("4x2")
+	f.Add("2x4:intra=100:inter=10:linter=5")
+	f.Add("8x16:intra=300:inter=25:lintra=1.5:linter=5:flat")
+	f.Add("2x2:intra=0")
+	f.Add("x:::=")
+	f.Fuzz(func(t *testing.T, spec string) {
+		topo, err := ParseTopology(spec)
+		if err != nil {
+			if topo != nil {
+				t.Fatalf("ParseTopology(%q) returned both a topology and error %v", spec, err)
+			}
+			return
+		}
+		if topo == nil {
+			if spec != "" {
+				t.Fatalf("ParseTopology(%q) = nil, nil for a non-empty spec", spec)
+			}
+			return
+		}
+		rendered := topo.String()
+		again, err := ParseTopology(rendered)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", rendered, spec, err)
+		}
+		if got := again.String(); got != rendered {
+			t.Fatalf("String/reparse not stable: %q -> %q (original spec %q)", rendered, got, spec)
+		}
+	})
+}

@@ -43,17 +43,22 @@ func NewArena[T any]() *Arena[T] { return &Arena[T]{} }
 
 // class returns the size class k such that 1<<k is the smallest power of two
 // >= n (n >= 1).
+//
+//zinf:hotpath
 func class(n int) int { return bits.Len(uint(n - 1)) }
 
 // Get returns a slice of length n with undefined contents, reusing a pooled
 // buffer when one of n's size class is free. Get(0) returns nil.
+//
+//zinf:hotpath
 func (a *Arena[T]) Get(n int) []T {
 	if n <= 0 {
 		return nil
 	}
 	k := class(n)
 	if k >= arenaClasses {
-		return make([]T, n)
+		// Oversize requests bypass the size classes entirely.
+		return make([]T, n) //zinf:allow hotpathalloc oversize request beyond the largest size class; steady-state buffers are class-sized
 	}
 	a.mu.Lock()
 	a.gets++
@@ -66,10 +71,12 @@ func (a *Arena[T]) Get(n int) []T {
 		return s[:n]
 	}
 	a.mu.Unlock()
-	return make([]T, n, 1<<k)
+	return make([]T, n, 1<<k) //zinf:allow hotpathalloc warmup pool miss; the buffer is retained by Put and every steady-state Get is a hit
 }
 
 // GetZeroed is Get followed by clearing the returned slice.
+//
+//zinf:hotpath
 func (a *Arena[T]) GetZeroed(n int) []T {
 	s := a.Get(n)
 	clear(s)
@@ -80,6 +87,8 @@ func (a *Arena[T]) GetZeroed(n int) []T {
 // is not a power of two (i.e. that did not come from an arena) and slices
 // beyond a full class are silently dropped, so Put is always safe — double
 // reuse is the only misuse it cannot catch. Put(nil) is a no-op.
+//
+//zinf:hotpath
 func (a *Arena[T]) Put(s []T) {
 	c := cap(s)
 	if c == 0 || c&(c-1) != 0 {

@@ -55,6 +55,8 @@ func (p *PinnedPool) Acquires() int64 {
 }
 
 // Acquire returns a pinned buffer, blocking until one is free.
+//
+//zinf:hotpath
 func (p *PinnedPool) Acquire() []byte {
 	b := <-p.ch
 	p.mu.Lock()
@@ -64,6 +66,8 @@ func (p *PinnedPool) Acquire() []byte {
 }
 
 // TryAcquire returns a pinned buffer or false without blocking.
+//
+//zinf:hotpath
 func (p *PinnedPool) TryAcquire() ([]byte, bool) {
 	select {
 	case b := <-p.ch:
@@ -78,6 +82,8 @@ func (p *PinnedPool) TryAcquire() ([]byte, bool) {
 
 // Release returns a buffer to the pool. It panics if the buffer does not
 // have the pool's buffer size (catching use-after-resize bugs).
+//
+//zinf:hotpath
 func (p *PinnedPool) Release(b []byte) {
 	if len(b) != p.bufSize {
 		panic(fmt.Sprintf("mem: released buffer size %d != pool size %d", len(b), p.bufSize))

@@ -87,6 +87,8 @@ func NewRuntime(hooks Hooks) *Runtime {
 func (rt *Runtime) SetBackend(be tensor.Backend) { rt.be = tensor.DefaultBackend(be) }
 
 // Backend returns the runtime's compute backend.
+//
+//zinf:hotpath
 func (rt *Runtime) Backend() tensor.Backend { return rt.be }
 
 // SetCheckpointStore installs an activation-checkpoint offload store.
@@ -110,9 +112,13 @@ func (rt *Runtime) GetCheckpoint(h int) *tensor.Tensor {
 }
 
 // Hooks returns the installed hook set.
+//
+//zinf:hotpath
 func (rt *Runtime) Hooks() Hooks { return rt.hooks }
 
 // SaveActivations reports whether layers should stash activations.
+//
+//zinf:hotpath
 func (rt *Runtime) SaveActivations() bool { return rt.save }
 
 // SetSaveActivations toggles activation stashing and returns the previous
@@ -124,6 +130,8 @@ func (rt *Runtime) SetSaveActivations(v bool) bool {
 }
 
 // Forward runs layer.Forward wrapped in Pre/PostForward hooks.
+//
+//zinf:hotpath
 func (rt *Runtime) Forward(l Layer, x *tensor.Tensor) *tensor.Tensor {
 	rt.hooks.PreForward(l)
 	y := l.Forward(rt, x)
@@ -132,6 +140,8 @@ func (rt *Runtime) Forward(l Layer, x *tensor.Tensor) *tensor.Tensor {
 }
 
 // Backward runs layer.Backward wrapped in Pre/PostBackward hooks.
+//
+//zinf:hotpath
 func (rt *Runtime) Backward(l Layer, dy *tensor.Tensor) *tensor.Tensor {
 	rt.hooks.PreBackward(l)
 	dx := l.Backward(rt, dy)

@@ -51,6 +51,8 @@ func NewParam(name string, initStd float64, shape ...int) *Param {
 }
 
 // Len returns the number of elements.
+//
+//zinf:hotpath
 func (p *Param) Len() int { return p.n }
 
 // FP16Bytes returns the fp16 storage footprint of the parameter.
@@ -59,6 +61,8 @@ func (p *Param) FP16Bytes() int64 { return int64(p.n) * tensor.HalfBytes }
 // Data returns the gathered full view of the parameter. If the parameter is
 // partitioned away and an on-demand handler is installed, the handler runs
 // first (blocking gather); otherwise Data panics, which flags an engine bug.
+//
+//zinf:hotpath
 func (p *Param) Data() []float32 {
 	if p.data == nil {
 		if p.onDemand == nil {
@@ -74,9 +78,13 @@ func (p *Param) Data() []float32 {
 }
 
 // Materialized reports whether the full view is currently present.
+//
+//zinf:hotpath
 func (p *Param) Materialized() bool { return p.data != nil }
 
 // SetData installs the gathered full view. The engine owns the slice.
+//
+//zinf:hotpath
 func (p *Param) SetData(d []float32) {
 	if len(d) != p.n {
 		panic(fmt.Sprintf("module: SetData %q len %d != %d", p.Name, len(d), p.n))
@@ -85,6 +93,8 @@ func (p *Param) SetData(d []float32) {
 }
 
 // ReleaseData drops the full view (the "partition after use" step).
+//
+//zinf:hotpath
 func (p *Param) ReleaseData() { p.data = nil }
 
 // SetOnDemand installs the engine's blocking-gather handler.
@@ -104,6 +114,8 @@ func (p *Param) SetGradScratch(get func(n int) []float32, put func([]float32)) {
 
 // Grad returns the fp32 gradient accumulator, allocating it zeroed on first
 // use (from the engine's scratch arena when one is installed).
+//
+//zinf:hotpath
 func (p *Param) Grad() []float32 {
 	if p.grad == nil {
 		if p.gradGet != nil {
@@ -111,17 +123,21 @@ func (p *Param) Grad() []float32 {
 			clear(g)
 			p.grad = g
 		} else {
-			p.grad = make([]float32, p.n)
+			p.grad = make([]float32, p.n) //zinf:allow hotpathalloc heap fallback when no engine scratch is installed; engines on the zero-alloc path install SetGradScratch
 		}
 	}
 	return p.grad
 }
 
 // HasGrad reports whether a gradient buffer is live.
+//
+//zinf:hotpath
 func (p *Param) HasGrad() bool { return p.grad != nil }
 
 // ReleaseGrad drops the gradient buffer (after reduce-scatter/offload),
 // recycling it through the engine's scratch arena when one is installed.
+//
+//zinf:hotpath
 func (p *Param) ReleaseGrad() {
 	if p.grad != nil && p.gradPut != nil {
 		p.gradPut(p.grad)
@@ -130,6 +146,8 @@ func (p *Param) ReleaseGrad() {
 }
 
 // ZeroGrad zeroes the gradient buffer if it is live.
+//
+//zinf:hotpath
 func (p *Param) ZeroGrad() {
 	for i := range p.grad {
 		p.grad[i] = 0

@@ -69,6 +69,8 @@ func (a *Adam) Config() AdamConfig { return a.cfg }
 
 // Step applies one Adam update to params given grads. Slices must have
 // length Len().
+//
+//zinf:hotpath
 func (a *Adam) Step(params, grads []float32) {
 	if len(params) != len(a.m) || len(grads) != len(a.m) {
 		panic("optim: Adam.Step length mismatch")
@@ -83,6 +85,8 @@ func (a *Adam) Step(params, grads []float32) {
 // 1-based update count. The arithmetic is float64 per element for bias
 // correction and float32 for state; it is deterministic, so sharded and
 // replicated updates agree exactly.
+//
+//zinf:hotpath
 func StepVec(cfg AdamConfig, step int, params, grads, m, v []float32) {
 	StepVecOn(tensor.Reference(), cfg, step, params, grads, m, v)
 }
@@ -90,6 +94,8 @@ func StepVec(cfg AdamConfig, step int, params, grads, m, v []float32) {
 // StepVecOn is StepVec with the elementwise update fanned out over be. The
 // update touches each element exactly once with no cross-element reduction,
 // so partitioned execution is bit-identical to serial.
+//
+//zinf:hotpath
 func StepVecOn(be tensor.Backend, cfg AdamConfig, step int, params, grads, m, v []float32) {
 	if len(params) != len(grads) || len(params) != len(m) || len(params) != len(v) {
 		panic("optim: StepVec length mismatch")
@@ -104,6 +110,7 @@ func StepVecOn(be tensor.Backend, cfg AdamConfig, step int, params, grads, m, v 
 		adamChunk(cfg, bc1, bc2, params, grads, m, v, 0, len(grads))
 		return
 	}
+	//zinf:allow hotpathalloc one closure header per parallel-backend step; the reference path above is closure-free and carries the zero-alloc gate
 	be.ParRange(len(grads), 1<<12, func(lo, hi int) {
 		adamChunk(cfg, bc1, bc2, params, grads, m, v, lo, hi)
 	})
@@ -113,6 +120,8 @@ func StepVecOn(be tensor.Backend, cfg AdamConfig, step int, params, grads, m, v 
 // momentum and variance. Small enough to inline into adamChunk's unrolled
 // body; the arithmetic is exactly the historical serial loop's, so the
 // unrolled kernel is bit-identical to adamChunkScalar.
+//
+//zinf:hotpath
 func adamElem(b1, b2, lr, eps, wd, bc1, bc2 float64, p, g, mi, vi float32) (float32, float32, float32) {
 	gf := float64(g)
 	if wd != 0 {
@@ -130,6 +139,8 @@ func adamElem(b1, b2, lr, eps, wd, bc1, bc2 float64, p, g, mi, vi float32) (floa
 // per iteration through three-index subslices: each element's update chain
 // ends in a divide and a square root, so the win is keeping four
 // independent sqrt/div chains in flight rather than one.
+//
+//zinf:hotpath
 func adamChunk(cfg AdamConfig, bc1, bc2 float64, params, grads, m, v []float32, lo, hi int) {
 	b1, b2 := cfg.Beta1, cfg.Beta2
 	lr, eps, wd := cfg.LR, cfg.Eps, cfg.WeightDecay
@@ -152,6 +163,8 @@ func adamChunk(cfg AdamConfig, bc1, bc2 float64, params, grads, m, v []float32, 
 // adamChunkScalar is the pre-unroll serial loop, retained as the
 // bit-equality baseline for the unrolled kernel and as the roofline
 // harness's scalar Adam measurement (via StepVecScalar).
+//
+//zinf:hotpath
 func adamChunkScalar(cfg AdamConfig, bc1, bc2 float64, params, grads, m, v []float32, lo, hi int) {
 	b1, b2 := cfg.Beta1, cfg.Beta2
 	lr, eps, wd := cfg.LR, cfg.Eps, cfg.WeightDecay
@@ -171,6 +184,8 @@ func adamChunkScalar(cfg AdamConfig, bc1, bc2 float64, params, grads, m, v []flo
 
 // StepVecScalar is StepVec on the pre-unroll scalar loop — the roofline
 // harness's baseline. Bit-identical to StepVec.
+//
+//zinf:hotpath
 func StepVecScalar(cfg AdamConfig, step int, params, grads, m, v []float32) {
 	if len(params) != len(grads) || len(params) != len(m) || len(params) != len(v) {
 		panic("optim: StepVec length mismatch")
@@ -219,6 +234,8 @@ func StaticLossScaler(scale float64) *LossScaler {
 
 // Update records whether the step overflowed and adapts the scale.
 // It returns true when the optimizer step must be skipped.
+//
+//zinf:hotpath
 func (s *LossScaler) Update(overflow bool) (skip bool) {
 	if overflow {
 		s.Scale = math.Max(s.Scale/2, 1)
@@ -240,6 +257,8 @@ func (s *LossScaler) Skipped() int { return s.skipped }
 // UnscaleCheck divides grads by the scale in place and reports whether any
 // element is NaN/Inf (checked before unscaling, as overflow happens in the
 // scaled fp16 domain).
+//
+//zinf:hotpath
 func UnscaleCheck(grads []float32, scale float64) (overflow bool) {
 	if tensor.HasNaNOrInf(grads) {
 		return true

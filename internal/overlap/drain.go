@@ -25,6 +25,8 @@ type Pending[K comparable] struct {
 // engines. fold decides each buffer's fate (accumulate-and-recycle or keep
 // as the gradient shard); entries are zeroed as they are folded and the
 // emptied, reusable slice is returned.
+//
+//zinf:hotpath
 func Drain[K comparable](pending []Pending[K], fold func(key K, shard []float32, gh []tensor.Half)) []Pending[K] {
 	for i := range pending {
 		p := &pending[i]

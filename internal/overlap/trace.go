@@ -42,6 +42,8 @@ func New[K comparable](depth int) *Trace[K] {
 // BeginStep resets the cursor for a new iteration. In learning mode the
 // previous trace is discarded so the step records a fresh, complete
 // sequence.
+//
+//zinf:hotpath
 func (t *Trace[K]) BeginStep() {
 	t.pos = 0
 	if t.learning {
@@ -52,22 +54,30 @@ func (t *Trace[K]) BeginStep() {
 // EndStep finishes the iteration. A completed learning step arms
 // speculation; a step that diverged re-enters learning mode so the next
 // step records a clean trace (the mid-step relearn semantics).
+//
+//zinf:hotpath
 func (t *Trace[K]) EndStep() {
 	t.learning = t.relearn
 	t.relearn = false
 }
 
 // Learning reports whether the current step is recording the sequence.
+//
+//zinf:hotpath
 func (t *Trace[K]) Learning() bool { return t.learning }
 
 // Speculating reports whether prefetch issue is currently allowed: a trace
 // has been learned and the step has not diverged from it.
+//
+//zinf:hotpath
 func (t *Trace[K]) Speculating() bool { return !t.learning && !t.relearn }
 
 // Observe notes that k is about to execute. In learning mode it appends k
 // to the trace; in speculation mode it advances the cursor to just past k,
 // or — if k is not found within the search window — marks the sequence
 // diverged (speculation stops, next step relearns).
+//
+//zinf:hotpath
 func (t *Trace[K]) Observe(k K) {
 	if t.learning {
 		t.seq = append(t.seq, k)
@@ -88,6 +98,8 @@ func (t *Trace[K]) Observe(k K) {
 // Each calls yield for the upcoming trace entries — from the cursor to the
 // end of the learned sequence, in order — while yield returns true. It
 // yields nothing unless Speculating.
+//
+//zinf:hotpath
 func (t *Trace[K]) Each(yield func(K) bool) {
 	if !t.Speculating() {
 		return
@@ -100,4 +112,6 @@ func (t *Trace[K]) Each(yield func(K) bool) {
 }
 
 // Len returns the learned sequence length.
+//
+//zinf:hotpath
 func (t *Trace[K]) Len() int { return len(t.seq) }

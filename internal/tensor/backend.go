@@ -73,6 +73,8 @@ type Backend interface {
 type reference struct{}
 
 // Reference returns the serial baseline backend.
+//
+//zinf:hotpath
 func Reference() Backend { return reference{} }
 
 func (reference) Name() string                                { return "reference" }
@@ -122,6 +124,8 @@ func BackendNames() []string { return []string{"reference", "parallel"} }
 // callers use it to run small elementwise loops directly instead of building
 // a closure for ParRange — a closure passed through an interface call always
 // escapes, and the zero-allocation steady-state contract forbids that.
+//
+//zinf:hotpath
 func IsReference(be Backend) bool {
 	_, ok := be.(reference)
 	return ok
@@ -129,6 +133,8 @@ func IsReference(be Backend) bool {
 
 // DefaultBackend returns b, or the reference backend when b is nil — the
 // idiom configs use to make the zero value mean "serial".
+//
+//zinf:hotpath
 func DefaultBackend(b Backend) Backend {
 	if b == nil {
 		return Reference()

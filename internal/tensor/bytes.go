@@ -8,6 +8,8 @@ import "math"
 
 // F32ToBytes serializes src into b (4 bytes per value, little endian).
 // It panics if b is shorter than 4*len(src).
+//
+//zinf:hotpath
 func F32ToBytes(b []byte, src []float32) {
 	_ = b[4*len(src)-1]
 	for i, f := range src {
@@ -21,6 +23,8 @@ func F32ToBytes(b []byte, src []float32) {
 
 // F32FromBytes deserializes b into dst. It panics if b is shorter than
 // 4*len(dst).
+//
+//zinf:hotpath
 func F32FromBytes(dst []float32, b []byte) {
 	_ = b[4*len(dst)-1]
 	for i := range dst {

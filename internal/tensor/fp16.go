@@ -44,6 +44,8 @@ func init() {
 // mantissa rolls into the exponent, which is exactly the correct RNE
 // behaviour, including overflow to infinity). It is bit-identical to the
 // original branchy scalar converter, kept below as halfFromFloat32Scalar.
+//
+//zinf:hotpath
 func HalfFromFloat32(f float32) Half {
 	b := math.Float32bits(f)
 	sign := uint16(b>>16) & halfSignMask
@@ -78,6 +80,8 @@ func HalfFromFloat32(f float32) Half {
 
 // halfFromFloat32Scalar is the original fully-branched converter, retained
 // as the correctness baseline the branch-reduced encoder is tested against.
+//
+//zinf:hotpath
 func halfFromFloat32Scalar(f float32) Half {
 	b := math.Float32bits(f)
 	sign := uint16(b>>16) & halfSignMask
@@ -128,9 +132,13 @@ func halfFromFloat32Scalar(f float32) Half {
 }
 
 // Float32 converts the binary16 value to float32 exactly (table lookup).
+//
+//zinf:hotpath
 func (h Half) Float32() float32 { return halfToF32[h] }
 
 // Float32FromHalf converts h to float32 exactly via the decode LUT.
+//
+//zinf:hotpath
 func Float32FromHalf(h Half) float32 { return halfToF32[h] }
 
 // float32FromHalfScalar is the original bit-manipulating decode, retained as
@@ -157,11 +165,15 @@ func float32FromHalfScalar(h Half) float32 {
 }
 
 // IsNaN reports whether h is a NaN.
+//
+//zinf:hotpath
 func (h Half) IsNaN() bool {
 	return h&halfExpMask == halfExpMask && h&halfFracMask != 0
 }
 
 // IsInf reports whether h is an infinity.
+//
+//zinf:hotpath
 func (h Half) IsInf() bool {
 	return h&halfExpMask == halfExpMask && h&halfFracMask == 0
 }
@@ -173,6 +185,8 @@ const HalfBytes = 2
 // the block encoder handles inline: the normal binary16 range
 // [0x38800000, 0x47800000) — the first comparison, via unsigned wraparound —
 // or underflow-to-signed-zero (m < 0x33800000, which covers exact zeros).
+//
+//zinf:hotpath
 func encFastOK(m uint32) bool {
 	return m-0x38800000 < 0x0f000000 || m < 0x33800000
 }
@@ -180,6 +194,8 @@ func encFastOK(m uint32) bool {
 // encFast encodes one fast-class value (see encFastOK); bit-identical to
 // HalfFromFloat32 on that domain. Small enough to inline into the block
 // encoder's unrolled body.
+//
+//zinf:hotpath
 func encFast(b, m uint32) Half {
 	sign := uint16(b>>16) & halfSignMask
 	if m < 0x33800000 {
@@ -200,6 +216,8 @@ func encFast(b, m uint32) Half {
 // overflow value falls back to the full converter for all eight lanes.
 // Output is bit-identical to the per-element HalfFromFloat32 loop
 // (EncodeHalfScalar) for every input.
+//
+//zinf:hotpath
 func EncodeHalf(dst []Half, src []float32) {
 	if len(dst) < len(src) {
 		panic("tensor: EncodeHalf dst too short")
@@ -249,6 +267,8 @@ func EncodeHalf(dst []Half, src []float32) {
 // lookup out over the worker pool. Eight LUT lookups per iteration — the
 // uint16 index never bounds-checks against the 64Ki table, so the unrolled
 // body is pure loads and stores.
+//
+//zinf:hotpath
 func DecodeHalf(dst []float32, src []Half) {
 	if len(dst) < len(src) {
 		panic("tensor: DecodeHalf dst too short")
@@ -284,6 +304,8 @@ func RoundTripHalf(x []float32) []float32 {
 
 // HalfToBytes serializes h into b (little endian, 2 bytes per value).
 // It panics if b is shorter than 2*len(h).
+//
+//zinf:hotpath
 func HalfToBytes(b []byte, h []Half) {
 	_ = b[2*len(h)-1]
 	for i, v := range h {
@@ -294,6 +316,8 @@ func HalfToBytes(b []byte, h []Half) {
 
 // HalfFromBytes deserializes b into h (little endian).
 // It panics if b is shorter than 2*len(h).
+//
+//zinf:hotpath
 func HalfFromBytes(h []Half, b []byte) {
 	_ = b[2*len(h)-1]
 	for i := range h {

@@ -1,0 +1,59 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzFp16RoundTrip feeds arbitrary float32 bit patterns (including NaNs,
+// infinities, subnormals and the rounding boundaries) through the
+// block-processed codec and checks it stays bit-identical to the scalar
+// reference in both directions, and that decode(encode(x)) matches the
+// scalar round trip.
+func FuzzFp16RoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0x80, 0x7f})             // +Inf
+	f.Add([]byte{1, 0, 0x80, 0x7f})             // signaling-ish NaN
+	f.Add([]byte{0xff, 0xff, 0x7f, 0x47})       // just above binary16 max
+	f.Add([]byte{0x00, 0x00, 0x80, 0x38, 0xcd}) // subnormal boundary + odd tail
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		n := len(raw) / 4
+		src := make([]float32, n)
+		for i := 0; i < n; i++ {
+			src[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+
+		got := make([]Half, n)
+		want := make([]Half, n)
+		EncodeHalf(got, src)
+		EncodeHalfScalar(want, src)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("EncodeHalf[%d] = %#04x, scalar %#04x (input %08x)",
+					i, got[i], want[i], math.Float32bits(src[i]))
+			}
+		}
+
+		back := make([]float32, n)
+		backScalar := make([]float32, n)
+		DecodeHalf(back, got)
+		DecodeHalfScalar(backScalar, want)
+		for i := range back {
+			if math.Float32bits(back[i]) != math.Float32bits(backScalar[i]) {
+				t.Fatalf("DecodeHalf[%d] = %08x, scalar %08x (half %#04x)",
+					i, math.Float32bits(back[i]), math.Float32bits(backScalar[i]), got[i])
+			}
+		}
+
+		// A second trip through the codec must be a fixed point: binary16
+		// values convert to float32 exactly, so re-encoding cannot move.
+		again := make([]Half, n)
+		EncodeHalf(again, back)
+		for i := range again {
+			if again[i] != got[i] {
+				t.Fatalf("re-encode[%d] = %#04x, first trip %#04x", i, again[i], got[i])
+			}
+		}
+	})
+}

@@ -21,6 +21,8 @@ import "math"
 // p-steps, without touching any element's p-ascending accumulation order. A
 // zero A element inside a block falls back to the per-p pair path
 // (matMulPair), so the sparsity skip is preserved row by row.
+//
+//zinf:hotpath
 func MatMul(c, a, b []float32, m, k, n int) {
 	checkLen("MatMul c", c, m*n)
 	checkLen("MatMul a", a, m*k)
@@ -56,6 +58,8 @@ func MatMul(c, a, b []float32, m, k, n int) {
 // matMulPairBlocked accumulates B rows [pLo, pHi) into the two output rows
 // c0, c1 with four-step p-blocking where no A element in the block is a
 // skippable zero, falling back to matMulPair otherwise.
+//
+//zinf:hotpath
 func matMulPairBlocked(c0, c1, b []float32, n, pLo, pHi int, a0, a1 []float32, skipZero bool) {
 	p := pLo
 	for ; p+4 <= pHi; p += 4 {
@@ -75,6 +79,8 @@ func matMulPairBlocked(c0, c1, b []float32, n, pLo, pHi int, a0, a1 []float32, s
 
 // matMulPair is the per-p path for a row pair: zero-skip per row, paired
 // axpy when both rows contribute.
+//
+//zinf:hotpath
 func matMulPair(c0, c1, b []float32, n, pLo, pHi int, a0, a1 []float32, skipZero bool) {
 	for p := pLo; p < pHi; p++ {
 		av0, av1 := a0[p], a1[p]
@@ -98,6 +104,8 @@ func matMulPair(c0, c1, b []float32, n, pLo, pHi int, a0, a1 []float32, skipZero
 // MatMulTransB computes C = A·Bᵀ where A is m×k, B is n×k and C is m×n.
 // Each output element is one dotLanes call — the fixed eight-accumulator
 // schedule shared by both backends.
+//
+//zinf:hotpath
 func MatMulTransB(c, a, b []float32, m, k, n int) {
 	checkLen("MatMulTransB c", c, m*n)
 	checkLen("MatMulTransB a", a, m*k)
@@ -116,6 +124,8 @@ func MatMulTransB(c, a, b []float32, m, k, n int) {
 // gradients from successive micro-steps are summed.
 // As in MatMul, the zero-skip fast path is disabled when B holds NaN/Inf so
 // non-finite gradients propagate into C instead of being dropped.
+//
+//zinf:hotpath
 func MatMulTransA(c, a, b []float32, m, k, n int) {
 	checkLen("MatMulTransA c", c, m*n)
 	checkLen("MatMulTransA a", a, k*m)
@@ -134,12 +144,16 @@ func MatMulTransA(c, a, b []float32, m, k, n int) {
 }
 
 // Axpy computes y += alpha*x elementwise.
+//
+//zinf:hotpath
 func Axpy(alpha float32, x, y []float32) {
 	checkLen("Axpy y", y, len(x))
 	axpyLanes(y, x, alpha)
 }
 
 // Add computes dst = a + b elementwise.
+//
+//zinf:hotpath
 func Add(dst, a, b []float32) {
 	checkLen("Add dst", dst, len(a))
 	checkLen("Add b", b, len(a))
@@ -147,6 +161,8 @@ func Add(dst, a, b []float32) {
 }
 
 // Mul computes dst = a * b elementwise.
+//
+//zinf:hotpath
 func Mul(dst, a, b []float32) {
 	checkLen("Mul dst", dst, len(a))
 	checkLen("Mul b", b, len(a))
@@ -154,11 +170,15 @@ func Mul(dst, a, b []float32) {
 }
 
 // Scale multiplies x by alpha in place.
+//
+//zinf:hotpath
 func Scale(alpha float32, x []float32) {
 	scaleLanes(alpha, x)
 }
 
 // Dot returns the float64-accumulated dot product of a and b.
+//
+//zinf:hotpath
 func Dot(a, b []float32) float64 {
 	checkLen("Dot b", b, len(a))
 	var s float64
@@ -169,6 +189,8 @@ func Dot(a, b []float32) float64 {
 }
 
 // Sum returns the float64-accumulated sum of x.
+//
+//zinf:hotpath
 func Sum(x []float32) float64 {
 	var s float64
 	for _, v := range x {
@@ -178,6 +200,8 @@ func Sum(x []float32) float64 {
 }
 
 // MaxAbs returns the maximum absolute value in x (0 for empty x).
+//
+//zinf:hotpath
 func MaxAbs(x []float32) float32 {
 	var m float32
 	for _, v := range x {
@@ -192,6 +216,8 @@ func MaxAbs(x []float32) float32 {
 }
 
 // L2Norm returns the float64-accumulated Euclidean norm of x.
+//
+//zinf:hotpath
 func L2Norm(x []float32) float64 {
 	var s float64
 	for _, v := range x {
@@ -207,6 +233,8 @@ func L2Norm(x []float32) float64 {
 // when its exponent field is all ones, in which case (and only then) adding
 // 1<<23 to the masked exponent carries into the sign bit — so eight lanes
 // OR their carry bits together and the loop tests one branch per block.
+//
+//zinf:hotpath
 func HasNaNOrInf(x []float32) bool {
 	const expMask = 0x7f800000
 	n := len(x)
@@ -235,6 +263,8 @@ func HasNaNOrInf(x []float32) bool {
 
 // Gelu applies the tanh-approximated GELU activation, dst = gelu(x).
 // dst and x may alias.
+//
+//zinf:hotpath
 func Gelu(dst, x []float32) {
 	checkLen("Gelu dst", dst, len(x))
 	geluLanes(dst, x)
@@ -245,12 +275,15 @@ const (
 	geluC3 = 0.044715
 )
 
+//zinf:hotpath
 func geluScalar(v float32) float32 {
 	x := float64(v)
 	return float32(0.5 * x * (1 + math.Tanh(geluC*(x+geluC3*x*x*x))))
 }
 
 // GeluBackward computes dx = dy * gelu'(x).
+//
+//zinf:hotpath
 func GeluBackward(dx, dy, x []float32) {
 	checkLen("GeluBackward dx", dx, len(x))
 	checkLen("GeluBackward dy", dy, len(x))
@@ -269,6 +302,8 @@ func GeluBackward(dx, dy, x []float32) {
 // kernels; the exp pass keeps its serial float64 accumulation (the
 // transcendental dominates it, and the sum's order is part of the
 // bit-exactness contract).
+//
+//zinf:hotpath
 func SoftmaxRows(x []float32, m, n int) {
 	checkLen("SoftmaxRows x", x, m*n)
 	for i := 0; i < m; i++ {
@@ -286,6 +321,8 @@ func SoftmaxRows(x []float32, m, n int) {
 
 // SoftmaxRowsBackward computes, for each row, dx = (dy - sum(dy*y)) * y where
 // y is the softmax output. dx and dy may alias.
+//
+//zinf:hotpath
 func SoftmaxRowsBackward(dx, dy, y []float32, m, n int) {
 	checkLen("SoftmaxRowsBackward dx", dx, m*n)
 	checkLen("SoftmaxRowsBackward dy", dy, m*n)
@@ -306,6 +343,8 @@ func SoftmaxRowsBackward(dx, dy, y []float32, m, n int) {
 }
 
 // Transpose writes the n×m transpose of the m×n matrix a into dst.
+//
+//zinf:hotpath
 func Transpose(dst, a []float32, m, n int) {
 	checkLen("Transpose dst", dst, m*n)
 	checkLen("Transpose a", a, m*n)
@@ -316,6 +355,7 @@ func Transpose(dst, a []float32, m, n int) {
 	}
 }
 
+//zinf:hotpath
 func checkLen(what string, s []float32, want int) {
 	if len(s) < want {
 		panic("tensor: " + what + " too short")

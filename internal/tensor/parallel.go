@@ -36,6 +36,7 @@ func Parallel() Backend { return &parallel{pool: sharedPool()} }
 // parallelism independently of GOMAXPROCS.
 func NewParallel(workers int) Backend { return &parallel{pool: NewPool(workers)} }
 
+//zinf:hotpath
 func (p *parallel) Name() string { return "parallel" }
 
 // Grain converts a per-item cost (approximate scalar operations) into the
@@ -43,6 +44,8 @@ func (p *parallel) Name() string { return "parallel" }
 // carries at least minParWork operations. Callers with hand-rolled loops
 // (attention heads, layernorm rows, bias adds) use it to pick a grain
 // consistent with the built-in kernels.
+//
+//zinf:hotpath
 func Grain(perItem int) int {
 	if perItem <= 0 {
 		return minParWork
@@ -72,6 +75,8 @@ func (p *parallel) MatMul(c, a, b []float32, m, k, n int) {
 // with the serial kernel. Row pairs run through the same p-blocked kernel
 // as the reference MatMul (matMulPairBlocked), so both backends share one
 // lane-accumulation schedule.
+//
+//zinf:hotpath
 func matMulRows(c, a, b []float32, lo, hi, k, n int, skipZero bool) {
 	for i := lo; i < hi; i++ {
 		ci := c[i*n : (i+1)*n]
@@ -211,16 +216,19 @@ var codecArgsPool = sync.Pool{New: func() any { return new(codecArgs) }}
 // chunks before fanning out.
 const codecGrain = minParWork / 8
 
+//zinf:hotpath
 func encodeChunk(ctx any, lo, hi int) {
 	a := ctx.(*codecArgs)
 	EncodeHalf(a.hdst[lo:hi], a.fsrc[lo:hi])
 }
 
+//zinf:hotpath
 func decodeChunk(ctx any, lo, hi int) {
 	a := ctx.(*codecArgs)
 	DecodeHalf(a.fdst[lo:hi], a.hsrc[lo:hi])
 }
 
+//zinf:hotpath
 func (p *parallel) EncodeHalf(dst []Half, src []float32) {
 	if len(dst) < len(src) {
 		panic("tensor: EncodeHalf dst too short")
@@ -232,6 +240,7 @@ func (p *parallel) EncodeHalf(dst []Half, src []float32) {
 	codecArgsPool.Put(a)
 }
 
+//zinf:hotpath
 func (p *parallel) DecodeHalf(dst []float32, src []Half) {
 	if len(dst) < len(src) {
 		panic("tensor: DecodeHalf dst too short")
@@ -287,10 +296,20 @@ func (p *parallel) Transpose(dst, a []float32, m, n int) {
 // Reductions stay serial: their float64 accumulation order is part of the
 // cross-engine bit-exactness contract, and they are O(n) — not worth a
 // nondeterministic tree reduction.
-func (p *parallel) Sum(x []float32) float64      { return Sum(x) }
-func (p *parallel) Dot(a, b []float32) float64   { return Dot(a, b) }
-func (p *parallel) L2Norm(x []float32) float64   { return L2Norm(x) }
-func (p *parallel) MaxAbs(x []float32) float32   { return MaxAbs(x) }
+//
+//zinf:hotpath
+func (p *parallel) Sum(x []float32) float64 { return Sum(x) }
+
+//zinf:hotpath
+func (p *parallel) Dot(a, b []float32) float64 { return Dot(a, b) }
+
+//zinf:hotpath
+func (p *parallel) L2Norm(x []float32) float64 { return L2Norm(x) }
+
+//zinf:hotpath
+func (p *parallel) MaxAbs(x []float32) float32 { return MaxAbs(x) }
+
+//zinf:hotpath
 func (p *parallel) HasNaNOrInf(x []float32) bool { return HasNaNOrInf(x) }
 
 func (p *parallel) ParRange(n, grain int, fn func(lo, hi int)) {

@@ -49,6 +49,8 @@ func NewPool(workers int) *Pool {
 }
 
 // Workers returns the pool's worker count.
+//
+//zinf:hotpath
 func (p *Pool) Workers() int { return p.workers }
 
 var (
@@ -72,6 +74,8 @@ var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
 // callClosure adapts the closure-based ParallelFor API onto the ctx-based
 // dispatch. Boxing a func value into any is allocation-free (funcs are
 // pointer-shaped); the closure itself is the caller's single allocation.
+//
+//zinf:hotpath
 func callClosure(ctx any, lo, hi int) { ctx.(func(lo, hi int))(lo, hi) }
 
 // ParallelFor partitions [0, n) into at most Workers() contiguous chunks and
@@ -83,6 +87,8 @@ func callClosure(ctx any, lo, hi int) { ctx.(func(lo, hi int))(lo, hi) }
 // Chunk boundaries never split fn's index space in a way the caller can't
 // control — callers that need row granularity scale n to rows and multiply
 // inside fn.
+//
+//zinf:hotpath
 func (p *Pool) ParallelFor(n, grain int, fn func(lo, hi int)) {
 	p.ParallelForCtx(n, grain, fn, callClosure)
 }
@@ -92,6 +98,8 @@ func (p *Pool) ParallelFor(n, grain int, fn func(lo, hi int)) {
 // fn a top-level function, dispatch performs zero heap allocations — the
 // form the fp16 codec kernels use so conversion stays off the allocator even
 // at full fan-out.
+//
+//zinf:hotpath
 func (p *Pool) ParallelForCtx(n, grain int, ctx any, fn func(ctx any, lo, hi int)) {
 	if n <= 0 {
 		return

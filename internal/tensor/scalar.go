@@ -38,6 +38,8 @@ func MatMulScalar(c, a, b []float32, m, k, n int) {
 // EncodeHalfScalar converts src to binary16 one element at a time through
 // HalfFromFloat32 — the pre-block-processing encoder. Output is
 // bit-identical to EncodeHalf.
+//
+//zinf:hotpath
 func EncodeHalfScalar(dst []Half, src []float32) {
 	if len(dst) < len(src) {
 		panic("tensor: EncodeHalf dst too short")
@@ -50,6 +52,8 @@ func EncodeHalfScalar(dst []Half, src []float32) {
 
 // DecodeHalfScalar converts src from binary16 one LUT lookup at a time.
 // Output is bit-identical to DecodeHalf.
+//
+//zinf:hotpath
 func DecodeHalfScalar(dst []float32, src []Half) {
 	if len(dst) < len(src) {
 		panic("tensor: DecodeHalf dst too short")
@@ -62,6 +66,8 @@ func DecodeHalfScalar(dst []float32, src []Half) {
 
 // hasNaNOrInfScalar is the math.IsNaN/IsInf formulation the exponent-mask
 // scan in HasNaNOrInf is tested against.
+//
+//zinf:hotpath
 func hasNaNOrInfScalar(x []float32) bool {
 	for _, v := range x {
 		f := float64(v)

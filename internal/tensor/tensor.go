@@ -91,6 +91,8 @@ func (t *Tensor) DType() DType { return t.dtype }
 func (t *Tensor) Shape() []int { return t.shape }
 
 // Len returns the number of elements.
+//
+//zinf:hotpath
 func (t *Tensor) Len() int {
 	if t.dtype == FP16 {
 		return len(t.f16)
@@ -123,6 +125,8 @@ func (t *Tensor) Set(i int, v float32) {
 
 // Float32s returns the backing float32 slice of an FP32 tensor.
 // It panics for FP16 tensors; use Read for a converting copy.
+//
+//zinf:hotpath
 func (t *Tensor) Float32s() []float32 {
 	if t.dtype != FP32 {
 		panic("tensor: Float32s on fp16 tensor")
@@ -132,6 +136,8 @@ func (t *Tensor) Float32s() []float32 {
 
 // Halfs returns the backing binary16 slice of an FP16 tensor.
 // It panics for FP32 tensors.
+//
+//zinf:hotpath
 func (t *Tensor) Halfs() []Half {
 	if t.dtype != FP16 {
 		panic("tensor: Halfs on fp32 tensor")

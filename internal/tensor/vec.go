@@ -27,6 +27,8 @@ const lanes = 8
 // bit-identical to the plain scalar loop — this is the inner kernel of
 // MatMul and MatMulTransA, where it preserves the strict p-ascending
 // per-element accumulation order the engine-equivalence tests pin down.
+//
+//zinf:hotpath
 func axpyLanes(ci, bp []float32, av float32) {
 	n := len(bp)
 	j := 0
@@ -53,6 +55,8 @@ func axpyLanes(ci, bp []float32, av float32) {
 // that moves MatMul off the load ceiling — while each row's per-element
 // arithmetic and ascending-j order are exactly axpyLanes', so the result is
 // bit-identical to two separate axpyLanes calls.
+//
+//zinf:hotpath
 func axpy2Lanes(c0, c1, bp []float32, a0, a1 float32) {
 	n := len(bp)
 	j := 0
@@ -90,6 +94,8 @@ func axpy2Lanes(c0, c1, bp []float32, a0, a1 float32) {
 // the intermediate lives in a register, so each c element is loaded and
 // stored once per four p-steps instead of once per step. This is the
 // p-blocking that lifts MatMul off the store-bandwidth ceiling.
+//
+//zinf:hotpath
 func axpy2x4Lanes(c0, c1, b0, b1, b2, b3 []float32,
 	a00, a01, a02, a03, a10, a11, a12, a13 float32) {
 	n := len(b0)
@@ -230,6 +236,8 @@ func axpy2x4Lanes(c0, c1, b0, b1, b2, b3 []float32,
 // holds by construction. NaN/Inf in either input propagates through the
 // lane accumulators and the combine tree exactly as IEEE arithmetic
 // requires (nothing is skipped or compared away).
+//
+//zinf:hotpath
 func dotLanes(a, b []float32) float32 {
 	n := len(a)
 	var s0, s1, s2, s3, s4, s5, s6, s7 float32
@@ -260,6 +268,8 @@ func dotLanes(a, b []float32) float32 {
 // serial and the lane scan, and softmax turns the whole row into NaNs
 // either way, so SoftmaxRows' output stays bit-identical (see the
 // NaN-propagation tests).
+//
+//zinf:hotpath
 func maxLanes(row []float32) float32 {
 	n := len(row)
 	if n < 2*lanes {
@@ -333,6 +343,8 @@ func maxLanes(row []float32) float32 {
 
 // addLanes computes dst = a + b elementwise; bit-identical to the scalar
 // loop (independent elements, ascending order).
+//
+//zinf:hotpath
 func addLanes(dst, a, b []float32) {
 	n := len(a)
 	i := 0
@@ -356,6 +368,8 @@ func addLanes(dst, a, b []float32) {
 
 // mulLanes computes dst = a * b elementwise; bit-identical to the scalar
 // loop.
+//
+//zinf:hotpath
 func mulLanes(dst, a, b []float32) {
 	n := len(a)
 	i := 0
@@ -379,6 +393,8 @@ func mulLanes(dst, a, b []float32) {
 
 // scaleLanes multiplies x by alpha in place; bit-identical to the scalar
 // loop.
+//
+//zinf:hotpath
 func scaleLanes(alpha float32, x []float32) {
 	n := len(x)
 	i := 0
@@ -404,6 +420,8 @@ func scaleLanes(alpha float32, x []float32) {
 // arithmetic is unchanged, so results are bit-identical to the scalar
 // loop; statement order within a block matches the serial loop, so the
 // documented dst/x aliasing behaves identically too.
+//
+//zinf:hotpath
 func geluLanes(dst, x []float32) {
 	n := len(x)
 	i := 0

@@ -18,6 +18,8 @@ type AllocMeter struct {
 const allocMetric = "/gc/heap/allocs:objects"
 
 // Begin snapshots the allocation counter at step start.
+//
+//zinf:hotpath
 func (m *AllocMeter) Begin() {
 	if m.begin[0].Name == "" {
 		m.begin[0].Name = allocMetric
@@ -27,6 +29,8 @@ func (m *AllocMeter) Begin() {
 }
 
 // End snapshots again and returns the step's allocation count.
+//
+//zinf:hotpath
 func (m *AllocMeter) End() uint64 {
 	metrics.Read(m.end[:])
 	return m.end[0].Value.Uint64() - m.begin[0].Value.Uint64()
@@ -34,6 +38,8 @@ func (m *AllocMeter) End() uint64 {
 
 // MicroBatch fills the engine-owned single-micro-batch wrappers for the
 // Step → StepAccum path without allocating after the first call.
+//
+//zinf:hotpath
 func MicroBatch(tokBuf, tgtBuf *[][]int, tokens, targets []int) (tok, tgt [][]int) {
 	*tokBuf = append((*tokBuf)[:0], tokens)
 	*tgtBuf = append((*tgtBuf)[:0], targets)

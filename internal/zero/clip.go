@@ -9,6 +9,8 @@ import "math"
 // bit-identical across engines.
 
 // SumSq accumulates Σ g² in float64 over one gradient shard.
+//
+//zinf:hotpath
 func SumSq(g []float32) float64 {
 	var s float64
 	for _, v := range g {
@@ -20,6 +22,8 @@ func SumSq(g []float32) float64 {
 // ClipFactor returns the multiplier (≤ 1) that brings a gradient of the
 // given squared norm down to clipNorm; 1 when already within bounds or when
 // clipping is disabled.
+//
+//zinf:hotpath
 func ClipFactor(sumSq, clipNorm float64) float64 {
 	if clipNorm <= 0 || sumSq <= clipNorm*clipNorm {
 		return 1

@@ -123,6 +123,8 @@ func (e *DPEngine) Runtime() *module.Runtime { return e.rt }
 func (e *DPEngine) LossScale() float64 { return e.scaler.Scale }
 
 // Step runs one data-parallel training step on this rank's batch.
+//
+//zinf:hotpath
 func (e *DPEngine) Step(tokens, targets []int, batch int) StepResult {
 	tok, tgt := MicroBatch(&e.microTok, &e.microTgt, tokens, targets)
 	return e.StepAccum(tok, tgt, batch)
@@ -133,6 +135,8 @@ func (e *DPEngine) Step(tokens, targets []int, batch int) StepResult {
 // accumulated in fp32 before a single optimizer step — the recipe ZeRO
 // engines use (reduce per micro-batch, accumulate the reduced shards), which
 // keeps every engine's trajectory bit-identical.
+//
+//zinf:hotpath
 func (e *DPEngine) StepAccum(microTokens, microTargets [][]int, batchPerMicro int) StepResult {
 	if len(microTokens) == 0 || len(microTokens) != len(microTargets) {
 		panic("zero: StepAccum needs matching non-empty micro-batches")
@@ -205,6 +209,8 @@ func (e *DPEngine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 }
 
 // finishStep records the step's process-global allocation count.
+//
+//zinf:hotpath
 func (e *DPEngine) finishStep(res StepResult) StepResult {
 	e.AllocsPerStep = e.meter.End()
 	return res
@@ -214,6 +220,8 @@ func (e *DPEngine) finishStep(res StepResult) StepResult {
 // the decoded result into e.grads. The padded fp16 buffer is engine-owned
 // scratch keyed by padded length (arena size class) rather than a per-call
 // allocation.
+//
+//zinf:hotpath
 func (e *DPEngine) reduceMicro() {
 	dp := e.c.Size()
 	for _, p := range e.params {
@@ -257,7 +265,7 @@ func (e *DPEngine) reduceMicro() {
 			e.rt.Backend().Axpy(1, reduced, acc)
 			e.f32.Put(reduced)
 		} else {
-			e.grads[p] = reduced
+			e.grads[p] = reduced //zinf:allow hotpathalloc keyset fixed after the first step; steady state takes the accumulate branch above
 		}
 	}
 }
@@ -265,6 +273,8 @@ func (e *DPEngine) reduceMicro() {
 // gradList returns this rank's reduced gradient buffers in parameter order
 // (the order the shared overflow/clip helpers require), reusing the
 // engine's scratch list.
+//
+//zinf:hotpath
 func (e *DPEngine) gradList() [][]float32 {
 	gs := e.gradsBuf[:0]
 	for _, p := range e.params {
@@ -276,6 +286,8 @@ func (e *DPEngine) gradList() [][]float32 {
 
 // clipFactor computes the global-gradient-norm clip multiplier in the
 // engine-invariant summation order: rank-major, then parameter-major.
+//
+//zinf:hotpath
 func (e *DPEngine) clipFactor() float64 {
 	if e.cfg.ClipNorm <= 0 {
 		return 1

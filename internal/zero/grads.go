@@ -14,6 +14,8 @@ import (
 // GlobalOverflow reports whether any rank's gradient buffers contain a NaN
 // or Inf (the fp16 loss-scaling overflow check). grads holds this rank's
 // buffers in parameter order; nil entries are skipped.
+//
+//zinf:hotpath
 func GlobalOverflow(c *comm.Comm, be tensor.Backend, grads [][]float32) bool {
 	overflow := 0.0
 	for _, g := range grads {
@@ -29,6 +31,8 @@ func GlobalOverflow(c *comm.Comm, be tensor.Backend, grads [][]float32) bool {
 // all-parameter) gradient L2 norm down to clipNorm: SumSq per buffer in
 // order, summed locally in float64, folded in rank order by AllReduceScalar,
 // then ClipFactor. With clipNorm <= 0 it returns 1 without communicating.
+//
+//zinf:hotpath
 func GlobalClipFactor(c *comm.Comm, clipNorm float64, grads [][]float32) float64 {
 	if clipNorm <= 0 {
 		return 1

@@ -53,6 +53,8 @@ func newGatherPrefetcher(e *Z3Engine, depth int) *gatherPrefetcher {
 // the fp16 view (broadcast). The float32 buffer becomes the parameter's
 // data; the fp16 buffer belongs to the engine's arena and the caller Puts
 // it back after decoding.
+//
+//zinf:hotpath
 func (pf *gatherPrefetcher) claim(p *module.Param) ([]float32, []tensor.Half) {
 	f, ok := pf.inflight[p]
 	if !ok {
@@ -68,6 +70,8 @@ func (pf *gatherPrefetcher) claim(p *module.Param) ([]float32, []tensor.Half) {
 // issue launches gathers for the next depth upcoming parameters:
 // allgathers of the 1/dp slices, or asynchronous broadcasts from the owning
 // rank under PartitionBroadcast.
+//
+//zinf:hotpath
 func (pf *gatherPrefetcher) issue() {
 	e := pf.e
 	dp := e.c.Size()
@@ -90,7 +94,7 @@ func (pf *gatherPrefetcher) issue() {
 			full := e.f32.Get(s * dp)
 			g = inflightGather{ticket: e.c.AllGatherHalfDecodeAsync(full, e.shard[p]), full: full}
 		}
-		pf.inflight[p] = g
+		pf.inflight[p] = g //zinf:allow hotpathalloc keys recycle the same params every step, so buckets are warm after step one
 		pf.outstanding++
 		e.PrefetchIssued++
 		return true
@@ -100,6 +104,8 @@ func (pf *gatherPrefetcher) issue() {
 // endStep drains unconsumed speculative gathers (every rank issued the same
 // collectives, so the tickets always complete), recycles their buffers, and
 // finishes the trace step.
+//
+//zinf:hotpath
 func (pf *gatherPrefetcher) endStep() {
 	for p, f := range pf.inflight {
 		f.ticket.Wait()
@@ -120,6 +126,8 @@ func (pf *gatherPrefetcher) endStep() {
 // recycling the retired buffers. Called at every micro-batch boundary —
 // bounding retained gradient buffers to one micro-batch — and again as the
 // barrier before the overflow check.
+//
+//zinf:hotpath
 func (e *Z3Engine) drainReduces() {
 	e.pendingReduces = overlap.Drain(e.pendingReduces, func(p *module.Param, gs []float32, gh []tensor.Half) {
 		e.f16.Put(gh)

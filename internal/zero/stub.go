@@ -37,6 +37,8 @@ func newStubLayer(name string, n int) *stubLayer {
 }
 
 // Forward implements module.Layer without allocating.
+//
+//zinf:hotpath
 func (l *stubLayer) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
 	w := l.p.Data()
 	xd := x.Float32s()
@@ -48,6 +50,8 @@ func (l *stubLayer) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor
 }
 
 // Backward implements module.Layer without allocating.
+//
+//zinf:hotpath
 func (l *stubLayer) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
 	g := l.p.Grad()
 	dyd := dy.Float32s()
@@ -87,6 +91,8 @@ func NewAllocFreeStub(layers, n int) Model {
 }
 
 // ForwardLoss implements Model: run the chain, return the mean output.
+//
+//zinf:hotpath
 func (m *stubModel) ForwardLoss(rt *module.Runtime, tokens, targets []int, batch int) float64 {
 	h := m.x
 	for _, l := range m.layers {
@@ -101,6 +107,8 @@ func (m *stubModel) ForwardLoss(rt *module.Runtime, tokens, targets []int, batch
 
 // BackwardLoss implements Model: constant upstream gradient through the
 // chain in reverse.
+//
+//zinf:hotpath
 func (m *stubModel) BackwardLoss(rt *module.Runtime, scale float32) {
 	dyd := m.dy.Float32s()
 	for i := range dyd {

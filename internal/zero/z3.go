@@ -202,6 +202,8 @@ func (e *Z3Engine) CommTrafficTotal() comm.TrafficStats { return e.c.TrafficTota
 // collective is claimed instead of stalling on a fresh one, and collectives
 // for the next trace entries are issued before returning to compute. All
 // transient buffers cycle through the engine arenas.
+//
+//zinf:hotpath
 func (e *Z3Engine) gather(p *module.Param) {
 	if p.Materialized() {
 		return
@@ -239,6 +241,7 @@ func (e *Z3Engine) gather(p *module.Param) {
 		if m := e.owner[p]; m != nil {
 			name = m.Name()
 		}
+		//zinf:allow hotpathalloc trace strings are recorded on the first step only (guarded by !e.traceDone)
 		e.GatherTrace = append(e.GatherTrace, name+"/"+p.Name)
 	}
 	if e.prefetch != nil {
@@ -251,6 +254,8 @@ func (e *Z3Engine) gather(p *module.Param) {
 // whole shard; stale arena contents elsewhere, which the broadcast
 // overwrites. Shared by the sync gather, the prefetcher and FullParams so
 // the owner-copy sequence exists once.
+//
+//zinf:hotpath
 func (e *Z3Engine) bcastFullH(p *module.Param) ([]tensor.Half, int) {
 	owner := e.bcastOwner[p]
 	fullH := e.f16.Get(p.Len())
@@ -261,6 +266,8 @@ func (e *Z3Engine) bcastFullH(p *module.Param) ([]tensor.Half, int) {
 }
 
 // releaseParam re-partitions p, recycling the gathered fp32 view.
+//
+//zinf:hotpath
 func (e *Z3Engine) releaseParam(p *module.Param) {
 	if !p.Materialized() {
 		return
@@ -271,6 +278,8 @@ func (e *Z3Engine) releaseParam(p *module.Param) {
 
 // onDemand is the Param.Data() interception: gather now and register the
 // parameter as external to the module currently executing.
+//
+//zinf:hotpath
 func (e *Z3Engine) onDemand(p *module.Param) {
 	e.gather(p)
 	e.OnDemandGathers++
@@ -286,10 +295,12 @@ func (e *Z3Engine) onDemand(p *module.Param) {
 			return
 		}
 	}
-	e.external[m] = append(e.external[m], p)
+	e.external[m] = append(e.external[m], p) //zinf:allow hotpathalloc appends once per newly-discovered external param; steady state returns from the scan above
 }
 
 // PreForward implements module.Hooks: gather own and known-external params.
+//
+//zinf:hotpath
 func (e *Z3Engine) PreForward(m module.Module) {
 	e.active = append(e.active, m)
 	for _, p := range m.Params() {
@@ -301,6 +312,8 @@ func (e *Z3Engine) PreForward(m module.Module) {
 }
 
 // PostForward implements module.Hooks: re-partition params used here.
+//
+//zinf:hotpath
 func (e *Z3Engine) PostForward(m module.Module) {
 	e.active = e.active[:len(e.active)-1]
 	for _, p := range m.Params() {
@@ -314,6 +327,8 @@ func (e *Z3Engine) PostForward(m module.Module) {
 }
 
 // PreBackward implements module.Hooks.
+//
+//zinf:hotpath
 func (e *Z3Engine) PreBackward(m module.Module) {
 	e.active = append(e.active, m)
 	for _, p := range m.Params() {
@@ -328,6 +343,8 @@ func (e *Z3Engine) PreBackward(m module.Module) {
 // a fused reduce-scatter+decode of the 1/dp slices, or a fused
 // reduce+decode to the owning rank under PartitionBroadcast — then
 // re-partition.
+//
+//zinf:hotpath
 func (e *Z3Engine) PostBackward(m module.Module) {
 	e.active = e.active[:len(e.active)-1]
 	for _, p := range m.Params() {
@@ -349,6 +366,8 @@ func (e *Z3Engine) PostBackward(m module.Module) {
 // arithmetic and round through binary16, so their reduced values are
 // bit-identical; they differ only in where the result lands (every rank's
 // slice vs the owner's full vector) and which links carry the bytes.
+//
+//zinf:hotpath
 func (e *Z3Engine) reduceGrad(p *module.Param) {
 	dp := e.c.Size()
 	n := p.Len()
@@ -396,17 +415,21 @@ func (e *Z3Engine) reduceGrad(p *module.Param) {
 // foldGradShard accumulates a freshly reduced fp32 shard into the
 // per-parameter gradient shard (micro-batch accumulation), recycling the
 // buffer when an accumulator already exists.
+//
+//zinf:hotpath
 func (e *Z3Engine) foldGradShard(p *module.Param, gs []float32) {
 	if acc := e.gradShard[p]; acc != nil {
 		e.rt.Backend().Axpy(1, gs, acc)
 		e.f32.Put(gs)
 	} else {
-		e.gradShard[p] = gs
+		e.gradShard[p] = gs //zinf:allow hotpathalloc keyset fixed after the first micro-batch; steady state folds into the existing shard
 	}
 }
 
 // inScope reports whether p belongs to (or is external to) a module still
 // on the active stack — if so it must stay materialized.
+//
+//zinf:hotpath
 func (e *Z3Engine) inScope(p *module.Param) bool {
 	for _, m := range e.active {
 		if e.owner[p] == m {
@@ -422,6 +445,8 @@ func (e *Z3Engine) inScope(p *module.Param) bool {
 }
 
 // Step runs one training step.
+//
+//zinf:hotpath
 func (e *Z3Engine) Step(tokens, targets []int, batch int) StepResult {
 	tok, tgt := MicroBatch(&e.microTok, &e.microTgt, tokens, targets)
 	return e.StepAccum(tok, tgt, batch)
@@ -429,6 +454,8 @@ func (e *Z3Engine) Step(tokens, targets []int, batch int) StepResult {
 
 // StepAccum runs one training step with gradient accumulation over
 // micro-batches (reduce per micro-batch, accumulate fp32 shards).
+//
+//zinf:hotpath
 func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro int) StepResult {
 	if len(microTokens) == 0 || len(microTokens) != len(microTargets) {
 		panic("zero: StepAccum needs matching non-empty micro-batches")
@@ -495,6 +522,8 @@ func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 }
 
 // dropGradShards recycles and forgets every gradient shard (overflow skip).
+//
+//zinf:hotpath
 func (e *Z3Engine) dropGradShards() {
 	for _, p := range e.owned {
 		if gs := e.gradShard[p]; gs != nil {
@@ -505,6 +534,8 @@ func (e *Z3Engine) dropGradShards() {
 }
 
 // finishStep records the step's process-global allocation count.
+//
+//zinf:hotpath
 func (e *Z3Engine) finishStep(res StepResult) StepResult {
 	e.AllocsPerStep = e.meter.End()
 	return res
