@@ -3,11 +3,13 @@
 // BENCH_fig6c.json, zinf-roofline -json BENCH_roofline.json) against a
 // committed baseline and fails when
 //
-//   - any record with unit "allocs/step" is above zero — the
-//     allocation-free steady-state contract is absolute, independent of the
-//     baseline's value;
+//   - any record with unit "allocs/step" or "model-allocs/step" is above
+//     zero — the allocation-free steady-state contract covers the engine
+//     path and the model forward/backward alike, and it is absolute,
+//     independent of the baseline's value;
 //   - a lower-is-better metric (ms/step, ms/run, allocs/step, and the
-//     steady_ms/sim_ms extras) regresses past the threshold (default 25%);
+//     steady_ms/sim_ms/first_step_allocs extras) regresses past the
+//     threshold (default 25%);
 //   - a higher-is-better metric (GB/s, GFLOP/s, speedup ratios "x") drops
 //     past the threshold;
 //   - a baseline record disappears from the current run (coverage cannot
@@ -80,11 +82,13 @@ func compare(baseline, current benchDoc, threshold float64) []string {
 	}
 
 	// The hard allocation gate applies to the current run even where the
-	// baseline has no matching record.
+	// baseline has no matching record. "allocs/step" is the engine-path
+	// record; "model-allocs/step" is the full-step record including the
+	// model forward/backward — both must be exactly zero in steady state.
 	for _, r := range current.Records {
-		if r.Unit == "allocs/step" && r.Value > 0 {
+		if (r.Unit == "allocs/step" || r.Unit == "model-allocs/step") && r.Value > 0 {
 			violations = append(violations,
-				fmt.Sprintf("%s: AllocsPerStep = %.0f, want 0 (allocation-free steady state)", r.Name, r.Value))
+				fmt.Sprintf("%s: steady-state allocations = %.0f %s, want 0 (allocation-free step contract)", r.Name, r.Value, r.Unit))
 		}
 	}
 
@@ -117,7 +121,10 @@ func compare(baseline, current benchDoc, threshold float64) []string {
 			continue
 		}
 		gate(b.Name, "value ("+b.Unit+")", b.Value, c.Value, direction(b.Unit))
-		for _, extra := range []string{"steady_ms", "sim_ms"} {
+		// first_step_allocs gates the warmup path direction-aware: steady
+		// state is hard-zero above, but first-step (pool-filling) allocation
+		// count regressions would otherwise be invisible.
+		for _, extra := range []string{"steady_ms", "sim_ms", "first_step_allocs"} {
 			bv, bok := b.Extra[extra]
 			cv, cok := c.Extra[extra]
 			if bok && cok {

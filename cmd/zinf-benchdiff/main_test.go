@@ -16,12 +16,42 @@ func TestCompareAllocsGateIsAbsolute(t *testing.T) {
 	cur := doc(harness.Record{Name: "zinf/stepalloc/zero3/steady", Unit: "allocs/step", Value: 3})
 	// Even improving on a nonzero baseline fails: the contract is zero.
 	v := compare(base, cur, 0.25)
-	if len(v) != 1 || !strings.Contains(v[0], "AllocsPerStep") {
+	if len(v) != 1 || !strings.Contains(v[0], "want 0") {
 		t.Fatalf("violations = %v", v)
 	}
 	cur.Records[0].Value = 0
 	if v := compare(base, cur, 0.25); len(v) != 0 {
 		t.Fatalf("zero allocs flagged: %v", v)
+	}
+}
+
+func TestCompareModelAllocsGateIsAbsolute(t *testing.T) {
+	// The full-step record is hard-gated exactly like the engine record —
+	// including when the baseline has no matching entry yet.
+	cur := doc(harness.Record{Name: "zinf/stepalloc/infinity-gpu/steady", Unit: "model-allocs/step", Value: 1})
+	v := compare(doc(), cur, 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "want 0") {
+		t.Fatalf("violations = %v", v)
+	}
+	cur.Records[0].Value = 0
+	if v := compare(doc(), cur, 0.25); len(v) != 0 {
+		t.Fatalf("zero model-allocs flagged: %v", v)
+	}
+}
+
+func TestCompareFirstStepAllocsRatioGated(t *testing.T) {
+	base := doc(harness.Record{Name: "r", Unit: "model-allocs/step", Value: 0,
+		Extra: map[string]float64{"first_step_allocs": 4000}})
+	ok := doc(harness.Record{Name: "r", Unit: "model-allocs/step", Value: 0,
+		Extra: map[string]float64{"first_step_allocs": 4500}})
+	if v := compare(base, ok, 0.25); len(v) != 0 {
+		t.Fatalf("in-threshold warmup allocs flagged: %v", v)
+	}
+	regressed := doc(harness.Record{Name: "r", Unit: "model-allocs/step", Value: 0,
+		Extra: map[string]float64{"first_step_allocs": 6000}})
+	v := compare(base, regressed, 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "first_step_allocs") {
+		t.Fatalf("warmup-alloc regression not flagged: %v", v)
 	}
 }
 

@@ -1,0 +1,95 @@
+// pooledctx exercises the allocation-free dispatch idiom the model layers
+// adopted with the step arena: a sync.Pool'd args struct plus a top-level
+// chunk function handed to a ParRangeCtx-style fan-out, instead of a
+// capturing closure (which escapes through the retaining worker-pool API).
+package hotpath
+
+import "sync"
+
+// chunkCtx carries a kernel's operands to its chunk function.
+type chunkCtx struct {
+	dst []int
+	n   int
+}
+
+var chunkCtxPool = sync.Pool{New: func() any { return new(chunkCtx) }}
+
+// chunkFn is the package-level worker body: no captures, ctx arrives boxed
+// but pointer-shaped, so the dispatch allocates nothing.
+//
+//zinf:hotpath
+func chunkFn(ctx any, lo, hi int) {
+	c := ctx.(*chunkCtx)
+	for i := lo; i < hi; i++ {
+		c.dst[i] = c.n
+	}
+}
+
+// parRangeCtx mimics tensor.Backend.ParRangeCtx: fn appears only in call
+// position, so it is borrowed, and ctx is an opaque pointer.
+//
+//zinf:hotpath
+func parRangeCtx(n int, ctx any, fn func(ctx any, lo, hi int)) {
+	if n > 0 {
+		fn(ctx, 0, n)
+	}
+}
+
+// PooledDispatch is the blessed pattern end to end: pool Get with a type
+// assertion, field assignment, dispatch, zero-value reset, pool Put. None of
+// it allocates, none of it fires.
+//
+//zinf:hotpath
+func PooledDispatch(dst []int, v int) {
+	c := chunkCtxPool.Get().(*chunkCtx)
+	c.dst, c.n = dst, v
+	parRangeCtx(len(dst), c, chunkFn)
+	*c = chunkCtx{}
+	chunkCtxPool.Put(c)
+}
+
+// FreshCtxDispatch shows the mistake the pool exists to prevent: building
+// the ctx per call.
+//
+//zinf:hotpath
+func FreshCtxDispatch(dst []int, v int) {
+	c := &chunkCtx{dst: dst, n: v} // want `&composite literal allocates`
+	parRangeCtx(len(dst), c, chunkFn)
+}
+
+// ClosureDispatch shows the other mistake: capturing operands instead of
+// threading them through the ctx. fn is borrowed here, but the closure body
+// is still checked — and a retaining pool API would make the capture itself
+// escape.
+//
+//zinf:hotpath
+func ClosureDispatch(dst []int, v int) {
+	parRangeCtx(len(dst), nil, func(_ any, lo, hi int) {
+		tmp := make([]int, hi-lo) // want `make allocates in a hotpath function`
+		for i := range tmp {
+			dst[lo+i] = v
+		}
+	})
+}
+
+// ShapeReset is the tensor.ResetFP32Matrix idiom: reinitializing a recycled
+// header's shape by self-append against its retained backing array —
+// amortized allocation-free, so it stays quiet.
+//
+//zinf:hotpath
+func ShapeReset(shape []int, rows, cols int) []int {
+	shape = append(shape[:0], rows, cols)
+	return shape
+}
+
+// WarmupGet is the arena free-list idiom: the steady-state pop is clean, and
+// the cold-path make carries a reasoned //zinf:allow.
+//
+//zinf:hotpath
+func WarmupGet(free [][]int, n int) ([]int, [][]int) {
+	if k := len(free); k > 0 {
+		s := free[k-1]
+		return s[:n], free[:k-1]
+	}
+	return make([]int, n), free //zinf:allow hotpathalloc warmup pool miss; every steady-state get pops the free list
+}

@@ -138,6 +138,7 @@ func NewInfinityEngine(cfg Config, c *comm.Comm, g zero.Model) (*InfinityEngine,
 	}
 	e.rt = module.NewRuntime(e)
 	e.rt.SetBackend(cfg.Backend)
+	e.rt.SetStepArena(mem.NewStepArena())
 	c.SetCodecBackend(cfg.Backend)
 	if cfg.Topology != nil {
 		if err := c.SetTopology(cfg.Topology); err != nil {
@@ -697,9 +698,17 @@ func (e *InfinityEngine) StepAccum(microTokens, microTargets [][]int, batchPerMi
 	var lossSum float64
 	for m := 0; m < micros; m++ {
 		e.beginOverlapStep()
+		// The arena step brackets the micro-batch. EndStep runs after
+		// endOverlapStep's reduce drain, so nothing launched in this
+		// micro-batch is in flight when the activations are reclaimed (the
+		// async reduce-scatters only hold engine-arena fp16 buffers anyway).
+		// An OOM unwind skips EndStep; the next BeginStep reclaims
+		// unconditionally, so aborted steps cannot leak arena buffers.
+		e.rt.BeginStep()
 		lossSum += e.g.ForwardLoss(e.rt, microTokens[m], microTargets[m], batchPerMicro)
 		e.g.BackwardLoss(e.rt, float32(scaleUsed))
 		e.endOverlapStep()
+		e.rt.EndStep()
 	}
 	globalLoss := e.c.AllReduceScalar(lossSum/float64(micros)) / float64(dp)
 

@@ -187,10 +187,11 @@ func init() {
 					fmt.Fprintf(w, "  step-1 allocs %d -> steady %d (%.1fx fewer; residual = model activations)\n\n",
 						first, last, float64(first)/float64(last))
 				}
-				// Unit "model-allocs/step", not "allocs/step": the steady
-				// residual is the GPT model's activation allocations, which
-				// are legitimate — benchdiff ratio-gates them instead of
-				// applying the hard zero gate reserved for the engine path.
+				// Unit "model-allocs/step": the full-step record including
+				// the model's forward/backward, which the step-scoped
+				// activation arena makes allocation-free — benchdiff
+				// hard-gates it at zero like the engine record, and
+				// ratio-gates the first_step_allocs warmup extra.
 				emitRecord(Record{
 					Name:  "zinf/stepalloc/" + engine + "/steady",
 					Unit:  "model-allocs/step",

@@ -1,0 +1,157 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestStepArenaSteadyStateZeroAllocs asserts the arena's core contract: after
+// one warm-up step fills the size-class free lists and the header pool, a
+// step's worth of matrix/slice/scratch requests performs zero heap
+// allocations.
+func TestStepArenaSteadyStateZeroAllocs(t *testing.T) {
+	a := NewStepArena()
+	step := func() {
+		a.BeginStep()
+		_ = a.NewMatrixUninit(4, 8)
+		_ = a.NewMatrix(3, 3)
+		_ = a.AllocF32(17)
+		s := a.Scratch(64)
+		a.PutScratch(s)
+	}
+	step() // warm up the free lists and header pool
+	if n := testing.AllocsPerRun(50, step); n != 0 {
+		t.Fatalf("steady-state arena step allocated %.1f times per run, want 0", n)
+	}
+	gets, hits, _, steps := a.Stats()
+	if steps < 50 {
+		t.Fatalf("Stats steps = %d, want >= 50", steps)
+	}
+	// Every get after the warm-up step must be a free-list hit.
+	if miss := gets - hits; miss > 4 {
+		t.Fatalf("free-list misses = %d (gets %d, hits %d), want only the warm-up's", miss, gets, hits)
+	}
+}
+
+// TestStepArenaBuffersReusedAcrossSteps pins down that BeginStep actually
+// recycles: the second step's tensor is backed by the first step's buffer.
+func TestStepArenaBuffersReusedAcrossSteps(t *testing.T) {
+	a := NewStepArena()
+	a.BeginStep()
+	t1 := a.NewMatrixUninit(5, 7)
+	p1 := &t1.Float32s()[0]
+	a.BeginStep()
+	t2 := a.NewMatrixUninit(5, 7)
+	if &t2.Float32s()[0] != p1 {
+		t.Fatal("BeginStep did not recycle the previous step's buffer")
+	}
+	if t2.DType() != tensor.FP32 || t2.Dim(0) != 5 || t2.Dim(1) != 7 || t2.Len() != 35 {
+		t.Fatalf("recycled tensor has wrong header: dtype %v shape %v", t2.DType(), t2.Shape())
+	}
+}
+
+// TestStepArenaNewMatrixZeroed checks that NewMatrix restores the tensor.New
+// zero-init contract even on a dirty recycled buffer — the property
+// attention's accumulated dqkv depends on for bit-identity with the heap path.
+func TestStepArenaNewMatrixZeroed(t *testing.T) {
+	a := NewStepArena()
+	a.BeginStep()
+	dirty := a.NewMatrixUninit(4, 4)
+	for i := range dirty.Float32s() {
+		dirty.Float32s()[i] = 123
+	}
+	p := &dirty.Float32s()[0]
+	a.BeginStep()
+	z := a.NewMatrix(4, 4)
+	if &z.Float32s()[0] != p {
+		t.Fatal("expected NewMatrix to recycle the dirty buffer")
+	}
+	for i, v := range z.Float32s() {
+		if v != 0 {
+			t.Fatalf("NewMatrix[%d] = %g, want 0", i, v)
+		}
+	}
+}
+
+// TestStepArenaMarkReleaseKeep exercises the activation-checkpoint sub-scope:
+// Release frees everything above the mark except the kept result, buffers
+// allocated before the mark survive, and the freed region is reused by the
+// next request — the property that keeps checkpointed recompute O(1) in arena
+// growth instead of O(layers).
+func TestStepArenaMarkReleaseKeep(t *testing.T) {
+	a := NewStepArena()
+	a.BeginStep()
+	pre := a.NewMatrixUninit(2, 4)
+	pre.Float32s()[0] = 11
+
+	m := a.Mark()
+	scrap := a.NewMatrixUninit(2, 4)
+	scrapPtr := &scrap.Float32s()[0]
+	keep := a.NewMatrixUninit(2, 8)
+	for i := range keep.Float32s() {
+		keep.Float32s()[i] = float32(i)
+	}
+	a.Release(m, keep)
+
+	// The kept tensor's contents survive the release.
+	for i, v := range keep.Float32s() {
+		if v != float32(i) {
+			t.Fatalf("kept tensor[%d] = %g after Release, want %d", i, v, i)
+		}
+	}
+	if pre.Float32s()[0] != 11 {
+		t.Fatal("pre-mark tensor clobbered by Release")
+	}
+	// The scrapped buffer is back on the free list: the next same-class
+	// request (a recomputed activation) reuses it.
+	re := a.NewMatrixUninit(2, 4)
+	if &re.Float32s()[0] != scrapPtr {
+		t.Fatal("Release did not free the non-kept buffer for reuse")
+	}
+	// keep stays registered live: reclaimed (not leaked) by the next step.
+	a.BeginStep()
+	again := a.NewMatrixUninit(2, 8)
+	if &again.Float32s()[0] != &keep.Float32s()[0] {
+		t.Fatal("kept buffer was not reclaimed by the next BeginStep")
+	}
+}
+
+// TestStepArenaReleaseAcrossStepPanics: a checkpoint scope that leaks across
+// a step boundary must fail loudly, not silently free the new step's buffers.
+func TestStepArenaReleaseAcrossStepPanics(t *testing.T) {
+	a := NewStepArena()
+	a.BeginStep()
+	m := a.Mark()
+	a.BeginStep()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release with a stale-generation mark did not panic")
+		}
+	}()
+	a.Release(m, nil)
+}
+
+// TestStepArenaScratchReuse: Scratch/PutScratch recycle through the same
+// free lists without registering the buffer live.
+func TestStepArenaScratchReuse(t *testing.T) {
+	a := NewStepArena()
+	s1 := a.Scratch(100)
+	if len(s1) != 100 {
+		t.Fatalf("Scratch len = %d, want 100", len(s1))
+	}
+	p := &s1[0]
+	a.PutScratch(s1)
+	s2 := a.Scratch(100)
+	if &s2[0] != p {
+		t.Fatal("PutScratch buffer not reused by the next Scratch")
+	}
+	a.PutScratch(s2)
+	a.PutScratch(nil) // no-op
+	if s := a.Scratch(0); s != nil {
+		t.Fatalf("Scratch(0) = %v, want nil", s)
+	}
+	if s := a.AllocF32(0); s != nil {
+		t.Fatalf("AllocF32(0) = %v, want nil", s)
+	}
+}

@@ -1,0 +1,128 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/module"
+	"repro/internal/tensor"
+)
+
+// runGPTSteps trains a deterministic GPT for three forward/backward passes
+// under rt and returns the last loss, the last loss gradient (dlogits), and
+// every parameter gradient. Three passes matter for the arena arm: steps 2+
+// run entirely on recycled, dirty buffers, so any call site that relied on
+// zero-initialized memory without saying so (NewMatrixUninit where NewMatrix
+// was needed) diverges here.
+func runGPTSteps(cfg Config, be tensor.Backend, arena bool) (float64, []float32, [][]float32) {
+	g := MustGPT(cfg)
+	materialize(g, 77)
+	rt := module.NewRuntime(nil)
+	rt.SetBackend(be)
+	if arena {
+		rt.SetStepArena(mem.NewStepArena())
+	}
+	tokens, targets := SyntheticBatch(tensor.NewRNG(78), cfg, 2)
+	var loss float64
+	var dlogits []float32
+	for s := 0; s < 3; s++ {
+		rt.BeginStep()
+		zeroGrads(g)
+		loss = g.ForwardLoss(rt, tokens, targets, 2)
+		// Snapshot the loss gradient before BackwardLoss consumes it.
+		dlogits = append(dlogits[:0], g.dlogits.Float32s()...)
+		g.BackwardLoss(rt, 1)
+		rt.EndStep()
+	}
+	var grads [][]float32
+	for _, p := range module.AllParams(g) {
+		grads = append(grads, append([]float32(nil), p.Grad()...))
+	}
+	return loss, dlogits, grads
+}
+
+// TestArenaBitIdenticalToHeap is the model-layer half of the allocation-free
+// step contract: routing every activation, grad temporary and scratch buffer
+// through the step arena must leave the computation bit-identical to the
+// heap (tensor.New/make) path — across dense and tiled projections,
+// activation checkpointing with recompute, and both compute backends.
+func TestArenaBitIdenticalToHeap(t *testing.T) {
+	base := Config{Vocab: 16, Hidden: 16, Heads: 2, Seq: 6, Layers: 2}
+	shapes := []struct {
+		name   string
+		tiling int
+		ckpt   bool
+	}{
+		{"dense", 1, false},
+		{"dense+ckpt", 1, true},
+		{"tiled", 2, false},
+		{"tiled+ckpt", 2, true},
+	}
+	backends := []struct {
+		name string
+		be   tensor.Backend
+	}{
+		{"reference", tensor.Reference()},
+		{"parallel", tensor.Parallel()},
+	}
+	for _, sh := range shapes {
+		for _, bk := range backends {
+			t.Run(sh.name+"/"+bk.name, func(t *testing.T) {
+				cfg := base
+				cfg.Tiling = sh.tiling
+				cfg.CheckpointActivations = sh.ckpt
+				hLoss, hDl, hGrads := runGPTSteps(cfg, bk.be, false)
+				aLoss, aDl, aGrads := runGPTSteps(cfg, bk.be, true)
+				if hLoss != aLoss {
+					t.Fatalf("loss diverged: heap %.17g arena %.17g", hLoss, aLoss)
+				}
+				for i := range hDl {
+					if hDl[i] != aDl[i] {
+						t.Fatalf("dlogits[%d] diverged: heap %g arena %g", i, hDl[i], aDl[i])
+					}
+				}
+				for i := range hGrads {
+					for j := range hGrads[i] {
+						if hGrads[i][j] != aGrads[i][j] {
+							t.Fatalf("grad[%d][%d] diverged: heap %g arena %g", i, j, hGrads[i][j], aGrads[i][j])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestArenaCheckpointScopeBoundsGrowth verifies the Mark/Release wiring in
+// Block: with checkpointing on, each block's recomputed activations reuse the
+// region the previous block released, so the arena ends backward with free
+// lists instead of an O(layers · activations) live set.
+func TestArenaCheckpointScopeBoundsGrowth(t *testing.T) {
+	cfg := Config{Vocab: 16, Hidden: 16, Heads: 2, Seq: 6, Layers: 4, CheckpointActivations: true}
+	g := MustGPT(cfg)
+	materialize(g, 91)
+	zeroGrads(g)
+	a := mem.NewStepArena()
+	rt := module.NewRuntime(nil)
+	rt.SetStepArena(a)
+	tokens, targets := SyntheticBatch(tensor.NewRNG(92), cfg, 2)
+
+	rt.BeginStep()
+	g.ForwardLoss(rt, tokens, targets, 2)
+	g.BackwardLoss(rt, 1)
+	gets1, _, _, _ := a.Stats()
+	rt.BeginStep()
+	g.ForwardLoss(rt, tokens, targets, 2)
+	g.BackwardLoss(rt, 1)
+	gets2, hits2, _, _ := a.Stats()
+
+	// Step 2 issues the same number of requests as step 1 and serves every
+	// one of them from the free lists: the recompute sub-scopes recycled
+	// instead of growing the arena.
+	if step2 := gets2 - gets1; step2 != gets1 {
+		t.Fatalf("step 2 made %d buffer requests, step 1 made %d — expected identical", step2, gets1)
+	}
+	if miss := gets2 - hits2; miss > gets1 {
+		t.Fatalf("step 2 hit the allocator: %d lifetime misses > step 1's %d requests", miss, gets1)
+	}
+}

@@ -2,6 +2,7 @@ package model
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/module"
 	"repro/internal/tensor"
@@ -38,7 +39,71 @@ func NewAttention(name string, hidden, heads, seq int, initStd float64, tiles in
 	return a
 }
 
+// attnFwdCtx carries the forward (batch, head) fan-out's operands to
+// attnForwardChunk; pooled so the dispatch is allocation-free. rt rides
+// along so each worker can draw its per-chunk scores scratch from the step
+// arena.
+type attnFwdCtx struct {
+	rt                *module.Runtime
+	qkvd, ctxd, probs []float32
+	seq, heads        int
+	hidden, dh        int
+	scale             float32
+}
+
+var attnFwdCtxPool = sync.Pool{New: func() any { return new(attnFwdCtx) }}
+
+//zinf:hotpath
+func attnForwardChunk(ctx any, lo, hi int) {
+	c := ctx.(*attnFwdCtx)
+	// Per-worker scratch: every scores element is written (value or -inf)
+	// before it is read, so the undefined contents are safe.
+	scores := c.rt.Scratch(c.seq * c.seq)
+	for task := lo; task < hi; task++ {
+		bi, h := task/c.heads, task%c.heads
+		qOff, kOff, vOff := h*c.dh, c.hidden+h*c.dh, 2*c.hidden+h*c.dh
+		// scores[s,t] = scale * q_s · k_t for t <= s, -inf otherwise.
+		for s := 0; s < c.seq; s++ {
+			qRow := c.qkvd[(bi*c.seq+s)*3*c.hidden+qOff:]
+			for t := 0; t < c.seq; t++ {
+				if t > s {
+					scores[s*c.seq+t] = float32(math.Inf(-1))
+					continue
+				}
+				kRow := c.qkvd[(bi*c.seq+t)*3*c.hidden+kOff:]
+				var acc float32
+				for d := 0; d < c.dh; d++ {
+					acc += qRow[d] * kRow[d]
+				}
+				scores[s*c.seq+t] = acc * c.scale
+			}
+		}
+		tensor.SoftmaxRows(scores, c.seq, c.seq)
+		copy(c.probs[((bi*c.heads+h)*c.seq)*c.seq:], scores)
+		// ctx_s = Σ_t probs[s,t] * v_t
+		for s := 0; s < c.seq; s++ {
+			out := c.ctxd[(bi*c.seq+s)*c.hidden+h*c.dh:]
+			for d := 0; d < c.dh; d++ {
+				out[d] = 0
+			}
+			for t := 0; t <= s; t++ {
+				p := scores[s*c.seq+t]
+				if p == 0 {
+					continue
+				}
+				vRow := c.qkvd[(bi*c.seq+t)*3*c.hidden+vOff:]
+				for d := 0; d < c.dh; d++ {
+					out[d] += p * vRow[d]
+				}
+			}
+		}
+	}
+	c.rt.PutScratch(scores)
+}
+
 // Forward implements module.Layer. x is [B*S, H].
+//
+//zinf:hotpath
 func (a *Attention) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
 	rows := rowsOf(x, a.Hidden)
 	if rows%a.Seq != 0 {
@@ -49,62 +114,100 @@ func (a *Attention) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor
 
 	dh := a.Hidden / a.Heads
 	scale := float32(1 / math.Sqrt(float64(dh)))
-	probs := make([]float32, b*a.Heads*a.Seq*a.Seq)
-	ctx := tensor.New(tensor.FP32, rows, a.Hidden)
+	// probs is fully overwritten (copied from post-softmax scores); every
+	// ctx element is zeroed in the chunk body before accumulation.
+	probs := rt.AllocF32(b * a.Heads * a.Seq * a.Seq)
+	ctx := rt.NewMatrixUninit(rows, a.Hidden)
 
-	qkvd, ctxd := qkv.Float32s(), ctx.Float32s()
 	// Heads are independent (disjoint slices of probs and ctx), so the
 	// (batch, head) loop fans out over the backend bit-exactly.
-	be := rt.Backend()
-	be.ParRange(b*a.Heads, tensor.Grain(a.Seq*a.Seq*dh), func(lo, hi int) {
-		scores := make([]float32, a.Seq*a.Seq)
-		for task := lo; task < hi; task++ {
-			bi, h := task/a.Heads, task%a.Heads
-			qOff, kOff, vOff := h*dh, a.Hidden+h*dh, 2*a.Hidden+h*dh
-			// scores[s,t] = scale * q_s · k_t for t <= s, -inf otherwise.
-			for s := 0; s < a.Seq; s++ {
-				qRow := qkvd[(bi*a.Seq+s)*3*a.Hidden+qOff:]
-				for t := 0; t < a.Seq; t++ {
-					if t > s {
-						scores[s*a.Seq+t] = float32(math.Inf(-1))
-						continue
-					}
-					kRow := qkvd[(bi*a.Seq+t)*3*a.Hidden+kOff:]
-					var acc float32
-					for d := 0; d < dh; d++ {
-						acc += qRow[d] * kRow[d]
-					}
-					scores[s*a.Seq+t] = acc * scale
-				}
-			}
-			tensor.SoftmaxRows(scores, a.Seq, a.Seq)
-			copy(probs[((bi*a.Heads+h)*a.Seq)*a.Seq:], scores)
-			// ctx_s = Σ_t probs[s,t] * v_t
-			for s := 0; s < a.Seq; s++ {
-				out := ctxd[(bi*a.Seq+s)*a.Hidden+h*dh:]
-				for d := 0; d < dh; d++ {
-					out[d] = 0
-				}
-				for t := 0; t <= s; t++ {
-					p := scores[s*a.Seq+t]
-					if p == 0 {
-						continue
-					}
-					vRow := qkvd[(bi*a.Seq+t)*3*a.Hidden+vOff:]
-					for d := 0; d < dh; d++ {
-						out[d] += p * vRow[d]
-					}
-				}
-			}
-		}
-	})
+	c := attnFwdCtxPool.Get().(*attnFwdCtx)
+	c.rt = rt
+	c.qkvd, c.ctxd, c.probs = qkv.Float32s(), ctx.Float32s(), probs
+	c.seq, c.heads, c.hidden, c.dh = a.Seq, a.Heads, a.Hidden, dh
+	c.scale = scale
+	rt.Backend().ParRangeCtx(b*a.Heads, tensor.Grain(a.Seq*a.Seq*dh), c, attnForwardChunk)
+	*c = attnFwdCtx{}
+	attnFwdCtxPool.Put(c)
 	if rt.SaveActivations() {
 		a.saved = append(a.saved, attnSaved{qkv: qkv, probs: probs, batch: b})
 	}
 	return rt.Forward(a.Proj, ctx)
 }
 
+// attnBwdCtx carries the backward (batch, head) fan-out's operands to
+// attnBackwardChunk; pooled so the dispatch is allocation-free.
+type attnBwdCtx struct {
+	rt                 *module.Runtime
+	qkvd, dqkvd, dctxd []float32
+	probsAll           []float32
+	seq, heads         int
+	hidden, dh         int
+	scale              float32
+}
+
+var attnBwdCtxPool = sync.Pool{New: func() any { return new(attnBwdCtx) }}
+
+//zinf:hotpath
+func attnBackwardChunk(ctx any, lo, hi int) {
+	c := ctx.(*attnBwdCtx)
+	// Per-worker scratch: dprobs is fully written per task before use, and
+	// dscores is fully written by SoftmaxRowsBackward.
+	dprobs := c.rt.Scratch(c.seq * c.seq)
+	dscores := c.rt.Scratch(c.seq * c.seq)
+	for task := lo; task < hi; task++ {
+		bi, h := task/c.heads, task%c.heads
+		qOff, kOff, vOff := h*c.dh, c.hidden+h*c.dh, 2*c.hidden+h*c.dh
+		probs := c.probsAll[((bi*c.heads+h)*c.seq)*c.seq : ((bi*c.heads+h)*c.seq+c.seq)*c.seq]
+		// dprobs[s,t] = dctx_s · v_t ;  dv_t += Σ_s probs[s,t] * dctx_s
+		for si := 0; si < c.seq; si++ {
+			dout := c.dctxd[(bi*c.seq+si)*c.hidden+h*c.dh:]
+			for t := 0; t < c.seq; t++ {
+				if t > si {
+					dprobs[si*c.seq+t] = 0
+					continue
+				}
+				vRow := c.qkvd[(bi*c.seq+t)*3*c.hidden+vOff:]
+				var acc float32
+				for d := 0; d < c.dh; d++ {
+					acc += dout[d] * vRow[d]
+				}
+				dprobs[si*c.seq+t] = acc
+				p := probs[si*c.seq+t]
+				if p != 0 {
+					dvRow := c.dqkvd[(bi*c.seq+t)*3*c.hidden+vOff:]
+					for d := 0; d < c.dh; d++ {
+						dvRow[d] += p * dout[d]
+					}
+				}
+			}
+		}
+		tensor.SoftmaxRowsBackward(dscores, dprobs, probs, c.seq, c.seq)
+		// dq_s += scale * Σ_t dscores[s,t] k_t ; dk_t += scale * Σ_s dscores[s,t] q_s
+		for si := 0; si < c.seq; si++ {
+			dqRow := c.dqkvd[(bi*c.seq+si)*3*c.hidden+qOff:]
+			qRow := c.qkvd[(bi*c.seq+si)*3*c.hidden+qOff:]
+			for t := 0; t <= si; t++ {
+				ds := dscores[si*c.seq+t] * c.scale
+				if ds == 0 {
+					continue
+				}
+				kRow := c.qkvd[(bi*c.seq+t)*3*c.hidden+kOff:]
+				dkRow := c.dqkvd[(bi*c.seq+t)*3*c.hidden+kOff:]
+				for d := 0; d < c.dh; d++ {
+					dqRow[d] += ds * kRow[d]
+					dkRow[d] += ds * qRow[d]
+				}
+			}
+		}
+	}
+	c.rt.PutScratch(dscores)
+	c.rt.PutScratch(dprobs)
+}
+
 // Backward implements module.Layer.
+//
+//zinf:hotpath
 func (a *Attention) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
 	dctx := rt.Backward(a.Proj, dy)
 	if len(a.saved) == 0 {
@@ -117,62 +220,21 @@ func (a *Attention) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tens
 	rows := b * a.Seq
 	dh := a.Hidden / a.Heads
 	scale := float32(1 / math.Sqrt(float64(dh)))
-	dqkv := tensor.New(tensor.FP32, rows, 3*a.Hidden)
-	qkvd, dqkvd, dctxd := s.qkv.Float32s(), dqkv.Float32s(), dctx.Float32s()
+	// dqkv is accumulated into (dv/dq/dk all +=), so it must start zeroed —
+	// the one model tensor that needs NewMatrix rather than NewMatrixUninit.
+	dqkv := rt.NewMatrix(rows, 3*a.Hidden)
 
 	// As in Forward, each (batch, head) task touches a disjoint column band
 	// of dqkv, so the backward loop fans out bit-exactly.
-	be := rt.Backend()
-	be.ParRange(b*a.Heads, tensor.Grain(a.Seq*a.Seq*dh), func(lo, hi int) {
-		dprobs := make([]float32, a.Seq*a.Seq)
-		dscores := make([]float32, a.Seq*a.Seq)
-		for task := lo; task < hi; task++ {
-			bi, h := task/a.Heads, task%a.Heads
-			qOff, kOff, vOff := h*dh, a.Hidden+h*dh, 2*a.Hidden+h*dh
-			probs := s.probs[((bi*a.Heads+h)*a.Seq)*a.Seq : ((bi*a.Heads+h)*a.Seq+a.Seq)*a.Seq]
-			// dprobs[s,t] = dctx_s · v_t ;  dv_t += Σ_s probs[s,t] * dctx_s
-			for si := 0; si < a.Seq; si++ {
-				dout := dctxd[(bi*a.Seq+si)*a.Hidden+h*dh:]
-				for t := 0; t < a.Seq; t++ {
-					if t > si {
-						dprobs[si*a.Seq+t] = 0
-						continue
-					}
-					vRow := qkvd[(bi*a.Seq+t)*3*a.Hidden+vOff:]
-					var acc float32
-					for d := 0; d < dh; d++ {
-						acc += dout[d] * vRow[d]
-					}
-					dprobs[si*a.Seq+t] = acc
-					p := probs[si*a.Seq+t]
-					if p != 0 {
-						dvRow := dqkvd[(bi*a.Seq+t)*3*a.Hidden+vOff:]
-						for d := 0; d < dh; d++ {
-							dvRow[d] += p * dout[d]
-						}
-					}
-				}
-			}
-			tensor.SoftmaxRowsBackward(dscores, dprobs, probs, a.Seq, a.Seq)
-			// dq_s += scale * Σ_t dscores[s,t] k_t ; dk_t += scale * Σ_s dscores[s,t] q_s
-			for si := 0; si < a.Seq; si++ {
-				dqRow := dqkvd[(bi*a.Seq+si)*3*a.Hidden+qOff:]
-				qRow := qkvd[(bi*a.Seq+si)*3*a.Hidden+qOff:]
-				for t := 0; t <= si; t++ {
-					ds := dscores[si*a.Seq+t] * scale
-					if ds == 0 {
-						continue
-					}
-					kRow := qkvd[(bi*a.Seq+t)*3*a.Hidden+kOff:]
-					dkRow := dqkvd[(bi*a.Seq+t)*3*a.Hidden+kOff:]
-					for d := 0; d < dh; d++ {
-						dqRow[d] += ds * kRow[d]
-						dkRow[d] += ds * qRow[d]
-					}
-				}
-			}
-		}
-	})
+	c := attnBwdCtxPool.Get().(*attnBwdCtx)
+	c.rt = rt
+	c.qkvd, c.dqkvd, c.dctxd = s.qkv.Float32s(), dqkv.Float32s(), dctx.Float32s()
+	c.probsAll = s.probs
+	c.seq, c.heads, c.hidden, c.dh = a.Seq, a.Heads, a.Hidden, dh
+	c.scale = scale
+	rt.Backend().ParRangeCtx(b*a.Heads, tensor.Grain(a.Seq*a.Seq*dh), c, attnBackwardChunk)
+	*c = attnBwdCtx{}
+	attnBwdCtxPool.Put(c)
 	return rt.Backward(a.QKV, dqkv)
 }
 

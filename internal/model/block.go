@@ -19,8 +19,10 @@ func NewGelu(name string) *Gelu {
 }
 
 // Forward implements module.Layer.
+//
+//zinf:hotpath
 func (g *Gelu) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
-	y := tensor.New(tensor.FP32, x.Shape()...)
+	y := rt.NewMatrixUninit(x.Dim(0), x.Dim(1))
 	rt.Backend().Gelu(y.Float32s(), x.Float32s())
 	if rt.SaveActivations() {
 		g.saved = append(g.saved, x)
@@ -29,13 +31,15 @@ func (g *Gelu) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
 }
 
 // Backward implements module.Layer.
+//
+//zinf:hotpath
 func (g *Gelu) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
 	if len(g.saved) == 0 {
 		panic("model: Gelu.Backward without saved input")
 	}
 	x := g.saved[len(g.saved)-1]
 	g.saved = g.saved[:len(g.saved)-1]
-	dx := tensor.New(tensor.FP32, x.Shape()...)
+	dx := rt.NewMatrixUninit(x.Dim(0), x.Dim(1))
 	rt.Backend().GeluBackward(dx.Float32s(), dy.Float32s(), x.Float32s())
 	return dx
 }
@@ -84,46 +88,55 @@ func NewBlock(name string, cfg Config, initStd float64) *Block {
 	return b
 }
 
+//zinf:hotpath
 func (b *Block) forwardInner(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
 	h := rt.Forward(b.LN1, x)
 	h = rt.Forward(b.Attn, h)
-	res1 := tensor.New(tensor.FP32, x.Shape()...)
+	res1 := rt.NewMatrixUninit(x.Dim(0), x.Dim(1))
 	rt.Backend().Add(res1.Float32s(), x.Float32s(), h.Float32s())
 
 	h = rt.Forward(b.LN2, res1)
 	h = rt.Forward(b.FC1, h)
 	h = rt.Forward(b.Act, h)
 	h = rt.Forward(b.FC2, h)
-	out := tensor.New(tensor.FP32, res1.Shape()...)
+	out := rt.NewMatrixUninit(res1.Dim(0), res1.Dim(1))
 	rt.Backend().Add(out.Float32s(), res1.Float32s(), h.Float32s())
 	return out
 }
 
+//zinf:hotpath
 func (b *Block) backwardInner(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
 	// out = res1 + FC2(gelu(FC1(LN2(res1))))
 	d := rt.Backward(b.FC2, dy)
 	d = rt.Backward(b.Act, d)
 	d = rt.Backward(b.FC1, d)
 	d = rt.Backward(b.LN2, d)
-	dres1 := tensor.New(tensor.FP32, dy.Shape()...)
+	dres1 := rt.NewMatrixUninit(dy.Dim(0), dy.Dim(1))
 	rt.Backend().Add(dres1.Float32s(), dy.Float32s(), d.Float32s())
 
 	// res1 = x + Attn(LN1(x))
 	d = rt.Backward(b.Attn, dres1)
 	d = rt.Backward(b.LN1, d)
-	dx := tensor.New(tensor.FP32, dy.Shape()...)
+	dx := rt.NewMatrixUninit(dy.Dim(0), dy.Dim(1))
 	rt.Backend().Add(dx.Float32s(), dres1.Float32s(), d.Float32s())
 	return dx
 }
 
 // Forward implements module.Layer.
+//
+//zinf:hotpath
 func (b *Block) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
 	if !b.Checkpoint {
 		return b.forwardInner(rt, x)
 	}
 	// Checkpointed: run without saving activations, keep only the input.
+	// The arena sub-scope frees every intermediate the un-saved forward
+	// produced — exactly the memory checkpointing exists to not keep —
+	// leaving only the block output (and x, which predates the mark) live.
 	prev := rt.SetSaveActivations(false)
+	m := rt.Mark()
 	y := b.forwardInner(rt, x)
+	rt.Release(m, y)
 	rt.SetSaveActivations(prev)
 	if prev {
 		if h, off := rt.PutCheckpoint(x); off {
@@ -136,6 +149,8 @@ func (b *Block) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
 }
 
 // Backward implements module.Layer.
+//
+//zinf:hotpath
 func (b *Block) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
 	if !b.Checkpoint {
 		return b.backwardInner(rt, dy)
@@ -150,9 +165,15 @@ func (b *Block) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
 		x = rt.GetCheckpoint(ref.handle)
 	}
 	// Recompute with saving enabled (extra parameter loads happen through
-	// the same hooks as a normal forward), then backpropagate.
+	// the same hooks as a normal forward), then backpropagate. The arena
+	// sub-scope spans recompute + backward, so each checkpointed block's
+	// recomputed activations reuse the region the previous block released
+	// instead of accumulating O(layers) of them across the backward pass.
+	m := rt.Mark()
 	b.forwardInner(rt, x)
-	return b.backwardInner(rt, dy)
+	dx := b.backwardInner(rt, dy)
+	rt.Release(m, dx)
+	return dx
 }
 
 var (

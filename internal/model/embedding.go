@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/module"
 	"repro/internal/tensor"
@@ -31,6 +32,12 @@ type Embedding struct {
 	Pos      *module.Param // [Seq, Hidden]
 
 	saved [][]int // token batches for backward
+
+	// tabs/gtabs are persistent staging for the gathered tile views —
+	// refilled in place each call so the steady-state forward/backward
+	// performs no allocation.
+	tabs  [][]float32
+	gtabs [][]float32
 }
 
 // NewEmbedding constructs the embedding module. tiles > 1 splits the token
@@ -59,73 +66,100 @@ func NewEmbedding(name string, vocab, hidden, seq int, initStd float64, tiles in
 }
 
 // tokRow returns the table row for token t, given the gathered tile slices.
+//
+//zinf:hotpath
 func (e *Embedding) tokRow(tabs [][]float32, t int) []float32 {
 	r := t % e.TileVocab
 	return tabs[t/e.TileVocab][r*e.Hidden : (r+1)*e.Hidden]
 }
 
+// embedFwdCtx carries the token-row fan-out's operands to embedForwardChunk;
+// pooled so the dispatch is allocation-free.
+type embedFwdCtx struct {
+	e       *Embedding
+	od, pos []float32
+	tokens  []int
+}
+
+var embedFwdCtxPool = sync.Pool{New: func() any { return new(embedFwdCtx) }}
+
+//zinf:hotpath
+func embedForwardChunk(ctx any, lo, hi int) {
+	c := ctx.(*embedFwdCtx)
+	e := c.e
+	for i := lo; i < hi; i++ {
+		s := i % e.Seq
+		row := c.od[i*e.Hidden : (i+1)*e.Hidden]
+		copy(row, e.tokRow(e.tabs, c.tokens[i]))
+		tensor.Axpy(1, c.pos[s*e.Hidden:(s+1)*e.Hidden], row)
+	}
+}
+
 // ForwardTokens embeds tokens (length batch*Seq) into a [batch*Seq, Hidden]
 // tensor. Hooks fire as for any module.
+//
+//zinf:hotpath
 func (e *Embedding) ForwardTokens(rt *module.Runtime, tokens []int, batch int) *tensor.Tensor {
 	if len(tokens) != batch*e.Seq {
 		panic("model: token count != batch*seq")
 	}
-	var out *tensor.Tensor
-	rt.WithForward(e, func() {
-		out = tensor.New(tensor.FP32, batch*e.Seq, e.Hidden)
-		// Materialize all tile views serially before fanning out, so any
-		// on-demand gather fires on the caller's goroutine.
-		tabs := make([][]float32, e.Tiles)
-		for t := range e.TokTiles {
-			tabs[t] = e.TokTiles[t].Data()
+	h := rt.Hooks()
+	h.PreForward(e)
+	// Every output row is fully written (copy + Axpy), so the uninitialized
+	// arena tensor is safe.
+	out := rt.NewMatrixUninit(batch*e.Seq, e.Hidden)
+	// Materialize all tile views serially before fanning out, so any
+	// on-demand gather fires on the caller's goroutine.
+	e.tabs = e.tabs[:0]
+	for t := range e.TokTiles {
+		e.tabs = append(e.tabs, e.TokTiles[t].Data())
+	}
+	pos := e.Pos.Data()
+	// Validate serially so a bad id panics on the caller's goroutine,
+	// then fan the independent row lookups out over the backend.
+	for _, t := range tokens {
+		if t < 0 || t >= e.Vocab {
+			panic("model: token id out of range")
 		}
-		pos := e.Pos.Data()
-		od := out.Float32s()
-		// Validate serially so a bad id panics on the caller's goroutine,
-		// then fan the independent row lookups out over the backend.
-		for _, t := range tokens {
-			if t < 0 || t >= e.Vocab {
-				panic("model: token id out of range")
-			}
-		}
-		rt.Backend().ParRange(len(tokens), tensor.Grain(e.Hidden), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				s := i % e.Seq
-				row := od[i*e.Hidden : (i+1)*e.Hidden]
-				copy(row, e.tokRow(tabs, tokens[i]))
-				tensor.Axpy(1, pos[s*e.Hidden:(s+1)*e.Hidden], row)
-			}
-		})
-		if rt.SaveActivations() {
-			e.saved = append(e.saved, tokens)
-		}
-	})
+	}
+	c := embedFwdCtxPool.Get().(*embedFwdCtx)
+	c.e, c.od, c.pos, c.tokens = e, out.Float32s(), pos, tokens
+	rt.Backend().ParRangeCtx(len(tokens), tensor.Grain(e.Hidden), c, embedForwardChunk)
+	*c = embedFwdCtx{}
+	embedFwdCtxPool.Put(c)
+	if rt.SaveActivations() {
+		e.saved = append(e.saved, tokens)
+	}
+	h.PostForward(e)
 	return out
 }
 
 // BackwardTokens scatter-adds dH into the token and positional tables.
+//
+//zinf:hotpath
 func (e *Embedding) BackwardTokens(rt *module.Runtime, dh *tensor.Tensor) {
-	rt.WithBackward(e, func() {
-		if len(e.saved) == 0 {
-			panic("model: Embedding.BackwardTokens without saved tokens")
-		}
-		tokens := e.saved[len(e.saved)-1]
-		e.saved = e.saved[:len(e.saved)-1]
-		gtabs := make([][]float32, e.Tiles)
-		for t := range e.TokTiles {
-			gtabs[t] = e.TokTiles[t].Grad()
-		}
-		dpos := e.Pos.Grad()
-		dhd := dh.Float32s()
-		// Serial: repeated tokens scatter-add into the same table row, so
-		// the accumulation order must match the reference backend exactly.
-		for i, t := range tokens {
-			s := i % e.Seq
-			row := dhd[i*e.Hidden : (i+1)*e.Hidden]
-			tensor.Axpy(1, row, e.tokRow(gtabs, t))
-			tensor.Axpy(1, row, dpos[s*e.Hidden:(s+1)*e.Hidden])
-		}
-	})
+	h := rt.Hooks()
+	h.PreBackward(e)
+	if len(e.saved) == 0 {
+		panic("model: Embedding.BackwardTokens without saved tokens")
+	}
+	tokens := e.saved[len(e.saved)-1]
+	e.saved = e.saved[:len(e.saved)-1]
+	e.gtabs = e.gtabs[:0]
+	for t := range e.TokTiles {
+		e.gtabs = append(e.gtabs, e.TokTiles[t].Grad())
+	}
+	dpos := e.Pos.Grad()
+	dhd := dh.Float32s()
+	// Serial: repeated tokens scatter-add into the same table row, so
+	// the accumulation order must match the reference backend exactly.
+	for i, t := range tokens {
+		s := i % e.Seq
+		row := dhd[i*e.Hidden : (i+1)*e.Hidden]
+		tensor.Axpy(1, row, e.tokRow(e.gtabs, t))
+		tensor.Axpy(1, row, dpos[s*e.Hidden:(s+1)*e.Hidden])
+	}
+	h.PostBackward(e)
 }
 
 // TiedHead projects hidden states onto the vocabulary with the *transpose*
@@ -162,18 +196,21 @@ func NewTiedHead(name string, emb *Embedding) *TiedHead {
 }
 
 // Forward implements module.Layer: x [rows, Hidden] -> logits [rows, Vocab].
+//
+//zinf:hotpath
 func (h *TiedHead) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
 	rows := rowsOf(x, h.Emb.Hidden)
 	if len(h.tiles) > 0 {
 		tv := h.Emb.TileVocab
-		logits := tensor.New(tensor.FP32, rows, h.Emb.Vocab)
+		// The tile loop fills every column band, so uninit is safe.
+		logits := rt.NewMatrixUninit(rows, h.Emb.Vocab)
 		for t, ht := range h.tiles {
 			lt := rt.Forward(ht, x)
 			copyBand(logits.Float32s(), lt.Float32s(), rows, h.Emb.Vocab, t*tv, tv)
 		}
 		return logits
 	}
-	logits := tensor.New(tensor.FP32, rows, h.Emb.Vocab)
+	logits := rt.NewMatrixUninit(rows, h.Emb.Vocab)
 	// External-parameter access: h owns no params, so h.Emb.Tok may be
 	// partitioned away right now; Data() performs the blocking gather.
 	e := h.Emb.Tok.Data()
@@ -186,6 +223,8 @@ func (h *TiedHead) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor 
 
 // Backward implements module.Layer: accumulates dE += dlogitsᵀ·x and
 // returns dx = dlogits·E.
+//
+//zinf:hotpath
 func (h *TiedHead) Backward(rt *module.Runtime, dlogits *tensor.Tensor) *tensor.Tensor {
 	if len(h.tiles) > 0 {
 		rows := rowsOf(dlogits, h.Emb.Vocab)
@@ -194,7 +233,7 @@ func (h *TiedHead) Backward(rt *module.Runtime, dlogits *tensor.Tensor) *tensor.
 		var dx *tensor.Tensor
 		// Reverse order mirrors the saved-activation LIFO (as TiledLinear).
 		for t := len(h.tiles) - 1; t >= 0; t-- {
-			dlt := tensor.New(tensor.FP32, rows, tv)
+			dlt := rt.NewMatrixUninit(rows, tv)
 			sliceBand(dlt.Float32s(), dld, rows, h.Emb.Vocab, t*tv, tv)
 			dxt := rt.Backward(h.tiles[t], dlt)
 			if dx == nil {
@@ -214,7 +253,7 @@ func (h *TiedHead) Backward(rt *module.Runtime, dlogits *tensor.Tensor) *tensor.
 	be := rt.Backend()
 	// dE[v, :] += Σ_r dlogits[r, v] * x[r, :]
 	be.MatMulTransA(h.Emb.Tok.Grad(), dlogits.Float32s(), x.Float32s(), h.Emb.Vocab, rows, h.Emb.Hidden)
-	dx := tensor.New(tensor.FP32, rows, h.Emb.Hidden)
+	dx := rt.NewMatrixUninit(rows, h.Emb.Hidden)
 	be.MatMul(dx.Float32s(), dlogits.Float32s(), h.Emb.Tok.Data(), rows, h.Emb.Vocab, h.Emb.Hidden)
 	return dx
 }
@@ -232,10 +271,12 @@ type headTile struct {
 }
 
 // Forward implements module.Layer.
+//
+//zinf:hotpath
 func (ht *headTile) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
 	rows := rowsOf(x, ht.emb.Hidden)
 	tv := ht.emb.TileVocab
-	logits := tensor.New(tensor.FP32, rows, tv)
+	logits := rt.NewMatrixUninit(rows, tv)
 	e := ht.emb.TokTiles[ht.t].Data()
 	rt.Backend().MatMulTransB(logits.Float32s(), x.Float32s(), e, rows, ht.emb.Hidden, tv)
 	if rt.SaveActivations() {
@@ -245,6 +286,8 @@ func (ht *headTile) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor
 }
 
 // Backward implements module.Layer.
+//
+//zinf:hotpath
 func (ht *headTile) Backward(rt *module.Runtime, dlogits *tensor.Tensor) *tensor.Tensor {
 	if len(ht.saved) == 0 {
 		panic("model: headTile.Backward without saved input")
@@ -256,7 +299,7 @@ func (ht *headTile) Backward(rt *module.Runtime, dlogits *tensor.Tensor) *tensor
 	be := rt.Backend()
 	tile := ht.emb.TokTiles[ht.t]
 	be.MatMulTransA(tile.Grad(), dlogits.Float32s(), x.Float32s(), tv, rows, ht.emb.Hidden)
-	dx := tensor.New(tensor.FP32, rows, ht.emb.Hidden)
+	dx := rt.NewMatrixUninit(rows, ht.emb.Hidden)
 	be.MatMul(dx.Float32s(), dlogits.Float32s(), tile.Data(), rows, tv, ht.emb.Hidden)
 	return dx
 }

@@ -63,6 +63,8 @@ func MustGPT(cfg Config) *GPT {
 
 // Forward runs the block stack (and final LayerNorm) on hidden states.
 // Valid in both token and hidden-state mode.
+//
+//zinf:hotpath
 func (g *GPT) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
 	h := x
 	for _, b := range g.Blocks {
@@ -72,6 +74,8 @@ func (g *GPT) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
 }
 
 // Backward backpropagates through the final LayerNorm and block stack.
+//
+//zinf:hotpath
 func (g *GPT) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
 	d := rt.Backward(g.LNF, dy)
 	for i := len(g.Blocks) - 1; i >= 0; i-- {
@@ -83,6 +87,8 @@ func (g *GPT) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
 // ForwardLoss embeds tokens, runs the stack and tied head, and returns the
 // mean cross-entropy loss against targets. tokens and targets have length
 // batch*Seq. The loss gradient is stashed for BackwardLoss.
+//
+//zinf:hotpath
 func (g *GPT) ForwardLoss(rt *module.Runtime, tokens, targets []int, batch int) float64 {
 	if g.Cfg.Vocab == 0 {
 		panic("model: ForwardLoss requires Vocab > 0")
@@ -90,13 +96,19 @@ func (g *GPT) ForwardLoss(rt *module.Runtime, tokens, targets []int, batch int) 
 	h := g.Embed.ForwardTokens(rt, tokens, batch)
 	h = g.Forward(rt, h)
 	logits := rt.Forward(g.Head, h)
-	loss, dlogits := CrossEntropyOn(rt.Backend(), logits, targets)
-	g.dlogits = dlogits
+	// The probs buffer is fully overwritten (logits copied in before the
+	// in-place softmax), so uninit is safe.
+	probs := rt.NewMatrixUninit(logits.Dim(0), logits.Dim(1))
+	loss := crossEntropyInto(rt.Backend(), probs.Float32s(), logits.Float32s(),
+		targets, logits.Dim(0), logits.Dim(1))
+	g.dlogits = probs
 	return loss
 }
 
 // BackwardLoss backpropagates the stashed loss gradient scaled by scale
 // (loss-scaling hook for mixed precision), accumulating parameter grads.
+//
+//zinf:hotpath
 func (g *GPT) BackwardLoss(rt *module.Runtime, scale float32) {
 	if g.dlogits == nil {
 		panic("model: BackwardLoss before ForwardLoss")
@@ -120,32 +132,47 @@ func CrossEntropy(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor
 
 // CrossEntropyOn is CrossEntropy with the softmax dispatched through be. The
 // loss reduction over rows stays serial (float64 accumulation order is part
-// of the bit-exactness contract).
+// of the bit-exactness contract). It allocates the returned gradient tensor
+// on the heap; the allocation-free step path is ForwardLoss, which feeds a
+// step-arena buffer to crossEntropyInto directly.
 func CrossEntropyOn(be tensor.Backend, logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor) {
 	shape := logits.Shape()
 	rows, vocab := shape[0], shape[1]
+	probs := tensor.New(tensor.FP32, rows, vocab)
+	loss := crossEntropyInto(be, probs.Float32s(), logits.Float32s(), targets, rows, vocab)
+	return loss, probs
+}
+
+// crossEntropyInto computes the mean cross-entropy of targets under the
+// row-wise softmax of logits, writing dloss/dlogits into probs (fully
+// overwritten: logits are copied in, softmaxed in place, then converted to
+// the gradient). This is the kernel both CrossEntropyOn (heap probs) and
+// ForwardLoss (arena probs) share, so the two paths are bit-identical by
+// construction.
+//
+//zinf:hotpath
+func crossEntropyInto(be tensor.Backend, probs, logits []float32, targets []int, rows, vocab int) float64 {
 	if len(targets) != rows {
 		panic("model: CrossEntropy target count mismatch")
 	}
-	probs := logits.Clone()
-	be.SoftmaxRows(probs.Float32s(), rows, vocab)
-	pd := probs.Float32s()
+	copy(probs, logits)
+	be.SoftmaxRows(probs, rows, vocab)
 	var loss float64
 	inv := float32(1) / float32(rows)
 	for r, tgt := range targets {
 		if tgt < 0 || tgt >= vocab {
 			panic("model: CrossEntropy target out of range")
 		}
-		p := pd[r*vocab+tgt]
+		p := probs[r*vocab+tgt]
 		loss += -math.Log(math.Max(float64(p), 1e-30))
 		// dlogits = (softmax - onehot)/rows, written in place over probs.
-		row := pd[r*vocab : (r+1)*vocab]
+		row := probs[r*vocab : (r+1)*vocab]
 		for j := range row {
 			row[j] *= inv
 		}
 		row[tgt] -= inv
 	}
-	return loss / float64(rows), probs
+	return loss / float64(rows)
 }
 
 // InitValues deterministically generates the initial full value vector for

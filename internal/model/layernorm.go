@@ -2,6 +2,7 @@ package model
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/module"
 	"repro/internal/tensor"
@@ -21,8 +22,8 @@ type LayerNorm struct {
 
 type lnSaved struct {
 	x      *tensor.Tensor
-	invStd []float32 // per row
-	mean   []float32 // per row
+	invStd []float32 // per row (step-arena scoped)
+	mean   []float32 // per row (step-arena scoped)
 }
 
 // NewLayerNorm constructs a LayerNorm over dimension d.
@@ -36,33 +37,56 @@ func NewLayerNorm(name string, d int) *LayerNorm {
 	return l
 }
 
+// lnFwdCtx carries the forward row fan-out's operands to lnForwardChunk;
+// pooled so the dispatch is allocation-free.
+type lnFwdCtx struct {
+	xd, yd, g, b, invStd, mean []float32
+	d                          int
+	eps                        float64
+}
+
+var lnFwdCtxPool = sync.Pool{New: func() any { return new(lnFwdCtx) }}
+
+//zinf:hotpath
+func lnForwardChunk(ctx any, lo, hi int) {
+	c := ctx.(*lnFwdCtx)
+	for r := lo; r < hi; r++ {
+		row := c.xd[r*c.d : (r+1)*c.d]
+		mu := float32(tensor.Sum(row) / float64(c.d))
+		var varAcc float64
+		for _, v := range row {
+			d := float64(v - mu)
+			varAcc += d * d
+		}
+		is := float32(1 / math.Sqrt(varAcc/float64(c.d)+c.eps))
+		c.mean[r], c.invStd[r] = mu, is
+		out := c.yd[r*c.d : (r+1)*c.d]
+		for j, v := range row {
+			out[j] = c.g[j]*(v-mu)*is + c.b[j]
+		}
+	}
+}
+
 // Forward implements module.Layer.
+//
+//zinf:hotpath
 func (l *LayerNorm) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
 	rows := rowsOf(x, l.D)
-	y := tensor.New(tensor.FP32, rows, l.D)
-	g, b := l.Gain.Data(), l.Bias.Data()
-	xd, yd := x.Float32s(), y.Float32s()
-	invStd := make([]float32, rows)
-	mean := make([]float32, rows)
+	// Every output row and both statistics slots are fully written by the
+	// chunk body, so the uninitialized arena buffers are safe.
+	y := rt.NewMatrixUninit(rows, l.D)
+	invStd := rt.AllocF32(rows)
+	mean := rt.AllocF32(rows)
 	// Each row normalizes independently (statistics are per row), so the
 	// row loop fans out over the backend bit-exactly.
-	rt.Backend().ParRange(rows, tensor.Grain(l.D), func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			row := xd[r*l.D : (r+1)*l.D]
-			mu := float32(tensor.Sum(row) / float64(l.D))
-			var varAcc float64
-			for _, v := range row {
-				d := float64(v - mu)
-				varAcc += d * d
-			}
-			is := float32(1 / math.Sqrt(varAcc/float64(l.D)+l.Eps))
-			mean[r], invStd[r] = mu, is
-			out := yd[r*l.D : (r+1)*l.D]
-			for j, v := range row {
-				out[j] = g[j]*(v-mu)*is + b[j]
-			}
-		}
-	})
+	c := lnFwdCtxPool.Get().(*lnFwdCtx)
+	c.xd, c.yd = x.Float32s(), y.Float32s()
+	c.g, c.b = l.Gain.Data(), l.Bias.Data()
+	c.invStd, c.mean = invStd, mean
+	c.d, c.eps = l.D, l.Eps
+	rt.Backend().ParRangeCtx(rows, tensor.Grain(l.D), c, lnForwardChunk)
+	*c = lnFwdCtx{}
+	lnFwdCtxPool.Put(c)
 	if rt.SaveActivations() {
 		l.saved = append(l.saved, lnSaved{x: x, invStd: invStd, mean: mean})
 	}
@@ -70,6 +94,8 @@ func (l *LayerNorm) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor
 }
 
 // Backward implements module.Layer.
+//
+//zinf:hotpath
 func (l *LayerNorm) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
 	if len(l.saved) == 0 {
 		panic("model: LayerNorm.Backward without saved forward state")
@@ -78,7 +104,7 @@ func (l *LayerNorm) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tens
 	l.saved = l.saved[:len(l.saved)-1]
 
 	rows := rowsOf(s.x, l.D)
-	dx := tensor.New(tensor.FP32, rows, l.D)
+	dx := rt.NewMatrixUninit(rows, l.D)
 	g := l.Gain.Data()
 	dg, db := l.Gain.Grad(), l.Bias.Grad()
 	xd, dyd, dxd := s.x.Float32s(), dy.Float32s(), dx.Float32s()

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/module"
 	"repro/internal/tensor"
@@ -31,6 +32,7 @@ func NewLinear(name string, in, out int, bias bool, initStd float64) *Linear {
 	return l
 }
 
+//zinf:hotpath
 func rowsOf(x *tensor.Tensor, in int) int {
 	n := x.Len()
 	if n%in != 0 {
@@ -39,21 +41,41 @@ func rowsOf(x *tensor.Tensor, in int) int {
 	return n / in
 }
 
+// linearBiasCtx carries the bias-add fan-out's operands to linearBiasChunk;
+// pooled so the dispatch is allocation-free (a closure through the Backend
+// interface would escape).
+type linearBiasCtx struct {
+	b, yd []float32
+	out   int
+}
+
+var linearBiasCtxPool = sync.Pool{New: func() any { return new(linearBiasCtx) }}
+
+//zinf:hotpath
+func linearBiasChunk(ctx any, lo, hi int) {
+	c := ctx.(*linearBiasCtx)
+	for r := lo; r < hi; r++ {
+		tensor.Axpy(1, c.b, c.yd[r*c.out:(r+1)*c.out])
+	}
+}
+
 // Forward implements module.Layer.
+//
+//zinf:hotpath
 func (l *Linear) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
 	be := rt.Backend()
 	rows := rowsOf(x, l.In)
-	y := tensor.New(tensor.FP32, rows, l.Out)
+	// MatMul zeroes each destination row before accumulating, so the
+	// uninitialized arena tensor is fully defined on return.
+	y := rt.NewMatrixUninit(rows, l.Out)
 	be.MatMul(y.Float32s(), x.Float32s(), l.W.Data(), rows, l.In, l.Out)
 	if l.B != nil {
-		b := l.B.Data()
-		yd := y.Float32s()
 		// Rows are independent, so the bias add fans out bit-exactly.
-		be.ParRange(rows, tensor.Grain(l.Out), func(lo, hi int) {
-			for r := lo; r < hi; r++ {
-				tensor.Axpy(1, b, yd[r*l.Out:(r+1)*l.Out])
-			}
-		})
+		c := linearBiasCtxPool.Get().(*linearBiasCtx)
+		c.b, c.yd, c.out = l.B.Data(), y.Float32s(), l.Out
+		be.ParRangeCtx(rows, tensor.Grain(l.Out), c, linearBiasChunk)
+		*c = linearBiasCtx{}
+		linearBiasCtxPool.Put(c)
 	}
 	if rt.SaveActivations() {
 		l.saved = append(l.saved, x)
@@ -63,6 +85,8 @@ func (l *Linear) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
 
 // Backward implements module.Layer: given dy it accumulates dW, dB and
 // returns dx.
+//
+//zinf:hotpath
 func (l *Linear) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
 	if len(l.saved) == 0 {
 		panic("model: Linear.Backward without saved forward input (checkpointing bug?)")
@@ -84,8 +108,8 @@ func (l *Linear) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor 
 			tensor.Axpy(1, dyd[r*l.Out:(r+1)*l.Out], g)
 		}
 	}
-	// dx = dy · Wᵀ
-	dx := tensor.New(tensor.FP32, rows, l.In)
+	// dx = dy · Wᵀ (MatMulTransB overwrites every element).
+	dx := rt.NewMatrixUninit(rows, l.In)
 	be.MatMulTransB(dx.Float32s(), dy.Float32s(), l.W.Data(), rows, l.Out, l.In)
 	return dx
 }

@@ -67,6 +67,8 @@ func (tl *TiledLinear) Tile(t int) *Linear { return tl.tiles[t] }
 
 // copyBand copies a [rows, width] tile result into the column band starting
 // at off of the [rows, fullWidth] destination.
+//
+//zinf:hotpath
 func copyBand(dst, src []float32, rows, fullWidth, off, width int) {
 	for r := 0; r < rows; r++ {
 		copy(dst[r*fullWidth+off:r*fullWidth+off+width], src[r*width:(r+1)*width])
@@ -75,6 +77,8 @@ func copyBand(dst, src []float32, rows, fullWidth, off, width int) {
 
 // sliceBand extracts the column band starting at off of the [rows,
 // fullWidth] source into a [rows, width] destination.
+//
+//zinf:hotpath
 func sliceBand(dst, src []float32, rows, fullWidth, off, width int) {
 	for r := 0; r < rows; r++ {
 		copy(dst[r*width:(r+1)*width], src[r*fullWidth+off:r*fullWidth+off+width])
@@ -83,9 +87,12 @@ func sliceBand(dst, src []float32, rows, fullWidth, off, width int) {
 
 // Forward implements module.Layer: tiles execute sequentially, each fetched
 // and released through the engine hooks before the next begins.
+//
+//zinf:hotpath
 func (tl *TiledLinear) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Tensor {
 	rows := x.Len() / tl.In
-	y := tensor.New(tensor.FP32, rows, tl.Out)
+	// The tile loop fills every column band, so uninit is safe.
+	y := rt.NewMatrixUninit(rows, tl.Out)
 	yd := y.Float32s()
 	for t, tile := range tl.tiles {
 		yt := rt.Forward(tile, x)
@@ -95,6 +102,8 @@ func (tl *TiledLinear) Forward(rt *module.Runtime, x *tensor.Tensor) *tensor.Ten
 }
 
 // Backward implements module.Layer.
+//
+//zinf:hotpath
 func (tl *TiledLinear) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.Tensor {
 	rows := dy.Len() / tl.Out
 	dyd := dy.Float32s()
@@ -103,7 +112,7 @@ func (tl *TiledLinear) Backward(rt *module.Runtime, dy *tensor.Tensor) *tensor.T
 	// gives the same dx, but reverse matches the saved-activation LIFO.
 	for t := tl.Tiles - 1; t >= 0; t-- {
 		tile := tl.tiles[t]
-		dyt := tensor.New(tensor.FP32, rows, tl.TileOut)
+		dyt := rt.NewMatrixUninit(rows, tl.TileOut)
 		sliceBand(dyt.Float32s(), dyd, rows, tl.Out, t*tl.TileOut, tl.TileOut)
 		dxt := rt.Backward(tile, dyt)
 		if dx == nil {

@@ -1,6 +1,9 @@
 package module
 
-import "repro/internal/tensor"
+import (
+	"repro/internal/mem"
+	"repro/internal/tensor"
+)
 
 // Module is a node in the model tree. Composite modules return children;
 // leaves own parameters and compute.
@@ -70,6 +73,12 @@ type Runtime struct {
 	// be is the compute backend every layer's kernels dispatch through.
 	be tensor.Backend
 
+	// step is the step-scoped activation arena the layers' NewMatrix/
+	// Scratch requests draw from. nil means heap: every request falls back
+	// to make/tensor.New, which is the bit-identity baseline the arena path
+	// is tested against.
+	step *mem.StepArena
+
 	ckptStore CheckpointStore
 }
 
@@ -91,11 +100,122 @@ func (rt *Runtime) SetBackend(be tensor.Backend) { rt.be = tensor.DefaultBackend
 //zinf:hotpath
 func (rt *Runtime) Backend() tensor.Backend { return rt.be }
 
+// SetStepArena installs the step-scoped activation arena (nil restores heap
+// allocation). Engines install one at construction and bracket each
+// micro-batch with BeginStep/EndStep.
+func (rt *Runtime) SetStepArena(a *mem.StepArena) { rt.step = a }
+
+// StepArena returns the installed activation arena, or nil when layer
+// allocations go to the heap.
+//
+//zinf:hotpath
+func (rt *Runtime) StepArena() *mem.StepArena { return rt.step }
+
+// BeginStep reclaims the previous step's activations and opens a new arena
+// generation. A no-op without an arena.
+//
+//zinf:hotpath
+func (rt *Runtime) BeginStep() {
+	if rt.step != nil {
+		rt.step.BeginStep()
+	}
+}
+
+// EndStep reclaims the finished step's activations. With the BeginStep
+// bracket this is belt-and-braces — BeginStep reclaims unconditionally — but
+// it returns buffers to the free lists at the earliest point they are dead,
+// keeping the arena's footprint at one step's live set. A no-op without an
+// arena.
+//
+//zinf:hotpath
+func (rt *Runtime) EndStep() {
+	if rt.step != nil {
+		rt.step.Reset()
+	}
+}
+
+// NewMatrix returns a zeroed step-scoped [rows, cols] FP32 tensor — for
+// call sites that accumulate into it. Valid until the engine's next
+// BeginStep (or an enclosing Release scope).
+//
+//zinf:hotpath
+func (rt *Runtime) NewMatrix(rows, cols int) *tensor.Tensor {
+	if rt.step != nil {
+		return rt.step.NewMatrix(rows, cols)
+	}
+	return tensor.New(tensor.FP32, rows, cols) //zinf:allow hotpathalloc heap fallback when no step arena is installed; engines install one and the zero-alloc gates run arena-backed
+}
+
+// NewMatrixUninit is NewMatrix with UNDEFINED contents, for call sites that
+// fully overwrite the tensor (every matmul dst, softmax/gelu outputs).
+//
+//zinf:hotpath
+func (rt *Runtime) NewMatrixUninit(rows, cols int) *tensor.Tensor {
+	if rt.step != nil {
+		return rt.step.NewMatrixUninit(rows, cols)
+	}
+	return tensor.New(tensor.FP32, rows, cols) //zinf:allow hotpathalloc heap fallback when no step arena is installed; engines install one and the zero-alloc gates run arena-backed
+}
+
+// AllocF32 returns a step-scoped []float32 of length n with UNDEFINED
+// contents — headerless activation storage (softmax rows, layernorm stats).
+//
+//zinf:hotpath
+func (rt *Runtime) AllocF32(n int) []float32 {
+	if rt.step != nil {
+		return rt.step.AllocF32(n)
+	}
+	return make([]float32, n) //zinf:allow hotpathalloc heap fallback when no step arena is installed; engines install one and the zero-alloc gates run arena-backed
+}
+
+// Scratch returns a transient []float32 the caller must return with
+// PutScratch. Safe from concurrent kernel workers (per-worker scratch).
+//
+//zinf:hotpath
+func (rt *Runtime) Scratch(n int) []float32 {
+	if rt.step != nil {
+		return rt.step.Scratch(n)
+	}
+	return make([]float32, n) //zinf:allow hotpathalloc heap fallback when no step arena is installed; engines install one and the zero-alloc gates run arena-backed
+}
+
+// PutScratch returns a Scratch buffer for reuse. A no-op without an arena.
+//
+//zinf:hotpath
+func (rt *Runtime) PutScratch(s []float32) {
+	if rt.step != nil {
+		rt.step.PutScratch(s)
+	}
+}
+
+// Mark opens an arena sub-scope for activation-checkpoint recompute.
+// Returns the zero mark without an arena.
+//
+//zinf:hotpath
+func (rt *Runtime) Mark() mem.StepMark {
+	if rt.step != nil {
+		return rt.step.Mark()
+	}
+	return mem.StepMark{}
+}
+
+// Release frees arena buffers allocated since m, keeping only the tensor
+// keep (see mem.StepArena.Release). A no-op without an arena.
+//
+//zinf:hotpath
+func (rt *Runtime) Release(m mem.StepMark, keep *tensor.Tensor) {
+	if rt.step != nil {
+		rt.step.Release(m, keep)
+	}
+}
+
 // SetCheckpointStore installs an activation-checkpoint offload store.
 func (rt *Runtime) SetCheckpointStore(s CheckpointStore) { rt.ckptStore = s }
 
 // PutCheckpoint stores a checkpointed block input, offloading it if a store
 // is installed. The returned handle feeds GetCheckpoint.
+//
+//zinf:hotpath
 func (rt *Runtime) PutCheckpoint(t *tensor.Tensor) (handle int, offloaded bool) {
 	if rt.ckptStore == nil {
 		return 0, false
@@ -104,6 +224,8 @@ func (rt *Runtime) PutCheckpoint(t *tensor.Tensor) (handle int, offloaded bool) 
 }
 
 // GetCheckpoint retrieves an offloaded checkpoint.
+//
+//zinf:hotpath
 func (rt *Runtime) GetCheckpoint(h int) *tensor.Tensor {
 	if rt.ckptStore == nil {
 		panic("module: GetCheckpoint without a store")
@@ -123,6 +245,8 @@ func (rt *Runtime) SaveActivations() bool { return rt.save }
 
 // SetSaveActivations toggles activation stashing and returns the previous
 // value; used by checkpointed blocks.
+//
+//zinf:hotpath
 func (rt *Runtime) SetSaveActivations(v bool) bool {
 	old := rt.save
 	rt.save = v

@@ -10,6 +10,7 @@ package optim
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/tensor"
 )
@@ -104,16 +105,34 @@ func StepVecOn(be tensor.Backend, cfg AdamConfig, step int, params, grads, m, v 
 	bc2 := 1 - math.Pow(cfg.Beta2, float64(step))
 	be = tensor.DefaultBackend(be)
 	if tensor.IsReference(be) {
-		// Serial fast path: a closure handed to the Backend interface would
-		// escape (one heap allocation per update), which the allocation-free
-		// steady-state contract forbids.
 		adamChunk(cfg, bc1, bc2, params, grads, m, v, 0, len(grads))
 		return
 	}
-	//zinf:allow hotpathalloc one closure header per parallel-backend step; the reference path above is closure-free and carries the zero-alloc gate
-	be.ParRange(len(grads), 1<<12, func(lo, hi int) {
-		adamChunk(cfg, bc1, bc2, params, grads, m, v, lo, hi)
-	})
+	a := adamArgsPool.Get().(*adamArgs)
+	a.cfg, a.bc1, a.bc2 = cfg, bc1, bc2
+	a.params, a.grads, a.m, a.v = params, grads, m, v
+	be.ParRangeCtx(len(grads), 1<<12, a, adamParChunk)
+	*a = adamArgs{}
+	adamArgsPool.Put(a)
+}
+
+// adamArgs carries one StepVecOn call's operands to adamParChunk, so the
+// parallel fan-out needs no escaping closure — one per-param update per step
+// would otherwise be the only allocation left on the parallel backend's
+// full-step zero-alloc path.
+type adamArgs struct {
+	cfg           AdamConfig
+	bc1, bc2      float64
+	params, grads []float32
+	m, v          []float32
+}
+
+var adamArgsPool = sync.Pool{New: func() any { return new(adamArgs) }}
+
+//zinf:hotpath
+func adamParChunk(ctx any, lo, hi int) {
+	a := ctx.(*adamArgs)
+	adamChunk(a.cfg, a.bc1, a.bc2, a.params, a.grads, a.m, a.v, lo, hi)
 }
 
 // adamElem applies the update to one element and returns the new param,

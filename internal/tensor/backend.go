@@ -65,6 +65,13 @@ type Backend interface {
 	// rows, attention heads); fn must be safe to run concurrently over
 	// disjoint ranges and must produce range-independent results.
 	ParRange(n, grain int, fn func(lo, hi int))
+
+	// ParRangeCtx is ParRange with the chunk function split into a top-level
+	// fn and a caller-owned ctx, mirroring Pool.ParallelForCtx: a closure
+	// handed through an interface call always escapes, so zero-allocation
+	// hot paths pass a pooled ctx pointer and a package-level fn instead.
+	// Same partitioning and bit-exactness contract as ParRange.
+	ParRangeCtx(n, grain int, ctx any, fn func(ctx any, lo, hi int))
 }
 
 // reference is the serial backend: straight delegation to the package-level
@@ -102,6 +109,13 @@ func (reference) HasNaNOrInf(x []float32) bool         { return HasNaNOrInf(x) }
 func (reference) ParRange(n, grain int, fn func(lo, hi int)) {
 	if n > 0 {
 		fn(0, n)
+	}
+}
+
+//zinf:hotpath
+func (reference) ParRangeCtx(n, grain int, ctx any, fn func(ctx any, lo, hi int)) {
+	if n > 0 {
+		fn(ctx, 0, n)
 	}
 }
 

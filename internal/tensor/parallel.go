@@ -8,6 +8,12 @@ import "sync"
 // contributions in exactly the serial order, so results are bit-identical to
 // the Reference backend — the property the engine-equivalence tests assert
 // end to end.
+//
+// Every kernel dispatches through a pooled kernArgs struct and a top-level
+// chunk function (Pool.ParallelForCtx) instead of a per-call closure: a
+// closure handed to the worker pool escapes to the heap, and the full-step
+// zero-allocation contract (TestFullStepZeroAllocs) forbids even that one
+// allocation per kernel launch.
 
 // Tile sizes for the blocked matmuls. The B tile of the forward matmul
 // (tileK×tileN fp32 = 128 KiB) is reused across every row of a worker's
@@ -57,14 +63,46 @@ func Grain(perItem int) int {
 	return g
 }
 
+// kernArgs carries one kernel call's operands to the package-level chunk
+// functions — the generalization of the fp16 codec's codecArgs to every
+// kernel. Pooling the struct and boxing only its pointer keeps kernel
+// dispatch completely allocation-free at full fan-out.
+type kernArgs struct {
+	c, a, b  []float32
+	hdst     []Half
+	hsrc     []Half
+	m, k, n  int
+	alpha    float32
+	skipZero bool
+}
+
+var kernArgsPool = sync.Pool{New: func() any { return new(kernArgs) }}
+
+//zinf:hotpath
+func (p *parallel) getArgs() *kernArgs { return kernArgsPool.Get().(*kernArgs) }
+
+//zinf:hotpath
+func (p *parallel) putArgs(a *kernArgs) {
+	*a = kernArgs{}
+	kernArgsPool.Put(a)
+}
+
+//zinf:hotpath
+func matMulChunk(ctx any, lo, hi int) {
+	a := ctx.(*kernArgs)
+	matMulRows(a.c, a.a, a.b, lo, hi, a.k, a.n, a.skipZero)
+}
+
+//zinf:hotpath
 func (p *parallel) MatMul(c, a, b []float32, m, k, n int) {
 	checkLen("MatMul c", c, m*n)
 	checkLen("MatMul a", a, m*k)
 	checkLen("MatMul b", b, k*n)
-	skipZero := !HasNaNOrInf(b[:k*n])
-	p.pool.ParallelFor(m, Grain(k*n), func(lo, hi int) {
-		matMulRows(c, a, b, lo, hi, k, n, skipZero)
-	})
+	ka := p.getArgs()
+	ka.c, ka.a, ka.b, ka.k, ka.n = c, a, b, k, n
+	ka.skipZero = !HasNaNOrInf(b[:k*n])
+	p.pool.ParallelForCtx(m, Grain(k*n), ka, matMulChunk)
+	p.putArgs(ka)
 }
 
 // matMulRows computes rows [lo, hi) of C = A·B with the k dimension tiled:
@@ -114,118 +152,167 @@ func matMulRows(c, a, b []float32, lo, hi, k, n int, skipZero bool) {
 	}
 }
 
+// matMulTransARows accumulates rows [lo, hi) of C += Aᵀ·B: row i of C is
+// written only from column i of A, so worker ranges touch disjoint C rows
+// while each element keeps the serial p-ascending accumulation order. Each B
+// row is already reused across the worker's whole i range while cache-hot,
+// so no further tiling is needed.
+//
+//zinf:hotpath
+func matMulTransARows(c, a, b []float32, lo, hi, m, k, n int, skipZero bool) {
+	for pi := 0; pi < k; pi++ {
+		ap := a[pi*m+lo : pi*m+hi]
+		bp := b[pi*n : (pi+1)*n]
+		if skipZero {
+			for ii, av := range ap {
+				if av == 0 {
+					continue
+				}
+				axpyLanes(c[(lo+ii)*n:(lo+ii+1)*n], bp, av)
+			}
+		} else {
+			for ii, av := range ap {
+				axpyLanes(c[(lo+ii)*n:(lo+ii+1)*n], bp, av)
+			}
+		}
+	}
+}
+
+//zinf:hotpath
+func matMulTransAChunk(ctx any, lo, hi int) {
+	a := ctx.(*kernArgs)
+	matMulTransARows(a.c, a.a, a.b, lo, hi, a.m, a.k, a.n, a.skipZero)
+}
+
+//zinf:hotpath
 func (p *parallel) MatMulTransA(c, a, b []float32, m, k, n int) {
 	checkLen("MatMulTransA c", c, m*n)
 	checkLen("MatMulTransA a", a, k*m)
 	checkLen("MatMulTransA b", b, k*n)
-	skipZero := !HasNaNOrInf(b[:k*n])
-	// Partition the m dimension (rows of C): C += Aᵀ·B writes row i of C
-	// only from column i of A, so worker ranges touch disjoint C rows while
-	// each element keeps the serial p-ascending accumulation order. Each B
-	// row is already reused across the worker's whole i range while
-	// cache-hot, so no further tiling is needed.
-	p.pool.ParallelFor(m, Grain(k*n), func(lo, hi int) {
-		for pi := 0; pi < k; pi++ {
-			ap := a[pi*m+lo : pi*m+hi]
-			bp := b[pi*n : (pi+1)*n]
-			if skipZero {
-				for ii, av := range ap {
-					if av == 0 {
-						continue
-					}
-					axpyLanes(c[(lo+ii)*n:(lo+ii+1)*n], bp, av)
-				}
-			} else {
-				for ii, av := range ap {
-					axpyLanes(c[(lo+ii)*n:(lo+ii+1)*n], bp, av)
-				}
-			}
-		}
-	})
+	ka := p.getArgs()
+	ka.c, ka.a, ka.b, ka.m, ka.k, ka.n = c, a, b, m, k, n
+	ka.skipZero = !HasNaNOrInf(b[:k*n])
+	// Partition the m dimension (rows of C): disjoint output rows, serial
+	// accumulation order within each element.
+	p.pool.ParallelForCtx(m, Grain(k*n), ka, matMulTransAChunk)
+	p.putArgs(ka)
 }
 
+// matMulTransBRows computes rows [lo, hi) of C = A·Bᵀ, tiling the row range
+// so each B row is reused across tileM rows of A while it is cache-hot. Each
+// output element is one dotLanes call — the same fixed lane schedule as the
+// reference backend, so ordering is bit-exact by construction.
+//
+//zinf:hotpath
+func matMulTransBRows(c, a, b []float32, lo, hi, k, n int) {
+	for it := lo; it < hi; it += tileM {
+		iEnd := it + tileM
+		if iEnd > hi {
+			iEnd = hi
+		}
+		for j := 0; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			for i := it; i < iEnd; i++ {
+				c[i*n+j] = dotLanes(a[i*k:(i+1)*k], bj)
+			}
+		}
+	}
+}
+
+//zinf:hotpath
+func matMulTransBChunk(ctx any, lo, hi int) {
+	a := ctx.(*kernArgs)
+	matMulTransBRows(a.c, a.a, a.b, lo, hi, a.k, a.n)
+}
+
+//zinf:hotpath
 func (p *parallel) MatMulTransB(c, a, b []float32, m, k, n int) {
 	checkLen("MatMulTransB c", c, m*n)
 	checkLen("MatMulTransB a", a, m*k)
 	checkLen("MatMulTransB b", b, n*k)
-	p.pool.ParallelFor(m, Grain(k*n), func(lo, hi int) {
-		// Tile the row range so each B row is reused across tileM rows of A
-		// while it is cache-hot. Each output element is one dotLanes call —
-		// the same fixed lane schedule as the reference backend, so ordering
-		// is bit-exact by construction.
-		for it := lo; it < hi; it += tileM {
-			iEnd := it + tileM
-			if iEnd > hi {
-				iEnd = hi
-			}
-			for j := 0; j < n; j++ {
-				bj := b[j*k : (j+1)*k]
-				for i := it; i < iEnd; i++ {
-					c[i*n+j] = dotLanes(a[i*k:(i+1)*k], bj)
-				}
-			}
-		}
-	})
+	ka := p.getArgs()
+	ka.c, ka.a, ka.b, ka.k, ka.n = c, a, b, k, n
+	p.pool.ParallelForCtx(m, Grain(k*n), ka, matMulTransBChunk)
+	p.putArgs(ka)
 }
 
+//zinf:hotpath
+func geluChunk(ctx any, lo, hi int) {
+	a := ctx.(*kernArgs)
+	geluLanes(a.c[lo:hi], a.a[lo:hi])
+}
+
+//zinf:hotpath
 func (p *parallel) Gelu(dst, x []float32) {
 	checkLen("Gelu dst", dst, len(x))
-	p.pool.ParallelFor(len(x), minParWork/8, func(lo, hi int) {
-		geluLanes(dst[lo:hi], x[lo:hi])
-	})
+	ka := p.getArgs()
+	ka.c, ka.a = dst, x
+	p.pool.ParallelForCtx(len(x), minParWork/8, ka, geluChunk)
+	p.putArgs(ka)
 }
 
+//zinf:hotpath
+func geluBackwardChunk(ctx any, lo, hi int) {
+	a := ctx.(*kernArgs)
+	GeluBackward(a.c[lo:hi], a.a[lo:hi], a.b[lo:hi])
+}
+
+//zinf:hotpath
 func (p *parallel) GeluBackward(dx, dy, x []float32) {
 	checkLen("GeluBackward dx", dx, len(x))
 	checkLen("GeluBackward dy", dy, len(x))
-	p.pool.ParallelFor(len(x), minParWork/8, func(lo, hi int) {
-		GeluBackward(dx[lo:hi], dy[lo:hi], x[lo:hi])
-	})
+	ka := p.getArgs()
+	ka.c, ka.a, ka.b = dx, dy, x
+	p.pool.ParallelForCtx(len(x), minParWork/8, ka, geluBackwardChunk)
+	p.putArgs(ka)
 }
 
+//zinf:hotpath
+func softmaxRowsChunk(ctx any, lo, hi int) {
+	a := ctx.(*kernArgs)
+	SoftmaxRows(a.c[lo*a.n:hi*a.n], hi-lo, a.n)
+}
+
+//zinf:hotpath
 func (p *parallel) SoftmaxRows(x []float32, m, n int) {
 	checkLen("SoftmaxRows x", x, m*n)
-	p.pool.ParallelFor(m, Grain(4*n), func(lo, hi int) {
-		SoftmaxRows(x[lo*n:hi*n], hi-lo, n)
-	})
+	ka := p.getArgs()
+	ka.c, ka.n = x, n
+	p.pool.ParallelForCtx(m, Grain(4*n), ka, softmaxRowsChunk)
+	p.putArgs(ka)
 }
 
+//zinf:hotpath
+func softmaxRowsBackwardChunk(ctx any, lo, hi int) {
+	a := ctx.(*kernArgs)
+	SoftmaxRowsBackward(a.c[lo*a.n:hi*a.n], a.a[lo*a.n:hi*a.n], a.b[lo*a.n:hi*a.n], hi-lo, a.n)
+}
+
+//zinf:hotpath
 func (p *parallel) SoftmaxRowsBackward(dx, dy, y []float32, m, n int) {
 	checkLen("SoftmaxRowsBackward dx", dx, m*n)
 	checkLen("SoftmaxRowsBackward dy", dy, m*n)
 	checkLen("SoftmaxRowsBackward y", y, m*n)
-	p.pool.ParallelFor(m, Grain(2*n), func(lo, hi int) {
-		SoftmaxRowsBackward(dx[lo*n:hi*n], dy[lo*n:hi*n], y[lo*n:hi*n], hi-lo, n)
-	})
+	ka := p.getArgs()
+	ka.c, ka.a, ka.b, ka.n = dx, dy, y, n
+	p.pool.ParallelForCtx(m, Grain(2*n), ka, softmaxRowsBackwardChunk)
+	p.putArgs(ka)
 }
 
-// codecArgs carries one fp16 codec call's buffers to the package-level chunk
-// functions. Pooling the struct and boxing only its pointer keeps the codec
-// kernels' dispatch completely allocation-free — the property the
-// zero-allocation steady-state step and BenchmarkFp16Codec assert.
-type codecArgs struct {
-	hdst []Half
-	fdst []float32
-	hsrc []Half
-	fsrc []float32
-}
-
-var codecArgsPool = sync.Pool{New: func() any { return new(codecArgs) }}
-
-// codecGrain: the conversions are a few ops per element, so require large
-// chunks before fanning out.
+// codecGrain: the fp16 conversions are a few ops per element, so require
+// large chunks before fanning out.
 const codecGrain = minParWork / 8
 
 //zinf:hotpath
 func encodeChunk(ctx any, lo, hi int) {
-	a := ctx.(*codecArgs)
-	EncodeHalf(a.hdst[lo:hi], a.fsrc[lo:hi])
+	a := ctx.(*kernArgs)
+	EncodeHalf(a.hdst[lo:hi], a.a[lo:hi])
 }
 
 //zinf:hotpath
 func decodeChunk(ctx any, lo, hi int) {
-	a := ctx.(*codecArgs)
-	DecodeHalf(a.fdst[lo:hi], a.hsrc[lo:hi])
+	a := ctx.(*kernArgs)
+	DecodeHalf(a.c[lo:hi], a.hsrc[lo:hi])
 }
 
 //zinf:hotpath
@@ -233,11 +320,10 @@ func (p *parallel) EncodeHalf(dst []Half, src []float32) {
 	if len(dst) < len(src) {
 		panic("tensor: EncodeHalf dst too short")
 	}
-	a := codecArgsPool.Get().(*codecArgs)
-	a.hdst, a.fsrc = dst, src
-	p.pool.ParallelForCtx(len(src), codecGrain, a, encodeChunk)
-	*a = codecArgs{}
-	codecArgsPool.Put(a)
+	ka := p.getArgs()
+	ka.hdst, ka.a = dst, src
+	p.pool.ParallelForCtx(len(src), codecGrain, ka, encodeChunk)
+	p.putArgs(ka)
 }
 
 //zinf:hotpath
@@ -245,52 +331,91 @@ func (p *parallel) DecodeHalf(dst []float32, src []Half) {
 	if len(dst) < len(src) {
 		panic("tensor: DecodeHalf dst too short")
 	}
-	a := codecArgsPool.Get().(*codecArgs)
-	a.fdst, a.hsrc = dst, src
-	p.pool.ParallelForCtx(len(src), codecGrain, a, decodeChunk)
-	*a = codecArgs{}
-	codecArgsPool.Put(a)
+	ka := p.getArgs()
+	ka.c, ka.hsrc = dst, src
+	p.pool.ParallelForCtx(len(src), codecGrain, ka, decodeChunk)
+	p.putArgs(ka)
 }
 
+//zinf:hotpath
+func addChunk(ctx any, lo, hi int) {
+	a := ctx.(*kernArgs)
+	Add(a.c[lo:hi], a.a[lo:hi], a.b[lo:hi])
+}
+
+//zinf:hotpath
 func (p *parallel) Add(dst, a, b []float32) {
 	checkLen("Add dst", dst, len(a))
 	checkLen("Add b", b, len(a))
-	p.pool.ParallelFor(len(a), minParWork, func(lo, hi int) {
-		Add(dst[lo:hi], a[lo:hi], b[lo:hi])
-	})
+	ka := p.getArgs()
+	ka.c, ka.a, ka.b = dst, a, b
+	p.pool.ParallelForCtx(len(a), minParWork, ka, addChunk)
+	p.putArgs(ka)
 }
 
+//zinf:hotpath
+func mulChunk(ctx any, lo, hi int) {
+	a := ctx.(*kernArgs)
+	Mul(a.c[lo:hi], a.a[lo:hi], a.b[lo:hi])
+}
+
+//zinf:hotpath
 func (p *parallel) Mul(dst, a, b []float32) {
 	checkLen("Mul dst", dst, len(a))
 	checkLen("Mul b", b, len(a))
-	p.pool.ParallelFor(len(a), minParWork, func(lo, hi int) {
-		Mul(dst[lo:hi], a[lo:hi], b[lo:hi])
-	})
+	ka := p.getArgs()
+	ka.c, ka.a, ka.b = dst, a, b
+	p.pool.ParallelForCtx(len(a), minParWork, ka, mulChunk)
+	p.putArgs(ka)
 }
 
+//zinf:hotpath
+func axpyChunk(ctx any, lo, hi int) {
+	a := ctx.(*kernArgs)
+	Axpy(a.alpha, a.a[lo:hi], a.c[lo:hi])
+}
+
+//zinf:hotpath
 func (p *parallel) Axpy(alpha float32, x, y []float32) {
 	checkLen("Axpy y", y, len(x))
-	p.pool.ParallelFor(len(x), minParWork, func(lo, hi int) {
-		Axpy(alpha, x[lo:hi], y[lo:hi])
-	})
+	ka := p.getArgs()
+	ka.c, ka.a, ka.alpha = y, x, alpha
+	p.pool.ParallelForCtx(len(x), minParWork, ka, axpyChunk)
+	p.putArgs(ka)
 }
 
+//zinf:hotpath
+func scaleChunk(ctx any, lo, hi int) {
+	a := ctx.(*kernArgs)
+	Scale(a.alpha, a.c[lo:hi])
+}
+
+//zinf:hotpath
 func (p *parallel) Scale(alpha float32, x []float32) {
-	p.pool.ParallelFor(len(x), minParWork, func(lo, hi int) {
-		Scale(alpha, x[lo:hi])
-	})
+	ka := p.getArgs()
+	ka.c, ka.alpha = x, alpha
+	p.pool.ParallelForCtx(len(x), minParWork, ka, scaleChunk)
+	p.putArgs(ka)
 }
 
+//zinf:hotpath
+func transposeChunk(ctx any, lo, hi int) {
+	a := ctx.(*kernArgs)
+	for i := lo; i < hi; i++ {
+		for j := 0; j < a.n; j++ {
+			a.c[j*a.m+i] = a.a[i*a.n+j]
+		}
+	}
+}
+
+//zinf:hotpath
 func (p *parallel) Transpose(dst, a []float32, m, n int) {
 	checkLen("Transpose dst", dst, m*n)
 	checkLen("Transpose a", a, m*n)
-	p.pool.ParallelFor(m, Grain(n), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			for j := 0; j < n; j++ {
-				dst[j*m+i] = a[i*n+j]
-			}
-		}
-	})
+	ka := p.getArgs()
+	ka.c, ka.a, ka.m, ka.n = dst, a, m, n
+	p.pool.ParallelForCtx(m, Grain(n), ka, transposeChunk)
+	p.putArgs(ka)
 }
 
 // Reductions stay serial: their float64 accumulation order is part of the
@@ -314,6 +439,11 @@ func (p *parallel) HasNaNOrInf(x []float32) bool { return HasNaNOrInf(x) }
 
 func (p *parallel) ParRange(n, grain int, fn func(lo, hi int)) {
 	p.pool.ParallelFor(n, grain, fn)
+}
+
+//zinf:hotpath
+func (p *parallel) ParRangeCtx(n, grain int, ctx any, fn func(ctx any, lo, hi int)) {
+	p.pool.ParallelForCtx(n, grain, ctx, fn)
 }
 
 var (

@@ -84,11 +84,31 @@ func NumElems(shape []int) int {
 }
 
 // DType returns the tensor's storage precision.
+//
+//zinf:hotpath
 func (t *Tensor) DType() DType { return t.dtype }
 
 // Shape returns the tensor's dimensions. The returned slice must not be
 // modified.
+//
+//zinf:hotpath
 func (t *Tensor) Shape() []int { return t.shape }
+
+// ResetFP32Matrix reinitializes t in place as a [rows, cols] FP32 tensor
+// viewing data (no copy) — the allocation-free analogue of FromSlice for
+// pooled tensor headers (mem.StepArena): the retained shape slice is reused,
+// so a recycled header costs zero heap allocations.
+//
+//zinf:hotpath
+func (t *Tensor) ResetFP32Matrix(data []float32, rows, cols int) {
+	if rows*cols != len(data) {
+		panic("tensor: ResetFP32Matrix data length does not match rows*cols")
+	}
+	t.dtype = FP32
+	t.f16 = nil
+	t.f32 = data
+	t.shape = append(t.shape[:0], rows, cols)
+}
 
 // Len returns the number of elements.
 //
@@ -104,6 +124,8 @@ func (t *Tensor) Len() int {
 func (t *Tensor) SizeBytes() int64 { return int64(t.Len()) * int64(t.dtype.Bytes()) }
 
 // Dim returns the size of dimension i.
+//
+//zinf:hotpath
 func (t *Tensor) Dim(i int) int { return t.shape[i] }
 
 // At returns the element at flat index i as float32.

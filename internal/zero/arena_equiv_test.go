@@ -1,0 +1,83 @@
+package zero
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+)
+
+// runEngineHeap mirrors runEngine (engines_test.go) but strips the step
+// arena right after construction, so every model-layer allocation falls back
+// to tensor.New/make — the heap baseline the arena-backed engines must match
+// bit for bit.
+func runEngineHeap(t *testing.T, mcfg model.Config, ecfg Config, ckpt bool) runOutput {
+	t.Helper()
+	mcfg.CheckpointActivations = ckpt
+	tokens, targets := makeBatches(mcfg, testSteps, testRanks, testBatch)
+	var out runOutput
+	var mu sync.Mutex
+	comm.Run(testRanks, func(c *comm.Comm) {
+		g := model.MustGPT(mcfg)
+		var step func(tok, tgt []int) StepResult
+		var full func() map[string][]float32
+		if ecfg.Stage == Stage3 {
+			e, err := NewZ3Engine(ecfg, c, g)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			e.Runtime().SetStepArena(nil)
+			step, full = e.Step2(), e.FullParams
+		} else {
+			e, err := NewDPEngine(ecfg, c, g)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			e.Runtime().SetStepArena(nil)
+			step = func(tok, tgt []int) StepResult { return e.Step(tok, tgt, testBatch) }
+			full = e.FullParams
+		}
+		var losses []float64
+		for s := 0; s < testSteps; s++ {
+			losses = append(losses, step(tokens[s][c.Rank()], targets[s][c.Rank()]).Loss)
+		}
+		params := full()
+		if c.Rank() == 0 {
+			mu.Lock()
+			out = runOutput{losses: losses, params: params}
+			mu.Unlock()
+		}
+	})
+	return out
+}
+
+// TestArenaMatchesHeapTrajectory closes the loop the model-layer test
+// (model.TestArenaBitIdenticalToHeap) opens: under the real partitioned
+// engines — gather/release hooks, overlap, prefetch, checkpoint recompute —
+// the arena-backed step must produce the same losses and final parameters,
+// bit for bit, as the same engine with its arena removed.
+func TestArenaMatchesHeapTrajectory(t *testing.T) {
+	cases := []struct {
+		name   string
+		ecfg   Config
+		tiling int
+		ckpt   bool
+	}{
+		{"ddp", Config{Stage: StageDDP, LossScale: 256, Seed: 42}, 1, false},
+		{"zero2", Config{Stage: Stage2, LossScale: 256, Seed: 42}, 1, false},
+		{"zero3-overlap", Config{Stage: Stage3, LossScale: 256, Seed: 42, Overlap: true, PrefetchDepth: 2}, 1, false},
+		{"zero3-tiled-ckpt", Config{Stage: Stage3, LossScale: 256, Seed: 42}, 2, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mcfg := testCfg()
+			mcfg.Tiling = tc.tiling
+			arena := runEngine(t, mcfg, tc.ecfg, tc.ckpt)
+			heap := runEngineHeap(t, mcfg, tc.ecfg, tc.ckpt)
+			assertSameTrajectory(t, tc.name+" arena-vs-heap", arena, heap)
+		})
+	}
+}

@@ -80,6 +80,7 @@ func NewDPEngine(cfg Config, c *comm.Comm, g Model) (*DPEngine, error) {
 	}
 	e.rt = module.NewRuntime(nil)
 	e.rt.SetBackend(cfg.Backend)
+	e.rt.SetStepArena(mem.NewStepArena())
 	c.SetCodecBackend(cfg.Backend)
 	if cfg.Topology != nil {
 		if err := c.SetTopology(cfg.Topology); err != nil {
@@ -152,9 +153,14 @@ func (e *DPEngine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 			p.Grad()
 			p.ZeroGrad()
 		}
+		// The arena step brackets the micro-batch: reduceMicro only reads
+		// engine-arena gradient buffers, so every model activation is dead
+		// once it returns and EndStep reclaims them all.
+		e.rt.BeginStep()
 		lossSum += e.g.ForwardLoss(e.rt, microTokens[m], microTargets[m], batchPerMicro)
 		e.g.BackwardLoss(e.rt, float32(scaleUsed))
 		e.reduceMicro()
+		e.rt.EndStep()
 	}
 	globalLoss := e.c.AllReduceScalar(lossSum/float64(micros)) / float64(dp)
 

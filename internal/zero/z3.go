@@ -114,6 +114,7 @@ func NewZ3Engine(cfg Config, c *comm.Comm, g Model) (*Z3Engine, error) {
 	}
 	e.rt = module.NewRuntime(e)
 	e.rt.SetBackend(cfg.Backend)
+	e.rt.SetStepArena(mem.NewStepArena())
 	c.SetCodecBackend(cfg.Backend)
 	if cfg.Topology != nil {
 		if err := c.SetTopology(cfg.Topology); err != nil {
@@ -470,6 +471,12 @@ func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 		if e.prefetch != nil {
 			e.prefetch.trace.BeginStep()
 		}
+		// The arena step brackets the micro-batch. EndStep waits for the
+		// in-loop drain: the async reduce-scatters hold engine-arena fp16
+		// buffers, never step-arena activations, but draining first keeps
+		// the invariant simple — nothing launched in this micro-batch is in
+		// flight when the activations are reclaimed.
+		e.rt.BeginStep()
 		lossSum += e.g.ForwardLoss(e.rt, microTokens[m], microTargets[m], batchPerMicro)
 		e.g.BackwardLoss(e.rt, float32(scaleUsed))
 		if e.prefetch != nil {
@@ -478,6 +485,7 @@ func (e *Z3Engine) StepAccum(microTokens, microTargets [][]int, batchPerMicro in
 		// Fold this micro-batch's async reduce-scatters now (issue order),
 		// so retained gradient buffers never exceed one micro-batch.
 		e.drainReduces()
+		e.rt.EndStep()
 	}
 	globalLoss := e.c.AllReduceScalar(lossSum/float64(micros)) / float64(dp)
 	e.traceDone = true
