@@ -89,6 +89,16 @@ func ReadCheckpoint(r io.Reader) (map[string][]float32, error) {
 		return nil, fmt.Errorf("zeroinf: implausible parameter count %d", count)
 	}
 	out := make(map[string][]float32, count)
+	// Element payloads are read in bounded chunks so a lying header (a huge
+	// declared count on a tiny or adversarial stream) fails with EOF after
+	// consuming only the bytes actually present, instead of pre-allocating
+	// the claimed size.
+	const chunkElems = 1 << 16
+	var (
+		chunkBytes [2 * chunkElems]byte
+		chunkHalf  [chunkElems]tensor.Half
+		chunkF32   [chunkElems]float32
+	)
 	for i := uint32(0); i < count; i++ {
 		var nameLen uint32
 		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
@@ -108,14 +118,20 @@ func ReadCheckpoint(r io.Reader) (map[string][]float32, error) {
 		if elems > 1<<40 {
 			return nil, fmt.Errorf("zeroinf: implausible element count %d", elems)
 		}
-		b := make([]byte, 2*elems)
-		if _, err := io.ReadFull(br, b); err != nil {
-			return nil, err
+		v := make([]float32, 0, min(elems, chunkElems))
+		for got := uint64(0); got < elems; {
+			n := min(elems-got, chunkElems)
+			b := chunkBytes[:2*n]
+			if _, err := io.ReadFull(br, b); err != nil {
+				return nil, err
+			}
+			h := chunkHalf[:n]
+			tensor.HalfFromBytes(h, b)
+			f := chunkF32[:n]
+			tensor.DecodeHalf(f, h)
+			v = append(v, f...)
+			got += n
 		}
-		h := make([]tensor.Half, elems)
-		tensor.HalfFromBytes(h, b)
-		v := make([]float32, elems)
-		tensor.DecodeHalf(v, h)
 		name := string(nameBytes)
 		if _, dup := out[name]; dup {
 			return nil, fmt.Errorf("zeroinf: duplicate parameter %q in checkpoint", name)

@@ -1,0 +1,81 @@
+package zeroinf_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	zeroinf "repro"
+)
+
+func fuzzSeedCheckpoint(t testing.TB) []byte {
+	var buf bytes.Buffer
+	err := zeroinf.WriteCheckpoint(&buf, map[string][]float32{
+		"blocks.0.attn.qkv.weight": {1, -2, 0.5, 1e-3},
+		"head.weight":              {0.25},
+		"empty":                    {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadCheckpointTruncation chops a valid checkpoint at every byte
+// boundary — header, name, element payload — and requires every strict
+// prefix to be rejected with an error, never accepted or panicking.
+func TestReadCheckpointTruncation(t *testing.T) {
+	enc := fuzzSeedCheckpoint(t)
+	for n := 0; n < len(enc); n++ {
+		if _, err := zeroinf.ReadCheckpoint(bytes.NewReader(enc[:n])); err == nil {
+			t.Fatalf("truncation to %d/%d bytes was accepted", n, len(enc))
+		}
+	}
+	if _, err := zeroinf.ReadCheckpoint(bytes.NewReader(enc)); err != nil {
+		t.Fatalf("full checkpoint rejected: %v", err)
+	}
+}
+
+// FuzzReadCheckpoint: arbitrary input must either be rejected with an error
+// or decode to a map that re-encodes and re-reads to the same values —
+// fp16 round-tripping is a fixed point, so one decode/encode cycle must be
+// lossless.
+func FuzzReadCheckpoint(f *testing.F) {
+	f.Add(fuzzSeedCheckpoint(f))
+	f.Add([]byte("ZINF"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		params, err := zeroinf.ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := zeroinf.WriteCheckpoint(&out, params); err != nil {
+			t.Fatalf("re-encode of accepted checkpoint failed: %v", err)
+		}
+		again, err := zeroinf.ReadCheckpoint(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of re-encoded checkpoint failed: %v", err)
+		}
+		if len(again) != len(params) {
+			t.Fatalf("round trip changed param count: %d vs %d", len(again), len(params))
+		}
+		for name, v := range params {
+			v2, ok := again[name]
+			if !ok {
+				t.Fatalf("round trip lost param %q", name)
+			}
+			if len(v2) != len(v) {
+				t.Fatalf("round trip changed %q length: %d vs %d", name, len(v2), len(v))
+			}
+			for i := range v {
+				// NaN payload bits may canonicalize on the first re-encode;
+				// values must otherwise be bit-identical.
+				if v[i] != v2[i] && !(math.IsNaN(float64(v[i])) && math.IsNaN(float64(v2[i]))) {
+					t.Fatalf("round trip changed %q[%d]: %g vs %g", name, i, v[i], v2[i])
+				}
+			}
+		}
+	})
+}

@@ -12,8 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	zeroinf "repro"
 	"repro/internal/mem"
@@ -64,6 +67,9 @@ func main() {
 				"collectives decompose hierarchically and achieved aggregate bandwidth is reported (\"\" = flat)")
 		partition = flag.String("partition", "slice",
 			"stage-3/infinity parameter partitioning (Fig. 6c): slice (1/dp, all links) | broadcast (owner-rank)")
+		ckptDir   = flag.String("ckpt-dir", "", "crash-consistent checkpoint directory (enables -ckpt-every and -resume)")
+		ckptEvery = flag.Int("ckpt-every", 0, "snapshot asynchronously every N steps (0 = off; requires -ckpt-dir)")
+		resume    = flag.Bool("resume", false, "resume from the newest complete generation in -ckpt-dir")
 	)
 	flag.Parse()
 
@@ -109,11 +115,31 @@ func main() {
 		log.Fatalf("unknown engine %q", *engine)
 	}
 
+	ecfg.CheckpointDir = *ckptDir
+	ecfg.CheckpointEvery = *ckptEvery
+
+	// SIGINT/SIGTERM request a clean stop: ranks agree on a step boundary,
+	// take a final snapshot into -ckpt-dir, and exit resumably.
+	var stop chan struct{}
+	if *ckptDir != "" {
+		stop = make(chan struct{})
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			fmt.Println("signal received: taking a final snapshot and stopping")
+			signal.Stop(sig)
+			close(stop)
+		}()
+	}
+
 	fmt.Printf("training %d-layer hd=%d model (%d params) on %d ranks with %s\n",
 		mcfg.Layers, mcfg.Hidden, mcfg.ExactParamCount(), *ranks, *engine)
 	res, err := zeroinf.Train(zeroinf.TrainOptions{
 		Model: mcfg, Engine: ecfg, Ranks: *ranks, Steps: *steps, BatchPerRank: *batch,
 		GradAccumSteps: *accum,
+		Resume:         *resume,
+		Stop:           stop,
 		OnStep: func(s int, r zeroinf.StepResult) {
 			status := ""
 			if r.Skipped {
@@ -124,6 +150,12 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if res.CheckpointErr != nil {
+		log.Printf("checkpointing degraded: %v", res.CheckpointErr)
+	}
+	if *ckptDir != "" && res.FinalStep > res.StartStep {
+		fmt.Printf("trained steps %d..%d; checkpoints in %s\n", res.StartStep, res.FinalStep, *ckptDir)
 	}
 	if *engine == "infinity" || *engine == "zero3" {
 		s := res.Stats

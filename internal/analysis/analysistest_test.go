@@ -126,6 +126,10 @@ func TestPinnedLeakFixture(t *testing.T) {
 	runFixture(t, "pinned", PinnedLeak)
 }
 
+func TestCkptWriterFixture(t *testing.T) {
+	runFixture(t, "ckptio", PinnedLeak, TicketAwait)
+}
+
 func TestTicketAwaitFixture(t *testing.T) {
 	res := runFixture(t, "ticket", TicketAwait)
 	if res.Allows["ticketawait"] == 0 {

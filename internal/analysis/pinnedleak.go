@@ -25,41 +25,57 @@ var PinnedLeak = &Analyzer{
 
 // pinnedSinks are repo functions that take ownership of a buffer argument:
 // Param.SetData adopts an arena-backed gathered view (releaseParam returns
-// it), and the engines' foldGradShard adopts or recycles a reduced shard.
+// it), the engines' foldGradShard adopts or recycles a reduced shard, and
+// the checkpoint writer's Submit adopts a staging buffer (the background
+// commit recycles it).
 var pinnedSinks = map[string]bool{
 	"SetData":       true,
 	"foldGradShard": true,
+	"Submit":        true,
 }
 
 var pinnedSpec = &obligationSpec{
 	noun: "pinned/arena buffer",
 	acquire: func(info *types.Info, call *ast.CallExpr) (string, bool, bool) {
 		fn := calledMethod(info, call)
-		if fn == nil {
+		if fn == nil || fn.Pkg() == nil {
 			return "", false, false
 		}
 		recv := recvTypeName(fn)
-		if fn.Pkg() == nil || fn.Pkg().Name() != "mem" {
-			return "", false, false
-		}
-		switch {
-		case recv == "PinnedPool" && fn.Name() == "Acquire":
-			return "pinned buffer from PinnedPool.Acquire", false, true
-		case recv == "PinnedPool" && fn.Name() == "TryAcquire":
-			return "pinned buffer from PinnedPool.TryAcquire", true, true
-		case recv == "Arena" && (fn.Name() == "Get" || fn.Name() == "GetZeroed"):
-			return "arena buffer from Arena." + fn.Name(), false, true
+		switch fn.Pkg().Name() {
+		case "mem":
+			switch {
+			case recv == "PinnedPool" && fn.Name() == "Acquire":
+				return "pinned buffer from PinnedPool.Acquire", false, true
+			case recv == "PinnedPool" && fn.Name() == "TryAcquire":
+				return "pinned buffer from PinnedPool.TryAcquire", true, true
+			case recv == "Arena" && (fn.Name() == "Get" || fn.Name() == "GetZeroed"):
+				return "arena buffer from Arena." + fn.Name(), false, true
+			}
+		case "ckpt":
+			// The checkpoint writer's arena-backed staging buffers follow
+			// the same ownership discipline: every Stage must reach a
+			// Submit (ownership transfer) or a Recycle (error path).
+			if recv == "Writer" && fn.Name() == "Stage" {
+				return "staging buffer from Writer.Stage", false, true
+			}
 		}
 		return "", false, false
 	},
 	release: func(info *types.Info, call *ast.CallExpr) bool {
 		fn := calledMethod(info, call)
-		if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "mem" {
+		if fn == nil || fn.Pkg() == nil {
 			return false
 		}
 		recv := recvTypeName(fn)
-		return recv == "PinnedPool" && fn.Name() == "Release" ||
-			recv == "Arena" && fn.Name() == "Put"
+		switch fn.Pkg().Name() {
+		case "mem":
+			return recv == "PinnedPool" && fn.Name() == "Release" ||
+				recv == "Arena" && fn.Name() == "Put"
+		case "ckpt":
+			return recv == "Writer" && fn.Name() == "Recycle"
+		}
+		return false
 	},
 	sink: pinnedSinks,
 }

@@ -1,0 +1,33 @@
+// Package ckpt is a fixture stub mirroring the repo's internal/ckpt async
+// checkpoint-writer surface for the pinnedleak and ticketawait analyzers.
+package ckpt
+
+// Ticket mirrors ckpt.Ticket; Wait returns the generation's commit error.
+type Ticket struct{ err error }
+
+// Wait blocks for the commit and returns its error.
+func (t *Ticket) Wait() error { return t.err }
+
+// Staging mirrors the arena-backed staging buffer.
+type Staging struct{ buf []byte }
+
+// Write implements io.Writer.
+func (s *Staging) Write(p []byte) (int, error) {
+	s.buf = append(s.buf, p...)
+	return len(p), nil
+}
+
+// Writer mirrors the async checkpoint writer.
+type Writer struct{}
+
+// Stage returns an empty staging buffer; ownership obligations attach here.
+func (w *Writer) Stage() *Staging { return &Staging{} }
+
+// Recycle returns an unsubmitted staging buffer to the arena.
+func (w *Writer) Recycle(st *Staging) {}
+
+// Submit contributes one file to a generation, adopting st, and returns the
+// generation's shared commit ticket.
+func (w *Writer) Submit(gen uint64, step int, name string, st *Staging) *Ticket {
+	return &Ticket{}
+}

@@ -1,0 +1,68 @@
+// Package ckptio exercises pinnedleak and ticketawait over the checkpoint
+// writer surface: every staging buffer must reach Submit (ownership
+// transfer) or Recycle (error path), and every commit ticket must be
+// awaited or handed off.
+package ckptio
+
+import "ckpt"
+
+// serialize stands in for an engine's SaveRankState.
+func serialize(st *ckpt.Staging) error {
+	_, err := st.Write([]byte("state"))
+	return err
+}
+
+// LeakOnError drops the staging buffer when serialization fails — the
+// checkpoint analogue of the PR 2 pinned-buffer leak.
+func LeakOnError(w *ckpt.Writer, step int) error {
+	st := w.Stage() // want `staging buffer from Writer.Stage is not released or handed off`
+	if err := serialize(st); err != nil {
+		return err
+	}
+	w.Submit(uint64(step), step, "rank-0000.zst", st).Wait()
+	return nil
+}
+
+// DroppedTicket submits correctly but discards the commit ticket, losing
+// the commit error.
+func DroppedTicket(w *ckpt.Writer, step int) error {
+	st := w.Stage()
+	if err := serialize(st); err != nil {
+		w.Recycle(st)
+		return err
+	}
+	w.Submit(uint64(step), step, "rank-0000.zst", st) // want `ticket from Submit is discarded`
+	return nil
+}
+
+// TicketLeaksOnPath waits only on one branch.
+func TicketLeaksOnPath(w *ckpt.Writer, step int, skip bool) error {
+	st := w.Stage()
+	t := w.Submit(uint64(step), step, "rank-0000.zst", st) // want `ticket from Submit is not awaited or handed off`
+	if skip {
+		return nil
+	}
+	return t.Wait()
+}
+
+// Balanced is the correct shape: Recycle on the error path, Submit + Wait
+// on the success path.
+func Balanced(w *ckpt.Writer, step int) error {
+	st := w.Stage()
+	if err := serialize(st); err != nil {
+		w.Recycle(st)
+		return err
+	}
+	return w.Submit(uint64(step), step, "rank-0000.zst", st).Wait()
+}
+
+// HandOff appends the ticket to a pending list drained elsewhere — the
+// Train-loop shape (bounded pipelining of in-flight snapshots).
+func HandOff(w *ckpt.Writer, step int, pending []*ckpt.Ticket) ([]*ckpt.Ticket, error) {
+	st := w.Stage()
+	if err := serialize(st); err != nil {
+		w.Recycle(st)
+		return pending, err
+	}
+	return append(pending, w.Submit(uint64(step), step, "rank-0000.zst", st)), nil
+}

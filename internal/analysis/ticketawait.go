@@ -5,9 +5,10 @@ import (
 	"go/types"
 )
 
-// TicketAwait verifies that every asynchronous collective or NVMe ticket —
-// a comm.Ticket or *nvme.Ticket returned by the *Async collectives,
-// ReadRegion/WriteRegion and friends — reaches a Wait, or is handed off
+// TicketAwait verifies that every asynchronous collective, NVMe or
+// checkpoint-commit ticket — a comm.Ticket, *nvme.Ticket or *ckpt.Ticket
+// returned by the *Async collectives, ReadRegion/WriteRegion, the
+// checkpoint writer's Submit and friends — reaches a Wait, or is handed off
 // into the machinery that will wait for it (an overlap.Pending record, an
 // in-flight struct, a deferred reaper) before the issuing function exits.
 // The PR 2 drain-barrier bug class — an async reduce-scatter whose ticket
@@ -36,7 +37,7 @@ var ticketSpec = &obligationSpec{
 			return "", false, false
 		}
 		switch named.Obj().Pkg().Name() {
-		case "comm", "nvme":
+		case "comm", "nvme", "ckpt":
 			name := "async ticket"
 			if fn := calledMethod(info, call); fn != nil {
 				name = "ticket from " + fn.Name()

@@ -1,0 +1,163 @@
+// Package ckpt implements crash-consistent checkpoint sets (format v2) and
+// the asynchronous checkpoint writer that produces them.
+//
+// A checkpoint set is one generation directory
+//
+//	<dir>/gen-<NNNNNNNNNN>/
+//	    rank-0000.zst   per-rank training state (internal/zero statecodec)
+//	    rank-0001.zst   ...
+//	    weights.zinf    consolidated fp16 weights (root checkpoint format v1)
+//	    MANIFEST        commit record: sizes + CRC32C of every file above
+//
+// The MANIFEST is written last, via write-to-temp + fsync + atomic rename +
+// directory fsync, so its presence (and internal self-checksum) defines
+// completeness: a crash at any earlier point leaves a generation directory
+// without a valid MANIFEST, which readers skip, falling back to the last
+// complete generation. Torn or bit-rotted data files are caught by the
+// per-file CRC32C at open time. All validation failures are errors, never
+// panics.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// File names inside a generation directory.
+const (
+	// ManifestName is the commit record; its presence defines completeness.
+	ManifestName = "MANIFEST"
+	// WeightsName is the consolidated fp16 weights file (root format v1,
+	// written by WriteCheckpoint — v1 files remain readable unchanged).
+	WeightsName = "weights.zinf"
+)
+
+// RankFileName returns the per-rank state file name for rank r.
+func RankFileName(r int) string { return fmt.Sprintf("rank-%04d.zst", r) }
+
+const (
+	manifestMagic   = "ZMF2"
+	manifestVersion = 2
+	// maxManifestFiles bounds the declared file count so corrupt input
+	// cannot trigger huge allocations.
+	maxManifestFiles = 1 << 16
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum is the CRC32C used throughout the format.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// FileEntry records one committed file.
+type FileEntry struct {
+	Name string
+	Size int64
+	CRC  uint32 // CRC32C of the file contents
+}
+
+// Manifest is the commit record of one checkpoint generation.
+type Manifest struct {
+	Generation uint64
+	World      int
+	Step       int
+	Files      []FileEntry
+}
+
+// File returns the entry for name.
+func (m *Manifest) File(name string) (FileEntry, bool) {
+	for _, f := range m.Files {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FileEntry{}, false
+}
+
+// Encode serializes m, ending with a CRC32C of all preceding bytes so a
+// torn manifest write is self-detecting.
+//
+// Layout (little endian): magic "ZMF2" | u32 version | u64 generation |
+// u32 world | u64 step | u32 nfiles | nfiles × {u32 nameLen | name |
+// u64 size | u32 crc} | u32 manifest crc.
+func (m *Manifest) Encode() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(manifestMagic)
+	le := binary.LittleEndian
+	binary.Write(&buf, le, uint32(manifestVersion))
+	binary.Write(&buf, le, m.Generation)
+	binary.Write(&buf, le, uint32(m.World))
+	binary.Write(&buf, le, uint64(m.Step))
+	binary.Write(&buf, le, uint32(len(m.Files)))
+	for _, f := range m.Files {
+		binary.Write(&buf, le, uint32(len(f.Name)))
+		buf.WriteString(f.Name)
+		binary.Write(&buf, le, uint64(f.Size))
+		binary.Write(&buf, le, f.CRC)
+	}
+	binary.Write(&buf, le, Checksum(buf.Bytes()))
+	return buf.Bytes()
+}
+
+// DecodeManifest parses and validates a manifest, including its trailing
+// self-checksum. Truncated or corrupt input is rejected with an error.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("ckpt: manifest truncated (%d bytes)", len(b))
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if got, want := binary.LittleEndian.Uint32(tail), Checksum(body); got != want {
+		return nil, fmt.Errorf("ckpt: manifest checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	r := bytes.NewReader(body)
+	magic := make([]byte, len(manifestMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("ckpt: read manifest magic: %w", err)
+	}
+	if string(magic) != manifestMagic {
+		return nil, fmt.Errorf("ckpt: bad manifest magic %q", magic)
+	}
+	le := binary.LittleEndian
+	var version, world, nfiles uint32
+	var gen, step uint64
+	for _, v := range []any{&version, &gen, &world, &step, &nfiles} {
+		if err := binary.Read(r, le, v); err != nil {
+			return nil, fmt.Errorf("ckpt: read manifest header: %w", err)
+		}
+	}
+	if version != manifestVersion {
+		return nil, fmt.Errorf("ckpt: unsupported manifest version %d", version)
+	}
+	if nfiles > maxManifestFiles {
+		return nil, fmt.Errorf("ckpt: implausible manifest file count %d", nfiles)
+	}
+	m := &Manifest{Generation: gen, World: int(world), Step: int(step)}
+	for i := uint32(0); i < nfiles; i++ {
+		var nameLen uint32
+		if err := binary.Read(r, le, &nameLen); err != nil {
+			return nil, fmt.Errorf("ckpt: read manifest entry: %w", err)
+		}
+		if nameLen > 1<<10 {
+			return nil, fmt.Errorf("ckpt: implausible manifest name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("ckpt: read manifest entry: %w", err)
+		}
+		var size uint64
+		var crc uint32
+		if err := binary.Read(r, le, &size); err != nil {
+			return nil, fmt.Errorf("ckpt: read manifest entry: %w", err)
+		}
+		if err := binary.Read(r, le, &crc); err != nil {
+			return nil, fmt.Errorf("ckpt: read manifest entry: %w", err)
+		}
+		m.Files = append(m.Files, FileEntry{Name: string(name), Size: int64(size), CRC: crc})
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("ckpt: %d trailing bytes after manifest entries", r.Len())
+	}
+	return m, nil
+}

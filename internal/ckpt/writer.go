@@ -1,0 +1,430 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/nvme"
+)
+
+// Writer errors.
+var (
+	// ErrKilled reports that the writer was killed (crash simulation): the
+	// generation being written was abandoned mid-flight.
+	ErrKilled = errors.New("ckpt: writer killed")
+	// ErrWriterClosed reports a submission against a closed writer.
+	ErrWriterClosed = errors.New("ckpt: writer closed")
+)
+
+// Ticket tracks one generation's asynchronous commit. Every Submit for a
+// generation returns the same shared ticket; Wait blocks until the
+// generation's MANIFEST is durably committed (or the attempt failed) and
+// returns the outcome. Safe to Wait from several goroutines.
+type Ticket struct {
+	done chan struct{}
+	err  error // written before done closes
+}
+
+// Wait blocks for the commit and returns its error.
+func (t *Ticket) Wait() error {
+	<-t.done
+	return t.err
+}
+
+func completedTicket(err error) *Ticket {
+	t := &Ticket{done: make(chan struct{}), err: err}
+	close(t.done)
+	return t
+}
+
+// WriterOptions configures a Writer.
+type WriterOptions struct {
+	// World is the rank count; a generation is complete when all World rank
+	// files plus the weights file have been submitted. Required.
+	World int
+	// Workers / ChunkSize configure the per-file async NVMe engine
+	// (defaults 4 and 256 KiB).
+	Workers   int
+	ChunkSize int
+	// Retries is the per-file write retry budget for transient faults
+	// (default 2), with RetryBackoff (default 1ms) doubling per attempt.
+	// Each retry rewrites the whole temp file, so a torn write cannot
+	// survive a successful retry.
+	Retries      int
+	RetryBackoff time.Duration
+	// KeepGenerations is how many complete generations to retain (default
+	// 2); older ones are pruned after each commit.
+	KeepGenerations int
+	// Faults, when set, is installed on every file-write engine — the
+	// fault-injection hook for crash/torn-write tests.
+	Faults *nvme.FaultInjector
+	// KillAfter, when positive, kills the writer after that many data files
+	// have been written (before the generation's MANIFEST commit) — the
+	// deterministic mid-snapshot crash point used by the kill/resume
+	// replay harness.
+	KillAfter int
+}
+
+func (o *WriterOptions) setDefaults() error {
+	if o.World <= 0 {
+		return fmt.Errorf("ckpt: WriterOptions.World must be positive")
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 256 << 10
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = time.Millisecond
+	}
+	if o.KeepGenerations <= 0 {
+		o.KeepGenerations = 2
+	}
+	return nil
+}
+
+// snapshot is one generation being assembled or written.
+type snapshot struct {
+	gen    uint64
+	step   int
+	files  []stagedFile
+	ticket *Ticket
+}
+
+type stagedFile struct {
+	name string
+	st   *Staging
+}
+
+// Writer is the asynchronous checkpoint writer: rank goroutines serialize
+// their state into arena-backed staging buffers and Submit them; a
+// background goroutine streams complete generations to disk through the
+// async NVMe engine while training continues, committing each with the
+// manifest protocol. Between snapshots the writer is idle and allocation-
+// free; staging buffers recycle through the arena across generations.
+type Writer struct {
+	dir   string
+	opts  WriterOptions
+	arena *mem.Arena[byte]
+
+	mu       sync.Mutex
+	building map[uint64]*snapshot
+	closed   bool
+
+	queue    chan *snapshot
+	inFlight sync.WaitGroup
+	bg       sync.WaitGroup
+
+	killed    atomic.Bool
+	committed atomic.Uint64
+
+	errMu sync.Mutex
+	err   error
+
+	filesWritten int // background goroutine only
+}
+
+// NewWriter creates dir if needed and starts the background writer.
+func NewWriter(dir string, opts WriterOptions) (*Writer, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("ckpt: create checkpoint dir: %w", err)
+	}
+	w := &Writer{
+		dir:      dir,
+		opts:     opts,
+		arena:    mem.NewArena[byte](),
+		building: make(map[uint64]*snapshot),
+		queue:    make(chan *snapshot, 2),
+	}
+	w.bg.Add(1)
+	go w.run()
+	return w, nil
+}
+
+// Staging is a growable serialization buffer backed by the writer's arena.
+// Obtain with Stage, then either Submit it (ownership passes to the writer,
+// which recycles it after the commit) or return it with Recycle on error
+// paths — a dropped staging buffer is a leak the pinnedleak analyzer flags.
+type Staging struct {
+	w   *Writer
+	buf []byte
+}
+
+// Write implements io.Writer, growing through the arena's size classes.
+func (s *Staging) Write(p []byte) (int, error) {
+	need := len(s.buf) + len(p)
+	if need > cap(s.buf) {
+		grown := s.w.arena.Get(need)
+		grown = grown[:copy(grown, s.buf)]
+		if cap(s.buf) > 0 {
+			s.w.arena.Put(s.buf)
+		}
+		s.buf = grown
+	}
+	s.buf = append(s.buf, p...)
+	return len(p), nil
+}
+
+// Len returns the bytes staged so far.
+func (s *Staging) Len() int { return len(s.buf) }
+
+// Stage returns an empty staging buffer.
+func (w *Writer) Stage() *Staging { return &Staging{w: w} }
+
+// Recycle returns an unsubmitted staging buffer to the arena.
+func (w *Writer) Recycle(st *Staging) {
+	if cap(st.buf) > 0 {
+		w.arena.Put(st.buf)
+	}
+	st.buf = nil
+}
+
+// Submit contributes one named file to generation gen (step is recorded in
+// the manifest). Ownership of st passes to the writer. When the last
+// expected file of a generation arrives (World rank files + the weights
+// file), the generation is queued for the background commit; the returned
+// ticket — shared by all of the generation's submitters — completes when
+// the MANIFEST is durable. Submitting the (World+1)-th file applies
+// backpressure if two earlier generations are still in flight.
+func (w *Writer) Submit(gen uint64, step int, name string, st *Staging) *Ticket {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.killed.Load() {
+		w.Recycle(st)
+		if w.closed {
+			return completedTicket(ErrWriterClosed)
+		}
+		return completedTicket(ErrKilled)
+	}
+	snap := w.building[gen]
+	if snap == nil {
+		snap = &snapshot{gen: gen, step: step, ticket: &Ticket{done: make(chan struct{})}}
+		w.building[gen] = snap
+	}
+	snap.files = append(snap.files, stagedFile{name: name, st: st})
+	if len(snap.files) == w.opts.World+1 {
+		delete(w.building, gen)
+		w.inFlight.Add(1)
+		// Holding mu across the (possibly blocking) send keeps Close from
+		// closing the queue under us; the background goroutine never takes
+		// mu, so the queue always drains.
+		w.queue <- snap
+	}
+	return snap.ticket
+}
+
+// Drain blocks until every fully submitted generation has committed (or
+// failed) and returns the writer's first error. Generations still missing
+// submissions are not waited for.
+func (w *Writer) Drain() error {
+	w.inFlight.Wait()
+	return w.Err()
+}
+
+// Err returns the sticky first commit error.
+func (w *Writer) Err() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return w.err
+}
+
+func (w *Writer) recordErr(err error) {
+	if err == nil {
+		return
+	}
+	w.errMu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.errMu.Unlock()
+}
+
+// Committed returns the newest durably committed generation (0 if none).
+func (w *Writer) Committed() uint64 { return w.committed.Load() }
+
+// Kill simulates process death: in-flight and future work is abandoned,
+// leaving whatever partial generation state is on disk — the input the
+// load-side validation must survive. The background goroutine still drains
+// its queue (erroring every ticket), so Close remains safe to call.
+func (w *Writer) Kill() { w.killed.Store(true) }
+
+// Close fails any incompletely submitted generations, waits for the
+// background writer to finish and returns the sticky error.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return w.Err()
+	}
+	w.closed = true
+	building := w.building
+	w.building = nil
+	w.mu.Unlock()
+	for _, snap := range building {
+		snap.ticket.err = ErrWriterClosed
+		close(snap.ticket.done)
+	}
+	close(w.queue)
+	w.bg.Wait()
+	return w.Err()
+}
+
+func (w *Writer) run() {
+	defer w.bg.Done()
+	for snap := range w.queue {
+		err := w.writeSet(snap)
+		w.recordErr(err)
+		snap.ticket.err = err
+		close(snap.ticket.done)
+		for _, f := range snap.files {
+			w.Recycle(f.st)
+		}
+		w.inFlight.Done()
+	}
+}
+
+// writeSet writes one generation: every data file (write-to-temp + fsync +
+// rename, each through its own async NVMe engine), a directory fsync, then
+// the MANIFEST via the same protocol — the commit point.
+func (w *Writer) writeSet(snap *snapshot) error {
+	if w.killed.Load() {
+		return ErrKilled
+	}
+	dir := filepath.Join(w.dir, GenDirName(snap.gen))
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return fmt.Errorf("ckpt: create generation dir: %w", err)
+	}
+	sort.Slice(snap.files, func(i, j int) bool { return snap.files[i].name < snap.files[j].name })
+	entries := make([]FileEntry, 0, len(snap.files))
+	for _, f := range snap.files {
+		if w.killed.Load() {
+			return ErrKilled
+		}
+		if err := w.writeFile(dir, f.name, f.st.buf); err != nil {
+			return fmt.Errorf("ckpt: generation %d: write %s: %w", snap.gen, f.name, err)
+		}
+		entries = append(entries, FileEntry{Name: f.name, Size: int64(len(f.st.buf)), CRC: Checksum(f.st.buf)})
+		w.filesWritten++
+		if w.opts.KillAfter > 0 && w.filesWritten >= w.opts.KillAfter {
+			w.killed.Store(true)
+		}
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	if w.killed.Load() {
+		// Crash window between the data files and the commit: the
+		// generation exists on disk but has no MANIFEST, so readers skip it.
+		return ErrKilled
+	}
+	m := &Manifest{Generation: snap.gen, World: w.opts.World, Step: snap.step, Files: entries}
+	if err := w.writeFile(dir, ManifestName, m.Encode()); err != nil {
+		return fmt.Errorf("ckpt: generation %d: commit manifest: %w", snap.gen, err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	w.committed.Store(snap.gen)
+	w.prune(snap.gen)
+	return nil
+}
+
+// writeFile durably writes name under dir through the async NVMe engine,
+// retrying the whole temp file on transient faults (each attempt truncates,
+// so a torn previous attempt cannot leak into a successful one), then
+// atomically renames it into place.
+func (w *Writer) writeFile(dir, name string, data []byte) error {
+	final := filepath.Join(dir, name)
+	tmp := final + ".tmp"
+	backoff := w.opts.RetryBackoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = w.writeFileOnce(tmp, data)
+		if err == nil {
+			break
+		}
+		if attempt >= w.opts.Retries {
+			os.Remove(tmp)
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	return os.Rename(tmp, final)
+}
+
+func (w *Writer) writeFileOnce(path string, data []byte) error {
+	store, err := nvme.NewFileStore(path, int64(len(data)))
+	if err != nil {
+		return err
+	}
+	eng := nvme.NewEngine(store, nvme.Options{
+		Workers:   w.opts.Workers,
+		ChunkSize: w.opts.ChunkSize,
+		Faults:    w.opts.Faults,
+	})
+	werr := eng.Write(data, 0)
+	eng.Close()
+	if werr == nil {
+		if s, ok := any(store).(interface{ Sync() error }); ok {
+			werr = s.Sync()
+		}
+	}
+	if cerr := store.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// prune removes generations older than the KeepGenerations newest complete
+// ones (incomplete leftovers in that older range go too).
+func (w *Writer) prune(cur uint64) {
+	gens, err := Generations(w.dir)
+	if err != nil {
+		return
+	}
+	complete := 0
+	for i := len(gens) - 1; i >= 0; i-- {
+		if gens[i] > cur {
+			continue
+		}
+		d := filepath.Join(w.dir, GenDirName(gens[i]))
+		if _, err := os.Stat(filepath.Join(d, ManifestName)); err == nil {
+			complete++
+			if complete > w.opts.KeepGenerations {
+				os.RemoveAll(d)
+			}
+		} else if complete >= w.opts.KeepGenerations {
+			os.RemoveAll(d)
+		}
+	}
+}
+
+// syncDir fsyncs a directory, making renames within it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -8,11 +8,17 @@ import (
 // cpuCheckpointStore offloads activation checkpoints to CPU memory (paper
 // Sec. 5.1.2): tensors are serialized to byte buffers accounted against the
 // CPU tier and deserialized exactly on retrieval, so offloading never
-// changes numerics.
+// changes numerics. Blob bytes and staging scratch cycle through the
+// engine's arenas, handles through a free list, and shape slices are reused
+// across occupancies of a slot, so steady-state Put is allocation-free (Get
+// still allocates the returned tensor, which the caller owns).
 type cpuCheckpointStore struct {
 	tracker *mem.Tracker
-	next    int
-	blobs   map[int]ckptBlob
+	bytes   *mem.Arena[byte]
+	f32     *mem.Arena[float32]
+
+	blobs []ckptBlob
+	free  []int // vacant slots in blobs
 
 	bytesOffloaded int64
 }
@@ -20,22 +26,33 @@ type cpuCheckpointStore struct {
 type ckptBlob struct {
 	data  []byte
 	shape []int
+	live  bool
 }
 
-func newCPUCheckpointStore(t *mem.Tracker) *cpuCheckpointStore {
-	return &cpuCheckpointStore{tracker: t, blobs: make(map[int]ckptBlob)}
+func newCPUCheckpointStore(t *mem.Tracker, bytes *mem.Arena[byte], f32 *mem.Arena[float32]) *cpuCheckpointStore {
+	return &cpuCheckpointStore{tracker: t, bytes: bytes, f32: f32}
 }
 
 // Put implements module.CheckpointStore.
 func (s *cpuCheckpointStore) Put(t *tensor.Tensor) int {
 	n := t.Len()
-	b := make([]byte, 4*n)
-	tmp := make([]float32, n)
+	b := s.bytes.Get(4 * n)
+	tmp := s.f32.Get(n)
 	t.Read(tmp)
 	tensor.F32ToBytes(b, tmp)
-	h := s.next
-	s.next++
-	s.blobs[h] = ckptBlob{data: b, shape: append([]int(nil), t.Shape()...)}
+	s.f32.Put(tmp)
+	var h int
+	if len(s.free) > 0 {
+		h = s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+	} else {
+		h = len(s.blobs)
+		s.blobs = append(s.blobs, ckptBlob{})
+	}
+	blob := &s.blobs[h]
+	blob.data = b
+	blob.shape = append(blob.shape[:0], t.Shape()...)
+	blob.live = true
 	s.tracker.Add(mem.CatActCkpt, int64(len(b)))
 	s.bytesOffloaded += int64(len(b))
 	return h
@@ -43,15 +60,19 @@ func (s *cpuCheckpointStore) Put(t *tensor.Tensor) int {
 
 // Get implements module.CheckpointStore.
 func (s *cpuCheckpointStore) Get(h int) *tensor.Tensor {
-	blob, ok := s.blobs[h]
-	if !ok {
+	if h < 0 || h >= len(s.blobs) || !s.blobs[h].live {
 		panic("core: unknown checkpoint handle")
 	}
-	delete(s.blobs, h)
+	blob := &s.blobs[h]
 	s.tracker.Add(mem.CatActCkpt, -int64(len(blob.data)))
 	out := tensor.New(tensor.FP32, blob.shape...)
-	tmp := make([]float32, out.Len())
+	tmp := s.f32.Get(out.Len())
 	tensor.F32FromBytes(tmp, blob.data)
 	out.Write(tmp)
+	s.f32.Put(tmp)
+	s.bytes.Put(blob.data)
+	blob.data = nil
+	blob.live = false
+	s.free = append(s.free, h)
 	return out
 }

@@ -157,7 +157,7 @@ func NewInfinityEngine(cfg Config, c *comm.Comm, g zero.Model) (*InfinityEngine,
 		}
 	}
 	if cfg.OffloadActivations {
-		e.ckpt = newCPUCheckpointStore(e.cpuT)
+		e.ckpt = newCPUCheckpointStore(e.cpuT, e.bytes, e.f32)
 		e.rt.SetCheckpointStore(e.ckpt)
 	}
 

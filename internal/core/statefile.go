@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/module"
+	"repro/internal/tensor"
+	"repro/internal/zero"
+)
+
+// Rank-state checkpointing for the infinity offload engine, in the shared
+// v2 wire layout (internal/zero/statecodec.go). The engine's optimizer
+// state lives on its configured tier: resident shards serialize directly;
+// NVMe-resident [master|m|v] regions stream through the async I/O engine.
+// The wire record is the f32 bytes of master||m||v — exactly the NVMe
+// region layout — so the NVMe path moves raw bytes both ways.
+
+// SaveRankState writes this rank's full training state to w. Per-rank only
+// (no collectives): every rank serializes its owned shards independently,
+// which is what lets the async checkpoint writer pipeline serialization
+// with training.
+func (e *InfinityEngine) SaveRankState(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	scale, goodSteps, skipped := e.scaler.State()
+	err := zero.WriteStateHeader(bw, zero.StateHeader{
+		Rank: e.c.Rank(), World: e.c.Size(), Step: e.stepCount,
+		Scale: scale, GoodSteps: goodSteps, Skipped: skipped,
+		Count: len(e.owned),
+	})
+	if err != nil {
+		return err
+	}
+	var codec zero.VecCodec
+	for _, p := range e.owned {
+		ps := e.states[p]
+		if err := zero.WriteParamHeader(bw, p.Name, ps.shardLen); err != nil {
+			return err
+		}
+		if e.cfg.Optimizer == zero.OnNVMe {
+			buf := e.bytes.Get(int(ps.optRegion.Size))
+			rerr := e.io.ReadRegion(buf, ps.optRegion).Wait()
+			if rerr == nil {
+				_, rerr = bw.Write(buf)
+			}
+			e.bytes.Put(buf)
+			if rerr != nil {
+				return fmt.Errorf("core: save optimizer state %q: %w", p.Name, rerr)
+			}
+			continue
+		}
+		for _, vec := range [][]float32{ps.master, ps.m, ps.v} {
+			if err := codec.WriteVec(bw, vec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadRankState restores state saved by SaveRankState (v2; the infinity
+// engine never wrote v1 files) and rebuilds each fp16 parameter shard on
+// its tier from the restored master. The world size and rank must match.
+// On error the engine state may be partially overwritten; load into fresh
+// engines.
+func (e *InfinityEngine) LoadRankState(r io.Reader) error {
+	br := bufio.NewReader(r)
+	h, err := zero.ReadStateHeader(br)
+	if err != nil {
+		return err
+	}
+	if h.Rank != e.c.Rank() || h.World != e.c.Size() {
+		return fmt.Errorf("core: state is for rank %d/%d, engine is rank %d/%d",
+			h.Rank, h.World, e.c.Rank(), e.c.Size())
+	}
+	if h.Count != len(e.owned) {
+		return fmt.Errorf("core: state has %d params, engine owns %d", h.Count, len(e.owned))
+	}
+	e.scaler.Restore(h.Scale, h.GoodSteps, h.Skipped)
+	e.stepCount = h.Step
+
+	byName := make(map[string]*module.Param, len(e.params))
+	for _, p := range e.params {
+		byName[p.Name] = p
+	}
+	var codec zero.VecCodec
+	for i := 0; i < h.Count; i++ {
+		name, shardLen, err := zero.ReadParamHeader(br)
+		if err != nil {
+			return err
+		}
+		p, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("core: state parameter %q not in model", name)
+		}
+		ps := e.states[p]
+		if ps.shardLen == 0 {
+			return fmt.Errorf("core: state parameter %q is not owned by rank %d", name, e.c.Rank())
+		}
+		if int(shardLen) != ps.shardLen {
+			return fmt.Errorf("core: state shard %q has %d elems, want %d",
+				name, shardLen, ps.shardLen)
+		}
+		s := ps.shardLen
+		master := e.f32.Get(s)
+		if e.cfg.Optimizer == zero.OnNVMe {
+			buf := e.bytes.Get(int(ps.optRegion.Size))
+			if _, rerr := io.ReadFull(br, buf); rerr != nil {
+				e.bytes.Put(buf)
+				e.f32.Put(master)
+				return fmt.Errorf("core: read state shard %q: %w", name, rerr)
+			}
+			tensor.F32FromBytes(master, buf[:4*s])
+			werr := e.io.WriteRegion(buf, ps.optRegion).Wait()
+			e.bytes.Put(buf)
+			if werr != nil {
+				e.f32.Put(master)
+				return fmt.Errorf("core: write optimizer state %q: %w", name, werr)
+			}
+		} else {
+			var rerr error
+			for _, dst := range [][]float32{ps.master, ps.m, ps.v} {
+				if rerr = codec.ReadVec(br, dst); rerr != nil {
+					break
+				}
+			}
+			if rerr != nil {
+				e.f32.Put(master)
+				return fmt.Errorf("core: read state shard %q: %w", name, rerr)
+			}
+			copy(master, ps.master)
+		}
+
+		// The fp16 shard is a pure function of the master shard; rebuild it
+		// on its tier exactly as the optimizer phase does.
+		half := e.f16.Get(s)
+		e.rt.Backend().EncodeHalf(half, master)
+		e.writeShard(ps, half)
+		e.f16.Put(half)
+		e.f32.Put(master)
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrClosed is reported by tickets for requests submitted after Close.
@@ -54,6 +55,8 @@ type Stats struct {
 	Writes       int64
 	BytesRead    int64
 	BytesWritten int64
+	// Retried counts sub-request retry attempts (transient-fault recovery).
+	Retried int64
 }
 
 type subReq struct {
@@ -69,10 +72,13 @@ type subReq struct {
 // by which DeepNVMe reaches near-peak sequential bandwidth from one user
 // thread.
 type Engine struct {
-	store     Store
-	chunkSize int
-	queue     chan subReq
-	wg        sync.WaitGroup
+	store        Store
+	chunkSize    int
+	queue        chan subReq
+	wg           sync.WaitGroup
+	retries      int
+	retryBackoff time.Duration
+	faults       *FaultInjector
 
 	// mu serializes shutdown against submission: submitters hold the read
 	// side across the closed-check, pending.Add and queue sends, and Close
@@ -85,6 +91,7 @@ type Engine struct {
 
 	reads, writes           atomic.Int64
 	bytesRead, bytesWritten atomic.Int64
+	retried                 atomic.Int64
 }
 
 // Options configures an Engine.
@@ -96,6 +103,16 @@ type Options struct {
 	ChunkSize int
 	// QueueDepth is the submission queue length (default 4*Workers).
 	QueueDepth int
+	// Retries is how many times a failed sub-request is retried (with
+	// RetryBackoff between attempts) before its error is reported on the
+	// ticket. 0 disables retry — the historical behaviour.
+	Retries int
+	// RetryBackoff is the initial sleep before a retry, doubling per
+	// attempt (default 100µs when Retries > 0).
+	RetryBackoff time.Duration
+	// Faults, when set, consults the injector before every sub-request —
+	// the crash/IO-error test hook. Production engines leave it nil.
+	Faults *FaultInjector
 }
 
 func (o *Options) setDefaults() {
@@ -108,15 +125,21 @@ func (o *Options) setDefaults() {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 4 * o.Workers
 	}
+	if o.Retries > 0 && o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * time.Microsecond
+	}
 }
 
 // NewEngine starts an engine over store.
 func NewEngine(store Store, opts Options) *Engine {
 	opts.setDefaults()
 	e := &Engine{
-		store:     store,
-		chunkSize: opts.ChunkSize,
-		queue:     make(chan subReq, opts.QueueDepth),
+		store:        store,
+		chunkSize:    opts.ChunkSize,
+		queue:        make(chan subReq, opts.QueueDepth),
+		retries:      opts.Retries,
+		retryBackoff: opts.RetryBackoff,
+		faults:       opts.Faults,
 	}
 	e.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
@@ -128,21 +151,60 @@ func NewEngine(store Store, opts Options) *Engine {
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for r := range e.queue {
-		var err error
-		switch r.op {
-		case Read:
-			_, err = e.store.ReadAt(r.buf, r.off)
-			e.reads.Add(1)
-			e.bytesRead.Add(int64(len(r.buf)))
-		case Write:
-			_, err = e.store.WriteAt(r.buf, r.off)
-			e.writes.Add(1)
-			e.bytesWritten.Add(int64(len(r.buf)))
+		err := e.perform(r)
+		for attempt := 0; err != nil && attempt < e.retries; attempt++ {
+			// Bounded retry with exponential backoff: transient faults (a
+			// busy device, an exhausted injector arm) clear; persistent
+			// errors surface on the ticket after the budget is spent.
+			time.Sleep(e.retryBackoff << attempt)
+			e.retried.Add(1)
+			err = e.perform(r)
 		}
 		r.ticket.setErr(err)
 		r.ticket.wg.Done()
 		e.pending.Done()
 	}
+}
+
+// perform executes one sub-request against the store, consulting the fault
+// injector first when one is installed.
+func (e *Engine) perform(r subReq) error {
+	var err error
+	injected := false
+	if e.faults != nil {
+		if arm, ok := e.faults.match(r.op); ok {
+			switch arm.Mode {
+			case FaultDelay:
+				time.Sleep(arm.Delay) // slow completion, then proceed normally
+			case FaultTorn:
+				if r.op == Write {
+					// Torn write: half the chunk reaches the store, then the
+					// "device" fails — the on-disk bytes are now garbage.
+					e.store.WriteAt(r.buf[:len(r.buf)/2], r.off)
+				}
+				injected, err = true, arm.Err
+			default:
+				injected, err = true, arm.Err
+			}
+		}
+	}
+	if !injected {
+		switch r.op {
+		case Read:
+			_, err = e.store.ReadAt(r.buf, r.off)
+		case Write:
+			_, err = e.store.WriteAt(r.buf, r.off)
+		}
+	}
+	switch r.op {
+	case Read:
+		e.reads.Add(1)
+		e.bytesRead.Add(int64(len(r.buf)))
+	case Write:
+		e.writes.Add(1)
+		e.bytesWritten.Add(int64(len(r.buf)))
+	}
+	return err
 }
 
 // submit splits the request into chunks and enqueues them. A request that
@@ -214,6 +276,7 @@ func (e *Engine) Stats() Stats {
 		Writes:       e.writes.Load(),
 		BytesRead:    e.bytesRead.Load(),
 		BytesWritten: e.bytesWritten.Load(),
+		Retried:      e.retried.Load(),
 	}
 }
 

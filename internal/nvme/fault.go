@@ -1,0 +1,99 @@
+package nvme
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error reported by injected faults (unless the arm
+// overrides it).
+var ErrInjected = errors.New("nvme: injected fault")
+
+// FaultMode selects what an armed fault does to the sub-request it hits.
+type FaultMode int
+
+// Fault modes.
+const (
+	// FaultError fails the sub-request without touching the store.
+	FaultError FaultMode = iota
+	// FaultTorn performs a partial write (the first half of the chunk) and
+	// then fails — the classic torn-write crash shape. On reads it behaves
+	// like FaultError.
+	FaultTorn
+	// FaultDelay sleeps before letting the sub-request proceed normally —
+	// a slow-completion fault, not an error.
+	FaultDelay
+)
+
+// FaultArm describes one armed fault: starting at the Nth matching
+// sub-request (1-based, counted per op kind across the injector's lifetime),
+// affect Count consecutive sub-requests.
+type FaultArm struct {
+	// Op is the request kind the arm applies to (Read or Write).
+	Op Op
+	// Nth is the 1-based sub-request ordinal (per op) the fault first fires
+	// on; 0 means "the next one".
+	Nth int64
+	// Count is how many consecutive matching sub-requests the arm affects
+	// (default 1). A transient fault is an arm whose Count is below the
+	// engine's retry budget: the retried sub-request re-consults the
+	// injector and succeeds once the arm is exhausted.
+	Count int64
+	// Mode selects the failure behaviour (default FaultError).
+	Mode FaultMode
+	// Err overrides the reported error (default ErrInjected).
+	Err error
+	// Delay is the sleep for FaultDelay.
+	Delay time.Duration
+}
+
+// FaultInjector decides, per sub-request, whether an armed fault fires. One
+// injector may be shared by several engines (the checkpoint writer opens a
+// short-lived engine per file); counting is per injector, so "fail the Nth
+// write" means the Nth written chunk across all of them.
+type FaultInjector struct {
+	mu    sync.Mutex
+	seen  [2]int64 // sub-requests observed, indexed by Op
+	arms  []FaultArm
+	fired int64
+}
+
+// Arm registers a fault. Zero-valued fields take their documented defaults.
+func (f *FaultInjector) Arm(a FaultArm) {
+	if a.Count <= 0 {
+		a.Count = 1
+	}
+	if a.Err == nil {
+		a.Err = ErrInjected
+	}
+	f.mu.Lock()
+	if a.Nth <= 0 {
+		a.Nth = f.seen[a.Op] + 1
+	}
+	f.arms = append(f.arms, a)
+	f.mu.Unlock()
+}
+
+// Fired returns how many sub-requests have been faulted so far.
+func (f *FaultInjector) Fired() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// match records one observed sub-request and returns the arm that fires on
+// it, if any.
+func (f *FaultInjector) match(op Op) (FaultArm, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seen[op]++
+	n := f.seen[op]
+	for _, a := range f.arms {
+		if a.Op == op && n >= a.Nth && n < a.Nth+a.Count {
+			f.fired++
+			return a, true
+		}
+	}
+	return FaultArm{}, false
+}

@@ -109,6 +109,12 @@ func (s *FileStore) Size() int64 { return s.size }
 // Path returns the backing file's path.
 func (s *FileStore) Path() string { return s.f.Name() }
 
+// Sync flushes the backing file to stable storage (fsync) — the durability
+// point the crash-consistent checkpoint commit protocol relies on. Stores
+// without durable backing (MemStore) simply don't implement it; callers
+// type-assert for interface{ Sync() error }.
+func (s *FileStore) Sync() error { return s.f.Sync() }
+
 // Close implements Store, removing the backing file if temporary.
 func (s *FileStore) Close() error {
 	err := s.f.Close()

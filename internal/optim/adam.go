@@ -273,6 +273,22 @@ func (s *LossScaler) Update(overflow bool) (skip bool) {
 // Skipped returns the number of overflow-skipped steps.
 func (s *LossScaler) Skipped() int { return s.skipped }
 
+// State exposes the full dynamic-scaling state for checkpointing: the
+// current scale, the clean-step counter toward the next growth, and the
+// cumulative skip count. Restoring all three (see Restore) is required for
+// bit-identical resume — a resumed run that reset goodSteps would double
+// the scale at a different step than the uninterrupted run.
+func (s *LossScaler) State() (scale float64, goodSteps, skipped int) {
+	return s.Scale, s.goodSteps, s.skipped
+}
+
+// Restore reinstates state captured by State.
+func (s *LossScaler) Restore(scale float64, goodSteps, skipped int) {
+	s.Scale = scale
+	s.goodSteps = goodSteps
+	s.skipped = skipped
+}
+
 // UnscaleCheck divides grads by the scale in place and reports whether any
 // element is NaN/Inf (checked before unscaling, as overflow happens in the
 // scaled fp16 domain).

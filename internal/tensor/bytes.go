@@ -11,6 +11,9 @@ import "math"
 //
 //zinf:hotpath
 func F32ToBytes(b []byte, src []float32) {
+	if len(src) == 0 {
+		return
+	}
 	_ = b[4*len(src)-1]
 	for i, f := range src {
 		u := math.Float32bits(f)
@@ -26,6 +29,9 @@ func F32ToBytes(b []byte, src []float32) {
 //
 //zinf:hotpath
 func F32FromBytes(dst []float32, b []byte) {
+	if len(dst) == 0 {
+		return
+	}
 	_ = b[4*len(dst)-1]
 	for i := range dst {
 		u := uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24

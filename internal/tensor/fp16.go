@@ -307,6 +307,9 @@ func RoundTripHalf(x []float32) []float32 {
 //
 //zinf:hotpath
 func HalfToBytes(b []byte, h []Half) {
+	if len(h) == 0 {
+		return
+	}
 	_ = b[2*len(h)-1]
 	for i, v := range h {
 		b[2*i] = byte(v)
@@ -319,6 +322,9 @@ func HalfToBytes(b []byte, h []Half) {
 //
 //zinf:hotpath
 func HalfFromBytes(h []Half, b []byte) {
+	if len(h) == 0 {
+		return
+	}
 	_ = b[2*len(h)-1]
 	for i := range h {
 		h[i] = Half(b[2*i]) | Half(b[2*i+1])<<8

@@ -1,0 +1,114 @@
+package zero
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/comm"
+)
+
+// Rank-state checkpointing for the replicated-parameter family (DDP,
+// ZeRO-1/2, ZeRO-Offload), in the same v2 wire layout as the Z3 engine
+// (statecodec.go). Every rank holds optimizer state for every parameter —
+// the full vector under DDP, this rank's 1/dp shard under ZeRO-1/2 — so
+// Count is always len(params).
+
+// SaveRankState writes this rank's full training state to w.
+func (e *DPEngine) SaveRankState(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	scale, goodSteps, skipped := e.scaler.State()
+	step := 0
+	for _, p := range e.params {
+		step = e.adam[p].StepCount()
+		break
+	}
+	err := WriteStateHeader(bw, StateHeader{
+		Rank: e.c.Rank(), World: e.c.Size(), Step: step,
+		Scale: scale, GoodSteps: goodSteps, Skipped: skipped,
+		Count: len(e.params),
+	})
+	if err != nil {
+		return err
+	}
+	var codec VecCodec
+	for _, p := range e.params {
+		master := e.master[p]
+		if err := WriteParamHeader(bw, p.Name, len(master)); err != nil {
+			return err
+		}
+		m, v := e.adam[p].State()
+		for _, vec := range [][]float32{master, m, v} {
+			if err := codec.WriteVec(bw, vec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadRankState restores state saved by SaveRankState and rebuilds the
+// replicated fp16 weights from the restored masters. Under ZeRO-1/2 the
+// rebuild is a collective (fused allgather+encode), so every rank must call
+// LoadRankState together — same contract as LoadParams. On error the engine
+// state may be partially overwritten; load into fresh engines.
+func (e *DPEngine) LoadRankState(r io.Reader) error {
+	br := bufio.NewReader(r)
+	h, err := ReadStateHeader(br)
+	if err != nil {
+		return err
+	}
+	if h.Rank != e.c.Rank() || h.World != e.c.Size() {
+		return fmt.Errorf("zero: state is for rank %d/%d, engine is rank %d/%d",
+			h.Rank, h.World, e.c.Rank(), e.c.Size())
+	}
+	if h.Count != len(e.params) {
+		return fmt.Errorf("zero: state has %d params, model has %d", h.Count, len(e.params))
+	}
+	e.scaler.Restore(h.Scale, h.GoodSteps, h.Skipped)
+
+	byName := make(map[string]int, len(e.params))
+	for i, p := range e.params {
+		byName[p.Name] = i
+	}
+	dp := e.c.Size()
+	var codec VecCodec
+	for i := 0; i < h.Count; i++ {
+		name, shardLen, err := ReadParamHeader(br)
+		if err != nil {
+			return err
+		}
+		idx, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("zero: state parameter %q not in model", name)
+		}
+		p := e.params[idx]
+		if int(shardLen) != len(e.master[p]) {
+			return fmt.Errorf("zero: state shard %q has %d elems, want %d",
+				name, shardLen, len(e.master[p]))
+		}
+		m, v := e.adam[p].State()
+		for _, dst := range [][]float32{e.master[p], m, v} {
+			if err := codec.ReadVec(br, dst); err != nil {
+				return fmt.Errorf("zero: read state shard %q: %w", name, err)
+			}
+		}
+		e.adam[p].LoadState(m, v, h.Step)
+
+		// Rebuild the authoritative fp16 weights from the restored masters —
+		// the same path the optimizer phase takes, so the values are exactly
+		// what the uninterrupted run would hold.
+		n := p.Len()
+		if e.cfg.Stage == StageDDP {
+			e.rt.Backend().EncodeHalf(e.fp16[p], e.master[p])
+		} else {
+			dpLen := comm.ShardLen(n, dp)
+			full := e.f16.Get(dpLen * dp)
+			e.c.AllGatherEncodeHalf(full, e.master[p])
+			copy(e.fp16[p], full[:n])
+			e.f16.Put(full)
+		}
+		e.rt.Backend().DecodeHalf(p.Data(), e.fp16[p])
+	}
+	return nil
+}

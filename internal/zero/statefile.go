@@ -2,66 +2,41 @@ package zero
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
-
-	"repro/internal/optim"
-	"repro/internal/tensor"
 )
 
 // Rank-local training-state checkpoints for exact resume — the analogue of
 // DeepSpeed's per-rank ZeRO checkpoints: each rank serializes its own fp32
-// master shards, Adam moments, step counter and loss-scaler state. Loading
-// the same files into fresh engines continues training bit-identically
-// (asserted in tests).
-//
-// Layout (little endian):
-//
-//	magic "ZST1" | u32 rank | u32 world | u64 adam step |
-//	f64 scale | u32 goodSteps-equivalent skipped count |
-//	u32 param count | repeated:
-//	  u32 name len | name | u64 shard len | master f32s | m f32s | v f32s
+// master shards, Adam moments, step counter and full loss-scaler state.
+// Loading the same files into fresh engines continues training
+// bit-identically (asserted in tests and by the kill/resume replay harness).
+// The wire layout lives in statecodec.go; v1 files remain readable.
 
-const rankStateMagic = "ZST1"
-
-// SaveRankState writes this rank's full training state to w.
+// SaveRankState writes this rank's full training state to w in the v2
+// layout. Only owned parameters are written, so the format is valid under
+// both partitioning strategies (under owner-rank broadcast a rank holds
+// state for its round-robin subset only).
 func (e *Z3Engine) SaveRankState(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(rankStateMagic); err != nil {
+	scale, goodSteps, skipped := e.scaler.State()
+	err := WriteStateHeader(bw, StateHeader{
+		Rank: e.c.Rank(), World: e.c.Size(), Step: e.adamStep(),
+		Scale: scale, GoodSteps: goodSteps, Skipped: skipped,
+		Count: len(e.owned),
+	})
+	if err != nil {
 		return err
 	}
-	hdr := []any{
-		uint32(e.c.Rank()), uint32(e.c.Size()),
-		uint64(e.adamStep()), math.Float64bits(e.scaler.Scale),
-		uint32(e.scaler.Skipped()), uint32(len(e.params)),
-	}
-	for _, v := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
-	}
-	writeVec := func(v []float32) error {
-		b := make([]byte, 4*len(v))
-		tensor.F32ToBytes(b, v)
-		_, err := bw.Write(b)
-		return err
-	}
-	for _, p := range e.params {
-		if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Name))); err != nil {
-			return err
-		}
-		if _, err := bw.WriteString(p.Name); err != nil {
-			return err
-		}
+	var codec VecCodec
+	for _, p := range e.owned {
 		master := e.master[p]
-		m, v := e.adam[p].State()
-		if err := binary.Write(bw, binary.LittleEndian, uint64(len(master))); err != nil {
+		if err := WriteParamHeader(bw, p.Name, len(master)); err != nil {
 			return err
 		}
+		m, v := e.adam[p].State()
 		for _, vec := range [][]float32{master, m, v} {
-			if err := writeVec(vec); err != nil {
+			if err := codec.WriteVec(bw, vec); err != nil {
 				return err
 			}
 		}
@@ -72,96 +47,67 @@ func (e *Z3Engine) SaveRankState(w io.Writer) error {
 // adamStep returns the shared optimizer step counter (identical across
 // params by construction).
 func (e *Z3Engine) adamStep() int {
-	for _, p := range e.params {
+	for _, p := range e.owned {
 		return e.adam[p].StepCount()
 	}
 	return 0
 }
 
-// LoadRankState restores state saved by SaveRankState. The world size and
-// rank must match.
+// LoadRankState restores state saved by SaveRankState (v1 or v2). The world
+// size and rank must match. On error the engine state may be partially
+// overwritten; load into fresh engines.
 func (e *Z3Engine) LoadRankState(r io.Reader) error {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(rankStateMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return fmt.Errorf("zero: read state magic: %w", err)
+	h, err := ReadStateHeader(br)
+	if err != nil {
+		return err
 	}
-	if string(magic) != rankStateMagic {
-		return fmt.Errorf("zero: bad state magic %q", magic)
-	}
-	var rank, world uint32
-	var step uint64
-	var scaleBits uint64
-	var skipped, count uint32
-	for _, v := range []any{&rank, &world, &step, &scaleBits, &skipped, &count} {
-		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
-			return err
-		}
-	}
-	if int(rank) != e.c.Rank() || int(world) != e.c.Size() {
+	if h.Rank != e.c.Rank() || h.World != e.c.Size() {
 		return fmt.Errorf("zero: state is for rank %d/%d, engine is rank %d/%d",
-			rank, world, e.c.Rank(), e.c.Size())
+			h.Rank, h.World, e.c.Rank(), e.c.Size())
 	}
-	if int(count) != len(e.params) {
-		return fmt.Errorf("zero: state has %d params, model has %d", count, len(e.params))
+	// v1 files (written before broadcast partitioning had rank state) carry
+	// one record per model parameter; v2 carries one per owned parameter.
+	want := len(e.owned)
+	if h.Version == 1 {
+		want = len(e.params)
 	}
-	e.scaler.Scale = math.Float64frombits(scaleBits)
+	if h.Count != want {
+		return fmt.Errorf("zero: state has %d params, engine owns %d", h.Count, want)
+	}
+	e.scaler.Restore(h.Scale, h.GoodSteps, h.Skipped)
 
-	readVec := func(n uint64) ([]float32, error) {
-		b := make([]byte, 4*n)
-		if _, err := io.ReadFull(br, b); err != nil {
-			return nil, err
-		}
-		v := make([]float32, n)
-		tensor.F32FromBytes(v, b)
-		return v, nil
-	}
 	byName := make(map[string]int, len(e.params))
 	for i, p := range e.params {
 		byName[p.Name] = i
 	}
-	for i := uint32(0); i < count; i++ {
-		var nameLen uint32
-		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+	var codec VecCodec
+	for i := 0; i < h.Count; i++ {
+		name, shardLen, err := ReadParamHeader(br)
+		if err != nil {
 			return err
 		}
-		if nameLen > 1<<16 {
-			return fmt.Errorf("zero: implausible name length %d", nameLen)
-		}
-		nameBytes := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, nameBytes); err != nil {
-			return err
-		}
-		idx, ok := byName[string(nameBytes)]
+		idx, ok := byName[name]
 		if !ok {
-			return fmt.Errorf("zero: state parameter %q not in model", nameBytes)
+			return fmt.Errorf("zero: state parameter %q not in model", name)
 		}
 		p := e.params[idx]
-		var shardLen uint64
-		if err := binary.Read(br, binary.LittleEndian, &shardLen); err != nil {
-			return err
+		if e.adam[p] == nil {
+			return fmt.Errorf("zero: state parameter %q is not owned by rank %d", name, e.c.Rank())
 		}
 		if int(shardLen) != len(e.master[p]) {
 			return fmt.Errorf("zero: state shard %q has %d elems, want %d",
-				p.Name, shardLen, len(e.master[p]))
+				name, shardLen, len(e.master[p]))
 		}
-		master, err := readVec(shardLen)
-		if err != nil {
-			return err
+		m, v := e.adam[p].State()
+		for _, dst := range [][]float32{e.master[p], m, v} {
+			if err := codec.ReadVec(br, dst); err != nil {
+				return fmt.Errorf("zero: read state shard %q: %w", name, err)
+			}
 		}
-		m, err := readVec(shardLen)
-		if err != nil {
-			return err
-		}
-		v, err := readVec(shardLen)
-		if err != nil {
-			return err
-		}
-		copy(e.master[p], master)
-		fresh := optim.NewAdam(int(shardLen), e.cfg.Adam).WithBackend(e.rt.Backend())
-		fresh.LoadState(m, v, int(step))
-		e.adam[p] = fresh
-		tensor.EncodeHalf(e.shard[p], e.master[p])
+		e.adam[p].LoadState(m, v, h.Step)
+		// The fp16 shard is a pure function of the master shard.
+		e.rt.Backend().EncodeHalf(e.shard[p], e.master[p])
 	}
 	return nil
 }

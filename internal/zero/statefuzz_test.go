@@ -1,0 +1,81 @@
+package zero
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/model"
+)
+
+// fuzzState trains a 1-rank Z3 engine a step and serializes its rank state —
+// the valid corpus seed the fuzzer mutates from.
+func fuzzState(t testing.TB) []byte {
+	var buf bytes.Buffer
+	comm.Run(1, func(c *comm.Comm) {
+		g := model.MustGPT(testCfg())
+		e, err := NewZ3Engine(Config{LossScale: 64, DynamicLossScale: true, Seed: 3}, c, g)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		tokens, targets := makeBatches(testCfg(), 1, 1, testBatch)
+		e.Step(tokens[0][0], targets[0][0], testBatch)
+		if err := e.SaveRankState(&buf); err != nil {
+			t.Error(err)
+		}
+	})
+	return buf.Bytes()
+}
+
+// TestRankStateTruncation chops a valid rank-state file at every byte
+// boundary — magic, header fields, record headers, each vector — and
+// requires every strict prefix to fail with a descriptive error, never a
+// panic, and the full file to load.
+func TestRankStateTruncation(t *testing.T) {
+	enc := fuzzState(t)
+	comm.Run(1, func(c *comm.Comm) {
+		g := model.MustGPT(testCfg())
+		e, err := NewZ3Engine(Config{LossScale: 64, DynamicLossScale: true, Seed: 3}, c, g)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for n := 0; n < len(enc); n++ {
+			if err := e.LoadRankState(bytes.NewReader(enc[:n])); err == nil {
+				t.Errorf("truncation to %d/%d bytes was accepted", n, len(enc))
+				return
+			}
+		}
+		if err := e.LoadRankState(bytes.NewReader(enc)); err != nil {
+			t.Errorf("full state rejected: %v", err)
+		}
+	})
+}
+
+// FuzzLoadRankState: arbitrary bytes fed to LoadRankState must never panic —
+// only error or load successfully (in which case the engine must still be
+// able to save a state of its own).
+func FuzzLoadRankState(f *testing.F) {
+	f.Add(fuzzState(f))
+	f.Add([]byte("ZST2"))
+	f.Add([]byte("ZST1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		comm.Run(1, func(c *comm.Comm) {
+			g := model.MustGPT(testCfg())
+			e, err := NewZ3Engine(Config{LossScale: 64, DynamicLossScale: true, Seed: 3}, c, g)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := e.LoadRankState(bytes.NewReader(data)); err != nil {
+				return
+			}
+			var out bytes.Buffer
+			if err := e.SaveRankState(&out); err != nil {
+				t.Errorf("save after accepted load failed: %v", err)
+			}
+		})
+	})
+}

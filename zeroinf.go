@@ -20,9 +20,12 @@
 package zeroinf
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"sync"
 
+	"repro/internal/ckpt"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/model"
@@ -165,6 +168,16 @@ type EngineConfig struct {
 	// hierarchically and the fabric models intra- vs inter-node link cost.
 	// Bit-identical to the flat fabric.
 	Topology *Topology
+
+	// CheckpointDir, together with CheckpointEvery, enables crash-consistent
+	// asynchronous snapshotting: every CheckpointEvery optimizer steps each
+	// rank serializes its training state into an arena-backed staging buffer
+	// and hands it to a background writer that commits a generation
+	// directory (rank states + consolidated fp16 weights + MANIFEST) while
+	// training continues. See internal/ckpt for the format and crash
+	// guarantees.
+	CheckpointDir   string
+	CheckpointEvery int
 }
 
 // Engine is the uniform training-engine interface.
@@ -180,6 +193,17 @@ type Engine interface {
 	FullParams() map[string][]float32
 	// Close releases engine resources (no-op for in-memory engines).
 	Close()
+}
+
+// RankState is the per-rank checkpoint surface every engine implements:
+// SaveRankState serializes this rank's complete training state (master
+// weights, Adam moments, loss-scaler state, step count) without collectives;
+// LoadRankState restores it and rebuilds the fp16 weights, exactly
+// reproducing the uninterrupted trajectory. Under ZeRO-1/2 the fp16 rebuild
+// in LoadRankState is collective, so all ranks must call it together.
+type RankState interface {
+	SaveRankState(w io.Writer) error
+	LoadRankState(r io.Reader) error
 }
 
 // NewEngine constructs the configured engine for one rank.
@@ -299,17 +323,75 @@ type TrainOptions struct {
 	DataSeed uint64
 	// OnStep, when set, observes rank 0's step results.
 	OnStep func(step int, res StepResult)
+	// Resume restarts from the newest complete checkpoint generation in
+	// Engine.CheckpointDir (cold start if none survives). Batches are seeded
+	// by absolute step, so a resumed run replays the uninterrupted
+	// trajectory bit-identically.
+	Resume bool
+	// Stop, when closed, requests a clean early stop: ranks reach consensus
+	// on the step boundary, take a final snapshot (if checkpointing is
+	// enabled), and return.
+	Stop <-chan struct{}
+
+	// ckptWriter, when set (tests), overrides the async checkpoint writer
+	// options — fault injection, deterministic kill points, retry budgets.
+	// World is forced to Ranks.
+	ckptWriter *ckpt.WriterOptions
 }
 
 // TrainResult reports a Train run.
 type TrainResult struct {
-	Losses []float64 // global mean loss per step
+	Losses []float64 // global mean loss per step, from StartStep on
 	Stats  InfinityStats
+	// StartStep is the first step of this run (non-zero after Resume).
+	StartStep int
+	// FinalStep is one past the last step executed (== Steps unless stopped
+	// early via TrainOptions.Stop).
+	FinalStep int
+	// CheckpointErr reports an asynchronous snapshot failure. Training
+	// itself completed; earlier complete generations remain usable.
+	CheckpointErr error
+}
+
+// snapshotRank runs one rank's part of a snapshot at step: wait out the
+// previously in-flight generation (bounding the pipeline at one snapshot in
+// flight), stage and submit this rank's state file, and — via the
+// collective FullParams gather every rank joins — rank 0's consolidated
+// weights file. Commit errors are sticky in the writer and surfaced through
+// Drain; only staging failures are returned here.
+func snapshotRank(w *ckpt.Writer, e Engine, c *Comm, step int, pending []*ckpt.Ticket) ([]*ckpt.Ticket, error) {
+	for _, t := range pending {
+		t.Wait()
+	}
+	pending = pending[:0]
+	rs, ok := e.(RankState)
+	if !ok {
+		return pending, fmt.Errorf("zeroinf: engine %T does not implement RankState", e)
+	}
+	st := w.Stage()
+	if err := rs.SaveRankState(st); err != nil {
+		w.Recycle(st)
+		return pending, fmt.Errorf("zeroinf: rank %d snapshot at step %d: %w", c.Rank(), step, err)
+	}
+	pending = append(pending, w.Submit(uint64(step), step, ckpt.RankFileName(c.Rank()), st))
+	full := e.FullParams() // collective: every rank participates
+	if c.Rank() == 0 {
+		ws := w.Stage()
+		if err := WriteCheckpoint(ws, full); err != nil {
+			w.Recycle(ws)
+			return pending, fmt.Errorf("zeroinf: weights snapshot at step %d: %w", step, err)
+		}
+		pending = append(pending, w.Submit(uint64(step), step, ckpt.WeightsName, ws))
+	}
+	return pending, nil
 }
 
 // Train spawns an SPMD world, trains the model on deterministic synthetic
 // data and returns the loss trajectory — the programmatic equivalent of
-// cmd/zinf-train.
+// cmd/zinf-train. With Engine.CheckpointDir/CheckpointEvery set it snapshots
+// asynchronously as it goes; with Resume it restarts from the newest
+// complete generation and — because batches are seeded by absolute step —
+// replays the uninterrupted run bit-identically.
 func Train(opts TrainOptions) (TrainResult, error) {
 	if opts.Ranks <= 0 || opts.Steps <= 0 || opts.BatchPerRank <= 0 {
 		return TrainResult{}, fmt.Errorf("zeroinf: Ranks, Steps, BatchPerRank must be positive")
@@ -317,37 +399,105 @@ func Train(opts TrainOptions) (TrainResult, error) {
 	if opts.DataSeed == 0 {
 		opts.DataSeed = 1
 	}
+	startStep := 0
+	var set *ckpt.Set
+	if opts.Resume && opts.Engine.CheckpointDir != "" {
+		s, err := ckpt.LatestComplete(opts.Engine.CheckpointDir)
+		switch {
+		case err == nil:
+			if s.Manifest.World != opts.Ranks {
+				return TrainResult{}, fmt.Errorf("zeroinf: checkpoint %s holds world size %d, training with %d ranks",
+					s.Dir, s.Manifest.World, opts.Ranks)
+			}
+			set = s
+			startStep = s.Manifest.Step
+		case errors.Is(err, ckpt.ErrNoCheckpoint):
+			// Nothing survived on disk: cold start.
+		default:
+			return TrainResult{}, err
+		}
+	}
+	var writer *ckpt.Writer
+	if opts.Engine.CheckpointDir != "" && opts.Engine.CheckpointEvery > 0 {
+		wopts := ckpt.WriterOptions{}
+		if opts.ckptWriter != nil {
+			wopts = *opts.ckptWriter
+		}
+		wopts.World = opts.Ranks
+		w, err := ckpt.NewWriter(opts.Engine.CheckpointDir, wopts)
+		if err != nil {
+			return TrainResult{}, err
+		}
+		writer = w
+	}
 	var (
 		mu       sync.Mutex
 		res      TrainResult
 		firstErr error
 	)
+	res.StartStep = startStep
+	res.FinalStep = startStep
 	SPMD(opts.Ranks, func(c *Comm) {
-		g, err := NewModel(opts.Model)
-		if err != nil {
+		fail := func(err error) {
 			mu.Lock()
 			if firstErr == nil {
 				firstErr = err
 			}
 			mu.Unlock()
+		}
+		g, err := NewModel(opts.Model)
+		if err != nil {
+			fail(err)
 			return
 		}
 		e, err := NewEngine(opts.Engine, c, g)
 		if err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			mu.Unlock()
+			fail(err)
 			return
 		}
 		defer e.Close()
+		if set != nil {
+			rs, ok := e.(RankState)
+			if !ok {
+				fail(fmt.Errorf("zeroinf: engine %T does not implement RankState", e))
+				return
+			}
+			rc, err := set.OpenRank(c.Rank())
+			if err != nil {
+				fail(err)
+				return
+			}
+			err = rs.LoadRankState(rc)
+			rc.Close()
+			if err != nil {
+				fail(fmt.Errorf("zeroinf: rank %d resume from %s: %w", c.Rank(), set.Dir, err))
+				return
+			}
+		}
 		accum := opts.GradAccumSteps
 		if accum < 1 {
 			accum = 1
 		}
-		var losses []float64
-		for s := 0; s < opts.Steps; s++ {
+		var (
+			losses  []float64
+			pending []*ckpt.Ticket
+		)
+		step := startStep
+		snapped := startStep
+		for s := startStep; s < opts.Steps; s++ {
+			if opts.Stop != nil {
+				// Stop consensus: every rank sees the same verdict at the
+				// same step boundary, so all take the same final snapshot.
+				stop := 0.0
+				select {
+				case <-opts.Stop:
+					stop = 1
+				default:
+				}
+				if c.AllReduceScalar(stop) != 0 {
+					break
+				}
+			}
 			microTok := make([][]int, accum)
 			microTgt := make([][]int, accum)
 			for m := 0; m < accum; m++ {
@@ -356,27 +506,49 @@ func Train(opts TrainOptions) (TrainResult, error) {
 			}
 			sr, err := e.StepAccum(microTok, microTgt, opts.BatchPerRank)
 			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("rank %d step %d: %w", c.Rank(), s, err)
-				}
-				mu.Unlock()
+				fail(fmt.Errorf("rank %d step %d: %w", c.Rank(), s, err))
 				return
 			}
 			losses = append(losses, sr.Loss)
 			if c.Rank() == 0 && opts.OnStep != nil {
 				opts.OnStep(s, sr)
 			}
+			step = s + 1
+			if writer != nil && step%opts.Engine.CheckpointEvery == 0 {
+				if pending, err = snapshotRank(writer, e, c, step, pending); err != nil {
+					fail(err)
+					return
+				}
+				snapped = step
+			}
+		}
+		if writer != nil && step > snapped {
+			// Final snapshot: clean shutdown (Stop) or a step count that is
+			// not a multiple of CheckpointEvery.
+			if pending, err = snapshotRank(writer, e, c, step, pending); err != nil {
+				fail(err)
+				return
+			}
+		}
+		for _, t := range pending {
+			t.Wait()
 		}
 		if c.Rank() == 0 {
 			mu.Lock()
 			res.Losses = losses
+			res.FinalStep = step
 			if se, ok := e.(interface{ Stats() InfinityStats }); ok {
 				res.Stats = se.Stats()
 			}
 			mu.Unlock()
 		}
 	})
+	if writer != nil {
+		res.CheckpointErr = writer.Drain()
+		if cerr := writer.Close(); res.CheckpointErr == nil {
+			res.CheckpointErr = cerr
+		}
+	}
 	return res, firstErr
 }
 
