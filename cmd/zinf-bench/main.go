@@ -11,50 +11,41 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"repro/internal/comm"
+	zeroinf "repro"
+	"repro/internal/cliconfig"
 	"repro/internal/harness"
-	"repro/internal/tensor"
-	"repro/internal/zero"
 )
 
 func main() {
+	c := cliconfig.CommonDefaults()
+	// The fig6b-engine experiment always contrasts dense vs tiled, so bench
+	// tiles by default (values below 2 fall back to 4 in the harness).
+	c.Tiling = 4
+	cliconfig.AddCommon(flag.CommandLine, &c)
 	run := flag.String("run", "", "experiment id to run, or 'all'")
 	jsonOut := flag.String("json", "",
 		"write the run's machine-readable records (BENCH_*.json style) to this path ('-' = stdout)")
-	backend := flag.String("backend", "reference",
-		"compute backend for functional experiments: "+strings.Join(tensor.BackendNames(), "|"))
-	prefetch := flag.Int("prefetch", 2,
-		"overlap read-ahead depth for the overlap/equiv experiments (0 = off)")
-	overlap := flag.Bool("overlap", true,
-		"include the async-collective overlap engines in the functional experiments")
-	tiling := flag.Int("tiling", 4,
-		"memory-centric tiling factor for the fig6b-engine experiment (must divide the experiment model's hidden and vocab sizes; values below 2 fall back to 4 — the experiment always contrasts dense vs tiled)")
-	topology := flag.String("topology", "",
-		"multi-node fabric for the functional experiments: <nodes>x<ranksPerNode>[:intra=GB/s][:inter=GB/s][:lintra=µs][:linter=µs][:flat] (\"\" = flat; fig6c defaults to 4x2:intra=100:inter=10)")
-	partition := flag.String("partition", "slice",
-		"parameter partitioning for the stepalloc/overlap experiments: slice|broadcast (fig6c always contrasts both)")
 	flag.Parse()
 
-	be, err := tensor.ByName(*backend)
+	be, err := zeroinf.BackendByName(c.Backend)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	topo, err := comm.ParseTopology(*topology)
+	topo, err := zeroinf.ParseTopology(c.Topology)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	part, err := zero.ParsePartitioning(*partition)
+	part, err := zeroinf.ParsePartitioning(c.Partition)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	harness.SetBackend(be)
-	harness.SetOverlap(*prefetch, *overlap)
-	harness.SetTiling(*tiling)
+	harness.SetOverlap(c.Prefetch, c.Overlap)
+	harness.SetTiling(c.Tiling)
 	harness.SetFabric(topo, part)
 
 	if *run == "" {
@@ -94,7 +85,7 @@ func main() {
 			defer f.Close()
 			w = f
 		}
-		if err := harness.WriteRecords(w, *backend); err != nil {
+		if err := harness.WriteRecords(w, c.Backend); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -6,6 +6,10 @@
 //
 //	zinf-train -engine ddp -ranks 4 -steps 10
 //	zinf-train -engine infinity -params nvme -opt nvme -nvme-dir /tmp -ranks 8
+//
+// With -worker the process instead joins a multi-process world as a single
+// rank, reading its identity and training recipe from the environment —
+// the mode cmd/zinf-launch spawns (see that command for the variables).
 package main
 
 import (
@@ -15,106 +19,37 @@ import (
 	"os"
 	"os/signal"
 	"sort"
-	"strings"
+	"strconv"
 	"syscall"
 
 	zeroinf "repro"
+	"repro/internal/cliconfig"
 	"repro/internal/mem"
 )
 
-func parsePlacement(s string) (zeroinf.Placement, error) {
-	switch strings.ToLower(s) {
-	case "gpu":
-		return zeroinf.OnGPU, nil
-	case "cpu":
-		return zeroinf.OnCPU, nil
-	case "nvme":
-		return zeroinf.OnNVMe, nil
-	}
-	return zeroinf.OnGPU, fmt.Errorf("unknown placement %q (gpu|cpu|nvme)", s)
-}
-
 func main() {
+	t := cliconfig.TrainDefaults()
+	cliconfig.AddTrain(flag.CommandLine, &t)
 	var (
-		engine  = flag.String("engine", "infinity", "ddp | zero1 | zero2 | zero-offload | zero3 | infinity")
-		params  = flag.String("params", "cpu", "infinity fp16 parameter placement: gpu|cpu|nvme")
-		opt     = flag.String("opt", "cpu", "infinity optimizer placement: gpu|cpu|nvme")
-		nvmeDir = flag.String("nvme-dir", "", "directory for the file-backed NVMe store")
-		ranks   = flag.Int("ranks", 4, "data-parallel ranks (goroutine GPUs)")
-		steps   = flag.Int("steps", 20, "training steps")
-		batch   = flag.Int("batch", 2, "batch per rank")
-		vocab   = flag.Int("vocab", 64, "vocabulary size")
-		hidden  = flag.Int("hidden", 64, "hidden dimension")
-		layers  = flag.Int("layers", 2, "transformer layers")
-		heads   = flag.Int("heads", 4, "attention heads")
-		seq     = flag.Int("seq", 16, "sequence length")
-		tiling  = flag.Int("tiling", 1,
-			"memory-centric tiling factor: build qkv/proj/fc1/fc2 and the LM head as N-tile operators (must divide hidden and vocab; 1 = dense)")
-		ckpt     = flag.Bool("ckpt", false, "activation checkpointing")
-		offAct   = flag.Bool("offload-act", false, "offload activation checkpoints to CPU (infinity)")
-		scale    = flag.Float64("loss-scale", 1024, "initial loss scale")
-		seed     = flag.Uint64("seed", 42, "init seed")
-		accum    = flag.Int("accum", 1, "gradient accumulation micro-batches per step")
-		clip     = flag.Float64("clip", 0, "global gradient-norm clip (0 = off)")
-		prefetch = flag.Int("prefetch", 2,
-			"overlap read-ahead depth: NVMe reads (infinity) and, with -overlap, speculative allgathers (zero3/infinity) for the next N trace entries (0 = off)")
-		overlapF = flag.Bool("overlap", true,
-			"async collectives: launch reduce-scatters asynchronously and speculate allgathers -prefetch deep (bit-identical; zero3/infinity)")
-		backend = flag.String("backend", "reference",
-			"compute backend: "+strings.Join(zeroinf.Backends(), "|")+" (bit-identical, parallel uses all cores)")
-		topology = flag.String("topology", "",
-			"multi-node fabric spec <nodes>x<ranksPerNode>[:intra=GB/s][:inter=GB/s][:lintra=µs][:linter=µs][:flat]; "+
-				"collectives decompose hierarchically and achieved aggregate bandwidth is reported (\"\" = flat)")
-		partition = flag.String("partition", "slice",
-			"stage-3/infinity parameter partitioning (Fig. 6c): slice (1/dp, all links) | broadcast (owner-rank)")
+		worker    = flag.Bool("worker", false, "run as one rank of a zinf-launch world (identity from ZINF_WORKER_* env)")
 		ckptDir   = flag.String("ckpt-dir", "", "crash-consistent checkpoint directory (enables -ckpt-every and -resume)")
 		ckptEvery = flag.Int("ckpt-every", 0, "snapshot asynchronously every N steps (0 = off; requires -ckpt-dir)")
 		resume    = flag.Bool("resume", false, "resume from the newest complete generation in -ckpt-dir")
 	)
 	flag.Parse()
 
-	mcfg := zeroinf.ModelConfig{
-		Vocab: *vocab, Hidden: *hidden, Layers: *layers, Heads: *heads, Seq: *seq,
-		CheckpointActivations: *ckpt || *offAct,
-		Tiling:                *tiling,
+	if *worker {
+		if err := runWorker(); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
-	ecfg := zeroinf.EngineConfig{LossScale: *scale, DynamicLossScale: true, Seed: *seed, ClipNorm: *clip, Backend: *backend,
-		PrefetchDepth: *prefetch, Overlap: *overlapF}
-	topo, err := zeroinf.ParseTopology(*topology)
+
+	spec, err := t.WorkerSpec()
 	if err != nil {
 		log.Fatal(err)
 	}
-	ecfg.Topology = topo
-	if ecfg.Partition, err = zeroinf.ParsePartitioning(*partition); err != nil {
-		log.Fatal(err)
-	}
-	switch *engine {
-	case "ddp":
-		ecfg.Stage = zeroinf.StageDDP
-	case "zero1":
-		ecfg.Stage = zeroinf.Stage1
-	case "zero2":
-		ecfg.Stage = zeroinf.Stage2
-	case "zero-offload":
-		ecfg.Stage = zeroinf.Stage2
-		ecfg.OffloadOptimizer = true
-	case "zero3":
-		ecfg.Stage = zeroinf.Stage3
-	case "infinity":
-		ecfg.Infinity = true
-		ecfg.OffloadActivations = *offAct
-		ecfg.NVMeDir = *nvmeDir
-		var err error
-		if ecfg.Params, err = parsePlacement(*params); err != nil {
-			log.Fatal(err)
-		}
-		if ecfg.Optimizer, err = parsePlacement(*opt); err != nil {
-			log.Fatal(err)
-		}
-	default:
-		log.Fatalf("unknown engine %q", *engine)
-	}
-
+	mcfg, ecfg := spec.Model, spec.Engine
 	ecfg.CheckpointDir = *ckptDir
 	ecfg.CheckpointEvery = *ckptEvery
 
@@ -134,10 +69,10 @@ func main() {
 	}
 
 	fmt.Printf("training %d-layer hd=%d model (%d params) on %d ranks with %s\n",
-		mcfg.Layers, mcfg.Hidden, mcfg.ExactParamCount(), *ranks, *engine)
+		mcfg.Layers, mcfg.Hidden, mcfg.ExactParamCount(), t.Ranks, t.Engine)
 	res, err := zeroinf.Train(zeroinf.TrainOptions{
-		Model: mcfg, Engine: ecfg, Ranks: *ranks, Steps: *steps, BatchPerRank: *batch,
-		GradAccumSteps: *accum,
+		Model: mcfg, Engine: ecfg, Ranks: t.Ranks, Steps: spec.Steps, BatchPerRank: spec.BatchPerRank,
+		GradAccumSteps: spec.GradAccumSteps,
 		Resume:         *resume,
 		Stop:           stop,
 		OnStep: func(s int, r zeroinf.StepResult) {
@@ -157,21 +92,25 @@ func main() {
 	if *ckptDir != "" && res.FinalStep > res.StartStep {
 		fmt.Printf("trained steps %d..%d; checkpoints in %s\n", res.StartStep, res.FinalStep, *ckptDir)
 	}
-	if *engine == "infinity" || *engine == "zero3" {
+	printStats(t.Engine, ecfg, mcfg, res)
+}
+
+func printStats(engine string, ecfg zeroinf.EngineConfig, mcfg zeroinf.ModelConfig, res zeroinf.TrainResult) {
+	if engine == "infinity" || engine == "zero3" {
 		s := res.Stats
 		// The two engines report different max-live semantics: zero3 a
 		// static largest-single-parameter bound, infinity a measured peak.
 		label := "peak live gathered params"
-		if *engine == "zero3" {
+		if engine == "zero3" {
 			label = "largest gathered param (static bound)"
 		}
 		fmt.Printf("\n%s engine: %d gathers (%d on-demand), %s %s (tiling %d)\n",
-			*engine, s.Gathers, s.OnDemandGathers, label, mem.FormatBytes(s.MaxLiveParamBytes), *tiling)
+			engine, s.Gathers, s.OnDemandGathers, label, mem.FormatBytes(s.MaxLiveParamBytes), mcfg.Tiling)
 		fmt.Printf("overlap: allgather prefetch %d issued / %d hits, %d async reduce-scatters\n",
 			s.CommPrefetchIssued, s.CommPrefetchHits, s.AsyncReduces)
-		if topo != nil && len(s.CommTraffic) > 0 {
+		if ecfg.Topology != nil && len(s.CommTraffic) > 0 {
 			fmt.Printf("fabric %s, partition %s — achieved aggregate bandwidth per collective:\n",
-				topo, ecfg.Partition)
+				ecfg.Topology, ecfg.Partition)
 			kinds := make([]string, 0, len(s.CommTraffic))
 			for k := range s.CommTraffic {
 				kinds = append(kinds, k)
@@ -185,7 +124,7 @@ func main() {
 			}
 		}
 	}
-	if *engine == "infinity" {
+	if engine == "infinity" {
 		s := res.Stats
 		fmt.Printf("NVMe prefetch %d issued / %d hits; traffic: %s read, %s written; pinned pool %s (%d acquires)\n",
 			s.PrefetchIssued, s.PrefetchHits,
@@ -195,4 +134,93 @@ func main() {
 			fmt.Printf("activation checkpoints offloaded: %s\n", mem.FormatBytes(s.CkptBytesOffload))
 		}
 	}
+}
+
+// envInt reads a required integer worker variable.
+func envInt(name string) (int, error) {
+	v, err := strconv.Atoi(os.Getenv(name))
+	if err != nil {
+		return 0, fmt.Errorf("zinf-train -worker: bad or missing %s=%q (spawned outside zinf-launch?)", name, os.Getenv(name))
+	}
+	return v, nil
+}
+
+// runWorker joins a zinf-launch world as one rank. Identity comes from
+// ZINF_WORKER_RANK / ZINF_WORKER_WORLD / ZINF_WORKER_COORD /
+// ZINF_WORKER_TRANSPORT, the training recipe from ZINF_CONFIG (a JSON
+// cliconfig.WorkerSpec).
+func runWorker() error {
+	spec, err := cliconfig.UnmarshalWorkerSpec([]byte(os.Getenv("ZINF_CONFIG")))
+	if err != nil {
+		return fmt.Errorf("zinf-train -worker: ZINF_CONFIG: %w", err)
+	}
+	world, err := envInt("ZINF_WORKER_WORLD")
+	if err != nil {
+		return err
+	}
+	if os.Getenv("ZINF_WORKER_TRANSPORT") == "mem" {
+		// The launcher runs the whole world in this one process: plain
+		// goroutine-rank training.
+		res, err := zeroinf.Train(zeroinf.TrainOptions{
+			Model: spec.Model, Engine: spec.Engine, Ranks: world,
+			Steps: spec.Steps, BatchPerRank: spec.BatchPerRank,
+			GradAccumSteps: spec.GradAccumSteps, DataSeed: spec.DataSeed,
+		})
+		if err != nil {
+			return err
+		}
+		reportWorker(0, res)
+		return nil
+	}
+	rank, err := envInt("ZINF_WORKER_RANK")
+	if err != nil {
+		return err
+	}
+	be, err := zeroinf.BackendByName(spec.Engine.Backend)
+	if err != nil {
+		return err
+	}
+	tr, err := zeroinf.NewSockTransport(zeroinf.SockConfig{
+		Rank: rank, Size: world, Coord: os.Getenv("ZINF_WORKER_COORD"),
+	})
+	if err != nil {
+		return err
+	}
+	w, err := zeroinf.NewWorld(zeroinf.WorldOptions{
+		Size: world, Transport: tr,
+		Topology:     spec.Engine.Topology,
+		CodecBackend: be,
+	})
+	if err != nil {
+		tr.Close()
+		return err
+	}
+	defer w.Close()
+	res, err := zeroinf.Train(zeroinf.TrainOptions{
+		Model: spec.Model, Engine: spec.Engine, Comm: w.Comm(rank),
+		Steps: spec.Steps, BatchPerRank: spec.BatchPerRank,
+		GradAccumSteps: spec.GradAccumSteps, DataSeed: spec.DataSeed,
+	})
+	if err != nil {
+		return fmt.Errorf("rank %d: %w", rank, err)
+	}
+	reportWorker(rank, res)
+	return nil
+}
+
+// reportWorker prints the worker's trajectory: per-step losses on rank 0
+// (the launcher prefixes every line with the rank), a one-line summary on
+// the rest — every rank computes the same global mean loss, so printing it
+// once keeps the aggregated output readable.
+func reportWorker(rank int, res zeroinf.TrainResult) {
+	if rank == 0 {
+		for i, l := range res.Losses {
+			fmt.Printf("step %3d  loss %.6f\n", res.StartStep+i, l)
+		}
+	}
+	final := "n/a"
+	if n := len(res.Losses); n > 0 {
+		final = strconv.FormatFloat(res.Losses[n-1], 'f', 6, 64)
+	}
+	fmt.Printf("worker done: %d steps, final loss %s\n", res.FinalStep-res.StartStep, final)
 }

@@ -20,49 +20,36 @@ import (
 // Wait returns.
 //
 // Ticket is a small value type (engines embed it in pooled in-flight
-// records); the zero Ticket is a completed ticket.
+// records); the zero Ticket is a completed ticket. It carries a branch per
+// transport rather than an interface so issuing never boxes.
 type Ticket struct {
-	w   *World
+	// In-memory transport: the in-flight op this rank still has to leave.
+	mt *memTransport
+	op *op
+	// Socket transport: completion means advancing the ordered pending
+	// queue through seq.
+	st  *sockTransport
 	seq uint64
-	op  *op
 }
 
 // Wait blocks until the collective has completed on all ranks.
 //
 //zinf:hotpath
 func (t *Ticket) Wait() {
-	if t.op == nil {
-		return // degenerate or already-waited ticket
+	switch {
+	case t.op != nil:
+		mt := t.mt
+		mt.mu.Lock()
+		for !t.op.computed {
+			t.op.done.Wait()
+		}
+		mt.leaveLocked(t.seq, t.op)
+		mt.mu.Unlock()
+		t.op, t.mt = nil, nil
+	case t.st != nil:
+		t.st.advance(t.seq)
+		t.st = nil
 	}
-	w := t.w
-	w.mu.Lock()
-	for !t.op.computed {
-		t.op.done.Wait()
-	}
-	w.leaveLocked(t.seq, t.op)
-	w.mu.Unlock()
-	t.op = nil
-}
-
-// async reserves the next sequence slot for kind and registers this rank's
-// arrival, returning immediately; the last rank to arrive (synchronously or
-// asynchronously) performs the data movement. The semantics — including
-// rank-order accumulation — are identical to the synchronous rendezvous, so
-// asynchronous and synchronous paths are bit-identical.
-//
-//zinf:hotpath
-func (c *Comm) async(kind opKind, root int, pl payload) Ticket {
-	w := c.world
-	if w.size == 1 {
-		w.computeSolo(kind, root, pl)
-		return Ticket{}
-	}
-	seq := c.seq
-	c.seq++
-	w.mu.Lock()
-	o := w.arriveLocked(c.rank, seq, kind, root, pl)
-	w.mu.Unlock()
-	return Ticket{w: w, seq: seq, op: o}
 }
 
 // AllGatherHalfAsync starts an asynchronous AllGatherHalf: every rank's src

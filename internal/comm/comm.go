@@ -1,7 +1,7 @@
 // Package comm provides the collective-communication substrate for the
-// ZeRO-Infinity reproduction. A World of n ranks runs SPMD code on n
-// goroutines; collectives (broadcast, allgather, reduce-scatter, allreduce,
-// gather, barrier) have the same data semantics as NCCL's.
+// ZeRO-Infinity reproduction. A World of n ranks runs SPMD code over a
+// pluggable Transport; collectives (broadcast, allgather, reduce-scatter,
+// allreduce, gather, barrier) have the same data semantics as NCCL's.
 //
 // Collective matching follows the SPMD contract: every rank must invoke the
 // same sequence of collectives on the same communicator. Each call is matched
@@ -10,10 +10,17 @@
 // accumulate in rank order with float32 arithmetic, making results
 // deterministic and enabling bit-exact engine-equivalence tests.
 //
+// Two transports implement the data plane (see transport.go): the reference
+// in-memory rendezvous (ranks are goroutines in one process) and a TCP
+// socket transport (each rank is its own OS process, launched by
+// cmd/zinf-launch). Both execute collectives through the same compute
+// kernels over a shared collCtx, so the fp32 rank-order accumulation — and
+// therefore the training trajectory — is bit-identical across transports.
+//
 // The substrate is allocation-free in steady state: in-flight op descriptors
 // are pooled and reused, per-rank contributions are flat payload structs
 // (no interface boxing), the data-movement functions are package-level (no
-// closure captures), and reduction/encode scratch comes from a world-owned
+// closure captures), and reduction/encode scratch comes from a context-owned
 // size-classed arena. Fused convert+collective paths
 // (AllGatherEncodeHalf, ReduceScatterHalfDecode) additionally remove the
 // intermediate full-size fp16 pass their two-call forms needed.
@@ -22,6 +29,7 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/mem"
 	"repro/internal/tensor"
@@ -74,8 +82,8 @@ type payload struct {
 
 // computeFns dispatches the data movement for each kind. The functions are
 // package-level so issuing a collective never builds a closure.
-var computeFns = [...]func(w *World, o *op){
-	opBarrier:                 func(*World, *op) {},
+var computeFns = [...]func(w *collCtx, o *op){
+	opBarrier:                 func(*collCtx, *op) {},
 	opBroadcast:               computeBroadcast,
 	opAllGather:               computeAllGather,
 	opReduceScatter:           computeReduceScatter,
@@ -93,18 +101,18 @@ var computeFns = [...]func(w *World, o *op){
 	opAllReduceMax:            computeAllReduceMax,
 }
 
-// World is the shared state behind a group of communicating ranks.
-type World struct {
+// collCtx is the transport-neutral collective execution context: the state
+// the compute kernels need, factored out of the transports so every fabric
+// runs the exact same data movement and fp32 rank-order accumulation.
+// Synchronization is the embedding transport's job (the in-memory transport
+// serializes compute under its world mutex; the socket transport computes on
+// the hub rank's only goroutine).
+type collCtx struct {
 	size int
 
-	mu      sync.Mutex
-	ops     []opSlot // in-flight collectives, keyed by sequence number
-	freeOps []*op    // recycled op descriptors
-
 	// fscratch/hscratch serve the reductions' accumulator/decode/encode
-	// buffers. They are touched only inside compute functions (serialized
-	// by mu on multi-rank worlds; the arena's own lock covers the size-1
-	// inline path).
+	// buffers. The arenas carry their own locks, so transport-side reader
+	// goroutines may share them with compute.
 	fscratch *mem.Arena[float32]
 	hscratch *mem.Arena[tensor.Half]
 
@@ -122,238 +130,37 @@ type World struct {
 	traffic [opKindCount]TrafficStats
 }
 
-// opSlot is one in-flight collective's registry entry. In-flight ops are a
-// handful at any moment (the async pipeline depth times the rank count), so
-// a linear-scanned slice beats a map — and unlike a map keyed by the
-// ever-growing sequence number it never allocates after warm-up (a map's
-// fresh keys occasionally force a new overflow bucket even at constant
-// size, which would break the zero-allocation steady-state contract).
-type opSlot struct {
-	seq uint64
-	o   *op
+// computeMeasured runs o's data movement plus modeled accounting and folds
+// in the measured counters: wall-clock compute time, and — on this shared-
+// memory path, where the "wire" is the copies the kernel itself performs —
+// measured bytes equal to the modeled bytes the op added. The socket
+// transport accounts its measured side separately from real frame sizes.
+//
+//zinf:hotpath
+func (w *collCtx) computeMeasured(o *op) {
+	st := &w.traffic[o.kind]
+	preIntra, preInter := st.IntraBytes, st.InterBytes
+	start := time.Now()
+	computeFns[o.kind](w, o)
+	w.account(o)
+	st.MeasSeconds += time.Since(start).Seconds()
+	st.MeasIntraBytes += st.IntraBytes - preIntra
+	st.MeasInterBytes += st.InterBytes - preInter
 }
 
-// op is one in-flight collective. The last rank to arrive performs the data
-// movement; the last rank to leave returns the descriptor to the free pool.
+// op is one in-flight collective. On the in-memory transport the last rank
+// to arrive performs the data movement and the last rank to leave returns
+// the descriptor to the free pool; on the socket transport the hub rank
+// assembles a synthetic op from the peers' framed contributions and runs the
+// same compute kernels over it.
 type op struct {
 	kind          opKind
 	root          int
 	arrived, left int
 	computed      bool
-	done          *sync.Cond // shares the world mutex
+	done          *sync.Cond // in-memory transport: shares the world mutex
 	contrib       []payload  // per-rank argument, indexed by rank
 	result        float64    // scalar collectives' result
-}
-
-// NewWorld creates the shared state for size ranks. It panics if size < 1.
-func NewWorld(size int) *World {
-	if size < 1 {
-		panic("comm: world size must be >= 1")
-	}
-	return &World{
-		size:     size,
-		fscratch: mem.NewArena[float32](),
-		hscratch: mem.NewArena[tensor.Half](),
-		codec:    tensor.Reference(),
-	}
-}
-
-// Size returns the number of ranks in the world.
-//
-//zinf:hotpath
-func (w *World) Size() int { return w.size }
-
-// SetCodecBackend selects the compute backend the binary16 collectives
-// convert through (nil restores the serial reference backend). All backends
-// are bit-identical, so this only changes wall-clock time. Safe to call
-// from concurrent rank goroutines (engine constructors call it with their
-// configured backend); last writer wins.
-func (w *World) SetCodecBackend(be tensor.Backend) {
-	be = tensor.DefaultBackend(be)
-	w.mu.Lock()
-	w.codec = be
-	w.mu.Unlock()
-}
-
-// Comm returns the communicator handle for the given rank. Each rank
-// goroutine must use its own handle; handles are not safe for concurrent use
-// by multiple goroutines.
-func (w *World) Comm(rank int) *Comm {
-	if rank < 0 || rank >= w.size {
-		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, w.size))
-	}
-	return &Comm{world: w, rank: rank}
-}
-
-// Run spawns fn on one goroutine per rank, passing each its communicator,
-// and waits for all of them to return. It is the standard SPMD entry point:
-//
-//	comm.Run(4, func(c *comm.Comm) { ... })
-func Run(size int, fn func(c *Comm)) {
-	w := NewWorld(size)
-	var wg sync.WaitGroup
-	wg.Add(size)
-	for r := 0; r < size; r++ {
-		go func(rank int) {
-			defer wg.Done()
-			fn(w.Comm(rank))
-		}(r)
-	}
-	wg.Wait()
-}
-
-// Comm is one rank's handle on the world.
-type Comm struct {
-	world *World
-	rank  int
-	seq   uint64
-}
-
-// Rank returns this communicator's rank.
-//
-//zinf:hotpath
-func (c *Comm) Rank() int { return c.rank }
-
-// SetCodecBackend selects the world's binary16-conversion backend (see
-// World.SetCodecBackend); engines call it so the collectives' fused
-// encode/decode runs on the same backend as their compute kernels.
-func (c *Comm) SetCodecBackend(be tensor.Backend) { c.world.SetCodecBackend(be) }
-
-// Size returns the number of ranks in the world.
-//
-//zinf:hotpath
-func (c *Comm) Size() int { return c.world.size }
-
-// getOpLocked pops a pooled op descriptor (or builds one). Caller holds mu.
-//
-//zinf:hotpath
-func (w *World) getOpLocked(kind opKind, root int) *op {
-	var o *op
-	if n := len(w.freeOps); n > 0 {
-		o = w.freeOps[n-1]
-		w.freeOps[n-1] = nil
-		w.freeOps = w.freeOps[:n-1]
-	} else {
-		//zinf:allow hotpathalloc op-pool miss grows the free list once per concurrency high-water mark; putOpLocked retains it
-		o = &op{contrib: make([]payload, w.size)}
-		o.done = sync.NewCond(&w.mu)
-	}
-	o.kind, o.root = kind, root
-	return o
-}
-
-// putOpLocked clears and recycles an op descriptor. Caller holds mu.
-//
-//zinf:hotpath
-func (w *World) putOpLocked(o *op) {
-	for i := range o.contrib {
-		o.contrib[i] = payload{}
-	}
-	o.arrived, o.left, o.computed, o.result = 0, 0, false, 0
-	w.freeOps = append(w.freeOps, o)
-}
-
-// rendezvous matches this rank's seq-th collective with the other ranks':
-// arrive, wait for the last arriver's compute, leave. The ticket-based
-// asynchronous collectives split the same arrive/leave pair across issue and
-// Wait. The returned value is the op's scalar result (0 for data
-// collectives).
-//
-//zinf:hotpath
-func (c *Comm) rendezvous(kind opKind, root int, pl payload) float64 {
-	w := c.world
-	if w.size == 1 {
-		return w.computeSolo(kind, root, pl)
-	}
-	seq := c.seq
-	c.seq++
-	w.mu.Lock()
-	o := w.arriveLocked(c.rank, seq, kind, root, pl)
-	for !o.computed {
-		o.done.Wait()
-	}
-	res := o.result
-	w.leaveLocked(seq, o)
-	w.mu.Unlock()
-	return res
-}
-
-// computeSolo runs a size-1 world's collective inline through a transient
-// pooled op, so single-rank semantics (and allocation behaviour) match the
-// multi-rank path. The lock is held across compute, as on the multi-rank
-// path — the compute functions read w.codec, whose SetCodecBackend writes
-// are only synchronized by mu.
-//
-//zinf:hotpath
-func (w *World) computeSolo(kind opKind, root int, pl payload) float64 {
-	w.mu.Lock()
-	// Deferred unlock: a recovered length-mismatch panic from a compute
-	// function must not wedge the world (the op leaks from the pool, which
-	// is fine). Open-coded defers cost no heap allocation.
-	defer w.mu.Unlock()
-	o := w.getOpLocked(kind, root)
-	o.contrib[0] = pl
-	computeFns[kind](w, o)
-	w.account(o)
-	res := o.result
-	w.putOpLocked(o)
-	return res
-}
-
-// arriveLocked registers rank's contribution to the seq-th collective; the
-// last arriver performs the data movement and wakes everyone. Caller holds
-// mu.
-//
-//zinf:hotpath
-func (w *World) arriveLocked(rank int, seq uint64, kind opKind, root int, pl payload) *op {
-	var o *op
-	for i := range w.ops {
-		if w.ops[i].seq == seq {
-			o = w.ops[i].o
-			break
-		}
-	}
-	if o == nil {
-		o = w.getOpLocked(kind, root)
-		w.ops = append(w.ops, opSlot{seq: seq, o: o})
-	}
-	if o.kind != kind || o.root != root {
-		// Release the world lock before panicking: a recovering caller (the
-		// infinity engine's OOM guard, tests asserting the mismatch) must
-		// not leave every other rank wedged on w.mu.
-		w.mu.Unlock()
-		panic(fmt.Sprintf("comm: collective mismatch at seq %d: rank %d called %s(root %d), others called %s(root %d)",
-			seq, rank, kind, root, o.kind, o.root))
-	}
-	o.contrib[rank] = pl
-	o.arrived++
-	if o.arrived == w.size {
-		computeFns[o.kind](w, o)
-		w.account(o)
-		o.computed = true
-		o.done.Broadcast()
-	}
-	return o
-}
-
-// leaveLocked records one rank's departure; the last rank out recycles the
-// op. Caller holds mu.
-//
-//zinf:hotpath
-func (w *World) leaveLocked(seq uint64, o *op) {
-	o.left++
-	if o.left == w.size {
-		for i := range w.ops {
-			if w.ops[i].seq == seq {
-				last := len(w.ops) - 1
-				w.ops[i] = w.ops[last]
-				w.ops[last] = opSlot{}
-				w.ops = w.ops[:last]
-				break
-			}
-		}
-		w.putOpLocked(o)
-	}
 }
 
 // Barrier blocks until every rank has entered the barrier.
@@ -372,7 +179,7 @@ func (c *Comm) Broadcast(buf []float32, root int) {
 }
 
 //zinf:hotpath
-func computeBroadcast(w *World, o *op) {
+func computeBroadcast(w *collCtx, o *op) {
 	if w.hier() {
 		computeBroadcastHier(w, o)
 		return
@@ -402,7 +209,7 @@ func (c *Comm) AllGather(dst, src []float32) {
 }
 
 //zinf:hotpath
-func computeAllGather(w *World, o *op) {
+func computeAllGather(w *collCtx, o *op) {
 	if w.hier() {
 		computeAllGatherHier(w, o)
 		return
@@ -429,7 +236,7 @@ func (c *Comm) ReduceScatter(dst, src []float32) {
 }
 
 //zinf:hotpath
-func computeReduceScatter(w *World, o *op) {
+func computeReduceScatter(w *collCtx, o *op) {
 	n := len(o.contrib[0].fdst)
 	for r := range o.contrib {
 		shard := o.contrib[r].fdst
@@ -450,7 +257,7 @@ func (c *Comm) AllReduce(buf []float32) {
 }
 
 //zinf:hotpath
-func computeAllReduce(w *World, o *op) {
+func computeAllReduce(w *collCtx, o *op) {
 	n := len(o.contrib[0].fdst)
 	sum := w.fscratch.Get(n)
 	copy(sum, o.contrib[0].fdst)
@@ -476,7 +283,7 @@ func (c *Comm) Gather(dst, src []float32, root int) {
 }
 
 //zinf:hotpath
-func computeGather(w *World, o *op) {
+func computeGather(w *collCtx, o *op) {
 	rd := o.contrib[o.root].fdst
 	n := len(o.contrib[o.root].fsrc)
 	if len(rd) != len(o.contrib)*n {
@@ -498,7 +305,7 @@ func (c *Comm) AllGatherHalf(dst, src []tensor.Half) {
 }
 
 //zinf:hotpath
-func computeAllGatherHalf(w *World, o *op) {
+func computeAllGatherHalf(w *collCtx, o *op) {
 	if w.hier() {
 		computeAllGatherHalfHier(w, o)
 		return
@@ -520,7 +327,7 @@ func (c *Comm) BroadcastHalf(buf []tensor.Half, root int) {
 }
 
 //zinf:hotpath
-func computeBroadcastHalf(w *World, o *op) {
+func computeBroadcastHalf(w *collCtx, o *op) {
 	if w.hier() {
 		computeBroadcastHalfHier(w, o)
 		return
@@ -552,7 +359,7 @@ func (c *Comm) ReduceScatterHalf(dst, src []tensor.Half) {
 // reduce-scatter family).
 //
 //zinf:hotpath
-func (w *World) reduceHalfShard(o *op, r, n int, acc, tmp []float32) {
+func (w *collCtx) reduceHalfShard(o *op, r, n int, acc, tmp []float32) {
 	base := r * n
 	clear(acc)
 	for _, cb := range o.contrib {
@@ -562,7 +369,7 @@ func (w *World) reduceHalfShard(o *op, r, n int, acc, tmp []float32) {
 }
 
 //zinf:hotpath
-func computeReduceScatterHalf(w *World, o *op) {
+func computeReduceScatterHalf(w *collCtx, o *op) {
 	n := len(o.contrib[0].hdst)
 	acc := w.fscratch.Get(n)
 	tmp := w.fscratch.Get(n)
@@ -589,7 +396,7 @@ func (c *Comm) ReduceScatterHalfDecode(dst []float32, src []tensor.Half) {
 }
 
 //zinf:hotpath
-func computeReduceScatterHalfDecode(w *World, o *op) {
+func computeReduceScatterHalfDecode(w *collCtx, o *op) {
 	n := len(o.contrib[0].fdst)
 	acc := w.fscratch.Get(n)
 	tmp := w.fscratch.Get(n)
@@ -623,7 +430,7 @@ func (c *Comm) ReduceHalfDecode(dst []float32, src []tensor.Half, root int) {
 }
 
 //zinf:hotpath
-func computeReduceHalfDecode(w *World, o *op) {
+func computeReduceHalfDecode(w *collCtx, o *op) {
 	n := len(o.contrib[0].hsrc)
 	acc := w.fscratch.GetZeroed(n)
 	tmp := w.fscratch.Get(n)
@@ -653,7 +460,7 @@ func (c *Comm) AllReduceHalf(buf []tensor.Half) {
 }
 
 //zinf:hotpath
-func computeAllReduceHalf(w *World, o *op) {
+func computeAllReduceHalf(w *collCtx, o *op) {
 	n := len(o.contrib[0].hdst)
 	acc := w.fscratch.GetZeroed(n)
 	tmp := w.fscratch.Get(n)
@@ -690,7 +497,7 @@ func (c *Comm) AllGatherEncodeHalf(dst []tensor.Half, src []float32) {
 }
 
 //zinf:hotpath
-func computeAllGatherEncodeHalf(w *World, o *op) {
+func computeAllGatherEncodeHalf(w *collCtx, o *op) {
 	if w.hier() {
 		computeAllGatherEncodeHalfHier(w, o)
 		return
@@ -724,7 +531,7 @@ func (c *Comm) AllGatherHalfDecode(dst []float32, src []tensor.Half) {
 }
 
 //zinf:hotpath
-func computeAllGatherHalfDecode(w *World, o *op) {
+func computeAllGatherHalfDecode(w *collCtx, o *op) {
 	if w.hier() {
 		computeAllGatherHalfDecodeHier(w, o)
 		return
@@ -749,7 +556,7 @@ func (c *Comm) AllReduceScalar(v float64) float64 {
 }
 
 //zinf:hotpath
-func computeAllReduceScalar(w *World, o *op) {
+func computeAllReduceScalar(w *collCtx, o *op) {
 	var s float64
 	for i := range o.contrib {
 		s += o.contrib[i].v
@@ -765,7 +572,7 @@ func (c *Comm) AllReduceMax(v float64) float64 {
 }
 
 //zinf:hotpath
-func computeAllReduceMax(w *World, o *op) {
+func computeAllReduceMax(w *collCtx, o *op) {
 	m := o.contrib[0].v
 	for _, cb := range o.contrib[1:] {
 		if cb.v > m {

@@ -240,10 +240,11 @@ func TestManySequentialCollectivesNoLeak(t *testing.T) {
 		}(r)
 	}
 	wg.Wait()
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if len(w.ops) != 0 {
-		t.Errorf("op map leaked %d entries", len(w.ops))
+	mt := w.t.(*memTransport)
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	if len(mt.ops) != 0 {
+		t.Errorf("op registry leaked %d entries", len(mt.ops))
 	}
 }
 

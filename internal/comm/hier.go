@@ -27,7 +27,7 @@ package comm
 // own node).
 //
 //zinf:hotpath
-func computeBroadcastHier(w *World, o *op) {
+func computeBroadcastHier(w *collCtx, o *op) {
 	k := w.topo.NodeSize
 	src := o.contrib[o.root].fdst
 	rootNode := w.nodeOf(o.root)
@@ -58,7 +58,7 @@ func computeBroadcastHier(w *World, o *op) {
 // computeBroadcastHalfHier is computeBroadcastHier over binary16 buffers.
 //
 //zinf:hotpath
-func computeBroadcastHalfHier(w *World, o *op) {
+func computeBroadcastHalfHier(w *collCtx, o *op) {
 	k := w.topo.NodeSize
 	src := o.contrib[o.root].hdst
 	rootNode := w.nodeOf(o.root)
@@ -91,7 +91,7 @@ func computeBroadcastHalfHier(w *World, o *op) {
 // rank — the staged counterpart of the flat per-destination assembly.
 //
 //zinf:hotpath
-func computeAllGatherHier(w *World, o *op) {
+func computeAllGatherHier(w *collCtx, o *op) {
 	n := len(o.contrib[0].fsrc)
 	full := w.fscratch.Get(n * w.size)
 	k := w.topo.NodeSize
@@ -111,7 +111,7 @@ func computeAllGatherHier(w *World, o *op) {
 // computeAllGatherHalfHier is computeAllGatherHier over binary16 payloads.
 //
 //zinf:hotpath
-func computeAllGatherHalfHier(w *World, o *op) {
+func computeAllGatherHalfHier(w *collCtx, o *op) {
 	n := len(o.contrib[0].hsrc)
 	full := w.hscratch.Get(n * w.size)
 	k := w.topo.NodeSize
@@ -134,7 +134,7 @@ func computeAllGatherHalfHier(w *World, o *op) {
 // element.
 //
 //zinf:hotpath
-func computeAllGatherHalfDecodeHier(w *World, o *op) {
+func computeAllGatherHalfDecodeHier(w *collCtx, o *op) {
 	n := len(o.contrib[0].hsrc)
 	full := w.hscratch.Get(n * w.size)
 	k := w.topo.NodeSize
@@ -159,7 +159,7 @@ func computeAllGatherHalfDecodeHier(w *World, o *op) {
 // either way).
 //
 //zinf:hotpath
-func computeAllGatherEncodeHalfHier(w *World, o *op) {
+func computeAllGatherEncodeHalfHier(w *collCtx, o *op) {
 	n := len(o.contrib[0].fsrc)
 	full := w.hscratch.Get(n * w.size)
 	k := w.topo.NodeSize

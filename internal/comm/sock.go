@@ -1,0 +1,514 @@
+package comm
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/tensor"
+)
+
+// sockTransport is the multi-process Transport: one rank per OS process,
+// connected over TCP. It is deliberately hub-routed rather than a mesh —
+// rank 0 is always the hub, every other rank holds exactly one connection
+// to it, and every collective (rooted or not) flows contribution frames to
+// the hub, which assembles them into the same op descriptor the in-memory
+// transport uses and runs the exact same compute functions. Because one
+// goroutine performs the fp32 rank-order accumulation over all ranks'
+// buffers in both transports, bit-identity across transports is structural,
+// not a property that per-collective send/recv schedules would each have to
+// re-prove.
+//
+// Deadlock freedom: the hub owns one reader goroutine per peer that drains
+// contribution frames into an unbounded per-peer mailbox, so a peer's
+// contribution write never blocks on the hub being busy; leaves read result
+// frames inline (the hub's result stream to each leaf is strictly in that
+// leaf's sequence order). Collectives complete in sequence order on every
+// rank: issuing appends to a pending FIFO, and Wait/rendezvous advance the
+// FIFO head-first through the awaited sequence number — which also makes
+// out-of-order Wait calls safe, exactly like the in-memory transport.
+//
+// Measured traffic: the hub records real wire bytes (classified intra/inter
+// node by the installed topology) and wall-clock time including the wait
+// for straggler contributions; leaves carry no measured numbers, so the
+// measured view of a socket world lives on rank 0.
+type sockTransport struct {
+	collCtx
+	rank int
+
+	hubConn *frameConn     // leaf: the one connection, to rank 0
+	peers   []*peerMailbox // hub: by rank; nil at index 0 (self)
+	ln      net.Listener   // hub: kept only so Close unblocks readers
+
+	pending    []sockOp
+	phead      int
+	lastResult float64
+
+	o *op // hub/solo: the single reusable op descriptor
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// sockOp is one issued-but-not-completed collective on this rank.
+type sockOp struct {
+	seq  uint64
+	kind opKind
+	root int
+	pl   payload
+}
+
+// inFrame is one decoded contribution sitting in a hub mailbox. Its payload
+// slices come from the transport's arenas and are released after compute.
+type inFrame struct {
+	seq  uint64
+	kind opKind
+	root int
+	pl   payload
+	wire int64
+}
+
+// peerMailbox buffers one peer's decoded contributions between its reader
+// goroutine (push) and the hub's rank goroutine (pop).
+type peerMailbox struct {
+	fc   *frameConn
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []inFrame
+	head int
+	err  error
+}
+
+//zinf:hotpath
+func (p *peerMailbox) push(f inFrame) {
+	p.mu.Lock()
+	p.q = append(p.q, f)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+func (p *peerMailbox) fail(err error) {
+	p.mu.Lock()
+	p.err = err
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// pop blocks for the peer's next contribution. A dead peer panics the hub:
+// the world cannot make collective progress without it, and the process
+// exit is what tells the launcher to kill the remaining ranks.
+//
+//zinf:hotpath
+func (p *peerMailbox) pop() inFrame {
+	p.mu.Lock()
+	for p.head == len(p.q) {
+		if p.err != nil {
+			p.mu.Unlock()
+			panic(fmt.Sprintf("comm: sock: peer connection lost: %v", p.err))
+		}
+		p.cond.Wait()
+	}
+	f := p.q[p.head]
+	p.q[p.head] = inFrame{}
+	p.head++
+	if p.head == len(p.q) {
+		p.q = p.q[:0]
+		p.head = 0
+	}
+	p.mu.Unlock()
+	return f
+}
+
+// SockConfig configures one rank's end of a socket-transport world.
+type SockConfig struct {
+	// Rank and Size identify this process within the world.
+	Rank, Size int
+	// Coord is the hub's TCP address ("host:port"). Rank 0 listens on it;
+	// every other rank dials it (retrying until DialTimeout, so workers may
+	// start in any order).
+	Coord string
+	// DialTimeout bounds bootstrap: how long leaves keep retrying the dial
+	// and the hub waits for stragglers to connect. Defaults to 15s.
+	DialTimeout time.Duration
+}
+
+// NewSockTransport bootstraps one rank of a TCP-connected world and blocks
+// until this rank is wired: the hub (rank 0) until all peers have connected
+// and identified themselves, a leaf until its dial and handshake complete.
+// Pass the result to New via WorldOptions.Transport; the world then hosts
+// exactly this rank.
+func NewSockTransport(cfg SockConfig) (Transport, error) {
+	if cfg.Size < 1 {
+		return nil, fmt.Errorf("comm: sock: world size %d < 1", cfg.Size)
+	}
+	if cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, fmt.Errorf("comm: sock: rank %d out of range [0,%d)", cfg.Rank, cfg.Size)
+	}
+	timeout := cfg.DialTimeout
+	if timeout <= 0 {
+		timeout = 15 * time.Second
+	}
+	t := &sockTransport{
+		collCtx: collCtx{
+			size:     cfg.Size,
+			fscratch: mem.NewArena[float32](),
+			hscratch: mem.NewArena[tensor.Half](),
+			codec:    tensor.Reference(),
+		},
+		rank: cfg.Rank,
+	}
+	if cfg.Rank == 0 {
+		t.o = &op{contrib: make([]payload, cfg.Size)}
+		t.peers = make([]*peerMailbox, cfg.Size)
+		if cfg.Size == 1 {
+			return t, nil // solo world: no network at all
+		}
+		if err := t.bootstrapHub(cfg.Coord, timeout); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	if err := t.bootstrapLeaf(cfg.Coord, timeout); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// bootstrapHub accepts and identifies every peer, then starts one reader
+// goroutine per connection.
+func (t *sockTransport) bootstrapHub(coord string, timeout time.Duration) error {
+	ln, err := net.Listen("tcp", coord)
+	if err != nil {
+		return fmt.Errorf("comm: sock: hub listen %s: %w", coord, err)
+	}
+	t.ln = ln
+	deadline := time.Now().Add(timeout)
+	for have := 1; have < t.size; have++ {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			t.Close()
+			return fmt.Errorf("comm: sock: hub accepted %d/%d ranks: %w", have, t.size, err)
+		}
+		c.SetDeadline(deadline)
+		rank, size, err := readHello(c)
+		switch {
+		case err != nil:
+		case size != t.size:
+			err = fmt.Errorf("comm: sock: rank %d believes world size is %d, hub has %d", rank, size, t.size)
+		case rank <= 0 || rank >= t.size:
+			err = fmt.Errorf("comm: sock: hello from out-of-range rank %d", rank)
+		case t.peers[rank] != nil:
+			err = fmt.Errorf("comm: sock: duplicate hello from rank %d", rank)
+		default:
+			err = writeWelcome(c, t.size)
+		}
+		if err != nil {
+			c.Close()
+			t.Close()
+			return err
+		}
+		c.SetDeadline(time.Time{})
+		p := &peerMailbox{fc: newFrameConn(c)}
+		p.cond = sync.NewCond(&p.mu)
+		t.peers[rank] = p
+	}
+	for rank, p := range t.peers {
+		if p != nil {
+			go t.readLoop(rank, p)
+		}
+	}
+	return nil
+}
+
+// bootstrapLeaf dials the hub (retrying while it may not be listening yet)
+// and completes the handshake.
+func (t *sockTransport) bootstrapLeaf(coord string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var c net.Conn
+	for {
+		var err error
+		c, err = net.DialTimeout("tcp", coord, time.Until(deadline))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("comm: sock: rank %d could not reach hub at %s: %w", t.rank, coord, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	c.SetDeadline(deadline)
+	if err := writeHello(c, t.rank, t.size); err != nil {
+		c.Close()
+		return fmt.Errorf("comm: sock: rank %d hello: %w", t.rank, err)
+	}
+	size, err := readWelcome(c)
+	if err != nil {
+		c.Close()
+		return fmt.Errorf("comm: sock: rank %d: %w", t.rank, err)
+	}
+	if size != t.size {
+		c.Close()
+		return fmt.Errorf("comm: sock: hub has world size %d, rank %d expected %d", size, t.rank, t.size)
+	}
+	c.SetDeadline(time.Time{})
+	t.hubConn = newFrameConn(c)
+	return nil
+}
+
+// readLoop drains one peer's contribution frames into its mailbox. It owns
+// the connection's read side and exits when the connection dies (normal
+// shutdown included: the peer closing its end surfaces as io.EOF here).
+func (t *sockTransport) readLoop(rank int, p *peerMailbox) {
+	for {
+		f, err := t.readContrib(rank, p.fc)
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		p.push(f)
+	}
+}
+
+// readContrib reads and decodes one contribution frame from peer rank,
+// staging the payload in the transport's arenas (released by runHub after
+// compute).
+//
+//zinf:hotpath
+func (t *sockTransport) readContrib(rank int, fc *frameConn) (inFrame, error) {
+	var hb [frameHdrLen]byte
+	if _, err := io.ReadFull(fc.br, hb[:]); err != nil {
+		return inFrame{}, err
+	}
+	if hb[4] != frameContrib {
+		return inFrame{}, errBadFrameType
+	}
+	kind := opKind(hb[5])
+	root := int(le16(hb[6:]))
+	nfdst, nfsrc := int(le32(hb[8:])), int(le32(hb[12:]))
+	nhdst, nhsrc := int(le32(hb[16:])), int(le32(hb[20:]))
+	plen := int(le32(hb[0:]))
+	isRoot := rank == root
+	if plen != contribPayloadLen(kind, isRoot, nfdst, nfsrc, nhdst, nhsrc) {
+		return inFrame{}, errFrameLen
+	}
+	fc.rbuf = growBuf(fc.rbuf, plen)
+	if _, err := io.ReadFull(fc.br, fc.rbuf); err != nil {
+		return inFrame{}, err
+	}
+	pl := payload{
+		fdst: t.fscratch.Get(nfdst),
+		fsrc: t.fscratch.Get(nfsrc),
+		hdst: t.hscratch.Get(nhdst),
+		hsrc: t.hscratch.Get(nhsrc),
+		v:    f64frombits(le64(hb[32:])),
+	}
+	off := 0
+	if dstCarriesInput(kind, isRoot) {
+		off += getF32s(pl.fdst, fc.rbuf[off:])
+	}
+	off += getF32s(pl.fsrc, fc.rbuf[off:])
+	if dstCarriesInput(kind, isRoot) {
+		off += getHalfs(pl.hdst, fc.rbuf[off:])
+	}
+	getHalfs(pl.hsrc, fc.rbuf[off:])
+	return inFrame{
+		seq:  le64(hb[24:]),
+		kind: kind,
+		root: root,
+		pl:   pl,
+		wire: int64(frameHdrLen + plen),
+	}, nil
+}
+
+// Size returns the number of ranks in the world.
+//
+//zinf:hotpath
+func (t *sockTransport) Size() int { return t.size }
+
+// Close tears down this rank's connections. On the hub this unblocks every
+// reader goroutine (their reads error out and fail their mailboxes).
+func (t *sockTransport) Close() error {
+	t.closeOnce.Do(func() {
+		if t.ln != nil {
+			t.closeErr = t.ln.Close()
+		}
+		if t.hubConn != nil {
+			if err := t.hubConn.c.Close(); err != nil && t.closeErr == nil {
+				t.closeErr = err
+			}
+		}
+		for _, p := range t.peers {
+			if p != nil {
+				if err := p.fc.c.Close(); err != nil && t.closeErr == nil {
+					t.closeErr = err
+				}
+			}
+		}
+	})
+	return t.closeErr
+}
+
+// hosts reports whether this process hosts rank: exactly one rank per
+// process on the socket transport.
+func (t *sockTransport) hosts(rank int) bool { return rank == t.rank }
+
+// setCodec and setTopology run during World construction, before the rank
+// issues collectives; the transport is single-goroutine after bootstrap
+// (readers never touch codec or topo), so no locking is needed.
+func (t *sockTransport) setCodec(be tensor.Backend) {
+	t.codec = tensor.DefaultBackend(be)
+}
+
+func (t *sockTransport) setTopology(topo *Topology) error {
+	cp, err := normalizeTopology(topo, t.size)
+	if err != nil {
+		return err
+	}
+	t.topo = cp
+	return nil
+}
+
+func (t *sockTransport) topology() *Topology { return t.topo }
+
+// snapshotTraffic and resetTraffic run on the rank goroutine (via
+// Comm.Traffic etc.), which is also the only goroutine writing t.traffic.
+func (t *sockTransport) snapshotTraffic(f func(k opKind, st TrafficStats)) {
+	for k := range t.traffic {
+		f(opKind(k), t.traffic[k])
+	}
+}
+
+func (t *sockTransport) resetTraffic() {
+	for k := range t.traffic {
+		t.traffic[k] = TrafficStats{}
+	}
+}
+
+// enqueue registers this rank's seq-th collective: leaves ship their
+// contribution to the hub immediately (so the hub can overlap assembly with
+// the leaf's further compute), and every rank appends to its pending FIFO.
+//
+//zinf:hotpath
+func (t *sockTransport) enqueue(seq uint64, kind opKind, root int, pl payload) {
+	if t.hubConn != nil {
+		t.hubConn.writeContrib(seq, kind, root, t.rank == root, pl)
+	}
+	t.pending = append(t.pending, sockOp{seq: seq, kind: kind, root: root, pl: pl})
+}
+
+// rendezvous performs rank's seq-th collective synchronously.
+//
+//zinf:hotpath
+func (t *sockTransport) rendezvous(rank int, seq uint64, kind opKind, root int, pl payload) float64 {
+	t.enqueue(seq, kind, root, pl)
+	return t.advance(seq)
+}
+
+// issue starts rank's seq-th collective; Ticket.Wait advances through it.
+//
+//zinf:hotpath
+func (t *sockTransport) issue(rank int, seq uint64, kind opKind, root int, pl payload) Ticket {
+	t.enqueue(seq, kind, root, pl)
+	return Ticket{st: t, seq: seq}
+}
+
+// advance completes pending collectives in sequence order through target
+// and returns the last scalar result. Already-completed targets are no-ops,
+// which is what makes out-of-order Wait calls safe.
+//
+//zinf:hotpath
+func (t *sockTransport) advance(target uint64) float64 {
+	for t.phead < len(t.pending) && t.pending[t.phead].seq <= target {
+		so := t.pending[t.phead]
+		t.pending[t.phead] = sockOp{}
+		t.phead++
+		if t.phead == len(t.pending) {
+			t.pending = t.pending[:0]
+			t.phead = 0
+		}
+		if t.peers != nil {
+			t.lastResult = t.runHub(so)
+		} else {
+			t.lastResult = t.runLeaf(so)
+		}
+	}
+	return t.lastResult
+}
+
+// runHub assembles one collective from the hub's own contribution plus one
+// mailbox frame per peer, runs the shared compute functions, returns each
+// peer's results, and records measured traffic: real wire bytes in both
+// directions (classified intra/inter-node by the installed topology) and
+// wall-clock time including the wait for straggler contributions.
+//
+//zinf:hotpath
+func (t *sockTransport) runHub(so sockOp) float64 {
+	start := time.Now()
+	o := t.o
+	o.kind, o.root = so.kind, so.root
+	o.contrib[t.rank] = so.pl
+	var wIntra, wInter int64
+	hubNode := t.nodeOf(t.rank)
+	for r, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		f := p.pop()
+		if f.seq != so.seq || f.kind != so.kind || f.root != so.root {
+			panic(fmt.Sprintf("comm: collective mismatch at seq %d: rank %d sent %s(root %d), hub expected %s(root %d)",
+				so.seq, r, f.kind, f.root, so.kind, so.root))
+		}
+		o.contrib[r] = f.pl
+		if t.nodeOf(r) == hubNode {
+			wIntra += f.wire
+		} else {
+			wInter += f.wire
+		}
+	}
+	computeFns[o.kind](&t.collCtx, o)
+	t.account(o)
+	res := o.result
+	for r, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		n := p.fc.writeResult(so.seq, o.kind, resultCarriesDst(o.kind, r == o.root), o.contrib[r], res)
+		if t.nodeOf(r) == hubNode {
+			wIntra += n
+		} else {
+			wInter += n
+		}
+	}
+	for r, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		t.fscratch.Put(o.contrib[r].fdst)
+		t.fscratch.Put(o.contrib[r].fsrc)
+		t.hscratch.Put(o.contrib[r].hdst)
+		t.hscratch.Put(o.contrib[r].hsrc)
+	}
+	for i := range o.contrib {
+		o.contrib[i] = payload{}
+	}
+	o.result = 0
+	st := &t.traffic[o.kind]
+	st.MeasSeconds += time.Since(start).Seconds()
+	st.MeasIntraBytes += wIntra
+	st.MeasInterBytes += wInter
+	return res
+}
+
+// runLeaf completes one collective on a non-hub rank: block for the hub's
+// result frame and decode it straight into the caller's buffers.
+//
+//zinf:hotpath
+func (t *sockTransport) runLeaf(so sockOp) float64 {
+	return t.hubConn.readResultInto(so.seq, so.kind, resultCarriesDst(so.kind, t.rank == so.root), so.pl)
+}

@@ -1,0 +1,325 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// freeAddr reserves a loopback port for a test hub by binding and
+// immediately releasing it.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserving port: %v", err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// runSockWorld runs fn as size ranks, each owning its own sockTransport and
+// World — the in-process stand-in for size separate worker processes.
+func runSockWorld(t *testing.T, size int, topo *Topology, fn func(c *Comm)) {
+	t.Helper()
+	addr := freeAddr(t)
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr, err := NewSockTransport(SockConfig{Rank: rank, Size: size, Coord: addr, DialTimeout: 10 * time.Second})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			w, err := New(WorldOptions{Size: size, Transport: tr, Topology: topo})
+			if err != nil {
+				tr.Close()
+				errs[rank] = err
+				return
+			}
+			defer w.Close()
+			fn(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// trajectory drives one rank through a deterministic mix of every collective
+// shape — sync and async, float and half, rooted and not — and returns a
+// flat signature of all delivered bytes and scalars. Running it over two
+// transports must produce identical signatures on every rank.
+func trajectory(c *Comm, n int) []float32 {
+	rank, size := c.Rank(), c.Size()
+	var sig []float32
+	emit := func(xs ...float32) { sig = append(sig, xs...) }
+
+	// AllReduce: dst is also an input.
+	buf := make([]float32, n)
+	for i := range buf {
+		buf[i] = float32(rank+1) * float32(i+1) * 0.125
+	}
+	c.AllReduce(buf)
+	emit(buf...)
+
+	// Broadcast from a non-hub root.
+	root := size - 1
+	b := make([]float32, n)
+	if rank == root {
+		for i := range b {
+			b[i] = float32(i) + 0.5
+		}
+	}
+	c.Broadcast(b, root)
+	emit(b...)
+
+	// AllGather / ReduceScatter round trip.
+	full := make([]float32, size*n)
+	src := make([]float32, n)
+	for i := range src {
+		src[i] = float32(rank*100+i) * 0.03125
+	}
+	c.AllGather(full, src)
+	emit(full...)
+	shard := make([]float32, n)
+	c.ReduceScatter(shard, full)
+	emit(shard...)
+
+	// Rooted gather and reduce at a non-hub root; non-root dst stays nil.
+	var gdst []float32
+	if rank == root {
+		gdst = make([]float32, size*n)
+	}
+	c.Gather(gdst, src, root)
+	emit(gdst...)
+
+	// Scalar consensus ops.
+	emit(float32(c.AllReduceScalar(float64(rank+1)*0.25)),
+		float32(c.AllReduceMax(float64(rank))))
+
+	// Half-precision: fused allgather+decode and reduce-scatter with
+	// re-encode, plus async overlap of two in-flight tickets.
+	hsrc := make([]tensor.Half, n)
+	for i := range hsrc {
+		hsrc[i] = tensor.HalfFromFloat32(float32(rank+1) * float32(i%7) * 0.0625)
+	}
+	fdec := make([]float32, size*n)
+	tk1 := c.AllGatherHalfDecodeAsync(fdec, hsrc)
+	hshard := make([]tensor.Half, n)
+	hfull := make([]tensor.Half, size*n)
+	c.AllGatherHalf(hfull, hsrc)
+	tk2 := c.ReduceScatterHalfAsync(hshard, hfull)
+	tk2.Wait()
+	tk1.Wait()
+	emit(fdec...)
+	for _, h := range hshard {
+		emit(h.Float32())
+	}
+
+	// Rooted half reduce with fp16 rounding and decode.
+	var rdec []float32
+	if rank == root {
+		rdec = make([]float32, n)
+	}
+	rt := c.ReduceHalfDecodeAsync(rdec, hsrc, root)
+	rt.Wait()
+	emit(rdec...)
+
+	c.Barrier()
+	return sig
+}
+
+func gatherTrajectories(t *testing.T, size, n int, topo *Topology, sock bool) [][]float32 {
+	t.Helper()
+	out := make([][]float32, size)
+	body := func(c *Comm) { out[c.Rank()] = trajectory(c, n) }
+	if sock {
+		runSockWorld(t, size, topo, body)
+	} else {
+		w, err := New(WorldOptions{Size: size, Topology: topo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		var wg sync.WaitGroup
+		for r := 0; r < size; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				body(w.Comm(rank))
+			}(r)
+		}
+		wg.Wait()
+	}
+	return out
+}
+
+// TestSockMatchesMemBitIdentical is the transport-neutrality contract at
+// the collective level: the same trajectory over the socket transport and
+// the in-memory transport delivers byte-identical results on every rank,
+// for flat and hierarchical topologies.
+func TestSockMatchesMemBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		size int
+		topo *Topology
+	}{
+		{"flat4", 4, nil},
+		{"hier2x2", 4, &Topology{Nodes: 2, NodeSize: 2}},
+		{"flat3", 3, nil},
+		{"solo", 1, nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mem := gatherTrajectories(t, tc.size, 6, tc.topo, false)
+			sock := gatherTrajectories(t, tc.size, 6, tc.topo, true)
+			for r := 0; r < tc.size; r++ {
+				if len(mem[r]) != len(sock[r]) {
+					t.Fatalf("rank %d: signature lengths differ: mem %d sock %d", r, len(mem[r]), len(sock[r]))
+				}
+				for i := range mem[r] {
+					if math.Float32bits(mem[r][i]) != math.Float32bits(sock[r][i]) {
+						t.Fatalf("rank %d: signature[%d] differs: mem %x sock %x", r, i,
+							math.Float32bits(mem[r][i]), math.Float32bits(sock[r][i]))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSockBroadcastRootBufferUntouched pins the result-frame elision rules:
+// the broadcast root's buffer and a gather non-root's dst must come back
+// from a socket collective exactly as the in-memory transport leaves them.
+func TestSockBroadcastRootBufferUntouched(t *testing.T) {
+	runSockWorld(t, 3, nil, func(c *Comm) {
+		buf := []float32{1, 2, 3}
+		if c.Rank() == 2 {
+			buf = []float32{9, 8, 7}
+		}
+		c.Broadcast(buf, 2)
+		want := []float32{9, 8, 7}
+		for i := range buf {
+			if buf[i] != want[i] {
+				panic(fmt.Sprintf("rank %d broadcast[%d] = %g", c.Rank(), i, buf[i]))
+			}
+		}
+		// Non-root gather dst is ignored and left untouched.
+		dst := []float32{-1, -2, -3}
+		if c.Rank() == 1 {
+			dst = make([]float32, 3)
+		}
+		c.Gather(dst, []float32{float32(c.Rank())}, 1)
+		if c.Rank() != 1 && (dst[0] != -1 || dst[1] != -2 || dst[2] != -3) {
+			panic(fmt.Sprintf("rank %d gather clobbered non-root dst: %v", c.Rank(), dst))
+		}
+		if c.Rank() == 1 && (dst[0] != 0 || dst[1] != 1 || dst[2] != 2) {
+			panic(fmt.Sprintf("gather root dst = %v", dst))
+		}
+	})
+}
+
+// TestSockTrafficMeasuredOnHub verifies the hub records real wire bytes and
+// wall time, split intra/inter-node by the topology.
+func TestSockTrafficMeasuredOnHub(t *testing.T) {
+	topo := &Topology{Nodes: 2, NodeSize: 2}
+	var hub TrafficStats
+	runSockWorld(t, 4, topo, func(c *Comm) {
+		buf := make([]float32, 16)
+		buf[0] = float32(c.Rank())
+		c.AllReduce(buf)
+		c.Barrier()
+		if c.Rank() == 0 {
+			hub = c.TrafficTotal()
+		}
+	})
+	if hub.MeasBytes() == 0 {
+		t.Fatal("hub measured no wire bytes")
+	}
+	if hub.MeasIntraBytes == 0 || hub.MeasInterBytes == 0 {
+		t.Fatalf("expected both intra and inter measured bytes, got %d/%d", hub.MeasIntraBytes, hub.MeasInterBytes)
+	}
+	if hub.MeasSeconds <= 0 {
+		t.Fatal("hub measured no wall time")
+	}
+}
+
+// TestSockCollectiveMismatchPanics: a rank calling a different collective
+// than the rest of the world must panic, same as the in-memory transport.
+func TestSockCollectiveMismatchPanics(t *testing.T) {
+	addr := freeAddr(t)
+	var wg sync.WaitGroup
+	panicked := make([]bool, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if recover() != nil {
+					panicked[rank] = true
+				}
+			}()
+			tr, err := NewSockTransport(SockConfig{Rank: rank, Size: 2, Coord: addr, DialTimeout: 5 * time.Second})
+			if err != nil {
+				return
+			}
+			defer tr.Close()
+			w, err := New(WorldOptions{Size: 2, Transport: tr})
+			if err != nil {
+				return
+			}
+			c := w.Comm(rank)
+			if rank == 0 {
+				c.AllReduce([]float32{1})
+			} else {
+				c.Barrier()
+			}
+		}(r)
+	}
+	wg.Wait()
+	if !panicked[0] {
+		t.Error("hub did not panic on collective mismatch")
+	}
+}
+
+// TestSockBootstrapErrors covers handshake validation.
+func TestSockBootstrapErrors(t *testing.T) {
+	if _, err := NewSockTransport(SockConfig{Rank: 2, Size: 2, Coord: "x"}); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if _, err := NewSockTransport(SockConfig{Rank: 0, Size: 0, Coord: "x"}); err == nil {
+		t.Error("zero size accepted")
+	}
+	// Leaf dialing an address nobody listens on times out.
+	addr := freeAddr(t)
+	start := time.Now()
+	if _, err := NewSockTransport(SockConfig{Rank: 1, Size: 2, Coord: addr, DialTimeout: 300 * time.Millisecond}); err == nil {
+		t.Error("dial to dead hub succeeded")
+	} else if time.Since(start) > 5*time.Second {
+		t.Errorf("dial retry ignored DialTimeout: %v", time.Since(start))
+	}
+	// World size disagreement between hub and leaf.
+	addr2 := freeAddr(t)
+	done := make(chan error, 1)
+	go func() {
+		_, err := NewSockTransport(SockConfig{Rank: 0, Size: 2, Coord: addr2, DialTimeout: 3 * time.Second})
+		done <- err
+	}()
+	_, leafErr := NewSockTransport(SockConfig{Rank: 1, Size: 3, Coord: addr2, DialTimeout: 3 * time.Second})
+	hubErr := <-done
+	if hubErr == nil && leafErr == nil {
+		t.Error("size mismatch not detected by either side")
+	}
+}

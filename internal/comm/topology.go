@@ -22,9 +22,9 @@ package comm
 //     arithmetic.
 //
 //   - Accounting is allocation-free: per-kind counters live in a fixed
-//     array guarded by the world mutex, and the cost model is pure
-//     arithmetic, so the zero-allocation steady-state contract holds with a
-//     topology installed.
+//     array inside the collective execution context, and the cost model is
+//     pure arithmetic, so the zero-allocation steady-state contract holds
+//     with a topology installed.
 //
 // The cost model is a store-and-forward switch model: each rank has one
 // link to its node switch (intra class) and each node one uplink to the
@@ -33,6 +33,11 @@ package comm
 // count times the class latency; a collective's time is the sum of its
 // phases. Achieved aggregate bandwidth — the Fig. 6c metric — is total
 // bytes crossing links divided by total simulated time.
+//
+// Alongside the model, TrafficStats carries measured counters: wall-clock
+// seconds spent moving each kind's data and the bytes observed on the
+// transport that carried them (kernel copy volume on the in-memory
+// transport, real TCP frame bytes on the socket transport).
 
 import (
 	"fmt"
@@ -49,9 +54,9 @@ type Topology struct {
 	// ranks [i*NodeSize, (i+1)*NodeSize)). The world size must be a
 	// multiple of NodeSize.
 	NodeSize int
-	// Nodes, when positive, is the expected node count; SetTopology rejects
-	// a world whose size is not Nodes*NodeSize. Zero derives the node count
-	// from the world size.
+	// Nodes, when positive, is the expected node count; installation
+	// rejects a world whose size is not Nodes*NodeSize. Zero derives the
+	// node count from the world size.
 	Nodes int
 	// IntraGBps / InterGBps are the link bandwidths in GB/s (1e9 bytes/s).
 	IntraGBps, InterGBps float64
@@ -156,69 +161,71 @@ func ParseTopology(spec string) (*Topology, error) {
 	return t, nil
 }
 
-// SetTopology installs (a copy of) the topology on the world. A nil
-// topology restores the flat single-node fabric. Engines call it from their
-// per-rank constructors with identical values — like SetCodecBackend, the
-// last writer wins. It must not be changed while collectives are in flight.
-func (w *World) SetTopology(t *Topology) error {
+// normalizeTopology validates t against a world of size ranks and returns
+// the installed form: a defensive copy with defaulted bandwidths and the
+// node count derived from the world size. A nil topology normalizes to nil
+// (the flat fabric).
+func normalizeTopology(t *Topology, size int) (*Topology, error) {
 	if t == nil {
-		w.mu.Lock()
-		w.topo = nil
-		w.mu.Unlock()
-		return nil
+		return nil, nil
 	}
 	cp := *t
 	cp.setDefaults()
 	if cp.NodeSize < 1 {
-		return fmt.Errorf("comm: topology node size %d < 1", cp.NodeSize)
+		return nil, fmt.Errorf("comm: topology node size %d < 1", cp.NodeSize)
 	}
-	if w.size%cp.NodeSize != 0 {
-		return fmt.Errorf("comm: world size %d not a multiple of node size %d", w.size, cp.NodeSize)
+	if size%cp.NodeSize != 0 {
+		return nil, fmt.Errorf("comm: world size %d not a multiple of node size %d", size, cp.NodeSize)
 	}
-	if cp.Nodes > 0 && cp.Nodes*cp.NodeSize != w.size {
-		return fmt.Errorf("comm: topology %dx%d does not cover world size %d", cp.Nodes, cp.NodeSize, w.size)
+	if cp.Nodes > 0 && cp.Nodes*cp.NodeSize != size {
+		return nil, fmt.Errorf("comm: topology %dx%d does not cover world size %d", cp.Nodes, cp.NodeSize, size)
 	}
-	cp.Nodes = w.size / cp.NodeSize
-	w.mu.Lock()
-	w.topo = &cp
-	w.mu.Unlock()
-	return nil
+	cp.Nodes = size / cp.NodeSize
+	return &cp, nil
+}
+
+// ValidateTopology reports whether t can be installed on a world of size
+// ranks (nil is always valid: the flat fabric). Launchers call this to fail
+// fast — before spawning worker processes — with the same errors the
+// installation itself would produce.
+func ValidateTopology(t *Topology, size int) error {
+	_, err := normalizeTopology(t, size)
+	return err
 }
 
 // SetTopology installs the topology on this communicator's world (see
 // World.SetTopology).
+//
+// Deprecated: configure via WorldOptions.Topology. On sealed worlds this
+// verifies the configured topology against the installed one.
 func (c *Comm) SetTopology(t *Topology) error { return c.world.SetTopology(t) }
 
 // Topology returns the installed topology (nil = flat).
-func (c *Comm) Topology() *Topology {
-	c.world.mu.Lock()
-	defer c.world.mu.Unlock()
-	return c.world.topo
-}
+func (c *Comm) Topology() *Topology { return c.world.t.topology() }
 
 // nodes returns the node count of the installed topology (1 when flat).
-// Caller holds mu (or the world is quiescent).
+// The embedding transport serializes access (the in-memory transport's
+// mutex; the socket transport's single compute goroutine).
 //
 //zinf:hotpath
-func (w *World) nodes() int {
+func (w *collCtx) nodes() int {
 	if w.topo == nil {
 		return 1
 	}
 	return w.size / w.topo.NodeSize
 }
 
-// hier reports whether collectives should decompose hierarchically. Caller
-// holds mu.
+// hier reports whether collectives should decompose hierarchically.
 //
 //zinf:hotpath
-func (w *World) hier() bool {
+func (w *collCtx) hier() bool {
 	return w.topo != nil && !w.topo.Flat && w.nodes() > 1
 }
 
-// nodeOf returns the node index owning rank. Caller holds mu.
+// nodeOf returns the node index owning rank.
 //
 //zinf:hotpath
-func (w *World) nodeOf(rank int) int {
+func (w *collCtx) nodeOf(rank int) int {
 	if w.topo == nil {
 		return 0
 	}
@@ -226,34 +233,64 @@ func (w *World) nodeOf(rank int) int {
 }
 
 // TrafficStats accumulates one collective kind's modeled byte flow and
-// simulated transfer cost.
+// simulated transfer cost, plus the measured counterparts observed on the
+// transport that actually carried the data.
 type TrafficStats struct {
 	// Ops is the number of collectives of this kind performed.
 	Ops int64
-	// IntraBytes / InterBytes are the bytes that crossed intra-node and
-	// inter-node links (each logical transfer counted once, classified by
-	// the link it crossed; staged hierarchical phases count each phase's
+	// IntraBytes / InterBytes are the modeled bytes that crossed intra-node
+	// and inter-node links (each logical transfer counted once, classified
+	// by the link it crossed; staged hierarchical phases count each phase's
 	// crossing).
 	IntraBytes, InterBytes int64
 	// Seconds is the simulated transfer time under the topology's link
 	// bandwidths and latencies (0 when no topology is installed).
 	Seconds float64
+	// MeasIntraBytes / MeasInterBytes are the bytes observed moving on the
+	// transport, classified by the same intra/inter link taxonomy: on the
+	// in-memory transport they equal the modeled bytes (the kernel's copies
+	// are the wire); on the socket transport they are real TCP frame bytes
+	// (headers included) classified by whether the peer shares the hub
+	// rank's node.
+	MeasIntraBytes, MeasInterBytes int64
+	// MeasSeconds is the measured wall-clock time spent completing this
+	// kind's collectives: kernel compute time on the in-memory transport;
+	// on the socket transport the hub's full per-op wall time, which
+	// includes waiting for straggler contributions — it is collective wall
+	// time, not pure wire time.
+	MeasSeconds float64
 }
 
-// Bytes returns the total bytes moved over any link.
+// Bytes returns the total modeled bytes moved over any link.
 //
 //zinf:hotpath
 func (t TrafficStats) Bytes() int64 { return t.IntraBytes + t.InterBytes }
 
-// AggGBps returns the achieved aggregate bandwidth in GB/s — total bytes
-// over all links divided by simulated time (0 when nothing was timed). This
-// is the Fig. 6c metric: partitioning strategies that keep every link busy
-// achieve a multiple of a single link's bandwidth.
+// MeasBytes returns the total measured bytes moved over any link.
+//
+//zinf:hotpath
+func (t TrafficStats) MeasBytes() int64 { return t.MeasIntraBytes + t.MeasInterBytes }
+
+// AggGBps returns the achieved aggregate bandwidth in GB/s — total modeled
+// bytes over all links divided by simulated time (0 when nothing was
+// timed). This is the Fig. 6c metric: partitioning strategies that keep
+// every link busy achieve a multiple of a single link's bandwidth.
 func (t TrafficStats) AggGBps() float64 {
 	if t.Seconds <= 0 {
 		return 0
 	}
 	return float64(t.Bytes()) / t.Seconds / 1e9
+}
+
+// MeasGBps returns the measured wall-clock bandwidth in GB/s — measured
+// bytes over measured seconds (0 when nothing was measured). Unlike
+// AggGBps, this reflects what the transport actually achieved, including
+// scheduling and (on the socket transport) TCP and straggler effects.
+func (t TrafficStats) MeasGBps() float64 {
+	if t.MeasSeconds <= 0 {
+		return 0
+	}
+	return float64(t.MeasBytes()) / t.MeasSeconds / 1e9
 }
 
 // add accumulates other into t.
@@ -264,55 +301,48 @@ func (t *TrafficStats) add(o TrafficStats) {
 	t.IntraBytes += o.IntraBytes
 	t.InterBytes += o.InterBytes
 	t.Seconds += o.Seconds
+	t.MeasIntraBytes += o.MeasIntraBytes
+	t.MeasInterBytes += o.MeasInterBytes
+	t.MeasSeconds += o.MeasSeconds
 }
 
 // Traffic returns a snapshot of the world's per-collective traffic, keyed
 // by collective name, skipping kinds that never ran. The snapshot
-// allocates; it is an observability call, not a hot-path one.
+// allocates; it is an observability call, not a hot-path one. On the socket
+// transport the counters live where the collectives execute, so only the
+// hub rank (rank 0) observes non-zero traffic.
 func (c *Comm) Traffic() map[string]TrafficStats {
-	w := c.world
 	out := make(map[string]TrafficStats)
-	w.mu.Lock()
-	for k := range w.traffic {
-		if w.traffic[k].Ops > 0 {
-			out[opKind(k).String()] = w.traffic[k]
+	c.world.t.snapshotTraffic(func(k opKind, st TrafficStats) {
+		if st.Ops > 0 {
+			out[k.String()] = st
 		}
-	}
-	w.mu.Unlock()
+	})
 	return out
 }
 
 // TrafficTotal returns the sum of all collectives' traffic.
 func (c *Comm) TrafficTotal() TrafficStats {
-	w := c.world
 	var tot TrafficStats
-	w.mu.Lock()
-	for k := range w.traffic {
-		tot.add(w.traffic[k])
-	}
-	w.mu.Unlock()
+	c.world.t.snapshotTraffic(func(_ opKind, st TrafficStats) {
+		tot.add(st)
+	})
 	return tot
 }
 
 // ResetTraffic zeroes the accumulated traffic counters.
-func (c *Comm) ResetTraffic() {
-	w := c.world
-	w.mu.Lock()
-	for k := range w.traffic {
-		w.traffic[k] = TrafficStats{}
-	}
-	w.mu.Unlock()
-}
+func (c *Comm) ResetTraffic() { c.world.t.resetTraffic() }
 
 // ---------------------------------------------------------------------------
-// Cost model. All helpers run under w.mu and perform no allocation.
+// Cost model. All helpers run inside the transport's compute serialization
+// and perform no allocation.
 
 // phase charges one collective phase: perIntra/perInter are the busiest
 // intra/inter link's bytes, totIntra/totInter the bytes crossing each class
 // in the phase, and intraHops/interHops the phase's sequential hop counts.
 //
 //zinf:hotpath
-func (w *World) phase(st *TrafficStats, perIntra, perInter, totIntra, totInter int64, intraHops, interHops int) {
+func (w *collCtx) phase(st *TrafficStats, perIntra, perInter, totIntra, totInter int64, intraHops, interHops int) {
 	st.IntraBytes += totIntra
 	st.InterBytes += totInter
 	if w.topo == nil {
@@ -332,7 +362,7 @@ func (w *World) phase(st *TrafficStats, perIntra, perInter, totIntra, totInter i
 // intra-node ring distributing the (N-1)kS remote bytes.
 //
 //zinf:hotpath
-func (w *World) accountAllGather(st *TrafficStats, S int64) {
+func (w *collCtx) accountAllGather(st *TrafficStats, S int64) {
 	p, N := int64(w.size), int64(w.nodes())
 	if p == 1 || S == 0 {
 		return
@@ -362,7 +392,7 @@ func (w *World) accountAllGather(st *TrafficStats, S int64) {
 // (N-1)M/N).
 //
 //zinf:hotpath
-func (w *World) accountReduceScatter(st *TrafficStats, M int64) {
+func (w *collCtx) accountReduceScatter(st *TrafficStats, M int64) {
 	p, N := int64(w.size), int64(w.nodes())
 	if p == 1 || M == 0 {
 		return
@@ -389,7 +419,7 @@ func (w *World) accountReduceScatter(st *TrafficStats, M int64) {
 // reduce-scatter + allgather volumes.
 //
 //zinf:hotpath
-func (w *World) accountAllReduce(st *TrafficStats, M int64) {
+func (w *collCtx) accountAllReduce(st *TrafficStats, M int64) {
 	if w.size == 1 || M == 0 {
 		return
 	}
@@ -403,7 +433,7 @@ func (w *World) accountAllReduce(st *TrafficStats, M int64) {
 // root's uplink, then each node distributes intra.
 //
 //zinf:hotpath
-func (w *World) accountBroadcast(st *TrafficStats, M int64, root int) {
+func (w *collCtx) accountBroadcast(st *TrafficStats, M int64, root int) {
 	p, N := int64(w.size), int64(w.nodes())
 	if p == 1 || M == 0 {
 		return
@@ -427,7 +457,7 @@ func (w *World) accountBroadcast(st *TrafficStats, M int64, root int) {
 // each leader then funnels node chunks over the root's uplink.
 //
 //zinf:hotpath
-func (w *World) accountGather(st *TrafficStats, S int64, root int) {
+func (w *collCtx) accountGather(st *TrafficStats, S int64, root int) {
 	p, N := int64(w.size), int64(w.nodes())
 	if p == 1 || S == 0 {
 		return
@@ -452,7 +482,7 @@ func (w *World) accountGather(st *TrafficStats, S int64, root int) {
 // partial per remote node over the root's uplink.
 //
 //zinf:hotpath
-func (w *World) accountReduceRoot(st *TrafficStats, M int64, root int) {
+func (w *collCtx) accountReduceRoot(st *TrafficStats, M int64, root int) {
 	p, N := int64(w.size), int64(w.nodes())
 	if p == 1 || M == 0 {
 		return
@@ -475,7 +505,7 @@ func (w *World) accountReduceRoot(st *TrafficStats, M int64, root int) {
 // and down (bytes negligible, latency two tree traversals).
 //
 //zinf:hotpath
-func (w *World) accountScalar(st *TrafficStats) {
+func (w *collCtx) accountScalar(st *TrafficStats) {
 	p, N := int64(w.size), int64(w.nodes())
 	if p == 1 {
 		return
@@ -505,10 +535,11 @@ func min64(a, b int64) int64 {
 }
 
 // account records one completed collective's modeled traffic and simulated
-// cost. Caller holds mu; runs after the op's compute function.
+// cost. Runs inside the transport's compute serialization, after the op's
+// compute function.
 //
 //zinf:hotpath
-func (w *World) account(o *op) {
+func (w *collCtx) account(o *op) {
 	st := &w.traffic[o.kind]
 	st.Ops++
 	if w.size == 1 {

@@ -1,0 +1,335 @@
+package comm
+
+// Wire protocol of the socket transport: length-prefixed binary frames over
+// TCP, little-endian throughout.
+//
+// Bootstrap frames (fixed size, exchanged once per connection):
+//
+//	hello   (leaf → hub): magic u32, version u8, pad[3], rank u32, size u32
+//	welcome (hub → leaf): magic u32, version u8, pad[3], size u32
+//
+// Collective frames share one 40-byte header:
+//
+//	off  0  u32  payload length (bytes following the header)
+//	off  4  u8   frame type (contrib | result)
+//	off  5  u8   collective kind
+//	off  6  u16  root rank
+//	off  8  u32  len(fdst)   off 12  u32  len(fsrc)
+//	off 16  u32  len(hdst)   off 20  u32  len(hsrc)
+//	off 24  u64  sequence number
+//	off 32  u64  float64 bits (scalar contribution v / scalar result)
+//
+// A contrib frame carries the rank's source data (fsrc/hsrc) and — for the
+// collectives whose destination buffer is also an input (broadcast root,
+// allreduce) — the destination contents; destination lengths always travel
+// in the header so the hub can stage pooled buffers of the right size. A
+// result frame carries the computed destination contents back (omitted for
+// ranks whose destination the collective leaves untouched: the broadcast
+// root, non-root ranks of gather/reduce-to-root). Payload sections appear
+// in fdst, fsrc, hdst, hsrc order; floats as IEEE-754 bits, halfs as raw
+// binary16 bits, so the bytes on the wire are exactly the bytes the shared
+// compute kernels produced — no re-rounding anywhere.
+//
+// The encode/decode scratch buffers grow to the high-water frame size once
+// and are reused, keeping the steady-state framing path allocation-free.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+
+	"repro/internal/tensor"
+)
+
+const (
+	wireMagic   = 0x5A494E46 // "ZINF"
+	wireVersion = 1
+
+	frameContrib byte = 1
+	frameResult  byte = 2
+
+	frameHdrLen = 40
+	helloLen    = 16
+	welcomeLen  = 12
+)
+
+// Framing errors surfaced by the hub's reader goroutines (package-level so
+// the hot read path never formats).
+var (
+	errBadFrameType = errors.New("comm: sock: unexpected frame type")
+	errFrameLen     = errors.New("comm: sock: frame payload length does not match header counts")
+)
+
+// frameConn wraps one TCP connection with buffered reads and reusable
+// encode/decode scratch. Reads and writes may run on different goroutines
+// (the hub reads contributions on a reader goroutine while its rank
+// goroutine writes results); each direction owns its scratch buffer.
+type frameConn struct {
+	c    net.Conn
+	br   *bufio.Reader
+	wbuf []byte // encode scratch, writer side only
+	rbuf []byte // decode scratch, reader side only
+}
+
+func newFrameConn(c net.Conn) *frameConn {
+	return &frameConn{c: c, br: bufio.NewReaderSize(c, 1<<16)}
+}
+
+// growBuf returns buf resized to n bytes, reallocating (to the next power
+// of two) only when capacity is exceeded — a warmup-only allocation.
+//
+//zinf:hotpath
+func growBuf(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		c := 1
+		for c < n {
+			c <<= 1
+		}
+		//zinf:allow hotpathalloc frame scratch grows to the high-water frame size once; reused thereafter
+		buf = make([]byte, c)
+	}
+	return buf[:n]
+}
+
+// dstCarriesInput reports whether kind's destination buffer is also an
+// input for the given rank, and therefore travels in its contrib frame:
+// the broadcast root's buffer is the source, and allreduce buffers hold
+// the addends in place.
+//
+//zinf:hotpath
+func dstCarriesInput(kind opKind, isRoot bool) bool {
+	switch kind {
+	case opBroadcast, opBroadcastHalf:
+		return isRoot
+	case opAllReduce, opAllReduceHalf:
+		return true
+	}
+	return false
+}
+
+// resultCarriesDst reports whether kind writes the given rank's destination
+// buffer, and therefore whether the result frame carries it back. The
+// broadcast root's buffer is the unchanged source; gather and
+// reduce-to-root ignore non-root destinations (the in-memory transport
+// leaves them untouched, so the socket transport must too).
+//
+//zinf:hotpath
+func resultCarriesDst(kind opKind, isRoot bool) bool {
+	switch kind {
+	case opBroadcast, opBroadcastHalf:
+		return !isRoot
+	case opGather, opReduceHalfDecode:
+		return isRoot
+	}
+	return true
+}
+
+// contribPayloadLen returns the payload byte count of a contrib frame.
+//
+//zinf:hotpath
+func contribPayloadLen(kind opKind, isRoot bool, nfdst, nfsrc, nhdst, nhsrc int) int {
+	n := nfsrc*4 + nhsrc*2
+	if dstCarriesInput(kind, isRoot) {
+		n += nfdst*4 + nhdst*2
+	}
+	return n
+}
+
+// Little-endian field readers, named for header-decoding readability.
+//
+//zinf:hotpath
+func le16(b []byte) uint16 { return binary.LittleEndian.Uint16(b) }
+
+//zinf:hotpath
+func le32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+
+//zinf:hotpath
+func le64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+//zinf:hotpath
+func f64frombits(bits uint64) float64 { return math.Float64frombits(bits) }
+
+//zinf:hotpath
+func putF32s(b []byte, xs []float32) int {
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(x))
+	}
+	return len(xs) * 4
+}
+
+//zinf:hotpath
+func getF32s(dst []float32, b []byte) int {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return len(dst) * 4
+}
+
+//zinf:hotpath
+func putHalfs(b []byte, xs []tensor.Half) int {
+	for i, x := range xs {
+		binary.LittleEndian.PutUint16(b[i*2:], uint16(x))
+	}
+	return len(xs) * 2
+}
+
+//zinf:hotpath
+func getHalfs(dst []tensor.Half, b []byte) int {
+	for i := range dst {
+		dst[i] = tensor.Half(binary.LittleEndian.Uint16(b[i*2:]))
+	}
+	return len(dst) * 2
+}
+
+// putHdr encodes the shared header into b[:frameHdrLen].
+//
+//zinf:hotpath
+func putHdr(b []byte, plen int, ftype byte, kind opKind, root int, nfdst, nfsrc, nhdst, nhsrc int, seq uint64, bits uint64) {
+	binary.LittleEndian.PutUint32(b[0:], uint32(plen))
+	b[4] = ftype
+	b[5] = byte(kind)
+	binary.LittleEndian.PutUint16(b[6:], uint16(root))
+	binary.LittleEndian.PutUint32(b[8:], uint32(nfdst))
+	binary.LittleEndian.PutUint32(b[12:], uint32(nfsrc))
+	binary.LittleEndian.PutUint32(b[16:], uint32(nhdst))
+	binary.LittleEndian.PutUint32(b[20:], uint32(nhsrc))
+	binary.LittleEndian.PutUint64(b[24:], seq)
+	binary.LittleEndian.PutUint64(b[32:], bits)
+}
+
+// writeContrib encodes this rank's contribution and writes it to the hub.
+// Returns the wire bytes written. Write failures panic: a rank that cannot
+// reach the hub cannot make collective progress, and the process exit is
+// what tells the launcher to kill the world.
+//
+//zinf:hotpath
+func (fc *frameConn) writeContrib(seq uint64, kind opKind, root int, isRoot bool, pl payload) int64 {
+	plen := contribPayloadLen(kind, isRoot, len(pl.fdst), len(pl.fsrc), len(pl.hdst), len(pl.hsrc))
+	fc.wbuf = growBuf(fc.wbuf, frameHdrLen+plen)
+	b := fc.wbuf
+	putHdr(b, plen, frameContrib, kind, root, len(pl.fdst), len(pl.fsrc), len(pl.hdst), len(pl.hsrc), seq, math.Float64bits(pl.v))
+	off := frameHdrLen
+	if dstCarriesInput(kind, isRoot) {
+		off += putF32s(b[off:], pl.fdst)
+	}
+	off += putF32s(b[off:], pl.fsrc)
+	if dstCarriesInput(kind, isRoot) {
+		off += putHalfs(b[off:], pl.hdst)
+	}
+	off += putHalfs(b[off:], pl.hsrc)
+	if _, err := fc.c.Write(b[:off]); err != nil {
+		panic(fmt.Sprintf("comm: sock: contribution write failed at seq %d (%s): %v", seq, kind, err))
+	}
+	return int64(off)
+}
+
+// writeResult sends one rank's computed destination contents (when the
+// collective wrote them) and the scalar result back from the hub.
+//
+//zinf:hotpath
+func (fc *frameConn) writeResult(seq uint64, kind opKind, carryDst bool, pl payload, result float64) int64 {
+	nfdst, nhdst := len(pl.fdst), len(pl.hdst)
+	if !carryDst {
+		nfdst, nhdst = 0, 0
+	}
+	plen := nfdst*4 + nhdst*2
+	fc.wbuf = growBuf(fc.wbuf, frameHdrLen+plen)
+	b := fc.wbuf
+	putHdr(b, plen, frameResult, kind, 0, nfdst, 0, nhdst, 0, seq, math.Float64bits(result))
+	off := frameHdrLen
+	off += putF32s(b[off:], pl.fdst[:nfdst])
+	off += putHalfs(b[off:], pl.hdst[:nhdst])
+	if _, err := fc.c.Write(b[:off]); err != nil {
+		panic(fmt.Sprintf("comm: sock: result write failed at seq %d (%s): %v", seq, kind, err))
+	}
+	return int64(off)
+}
+
+// readResultInto blocks for the hub's result frame of this rank's seq-th
+// collective and decodes the destination contents directly into the local
+// buffers. Returns the scalar result. Frame mismatches and connection
+// failures panic — the socket-transport analogue of the in-memory
+// collective-mismatch panic.
+//
+//zinf:hotpath
+func (fc *frameConn) readResultInto(seq uint64, kind opKind, carryDst bool, pl payload) float64 {
+	var hb [frameHdrLen]byte
+	if _, err := io.ReadFull(fc.br, hb[:]); err != nil {
+		panic(fmt.Sprintf("comm: sock: lost hub connection at seq %d (%s): %v", seq, kind, err))
+	}
+	plen := int(binary.LittleEndian.Uint32(hb[0:]))
+	gotSeq := binary.LittleEndian.Uint64(hb[24:])
+	if hb[4] != frameResult || opKind(hb[5]) != kind || gotSeq != seq {
+		panic(fmt.Sprintf("comm: collective mismatch at seq %d: this rank called %s, hub answered frame type %d %s seq %d",
+			seq, kind, hb[4], opKind(hb[5]), gotSeq))
+	}
+	nfdst := int(binary.LittleEndian.Uint32(hb[8:]))
+	nhdst := int(binary.LittleEndian.Uint32(hb[16:]))
+	wantF, wantH := len(pl.fdst), len(pl.hdst)
+	if !carryDst {
+		wantF, wantH = 0, 0
+	}
+	if nfdst != wantF || nhdst != wantH || plen != nfdst*4+nhdst*2 {
+		panic(fmt.Sprintf("comm: sock: result shape mismatch at seq %d (%s): got %d/%d want %d/%d",
+			seq, kind, nfdst, nhdst, wantF, wantH))
+	}
+	fc.rbuf = growBuf(fc.rbuf, plen)
+	if _, err := io.ReadFull(fc.br, fc.rbuf); err != nil {
+		panic(fmt.Sprintf("comm: sock: lost hub connection at seq %d (%s): %v", seq, kind, err))
+	}
+	off := getF32s(pl.fdst[:nfdst], fc.rbuf)
+	getHalfs(pl.hdst[:nhdst], fc.rbuf[off:])
+	return math.Float64frombits(binary.LittleEndian.Uint64(hb[32:]))
+}
+
+// writeHello / readHello / writeWelcome / readWelcome implement the
+// bootstrap handshake (see the package comment above). Bootstrap runs once,
+// off the hot path.
+
+func writeHello(c net.Conn, rank, size int) error {
+	var b [helloLen]byte
+	binary.LittleEndian.PutUint32(b[0:], wireMagic)
+	b[4] = wireVersion
+	binary.LittleEndian.PutUint32(b[8:], uint32(rank))
+	binary.LittleEndian.PutUint32(b[12:], uint32(size))
+	_, err := c.Write(b[:])
+	return err
+}
+
+func readHello(c net.Conn) (rank, size int, err error) {
+	var b [helloLen]byte
+	if _, err := io.ReadFull(c, b[:]); err != nil {
+		return 0, 0, fmt.Errorf("comm: sock: reading hello: %w", err)
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != wireMagic {
+		return 0, 0, fmt.Errorf("comm: sock: bad hello magic (not a zinf worker?)")
+	}
+	if b[4] != wireVersion {
+		return 0, 0, fmt.Errorf("comm: sock: wire version %d, want %d", b[4], wireVersion)
+	}
+	return int(binary.LittleEndian.Uint32(b[8:])), int(binary.LittleEndian.Uint32(b[12:])), nil
+}
+
+func writeWelcome(c net.Conn, size int) error {
+	var b [welcomeLen]byte
+	binary.LittleEndian.PutUint32(b[0:], wireMagic)
+	b[4] = wireVersion
+	binary.LittleEndian.PutUint32(b[8:], uint32(size))
+	_, err := c.Write(b[:])
+	return err
+}
+
+func readWelcome(c net.Conn) (size int, err error) {
+	var b [welcomeLen]byte
+	if _, err := io.ReadFull(c, b[:]); err != nil {
+		return 0, fmt.Errorf("comm: sock: reading welcome: %w", err)
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != wireMagic || b[4] != wireVersion {
+		return 0, fmt.Errorf("comm: sock: bad welcome from hub")
+	}
+	return int(binary.LittleEndian.Uint32(b[8:])), nil
+}

@@ -115,8 +115,37 @@ func SyntheticBatch(seed uint64, cfg ModelConfig, batch int) (tokens, targets []
 }
 
 // SPMD spawns fn on one goroutine per rank and waits — the standard entry
-// point for multi-rank training.
+// point for single-process multi-rank training (the in-memory transport).
 func SPMD(ranks int, fn func(c *Comm)) { comm.Run(ranks, fn) }
+
+// Transport re-exports: the rank-to-rank data plane is pluggable. A World
+// built over the in-memory transport hosts every rank as a goroutine; one
+// built over the socket transport hosts a single rank per process,
+// connected over TCP (see NewSockTransport and cmd/zinf-launch). Training
+// trajectories are bit-identical across transports.
+type (
+	// World owns a transport plus the installed codec and topology.
+	World = comm.World
+	// WorldOptions configures a World at construction; the world is sealed
+	// (immutable) once built.
+	WorldOptions = comm.WorldOptions
+	// Transport is the pluggable rank-to-rank data plane.
+	Transport = comm.Transport
+	// SockConfig configures one rank's end of a socket-transport world.
+	SockConfig = comm.SockConfig
+)
+
+// NewWorld builds a sealed world from options. A nil Transport selects the
+// in-memory reference transport over opts.Size goroutine ranks.
+func NewWorld(opts WorldOptions) (*World, error) { return comm.New(opts) }
+
+// NewSockTransport bootstraps one rank of a TCP-connected world, blocking
+// until this rank is wired to the hub (rank 0).
+func NewSockTransport(cfg SockConfig) (Transport, error) { return comm.NewSockTransport(cfg) }
+
+// ValidateTopology reports whether t can be installed on a world of size
+// ranks — launchers call this to fail fast before spawning workers.
+func ValidateTopology(t *Topology, ranks int) error { return comm.ValidateTopology(t, ranks) }
 
 // EngineConfig selects and configures a training engine.
 type EngineConfig struct {
@@ -316,6 +345,16 @@ type TrainOptions struct {
 	Ranks        int
 	Steps        int
 	BatchPerRank int
+	// Comm, when set, runs the training loop for this one rank on the
+	// calling goroutine instead of spawning an SPMD world — the worker-mode
+	// entry point used by zinf-launch, where every rank is its own process
+	// holding one communicator of a socket-transport world. Ranks is
+	// inferred from the world size (it may be left zero); batches are seeded
+	// by absolute step and rank exactly as in SPMD mode, so an N-process
+	// run's trajectory is bit-identical to the in-memory N-goroutine run.
+	// The returned Losses/FinalStep/Stats describe this rank. Checkpointing
+	// and Resume are not supported in worker mode.
+	Comm *Comm
 	// GradAccumSteps accumulates gradients over this many micro-batches per
 	// optimizer step (default 1).
 	GradAccumSteps int
@@ -393,6 +432,15 @@ func snapshotRank(w *ckpt.Writer, e Engine, c *Comm, step int, pending []*ckpt.T
 // complete generation and — because batches are seeded by absolute step —
 // replays the uninterrupted run bit-identically.
 func Train(opts TrainOptions) (TrainResult, error) {
+	if opts.Comm != nil {
+		if opts.Engine.CheckpointDir != "" || opts.Resume {
+			return TrainResult{}, fmt.Errorf("zeroinf: checkpointing is not supported in worker mode (TrainOptions.Comm set)")
+		}
+		if opts.Ranks != 0 && opts.Ranks != opts.Comm.Size() {
+			return TrainResult{}, fmt.Errorf("zeroinf: Ranks %d disagrees with the communicator's world size %d", opts.Ranks, opts.Comm.Size())
+		}
+		opts.Ranks = opts.Comm.Size()
+	}
 	if opts.Ranks <= 0 || opts.Steps <= 0 || opts.BatchPerRank <= 0 {
 		return TrainResult{}, fmt.Errorf("zeroinf: Ranks, Steps, BatchPerRank must be positive")
 	}
@@ -437,7 +485,7 @@ func Train(opts TrainOptions) (TrainResult, error) {
 	)
 	res.StartStep = startStep
 	res.FinalStep = startStep
-	SPMD(opts.Ranks, func(c *Comm) {
+	body := func(c *Comm) {
 		fail := func(err error) {
 			mu.Lock()
 			if firstErr == nil {
@@ -533,7 +581,7 @@ func Train(opts TrainOptions) (TrainResult, error) {
 		for _, t := range pending {
 			t.Wait()
 		}
-		if c.Rank() == 0 {
+		if c.Rank() == 0 || opts.Comm != nil {
 			mu.Lock()
 			res.Losses = losses
 			res.FinalStep = step
@@ -542,7 +590,12 @@ func Train(opts TrainOptions) (TrainResult, error) {
 			}
 			mu.Unlock()
 		}
-	})
+	}
+	if opts.Comm != nil {
+		body(opts.Comm)
+	} else {
+		SPMD(opts.Ranks, body)
+	}
 	if writer != nil {
 		res.CheckpointErr = writer.Drain()
 		if cerr := writer.Close(); res.CheckpointErr == nil {
